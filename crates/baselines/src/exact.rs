@@ -1,0 +1,407 @@
+//! Exact optimal active time.
+//!
+//! Two engines:
+//!
+//! * [`brute_force_opt`] — enumerate slot subsets by increasing size.
+//!   Works for any (even non-laminar) instance; horizon-limited.
+//! * [`nested_opt`] — iterative-deepening search over *per-node open
+//!   counts* on the laminar window forest. Slots inside a node's own
+//!   region are interchangeable, so the search space collapses from
+//!   `2^T` to `Π (L(i)+1)`, pruned by optimistic max-flow feasibility and
+//!   the interval-volume lower bound. This is the ground-truth engine for
+//!   the ratio experiments (E1) and the NP-completeness pipeline (E6) —
+//!   the problem is NP-complete (paper §6), so ground truth is
+//!   necessarily exponential in the worst case.
+
+use crate::bounds::combined_lb;
+use atsched_core::feasibility::{counts_feasible, counts_to_slots, extract_assignment, slots_feasible};
+use atsched_core::instance::Instance;
+use atsched_core::schedule::Schedule;
+use atsched_core::tree::Forest;
+
+/// Exact optimum by subset enumeration; `None` when infeasible.
+///
+/// # Panics
+/// Panics when the candidate-slot count exceeds `max_candidates` (the
+/// search is `O(2^T)`).
+pub fn brute_force_opt(inst: &Instance, max_candidates: usize) -> Option<Schedule> {
+    let cand = inst.candidate_slots();
+    assert!(
+        cand.len() <= max_candidates,
+        "brute force over {} slots refused (cap {max_candidates})",
+        cand.len()
+    );
+    if !slots_feasible(inst, &cand) {
+        return None;
+    }
+    for k in 0..=cand.len() {
+        if let Some(slots) = first_feasible_subset(inst, &cand, k) {
+            let assignment = extract_assignment(inst, &slots).expect("checked feasible");
+            let mut s = Schedule::new(slots, assignment);
+            s.compact();
+            return Some(s);
+        }
+    }
+    unreachable!("full candidate set is feasible");
+}
+
+fn first_feasible_subset(inst: &Instance, cand: &[i64], k: usize) -> Option<Vec<i64>> {
+    fn rec(inst: &Instance, cand: &[i64], k: usize, start: usize, pick: &mut Vec<i64>) -> bool {
+        if pick.len() == k {
+            return slots_feasible(inst, pick);
+        }
+        // Not enough slots left to reach k.
+        if cand.len() - start < k - pick.len() {
+            return false;
+        }
+        for i in start..cand.len() {
+            pick.push(cand[i]);
+            if rec(inst, cand, k, i + 1, pick) {
+                return true;
+            }
+            pick.pop();
+        }
+        false
+    }
+    let mut pick = Vec::with_capacity(k);
+    if rec(inst, cand, k, 0, &mut pick) {
+        Some(pick)
+    } else {
+        None
+    }
+}
+
+/// Exact optimum for laminar instances via per-node open counts.
+///
+/// `lower_bound_hint` (e.g. an LP value rounded up) accelerates the
+/// search by choosing where the iterative deepening *starts* — the
+/// answer is exact even if the hint is wrong in either direction: after
+/// the first feasible `k` is found, the search walks downward until
+/// `k − 1` is infeasible (so an over-large hint costs time, never
+/// correctness). Returns `None` when infeasible.
+pub fn nested_opt(inst: &Instance, lower_bound_hint: i64) -> Option<Schedule> {
+    if inst.jobs.is_empty() {
+        return Some(Schedule::new(Vec::new(), Vec::new()));
+    }
+    let forest = Forest::build(inst).ok()?;
+    let full: Vec<i64> = forest.nodes.iter().map(|n| n.len()).collect();
+    if !counts_feasible(&forest, inst, &full) {
+        return None;
+    }
+    // Search node order: deepest first, so rigid leaves bind early.
+    let mut order: Vec<usize> = (0..forest.num_nodes()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(forest.nodes[i].depth));
+
+    let hard_lb = combined_lb(inst).max(0);
+    let start = lower_bound_hint.max(hard_lb);
+    let ub: i64 = full.iter().sum();
+
+    let feasible_at = |k: i64| -> Option<Vec<i64>> {
+        let mut z = vec![0i64; forest.num_nodes()];
+        search(inst, &forest, &order, 0, k, &mut z).then_some(z)
+    };
+
+    // Upward phase: find some feasible k.
+    let mut k = start.min(ub);
+    let mut best = loop {
+        if let Some(z) = feasible_at(k) {
+            break z;
+        }
+        k += 1;
+        assert!(k <= ub, "k = Σ L(i) must be feasible");
+    };
+    // Downward phase: the hint may have overshot the optimum.
+    while k > hard_lb {
+        match feasible_at(k - 1) {
+            Some(z) => {
+                best = z;
+                k -= 1;
+            }
+            None => break,
+        }
+    }
+
+    let slots = counts_to_slots(&forest, &best);
+    let assignment = extract_assignment(inst, &slots).expect("search verified");
+    let mut s = Schedule::new(slots, assignment);
+    s.compact();
+    Some(s)
+}
+
+/// Parallel variant of [`nested_opt`]: fans the first branching level of
+/// each iterative-deepening round out to scoped worker threads (work
+/// distributed through an atomic cursor, early exit through a shared
+/// stop flag). Returns exactly the same optimum value as the sequential
+/// engine — the tests assert it — though possibly a different optimal
+/// schedule.
+pub fn nested_opt_parallel(inst: &Instance, lower_bound_hint: i64) -> Option<Schedule> {
+    use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+    use std::sync::Mutex;
+
+    if inst.jobs.is_empty() {
+        return Some(Schedule::new(Vec::new(), Vec::new()));
+    }
+    let forest = Forest::build(inst).ok()?;
+    let full: Vec<i64> = forest.nodes.iter().map(|n| n.len()).collect();
+    if !counts_feasible(&forest, inst, &full) {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..forest.num_nodes()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(forest.nodes[i].depth));
+
+    let hard_lb = combined_lb(inst).max(0);
+    let ub: i64 = full.iter().sum();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let first = order[0];
+
+    let feasible_at = |k: i64| -> Option<Vec<i64>> {
+        let max_first = forest.nodes[first].len().min(k);
+        let stop = AtomicBool::new(false);
+        let cursor = AtomicI64::new(max_first); // counts down: larger first
+        let winner: Mutex<Option<Vec<i64>>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min((max_first + 1) as usize) {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let v = cursor.fetch_sub(1, Ordering::Relaxed);
+                    if v < 0 {
+                        return;
+                    }
+                    let mut z = vec![0i64; forest.num_nodes()];
+                    z[first] = v;
+                    if search(inst, &forest, &order, 1, k - v, &mut z) {
+                        stop.store(true, Ordering::Relaxed);
+                        *winner.lock().unwrap() = Some(z);
+                        return;
+                    }
+                });
+            }
+        });
+        winner.into_inner().unwrap()
+    };
+
+    // Upward then downward, exactly as in the sequential engine: correct
+    // for any hint.
+    let mut k = lower_bound_hint.max(hard_lb).min(ub);
+    let mut best = loop {
+        if let Some(z) = feasible_at(k) {
+            break z;
+        }
+        k += 1;
+        assert!(k <= ub, "k = Σ L(i) must be feasible");
+    };
+    while k > hard_lb {
+        match feasible_at(k - 1) {
+            Some(z) => {
+                best = z;
+                k -= 1;
+            }
+            None => break,
+        }
+    }
+    let slots = counts_to_slots(&forest, &best);
+    let assignment = extract_assignment(inst, &slots).expect("search verified");
+    let mut s = Schedule::new(slots, assignment);
+    s.compact();
+    Some(s)
+}
+
+/// DFS: fix `z[order[idx..]]`, budget = slots still assignable.
+fn search(
+    inst: &Instance,
+    forest: &Forest,
+    order: &[usize],
+    idx: usize,
+    budget: i64,
+    z: &mut Vec<i64>,
+) -> bool {
+    // Optimistic check: give every undecided node its full length, capped
+    // by the remaining budget being spent in the best possible way — here
+    // simply full (a relaxation): if even that fails, prune.
+    if idx == order.len() {
+        return budget >= 0 && counts_feasible(forest, inst, z);
+    }
+    {
+        let mut opt = z.clone();
+        let mut spare = budget;
+        for &i in &order[idx..] {
+            let add = forest.nodes[i].len().min(spare.max(0));
+            opt[i] = forest.nodes[i].len();
+            spare -= add;
+        }
+        // Relaxed (ignores the budget cap across nodes for feasibility,
+        // which is sound for pruning: more open slots never hurt).
+        if !counts_feasible(forest, inst, &opt) {
+            return false;
+        }
+    }
+    let node = order[idx];
+    let max_here = forest.nodes[node].len().min(budget);
+    // Try larger counts first: feasibility is monotone, so the first
+    // feasible completion at this budget is found faster.
+    for v in (0..=max_here).rev() {
+        z[node] = v;
+        if search(inst, forest, order, idx + 1, budget - v, z) {
+            return true;
+        }
+    }
+    z[node] = 0;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::instance::Job;
+    use proptest::prelude::*;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn brute_force_simple() {
+        let i = inst(2, vec![(0, 4, 2), (1, 3, 1)]);
+        let s = brute_force_opt(&i, 20).unwrap();
+        s.verify(&i).unwrap();
+        assert_eq!(s.active_time(), 2);
+    }
+
+    #[test]
+    fn brute_force_infeasible() {
+        let i = inst(1, vec![(0, 2, 1); 3]);
+        assert!(brute_force_opt(&i, 20).is_none());
+    }
+
+    #[test]
+    fn nested_matches_brute_force_handpicked() {
+        let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+            (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
+            (3, vec![(0, 2, 1); 4]),
+            (2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),
+            (1, vec![(0, 3, 1), (4, 7, 2)]),
+            (2, vec![(0, 12, 4), (2, 6, 2), (7, 11, 2)]),
+        ];
+        for (g, jobs) in shapes {
+            let i = inst(g, jobs.clone());
+            let b = brute_force_opt(&i, 22).unwrap();
+            let n = nested_opt(&i, 0).unwrap();
+            n.verify(&i).unwrap();
+            assert_eq!(n.active_time(), b.active_time(), "shape {jobs:?}");
+        }
+    }
+
+    #[test]
+    fn nested_infeasible() {
+        let i = inst(1, vec![(0, 2, 2), (0, 2, 2)]);
+        assert!(nested_opt(&i, 0).is_none());
+    }
+
+    #[test]
+    fn lower_bound_hint_is_safe() {
+        // A *valid* hint must not change the answer.
+        let i = inst(2, vec![(0, 6, 2), (1, 3, 2), (3, 5, 2)]);
+        let base = nested_opt(&i, 0).unwrap().active_time();
+        let hinted = nested_opt(&i, base as i64).unwrap().active_time();
+        assert_eq!(base, hinted);
+    }
+
+    #[test]
+    fn overshooting_hint_is_corrected() {
+        // Regression: a float-LP value like 1.0000000000000002 can ceil
+        // to OPT+1; the search must walk back down and still return the
+        // true optimum (found live by the E12 gap search).
+        let i = inst(
+            4,
+            vec![(0, 14, 1), (9, 10, 1), (9, 10, 1)],
+        );
+        assert_eq!(nested_opt(&i, 0).unwrap().active_time(), 1);
+        for bad_hint in [2i64, 3, 5, 100] {
+            assert_eq!(
+                nested_opt(&i, bad_hint).unwrap().active_time(),
+                1,
+                "hint {bad_hint}"
+            );
+            assert_eq!(
+                nested_opt_parallel(&i, bad_hint).unwrap().active_time(),
+                1,
+                "parallel hint {bad_hint}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+            (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
+            (3, vec![(0, 2, 1); 4]),
+            (2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),
+            (2, vec![(0, 12, 4), (2, 6, 2), (7, 11, 2)]),
+        ];
+        for (g, jobs) in shapes {
+            let i = inst(g, jobs.clone());
+            let seq = nested_opt(&i, 0).map(|s| s.active_time());
+            let par = nested_opt_parallel(&i, 0).map(|s| {
+                s.verify(&i).unwrap();
+                s.active_time()
+            });
+            assert_eq!(seq, par, "shape {jobs:?}");
+        }
+        // Infeasible case agrees too.
+        let bad = inst(1, vec![(0, 2, 2), (0, 2, 2)]);
+        assert!(nested_opt_parallel(&bad, 0).is_none());
+    }
+
+    #[test]
+    fn gap_instance_optimum() {
+        // Lemma 5.1 family at g = 2: one long job p=2 over [0,4), plus 2
+        // groups of 2 unit jobs at [0,2) and [2,4). OPT = g + ⌈g/2⌉ = 3.
+        let mut jobs = vec![(0i64, 4i64, 2i64)];
+        for grp in 0..2i64 {
+            for _ in 0..2 {
+                jobs.push((2 * grp, 2 * grp + 2, 1));
+            }
+        }
+        let i = inst(2, jobs);
+        let s = nested_opt(&i, 0).unwrap();
+        assert_eq!(s.active_time(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_nested_matches_brute_force(
+            g in 1i64..4,
+            raw in proptest::collection::vec((0i64..3u8 as i64, 0i64..3, 1i64..3), 1..5),
+        ) {
+            // Laminar by construction: dyadic-ish windows inside [0, 8).
+            let mut jobs: Vec<(i64, i64, i64)> = vec![(0, 8, 1)];
+            for (which, off, p) in raw {
+                let (r, d) = match which {
+                    0 => (0, 4),
+                    1 => (4, 8),
+                    _ => {
+                        let base = off.min(1) * 4; // [0,4) or [4,8)
+                        (base + 1, base + 3)
+                    }
+                };
+                jobs.push((r, d, p.min(d - r)));
+            }
+            let i = inst(g, jobs);
+            prop_assume!(i.check_laminar().is_ok());
+            let b = brute_force_opt(&i, 16);
+            let n = nested_opt(&i, 0);
+            match (b, n) {
+                (Some(bs), Some(ns)) => {
+                    ns.verify(&i).unwrap();
+                    prop_assert_eq!(bs.active_time(), ns.active_time());
+                }
+                (None, None) => {}
+                (b, n) => prop_assert!(false, "feasibility disagreement: {:?} vs {:?}",
+                    b.map(|s| s.active_time()), n.map(|s| s.active_time())),
+            }
+        }
+    }
+}

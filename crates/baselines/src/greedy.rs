@@ -1,0 +1,198 @@
+//! Minimal-feasible greedy deactivation.
+//!
+//! Chang–Khuller–Mukherjee (J. Scheduling 2017) prove that *any* minimal
+//! feasible slot set is a 3-approximation; Kumar–Khuller (SPAA 2018 BA)
+//! reach 2 by choosing deactivation candidates carefully. This module
+//! implements the family with pluggable scan orders; see DESIGN.md
+//! ("Substitutions") for how the directional scans stand in for the exact
+//! KK rule.
+//!
+//! All variants start from every candidate slot open (feasibility
+//! required), then repeatedly try to deactivate slots in scan order,
+//! keeping a deactivation iff the remaining set stays feasible. The
+//! result is minimal feasible by construction.
+
+use atsched_core::feasibility::{extract_assignment, slots_feasible};
+use atsched_core::instance::Instance;
+use atsched_core::schedule::Schedule;
+
+/// Order in which slots are offered for deactivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanOrder {
+    /// Earliest slot first.
+    LeftToRight,
+    /// Latest slot first (empirically the strongest directional variant on
+    /// the adversarial families).
+    RightToLeft,
+    /// Deterministic pseudo-random order from the given seed — the
+    /// "arbitrary minimal feasible" 3-approximation of CKM'17.
+    Shuffled(u64),
+}
+
+/// Result of the greedy.
+#[derive(Debug, Clone)]
+pub struct GreedyResult {
+    /// Verified schedule on the surviving slots.
+    pub schedule: Schedule,
+    /// Slots examined (== candidate slots).
+    pub examined: usize,
+    /// Deactivations that stuck.
+    pub deactivated: usize,
+}
+
+/// Run greedy deactivation. Returns `None` if the instance is infeasible
+/// (even with all slots open).
+pub fn minimal_feasible(inst: &Instance, order: ScanOrder) -> Option<GreedyResult> {
+    let mut open = inst.candidate_slots();
+    if !slots_feasible(inst, &open) {
+        return None;
+    }
+    let examined = open.len();
+    let mut scan: Vec<i64> = open.clone();
+    match order {
+        ScanOrder::LeftToRight => {}
+        ScanOrder::RightToLeft => scan.reverse(),
+        ScanOrder::Shuffled(seed) => shuffle(&mut scan, seed),
+    }
+    let mut deactivated = 0usize;
+    for t in scan {
+        let pos = open.binary_search(&t).expect("slot still tracked");
+        open.remove(pos);
+        if slots_feasible(inst, &open) {
+            deactivated += 1;
+        } else {
+            open.insert(pos, t);
+        }
+    }
+    let assignment = extract_assignment(inst, &open).expect("final set is feasible");
+    let mut schedule = Schedule::new(open, assignment);
+    schedule.compact();
+    Some(GreedyResult { schedule, examined, deactivated })
+}
+
+/// Index-shuffle used by the incremental variant (same stream as
+/// [`shuffle`], applied to positions, so both variants visit slots in the
+/// same order for a given seed).
+pub(crate) fn shuffle_indices(v: &mut [usize], seed: u64) {
+    let mut tmp: Vec<i64> = v.iter().map(|&x| x as i64).collect();
+    shuffle(&mut tmp, seed);
+    for (dst, src) in v.iter_mut().zip(tmp) {
+        *dst = src as usize;
+    }
+}
+
+/// Fisher–Yates with a SplitMix64 stream (keeps `rand` out of the
+/// library's dependency set; determinism matters for reproducibility).
+fn shuffle(v: &mut [i64], seed: u64) {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// Check minimality: removing any single open slot breaks feasibility.
+pub fn is_minimal_feasible(inst: &Instance, slots: &[i64]) -> bool {
+    if !slots_feasible(inst, slots) {
+        return false;
+    }
+    for i in 0..slots.len() {
+        let mut reduced = slots.to_vec();
+        reduced.remove(i);
+        if slots_feasible(inst, &reduced) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::instance::Job;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    fn all_orders() -> Vec<ScanOrder> {
+        vec![
+            ScanOrder::LeftToRight,
+            ScanOrder::RightToLeft,
+            ScanOrder::Shuffled(1),
+            ScanOrder::Shuffled(42),
+        ]
+    }
+
+    #[test]
+    fn single_job_opens_p_slots() {
+        for order in all_orders() {
+            let i = inst(1, vec![(0, 6, 2)]);
+            let r = minimal_feasible(&i, order).unwrap();
+            r.schedule.verify(&i).unwrap();
+            assert_eq!(r.schedule.active_time(), 2);
+        }
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let i = inst(1, vec![(0, 2, 1); 3]);
+        assert!(minimal_feasible(&i, ScanOrder::LeftToRight).is_none());
+    }
+
+    #[test]
+    fn results_are_minimal() {
+        let i = inst(
+            2,
+            vec![(0, 10, 2), (1, 4, 1), (1, 4, 1), (5, 9, 2), (6, 8, 1)],
+        );
+        for order in all_orders() {
+            let r = minimal_feasible(&i, order).unwrap();
+            r.schedule.verify(&i).unwrap();
+            // The surviving open set is minimal feasible.
+            assert!(is_minimal_feasible(&i, &r.schedule.slots));
+        }
+    }
+
+    #[test]
+    fn greedy_within_three_times_volume_bound() {
+        // Minimal feasible ⇒ ≤ 3·OPT (CKM'17); check against the crude
+        // volume LB on a batch of shapes.
+        let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+            (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
+            (3, vec![(0, 2, 1); 4]),
+            (2, vec![(0, 12, 4), (2, 6, 2), (7, 11, 2)]),
+            (1, vec![(0, 3, 1), (4, 7, 2), (8, 11, 3)]),
+        ];
+        for (g, jobs) in shapes {
+            let i = inst(g, jobs);
+            let lb = crate::bounds::combined_lb(&i);
+            for order in all_orders() {
+                let r = minimal_feasible(&i, order).unwrap();
+                assert!(
+                    (r.schedule.active_time() as i64) <= 3 * lb.max(1),
+                    "order {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let mut a: Vec<i64> = (0..50).collect();
+        let mut b: Vec<i64> = (0..50).collect();
+        shuffle(&mut a, 7);
+        shuffle(&mut b, 7);
+        assert_eq!(a, b);
+        let mut c: Vec<i64> = (0..50).collect();
+        shuffle(&mut c, 8);
+        assert_ne!(a, c);
+    }
+}

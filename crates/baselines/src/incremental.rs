@@ -1,0 +1,237 @@
+//! Warm-started incremental feasibility for greedy deactivation.
+//!
+//! The plain greedy re-runs a full max-flow (cost `O(V·E)`-ish, `V = Σp`)
+//! for *every* candidate slot. This engine keeps one flow alive: to test
+//! closing slot `t` it cancels only the ≤ `g` units currently routed
+//! through `t`, zeroes the slot's sink capacity, and re-augments — the
+//! re-augmentation needs at most `g` paths instead of `Σp`. Feasibility
+//! answers are identical to the from-scratch test (max-flow value is
+//! state-independent), so `minimal_feasible_fast` returns exactly the
+//! same open set as [`crate::greedy::minimal_feasible`] for the same scan
+//! order; the tests assert this.
+
+use crate::greedy::{GreedyResult, ScanOrder};
+use atsched_core::instance::Instance;
+use atsched_core::schedule::Schedule;
+use atsched_flow::{EdgeRef, FlowNetwork};
+
+/// A live scheduling flow supporting incremental slot closing.
+pub struct IncrementalScheduler {
+    net: FlowNetwork,
+    source: usize,
+    sink: usize,
+    job_edges: Vec<EdgeRef>,
+    slot_edges: Vec<EdgeRef>,
+    /// Per slot index: `(job, edge)` pairs.
+    slot_jobs: Vec<Vec<(usize, EdgeRef)>>,
+    slots: Vec<i64>,
+    open: Vec<bool>,
+    volume: i64,
+    g: i64,
+}
+
+impl IncrementalScheduler {
+    /// Build the flow over all candidate slots; `None` when infeasible.
+    pub fn new(inst: &Instance) -> Option<Self> {
+        let slots = inst.candidate_slots();
+        let n = inst.num_jobs();
+        let source = 0usize;
+        let sink = 1usize;
+        let job_base = 2usize;
+        let slot_base = 2 + n;
+        let mut net = FlowNetwork::new(2 + n + slots.len());
+        let mut job_edges = Vec::with_capacity(n);
+        let mut slot_jobs: Vec<Vec<(usize, EdgeRef)>> = vec![Vec::new(); slots.len()];
+        for (j, job) in inst.jobs.iter().enumerate() {
+            job_edges.push(net.add_edge(source, job_base + j, job.processing));
+            let lo = slots.partition_point(|&x| x < job.release);
+            let hi = slots.partition_point(|&x| x < job.deadline);
+            for k in lo..hi {
+                let e = net.add_edge(job_base + j, slot_base + k, 1);
+                slot_jobs[k].push((j, e));
+            }
+        }
+        let slot_edges: Vec<EdgeRef> =
+            (0..slots.len()).map(|k| net.add_edge(slot_base + k, sink, inst.g)).collect();
+        let volume = inst.total_volume();
+        if net.max_flow(source, sink) != volume {
+            return None;
+        }
+        Some(IncrementalScheduler {
+            net,
+            source,
+            sink,
+            job_edges,
+            slot_edges,
+            slot_jobs,
+            open: vec![true; slots.len()],
+            slots,
+            volume,
+            g: inst.g,
+        })
+    }
+
+    /// Candidate slots, in order (parallel to the `open` flags).
+    pub fn slots(&self) -> &[i64] {
+        &self.slots
+    }
+
+    /// Total job volume the flow keeps saturated.
+    pub fn volume(&self) -> i64 {
+        self.volume
+    }
+
+    /// Try closing slot index `k` permanently; returns whether it stuck.
+    pub fn try_close(&mut self, k: usize) -> bool {
+        assert!(self.open[k], "slot already closed");
+        // Cancel every unit routed through the slot.
+        let mut displaced = 0i64;
+        for (j, e) in self.slot_jobs[k].clone() {
+            let f = self.net.flow_on(e);
+            if f > 0 {
+                debug_assert_eq!(f, 1);
+                self.net.decrease_flow(self.job_edges[j], 1);
+                self.net.decrease_flow(e, 1);
+                self.net.decrease_flow(self.slot_edges[k], 1);
+                displaced += 1;
+            }
+        }
+        self.net.set_capacity(self.slot_edges[k], 0);
+        let regained = self.net.max_flow(self.source, self.sink);
+        if regained == displaced {
+            self.open[k] = false;
+            return true;
+        }
+        debug_assert!(regained < displaced);
+        // Restore and re-augment back to a maximum flow.
+        self.net.set_capacity(self.slot_edges[k], self.g);
+        let back = self.net.max_flow(self.source, self.sink);
+        debug_assert_eq!(regained + back, displaced, "flow restoration failed");
+        false
+    }
+
+    /// Surviving open slots (sorted).
+    pub fn open_slots(&self) -> Vec<i64> {
+        self.slots
+            .iter()
+            .zip(&self.open)
+            .filter(|(_, &o)| o)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Read the current assignment (jobs per open slot) off the flow.
+    pub fn assignment(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for (k, &is_open) in self.open.iter().enumerate() {
+            if !is_open {
+                continue;
+            }
+            let mut jobs: Vec<usize> = self.slot_jobs[k]
+                .iter()
+                .filter(|(_, e)| self.net.flow_on(*e) > 0)
+                .map(|(j, _)| *j)
+                .collect();
+            jobs.sort_unstable();
+            out.push(jobs);
+        }
+        out
+    }
+}
+
+/// Drop-in fast variant of
+/// [`minimal_feasible`](crate::greedy::minimal_feasible): identical
+/// output, one warm-started flow instead of `O(T)` cold ones.
+pub fn minimal_feasible_fast(inst: &Instance, order: ScanOrder) -> Option<GreedyResult> {
+    let mut engine = IncrementalScheduler::new(inst)?;
+    let examined = engine.slots().len();
+    let mut scan: Vec<usize> = (0..examined).collect();
+    match order {
+        ScanOrder::LeftToRight => {}
+        ScanOrder::RightToLeft => scan.reverse(),
+        ScanOrder::Shuffled(seed) => crate::greedy::shuffle_indices(&mut scan, seed),
+    }
+    let mut deactivated = 0usize;
+    for k in scan {
+        if engine.try_close(k) {
+            deactivated += 1;
+        }
+    }
+    let mut schedule = Schedule::new(engine.open_slots(), engine.assignment());
+    schedule.compact();
+    debug_assert!(schedule.verify(inst).is_ok());
+    Some(GreedyResult { schedule, examined, deactivated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::minimal_feasible;
+    use atsched_core::instance::Job;
+    use atsched_workloads::generators::{random_laminar, LaminarConfig};
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let i = inst(1, vec![(0, 2, 1); 3]);
+        assert!(minimal_feasible_fast(&i, ScanOrder::LeftToRight).is_none());
+    }
+
+    #[test]
+    fn matches_slow_greedy_handpicked() {
+        let cases: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+            (1, vec![(0, 6, 2)]),
+            (2, vec![(0, 10, 2), (1, 4, 1), (1, 4, 1), (5, 9, 2), (6, 8, 1)]),
+            (3, vec![(0, 2, 1); 4]),
+            (2, vec![(0, 12, 4), (2, 6, 2), (7, 11, 2)]),
+        ];
+        for (g, jobs) in cases {
+            let i = inst(g, jobs.clone());
+            for order in [
+                ScanOrder::LeftToRight,
+                ScanOrder::RightToLeft,
+                ScanOrder::Shuffled(5),
+            ] {
+                let slow = minimal_feasible(&i, order).unwrap();
+                let fast = minimal_feasible_fast(&i, order).unwrap();
+                fast.schedule.verify(&i).unwrap();
+                assert_eq!(
+                    slow.schedule.slots, fast.schedule.slots,
+                    "{jobs:?} order {order:?}"
+                );
+                assert_eq!(slow.deactivated, fast.deactivated);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_slow_greedy_random() {
+        for seed in 0..15u64 {
+            let cfg = LaminarConfig { g: 3, horizon: 20, ..Default::default() };
+            let i = random_laminar(&cfg, seed);
+            for order in [ScanOrder::LeftToRight, ScanOrder::RightToLeft, ScanOrder::Shuffled(9)] {
+                let slow = minimal_feasible(&i, order).unwrap();
+                let fast = minimal_feasible_fast(&i, order).unwrap();
+                assert_eq!(slow.schedule.slots, fast.schedule.slots, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_close_restores_flow() {
+        // Tight instance where some closes must fail.
+        let i = inst(1, vec![(0, 3, 3)]);
+        let mut eng = IncrementalScheduler::new(&i).unwrap();
+        assert!(!eng.try_close(0));
+        assert!(!eng.try_close(1));
+        assert!(!eng.try_close(2));
+        // All still open, assignment complete.
+        assert_eq!(eng.open_slots(), vec![0, 1, 2]);
+        let mut s = Schedule::new(eng.open_slots(), eng.assignment());
+        s.compact();
+        s.verify(&i).unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! # atsched-baselines
+//!
+//! Baseline and exact algorithms for active-time scheduling, used as
+//! comparison points and ground truth for the 9/5-approximation:
+//!
+//! * [`greedy`] — minimal-feasible greedy deactivation (the CKM'17
+//!   3-approximation) with configurable scan orders, including the
+//!   directional scans standing in for Kumar–Khuller's 2-approximation
+//!   (see DESIGN.md, "Substitutions").
+//! * [`unit_opt`] — exact polynomial algorithm for unit processing times
+//!   (the CGK'14 claim), via capacitated interval stabbing.
+//! * [`exact`] — exact optimum by branch-and-bound over per-node open
+//!   counts (laminar instances) and by brute force over slot subsets
+//!   (any instance; small horizons only).
+//! * [`bounds`] — combinatorial lower bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod exact;
+pub mod greedy;
+pub mod incremental;
+pub mod unit_opt;

@@ -1,0 +1,228 @@
+//! Exact optimum for unit processing times (the Chang–Gabow–Khuller'14
+//! polynomial-time claim).
+//!
+//! With `p_j = 1` for all jobs, a slot set `S` is feasible iff Hall's
+//! condition holds, and because a job-set's neighborhood is a union of
+//! intervals the condition decomposes per interval:
+//!
+//! > for every interval `[a, b)`:  `g·|S ∩ [a, b)| ≥ dem[a, b)`,
+//!
+//! where `dem[a, b)` counts jobs whose window lies inside `[a, b)`. So
+//! the problem is *interval covering by points with capacities*, solved
+//! optimally by the classical sweep: visit the (finitely many) demand
+//! intervals ordered by right endpoint (inner intervals first on ties)
+//! and repair any deficiency by opening the rightmost closed slots of the
+//! interval — slots pushed right serve every later interval that could
+//! have used the original position. Optimality is additionally
+//! cross-checked against brute force in this module's tests (our source
+//! for CGK'14 is the survey citation in the paper, so we verify rather
+//! than assume).
+
+use atsched_core::feasibility::extract_assignment;
+use atsched_core::instance::Instance;
+use atsched_core::schedule::Schedule;
+
+/// Errors from the unit-job solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitOptError {
+    /// Some job has `p_j > 1`.
+    NotUnit(usize),
+    /// No feasible schedule exists.
+    Infeasible,
+}
+
+impl std::fmt::Display for UnitOptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitOptError::NotUnit(j) => write!(f, "job {j} has processing time > 1"),
+            UnitOptError::Infeasible => write!(f, "unit instance is infeasible"),
+        }
+    }
+}
+
+impl std::error::Error for UnitOptError {}
+
+/// Exact minimum active time for a unit-job instance (windows may be
+/// arbitrary — laminarity is not required).
+pub fn solve_unit(inst: &Instance) -> Result<Schedule, UnitOptError> {
+    for (j, job) in inst.jobs.iter().enumerate() {
+        if job.processing != 1 {
+            return Err(UnitOptError::NotUnit(j));
+        }
+    }
+    // Demand intervals: all endpoint pairs with positive demand, visited
+    // by right endpoint ascending, inner (larger `a`) first on ties.
+    let mut endpoints: Vec<i64> =
+        inst.jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+    let mut intervals: Vec<(i64, i64, i64)> = Vec::new(); // (a, b, dem)
+    for (ai, &a) in endpoints.iter().enumerate() {
+        for &b in &endpoints[ai + 1..] {
+            let dem = inst
+                .jobs
+                .iter()
+                .filter(|j| a <= j.release && j.deadline <= b)
+                .count() as i64;
+            if dem > 0 {
+                intervals.push((a, b, dem));
+            }
+        }
+    }
+    intervals.sort_unstable_by_key(|&(a, b, _)| (b, std::cmp::Reverse(a)));
+
+    let mut slots: Vec<i64> = Vec::new(); // sorted open slots
+    for (a, b, dem) in intervals {
+        let required = (dem + inst.g - 1) / inst.g; // ⌈dem/g⌉ slots in [a,b)
+        let lo = slots.partition_point(|&t| t < a);
+        let hi = slots.partition_point(|&t| t < b);
+        let mut have = (hi - lo) as i64;
+        // Repair the deficiency with the rightmost closed slots of [a,b).
+        let mut t = b - 1;
+        while have < required {
+            if t < a {
+                return Err(UnitOptError::Infeasible);
+            }
+            match slots.binary_search(&t) {
+                Ok(_) => {}
+                Err(pos) => {
+                    slots.insert(pos, t);
+                    have += 1;
+                }
+            }
+            t -= 1;
+        }
+    }
+    let assignment = extract_assignment(inst, &slots).ok_or(UnitOptError::Infeasible)?;
+    let mut schedule = Schedule::new(slots, assignment);
+    schedule.compact();
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::feasibility::slots_feasible;
+    use atsched_core::instance::Job;
+    use proptest::prelude::*;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d)| Job::new(r, d, 1)).collect()).unwrap()
+    }
+
+    /// Brute-force minimum active time for tiny instances.
+    fn brute_opt(inst: &Instance) -> Option<usize> {
+        let cand = inst.candidate_slots();
+        assert!(cand.len() <= 16, "brute force limited to small horizons");
+        for k in 0..=cand.len() {
+            let mut found = false;
+            let mut pick = vec![0usize; k];
+            // iterate k-combinations
+            fn combos(
+                cand: &[i64],
+                k: usize,
+                start: usize,
+                pick: &mut Vec<i64>,
+                inst: &Instance,
+                found: &mut bool,
+            ) {
+                if *found {
+                    return;
+                }
+                if pick.len() == k {
+                    if slots_feasible(inst, pick) {
+                        *found = true;
+                    }
+                    return;
+                }
+                for i in start..cand.len() {
+                    pick.push(cand[i]);
+                    combos(cand, k, i + 1, pick, inst, found);
+                    pick.pop();
+                    if *found {
+                        return;
+                    }
+                }
+            }
+            let mut buf = Vec::new();
+            combos(&cand, k, 0, &mut buf, inst, &mut found);
+            pick.clear();
+            if found {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn rejects_non_unit() {
+        let i = Instance::new(1, vec![Job::new(0, 3, 2)]).unwrap();
+        assert_eq!(solve_unit(&i), Err(UnitOptError::NotUnit(0)));
+    }
+
+    #[test]
+    fn batches_share_slots() {
+        // g jobs with identical windows need exactly one slot.
+        let i = inst(4, vec![(0, 5); 4]);
+        let s = solve_unit(&i).unwrap();
+        s.verify(&i).unwrap();
+        assert_eq!(s.active_time(), 1);
+    }
+
+    #[test]
+    fn capacity_forces_two() {
+        let i = inst(2, vec![(0, 3); 3]);
+        let s = solve_unit(&i).unwrap();
+        s.verify(&i).unwrap();
+        assert_eq!(s.active_time(), 2);
+    }
+
+    #[test]
+    fn staggered_windows_share_rightmost() {
+        // [0,2), [1,3): slot 1 serves both.
+        let i = inst(2, vec![(0, 2), (1, 3)]);
+        let s = solve_unit(&i).unwrap();
+        assert_eq!(s.active_time(), 1);
+        assert_eq!(s.slots, vec![1]);
+    }
+
+    #[test]
+    fn crossing_windows_supported() {
+        // Non-laminar is fine for the unit solver.
+        let i = inst(1, vec![(0, 4), (2, 6), (5, 8)]);
+        let s = solve_unit(&i).unwrap();
+        s.verify(&i).unwrap();
+        assert_eq!(s.active_time() as i64, brute_opt(&i).unwrap() as i64);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let i = inst(1, vec![(0, 1), (0, 1)]);
+        assert_eq!(solve_unit(&i), Err(UnitOptError::Infeasible));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn prop_matches_brute_force(
+            g in 1i64..4,
+            raw in proptest::collection::vec((0i64..6, 1i64..5), 1..7),
+        ) {
+            let jobs: Vec<(i64, i64)> = raw
+                .into_iter()
+                .map(|(r, len)| (r, (r + len).min(8)))
+                .filter(|(r, d)| d > r)
+                .collect();
+            prop_assume!(!jobs.is_empty());
+            let i = inst(g, jobs);
+            match (solve_unit(&i), brute_opt(&i)) {
+                (Ok(s), Some(k)) => {
+                    s.verify(&i).unwrap();
+                    prop_assert_eq!(s.active_time(), k, "greedy suboptimal");
+                }
+                (Err(UnitOptError::Infeasible), None) => {}
+                (a, b) => prop_assert!(false, "feasibility disagreement: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+}

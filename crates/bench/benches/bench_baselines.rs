@@ -1,0 +1,67 @@
+//! Baseline algorithm benches (E5/E8 backing data): greedy scans, the
+//! unit-job solver, and the exact branch-and-bound on small instances.
+
+use atsched_baselines::exact::nested_opt;
+use atsched_baselines::greedy::{minimal_feasible, ScanOrder};
+use atsched_baselines::incremental::minimal_feasible_fast;
+use atsched_baselines::unit_opt::solve_unit;
+use atsched_workloads::generators::{random_laminar, random_unit_laminar, LaminarConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/greedy");
+    group.sample_size(10);
+    for horizon in [32i64, 64, 128] {
+        let cfg = LaminarConfig {
+            g: 4,
+            horizon,
+            max_depth: 4,
+            max_children: 4,
+            jobs_per_node: (1, 3),
+            max_processing: 4,
+            child_percent: 75,
+        };
+        let inst = random_laminar(&cfg, 13);
+        group.bench_with_input(BenchmarkId::new("ltr", horizon), &horizon, |b, _| {
+            b.iter(|| minimal_feasible(&inst, ScanOrder::LeftToRight).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rtl", horizon), &horizon, |b, _| {
+            b.iter(|| minimal_feasible(&inst, ScanOrder::RightToLeft).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rtl_incremental", horizon), &horizon, |b, _| {
+            b.iter(|| minimal_feasible_fast(&inst, ScanOrder::RightToLeft).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_unit_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/unit_opt");
+    for n in [32usize, 128, 512] {
+        let inst = random_unit_laminar(4, 6, n, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve_unit(&inst).ok())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/exact");
+    group.sample_size(10);
+    let cfg = LaminarConfig {
+        g: 3,
+        horizon: 12,
+        max_depth: 2,
+        max_children: 3,
+        jobs_per_node: (1, 2),
+        max_processing: 3,
+        child_percent: 60,
+    };
+    let inst = random_laminar(&cfg, 19);
+    group.bench_function("nested_opt_h12", |b| b.iter(|| nested_opt(&inst, 0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_unit_opt, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Substrate bench: Dinic max-flow on scheduling feasibility networks.
+
+use atsched_core::feasibility::slots_feasible;
+use atsched_workloads::generators::{random_laminar, LaminarConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_feasibility_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow/feasibility");
+    for horizon in [32i64, 64, 128, 256] {
+        let cfg = LaminarConfig {
+            g: 4,
+            horizon,
+            max_depth: 4,
+            max_children: 4,
+            jobs_per_node: (1, 3),
+            max_processing: 4,
+            child_percent: 75,
+        };
+        let inst = random_laminar(&cfg, 7);
+        let slots = inst.candidate_slots();
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, _| {
+            b.iter(|| slots_feasible(&inst, &slots))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility_flow);
+criterion_main!(benches);

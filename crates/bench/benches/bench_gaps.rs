@@ -1,0 +1,37 @@
+//! Gap-study benches (E2/E3 backing data): the per-slot LPs on the
+//! adversarial families, exact vs float arithmetic.
+
+use atsched_gaps::instances::{gap2_instance, lemma51_instance};
+use atsched_gaps::{cw_lp, natural_lp};
+use atsched_num::Ratio;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_gap_lps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaps/lemma51");
+    group.sample_size(10);
+    for g in [2i64, 4, 6] {
+        let inst = lemma51_instance(g);
+        group.bench_with_input(BenchmarkId::new("natural_exact", g), &g, |b, _| {
+            b.iter(|| natural_lp::value::<Ratio>(&inst))
+        });
+        group.bench_with_input(BenchmarkId::new("cw_exact", g), &g, |b, _| {
+            b.iter(|| cw_lp::value::<Ratio>(&inst))
+        });
+        group.bench_with_input(BenchmarkId::new("cw_f64", g), &g, |b, _| {
+            b.iter(|| cw_lp::value::<f64>(&inst))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gaps/gap2");
+    for g in [4i64, 16, 64] {
+        let inst = gap2_instance(g);
+        group.bench_with_input(BenchmarkId::new("natural_exact", g), &g, |b, _| {
+            b.iter(|| natural_lp::value::<Ratio>(&inst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap_lps);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! LP-solver bench: the strengthened nested LP, exact rationals vs f64
+//! (E7's dominant stage).
+
+use atsched_core::canonical::canonicalize;
+use atsched_core::lp_model::build;
+use atsched_core::opt23;
+use atsched_core::tree::Forest;
+use atsched_num::Ratio;
+use atsched_workloads::generators::{random_laminar, LaminarConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_nested_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/nested");
+    group.sample_size(10);
+    for horizon in [16i64, 32, 64] {
+        let cfg = LaminarConfig {
+            g: 3,
+            horizon,
+            max_depth: 3,
+            max_children: 3,
+            jobs_per_node: (1, 2),
+            max_processing: 3,
+            child_percent: 70,
+        };
+        let inst = random_laminar(&cfg, 11);
+        let forest = Forest::build(&inst).unwrap();
+        let canon = canonicalize(&forest, &inst);
+        let bounds = opt23::compute(&canon, &inst);
+        group.bench_with_input(BenchmarkId::new("exact", horizon), &horizon, |b, _| {
+            b.iter(|| build::<Ratio>(&canon, &inst, &bounds).solve().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("f64", horizon), &horizon, |b, _| {
+            b.iter(|| build::<f64>(&canon, &inst, &bounds).solve().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested_lp);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Substrate bench: big-integer and rational arithmetic at the operand
+//! sizes the exact simplex produces.
+
+use atsched_num::{Int, Ratio};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn mk_int(limbs: usize, seed: u64) -> Int {
+    // Deterministic pseudo-random decimal of roughly `limbs` u64 limbs.
+    let mut s = String::new();
+    let mut state = seed;
+    for _ in 0..(limbs * 19) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s.push((b'0' + (state % 10) as u8) as char);
+    }
+    let s = s.trim_start_matches('0');
+    if s.is_empty() {
+        Int::one()
+    } else {
+        s.parse().unwrap()
+    }
+}
+
+fn bench_int_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("int");
+    for limbs in [2usize, 8, 32, 64] {
+        let a = mk_int(limbs, 1);
+        let b = mk_int(limbs, 2);
+        group.bench_with_input(BenchmarkId::new("mul", limbs), &limbs, |bch, _| {
+            bch.iter(|| &a * &b)
+        });
+        let big = &a * &b;
+        group.bench_with_input(BenchmarkId::new("div_rem", limbs), &limbs, |bch, _| {
+            bch.iter(|| big.div_rem(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("gcd", limbs), &limbs, |bch, _| {
+            bch.iter(|| atsched_num::gcd(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ratio_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ratio");
+    let a = Ratio::new(mk_int(4, 3), mk_int(4, 4));
+    let b = Ratio::new(mk_int(4, 5), mk_int(4, 6));
+    group.bench_function("add", |bch| bch.iter(|| &a + &b));
+    group.bench_function("mul", |bch| bch.iter(|| &a * &b));
+    group.bench_function("cmp", |bch| bch.iter(|| a > b));
+    group.finish();
+}
+
+criterion_group!(benches, bench_int_ops, bench_ratio_ops);
+criterion_main!(benches);

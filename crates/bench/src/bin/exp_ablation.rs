@@ -1,0 +1,73 @@
+//! E10 (ablation): which ingredients buy the 9/5?
+//!
+//! Columns compare, per instance family:
+//! * the full algorithm (ceiling constraints + Algorithm 1),
+//! * the LP *without* the ceiling constraints (7)/(8) — its value drops
+//!   toward the natural relaxation, so the certified ratio `ALG/LP`
+//!   degrades even when the schedule stays decent,
+//! * different resolutions of Algorithm 1's "choose arbitrarily",
+//! * the optional polish pass (greedy slot closing after rounding).
+
+use atsched_bench::table::Table;
+use atsched_core::instance::Instance;
+use atsched_core::rounding::RoundingChoice;
+use atsched_core::solver::{solve_nested, SolverOptions};
+use atsched_gaps::instances::{gap2_instance, lemma51_instance};
+use atsched_workloads::families::{overflow_family, wide_star};
+use atsched_workloads::generators::{random_laminar, LaminarConfig};
+
+fn run(inst: &Instance, label: &str, t: &mut Table) {
+    let full = solve_nested(inst, &SolverOptions::exact()).unwrap();
+    let no_ceiling = solve_nested(inst, &SolverOptions::exact().without_ceiling()).unwrap();
+    let first_id = solve_nested(
+        inst,
+        &SolverOptions { round_choice: RoundingChoice::FirstId, ..SolverOptions::exact() },
+    )
+    .unwrap();
+    let polished = solve_nested(inst, &SolverOptions::exact().polished()).unwrap();
+    t.row(vec![
+        label.into(),
+        format!("{:.2}", full.stats.lp_objective),
+        format!("{:.2}", no_ceiling.stats.lp_objective),
+        full.stats.active_slots.to_string(),
+        no_ceiling.stats.active_slots.to_string(),
+        first_id.stats.active_slots.to_string(),
+        polished.stats.active_slots.to_string(),
+        format!("{:.3}", full.stats.opened_over_lp),
+        format!("{:.3}", no_ceiling.stats.opened_over_lp),
+    ]);
+}
+
+fn main() {
+    println!("E10: ablation — ceiling constraints, tie-breaking, polish\n");
+    let mut t = Table::new(&[
+        "instance",
+        "LP",
+        "LP-noCeil",
+        "ALG",
+        "ALG-noCeil",
+        "ALG-firstId",
+        "ALG-polish",
+        "ALG/LP",
+        "ALG/LP-noCeil",
+    ]);
+    for g in [2i64, 3, 4] {
+        run(&lemma51_instance(g), &format!("lemma51(g={g})"), &mut t);
+    }
+    for g in [2i64, 4, 8] {
+        run(&gap2_instance(g), &format!("gap2(g={g})"), &mut t);
+    }
+    for (g, b, e) in [(10i64, 3usize, 1i64), (12, 4, 2)] {
+        run(&overflow_family(g, b, e), &format!("overflow({g},{b},{e})"), &mut t);
+    }
+    run(&wide_star(5, 2, 4, 3), "wide_star(5,2,4,3)", &mut t);
+    for seed in 0..4u64 {
+        let cfg = LaminarConfig { g: 3, horizon: 16, ..Default::default() };
+        run(&random_laminar(&cfg, seed), &format!("random(seed={seed})"), &mut t);
+    }
+    println!("{}", t.render());
+    println!("Expected shape: LP-noCeil ≤ LP (weaker bound), so ALG/LP-noCeil");
+    println!("exceeds ALG/LP and can cross 1.8 — the ceiling constraints are");
+    println!("what certifies the 9/5. Tie-breaking barely matters; polish");
+    println!("only ever helps.");
+}

@@ -1,0 +1,69 @@
+//! E9 (Figure 2 / Lemmas 4.7–4.13): run the paper's *analysis* machinery
+//! on random instances — classify the antichain `I` into types B/C₁/C₂,
+//! build the triples of Algorithm 2, and check the counting and
+//! structural lemmas.
+
+use atsched_bench::table::Table;
+use atsched_core::canonical::canonicalize;
+use atsched_core::certify::{
+    build_triples_from_typing, check_lemma_4_11, check_lemma_4_9, check_triples_cover, classify,
+    NodeType,
+};
+use atsched_core::lp_model::build;
+use atsched_core::opt23;
+use atsched_core::rounding::round;
+use atsched_core::transform::push_down;
+use atsched_core::tree::Forest;
+use atsched_num::Ratio;
+use atsched_workloads::generators::{random_laminar, LaminarConfig};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    println!("E9: analysis certification on random laminar instances\n");
+    let mut t = Table::new(&["instance", "|I|", "B", "C1", "C2", "L4.9", "cover", "L4.11"]);
+    let mut failures = 0usize;
+    // Random draws + engineered type-C families (random LPs rarely land
+    // in the critical (1, 4/3) window; the overflow family always does).
+    let mut instances: Vec<(String, atsched_core::instance::Instance)> = Vec::new();
+    for seed in 0..trials {
+        let cfg = LaminarConfig { g: 3, horizon: 20, ..Default::default() };
+        instances.push((format!("random#{seed}"), random_laminar(&cfg, seed)));
+    }
+    for (g, b, e) in [(10i64, 3usize, 1i64), (10, 4, 1), (12, 4, 2), (9, 5, 1)] {
+        instances.push((
+            format!("overflow({g},{b},{e})"),
+            atsched_workloads::families::overflow_family(g, b, e),
+        ));
+    }
+    for (label, inst) in instances {
+        let forest = Forest::build(&inst).unwrap();
+        let canon = canonicalize(&forest, &inst);
+        let bounds = opt23::compute(&canon, &inst);
+        let lp = build::<Ratio>(&canon, &inst, &bounds);
+        let sol = lp.solve().expect("generator guarantees feasibility");
+        let out = push_down(&canon, sol);
+        let rounded = round(&canon, &out.solution, &out.top_positive);
+        let typing = classify(&canon, &out.solution, &out.top_positive, &rounded);
+        let l49 = check_lemma_4_9(&canon, &typing);
+        let triples = build_triples_from_typing(&canon, &typing);
+        let cover = check_triples_cover(&typing, &triples);
+        let (ok411, total411) = check_lemma_4_11(&canon, &triples.triples);
+        failures += l49.is_err() as usize + cover.is_err() as usize;
+        t.row(vec![
+            label,
+            typing.types.len().to_string(),
+            typing.of(NodeType::B).len().to_string(),
+            typing.of(NodeType::C1).len().to_string(),
+            typing.of(NodeType::C2).len().to_string(),
+            if l49.is_ok() { "ok".into() } else { format!("{l49:?}") },
+            if cover.is_ok() { "ok".into() } else { format!("{cover:?}") },
+            format!("{ok411}/{total411}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("lemma failures: {failures} (expected 0)");
+    assert_eq!(failures, 0);
+}

@@ -1,0 +1,63 @@
+//! E11 (extension): generalized ceiling constraints `OPT_i ≥ k` beyond
+//! the paper's `k ∈ {2,3}`.
+//!
+//! On the width-K generalization of the gap-2 family — `(K−1)·g + 1` unit
+//! jobs in a width-K window — the paper's LP saturates at
+//! `max(3, (K−1) + 1/g)` while the true optimum is `K`; each extra
+//! ceiling level closes the remaining gap, reaching `LP = OPT` at depth
+//! `K`. The approximation *guarantee* stays 9/5 either way (the rounding
+//! analysis only needs levels 2 and 3); what improves is the certified
+//! per-instance bound `ALG/LP`.
+
+use atsched_bench::table::Table;
+use atsched_core::solver::{solve_nested, SolverOptions};
+use atsched_gaps::instances::gapk_instance;
+use atsched_workloads::families::wide_star;
+use atsched_workloads::generators::{random_laminar, LaminarConfig};
+
+fn main() {
+    println!("E11: deeper ceiling constraints (paper extension)\n");
+
+    println!("-- gapK family (g = 3): LP value by ceiling depth --");
+    let mut t = Table::new(&["K", "OPT", "depth3 LP", "depth4 LP", "depth5 LP", "depth6 LP", "ALG@3", "ALG@K"]);
+    for k in [3i64, 4, 5, 6] {
+        let inst = gapk_instance(3, k);
+        let mut row = vec![k.to_string(), k.to_string()];
+        for depth in [3i64, 4, 5, 6] {
+            let r = solve_nested(&inst, &SolverOptions::exact().with_ceiling_depth(depth))
+                .expect("feasible");
+            row.push(format!("{:.3}", r.stats.lp_objective));
+        }
+        let alg3 = solve_nested(&inst, &SolverOptions::exact()).unwrap().stats.active_slots;
+        let algk = solve_nested(&inst, &SolverOptions::exact().with_ceiling_depth(k))
+            .unwrap()
+            .stats
+            .active_slots;
+        row.push(alg3.to_string());
+        row.push(algk.to_string());
+        t.row(row);
+    }
+    println!("{}", t.render());
+
+    println!("-- random + crafted instances: depth 3 vs 6 --");
+    let mut t = Table::new(&["instance", "LP@3", "LP@6", "ALG@3", "ALG@6"]);
+    let mut run = |label: String, inst: &atsched_core::instance::Instance| {
+        let a = solve_nested(inst, &SolverOptions::exact()).unwrap();
+        let b = solve_nested(inst, &SolverOptions::exact().with_ceiling_depth(6)).unwrap();
+        t.row(vec![
+            label,
+            format!("{:.3}", a.stats.lp_objective),
+            format!("{:.3}", b.stats.lp_objective),
+            a.stats.active_slots.to_string(),
+            b.stats.active_slots.to_string(),
+        ]);
+    };
+    run("wide_star(5,2,4,3)".into(), &wide_star(5, 2, 4, 3));
+    for seed in 0..5u64 {
+        let cfg = LaminarConfig { g: 2, horizon: 14, ..Default::default() };
+        run(format!("random#{seed}"), &random_laminar(&cfg, seed));
+    }
+    println!("{}", t.render());
+    println!("Expected shape: LP@depth grows toward OPT on gapK (equal at");
+    println!("depth = K); on typical instances depth > 3 rarely binds.");
+}

@@ -1,0 +1,19 @@
+//! E3 (§1 claim): the natural LP's integrality gap approaches 2 on a
+//! *nested* family (g+1 unit jobs in a width-2 window), while the
+//! strengthened tree LP of Figure 1(a) values the family exactly.
+//!
+//! Usage: `exp_gap_natural [max_g]` (default 12).
+
+use atsched_bench::experiments::e3_gap_natural;
+
+fn main() {
+    let max_g: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    println!("E3: natural-LP gap-2 family (g+1 unit jobs in [0,2))\n");
+    let gs: Vec<i64> = (1..=max_g).collect();
+    let table = e3_gap_natural(&gs);
+    println!("{}", table.render());
+    println!("OPT/natural → 2 as g → ∞; ourLP ≡ OPT = 2 (ceiling constraint).");
+}

@@ -1,0 +1,17 @@
+//! E1 (Theorem 4.15): approximation ratio of the 9/5 algorithm on random
+//! laminar instances, against the exact optimum and the LP lower bound.
+//!
+//! Usage: `exp_ratio [seeds_per_g] [horizon]` (defaults 50, 16).
+//! Expected shape: every ratio ≤ 1.8; typical ratios well below.
+
+use atsched_bench::experiments::e1_ratio_sweep;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let horizon: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    println!("E1: ALG vs OPT vs LP on random laminar instances");
+    println!("(paper claim: ALG ≤ 1.8·OPT; LP ≤ OPT so ALG/LP ≤ 1.8 too)\n");
+    let table = e1_ratio_sweep(&[2, 3, 5, 8], seeds, horizon, true);
+    println!("{}", table.render());
+}

@@ -1,0 +1,53 @@
+//! E7: runtime scaling of the pipeline stages (forest build, LP solve,
+//! transform+round, schedule extraction) for both backends.
+
+use atsched_bench::table::Table;
+use atsched_core::solver::{solve_nested, LpBackend, SolverOptions};
+use atsched_workloads::generators::{random_laminar, LaminarConfig};
+use std::time::Instant;
+
+fn main() {
+    println!("E7: pipeline runtime vs instance size\n");
+    let mut t = Table::new(&["horizon", "jobs", "nodes", "exact ms", "f64 ms", "snap ms", "active"]);
+    for horizon in [16i64, 32, 64, 128] {
+        let cfg = LaminarConfig {
+            g: 3,
+            horizon,
+            max_depth: 4,
+            max_children: 4,
+            jobs_per_node: (1, 3),
+            max_processing: 4,
+            child_percent: 70,
+        };
+        let inst = random_laminar(&cfg, 42);
+        let start = Instant::now();
+        let exact = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        let exact_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let opts = SolverOptions { backend: LpBackend::Float, ..SolverOptions::exact() };
+        let fl = solve_nested(&inst, &opts).unwrap();
+        let float_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let snap_opts =
+            SolverOptions { backend: LpBackend::FloatThenSnap, ..SolverOptions::exact() };
+        let sn = solve_nested(&inst, &snap_opts).unwrap();
+        let snap_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!((sn.stats.lp_objective - fl.stats.lp_objective).abs() < 1e-6);
+        assert!(
+            (exact.stats.lp_objective - fl.stats.lp_objective).abs()
+                / exact.stats.lp_objective.max(1.0)
+                < 1e-6
+        );
+        t.row(vec![
+            horizon.to_string(),
+            inst.num_jobs().to_string(),
+            exact.stats.nodes_canonical.to_string(),
+            format!("{exact_ms:.1}"),
+            format!("{float_ms:.1}"),
+            format!("{snap_ms:.1}"),
+            exact.stats.active_slots.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Expected shape: f64 backend scales far better; both agree on LP value.");
+}

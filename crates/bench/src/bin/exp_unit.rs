@@ -1,0 +1,42 @@
+//! E8 (CGK'14 claim): unit processing times are polynomial-time solvable.
+//! Compare the capacitated-stabbing unit solver against the exact
+//! branch-and-bound and the 9/5 algorithm on random unit instances.
+
+use atsched_baselines::exact::nested_opt;
+use atsched_baselines::unit_opt::solve_unit;
+use atsched_bench::table::Table;
+use atsched_core::solver::{solve_nested, SolverOptions};
+use atsched_workloads::generators::random_unit_laminar;
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    println!("E8: unit-job instances — unit solver vs exact vs 9/5 algorithm\n");
+    let mut t = Table::new(&["seed", "jobs", "UNIT", "OPT", "OURS", "unit==opt"]);
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    for seed in 0..trials {
+        let inst = random_unit_laminar(2, 3, 10, seed);
+        let Ok(unit) = solve_unit(&inst) else {
+            continue; // infeasible draw
+        };
+        let opt = nested_opt(&inst, 0).expect("unit said feasible").active_time();
+        let ours = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        let ok = unit.active_time() == opt;
+        matches += ok as usize;
+        total += 1;
+        t.row(vec![
+            seed.to_string(),
+            inst.num_jobs().to_string(),
+            unit.active_time().to_string(),
+            opt.to_string(),
+            ours.stats.active_slots.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("unit == OPT on {matches}/{total} instances (expected 100%)");
+    assert_eq!(matches, total);
+}

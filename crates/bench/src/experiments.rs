@@ -1,0 +1,217 @@
+//! Shared experiment logic behind the `exp_*` binaries (see
+//! EXPERIMENTS.md for the experiment index E1–E9 and the paper artifacts
+//! each regenerates).
+
+use crate::table::Table;
+use atsched_baselines::exact::nested_opt;
+use atsched_baselines::greedy::{minimal_feasible, ScanOrder};
+use atsched_core::instance::Instance;
+use atsched_core::solver::{solve_nested, SolverOptions};
+use atsched_gaps::instances::{gap2_instance, lemma51_instance, lemma51_integral_opt};
+use atsched_gaps::{cw_lp, natural_lp};
+use atsched_num::Ratio;
+use atsched_workloads::generators::{random_laminar, LaminarConfig};
+use atsched_workloads::par::par_map;
+
+/// Measurements from one E1 cell (one instance).
+#[derive(Debug, Clone)]
+pub struct RatioSample {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Solver active slots.
+    pub alg: i64,
+    /// Exact optimum (None when skipped for size).
+    pub opt: Option<i64>,
+    /// LP optimum.
+    pub lp: f64,
+}
+
+/// E1: approximation-ratio sweep on random laminar instances.
+pub fn e1_ratio_sweep(
+    gs: &[i64],
+    seeds_per_g: u64,
+    horizon: i64,
+    with_exact: bool,
+) -> Table {
+    let mut table = Table::new(&[
+        "g", "seeds", "avg_jobs", "mean ALG/OPT", "max ALG/OPT", "mean ALG/LP", "max ALG/LP",
+    ]);
+    for &g in gs {
+        let cells: Vec<RatioSample> = par_map(
+            (0..seeds_per_g).collect::<Vec<u64>>(),
+            |seed| {
+                let cfg = LaminarConfig {
+                    g,
+                    horizon,
+                    max_depth: 3,
+                    max_children: 3,
+                    jobs_per_node: (1, 2),
+                    max_processing: 3,
+                    child_percent: 65,
+                };
+                let inst = random_laminar(&cfg, seed);
+                let sol = solve_nested(&inst, &SolverOptions::exact())
+                    .expect("generator guarantees feasibility");
+                let opt = if with_exact {
+                    nested_opt(&inst, sol.stats.lp_objective.ceil() as i64)
+                        .map(|s| s.active_time() as i64)
+                } else {
+                    None
+                };
+                RatioSample {
+                    jobs: inst.num_jobs(),
+                    alg: sol.stats.active_slots as i64,
+                    opt,
+                    lp: sol.stats.lp_objective,
+                }
+            },
+        );
+        let n = cells.len() as f64;
+        let avg_jobs = cells.iter().map(|c| c.jobs as f64).sum::<f64>() / n;
+        let ratios_opt: Vec<f64> = cells
+            .iter()
+            .filter_map(|c| c.opt.map(|o| c.alg as f64 / o.max(1) as f64))
+            .collect();
+        let ratios_lp: Vec<f64> =
+            cells.iter().map(|c| c.alg as f64 / c.lp.max(1e-9)).collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let max = |v: &[f64]| v.iter().copied().fold(f64::NAN, f64::max);
+        table.row(vec![
+            g.to_string(),
+            cells.len().to_string(),
+            format!("{avg_jobs:.1}"),
+            format!("{:.4}", mean(&ratios_opt)),
+            format!("{:.4}", max(&ratios_opt)),
+            format!("{:.4}", mean(&ratios_lp)),
+            format!("{:.4}", max(&ratios_lp)),
+        ]);
+    }
+    table
+}
+
+/// E2: integrality-gap table on the Lemma 5.1 family.
+pub fn e2_gap_nested(gs: &[i64], exact_opt_up_to: i64) -> Table {
+    let mut table = Table::new(&[
+        "g", "naturalLP", "cwLP", "ourLP", "OPT", "OPT/cwLP", "paper 3g/(2(g+2))",
+    ]);
+    for &g in gs {
+        let inst = lemma51_instance(g);
+        let nat = natural_lp::value::<Ratio>(&inst).expect("feasible").to_f64();
+        let cw = cw_lp::value::<Ratio>(&inst).expect("feasible").to_f64();
+        let ours = solve_nested(&inst, &SolverOptions::exact())
+            .expect("feasible")
+            .stats
+            .lp_objective;
+        let opt = if g <= exact_opt_up_to {
+            let s = nested_opt(&inst, 0).expect("feasible");
+            assert_eq!(s.active_time() as i64, lemma51_integral_opt(g), "paper formula check");
+            s.active_time() as i64
+        } else {
+            lemma51_integral_opt(g)
+        };
+        table.row(vec![
+            g.to_string(),
+            format!("{nat:.3}"),
+            format!("{cw:.3}"),
+            format!("{ours:.3}"),
+            opt.to_string(),
+            format!("{:.4}", opt as f64 / cw),
+            format!("{:.4}", 3.0 * g as f64 / (2.0 * (g as f64 + 2.0))),
+        ]);
+    }
+    table
+}
+
+/// E3: natural-LP gap-2 family vs the strengthened LP.
+pub fn e3_gap_natural(gs: &[i64]) -> Table {
+    let mut table = Table::new(&[
+        "g", "naturalLP", "ourLP", "OPT", "OPT/natural", "limit 2g/(g+1)",
+    ]);
+    for &g in gs {
+        let inst = gap2_instance(g);
+        let nat = natural_lp::value::<Ratio>(&inst).expect("feasible");
+        let ours = solve_nested(&inst, &SolverOptions::exact()).expect("feasible");
+        let opt = nested_opt(&inst, 0).expect("feasible").active_time() as i64;
+        table.row(vec![
+            g.to_string(),
+            nat.to_string(),
+            format!("{:.3}", ours.stats.lp_objective),
+            opt.to_string(),
+            format!("{:.4}", opt as f64 / nat.to_f64()),
+            format!("{:.4}", 2.0 * g as f64 / (g as f64 + 1.0)),
+        ]);
+    }
+    table
+}
+
+/// E5: baseline comparison on one instance. Returns the row cells.
+pub fn e5_compare(inst: &Instance, with_exact: bool) -> Vec<String> {
+    let ours = solve_nested(inst, &SolverOptions::exact()).expect("feasible");
+    let gl = minimal_feasible(inst, ScanOrder::LeftToRight).expect("feasible");
+    let gr = minimal_feasible(inst, ScanOrder::RightToLeft).expect("feasible");
+    let ga = minimal_feasible(inst, ScanOrder::Shuffled(12345)).expect("feasible");
+    let opt = if with_exact {
+        nested_opt(inst, ours.stats.lp_objective.ceil() as i64)
+            .map(|s| s.active_time().to_string())
+            .unwrap_or_else(|| "-".into())
+    } else {
+        "-".into()
+    };
+    vec![
+        inst.num_jobs().to_string(),
+        inst.g.to_string(),
+        format!("{:.2}", ours.stats.lp_objective),
+        ours.stats.active_slots.to_string(),
+        gl.schedule.active_time().to_string(),
+        gr.schedule.active_time().to_string(),
+        ga.schedule.active_time().to_string(),
+        opt,
+    ]
+}
+
+/// E5 header matching [`e5_compare`].
+pub fn e5_header() -> Vec<&'static str> {
+    vec!["jobs", "g", "LP", "OURS", "GRDY-L", "GRDY-R", "GRDY-A", "OPT"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_small_smoke() {
+        let t = e1_ratio_sweep(&[2], 4, 12, true);
+        let s = t.render();
+        assert!(s.contains("ALG/OPT"));
+        // Ratio column values ≤ 1.8: parse the row.
+        let row = s.lines().nth(2).unwrap();
+        let max_ratio: f64 = row.split_whitespace().nth(4).unwrap().parse().unwrap();
+        assert!(max_ratio <= 1.8 + 1e-9, "E1 bound violated: {max_ratio}");
+    }
+
+    #[test]
+    fn e2_small_smoke() {
+        let t = e2_gap_nested(&[2, 3], 3);
+        let s = t.render();
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn e3_ratios_increase_toward_two() {
+        let t = e3_gap_natural(&[2, 4]);
+        let s = t.render();
+        let parse = |line: &str| -> f64 {
+            line.split_whitespace().nth(4).unwrap().parse().unwrap()
+        };
+        let r2 = parse(s.lines().nth(2).unwrap());
+        let r4 = parse(s.lines().nth(3).unwrap());
+        assert!(r4 > r2, "gap must grow with g: {r2} vs {r4}");
+        assert!(r4 < 2.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! # atsched-bench
+//!
+//! Experiment harness shared by the `exp_*` binaries and the criterion
+//! benches. See `EXPERIMENTS.md` at the workspace root for the experiment
+//! index (E1–E14) and how each maps back to the paper's figures and claims.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,277 @@
+//! The canonical-tree transformation (paper Definition 2.1).
+//!
+//! A tree is *canonical* when (a) every node has at most two children and
+//! (b) every leaf is *rigid* — it contains a job whose processing time
+//! equals the leaf's length, so any feasible solution must open the whole
+//! leaf interval.
+//!
+//! Two rewrites achieve this:
+//!
+//! 1. **Binarization.** A node with `t > 2` children gets a left-deep
+//!    chain of *virtual* nodes, each covering the hull of its children.
+//!    Virtual nodes carry no jobs and own no slots (`L = 0`). Note the
+//!    hull of a virtual node may contain slots owned by the original
+//!    parent (when the folded children are not adjacent); ownership is
+//!    tracked explicitly through `own_slots`, which this pass never
+//!    reassigns, so capacity accounting is unaffected.
+//! 2. **Leaf rigidification.** For a leaf whose longest job `j` has
+//!    `p_j < L`, a child covering the first `p_j` own slots is split off
+//!    and job `j` moves into it (the paper's "reduce `j`'s window to match
+//!    `i'`'s"); the child is rigid by construction. This is WLOG for the
+//!    optimum because slots inside a leaf interval are interchangeable.
+
+use crate::instance::Instance;
+use crate::tree::{Forest, TreeNode};
+
+/// Apply both rewrites, producing a canonical forest.
+///
+/// Job-to-node assignments (`job_node`) are updated for moved jobs; the
+/// instance itself is not modified (original windows stay authoritative
+/// for final schedule verification).
+pub fn canonicalize(forest: &Forest, inst: &Instance) -> Forest {
+    let mut f = forest.clone();
+    binarize(&mut f);
+    rigidify_leaves(&mut f, inst);
+    f.recompute_depths();
+    debug_assert!(validate_canonical(&f, inst).is_ok(), "canonicalize broke the forest");
+    f
+}
+
+/// Rewrite 1: every node ends with at most two children.
+fn binarize(f: &mut Forest) {
+    let original = f.nodes.len();
+    for id in 0..original {
+        loop {
+            let kids = f.nodes[id].children.clone();
+            if kids.len() <= 2 {
+                break;
+            }
+            // Fold the two leftmost children under a fresh virtual node.
+            let (a, b) = (kids[0], kids[1]);
+            let hull = (f.nodes[a].interval.0, f.nodes[b].interval.1);
+            let vid = f.nodes.len();
+            f.nodes.push(TreeNode {
+                interval: hull,
+                parent: Some(id),
+                children: vec![a, b],
+                jobs: Vec::new(),
+                own_slots: Vec::new(), // virtual: L = 0
+                is_virtual: true,
+                depth: 0,
+            });
+            f.nodes[a].parent = Some(vid);
+            f.nodes[b].parent = Some(vid);
+            let mut new_kids = vec![vid];
+            new_kids.extend_from_slice(&kids[2..]);
+            f.nodes[id].children = new_kids;
+        }
+    }
+}
+
+/// Rewrite 2: every leaf becomes rigid.
+fn rigidify_leaves(f: &mut Forest, inst: &Instance) {
+    let original = f.nodes.len();
+    for id in 0..original {
+        if !f.nodes[id].is_leaf() {
+            continue;
+        }
+        debug_assert!(!f.nodes[id].jobs.is_empty(), "real leaves always carry a job");
+        let &jmax = f.nodes[id]
+            .jobs
+            .iter()
+            .max_by_key(|&&j| inst.jobs[j].processing)
+            .expect("leaf has jobs");
+        let p = inst.jobs[jmax].processing;
+        let len = f.nodes[id].len();
+        debug_assert!(p <= len, "job longer than its window");
+        if p == len {
+            continue; // already rigid
+        }
+        // Split off the first p own slots into a rigid child holding jmax.
+        let own = std::mem::take(&mut f.nodes[id].own_slots);
+        let (head, tail) = own.split_at(p as usize);
+        let child_interval = (head[0], head[p as usize - 1] + 1);
+        debug_assert_eq!(child_interval.1 - child_interval.0, p, "leaf own slots are contiguous");
+        let cid = f.nodes.len();
+        f.nodes.push(TreeNode {
+            interval: child_interval,
+            parent: Some(id),
+            children: Vec::new(),
+            jobs: vec![jmax],
+            own_slots: head.to_vec(),
+            is_virtual: false,
+            depth: 0,
+        });
+        f.nodes[id].own_slots = tail.to_vec();
+        f.nodes[id].children.push(cid);
+        f.nodes[id].jobs.retain(|&j| j != jmax);
+        f.job_node[jmax] = cid;
+    }
+}
+
+/// Structural checks for a canonical forest. Returns a description of the
+/// first violation found.
+pub fn validate_canonical(f: &Forest, inst: &Instance) -> Result<(), String> {
+    for (id, n) in f.nodes.iter().enumerate() {
+        if n.children.len() > 2 {
+            return Err(format!("node {id} has {} children", n.children.len()));
+        }
+        if n.is_virtual && (!n.jobs.is_empty() || !n.own_slots.is_empty()) {
+            return Err(format!("virtual node {id} carries jobs or slots"));
+        }
+        if n.is_leaf() {
+            if n.is_virtual {
+                return Err(format!("virtual leaf {id}"));
+            }
+            let rigid = n
+                .jobs
+                .iter()
+                .any(|&j| inst.jobs[j].processing == n.len());
+            if !rigid {
+                return Err(format!("leaf {id} is not rigid"));
+            }
+        }
+        for &c in &n.children {
+            if f.nodes[c].parent != Some(id) {
+                return Err(format!("child {c} of {id} has wrong parent"));
+            }
+            let ci = f.nodes[c].interval;
+            if !(n.interval.0 <= ci.0 && ci.1 <= n.interval.1) {
+                return Err(format!("child {c} escapes parent {id}"));
+            }
+        }
+    }
+    // Own slots globally partition the covered slots: no slot owned twice,
+    // and the total count matches the instance's candidate slots.
+    let mut all: Vec<i64> = f.nodes.iter().flat_map(|n| n.own_slots.iter().copied()).collect();
+    all.sort_unstable();
+    let before = all.len();
+    all.dedup();
+    if all.len() != before {
+        return Err("a slot is owned by two nodes".into());
+    }
+    if all != inst.candidate_slots() {
+        return Err("own slots do not cover the candidate slots".into());
+    }
+    // Jobs point at real nodes whose interval sits inside their window.
+    for (j, &k) in f.job_node.iter().enumerate() {
+        let n = &f.nodes[k];
+        if n.is_virtual {
+            return Err(format!("job {j} assigned to virtual node"));
+        }
+        if !n.jobs.contains(&j) {
+            return Err(format!("job {j} missing from node {k}"));
+        }
+        let job = &inst.jobs[j];
+        if n.interval.0 < job.release || n.interval.1 > job.deadline {
+            return Err(format!("job {j}'s node interval escapes its window"));
+        }
+        if (n.interval.1 - n.interval.0) < job.processing {
+            return Err(format!("job {j}'s node interval shorter than p_j"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Job;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    fn canonical(g: i64, jobs: Vec<(i64, i64, i64)>) -> (Instance, Forest) {
+        let i = inst(g, jobs);
+        let f = Forest::build(&i).unwrap();
+        let c = canonicalize(&f, &i);
+        validate_canonical(&c, &i).unwrap();
+        (i, c)
+    }
+
+    #[test]
+    fn already_rigid_leaf_unchanged() {
+        let (_, c) = canonical(2, vec![(0, 3, 3)]);
+        assert_eq!(c.num_nodes(), 1);
+        assert!(c.nodes[0].is_leaf());
+    }
+
+    #[test]
+    fn non_rigid_leaf_gets_rigid_child() {
+        let (i, c) = canonical(2, vec![(0, 5, 2), (0, 5, 1)]);
+        assert_eq!(c.num_nodes(), 2);
+        let root = c.roots[0];
+        assert_eq!(c.nodes[root].children.len(), 1);
+        let child = c.nodes[root].children[0];
+        assert_eq!(c.nodes[child].interval, (0, 2));
+        assert_eq!(c.nodes[child].own_slots, vec![0, 1]);
+        assert_eq!(c.nodes[root].own_slots, vec![2, 3, 4]);
+        // The longest job moved down.
+        assert_eq!(c.job_node[0], child);
+        assert_eq!(c.job_node[1], root);
+        assert!(validate_canonical(&c, &i).is_ok());
+    }
+
+    #[test]
+    fn wide_node_is_binarized() {
+        // Root [0,12) with four children.
+        let (_, c) = canonical(
+            2,
+            vec![
+                (0, 12, 1),
+                (0, 2, 2),
+                (3, 5, 2),
+                (6, 8, 2),
+                (9, 11, 2),
+            ],
+        );
+        for n in &c.nodes {
+            assert!(n.children.len() <= 2);
+        }
+        // Two virtual nodes were added for four children.
+        assert_eq!(c.nodes.iter().filter(|n| n.is_virtual).count(), 2);
+        // Virtual nodes own nothing even though their hulls cover gaps.
+        for n in c.nodes.iter().filter(|n| n.is_virtual) {
+            assert!(n.own_slots.is_empty());
+        }
+        // The root's own gap slots survived.
+        let root = c.roots[0];
+        assert_eq!(c.nodes[root].own_slots, vec![2, 5, 8, 11]);
+    }
+
+    #[test]
+    fn virtual_hull_does_not_steal_parent_slots() {
+        // Children [0,1), [2,3), [4,5) of root [0,6): the virtual hull
+        // (0,3) contains root-owned slot 1.
+        let (_, c) = canonical(
+            1,
+            vec![(0, 6, 1), (0, 1, 1), (2, 3, 1), (4, 5, 1)],
+        );
+        let root = c.roots[0];
+        assert_eq!(c.nodes[root].own_slots, vec![1, 3, 5]);
+        let total: i64 = c.nodes.iter().map(|n| n.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn deep_rigid_split_preserves_slot_partition() {
+        let (i, c) = canonical(
+            3,
+            vec![(0, 20, 4), (2, 9, 3), (2, 9, 1), (12, 18, 2)],
+        );
+        assert!(validate_canonical(&c, &i).is_ok());
+        // Every leaf rigid.
+        for n in c.nodes.iter().filter(|n| n.is_leaf()) {
+            assert!(n.jobs.iter().any(|&j| i.jobs[j].processing == n.len()));
+        }
+    }
+
+    #[test]
+    fn tie_on_longest_job_is_fine() {
+        let (i, c) = canonical(2, vec![(0, 4, 2), (0, 4, 2), (0, 4, 1)]);
+        assert!(validate_canonical(&c, &i).is_ok());
+        let moved = c.job_node.iter().filter(|&&k| c.nodes[k].is_leaf()).count();
+        assert!(moved >= 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! SVG Gantt rendering of schedules (presentation utility).
+//!
+//! Produces a self-contained SVG string: one row per job showing its
+//! window (light band) and its assigned slots (solid blocks), plus a
+//! header row marking active slots. No external dependencies; output is
+//! deterministic, making it safe to snapshot in tests.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Pixel width of one time slot.
+    pub slot_width: u32,
+    /// Pixel height of one job row.
+    pub row_height: u32,
+    /// Include the per-slot activity header row.
+    pub header: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { slot_width: 18, row_height: 16, header: true }
+    }
+}
+
+/// Render a schedule as an SVG document.
+///
+/// Returns an empty-chart SVG for empty instances. The schedule is not
+/// re-verified here; pass verified schedules for meaningful pictures.
+pub fn to_svg(inst: &Instance, schedule: &Schedule, opts: &SvgOptions) -> String {
+    let (lo, hi) = inst.horizon().unwrap_or((0, 1));
+    let cols = (hi - lo) as u32;
+    let header_rows = opts.header as u32;
+    let rows = inst.num_jobs() as u32 + header_rows;
+    let label_w = 60u32;
+    let width = label_w + cols * opts.slot_width + 10;
+    let height = rows * (opts.row_height + 4) + 30;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="monospace" font-size="11">"#
+    );
+    let x_of = |t: i64| label_w + ((t - lo) as u32) * opts.slot_width;
+    let y_of = |row: u32| 20 + row * (opts.row_height + 4);
+
+    // Time axis ticks.
+    for t in lo..=hi {
+        if (t - lo) % 2 == 0 {
+            let _ = write!(
+                svg,
+                r##"<text x="{}" y="14" fill="#555">{t}</text>"##,
+                x_of(t)
+            );
+        }
+    }
+
+    // Header: active slots.
+    if opts.header {
+        let y = y_of(0);
+        for (t, jobs) in schedule.slots.iter().zip(&schedule.assignment) {
+            let color = if jobs.is_empty() { "#ddd" } else { "#444" };
+            let _ = write!(
+                svg,
+                r##"<rect x="{}" y="{}" width="{}" height="{}" fill="{color}"/>"##,
+                x_of(*t),
+                y,
+                opts.slot_width - 2,
+                opts.row_height
+            );
+        }
+        let _ = write!(
+            svg,
+            r##"<text x="2" y="{}" fill="#000">active</text>"##,
+            y + opts.row_height - 4
+        );
+    }
+
+    // Job rows: window band + assigned blocks.
+    for (j, job) in inst.jobs.iter().enumerate() {
+        let row = j as u32 + header_rows;
+        let y = y_of(row);
+        let _ = write!(
+            svg,
+            r##"<rect x="{}" y="{}" width="{}" height="{}" fill="#eef" stroke="#aac"/>"##,
+            x_of(job.release),
+            y,
+            (job.window_len() as u32) * opts.slot_width - 2,
+            opts.row_height
+        );
+        for (t, jobs) in schedule.slots.iter().zip(&schedule.assignment) {
+            if jobs.contains(&j) {
+                let _ = write!(
+                    svg,
+                    r##"<rect x="{}" y="{}" width="{}" height="{}" fill="#36c"/>"##,
+                    x_of(*t),
+                    y,
+                    opts.slot_width - 2,
+                    opts.row_height
+                );
+            }
+        }
+        let _ = write!(
+            svg,
+            r##"<text x="2" y="{}" fill="#000">j{j} p={}</text>"##,
+            y + opts.row_height - 4,
+            job.processing
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Job;
+    use crate::solver::{solve_nested, SolverOptions};
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn svg_structure() {
+        let i = inst(2, vec![(0, 4, 2), (1, 3, 1)]);
+        let r = solve_nested(&i, &SolverOptions::exact()).unwrap();
+        let svg = to_svg(&i, &r.schedule, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One window band per job.
+        assert_eq!(svg.matches("#eef").count(), 2);
+        // Assigned blocks: p0 + p1 = 3 solid rects.
+        assert_eq!(svg.matches("#36c").count(), 3);
+        // Job labels present.
+        assert!(svg.contains("j0 p=2"));
+        assert!(svg.contains("j1 p=1"));
+    }
+
+    #[test]
+    fn svg_without_header() {
+        let i = inst(1, vec![(0, 2, 1)]);
+        let r = solve_nested(&i, &SolverOptions::exact()).unwrap();
+        let with = to_svg(&i, &r.schedule, &SvgOptions::default());
+        let without =
+            to_svg(&i, &r.schedule, &SvgOptions { header: false, ..Default::default() });
+        assert!(with.contains(">active<"));
+        assert!(!without.contains(">active<"));
+    }
+
+    #[test]
+    fn svg_handles_negative_times() {
+        let i = inst(1, vec![(-5, -2, 2)]);
+        let r = solve_nested(&i, &SolverOptions::exact()).unwrap();
+        let svg = to_svg(&i, &r.schedule, &SvgOptions::default());
+        assert!(svg.contains("-5"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn svg_empty_instance() {
+        let i = inst(1, vec![]);
+        let svg = to_svg(&i, &Schedule::new(Vec::new(), Vec::new()), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn svg_is_deterministic() {
+        let i = inst(2, vec![(0, 6, 2), (1, 4, 1)]);
+        let r = solve_nested(&i, &SolverOptions::exact()).unwrap();
+        let a = to_svg(&i, &r.schedule, &SvgOptions::default());
+        let b = to_svg(&i, &r.schedule, &SvgOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,232 @@
+//! Concrete schedules and an independent verifier.
+
+use crate::instance::Instance;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concrete schedule: which slots are open and which jobs run in each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schedule {
+    /// Open slots, sorted and distinct.
+    pub slots: Vec<i64>,
+    /// Jobs running in each open slot (parallel to `slots`).
+    pub assignment: Vec<Vec<usize>>,
+}
+
+/// Why a schedule failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Slot list not sorted/distinct or lengths mismatched.
+    Malformed,
+    /// A slot runs more than `g` jobs.
+    OverCapacity(i64),
+    /// A job appears twice in one slot.
+    DuplicateInSlot(usize, i64),
+    /// A job is scheduled outside its window.
+    OutsideWindow(usize, i64),
+    /// A job received fewer or more than `p_j` slots.
+    WrongVolume(usize),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Malformed => write!(f, "malformed schedule"),
+            ScheduleError::OverCapacity(t) => write!(f, "slot {t} exceeds capacity g"),
+            ScheduleError::DuplicateInSlot(j, t) => write!(f, "job {j} duplicated in slot {t}"),
+            ScheduleError::OutsideWindow(j, t) => write!(f, "job {j} scheduled at {t} outside window"),
+            ScheduleError::WrongVolume(j) => write!(f, "job {j} did not receive exactly p_j slots"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Build from sorted slots + per-slot job lists.
+    pub fn new(slots: Vec<i64>, assignment: Vec<Vec<usize>>) -> Self {
+        Schedule { slots, assignment }
+    }
+
+    /// Number of *active* slots: open slots actually running a job. This
+    /// is the paper's objective (an opened-but-empty slot can always be
+    /// closed).
+    pub fn active_time(&self) -> usize {
+        self.assignment.iter().filter(|a| !a.is_empty()).count()
+    }
+
+    /// Number of open slots (≥ `active_time`).
+    pub fn open_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drop open-but-empty slots.
+    pub fn compact(&mut self) {
+        let mut slots = Vec::with_capacity(self.slots.len());
+        let mut assignment = Vec::with_capacity(self.assignment.len());
+        for (t, a) in self.slots.iter().zip(self.assignment.drain(..)) {
+            if !a.is_empty() {
+                slots.push(*t);
+                assignment.push(a);
+            }
+        }
+        self.slots = slots;
+        self.assignment = assignment;
+    }
+
+    /// Full independent validation against the instance: structure,
+    /// capacity `g`, windows, per-slot uniqueness, and exact volumes.
+    pub fn verify(&self, inst: &Instance) -> Result<(), ScheduleError> {
+        if self.slots.len() != self.assignment.len() {
+            return Err(ScheduleError::Malformed);
+        }
+        if !self.slots.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ScheduleError::Malformed);
+        }
+        let mut volume: HashMap<usize, i64> = HashMap::new();
+        for (t, jobs) in self.slots.iter().zip(&self.assignment) {
+            if jobs.len() as i64 > inst.g {
+                return Err(ScheduleError::OverCapacity(*t));
+            }
+            let mut seen = jobs.clone();
+            seen.sort_unstable();
+            if seen.windows(2).any(|w| w[0] == w[1]) {
+                let dup = seen.windows(2).find(|w| w[0] == w[1]).unwrap()[0];
+                return Err(ScheduleError::DuplicateInSlot(dup, *t));
+            }
+            for &j in jobs {
+                if j >= inst.num_jobs() {
+                    return Err(ScheduleError::Malformed);
+                }
+                if !inst.jobs[j].window_contains(*t) {
+                    return Err(ScheduleError::OutsideWindow(j, *t));
+                }
+                *volume.entry(j).or_insert(0) += 1;
+            }
+        }
+        for (j, job) in inst.jobs.iter().enumerate() {
+            if volume.get(&j).copied().unwrap_or(0) != job.processing {
+                return Err(ScheduleError::WrongVolume(j));
+            }
+        }
+        Ok(())
+    }
+
+    /// ASCII timeline: one row per job, `#` where it runs, `.` inside its
+    /// window, space outside. Used by the demo binaries.
+    pub fn render_timeline(&self, inst: &Instance) -> String {
+        let Some((lo, hi)) = inst.horizon() else {
+            return String::new();
+        };
+        let width = (hi - lo) as usize;
+        let mut out = String::new();
+        let slot_col = |t: i64| (t - lo) as usize;
+        // Header: active slots marked.
+        let mut header = vec![' '; width];
+        for (t, a) in self.slots.iter().zip(&self.assignment) {
+            header[slot_col(*t)] = if a.is_empty() { 'o' } else { 'O' };
+        }
+        out.push_str("slots: ");
+        out.extend(header);
+        out.push('\n');
+        for (j, job) in inst.jobs.iter().enumerate() {
+            let mut row = vec![' '; width];
+            for t in job.release..job.deadline {
+                row[slot_col(t)] = '.';
+            }
+            for (t, a) in self.slots.iter().zip(&self.assignment) {
+                if a.contains(&j) {
+                    row[slot_col(*t)] = '#';
+                }
+            }
+            out.push_str(&format!("j{j:<4}: "));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Job;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let i = inst(2, vec![(0, 4, 2), (1, 3, 1)]);
+        let s = Schedule::new(vec![1, 2], vec![vec![0, 1], vec![0]]);
+        s.verify(&i).unwrap();
+        assert_eq!(s.active_time(), 2);
+    }
+
+    #[test]
+    fn over_capacity_detected() {
+        let i = inst(1, vec![(0, 2, 1), (0, 2, 1)]);
+        let s = Schedule::new(vec![0], vec![vec![0, 1]]);
+        assert_eq!(s.verify(&i), Err(ScheduleError::OverCapacity(0)));
+    }
+
+    #[test]
+    fn duplicate_in_slot_detected() {
+        let i = inst(3, vec![(0, 3, 2)]);
+        let s = Schedule::new(vec![0], vec![vec![0, 0]]);
+        assert_eq!(s.verify(&i), Err(ScheduleError::DuplicateInSlot(0, 0)));
+    }
+
+    #[test]
+    fn outside_window_detected() {
+        let i = inst(1, vec![(2, 4, 1)]);
+        let s = Schedule::new(vec![1], vec![vec![0]]);
+        assert_eq!(s.verify(&i), Err(ScheduleError::OutsideWindow(0, 1)));
+    }
+
+    #[test]
+    fn wrong_volume_detected() {
+        let i = inst(1, vec![(0, 4, 2)]);
+        let s = Schedule::new(vec![0], vec![vec![0]]);
+        assert_eq!(s.verify(&i), Err(ScheduleError::WrongVolume(0)));
+        let s2 = Schedule::new(vec![0, 1, 2], vec![vec![0], vec![0], vec![0]]);
+        assert_eq!(s2.verify(&i), Err(ScheduleError::WrongVolume(0)));
+    }
+
+    #[test]
+    fn malformed_detected() {
+        let i = inst(1, vec![(0, 2, 1)]);
+        assert_eq!(
+            Schedule::new(vec![1, 0], vec![vec![0], vec![]]).verify(&i),
+            Err(ScheduleError::Malformed)
+        );
+        assert_eq!(
+            Schedule::new(vec![0], vec![]).verify(&i),
+            Err(ScheduleError::Malformed)
+        );
+    }
+
+    #[test]
+    fn compact_drops_empty_slots() {
+        let i = inst(1, vec![(0, 3, 1)]);
+        let mut s = Schedule::new(vec![0, 1, 2], vec![vec![], vec![0], vec![]]);
+        s.verify(&i).unwrap();
+        assert_eq!(s.open_slots(), 3);
+        assert_eq!(s.active_time(), 1);
+        s.compact();
+        assert_eq!(s.open_slots(), 1);
+        assert_eq!(s.slots, vec![1]);
+        s.verify(&i).unwrap();
+    }
+
+    #[test]
+    fn timeline_renders() {
+        let i = inst(2, vec![(0, 4, 2), (1, 3, 1)]);
+        let s = Schedule::new(vec![1, 2], vec![vec![0, 1], vec![0]]);
+        let tl = s.render_timeline(&i);
+        assert!(tl.contains('#'));
+        assert!(tl.lines().count() == 3);
+    }
+}

@@ -1,0 +1,321 @@
+//! The LP-solution transformation of Lemma 3.1 (paper §3.2).
+//!
+//! Repeatedly move fractional open mass from an ancestor `i₁` with
+//! `x(i₁) > 0` to a strict descendant `i₂` with slack (`x(i₂) < L(i₂)`),
+//! shifting `θ = min(L(i₂) − x(i₂), x(i₁))` of `x` and a proportional
+//! `θ/x(i₁)` share of every `y(i₁, ·)` down with it. Every job assignable
+//! to `i₁` is assignable to `i₂` (windows only shrink going down), so all
+//! LP constraints remain satisfied.
+//!
+//! After the fixpoint, any node with positive `x` has a *fully open*
+//! strict-descendant set, and the topmost positive nodes form the
+//! antichain `I` with the properties of Claim 1.
+
+use crate::instance::Instance;
+use crate::lp_model::{FractionalSolution, JobGroup};
+use crate::tree::Forest;
+use atsched_lp::Scalar;
+
+/// Outcome of the transformation.
+#[derive(Debug, Clone)]
+pub struct Transformed<S> {
+    /// The rewritten solution (same objective value as the input).
+    pub solution: FractionalSolution<S>,
+    /// The antichain `I`: topmost nodes with `x > 0`, sorted by id.
+    pub top_positive: Vec<usize>,
+    /// Number of push-down moves performed (for stats).
+    pub moves: usize,
+}
+
+/// Apply Lemma 3.1 until no violating pair remains.
+///
+/// Deterministic strategy: among slack nodes that still have a positive
+/// strict ancestor, take the *deepest* (so its own descendants are
+/// already full) and pull from its *topmost* positive ancestor. Each move
+/// either zeroes the ancestor or fills the descendant, so at most
+/// `O(m²)` moves happen; a safety cap asserts this.
+pub fn push_down<S: Scalar>(
+    forest: &Forest,
+    mut sol: FractionalSolution<S>,
+) -> Transformed<S> {
+    let m = forest.num_nodes();
+    let cap = 4 * m * m + 16;
+    let mut moves = 0usize;
+
+    loop {
+        // Deepest slack node with a positive strict ancestor.
+        let mut pick: Option<(usize, usize)> = None; // (i2, depth)
+        for i2 in 0..m {
+            let len = S::from_i64(forest.nodes[i2].len());
+            if !len.sub(&sol.x[i2]).is_positive() {
+                continue; // full (or L = 0)
+            }
+            let has_positive_anc = forest.ancestors(i2)[1..]
+                .iter()
+                .any(|&a| sol.x[a].is_positive());
+            if !has_positive_anc {
+                continue;
+            }
+            let d = forest.nodes[i2].depth;
+            if pick.map_or(true, |(_, pd)| d > pd) {
+                pick = Some((i2, d));
+            }
+        }
+        let Some((i2, _)) = pick else { break };
+        // Topmost positive strict ancestor.
+        let i1 = *forest.ancestors(i2)[1..]
+            .iter()
+            .filter(|&&a| sol.x[a].is_positive())
+            .last()
+            .expect("checked above");
+
+        let slack = S::from_i64(forest.nodes[i2].len()).sub(&sol.x[i2]);
+        let theta = if slack < sol.x[i1] { slack } else { sol.x[i1].clone() };
+        debug_assert!(theta.is_positive());
+
+        // Scale y(i1, ·) by x'(i1)/x(i1) and move the difference to i2.
+        let x1_old = sol.x[i1].clone();
+        let x1_new = x1_old.sub(&theta);
+        let scale = theta.div(&x1_old); // fraction moved
+        let moved: Vec<(usize, S)> = sol.y[i1]
+            .iter()
+            .map(|(gid, yv)| (*gid, yv.mul(&scale)))
+            .collect();
+        for (gid, delta) in moved {
+            if delta.is_zero() {
+                continue;
+            }
+            if let Some(slot) = sol.y[i1].iter_mut().find(|(g, _)| *g == gid) {
+                slot.1 = slot.1.sub(&delta);
+            }
+            match sol.y[i2].iter_mut().find(|(g, _)| *g == gid) {
+                Some(slot) => slot.1 = slot.1.add(&delta),
+                None => sol.y[i2].push((gid, delta)),
+            }
+        }
+        sol.x[i1] = x1_new;
+        sol.x[i2] = sol.x[i2].add(&theta);
+
+        moves += 1;
+        assert!(moves <= cap, "Lemma 3.1 push-down failed to converge");
+    }
+
+    // The objective is invariant (mass only moves); refresh the cached
+    // field so downstream consumers see a consistent record.
+    sol.objective = sol.x.iter().fold(S::zero(), |a, b| a.add(b));
+    let top_positive = compute_top_positive(forest, &sol);
+    Transformed { solution: sol, top_positive, moves }
+}
+
+/// The antichain `I`: nodes with `x > 0` whose strict ancestors all have
+/// `x = 0`.
+pub fn compute_top_positive<S: Scalar>(
+    forest: &Forest,
+    sol: &FractionalSolution<S>,
+) -> Vec<usize> {
+    (0..forest.num_nodes())
+        .filter(|&i| {
+            sol.x[i].is_positive()
+                && forest.ancestors(i)[1..].iter().all(|&a| !sol.x[a].is_positive())
+        })
+        .collect()
+}
+
+/// Check the properties of Claim 1 on a transformed solution; returns the
+/// first violation. Used as a test oracle / debug assertion.
+pub fn check_claim1<S: Scalar>(
+    forest: &Forest,
+    sol: &FractionalSolution<S>,
+    top: &[usize],
+) -> Result<(), String> {
+    // (1a) antichain.
+    for &a in top {
+        for &b in top {
+            if a != b && forest.is_ancestor(a, b) {
+                return Err(format!("(1a): {a} is an ancestor of {b}"));
+            }
+        }
+    }
+    // (1b) Des(I) contains all leaves — equivalently every leaf has an
+    // ancestor (or itself) in I. Only required when the LP actually
+    // schedules work, i.e. every leaf's subtree carries volume; in a
+    // canonical forest leaves are rigid so x(leaf) = L > 0.
+    for (id, n) in forest.nodes.iter().enumerate() {
+        if n.is_leaf() && !n.jobs.is_empty() {
+            let covered = forest.ancestors(id).iter().any(|a| top.contains(a));
+            if !covered {
+                return Err(format!("(1b): leaf {id} not under I"));
+            }
+        }
+    }
+    for &i in top {
+        // (1c)
+        if !sol.x[i].is_positive() {
+            return Err(format!("(1c): x[{i}] not positive"));
+        }
+        // (1d) strict descendants fully open.
+        for d in forest.descendants(i) {
+            if d == i {
+                continue;
+            }
+            let len = S::from_i64(forest.nodes[d].len());
+            if len.sub(&sol.x[d]).is_positive() {
+                return Err(format!("(1d): descendant {d} of {i} not full"));
+            }
+        }
+        // (1e) strict ancestors zero.
+        for &a in &forest.ancestors(i)[1..] {
+            if sol.x[a].is_positive() {
+                return Err(format!("(1e): ancestor {a} of {i} positive"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: total `y` mass per group (conserved by the transform).
+pub fn group_mass<S: Scalar>(sol: &FractionalSolution<S>, groups: &[JobGroup]) -> Vec<S> {
+    let mut mass = vec![S::zero(); groups.len()];
+    for per_node in &sol.y {
+        for (gid, yv) in per_node {
+            mass[*gid] = mass[*gid].add(yv);
+        }
+    }
+    mass
+}
+
+/// Debug helper shared by tests: objective preserved, constraints hold,
+/// Claim 1 holds.
+pub fn verify_transform<S: Scalar>(
+    forest: &Forest,
+    inst: &Instance,
+    groups: &[JobGroup],
+    before: &FractionalSolution<S>,
+    out: &Transformed<S>,
+) -> Result<(), String> {
+    let obj_before: S = before.x.iter().fold(S::zero(), |a, b| a.add(b));
+    let obj_after: S = out.solution.x.iter().fold(S::zero(), |a, b| a.add(b));
+    let diff = obj_before.sub(&obj_after);
+    if diff.is_positive() || diff.neg().is_positive() {
+        return Err(format!("objective changed: {obj_before} → {obj_after}"));
+    }
+    out.solution.check(forest, inst, groups)?;
+    check_claim1(forest, &out.solution, &out.top_positive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::canonicalize;
+    use crate::instance::{Instance, Job};
+    use crate::lp_model::{build, group_jobs};
+    use crate::opt23;
+    use atsched_num::Ratio;
+
+    fn setup(
+        g: i64,
+        jobs: Vec<(i64, i64, i64)>,
+    ) -> (Instance, Forest, Vec<JobGroup>, FractionalSolution<Ratio>) {
+        let inst =
+            Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
+                .unwrap();
+        let forest = Forest::build(&inst).unwrap();
+        let canon = canonicalize(&forest, &inst);
+        let bounds = opt23::compute(&canon, &inst);
+        let lp = build::<Ratio>(&canon, &inst, &bounds);
+        let sol = lp.solve().unwrap();
+        let groups = group_jobs(&canon, &inst);
+        (inst, canon, groups, sol)
+    }
+
+    #[test]
+    fn transform_preserves_feasibility_and_objective() {
+        let (inst, canon, groups, sol) = setup(
+            2,
+            vec![(0, 10, 2), (1, 5, 2), (1, 5, 1), (6, 9, 2), (6, 9, 1)],
+        );
+        let before = sol.clone();
+        let out = push_down(&canon, sol);
+        verify_transform(&canon, &inst, &groups, &before, &out).unwrap();
+    }
+
+    #[test]
+    fn handmade_violation_is_fixed() {
+        // Construct a feasible solution that deliberately puts mass on an
+        // ancestor while a descendant has slack, then push down.
+        let (inst, canon, groups, _) = setup(2, vec![(0, 6, 1), (1, 3, 2)]);
+        // Nodes: root [0,6) (+ rigid child [1,3) of the original child).
+        // Hand solution: schedule everything as high as possible.
+        let m = canon.num_nodes();
+        let mut x = vec![Ratio::zero(); m];
+        let mut y: Vec<Vec<(usize, Ratio)>> = vec![Vec::new(); m];
+        // Open the whole tree: x = L, put each group at its own node.
+        for i in 0..m {
+            x[i] = Ratio::from_i64(canon.nodes[i].len());
+        }
+        for (gid, grp) in groups.iter().enumerate() {
+            // schedule at k(G) itself (has enough own slots here)
+            let node = grp.node;
+            y[node].push((gid, Ratio::from_i64(grp.count() * grp.processing)));
+        }
+        let sol = FractionalSolution { objective: x.iter().sum(), x, y };
+        sol.check(&canon, &inst, &groups).unwrap();
+        let before = sol.clone();
+        let out = push_down(&canon, sol);
+        verify_transform(&canon, &inst, &groups, &before, &out).unwrap();
+        // Already full everywhere → no moves possible.
+        assert_eq!(out.moves, 0);
+    }
+
+    #[test]
+    fn mass_moves_down_from_root() {
+        // Root has slack-y child; put fractional mass on root on purpose.
+        let (inst, canon, groups, _) = setup(4, vec![(0, 8, 1), (2, 6, 1)]);
+        let m = canon.num_nodes();
+        // Find root and the real child.
+        let root = canon.roots[0];
+        let mut x = vec![Ratio::zero(); m];
+        let mut y: Vec<Vec<(usize, Ratio)>> = vec![Vec::new(); m];
+        x[root] = Ratio::from_i64(2);
+        // Both groups scheduled in root's own slots (legal: both jobs'
+        // windows contain... only the root job! so schedule group of the
+        // child at its own node).
+        for (gid, grp) in groups.iter().enumerate() {
+            if grp.node == root {
+                y[root].push((gid, Ratio::from_i64(grp.count() * grp.processing)));
+            } else {
+                x[grp.node] = x[grp.node].clone() + Ratio::one();
+                y[grp.node].push((gid, Ratio::from_i64(grp.count() * grp.processing)));
+            }
+        }
+        let sol = FractionalSolution { objective: x.iter().sum(), x, y };
+        sol.check(&canon, &inst, &groups).unwrap();
+        let before = sol.clone();
+        let out = push_down(&canon, sol);
+        verify_transform(&canon, &inst, &groups, &before, &out).unwrap();
+        assert!(out.moves > 0);
+        // Root mass must now be zero or every strict descendant full.
+        if out.solution.x[root].is_positive() {
+            for d in canon.descendants(root) {
+                if d != root {
+                    assert_eq!(
+                        out.solution.x[d],
+                        Ratio::from_i64(canon.nodes[d].len())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_mass_conserved() {
+        let (_, canon, groups, sol) = setup(
+            3,
+            vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2), (7, 11, 1)],
+        );
+        let before_mass = group_mass(&sol, &groups);
+        let out = push_down(&canon, sol);
+        let after_mass = group_mass(&out.solution, &groups);
+        assert_eq!(before_mass, after_mass);
+    }
+}

@@ -1,0 +1,386 @@
+//! The laminar forest of distinct job windows (paper §2).
+//!
+//! Each node corresponds to one distinct window; node `i'` is a child of
+//! `i` when `K(i') ⊊ K(i)` with nothing strictly between. Jobs belong to
+//! the node whose interval equals their window. A node's *length* `L(i)`
+//! is the number of slots in its interval not covered by child intervals —
+//! its "own" slots. Own slots are interchangeable: every job allowed to
+//! use one of them is allowed to use all of them, which is why the whole
+//! pipeline can work with per-node open *counts* instead of concrete slot
+//! indices.
+
+use crate::instance::{Instance, InstanceError};
+
+/// A node of the window forest.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Hull interval `[lo, hi)`. For virtual nodes created by
+    /// binarization the interval is the hull of the children (the node
+    /// itself owns no slots).
+    pub interval: (i64, i64),
+    /// Parent node id, if any.
+    pub parent: Option<usize>,
+    /// Child node ids, ordered by interval start.
+    pub children: Vec<usize>,
+    /// Jobs belonging to this node (window equals interval; empty for
+    /// virtual nodes).
+    pub jobs: Vec<usize>,
+    /// Slots in the interval not covered by any child interval, sorted.
+    /// `L(i)` is the length of this vector.
+    pub own_slots: Vec<i64>,
+    /// True for nodes introduced by the canonical transformation.
+    pub is_virtual: bool,
+    /// Distance from the root of its tree.
+    pub depth: usize,
+}
+
+impl TreeNode {
+    /// The paper's `L(i)`: number of own slots.
+    pub fn len(&self) -> i64 {
+        self.own_slots.len() as i64
+    }
+
+    /// True iff the node owns no slots.
+    pub fn is_empty(&self) -> bool {
+        self.own_slots.is_empty()
+    }
+
+    /// True iff the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// The laminar forest over all distinct windows of an instance.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    /// All nodes; ids are indices.
+    pub nodes: Vec<TreeNode>,
+    /// Root node ids (one per tree), ordered by interval start.
+    pub roots: Vec<usize>,
+    /// `k(j)`: the node each job belongs to.
+    pub job_node: Vec<usize>,
+}
+
+impl Forest {
+    /// Build the forest of distinct windows.
+    ///
+    /// Fails with [`InstanceError::NotLaminar`] when two windows cross.
+    pub fn build(inst: &Instance) -> Result<Self, InstanceError> {
+        inst.check_laminar()?;
+
+        // Distinct windows, outer-first: (r asc, d desc).
+        let mut windows: Vec<(i64, i64)> =
+            inst.jobs.iter().map(|j| (j.release, j.deadline)).collect();
+        windows.sort_unstable_by_key(|&(r, d)| (r, -d));
+        windows.dedup();
+
+        let mut nodes: Vec<TreeNode> = Vec::with_capacity(windows.len());
+        let mut roots: Vec<usize> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new(); // chain of currently-open nodes
+        for &(r, d) in &windows {
+            while let Some(&top) = stack.last() {
+                if nodes[top].interval.1 <= r {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let parent = stack.last().copied();
+            let id = nodes.len();
+            nodes.push(TreeNode {
+                interval: (r, d),
+                parent,
+                children: Vec::new(),
+                jobs: Vec::new(),
+                own_slots: Vec::new(),
+                is_virtual: false,
+                depth: 0,
+            });
+            match parent {
+                Some(p) => nodes[p].children.push(id),
+                None => roots.push(id),
+            }
+            stack.push(id);
+        }
+
+        // Attach jobs to their nodes.
+        let mut job_node = vec![usize::MAX; inst.jobs.len()];
+        for (jid, job) in inst.jobs.iter().enumerate() {
+            let target = (job.release, job.deadline);
+            // Windows are few; linear scan is fine and avoids a map.
+            let node = nodes
+                .iter()
+                .position(|n| n.interval == target)
+                .expect("every job window has a node");
+            nodes[node].jobs.push(jid);
+            job_node[jid] = node;
+        }
+
+        let mut forest = Forest { nodes, roots, job_node };
+        forest.recompute_own_slots();
+        forest.recompute_depths();
+        Ok(forest)
+    }
+
+    /// Recompute `own_slots` for every node from intervals and children.
+    pub(crate) fn recompute_own_slots(&mut self) {
+        for id in 0..self.nodes.len() {
+            let (lo, hi) = self.nodes[id].interval;
+            let mut covered: Vec<(i64, i64)> = self.nodes[id]
+                .children
+                .iter()
+                .map(|&c| self.nodes[c].interval)
+                .collect();
+            covered.sort_unstable();
+            let mut own = Vec::new();
+            let mut t = lo;
+            for (clo, chi) in covered {
+                while t < clo {
+                    own.push(t);
+                    t += 1;
+                }
+                t = t.max(chi);
+            }
+            while t < hi {
+                own.push(t);
+                t += 1;
+            }
+            self.nodes[id].own_slots = own;
+        }
+    }
+
+    /// Recompute depths from the parent pointers.
+    pub(crate) fn recompute_depths(&mut self) {
+        for id in self.topological_order() {
+            self.nodes[id].depth = match self.nodes[id].parent {
+                None => 0,
+                Some(p) => self.nodes[p].depth + 1,
+            };
+        }
+    }
+
+    /// Number of nodes (`m` in the paper).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Parent-before-child order over all trees.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<usize> = self.roots.clone();
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            stack.extend(self.nodes[id].children.iter().copied());
+        }
+        debug_assert_eq!(order.len(), self.nodes.len());
+        order
+    }
+
+    /// Children-before-parent order over all trees.
+    pub fn post_order(&self) -> Vec<usize> {
+        let mut order = self.topological_order();
+        order.reverse();
+        order
+    }
+
+    /// `Des(i)`: the node ids in `i`'s subtree, `i` included (preorder).
+    pub fn descendants(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![i];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            stack.extend(self.nodes[id].children.iter().copied());
+        }
+        out
+    }
+
+    /// `Anc(i)`: `i` and its ancestors up to the root.
+    pub fn ancestors(&self, i: usize) -> Vec<usize> {
+        let mut out = vec![i];
+        let mut cur = i;
+        while let Some(p) = self.nodes[cur].parent {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Is `a` an ancestor of `b` (including `a == b`)?
+    pub fn is_ancestor(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.nodes[cur].parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Job ids belonging to nodes of `i`'s subtree: `J(Des(i))`.
+    pub fn jobs_in_subtree(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for id in self.descendants(i) {
+            out.extend(self.nodes[id].jobs.iter().copied());
+        }
+        out
+    }
+
+    /// Total own slots over the whole forest (number of distinct slots
+    /// covered by any window).
+    pub fn total_slots(&self) -> i64 {
+        self.nodes.iter().map(|n| n.len()).sum()
+    }
+
+    /// Consistency checks used by tests and debug assertions: intervals
+    /// nest properly, own slots partition, jobs sit on matching intervals.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, n) in self.nodes.iter().enumerate() {
+            if n.interval.0 >= n.interval.1 {
+                return Err(format!("node {id} has empty interval"));
+            }
+            for &c in &n.children {
+                let ci = self.nodes[c].interval;
+                if !(n.interval.0 <= ci.0 && ci.1 <= n.interval.1) {
+                    return Err(format!("child {c} escapes parent {id}"));
+                }
+                if self.nodes[c].parent != Some(id) {
+                    return Err(format!("child {c} has wrong parent pointer"));
+                }
+            }
+            // Children pairwise disjoint.
+            let mut ivs: Vec<(i64, i64)> =
+                n.children.iter().map(|&c| self.nodes[c].interval).collect();
+            ivs.sort_unstable();
+            for w in ivs.windows(2) {
+                if w[0].1 > w[1].0 {
+                    return Err(format!("node {id} has overlapping children"));
+                }
+            }
+            // Own slots inside the interval and outside the children.
+            for &t in &n.own_slots {
+                if t < n.interval.0 || t >= n.interval.1 {
+                    return Err(format!("node {id} own slot {t} outside interval"));
+                }
+                for &c in &n.children {
+                    let ci = self.nodes[c].interval;
+                    if ci.0 <= t && t < ci.1 {
+                        return Err(format!("node {id} own slot {t} inside child"));
+                    }
+                }
+            }
+        }
+        for (j, &k) in self.job_node.iter().enumerate() {
+            if k >= self.nodes.len() {
+                return Err(format!("job {j} points at missing node"));
+            }
+            if !self.nodes[k].jobs.contains(&j) {
+                return Err(format!("job {j} not listed on its node"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Job;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_window_single_node() {
+        let f = Forest::build(&inst(2, vec![(0, 5, 2), (0, 5, 1)])).unwrap();
+        assert_eq!(f.num_nodes(), 1);
+        assert_eq!(f.roots, vec![0]);
+        assert_eq!(f.nodes[0].jobs, vec![0, 1]);
+        assert_eq!(f.nodes[0].own_slots, vec![0, 1, 2, 3, 4]);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn nested_chain() {
+        let f = Forest::build(&inst(2, vec![(0, 10, 1), (2, 7, 1), (3, 5, 1)])).unwrap();
+        assert_eq!(f.num_nodes(), 3);
+        let root = f.roots[0];
+        assert_eq!(f.nodes[root].interval, (0, 10));
+        let mid = f.nodes[root].children[0];
+        assert_eq!(f.nodes[mid].interval, (2, 7));
+        let leaf = f.nodes[mid].children[0];
+        assert_eq!(f.nodes[leaf].interval, (3, 5));
+        // Own slots exclude child ranges.
+        assert_eq!(f.nodes[root].own_slots, vec![0, 1, 7, 8, 9]);
+        assert_eq!(f.nodes[mid].own_slots, vec![2, 5, 6]);
+        assert_eq!(f.nodes[leaf].own_slots, vec![3, 4]);
+        assert_eq!(f.nodes[leaf].depth, 2);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn forest_with_two_trees() {
+        let f = Forest::build(&inst(1, vec![(0, 2, 1), (5, 8, 2), (6, 8, 1)])).unwrap();
+        assert_eq!(f.roots.len(), 2);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_windows_collapse() {
+        let f = Forest::build(&inst(1, vec![(0, 3, 1), (0, 3, 2), (1, 2, 1)])).unwrap();
+        assert_eq!(f.num_nodes(), 2);
+        assert_eq!(f.nodes[f.roots[0]].jobs.len(), 2);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let f = Forest::build(&inst(2, vec![(0, 10, 1), (1, 4, 1), (5, 9, 1), (6, 8, 1)])).unwrap();
+        let root = f.roots[0];
+        let mut des = f.descendants(root);
+        des.sort_unstable();
+        assert_eq!(des, vec![0, 1, 2, 3]);
+        let deepest = (0..4).max_by_key(|&i| f.nodes[i].depth).unwrap();
+        assert_eq!(f.nodes[deepest].interval, (6, 8));
+        let anc = f.ancestors(deepest);
+        assert_eq!(anc.len(), 3);
+        assert!(f.is_ancestor(root, deepest));
+        assert!(!f.is_ancestor(deepest, root));
+        assert!(f.is_ancestor(deepest, deepest));
+    }
+
+    #[test]
+    fn zero_length_own_slots() {
+        // Children tile the parent exactly: parent owns nothing.
+        let f = Forest::build(&inst(1, vec![(0, 4, 1), (0, 2, 1), (2, 4, 1)])).unwrap();
+        let root = f.roots[0];
+        assert!(f.nodes[root].own_slots.is_empty());
+        assert_eq!(f.nodes[root].len(), 0);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn orders_cover_all_nodes() {
+        let f = Forest::build(&inst(2, vec![(0, 10, 1), (1, 4, 1), (5, 9, 1), (6, 8, 1), (11, 13, 1)]))
+            .unwrap();
+        let topo = f.topological_order();
+        let post = f.post_order();
+        assert_eq!(topo.len(), f.num_nodes());
+        assert_eq!(post.len(), f.num_nodes());
+        // Parent precedes child in topo, follows in post.
+        for (idx, &id) in topo.iter().enumerate() {
+            if let Some(p) = f.nodes[id].parent {
+                assert!(topo[..idx].contains(&p));
+            }
+        }
+        for (idx, &id) in post.iter().enumerate() {
+            if let Some(p) = f.nodes[id].parent {
+                assert!(post[idx + 1..].contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Dinic's algorithm: BFS level graph + DFS blocking flows.
+//!
+//! Runs in `O(V²E)` in general and `O(E·√V)` on the unit-ish bipartite
+//! networks produced by scheduling feasibility checks — comfortably fast
+//! for every workload in this repository.
+
+use std::collections::VecDeque;
+
+/// Handle to an edge added with [`FlowNetwork::add_edge`]; lets callers
+/// read back the flow routed on that edge after [`FlowNetwork::max_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    /// Index of the reverse edge in `edges`.
+    rev: usize,
+}
+
+/// A directed flow network over integer capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// Adjacency: edge indices per node.
+    adj: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+    /// Original capacity per edge index (even = forward, odd = reverse).
+    orig_cap: Vec<i64>,
+}
+
+impl FlowNetwork {
+    /// A network with `n` nodes (0-based) and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new(), orig_cap: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add a directed edge `from → to` with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or the capacity is negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> EdgeRef {
+        assert!(from < self.adj.len() && to < self.adj.len(), "edge endpoint out of range");
+        assert!(cap >= 0, "negative capacity");
+        let fwd = self.edges.len();
+        self.edges.push(Edge { to, cap, rev: fwd + 1 });
+        self.orig_cap.push(cap);
+        self.edges.push(Edge { to: from, cap: 0, rev: fwd });
+        self.orig_cap.push(0);
+        self.adj[from].push(fwd);
+        self.adj[to].push(fwd + 1);
+        EdgeRef(fwd)
+    }
+
+    /// Flow currently routed on an edge (meaningful after
+    /// [`FlowNetwork::max_flow`]).
+    pub fn flow_on(&self, e: EdgeRef) -> i64 {
+        self.orig_cap[e.0] - self.edges[e.0].cap
+    }
+
+    /// Reset all flow to zero (restores original capacities).
+    pub fn reset(&mut self) {
+        for (e, cap) in self.edges.iter_mut().zip(self.orig_cap.iter()) {
+            e.cap = *cap;
+        }
+    }
+
+    /// Compute the maximum `s`→`t` flow. May be called repeatedly; call
+    /// [`FlowNetwork::reset`] between unrelated computations.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        assert!(s < self.adj.len() && t < self.adj.len());
+        assert_ne!(s, t, "source equals sink");
+        let n = self.adj.len();
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            if !self.bfs(s, t, &mut level) {
+                return total;
+            }
+            iter.iter_mut().for_each(|v| *v = 0);
+            loop {
+                let f = self.dfs(s, t, i64::MAX, &level, &mut iter);
+                if f == 0 {
+                    break;
+                }
+                total += f;
+            }
+        }
+    }
+
+    fn bfs(&self, s: usize, t: usize, level: &mut [i32]) -> bool {
+        level.iter_mut().for_each(|v| *v = -1);
+        level[s] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &ei in &self.adj[u] {
+                let e = &self.edges[ei];
+                if e.cap > 0 && level[e.to] < 0 {
+                    level[e.to] = level[u] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: i64, level: &[i32], iter: &mut [usize]) -> i64 {
+        if u == t {
+            return limit;
+        }
+        while iter[u] < self.adj[u].len() {
+            let ei = self.adj[u][iter[u]];
+            let (to, cap) = {
+                let e = &self.edges[ei];
+                (e.to, e.cap)
+            };
+            if cap > 0 && level[to] == level[u] + 1 {
+                let d = self.dfs(to, t, limit.min(cap), level, iter);
+                if d > 0 {
+                    self.edges[ei].cap -= d;
+                    let rev = self.edges[ei].rev;
+                    self.edges[rev].cap += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+
+    /// Current capacity of an edge (original capacity, not residual).
+    pub fn capacity_of(&self, e: EdgeRef) -> i64 {
+        self.orig_cap[e.0]
+    }
+
+    /// Change an edge's capacity in place, preserving the current flow.
+    ///
+    /// Used for warm-started incremental recomputation: lower a capacity,
+    /// then call [`FlowNetwork::max_flow`] again to augment from the
+    /// existing flow instead of from scratch.
+    ///
+    /// # Panics
+    /// Panics if the new capacity is below the flow currently routed on
+    /// the edge — cancel flow first with [`FlowNetwork::decrease_flow`].
+    pub fn set_capacity(&mut self, e: EdgeRef, new_cap: i64) {
+        assert!(new_cap >= 0);
+        let f = self.flow_on(e);
+        assert!(
+            f <= new_cap,
+            "set_capacity below current flow ({f} > {new_cap}); cancel flow first"
+        );
+        self.orig_cap[e.0] = new_cap;
+        self.edges[e.0].cap = new_cap - f;
+    }
+
+    /// Remove `amount` units of flow from an edge.
+    ///
+    /// This is a *local* operation: the caller must apply it along a full
+    /// path (or cycle) to keep conservation — e.g. cancel a unit along
+    /// `s → job → slot → t` by calling it on each of the three edges.
+    ///
+    /// # Panics
+    /// Panics if the edge carries less than `amount` flow.
+    pub fn decrease_flow(&mut self, e: EdgeRef, amount: i64) {
+        assert!(amount >= 0 && amount <= self.flow_on(e), "decrease exceeds flow");
+        self.edges[e.0].cap += amount;
+        let rev = self.edges[e.0].rev;
+        self.edges[rev].cap -= amount;
+    }
+
+    /// After a [`FlowNetwork::max_flow`] call, the set of nodes reachable
+    /// from `s` in the residual graph — i.e. the source side of a minimum
+    /// cut.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut q = VecDeque::new();
+        seen[s] = true;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &ei in &self.adj[u] {
+                let e = &self.edges[ei];
+                if e.cap > 0 && !seen[e.to] {
+                    seen[e.to] = true;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+        assert_eq!(net.flow_on(e), 7);
+    }
+
+    #[test]
+    fn diamond() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 10);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn zero_capacity_edges() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 0);
+        assert_eq!(net.max_flow(0, 1), 0);
+    }
+
+    #[test]
+    fn classic_clrs_example() {
+        // CLRS figure 26.1-style network; known max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16);
+        net.add_edge(0, 2, 13);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 1, 4);
+        net.add_edge(1, 3, 12);
+        net.add_edge(3, 2, 9);
+        net.add_edge(2, 4, 14);
+        net.add_edge(4, 3, 7);
+        net.add_edge(3, 5, 20);
+        net.add_edge(4, 5, 4);
+        assert_eq!(net.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn reset_allows_recompute() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 1), 5);
+        assert_eq!(net.max_flow(0, 1), 0); // saturated residual
+        net.reset();
+        assert_eq!(net.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn min_cut_matches_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        let f = net.max_flow(0, 3);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[3]);
+        // Cut capacity across (S, T) equals the flow value.
+        let mut cut = 0;
+        for (i, e) in net.edges.iter().enumerate() {
+            if i % 2 == 0 {
+                // forward edges only
+                let from = net.edges[e.rev].to;
+                if side[from] && !side[e.to] {
+                    cut += net.orig_cap[i];
+                }
+            }
+        }
+        assert_eq!(cut, f);
+    }
+
+    #[test]
+    fn bipartite_matching_via_flow() {
+        // 3 jobs, 3 slots, complete bipartite with unit caps → matching 3.
+        let mut net = FlowNetwork::new(8);
+        for j in 0..3 {
+            net.add_edge(0, 1 + j, 1);
+            for s in 0..3 {
+                net.add_edge(1 + j, 4 + s, 1);
+            }
+        }
+        for s in 0..3 {
+            net.add_edge(4 + s, 7, 1);
+        }
+        assert_eq!(net.max_flow(0, 7), 3);
+    }
+
+    #[test]
+    fn incremental_capacity_reduction() {
+        // s → a → t with a parallel s → b → t; close one branch and
+        // re-augment: flow drops by exactly that branch's share.
+        let mut net = FlowNetwork::new(4);
+        let sa = net.add_edge(0, 1, 3);
+        let at = net.add_edge(1, 3, 3);
+        let sb = net.add_edge(0, 2, 2);
+        let bt = net.add_edge(2, 3, 2);
+        assert_eq!(net.max_flow(0, 3), 5);
+        // Cancel the a-branch flow, then zero its sink edge.
+        let f = net.flow_on(at);
+        net.decrease_flow(sa, f);
+        net.decrease_flow(at, f);
+        net.set_capacity(at, 0);
+        // Warm-started recompute finds nothing new to add.
+        assert_eq!(net.max_flow(0, 3), 0);
+        assert_eq!(net.flow_on(sb) + net.flow_on(sa), 2);
+        // Restore and re-augment: back to 5 in total.
+        net.set_capacity(at, 3);
+        assert_eq!(net.max_flow(0, 3), 3);
+        let _ = bt;
+    }
+
+    #[test]
+    #[should_panic(expected = "cancel flow first")]
+    fn set_capacity_below_flow_panics() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5);
+        net.max_flow(0, 1);
+        net.set_capacity(e, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "decrease exceeds flow")]
+    fn decrease_beyond_flow_panics() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5);
+        net.max_flow(0, 1);
+        net.decrease_flow(e, 6);
+    }
+
+    // Brute-force max-flow by enumerating all edge subsets is infeasible;
+    // instead verify flow conservation and capacity constraints plus
+    // max-flow = min-cut on random small graphs.
+    proptest! {
+        #[test]
+        fn prop_flow_conservation_and_mincut(
+            edges in proptest::collection::vec((0usize..6, 0usize..6, 0i64..20), 1..25),
+        ) {
+            let mut net = FlowNetwork::new(6);
+            let mut refs = Vec::new();
+            for (u, v, c) in &edges {
+                if u != v {
+                    refs.push((*u, *v, net.add_edge(*u, *v, *c)));
+                }
+            }
+            let f = net.max_flow(0, 5);
+            prop_assert!(f >= 0);
+
+            // Capacity constraints and conservation at interior nodes.
+            let mut balance = vec![0i64; 6];
+            for (u, v, r) in &refs {
+                let fl = net.flow_on(*r);
+                prop_assert!(fl >= 0);
+                balance[*u] -= fl;
+                balance[*v] += fl;
+            }
+            for node in 1..5 {
+                prop_assert_eq!(balance[node], 0);
+            }
+            prop_assert_eq!(balance[5], f);
+            prop_assert_eq!(balance[0], -f);
+
+            // Min-cut certificate: cut capacity equals flow value.
+            let side = net.min_cut_source_side(0);
+            prop_assert!(side[0]);
+            prop_assert!(f == 0 || !side[5]);
+            if !side[5] {
+                let mut cut = 0i64;
+                for (u, v, r) in &refs {
+                    if side[*u] && !side[*v] {
+                        cut += net.orig_cap[r.0];
+                    }
+                }
+                prop_assert_eq!(cut, f);
+            }
+        }
+    }
+}

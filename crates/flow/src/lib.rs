@@ -1,0 +1,33 @@
+//! # atsched-flow
+//!
+//! Dinic's max-flow algorithm on integer capacities, plus min-cut
+//! extraction.
+//!
+//! Active-time scheduling reduces feasibility questions to max-flow (the
+//! paper's §1 and the proof of Lemma 4.1): given a set of open time slots,
+//! jobs can be fully scheduled iff the flow network
+//! `source → job (cap p_j) → slot (cap 1, only slots inside the window)
+//! → sink (cap g)` has a maximum flow equal to `Σ p_j`. This crate is that
+//! substrate; [`atsched_core`](../atsched_core) builds the scheduling
+//! networks on top of it.
+//!
+//! ## Example
+//!
+//! ```
+//! use atsched_flow::FlowNetwork;
+//!
+//! let mut net = FlowNetwork::new(4);
+//! net.add_edge(0, 1, 3);
+//! net.add_edge(0, 2, 2);
+//! net.add_edge(1, 3, 2);
+//! net.add_edge(2, 3, 3);
+//! net.add_edge(1, 2, 5);
+//! assert_eq!(net.max_flow(0, 3), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dinic;
+
+pub use dinic::{EdgeRef, FlowNetwork};

@@ -1,0 +1,131 @@
+//! Călinescu–Wang's strengthened per-slot LP (Figure 3 of the paper).
+//!
+//! On top of the natural relaxation it adds, for every time interval
+//! `I = [t₁, t₂)`, the *ceiling constraint*
+//!
+//! ```text
+//! Σ_{t ∈ I} x(t)  ≥  ⌈ (Σ_j q_j(I)) / g ⌉
+//! ```
+//!
+//! where `q_j(I)` is the number of slots job `j` must occupy inside `I`
+//! even if every slot outside `I` were active:
+//! `q_j(I) = max(0, p_j − |window_j \ I|)`.
+//!
+//! The paper (Lemma 5.1) shows this LP still has a gap of at least 3/2 on
+//! nested instances, via [`crate::instances::lemma51_instance`].
+
+use crate::natural_lp::{build as build_natural, PerSlotLp};
+use atsched_core::instance::Instance;
+use atsched_lp::{Cmp, LpStatus, Scalar};
+
+/// `q_j(I)`: mandatory occupancy of window `[r, d)` job with processing
+/// `p` inside the interval `[t1, t2)`.
+pub fn q_j(r: i64, d: i64, p: i64, t1: i64, t2: i64) -> i64 {
+    let window = d - r;
+    let overlap = (d.min(t2) - r.max(t1)).max(0);
+    (p - (window - overlap)).max(0)
+}
+
+/// Build the CW LP: natural LP + ceiling constraints over all endpoint
+/// pairs (it suffices to use window endpoints as interval boundaries —
+/// sliding `t₁`/`t₂` between endpoints cannot increase any `q_j`, so
+/// every other interval's constraint is dominated by an endpoint one).
+pub fn build<S: Scalar>(inst: &Instance) -> PerSlotLp<S> {
+    let mut lp = build_natural::<S>(inst);
+    let mut endpoints: Vec<i64> =
+        inst.jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+    for (ai, &t1) in endpoints.iter().enumerate() {
+        for &t2 in &endpoints[ai + 1..] {
+            let demand: i64 = inst
+                .jobs
+                .iter()
+                .map(|j| q_j(j.release, j.deadline, j.processing, t1, t2))
+                .sum();
+            if demand == 0 {
+                continue;
+            }
+            let rhs = (demand + inst.g - 1) / inst.g; // ⌈demand / g⌉
+            let terms: Vec<_> = lp
+                .x_vars
+                .iter()
+                .filter(|&&(t, _)| t1 <= t && t < t2)
+                .map(|&(_, v)| (v, S::one()))
+                .collect();
+            lp.model.add_constraint(terms, Cmp::Ge, S::from_i64(rhs));
+        }
+    }
+    lp
+}
+
+/// Solve the CW LP; `None` when infeasible.
+pub fn value<S: Scalar>(inst: &Instance) -> Option<S> {
+    let lp = build::<S>(inst);
+    let sol = lp.model.solve().expect("simplex failure");
+    match sol.status {
+        LpStatus::Optimal => Some(sol.objective),
+        LpStatus::Infeasible => None,
+        LpStatus::Unbounded => unreachable!("min Σx ≥ 0"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{gap2_instance, lemma51_fractional_upper, lemma51_instance};
+    use crate::natural_lp;
+    use atsched_core::instance::Job;
+    use atsched_num::Ratio;
+
+    #[test]
+    fn q_j_cases() {
+        // window [0,4), p = 3.
+        assert_eq!(q_j(0, 4, 3, 0, 4), 3); // whole window
+        assert_eq!(q_j(0, 4, 3, 1, 3), 1); // 2 outside → at least 1 inside
+        assert_eq!(q_j(0, 4, 3, 3, 4), 0); // 3 outside → possibly none
+        assert_eq!(q_j(0, 4, 3, 5, 9), 0); // disjoint
+        assert_eq!(q_j(2, 4, 2, 0, 3), 1); // rigid-ish partial
+    }
+
+    #[test]
+    fn cw_closes_gap2_family() {
+        // The ceiling constraint on I = [0,2) demands ⌈(g+1)/g⌉ = 2 slots:
+        // the CW LP values the family at its integral optimum.
+        for g in 2..=4i64 {
+            let inst = gap2_instance(g);
+            assert_eq!(value::<Ratio>(&inst), Some(Ratio::from_i64(2)), "g = {g}");
+        }
+    }
+
+    #[test]
+    fn cw_at_least_natural() {
+        let cases = vec![
+            Instance::new(2, vec![Job::new(0, 6, 2), Job::new(1, 3, 1)]).unwrap(),
+            lemma51_instance(2),
+            gap2_instance(3),
+        ];
+        for inst in cases {
+            let n = natural_lp::value::<Ratio>(&inst).unwrap();
+            let c = value::<Ratio>(&inst).unwrap();
+            assert!(c >= n);
+        }
+    }
+
+    #[test]
+    fn cw_on_lemma51_is_between_bounds() {
+        for g in 2..=3i64 {
+            let inst = lemma51_instance(g);
+            let v = value::<Ratio>(&inst).unwrap();
+            // ≥ natural LP value (g+1); ≤ the paper's explicit g+2 solution.
+            assert!(v >= Ratio::from_i64(g + 1), "g = {g}: {v}");
+            assert!(v <= Ratio::from_i64(lemma51_fractional_upper(g)), "g = {g}: {v}");
+        }
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let inst = Instance::new(1, vec![Job::new(0, 2, 2), Job::new(0, 2, 2)]).unwrap();
+        assert_eq!(value::<Ratio>(&inst), None);
+    }
+}

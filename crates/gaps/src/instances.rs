@@ -1,0 +1,115 @@
+//! Nested integrality-gap instance families.
+
+use atsched_core::instance::{Instance, Job};
+
+/// The Lemma 5.1 instance: one long job with `p = g` and window
+/// `[0, 2g)`, plus `g` groups of `g` unit jobs, group `i` windowed on
+/// `[2i, 2i+2)`.
+///
+/// * Fractional (both the CW LP and our strengthened LP admit it):
+///   `g + 2` open slots.
+/// * Integral optimum: `g + ⌈g/2⌉` (proved in the paper; verified against
+///   the exact solver in tests for small `g`).
+/// * Ratio → 3/2 as `g → ∞`.
+pub fn lemma51_instance(g: i64) -> Instance {
+    assert!(g >= 1);
+    let mut jobs = vec![Job::new(0, 2 * g, g)];
+    for i in 0..g {
+        for _ in 0..g {
+            jobs.push(Job::new(2 * i, 2 * i + 2, 1));
+        }
+    }
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
+/// Known integral optimum of [`lemma51_instance`]: `g + ⌈g/2⌉`.
+pub fn lemma51_integral_opt(g: i64) -> i64 {
+    g + (g + 1) / 2
+}
+
+/// The paper's explicit fractional solution for [`lemma51_instance`]
+/// costs `g + 2` slots, so every LP it satisfies (Călinescu–Wang's, and
+/// the natural LP) has optimum ≤ `g + 2`. This is an *upper bound* on
+/// the LP value — exactly what the integrality-gap lower bound
+/// `OPT / (g+2) → 3/2` needs.
+pub fn lemma51_fractional_upper(g: i64) -> i64 {
+    g + 2
+}
+
+/// The §1 gap-2 family for the *natural* LP: `g + 1` unit jobs sharing
+/// the window `[0, 2)`.
+///
+/// * Natural LP optimum: `(g+1)/g = 1 + 1/g` (open both slots to extent
+///   `(g+1)/(2g)`).
+/// * Integral optimum: 2.
+/// * Ratio `2g/(g+1) → 2`. Our strengthened LP values it at exactly 2
+///   via the `OPT_i ≥ 2` ceiling constraint.
+pub fn gap2_instance(g: i64) -> Instance {
+    assert!(g >= 1);
+    let jobs = vec![Job::new(0, 2, 1); (g + 1) as usize];
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
+/// Width-`k` generalization of [`gap2_instance`]: `(k-1)·g + 1` unit jobs
+/// sharing the window `[0, k)`.
+///
+/// * Integral optimum: `k` (volume `(k-1)g + 1 > (k-1)g`).
+/// * Volume bound / natural LP: `(k-1) + 1/g`.
+/// * The paper's LP (ceilings up to `OPT_i ≥ 3`) reaches `max(3, (k-1) +
+///   1/g)` — still a gap of ≈ `k/(k-1)` for `k ≥ 4`.
+/// * With the *extension* ceilings up to depth `k`, the LP closes to
+///   exactly `k` (experiment E11).
+pub fn gapk_instance(g: i64, k: i64) -> Instance {
+    assert!(g >= 1 && k >= 1);
+    let jobs = vec![Job::new(0, k, 1); ((k - 1) * g + 1) as usize];
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_baselines::exact::nested_opt;
+
+    #[test]
+    fn lemma51_shape() {
+        let inst = lemma51_instance(3);
+        assert_eq!(inst.num_jobs(), 1 + 9);
+        assert_eq!(inst.horizon(), Some((0, 6)));
+        assert!(inst.check_laminar().is_ok());
+        assert!(inst.is_feasible_all_open());
+    }
+
+    #[test]
+    fn lemma51_integral_opt_matches_exact_solver() {
+        for g in 1..=3i64 {
+            let inst = lemma51_instance(g);
+            let s = nested_opt(&inst, 0).unwrap();
+            assert_eq!(
+                s.active_time() as i64,
+                lemma51_integral_opt(g),
+                "g = {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn gapk_shape_and_opt() {
+        for (g, k) in [(2i64, 4i64), (3, 4), (2, 5)] {
+            let inst = gapk_instance(g, k);
+            assert!(inst.check_laminar().is_ok());
+            let s = nested_opt(&inst, 0).unwrap();
+            assert_eq!(s.active_time() as i64, k, "g={g} k={k}");
+        }
+        assert_eq!(gapk_instance(3, 2), super::gap2_instance(3));
+    }
+
+    #[test]
+    fn gap2_shape_and_opt() {
+        for g in 1..=5i64 {
+            let inst = gap2_instance(g);
+            assert!(inst.check_laminar().is_ok());
+            let s = nested_opt(&inst, 0).unwrap();
+            assert_eq!(s.active_time(), 2, "g = {g}");
+        }
+    }
+}

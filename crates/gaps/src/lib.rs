@@ -1,0 +1,19 @@
+//! # atsched-gaps
+//!
+//! Integrality-gap studies (paper §5 and the §1 discussion):
+//!
+//! * [`natural_lp`] — the natural per-slot LP relaxation whose gap is 2
+//!   even on nested instances.
+//! * [`cw_lp`] — Călinescu–Wang's strengthened per-slot LP (Figure 3 of
+//!   the paper), with the `q_j(I)` ceiling constraints.
+//! * [`instances`] — the nested gap families: the Lemma 5.1 instance
+//!   (gap → 3/2 for both strengthened LPs) and the `g+1` unit-jobs
+//!   family (gap → 2 for the natural LP).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cw_lp;
+pub mod instances;
+pub mod natural_lp;
+pub mod search;

@@ -1,0 +1,160 @@
+//! The natural per-slot LP relaxation of active-time scheduling
+//! (Chang–Khuller–Mukherjee'17): open extents `x(t) ∈ [0,1]` per slot,
+//! fractional assignments `y(t,j)`, no ceiling constraints.
+//!
+//! Its integrality gap is 2 even on nested instances (paper §1) — the
+//! witness family is [`crate::instances::gap2_instance`].
+//!
+//! Jobs with identical `(r, d, p)` are aggregated into groups (`y(t,G) ≤
+//! q·x(t)`), which is exact for the same symmetry reason as in
+//! `atsched_core::lp_model` and keeps the adversarial families tractable
+//! for the exact rational simplex.
+
+use atsched_core::instance::Instance;
+use atsched_lp::{Cmp, LpStatus, Model, Scalar, VarId};
+
+/// A per-slot LP plus its variable layout.
+#[derive(Debug, Clone)]
+pub struct PerSlotLp<S> {
+    /// The model (minimize `Σ x(t)`).
+    pub model: Model<S>,
+    /// `(slot, var)` pairs.
+    pub x_vars: Vec<(i64, VarId)>,
+    /// Per (slot index, group index) assignment variables.
+    pub y_vars: Vec<Vec<(usize, VarId)>>,
+    /// Job groups: `(release, deadline, processing, count)`.
+    pub groups: Vec<(i64, i64, i64, i64)>,
+}
+
+/// Group identical jobs: returns `(r, d, p, count)` tuples.
+pub fn group_identical(inst: &Instance) -> Vec<(i64, i64, i64, i64)> {
+    let mut groups: Vec<(i64, i64, i64, i64)> = Vec::new();
+    for j in &inst.jobs {
+        match groups
+            .iter_mut()
+            .find(|g| g.0 == j.release && g.1 == j.deadline && g.2 == j.processing)
+        {
+            Some(g) => g.3 += 1,
+            None => groups.push((j.release, j.deadline, j.processing, 1)),
+        }
+    }
+    groups
+}
+
+/// Build the natural LP (no ceiling constraints).
+pub fn build<S: Scalar>(inst: &Instance) -> PerSlotLp<S> {
+    let slots = inst.candidate_slots();
+    let groups = group_identical(inst);
+    let mut model: Model<S> = Model::new();
+    let x_vars: Vec<(i64, VarId)> = slots
+        .iter()
+        .map(|&t| (t, model.add_var(format!("x{t}"), S::one())))
+        .collect();
+    let mut y_vars: Vec<Vec<(usize, VarId)>> = vec![Vec::new(); slots.len()];
+    for (gid, &(r, d, _, _)) in groups.iter().enumerate() {
+        for (k, &(t, _)) in x_vars.iter().enumerate() {
+            if r <= t && t < d {
+                let v = model.add_var(format!("y{t}g{gid}"), S::zero());
+                y_vars[k].push((gid, v));
+            }
+        }
+    }
+    // Jobs fully scheduled: Σ_t y(t,G) ≥ q·p.
+    for (gid, &(_, _, p, q)) in groups.iter().enumerate() {
+        let mut terms = Vec::new();
+        for per_slot in &y_vars {
+            if let Some((_, v)) = per_slot.iter().find(|(g, _)| *g == gid) {
+                terms.push((*v, S::one()));
+            }
+        }
+        model.add_constraint(terms, Cmp::Ge, S::from_i64(q * p));
+    }
+    // Capacity: Σ_G y(t,G) ≤ g·x(t).
+    for (k, per_slot) in y_vars.iter().enumerate() {
+        let mut terms: Vec<(VarId, S)> = per_slot.iter().map(|(_, v)| (*v, S::one())).collect();
+        terms.push((x_vars[k].1, S::from_i64(-inst.g)));
+        model.add_constraint(terms, Cmp::Le, S::zero());
+    }
+    // Per-slot job share: y(t,G) ≤ q·x(t); and x(t) ≤ 1.
+    for (k, per_slot) in y_vars.iter().enumerate() {
+        for (gid, v) in per_slot {
+            let q = groups[*gid].3;
+            model.add_constraint(
+                vec![(*v, S::one()), (x_vars[k].1, S::from_i64(-q))],
+                Cmp::Le,
+                S::zero(),
+            );
+        }
+    }
+    for &(_, v) in &x_vars {
+        model.add_constraint(vec![(v, S::one())], Cmp::Le, S::one());
+    }
+    PerSlotLp { model, x_vars, y_vars, groups }
+}
+
+/// Solve the natural LP; `None` when infeasible.
+pub fn value<S: Scalar>(inst: &Instance) -> Option<S> {
+    let lp = build::<S>(inst);
+    let sol = lp.model.solve().expect("simplex failure");
+    match sol.status {
+        LpStatus::Optimal => Some(sol.objective),
+        LpStatus::Infeasible => None,
+        LpStatus::Unbounded => unreachable!("min Σx ≥ 0"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{gap2_instance, lemma51_instance};
+    use atsched_core::instance::Job;
+    use atsched_num::Ratio;
+
+    #[test]
+    fn single_job_lp_equals_p() {
+        let inst = Instance::new(1, vec![Job::new(0, 5, 3)]).unwrap();
+        assert_eq!(value::<Ratio>(&inst), Some(Ratio::from_i64(3)));
+    }
+
+    #[test]
+    fn gap2_family_value_is_one_plus_one_over_g() {
+        for g in 2..=5i64 {
+            let inst = gap2_instance(g);
+            let v = value::<Ratio>(&inst).unwrap();
+            assert_eq!(
+                v,
+                Ratio::from_i64(1) + Ratio::from_frac(1, g),
+                "g = {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma51_value_is_g_plus_one() {
+        // Volume bound (g²+g)/g = g+1 is attained fractionally.
+        for g in 2..=3i64 {
+            let inst = lemma51_instance(g);
+            let v = value::<Ratio>(&inst).unwrap();
+            assert_eq!(v, Ratio::from_i64(g + 1), "g = {g}");
+        }
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let inst = Instance::new(1, vec![Job::new(0, 2, 1); 3]).unwrap();
+        assert_eq!(value::<Ratio>(&inst), None);
+    }
+
+    #[test]
+    fn grouping_counts() {
+        let inst = Instance::new(
+            2,
+            vec![Job::new(0, 2, 1), Job::new(0, 2, 1), Job::new(0, 3, 1)],
+        )
+        .unwrap();
+        let g = group_identical(&inst);
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(&(0, 2, 1, 2)));
+        assert!(g.contains(&(0, 3, 1, 1)));
+    }
+}

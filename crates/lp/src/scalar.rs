@@ -1,0 +1,235 @@
+//! The scalar-field abstraction the simplex solver is generic over.
+
+use atsched_num::{Int, Ratio};
+use std::fmt::{Debug, Display};
+
+/// Numeric operations the simplex method needs.
+///
+/// Implemented for [`Ratio`] (exact; `is_zero` means literally zero) and
+/// for `f64` (approximate; `is_zero` uses an absolute tolerance of
+/// `1e-9`, which is appropriate for the well-scaled scheduling LPs this
+/// workspace produces — coefficients are small integers and `g ≤ 10^6`).
+pub trait Scalar: Clone + PartialOrd + Debug + Display + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Exact conversion from a machine integer.
+    fn from_i64(v: i64) -> Self;
+    /// Sum.
+    fn add(&self, other: &Self) -> Self;
+    /// Difference.
+    fn sub(&self, other: &Self) -> Self;
+    /// Product.
+    fn mul(&self, other: &Self) -> Self;
+    /// Quotient. Callers guarantee `other` is not (numerically) zero.
+    fn div(&self, other: &Self) -> Self;
+    /// Additive inverse.
+    fn neg(&self) -> Self;
+    /// Is this (numerically) zero?
+    fn is_zero(&self) -> bool;
+    /// Strictly below (numerical) zero?
+    fn is_negative(&self) -> bool;
+    /// Strictly above (numerical) zero?
+    fn is_positive(&self) -> bool {
+        !self.is_zero() && !self.is_negative()
+    }
+    /// Lossy conversion for reporting.
+    fn to_f64(&self) -> f64;
+    /// Largest integer `≤ self` (exact for [`Ratio`]; rounds for `f64`).
+    fn floor_int(&self) -> i64;
+    /// Smallest integer `≥ self`.
+    fn ceil_int(&self) -> i64;
+}
+
+impl Scalar for Ratio {
+    fn zero() -> Self {
+        Ratio::zero()
+    }
+
+    fn one() -> Self {
+        Ratio::one()
+    }
+
+    fn from_i64(v: i64) -> Self {
+        Ratio::from_i64(v)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+
+    fn neg(&self) -> Self {
+        -self
+    }
+
+    fn is_zero(&self) -> bool {
+        Ratio::is_zero(self)
+    }
+
+    fn is_negative(&self) -> bool {
+        Ratio::is_negative(self)
+    }
+
+    fn to_f64(&self) -> f64 {
+        Ratio::to_f64(self)
+    }
+
+    fn floor_int(&self) -> i64 {
+        self.floor().to_i64().expect("Ratio::floor fits i64")
+    }
+
+    fn ceil_int(&self) -> i64 {
+        self.ceil().to_i64().expect("Ratio::ceil fits i64")
+    }
+}
+
+/// Absolute tolerance under which an `f64` tableau entry is treated as 0.
+pub(crate) const F64_EPS: f64 = 1e-9;
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+
+    fn neg(&self) -> Self {
+        -self
+    }
+
+    fn is_zero(&self) -> bool {
+        self.abs() <= F64_EPS
+    }
+
+    fn is_negative(&self) -> bool {
+        *self < -F64_EPS
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+
+    fn floor_int(&self) -> i64 {
+        // Snap values that are within tolerance of an integer first, so
+        // 2.9999999998 floors to 3 rather than 2.
+        let snapped = self.round();
+        if (self - snapped).abs() <= 1e-6 {
+            snapped as i64
+        } else {
+            self.floor() as i64
+        }
+    }
+
+    fn ceil_int(&self) -> i64 {
+        let snapped = self.round();
+        if (self - snapped).abs() <= 1e-6 {
+            snapped as i64
+        } else {
+            self.ceil() as i64
+        }
+    }
+}
+
+/// Convert an exact [`Int`] into any scalar (used by LP builders that are
+/// generic over the field).
+pub fn scalar_from_int<S: Scalar>(v: &Int) -> S {
+    match v.to_i64() {
+        Some(x) => S::from_i64(x),
+        None => {
+            // Fall back through the decimal representation; only reachable
+            // for enormous constants, which our builders never produce.
+            let mut acc = S::zero();
+            let ten = S::from_i64(10);
+            let s = v.to_string();
+            let (neg, digits) = match s.strip_prefix('-') {
+                Some(rest) => (true, rest),
+                None => (false, s.as_str()),
+            };
+            for b in digits.bytes() {
+                acc = acc.mul(&ten).add(&S::from_i64((b - b'0') as i64));
+            }
+            if neg {
+                acc.neg()
+            } else {
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_scalar_roundtrip() {
+        let a = <Ratio as Scalar>::from_i64(7);
+        let b = <Ratio as Scalar>::from_i64(2);
+        assert_eq!(a.div(&b), Ratio::from_frac(7, 2));
+        assert_eq!(a.div(&b).floor_int(), 3);
+        assert_eq!(a.div(&b).ceil_int(), 4);
+        assert!(a.sub(&a).is_zero());
+        assert!(b.sub(&a).is_negative());
+        assert!(a.sub(&b).is_positive());
+    }
+
+    #[test]
+    fn f64_scalar_tolerances() {
+        assert!(Scalar::is_zero(&1e-12));
+        assert!(!Scalar::is_zero(&1e-6));
+        assert!(Scalar::is_negative(&-1e-6));
+        assert!(!Scalar::is_negative(&-1e-12));
+        assert_eq!(2.9999999998f64.floor_int(), 3);
+        assert_eq!(2.5f64.floor_int(), 2);
+        assert_eq!(2.0000000001f64.ceil_int(), 2);
+        assert_eq!(2.5f64.ceil_int(), 3);
+    }
+
+    #[test]
+    fn scalar_from_int_small_and_big() {
+        let small = Int::from(123i64);
+        assert_eq!(scalar_from_int::<f64>(&small), 123.0_f64);
+        let big: Int = "123456789012345678901234567890".parse().unwrap();
+        let as_ratio: Ratio = scalar_from_int(&big);
+        assert_eq!(as_ratio, Ratio::from_int(big.clone()));
+        let as_f64: f64 = scalar_from_int(&big);
+        assert!((as_f64 - 1.2345678901234568e29).abs() / 1e29 < 1e-9);
+        let neg: Int = "-42".parse().unwrap();
+        assert_eq!(scalar_from_int::<f64>(&neg), -42.0);
+    }
+}

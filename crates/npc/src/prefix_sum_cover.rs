@@ -1,0 +1,162 @@
+//! The paper's *Prefix Sum Cover* problem (§6).
+//!
+//! Given `n` vectors `u₁, …, uₙ ∈ ℕ₊^d`, a target `v ∈ ℕ^d` and an
+//! integer `k`, decide whether some `k` vectors sum to a vector that
+//! *prefix-dominates* `v`: for every `j`, `Σ_{i ≤ j} sum_i ≥ Σ_{i ≤ j}
+//! v_i`. The restricted version used by the reduction to active-time
+//! scheduling additionally requires all vectors to be non-increasing,
+//! strictly positive (`u`), and with entries bounded by a polynomial `W`.
+
+/// A prefix sum cover instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSumCover {
+    /// The candidate vectors (all the same dimension).
+    pub vectors: Vec<Vec<i64>>,
+    /// The target vector.
+    pub target: Vec<i64>,
+    /// Exactly `k` vectors must be chosen (choosing fewer is never worse:
+    /// entries are non-negative, so padding preserves domination).
+    pub k: usize,
+}
+
+/// Does `sum` prefix-dominate `target`?
+pub fn prefix_dominates(sum: &[i64], target: &[i64]) -> bool {
+    debug_assert_eq!(sum.len(), target.len());
+    let mut ps = 0i64;
+    let mut pt = 0i64;
+    for (s, t) in sum.iter().zip(target) {
+        ps += s;
+        pt += t;
+        if ps < pt {
+            return false;
+        }
+    }
+    true
+}
+
+impl PrefixSumCover {
+    /// Validate dimensions and the restricted-version structure.
+    pub fn new(vectors: Vec<Vec<i64>>, target: Vec<i64>, k: usize) -> Result<Self, String> {
+        let d = target.len();
+        for (i, u) in vectors.iter().enumerate() {
+            if u.len() != d {
+                return Err(format!("vector {i} has wrong dimension"));
+            }
+            if u.iter().any(|&x| x < 1) {
+                return Err(format!("vector {i} is not strictly positive"));
+            }
+            if u.windows(2).any(|w| w[0] < w[1]) {
+                return Err(format!("vector {i} is not non-increasing"));
+            }
+        }
+        if target.iter().any(|&x| x < 0) {
+            return Err("target has negative entries".into());
+        }
+        if target.windows(2).any(|w| w[0] < w[1]) {
+            return Err("target is not non-increasing".into());
+        }
+        Ok(PrefixSumCover { vectors, target, k })
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.target.len()
+    }
+
+    /// Maximum scalar `W` appearing anywhere.
+    pub fn max_scalar(&self) -> i64 {
+        self.vectors
+            .iter()
+            .flatten()
+            .chain(self.target.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Do the chosen indices solve the instance?
+    pub fn check(&self, chosen: &[usize]) -> bool {
+        if chosen.len() != self.k {
+            return false;
+        }
+        let mut sum = vec![0i64; self.dim()];
+        for &i in chosen {
+            for (s, u) in sum.iter_mut().zip(&self.vectors[i]) {
+                *s += u;
+            }
+        }
+        prefix_dominates(&sum, &self.target)
+    }
+
+    /// Brute-force decision: is some `k`-subset a solution?
+    pub fn solvable(&self) -> bool {
+        let n = self.vectors.len();
+        if self.k > n {
+            return false;
+        }
+        assert!(n <= 20, "brute-force PSC limited to 20 vectors");
+        let mut chosen = Vec::with_capacity(self.k);
+        self.search(0, &mut chosen)
+    }
+
+    fn search(&self, start: usize, chosen: &mut Vec<usize>) -> bool {
+        if chosen.len() == self.k {
+            return self.check(chosen);
+        }
+        for i in start..self.vectors.len() {
+            chosen.push(i);
+            if self.search(i + 1, chosen) {
+                chosen.pop();
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domination_basics() {
+        assert!(prefix_dominates(&[3, 1], &[2, 2]));
+        assert!(!prefix_dominates(&[1, 3], &[2, 2]));
+        assert!(prefix_dominates(&[2, 2], &[2, 2]));
+        assert!(prefix_dominates(&[], &[]));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PrefixSumCover::new(vec![vec![2, 1]], vec![1, 1], 1).is_ok());
+        assert!(PrefixSumCover::new(vec![vec![1, 2]], vec![1, 1], 1).is_err()); // increasing u
+        assert!(PrefixSumCover::new(vec![vec![1, 0]], vec![1, 1], 1).is_err()); // zero entry
+        assert!(PrefixSumCover::new(vec![vec![2, 1]], vec![1, 2], 1).is_err()); // increasing v
+        assert!(PrefixSumCover::new(vec![vec![1]], vec![1, 1], 1).is_err()); // dim mismatch
+    }
+
+    #[test]
+    fn small_decisions() {
+        // Two vectors; need both to dominate [3,3].
+        let psc =
+            PrefixSumCover::new(vec![vec![2, 2], vec![2, 1]], vec![3, 3], 2).unwrap();
+        assert!(psc.solvable()); // sum = [4,3]: prefixes 4 ≥ 3, 7 ≥ 6 ✓
+        let psc1 =
+            PrefixSumCover::new(vec![vec![2, 2], vec![2, 1]], vec![3, 3], 1).unwrap();
+        assert!(!psc1.solvable());
+    }
+
+    #[test]
+    fn prefix_slack_carries_over() {
+        // Dimension 2: [5,1] dominates [3,3] because 5 ≥ 3, 6 ≥ 6.
+        let psc = PrefixSumCover::new(vec![vec![5, 1]], vec![3, 3], 1).unwrap();
+        assert!(psc.solvable());
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let psc = PrefixSumCover::new(vec![vec![1]], vec![1], 2).unwrap();
+        assert!(!psc.solvable());
+    }
+}

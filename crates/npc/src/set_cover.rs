@@ -1,0 +1,127 @@
+//! Classic Set Cover, with a brute-force solver for ground truth.
+
+/// A set cover instance: universe `{0, …, d-1}` and a family of subsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCover {
+    /// Universe size `d`.
+    pub universe: usize,
+    /// The subsets (each a sorted list of element indices `< universe`).
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCover {
+    /// Validate element ranges and sort members.
+    pub fn new(universe: usize, mut sets: Vec<Vec<usize>>) -> Result<Self, String> {
+        for (i, s) in sets.iter_mut().enumerate() {
+            s.sort_unstable();
+            s.dedup();
+            if s.iter().any(|&e| e >= universe) {
+                return Err(format!("set {i} contains an out-of-range element"));
+            }
+        }
+        Ok(SetCover { universe, sets })
+    }
+
+    /// Do the sets with the given indices cover the universe?
+    pub fn covers(&self, chosen: &[usize]) -> bool {
+        let mut hit = vec![false; self.universe];
+        for &i in chosen {
+            for &e in &self.sets[i] {
+                hit[e] = true;
+            }
+        }
+        hit.into_iter().all(|h| h)
+    }
+
+    /// Is the universe coverable with at most `k` sets? (brute force)
+    pub fn solvable_with(&self, k: usize) -> bool {
+        self.min_cover().is_some_and(|m| m <= k)
+    }
+
+    /// Minimum cover size by brute force; `None` if even all sets fail.
+    pub fn min_cover(&self) -> Option<usize> {
+        if self.universe == 0 {
+            return Some(0);
+        }
+        let n = self.sets.len();
+        assert!(n <= 20, "brute-force set cover limited to 20 sets");
+        let mut best: Option<usize> = None;
+        for mask in 0u32..(1 << n) {
+            let chosen: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            if self.covers(&chosen) {
+                best = Some(best.map_or(chosen.len(), |b: usize| b.min(chosen.len())));
+            }
+        }
+        best
+    }
+}
+
+/// Deterministic pseudo-random instance (SplitMix64-driven).
+pub fn random_set_cover(universe: usize, n_sets: usize, seed: u64) -> SetCover {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut sets: Vec<Vec<usize>> = Vec::with_capacity(n_sets);
+    for _ in 0..n_sets {
+        let mut s = Vec::new();
+        for e in 0..universe {
+            if next() % 2 == 0 {
+                s.push(e);
+            }
+        }
+        if s.is_empty() && universe > 0 {
+            s.push((next() % universe as u64) as usize);
+        }
+        sets.push(s);
+    }
+    // Guarantee coverability: sprinkle missing elements into random sets.
+    for e in 0..universe {
+        if !sets.iter().any(|s| s.contains(&e)) {
+            let i = (next() % n_sets as u64) as usize;
+            sets[i].push(e);
+        }
+    }
+    SetCover::new(universe, sets).expect("generator emits valid sets")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        let sc = SetCover::new(0, vec![]).unwrap();
+        assert_eq!(sc.min_cover(), Some(0));
+        let sc = SetCover::new(2, vec![vec![0, 1]]).unwrap();
+        assert_eq!(sc.min_cover(), Some(1));
+        let sc = SetCover::new(2, vec![vec![0]]).unwrap();
+        assert_eq!(sc.min_cover(), None);
+    }
+
+    #[test]
+    fn classic_three_sets() {
+        // {0,1}, {1,2}, {2,3}: cover {0..3} needs 2 sets.
+        let sc = SetCover::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        assert_eq!(sc.min_cover(), Some(2));
+        assert!(sc.solvable_with(2));
+        assert!(!sc.solvable_with(1));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(SetCover::new(2, vec![vec![5]]).is_err());
+    }
+
+    #[test]
+    fn generator_coverable() {
+        for seed in 0..20 {
+            let sc = random_set_cover(5, 4, seed);
+            assert!(sc.min_cover().is_some(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,1065 @@
+//! Sign-magnitude arbitrary-precision integers.
+//!
+//! Representation: `sign ∈ {-1, 0, +1}` plus a little-endian vector of
+//! `u64` limbs with no trailing (most-significant) zero limbs. The zero
+//! value is canonically `sign = 0, mag = []`.
+//!
+//! The implementation favours clarity and exactness over peak throughput,
+//! but includes the two optimizations that matter for the exact simplex
+//! workload: Karatsuba multiplication above a limb threshold and Knuth
+//! Algorithm D long division (both validated against `u128` ground truth
+//! and property tests).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Limbs at or above this length use Karatsuba multiplication.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// An arbitrary-precision signed integer.
+///
+/// See the [crate docs](crate) for why this exists. All arithmetic is
+/// exact; operations never overflow (they allocate instead).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Int {
+    /// -1, 0, or +1. Zero iff `mag` is empty.
+    sign: i8,
+    /// Little-endian magnitude; no high zero limbs.
+    mag: Vec<u64>,
+}
+
+impl Int {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        Int { sign: 0, mag: Vec::new() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        Int { sign: 1, mag: vec![1] }
+    }
+
+    /// Construct from a raw sign and magnitude, normalizing.
+    fn from_sign_mag(sign: i8, mut mag: Vec<u64>) -> Self {
+        trim(&mut mag);
+        if mag.is_empty() {
+            Int::zero()
+        } else {
+            debug_assert!(sign == 1 || sign == -1);
+            Int { sign, mag }
+        }
+    }
+
+    /// True iff this is 0.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// True iff this is 1.
+    pub fn is_one(&self) -> bool {
+        self.sign == 1 && self.mag.len() == 1 && self.mag[0] == 1
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// True iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// The sign as -1 / 0 / +1.
+    pub fn signum(&self) -> i8 {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        if self.sign < 0 {
+            Int { sign: 1, mag: self.mag.clone() }
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Number of significant bits of the magnitude (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&hi) => (self.mag.len() as u64) * 64 - hi.leading_zeros() as u64,
+        }
+    }
+
+    /// True iff the magnitude is even.
+    pub fn is_even(&self) -> bool {
+        self.mag.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Quotient and remainder of truncated division (`q` rounds toward
+    /// zero; `r` has the sign of `self`, with `self == q*rhs + r` and
+    /// `|r| < |rhs|`).
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &Int) -> (Int, Int) {
+        assert!(!rhs.is_zero(), "Int division by zero");
+        if self.is_zero() {
+            return (Int::zero(), Int::zero());
+        }
+        let (q_mag, r_mag) = mag_div_rem(&self.mag, &rhs.mag);
+        let q_sign = self.sign * rhs.sign;
+        let q = Int::from_sign_mag(q_sign, q_mag);
+        let r = Int::from_sign_mag(self.sign, r_mag);
+        (q, r)
+    }
+
+    /// Euclidean division: quotient rounded toward negative infinity.
+    pub fn div_floor(&self, rhs: &Int) -> Int {
+        let (q, r) = self.div_rem(rhs);
+        if !r.is_zero() && (r.sign * rhs.sign) < 0 {
+            q - Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling division: quotient rounded toward positive infinity.
+    pub fn div_ceil_int(&self, rhs: &Int) -> Int {
+        let (q, r) = self.div_rem(rhs);
+        if !r.is_zero() && (r.sign * rhs.sign) > 0 {
+            q + Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// `self^exp` by binary exponentiation. `0^0 == 1`.
+    pub fn pow(&self, exp: u32) -> Int {
+        let mut base = self.clone();
+        let mut exp = exp;
+        let mut acc = Int::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Shift left by `n` bits (multiply by 2^n).
+    pub fn shl(&self, n: u32) -> Int {
+        if self.is_zero() {
+            return Int::zero();
+        }
+        Int::from_sign_mag(self.sign, mag_shl(&self.mag, n as usize))
+    }
+
+    /// Shift the magnitude right by `n` bits, truncating toward zero.
+    pub fn shr(&self, n: u32) -> Int {
+        if self.is_zero() {
+            return Int::zero();
+        }
+        Int::from_sign_mag(self.sign, mag_shr(&self.mag, n as usize))
+    }
+
+    /// Lossy conversion to `f64` (round-to-nearest on the top bits; very
+    /// large values map to ±inf).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        let v = if bits <= 128 {
+            let mut v: u128 = 0;
+            for (i, &l) in self.mag.iter().enumerate() {
+                v |= (l as u128) << (64 * i);
+            }
+            v as f64
+        } else {
+            // Take the top 128 bits and scale.
+            let shift = bits - 128;
+            let top = self.shr(shift as u32);
+            let mut v: u128 = 0;
+            for (i, &l) in top.mag.iter().enumerate() {
+                v |= (l as u128) << (64 * i);
+            }
+            (v as f64) * 2f64.powi(shift as i32)
+        };
+        if self.sign < 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Checked conversion to `i64`.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => {
+                let m = self.mag[0];
+                if self.sign > 0 && m <= i64::MAX as u64 {
+                    Some(m as i64)
+                } else if self.sign < 0 && m <= (i64::MAX as u64) + 1 {
+                    Some((m as i64).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Checked conversion to `u64` (fails for negatives).
+    pub fn to_u64(&self) -> Option<u64> {
+        match (self.sign, self.mag.len()) {
+            (0, _) => Some(0),
+            (1, 1) => Some(self.mag[0]),
+            _ => None,
+        }
+    }
+
+    /// Compare magnitudes only (ignoring sign).
+    pub fn cmp_abs(&self, other: &Int) -> Ordering {
+        mag_cmp(&self.mag, &other.mag)
+    }
+}
+
+// --- conversions -----------------------------------------------------------
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int { sign: 1, mag: vec![v as u64] },
+            Ordering::Less => Int { sign: -1, mag: vec![(v as i128).unsigned_abs() as u64] },
+        }
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Int::zero()
+        } else {
+            Int { sign: 1, mag: vec![v] }
+        }
+    }
+}
+
+impl From<i32> for Int {
+    fn from(v: i32) -> Self {
+        Int::from(v as i64)
+    }
+}
+
+impl From<usize> for Int {
+    fn from(v: usize) -> Self {
+        Int::from(v as u64)
+    }
+}
+
+impl From<i128> for Int {
+    fn from(v: i128) -> Self {
+        if v == 0 {
+            return Int::zero();
+        }
+        let sign = if v > 0 { 1 } else { -1 };
+        let m = v.unsigned_abs();
+        let mut mag = vec![m as u64, (m >> 64) as u64];
+        trim(&mut mag);
+        Int { sign, mag }
+    }
+}
+
+impl From<u128> for Int {
+    fn from(v: u128) -> Self {
+        if v == 0 {
+            return Int::zero();
+        }
+        let mut mag = vec![v as u64, (v >> 64) as u64];
+        trim(&mut mag);
+        Int { sign: 1, mag }
+    }
+}
+
+/// Error when parsing an [`Int`] from a decimal string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntError(pub(crate) String);
+
+impl fmt::Display for ParseIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big-integer literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseIntError {}
+
+impl FromStr for Int {
+    type Err = ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.as_bytes().first() {
+            Some(b'-') => (-1i8, &s[1..]),
+            Some(b'+') => (1, &s[1..]),
+            _ => (1, s),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseIntError(s.to_owned()));
+        }
+        // Consume 19 decimal digits (one u64-sized chunk) per step.
+        let mut acc = Int::zero();
+        let chunk_base = Int::from(10_000_000_000_000_000_000u64); // 10^19
+        let bytes = digits.as_bytes();
+        let mut idx = 0;
+        let first_len = {
+            let rem = bytes.len() % 19;
+            if rem == 0 {
+                19.min(bytes.len())
+            } else {
+                rem
+            }
+        };
+        while idx < bytes.len() {
+            let len = if idx == 0 { first_len } else { 19 };
+            let chunk = &digits[idx..idx + len];
+            let val: u64 = chunk.parse().expect("ascii digits");
+            if idx == 0 {
+                acc = Int::from(val);
+            } else {
+                acc = &(&acc * &chunk_base) + &Int::from(val);
+            }
+            idx += len;
+        }
+        if sign < 0 {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeatedly divide by 10^19, collecting low-order chunks.
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut mag = self.mag.clone();
+        while !mag.is_empty() {
+            let rem = mag_div_single_in_place(&mut mag, 10_000_000_000_000_000_000u64);
+            trim(&mut mag);
+            chunks.push(rem);
+        }
+        let mut s = String::with_capacity(chunks.len() * 19);
+        for (i, chunk) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:019}"));
+            }
+        }
+        f.pad_integral(self.sign >= 0, "", &s)
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Int({self})")
+    }
+}
+
+// --- ordering ---------------------------------------------------------------
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        match self.sign {
+            0 => Ordering::Equal,
+            1 => mag_cmp(&self.mag, &other.mag),
+            _ => mag_cmp(&other.mag, &self.mag),
+        }
+    }
+}
+
+// --- arithmetic on references (canonical impls) ------------------------------
+
+impl<'b> Add<&'b Int> for &Int {
+    type Output = Int;
+    fn add(self, rhs: &'b Int) -> Int {
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if self.sign == rhs.sign {
+            Int::from_sign_mag(self.sign, mag_add(&self.mag, &rhs.mag))
+        } else {
+            match mag_cmp(&self.mag, &rhs.mag) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int::from_sign_mag(self.sign, mag_sub(&self.mag, &rhs.mag)),
+                Ordering::Less => Int::from_sign_mag(rhs.sign, mag_sub(&rhs.mag, &self.mag)),
+            }
+        }
+    }
+}
+
+impl<'b> Sub<&'b Int> for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &'b Int) -> Int {
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        let negated = Int { sign: -rhs.sign, mag: rhs.mag.clone() };
+        self + &negated
+    }
+}
+
+impl<'b> Mul<&'b Int> for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &'b Int) -> Int {
+        if self.is_zero() || rhs.is_zero() {
+            return Int::zero();
+        }
+        Int::from_sign_mag(self.sign * rhs.sign, mag_mul(&self.mag, &rhs.mag))
+    }
+}
+
+impl<'b> Div<&'b Int> for &Int {
+    type Output = Int;
+    fn div(self, rhs: &'b Int) -> Int {
+        self.div_rem(rhs).0
+    }
+}
+
+impl<'b> Rem<&'b Int> for &Int {
+    type Output = Int;
+    fn rem(self, rhs: &'b Int) -> Int {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                (&self).$method(&rhs)
+            }
+        }
+        impl<'b> $trait<&'b Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: &'b Int) -> Int {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag }
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag.clone() }
+    }
+}
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, rhs: &Int) {
+        *self = &*self * rhs;
+    }
+}
+
+impl std::iter::Sum for Int {
+    fn sum<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::zero(), |a, b| a + b)
+    }
+}
+
+// --- gcd ---------------------------------------------------------------------
+
+/// Euclidean gcd on magnitudes; result is non-negative.
+pub(crate) fn gcd(a: &Int, b: &Int) -> Int {
+    let mut a = a.abs();
+    let mut b = b.abs();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+// --- magnitude (unsigned little-endian limb vector) helpers -------------------
+
+fn trim(mag: &mut Vec<u64>) {
+    while mag.last() == Some(&0) {
+        mag.pop();
+    }
+}
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = long[i] as u128 + *short.get(i).unwrap_or(&0) as u128 + carry as u128;
+        out.push(s as u64);
+        carry = (s >> 64) as u64;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Requires `a >= b` (as magnitudes).
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let bi = *b.get(i).unwrap_or(&0);
+        let (d, b1) = a[i].overflowing_sub(bi);
+        let (d, b2) = d.overflowing_sub(borrow);
+        out.push(d);
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+    trim(&mut out);
+    out
+}
+
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) >= KARATSUBA_THRESHOLD {
+        karatsuba_mul(a, b)
+    } else {
+        schoolbook_mul(a, b)
+    }
+}
+
+fn schoolbook_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+/// Karatsuba multiplication: splits at `m = min(len)/2`-ish and recurses.
+fn karatsuba_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let m = a.len().min(b.len()) / 2;
+    debug_assert!(m >= 1);
+    let (a0, a1) = a.split_at(m);
+    let (b0, b1) = b.split_at(m);
+    // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)*(b0+b1) - z0 - z2
+    let z0 = mag_mul_trimmed(a0, b0);
+    let z2 = mag_mul_trimmed(a1, b1);
+    let a01 = mag_add(&trimmed(a0), &trimmed(a1));
+    let b01 = mag_add(&trimmed(b0), &trimmed(b1));
+    let mut z1 = mag_mul(&a01, &b01);
+    z1 = mag_sub(&z1, &z0);
+    z1 = mag_sub(&z1, &z2);
+    // result = z0 + z1 << 64m + z2 << 128m
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_into(&mut out, &z0, 0);
+    add_into(&mut out, &z1, m);
+    add_into(&mut out, &z2, 2 * m);
+    trim(&mut out);
+    out
+}
+
+fn trimmed(a: &[u64]) -> Vec<u64> {
+    let mut v = a.to_vec();
+    trim(&mut v);
+    v
+}
+
+fn mag_mul_trimmed(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let a = trimmed(a);
+    let b = trimmed(b);
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    mag_mul(&a, &b)
+}
+
+/// `out[offset..] += addend` with carry propagation.
+fn add_into(out: &mut [u64], addend: &[u64], offset: usize) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < addend.len() || carry != 0 {
+        let a = *addend.get(i).unwrap_or(&0);
+        let s = out[offset + i] as u128 + a as u128 + carry as u128;
+        out[offset + i] = s as u64;
+        carry = (s >> 64) as u64;
+        i += 1;
+    }
+}
+
+fn mag_shl(mag: &[u64], n: usize) -> Vec<u64> {
+    let limb_shift = n / 64;
+    let bit_shift = n % 64;
+    let mut out = vec![0u64; mag.len() + limb_shift + 1];
+    for (i, &l) in mag.iter().enumerate() {
+        if bit_shift == 0 {
+            out[i + limb_shift] |= l;
+        } else {
+            out[i + limb_shift] |= l << bit_shift;
+            out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+fn mag_shr(mag: &[u64], n: usize) -> Vec<u64> {
+    let limb_shift = n / 64;
+    let bit_shift = n % 64;
+    if limb_shift >= mag.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(mag.len() - limb_shift);
+    for i in limb_shift..mag.len() {
+        let mut l = mag[i] >> bit_shift;
+        if bit_shift > 0 && i + 1 < mag.len() {
+            l |= mag[i + 1] << (64 - bit_shift);
+        }
+        out.push(l);
+    }
+    trim(&mut out);
+    out
+}
+
+/// Divide magnitude by a single limb in place; returns the remainder.
+fn mag_div_single_in_place(mag: &mut [u64], d: u64) -> u64 {
+    debug_assert!(d != 0);
+    let mut rem = 0u128;
+    for l in mag.iter_mut().rev() {
+        let cur = (rem << 64) | *l as u128;
+        *l = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    rem as u64
+}
+
+/// Knuth Algorithm D long division on magnitudes. Returns `(quotient,
+/// remainder)`.
+fn mag_div_rem(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    debug_assert!(!v.is_empty());
+    match mag_cmp(u, v) {
+        Ordering::Less => return (Vec::new(), u.to_vec()),
+        Ordering::Equal => return (vec![1], Vec::new()),
+        Ordering::Greater => {}
+    }
+    if v.len() == 1 {
+        let mut q = u.to_vec();
+        let rem = mag_div_single_in_place(&mut q, v[0]);
+        trim(&mut q);
+        let r = if rem == 0 { Vec::new() } else { vec![rem] };
+        return (q, r);
+    }
+
+    // Normalize: shift so the divisor's top bit is set.
+    let shift = v.last().unwrap().leading_zeros() as usize;
+    let vn = mag_shl(v, shift);
+    let mut un = mag_shl(u, shift);
+    debug_assert_eq!(vn.len(), v.len());
+    un.resize(u.len() + 1, 0); // ensure an extra high limb
+
+    let n = vn.len();
+    let m = un.len() - n - 1; // quotient has m+1 limbs
+    let b: u128 = 1 << 64;
+    let d1 = vn[n - 1] as u128;
+    let d0 = vn[n - 2] as u128;
+
+    let mut q = vec![0u64; m + 1];
+    for j in (0..=m).rev() {
+        let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = num / d1;
+        let mut rhat = num % d1;
+        loop {
+            if qhat >= b || qhat * d0 > ((rhat << 64) | un[j + n - 2] as u128) {
+                qhat -= 1;
+                rhat += d1;
+                if rhat < b {
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // Multiply and subtract: un[j..j+n+1] -= qhat * vn.
+        let mut carry: u128 = 0;
+        let mut borrow: u64 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let (d, b1) = un[j + i].overflowing_sub(p as u64);
+            let (d, b2) = d.overflowing_sub(borrow);
+            un[j + i] = d;
+            borrow = b1 as u64 + b2 as u64;
+        }
+        let (d, b1) = un[j + n].overflowing_sub(carry as u64);
+        let (d, b2) = d.overflowing_sub(borrow);
+        un[j + n] = d;
+
+        if b1 || b2 {
+            // qhat was one too large: add the divisor back.
+            qhat -= 1;
+            let mut c = 0u64;
+            for i in 0..n {
+                let s = un[j + i] as u128 + vn[i] as u128 + c as u128;
+                un[j + i] = s as u64;
+                c = (s >> 64) as u64;
+            }
+            un[j + n] = un[j + n].wrapping_add(c);
+        }
+        q[j] = qhat as u64;
+    }
+
+    trim(&mut q);
+    let mut r = mag_shr(&un[..n], shift);
+    trim(&mut r);
+    (q, r)
+}
+
+// --- serde (decimal strings: robust and readable) -----------------------------
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Int {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Int {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+// --- tests --------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn int(v: i128) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(Int::zero().is_zero());
+        assert!(Int::one().is_one());
+        assert_eq!(Int::zero(), Int::from(0i64));
+        assert_eq!(Int::zero().to_string(), "0");
+        assert_eq!((-Int::one()).to_string(), "-1");
+        assert_eq!(Int::zero().bits(), 0);
+        assert_eq!(Int::one().bits(), 1);
+        assert_eq!(Int::from(256u64).bits(), 9);
+    }
+
+    #[test]
+    fn from_i64_extremes() {
+        assert_eq!(Int::from(i64::MIN).to_string(), i64::MIN.to_string());
+        assert_eq!(Int::from(i64::MAX).to_string(), i64::MAX.to_string());
+        assert_eq!(Int::from(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(Int::from(i64::MAX).to_i64(), Some(i64::MAX));
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(int(2) + int(3), int(5));
+        assert_eq!(int(-2) + int(3), int(1));
+        assert_eq!(int(2) + int(-3), int(-1));
+        assert_eq!(int(-2) + int(-3), int(-5));
+        assert_eq!(int(7) - int(7), Int::zero());
+        assert_eq!(int(0) - int(7), int(-7));
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(int(6) * int(-7), int(-42));
+        assert_eq!(int(-6) * int(-7), int(42));
+        assert_eq!(int(0) * int(-7), Int::zero());
+    }
+
+    #[test]
+    fn div_rem_truncates_toward_zero() {
+        assert_eq!(int(7).div_rem(&int(2)), (int(3), int(1)));
+        assert_eq!(int(-7).div_rem(&int(2)), (int(-3), int(-1)));
+        assert_eq!(int(7).div_rem(&int(-2)), (int(-3), int(1)));
+        assert_eq!(int(-7).div_rem(&int(-2)), (int(3), int(-1)));
+    }
+
+    #[test]
+    fn div_floor_and_ceil() {
+        assert_eq!(int(7).div_floor(&int(2)), int(3));
+        assert_eq!(int(-7).div_floor(&int(2)), int(-4));
+        assert_eq!(int(7).div_ceil_int(&int(2)), int(4));
+        assert_eq!(int(-7).div_ceil_int(&int(2)), int(-3));
+        assert_eq!(int(8).div_floor(&int(2)), int(4));
+        assert_eq!(int(8).div_ceil_int(&int(2)), int(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = int(5).div_rem(&Int::zero());
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(int(3).pow(0), Int::one());
+        assert_eq!(int(3).pow(4), int(81));
+        assert_eq!(int(-2).pow(5), int(-32));
+        assert_eq!(int(10).pow(19).to_string(), "10000000000000000000");
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip_large() {
+        let s = "123456789012345678901234567890123456789";
+        let v: Int = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        let neg: Int = format!("-{s}").parse().unwrap();
+        assert_eq!(neg.to_string(), format!("-{s}"));
+        assert!(neg < Int::zero());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Int>().is_err());
+        assert!("-".parse::<Int>().is_err());
+        assert!("12a".parse::<Int>().is_err());
+        assert!("1 2".parse::<Int>().is_err());
+    }
+
+    #[test]
+    fn ordering_mixed_signs() {
+        assert!(int(-5) < int(3));
+        assert!(int(3) < int(5));
+        assert!(int(-3) > int(-5));
+        assert!(Int::zero() > int(-1));
+        assert!(Int::zero() < int(1));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(int(1).shl(70).shr(70), int(1));
+        assert_eq!(int(5).shl(3), int(40));
+        assert_eq!(int(40).shr(3), int(5));
+        assert_eq!(int(41).shr(3), int(5)); // truncates
+        assert_eq!(int(-40).shr(3), int(-5));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(gcd(&int(12), &int(18)), int(6));
+        assert_eq!(gcd(&int(-12), &int(18)), int(6));
+        assert_eq!(gcd(&int(0), &int(5)), int(5));
+        assert_eq!(gcd(&int(0), &int(0)), Int::zero());
+        assert_eq!(gcd(&int(7), &int(13)), int(1));
+    }
+
+    #[test]
+    fn to_f64_small_and_huge() {
+        assert_eq!(int(12345).to_f64(), 12345.0);
+        assert_eq!(int(-12345).to_f64(), -12345.0);
+        let big = Int::from(10i64).pow(40);
+        let f = big.to_f64();
+        assert!((f - 1e40).abs() / 1e40 < 1e-12);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands big enough to trip the Karatsuba path.
+        let mut a_mag = Vec::new();
+        let mut b_mag = Vec::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..(KARATSUBA_THRESHOLD * 2 + 3) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            a_mag.push(x);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b_mag.push(x);
+        }
+        let kar = karatsuba_mul(&a_mag, &b_mag);
+        let sch = schoolbook_mul(&a_mag, &b_mag);
+        assert_eq!(kar, sch);
+    }
+
+    #[test]
+    fn division_identity_large() {
+        let a: Int = "987654321098765432109876543210987654321098765432109".parse().unwrap();
+        let b: Int = "123456789012345678901".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r.cmp_abs(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn division_algorithm_d_addback_path() {
+        // Crafted operand pattern known to exercise the add-back branch:
+        // divisor with max-limb prefix.
+        let u = Int::from_sign_mag(1, vec![0, 0, 0x8000000000000000, 0x7fffffffffffffff]);
+        let v = Int::from_sign_mag(1, vec![u64::MAX, 0x8000000000000000]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r.cmp_abs(&v) == Ordering::Less);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            let r = int(a as i128) + int(b as i128);
+            prop_assert_eq!(r, int(a as i128 + b as i128));
+        }
+
+        #[test]
+        fn prop_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            let r = int(a as i128) * int(b as i128);
+            prop_assert_eq!(r, int(a as i128 * b as i128));
+        }
+
+        #[test]
+        fn prop_div_rem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+            let (q, r) = int(a as i128).div_rem(&int(b as i128));
+            prop_assert_eq!(q, int(a as i128 / b as i128));
+            prop_assert_eq!(r, int(a as i128 % b as i128));
+        }
+
+        #[test]
+        fn prop_div_rem_identity_big(
+            a in proptest::collection::vec(any::<u64>(), 1..8),
+            b in proptest::collection::vec(any::<u64>(), 1..5),
+        ) {
+            let a = Int::from_sign_mag(1, a);
+            let b = Int::from_sign_mag(1, b);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+            prop_assert!(r.cmp_abs(&b) == Ordering::Less);
+            prop_assert!(!r.is_negative());
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(
+            mag in proptest::collection::vec(any::<u64>(), 0..6),
+            neg in any::<bool>(),
+        ) {
+            let mut v = Int::from_sign_mag(1, mag);
+            if neg { v = -v; }
+            let s = v.to_string();
+            let back: Int = s.parse().unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        #[test]
+        fn prop_mul_karatsuba_consistency(
+            a in proptest::collection::vec(any::<u64>(), 64..80),
+            b in proptest::collection::vec(any::<u64>(), 64..80),
+        ) {
+            let mut a = a; trim(&mut a);
+            let mut b = b; trim(&mut b);
+            prop_assume!(!a.is_empty() && !b.is_empty());
+            prop_assert_eq!(mag_mul(&a, &b), schoolbook_mul(&a, &b));
+        }
+
+        #[test]
+        fn prop_gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+            let g = gcd(&int(a as i128), &int(b as i128));
+            if !g.is_zero() {
+                prop_assert!((int(a as i128) % &g).is_zero());
+                prop_assert!((int(b as i128) % &g).is_zero());
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn prop_shl_shr_roundtrip(mag in proptest::collection::vec(any::<u64>(), 1..5), n in 0u32..200) {
+            let v = Int::from_sign_mag(1, mag);
+            prop_assume!(!v.is_zero());
+            prop_assert_eq!(v.shl(n).shr(n), v);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # atsched-num
+//!
+//! Arbitrary-precision signed integers ([`Int`]) and exact rationals
+//! ([`Ratio`]) built from scratch for the nested active-time scheduling
+//! reproduction.
+//!
+//! The 9/5-approximation of Cao et al. (SPAA 2022) starts by *solving a
+//! linear program* and then makes rounding decisions through exact
+//! comparisons such as `x(i) < L(i)` and `9·x(Des(i)) ≥ 5·(x̃(Des(i)) + 1)`.
+//! Floating-point noise at those comparison boundaries can flip a rounding
+//! decision, so the reference pipeline runs the simplex method and the
+//! rounding procedure entirely over exact rationals. No external bignum
+//! crate is on the approved dependency list; this crate is the substrate.
+//!
+//! ## Contents
+//!
+//! * [`Int`] — sign-magnitude big integer over little-endian `u64` limbs.
+//!   Schoolbook and Karatsuba multiplication, Knuth Algorithm D division,
+//!   Euclidean gcd, decimal parsing/printing, `f64` conversion.
+//! * [`Ratio`] — always-normalized rational (`den > 0`, `gcd(num,den)=1`)
+//!   with overflow-free exact arithmetic and total ordering.
+//!
+//! ## Example
+//!
+//! ```
+//! use atsched_num::{Int, Ratio};
+//!
+//! let a = Int::from(10i64).pow(30) + Int::from(7i64);
+//! let (q, r) = a.div_rem(&Int::from(9i64));
+//! assert_eq!(&(&q * &Int::from(9i64)) + &r, a);
+//!
+//! let x = Ratio::new(Int::from(9i64), Int::from(5i64)); // 9/5
+//! assert_eq!(x.floor(), Int::from(1i64));
+//! assert_eq!(x.ceil(), Int::from(2i64));
+//! assert!(x > Ratio::from_i64(1) && x < Ratio::from_i64(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod int;
+mod ratio;
+
+pub use int::Int;
+pub use ratio::Ratio;
+
+/// Greatest common divisor of two [`Int`]s (always non-negative).
+///
+/// `gcd(0, 0) = 0`; otherwise the result is positive.
+pub fn gcd(a: &Int, b: &Int) -> Int {
+    int::gcd(a, b)
+}
+
+/// Least common multiple of two [`Int`]s (always non-negative).
+pub fn lcm(a: &Int, b: &Int) -> Int {
+    if a.is_zero() || b.is_zero() {
+        return Int::zero();
+    }
+    let g = gcd(a, b);
+    (&(a / &g) * b).abs()
+}

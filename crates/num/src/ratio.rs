@@ -1,0 +1,655 @@
+//! Exact rational numbers over [`Int`].
+//!
+//! Invariants maintained by every constructor and operation:
+//! * the denominator is strictly positive,
+//! * numerator and denominator are coprime,
+//! * zero is represented as `0/1`.
+
+use crate::int::Int;
+use crate::int::ParseIntError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number (always normalized).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: Int,
+    den: Int,
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::zero()
+    }
+}
+
+impl Ratio {
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Ratio { num: Int::zero(), den: Int::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Ratio { num: Int::one(), den: Int::one() }
+    }
+
+    /// Construct `num/den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: Int, den: Int) -> Self {
+        assert!(!den.is_zero(), "Ratio with zero denominator");
+        if num.is_zero() {
+            return Ratio::zero();
+        }
+        let g = crate::gcd(&num, &den);
+        let mut num = &num / &g;
+        let mut den = &den / &g;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Ratio { num, den }
+    }
+
+    /// An integer as a rational.
+    pub fn from_int(v: Int) -> Self {
+        Ratio { num: v, den: Int::one() }
+    }
+
+    /// An `i64` as a rational.
+    pub fn from_i64(v: i64) -> Self {
+        Ratio::from_int(Int::from(v))
+    }
+
+    /// `a/b` from machine integers.
+    ///
+    /// # Panics
+    /// Panics if `b == 0`.
+    pub fn from_frac(a: i64, b: i64) -> Self {
+        Ratio::new(Int::from(a), Int::from(b))
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &Int {
+        &self.den
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True iff the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign as -1/0/+1.
+    pub fn signum(&self) -> i8 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Largest integer `≤ self`.
+    pub fn floor(&self) -> Int {
+        self.num.div_floor(&self.den)
+    }
+
+    /// Smallest integer `≥ self`.
+    pub fn ceil(&self) -> Int {
+        self.num.div_ceil_int(&self.den)
+    }
+
+    /// Fractional part `self - floor(self)` (in `[0, 1)`).
+    pub fn fract(&self) -> Ratio {
+        self - &Ratio::from_int(self.floor())
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "Ratio::recip of zero");
+        Ratio::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Both operands are pre-shifted so the conversion stays in the finite
+    /// `f64` range even for very large numerators/denominators (as produced
+    /// by long exact simplex runs).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.num.bits().max(self.den.bits());
+        if bits <= 900 {
+            let d = self.den.to_f64();
+            return self.num.to_f64() / d;
+        }
+        let shift = (bits - 900) as u32;
+        let n = self.num.shr(shift).to_f64();
+        let mut d = self.den.shr(shift).to_f64();
+        if d == 0.0 {
+            d = 1.0;
+        }
+        n / d
+    }
+
+    /// The smaller of two rationals (by value).
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals (by value).
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `self^exp` for a (possibly negative) machine exponent.
+    ///
+    /// # Panics
+    /// Panics on `0^negative`.
+    pub fn pow(&self, exp: i32) -> Ratio {
+        if exp >= 0 {
+            Ratio { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// Best rational approximation of a float with denominator at most
+    /// `max_den`, via the continued-fraction convergent/semiconvergent
+    /// construction (the Stern–Brocot best-approximation property).
+    ///
+    /// Useful for *rationalizing* an `f64` LP solution — snapping values
+    /// like `0.33333333331` back to `1/3` before exact post-processing.
+    /// Returns `None` for NaN/±∞ or `max_den < 1`.
+    pub fn from_f64_approx(x: f64, max_den: u64) -> Option<Ratio> {
+        if !x.is_finite() || max_den < 1 {
+            return None;
+        }
+        let negative = x < 0.0;
+        let target = x.abs();
+        let mk = |p: i128, q: i128| {
+            let r = Ratio::new(Int::from(p), Int::from(q));
+            if negative {
+                -r
+            } else {
+                r
+            }
+        };
+
+        // Continued-fraction expansion with convergents p/q.
+        let (mut p0, mut q0) = (1i128, 0i128);
+        let (mut p1, mut q1) = (target.floor() as i128, 1i128);
+        let mut frac = target - target.floor();
+        while frac > 1e-12 {
+            let inv = 1.0 / frac;
+            let a_f = inv.floor();
+            if a_f >= 1e17 {
+                break; // numeric noise floor reached
+            }
+            frac = inv - a_f;
+            let a = a_f as i128;
+            let (p2, q2) = (a * p1 + p0, a * q1 + q0);
+            if q2 > max_den as i128 {
+                // Best semiconvergent within the bound, if any, else the
+                // last convergent; pick whichever is closer to the input.
+                let k = (max_den as i128 - q0) / q1;
+                let conv = mk(p1, q1);
+                if k >= 1 {
+                    let semi = mk(k * p1 + p0, k * q1 + q0);
+                    let err_semi = (semi.to_f64() - x).abs();
+                    let err_conv = (conv.to_f64() - x).abs();
+                    return Some(if err_semi < err_conv { semi } else { conv });
+                }
+                return Some(conv);
+            }
+            (p0, q0, p1, q1) = (p1, q1, p2, q2);
+        }
+        Some(mk(p1, q1))
+    }
+}
+
+// --- arithmetic ---------------------------------------------------------------
+
+impl<'b> Add<&'b Ratio> for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &'b Ratio) -> Ratio {
+        // a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)), g = gcd(b, d).
+        let g = crate::gcd(&self.den, &rhs.den);
+        let db = &self.den / &g;
+        let dd = &rhs.den / &g;
+        let num = &(&self.num * &dd) + &(&rhs.num * &db);
+        let den = &self.den * &dd;
+        Ratio::new(num, den)
+    }
+}
+
+impl<'b> Sub<&'b Ratio> for &Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: &'b Ratio) -> Ratio {
+        let neg = Ratio { num: -rhs.num.clone(), den: rhs.den.clone() };
+        self + &neg
+    }
+}
+
+impl<'b> Mul<&'b Ratio> for &Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: &'b Ratio) -> Ratio {
+        if self.is_zero() || rhs.is_zero() {
+            return Ratio::zero();
+        }
+        // Reduce cross factors first to keep intermediates small.
+        let g1 = crate::gcd(&self.num, &rhs.den);
+        let g2 = crate::gcd(&rhs.num, &self.den);
+        let num = &(&self.num / &g1) * &(&rhs.num / &g2);
+        let den = &(&self.den / &g2) * &(&rhs.den / &g1);
+        // num/den already coprime; fix the sign convention via new().
+        Ratio::new(num, den)
+    }
+}
+
+impl<'b> Div<&'b Ratio> for &Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: &'b Ratio) -> Ratio {
+        assert!(!rhs.is_zero(), "Ratio division by zero");
+        self * &rhs.recip()
+    }
+}
+
+macro_rules! forward_ratio_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                (&self).$method(&rhs)
+            }
+        }
+        impl<'b> $trait<&'b Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: &'b Ratio) -> Ratio {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Ratio> for &Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_ratio_binop!(Add, add);
+forward_ratio_binop!(Sub, sub);
+forward_ratio_binop!(Mul, mul);
+forward_ratio_binop!(Div, div);
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num.clone(), den: self.den.clone() }
+    }
+}
+
+impl AddAssign<&Ratio> for Ratio {
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Ratio> for Ratio {
+    fn sub_assign(&mut self, rhs: &Ratio) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Ratio> for Ratio {
+    fn mul_assign(&mut self, rhs: &Ratio) {
+        *self = &*self * rhs;
+    }
+}
+
+impl DivAssign<&Ratio> for Ratio {
+    fn div_assign(&mut self, rhs: &Ratio) {
+        *self = &*self / rhs;
+    }
+}
+
+impl std::iter::Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |a, b| a + b)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |a, b| &a + b)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Self {
+        Ratio::from_i64(v)
+    }
+}
+
+impl From<Int> for Ratio {
+    fn from(v: Int) -> Self {
+        Ratio::from_int(v)
+    }
+}
+
+// --- ordering -------------------------------------------------------------------
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators positive: a/b vs c/d  ⇔  a·d vs c·b.
+        match self.num.signum().cmp(&other.num.signum()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+// --- formatting -------------------------------------------------------------------
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+/// Error when parsing a [`Ratio`] from an `a` or `a/b` string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatioError(String);
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl From<ParseIntError> for ParseRatioError {
+    fn from(e: ParseIntError) -> Self {
+        ParseRatioError(e.0)
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => Ok(Ratio::from_int(s.parse::<Int>()?)),
+            Some((n, d)) => {
+                let num: Int = n.parse()?;
+                let den: Int = d.parse()?;
+                if den.is_zero() {
+                    return Err(ParseRatioError(s.to_owned()));
+                }
+                Ok(Ratio::new(num, den))
+            }
+        }
+    }
+}
+
+// --- serde ------------------------------------------------------------------------
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Ratio {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Ratio {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+// --- tests ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(a: i64, b: i64) -> Ratio {
+        Ratio::from_frac(a, b)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(2, -4).numer(), &Int::from(-1i64));
+        assert_eq!(r(2, -4).denom(), &Int::from(2i64));
+        assert_eq!(r(0, 7), Ratio::zero());
+        assert_eq!(r(0, 7).denom(), &Int::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(Int::one(), Int::zero());
+    }
+
+    #[test]
+    fn arithmetic_small() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        assert_eq!(r(9, 5).floor(), Int::from(1i64));
+        assert_eq!(r(9, 5).ceil(), Int::from(2i64));
+        assert_eq!(r(-9, 5).floor(), Int::from(-2i64));
+        assert_eq!(r(-9, 5).ceil(), Int::from(-1i64));
+        assert_eq!(r(10, 5).floor(), Int::from(2i64));
+        assert_eq!(r(10, 5).ceil(), Int::from(2i64));
+        assert_eq!(r(9, 5).fract(), r(4, 5));
+        assert_eq!(r(-9, 5).fract(), r(1, 5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(9, 5) < r(2, 1));
+        assert!(r(9, 5) > r(17, 10));
+        assert_eq!(r(3, 6).cmp(&r(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(r(9, 5).to_string(), "9/5");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!("9/5".parse::<Ratio>().unwrap(), r(9, 5));
+        assert_eq!("-7".parse::<Ratio>().unwrap(), r(-7, 1));
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("a/b".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        // Huge operands still produce a finite, accurate quotient.
+        let big = Ratio::new(Int::from(10i64).pow(400), Int::from(10i64).pow(400) * Int::from(3i64));
+        assert!((big.to_f64() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pow_negative() {
+        assert_eq!(r(2, 3).pow(2), r(4, 9));
+        assert_eq!(r(2, 3).pow(-2), r(9, 4));
+        assert_eq!(r(2, 3).pow(0), Ratio::one());
+    }
+
+    #[test]
+    fn from_f64_approx_snaps_simple_fractions() {
+        assert_eq!(Ratio::from_f64_approx(0.5, 100), Some(r(1, 2)));
+        assert_eq!(Ratio::from_f64_approx(1.0 / 3.0, 100), Some(r(1, 3)));
+        assert_eq!(Ratio::from_f64_approx(0.33333333331, 1000), Some(r(1, 3)));
+        assert_eq!(Ratio::from_f64_approx(-2.2499999999, 100), Some(r(-9, 4)));
+        assert_eq!(Ratio::from_f64_approx(7.0, 10), Some(r(7, 1)));
+        assert_eq!(Ratio::from_f64_approx(0.0, 10), Some(Ratio::zero()));
+    }
+
+    #[test]
+    fn from_f64_approx_respects_denominator_bound() {
+        // π with small denominators: 22/7 then 355/113.
+        let pi = std::f64::consts::PI;
+        assert_eq!(Ratio::from_f64_approx(pi, 10), Some(r(22, 7)));
+        assert_eq!(Ratio::from_f64_approx(pi, 200), Some(r(355, 113)));
+        for max_den in [1u64, 7, 50, 1000] {
+            let got = Ratio::from_f64_approx(pi, max_den).unwrap();
+            assert!(got.denom() <= &Int::from(max_den));
+        }
+    }
+
+    #[test]
+    fn from_f64_approx_rejects_non_finite() {
+        assert_eq!(Ratio::from_f64_approx(f64::NAN, 10), None);
+        assert_eq!(Ratio::from_f64_approx(f64::INFINITY, 10), None);
+        assert_eq!(Ratio::from_f64_approx(1.0, 0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_f64_approx_roundtrips_small_rationals(
+            (a, b) in (-500i64..500, 1i64..500),
+        ) {
+            let exact = r(a, b);
+            let back = Ratio::from_f64_approx(exact.to_f64(), 1000).unwrap();
+            prop_assert_eq!(back, exact);
+        }
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let vals = vec![r(1, 2), r(1, 3), r(1, 6)];
+        let s: Ratio = vals.iter().sum();
+        assert_eq!(s, Ratio::one());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(
+            (a, b) in (any::<i32>(), 1i32..1000),
+            (c, d) in (any::<i32>(), 1i32..1000),
+            (e, f) in (any::<i32>(), 1i32..1000),
+        ) {
+            let x = r(a as i64, b as i64);
+            let y = r(c as i64, d as i64);
+            let z = r(e as i64, f as i64);
+            prop_assert_eq!(&x + &y, &y + &x);
+            prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+            prop_assert_eq!(&x * &y, &y * &x);
+            prop_assert_eq!(&(&x * &y) * &z, &x * &(&y * &z));
+            prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+            prop_assert_eq!(&(&x - &y) + &y, x);
+        }
+
+        #[test]
+        fn prop_cmp_matches_f64(
+            (a, b) in (-10_000i64..10_000, 1i64..10_000),
+            (c, d) in (-10_000i64..10_000, 1i64..10_000),
+        ) {
+            let x = r(a, b);
+            let y = r(c, d);
+            let fx = a as f64 / b as f64;
+            let fy = c as f64 / d as f64;
+            if (fx - fy).abs() > 1e-9 {
+                prop_assert_eq!(x < y, fx < fy);
+            }
+        }
+
+        #[test]
+        fn prop_floor_ceil_bracket((a, b) in (any::<i32>(), 1i32..1000)) {
+            let x = r(a as i64, b as i64);
+            let fl = Ratio::from_int(x.floor());
+            let ce = Ratio::from_int(x.ceil());
+            prop_assert!(fl <= x && x <= ce);
+            prop_assert!(&ce - &fl <= Ratio::one());
+        }
+
+        #[test]
+        fn prop_parse_roundtrip((a, b) in (any::<i64>(), 1i64..i64::MAX)) {
+            let x = r(a, b);
+            let back: Ratio = x.to_string().parse().unwrap();
+            prop_assert_eq!(back, x);
+        }
+
+        #[test]
+        fn prop_recip((a, b) in (1i64..100_000, 1i64..100_000)) {
+            let x = r(a, b);
+            prop_assert_eq!(&x * &x.recip(), Ratio::one());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Hand-crafted instance families targeting specific structure in the
+//! algorithm and its analysis.
+//!
+//! Random instances rarely produce fractional LP mass inside the
+//! critical interval `x(Des(i)) ∈ (1, 4/3)` that defines the paper's
+//! type-C nodes (§4.2): the ceiling constraints round away most small
+//! cases. These families are engineered to reach that regime, so the
+//! certify machinery (node typing, Algorithm 2 triples, Lemmas 4.7–4.13)
+//! and the rounding's interesting branch get real exercise.
+
+use atsched_core::instance::{Instance, Job};
+
+/// A node with ancestor-volume overflow: `branches` children, each a
+/// rigid unit leaf plus a sibling unit job, and `extra` root-level unit
+/// jobs on top of exactly-leaf-filling volume.
+///
+/// With `0 < extra < g/3`, the LP opens each child subtree to
+/// `1 + ε` fractionally (`Σε = extra/g`), so some children of the root
+/// become type-C nodes while `OPT_root ≥ 4` keeps the ceiling constraints
+/// from integerizing them.
+///
+/// Construction (capacity arithmetic): each child window `[3i, 3i+2)`
+/// carries a singleton-window job at `[3i, 3i+1)` (rigid leaf) and a
+/// unit job on the child window; the leaf slot then has `g − 2` spare
+/// capacity. The root window `[0, 3·branches)` carries
+/// `branches·(g−2) + extra` unit jobs: exactly `extra` units overflow
+/// the forced slots.
+pub fn overflow_family(g: i64, branches: usize, extra: i64) -> Instance {
+    assert!(g >= 3, "need g ≥ 3 so leaf slots have spare capacity");
+    assert!(branches >= 1);
+    assert!(extra >= 0);
+    let horizon = 3 * branches as i64;
+    let mut jobs = Vec::new();
+    for i in 0..branches as i64 {
+        jobs.push(Job::new(3 * i, 3 * i + 1, 1)); // rigid leaf
+        jobs.push(Job::new(3 * i, 3 * i + 2, 1)); // child-window job
+    }
+    let root_jobs = branches as i64 * (g - 2) + extra;
+    for _ in 0..root_jobs {
+        jobs.push(Job::new(0, horizon, 1));
+    }
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
+/// A deep chain of nested windows, each one slot narrower on both ends,
+/// each carrying one unit job. Stresses deep trees and the canonical
+/// transformation.
+pub fn deep_chain(depth: usize, g: i64) -> Instance {
+    assert!(depth >= 1);
+    let width = 2 * depth as i64 + 1;
+    let jobs: Vec<Job> = (0..depth as i64)
+        .map(|lvl| Job::new(lvl, width - lvl, 1))
+        .collect();
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
+/// A wide star: one root window containing `k` disjoint child windows,
+/// each with `per_child` unit jobs; the root carries one long job of
+/// length `root_p`. Stresses binarization (the root has `k` children).
+pub fn wide_star(k: usize, per_child: usize, root_p: i64, g: i64) -> Instance {
+    assert!(k >= 1);
+    let horizon = 3 * k as i64;
+    let mut jobs = vec![Job::new(0, horizon, root_p.clamp(1, horizon))];
+    for i in 0..k as i64 {
+        for _ in 0..per_child {
+            jobs.push(Job::new(3 * i, 3 * i + 2, 1));
+        }
+    }
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
+/// A complete dyadic hierarchy of depth `levels`, with `jobs_per_node`
+/// unit jobs on every window. Highly symmetric: good for worst-case-ish
+/// LP sizes at a given horizon.
+pub fn dyadic_full(levels: u32, jobs_per_node: usize, g: i64) -> Instance {
+    let horizon = 1i64 << levels;
+    let mut jobs = Vec::new();
+    for level in 0..=levels {
+        let width = horizon >> level;
+        for idx in 0..(1i64 << level) {
+            for _ in 0..jobs_per_node {
+                jobs.push(Job::new(idx * width, (idx + 1) * width, 1));
+            }
+        }
+    }
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_family_shape() {
+        let inst = overflow_family(10, 3, 1);
+        assert!(inst.check_laminar().is_ok());
+        assert!(inst.is_feasible_all_open());
+        // 2 jobs per branch + 3·8+1 root jobs.
+        assert_eq!(inst.num_jobs(), 6 + 25);
+    }
+
+    #[test]
+    fn deep_chain_is_laminar_chain() {
+        let inst = deep_chain(5, 2);
+        assert!(inst.check_laminar().is_ok());
+        assert_eq!(inst.num_jobs(), 5);
+        // Strictly nested windows: sorted by width, all distinct.
+        let mut widths: Vec<i64> = inst.jobs.iter().map(|j| j.window_len()).collect();
+        widths.sort_unstable();
+        widths.dedup();
+        assert_eq!(widths.len(), 5);
+    }
+
+    #[test]
+    fn wide_star_many_children() {
+        let inst = wide_star(5, 2, 4, 3);
+        assert!(inst.check_laminar().is_ok());
+        assert!(inst.is_feasible_all_open());
+        assert_eq!(inst.num_jobs(), 1 + 10);
+    }
+
+    #[test]
+    fn dyadic_full_counts() {
+        let inst = dyadic_full(3, 1, 4);
+        assert!(inst.check_laminar().is_ok());
+        // 1 + 2 + 4 + 8 windows.
+        assert_eq!(inst.num_jobs(), 15);
+    }
+}

@@ -1,0 +1,194 @@
+//! JSON (de)serialization of instances and experiment records.
+
+use atsched_core::instance::Instance;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One row of an experiment output, ready for `serde_json` persistence.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. "E1").
+    pub experiment: String,
+    /// Parameter assignment, as `name=value` strings.
+    pub params: Vec<String>,
+    /// Measured quantities, as `(metric, value)` pairs.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Serialize an instance to pretty JSON.
+pub fn instance_to_json(inst: &Instance) -> String {
+    serde_json::to_string_pretty(inst).expect("instances always serialize")
+}
+
+/// Parse an instance from JSON and re-validate it.
+pub fn instance_from_json(s: &str) -> Result<Instance, String> {
+    let raw: Instance = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    // Re-run validation (serde bypasses Instance::new).
+    Instance::new(raw.g, raw.jobs).map_err(|e| e.to_string())
+}
+
+/// Write an instance to a file.
+pub fn save_instance(inst: &Instance, path: &Path) -> io::Result<()> {
+    fs::write(path, instance_to_json(inst))
+}
+
+/// Read an instance from a file.
+pub fn load_instance(path: &Path) -> io::Result<Instance> {
+    let s = fs::read_to_string(path)?;
+    instance_from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Append experiment records as JSON lines.
+pub fn append_records(records: &[ExperimentRecord], path: &Path) -> io::Result<()> {
+    use std::io::Write;
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    for r in records {
+        writeln!(f, "{}", serde_json::to_string(r).expect("records serialize"))?;
+    }
+    Ok(())
+}
+
+/// Render an instance in the plain-text exchange format:
+///
+/// ```text
+/// # optional comments
+/// g 3
+/// job 0 12 4     # release deadline processing
+/// job 2 6 2
+/// ```
+pub fn instance_to_text(inst: &Instance) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("g {}\n", inst.g));
+    for j in &inst.jobs {
+        out.push_str(&format!("job {} {} {}\n", j.release, j.deadline, j.processing));
+    }
+    out
+}
+
+/// Parse the plain-text exchange format (see [`instance_to_text`]).
+/// Blank lines and `#` comments are ignored; the `g` line may appear
+/// anywhere (last one wins) and defaults to 1.
+pub fn instance_from_text(s: &str) -> Result<Instance, String> {
+    use atsched_core::instance::Job;
+    let mut g = 1i64;
+    let mut jobs: Vec<Job> = Vec::new();
+    for (lineno, raw) in s.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("g") => {
+                g = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: g needs a value", lineno + 1))?
+                    .parse()
+                    .map_err(|_| format!("line {}: invalid g", lineno + 1))?;
+            }
+            Some("job") => {
+                let mut num = || -> Result<i64, String> {
+                    it.next()
+                        .ok_or_else(|| format!("line {}: job needs r d p", lineno + 1))?
+                        .parse()
+                        .map_err(|_| format!("line {}: invalid number", lineno + 1))
+                };
+                let (r, d, p) = (num()?, num()?, num()?);
+                jobs.push(Job::new(r, d, p));
+            }
+            Some(other) => return Err(format!("line {}: unknown directive '{other}'", lineno + 1)),
+            None => unreachable!("empty lines filtered"),
+        }
+        if it.next().is_some() {
+            return Err(format!("line {}: trailing tokens", lineno + 1));
+        }
+    }
+    Instance::new(g, jobs).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::instance::Job;
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = Instance::new(
+            3,
+            vec![Job::new(0, 8, 2), Job::new(1, 4, 1), Job::new(5, 7, 2)],
+        )
+        .unwrap();
+        let s = instance_to_json(&inst);
+        let back = instance_from_json(&s).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        assert!(instance_from_json("{").is_err());
+        // Structurally valid JSON but invalid instance (p = 0).
+        let bad = r#"{"g":1,"jobs":[{"release":0,"deadline":2,"processing":0}]}"#;
+        assert!(instance_from_json(bad).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("atsched_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        let inst = Instance::new(2, vec![Job::new(0, 4, 2)]).unwrap();
+        save_instance(&inst, &path).unwrap();
+        assert_eq!(load_instance(&path).unwrap(), inst);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_format_roundtrip() {
+        let inst = Instance::new(
+            3,
+            vec![Job::new(0, 8, 2), Job::new(-3, 4, 1), Job::new(5, 7, 2)],
+        )
+        .unwrap();
+        let text = instance_to_text(&inst);
+        let back = instance_from_text(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn text_format_comments_and_whitespace() {
+        let src = "\n# a comment\n  g 4  # capacity\n\njob 0 5 2\njob 1 3 1 # tight\n";
+        let inst = instance_from_text(src).unwrap();
+        assert_eq!(inst.g, 4);
+        assert_eq!(inst.num_jobs(), 2);
+    }
+
+    #[test]
+    fn text_format_errors() {
+        assert!(instance_from_text("job 1").is_err()); // missing fields
+        assert!(instance_from_text("frob 1 2 3").is_err()); // unknown directive
+        assert!(instance_from_text("g x").is_err()); // bad number
+        assert!(instance_from_text("job 0 2 1 9").is_err()); // trailing token
+        assert!(instance_from_text("job 0 2 5").is_err()); // invalid instance (p > window)
+        assert_eq!(instance_from_text("").unwrap().num_jobs(), 0); // empty ok
+    }
+
+    #[test]
+    fn records_jsonl() {
+        let dir = std::env::temp_dir().join("atsched_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        std::fs::remove_file(&path).ok();
+        let recs = vec![ExperimentRecord {
+            experiment: "E1".into(),
+            params: vec!["g=2".into()],
+            metrics: vec![("ratio".into(), 1.25)],
+        }];
+        append_records(&recs, &path).unwrap();
+        append_records(&recs, &path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,22 @@
+//! # atsched-workloads
+//!
+//! Workload generation and experiment plumbing:
+//!
+//! * [`generators`] — random laminar instances with controllable tree
+//!   shape, job counts, and processing-time distributions; unit-job
+//!   instances.
+//! * [`families`] — hand-crafted families targeting specific algorithm
+//!   structure (type-C nodes, deep chains, wide stars, dyadic trees).
+//! * [`io`] — serde-based JSON (de)serialization of instances and
+//!   experiment records.
+//! * [`par`] — a small parallel sweep runner (scoped threads feeding off
+//!   a crossbeam channel) used by the experiment binaries to evaluate
+//!   parameter grids on all cores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod generators;
+pub mod io;
+pub mod par;

@@ -1,0 +1,107 @@
+//! A small parallel sweep runner.
+//!
+//! Experiment grids are embarrassingly parallel: every cell is an
+//! independent (instance, algorithm) evaluation. This runner fans cells
+//! out to scoped worker threads over a crossbeam channel and collects
+//! results in input order. It follows the guide idioms: scoped threads
+//! (no `'static` bounds, no leaked join handles), channel-based work
+//! distribution (no shared mutable state), and a worker count derived
+//! from available parallelism.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Map `f` over `items` in parallel, preserving input order.
+///
+/// `f` must be `Sync` (it is shared by reference across workers); items
+/// are moved to workers. Panics in workers propagate.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let (out_tx, out_rx) = channel::unbounded::<(usize, R)>();
+    for (i, item) in items.into_iter().enumerate() {
+        tx.send((i, item)).expect("queue open");
+    }
+    drop(tx);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, item)) = rx.recv() {
+                    out_tx.send((i, f(item))).expect("collector open");
+                }
+            });
+        }
+        drop(out_tx);
+    });
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    while let Ok((i, r)) = out_rx.recv() {
+        results[i] = Some(r);
+    }
+    results.into_iter().map(|r| r.expect("every index produced")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items, |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_items_processed_once() {
+        let count = AtomicUsize::new(0);
+        let out = par_map((0..500).collect::<Vec<_>>(), |x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn uses_real_work() {
+        // Smoke test with nontrivial per-item cost (fibonacci).
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                n
+            } else {
+                fib(n - 1) + fib(n - 2)
+            }
+        }
+        let out = par_map(vec![20u64; 16], fib);
+        assert!(out.iter().all(|&v| v == 6765));
+    }
+}

@@ -1,0 +1,42 @@
+//! Integrality-gap study: reproduce the paper's §5 story in a few lines —
+//! the natural LP is hopeless (gap 2 even on nested instances), the
+//! Călinescu–Wang LP and the paper's tree LP both stay ≥ 3/2 on the
+//! Lemma 5.1 family, and the tree LP's ceiling constraints close the
+//! easy gap-2 family completely.
+//!
+//! ```text
+//! cargo run --release --example gap_study
+//! ```
+
+use nested_active_time::baselines::exact::nested_opt;
+use nested_active_time::core::solver::{solve_nested, SolverOptions};
+use nested_active_time::gaps::instances::{gap2_instance, lemma51_instance, lemma51_integral_opt};
+use nested_active_time::gaps::{cw_lp, natural_lp};
+use nested_active_time::num::Ratio;
+
+fn main() {
+    println!("== family 1: g+1 unit jobs in a width-2 window ==");
+    for g in [2i64, 4, 8] {
+        let inst = gap2_instance(g);
+        let natural = natural_lp::value::<Ratio>(&inst).unwrap();
+        let tree_lp = solve_nested(&inst, &SolverOptions::exact()).unwrap().stats.lp_objective;
+        let opt = nested_opt(&inst, 0).unwrap().active_time();
+        println!(
+            "g={g:>2}: naturalLP = {natural}  treeLP = {tree_lp}  OPT = {opt}  (natural gap {:.3})",
+            opt as f64 / natural.to_f64()
+        );
+    }
+
+    println!();
+    println!("== family 2: Lemma 5.1 (long job + g groups of g unit jobs) ==");
+    for g in [2i64, 3, 4] {
+        let inst = lemma51_instance(g);
+        let natural = natural_lp::value::<Ratio>(&inst).unwrap();
+        let cw = cw_lp::value::<Ratio>(&inst).unwrap();
+        let opt = lemma51_integral_opt(g);
+        println!(
+            "g={g:>2}: naturalLP = {natural}  cwLP = {cw}  OPT = {opt}  (cw gap {:.3}, → 3/2)",
+            opt as f64 / cw.to_f64()
+        );
+    }
+}

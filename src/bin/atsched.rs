@@ -1,0 +1,229 @@
+//! `atsched` — command-line front end for the nested active-time
+//! scheduling library.
+//!
+//! ```text
+//! atsched generate --g 3 --horizon 24 --seed 7 --out inst.json
+//! atsched solve inst.json [--float|--snap] [--polish] [--no-ceiling] [--schedule out.json]
+//! atsched opt inst.json [--parallel]
+//! atsched greedy inst.json [--order ltr|rtl|rand]
+//! atsched verify inst.json schedule.json
+//! atsched gaps --family lemma51|gap2 --g 4
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use nested_active_time::baselines::exact::{nested_opt, nested_opt_parallel};
+use nested_active_time::baselines::greedy::ScanOrder;
+use nested_active_time::baselines::incremental::minimal_feasible_fast;
+use nested_active_time::core::instance::Instance;
+use nested_active_time::core::schedule::Schedule;
+use nested_active_time::core::solver::{solve_nested, LpBackend, SolverOptions};
+use nested_active_time::workloads::generators::{random_laminar, LaminarConfig};
+use nested_active_time::workloads::io;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("opt") => cmd_opt(&args[1..]),
+        Some("greedy") => cmd_greedy(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("gaps") => cmd_gaps(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+atsched — nested active-time scheduling (SPAA 2022 reproduction)
+
+USAGE:
+  atsched generate [--g N] [--horizon N] [--seed N] [--out FILE]
+  atsched solve INSTANCE.{json,txt} [--float|--snap] [--polish] [--no-ceiling] [--schedule FILE] [--svg FILE]
+  atsched opt INSTANCE.json [--parallel]
+  atsched greedy INSTANCE.json [--order ltr|rtl|rand]
+  atsched verify INSTANCE.json SCHEDULE.json
+  atsched gaps --family lemma51|gap2 --g N
+";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+/// Load an instance: `.txt` files use the plain-text exchange format,
+/// everything else is JSON.
+fn load(path: &str) -> Result<Instance, String> {
+    if path.ends_with(".txt") {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("loading {path}: {e}"))?;
+        io::instance_from_text(&body).map_err(|e| format!("parsing {path}: {e}"))
+    } else {
+        io::load_instance(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let cfg = LaminarConfig {
+        g: parse_num(args, "--g", 3i64)?,
+        horizon: parse_num(args, "--horizon", 24i64)?,
+        ..Default::default()
+    };
+    let seed: u64 = parse_num(args, "--seed", 0u64)?;
+    let inst = random_laminar(&cfg, seed);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            io::save_instance(&inst, Path::new(path)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} ({} jobs, g = {}, horizon {:?})",
+                path,
+                inst.num_jobs(),
+                inst.g,
+                inst.horizon().unwrap()
+            );
+        }
+        None => println!("{}", io::instance_to_json(&inst)),
+    }
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("solve needs an instance file")?;
+    let inst = load(path)?;
+    let mut opts = SolverOptions::exact();
+    if has_flag(args, "--float") {
+        opts.backend = LpBackend::Float;
+    }
+    if has_flag(args, "--snap") {
+        opts.backend = LpBackend::FloatThenSnap;
+    }
+    if has_flag(args, "--polish") {
+        opts.polish = true;
+    }
+    if has_flag(args, "--no-ceiling") {
+        opts.use_ceiling = false;
+    }
+    let result = solve_nested(&inst, &opts).map_err(|e| e.to_string())?;
+    println!("jobs            : {}", inst.num_jobs());
+    println!("g               : {}", inst.g);
+    println!("LP lower bound  : {:.4}", result.stats.lp_objective);
+    if let Some(exact) = &result.stats.lp_objective_exact {
+        println!("LP (exact)      : {exact}");
+    }
+    println!("opened slots    : {}", result.stats.opened_slots);
+    println!("active slots    : {}", result.stats.active_slots);
+    println!("ALG/LP          : {:.4}", result.stats.opened_over_lp);
+    println!("repair / polish : {} / {}", result.stats.repair_opened, result.stats.polish_closed);
+    println!();
+    println!("{}", result.schedule.render_timeline(&inst));
+    if let Some(out) = flag_value(args, "--schedule") {
+        let json = serde_json::to_string_pretty(&result.schedule).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        eprintln!("schedule written to {out}");
+    }
+    if let Some(out) = flag_value(args, "--svg") {
+        use nested_active_time::core::render::{to_svg, SvgOptions};
+        let svg = to_svg(&inst, &result.schedule, &SvgOptions::default());
+        std::fs::write(out, svg).map_err(|e| e.to_string())?;
+        eprintln!("gantt chart written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_opt(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("opt needs an instance file")?;
+    let inst = load(path)?;
+    let opt = if has_flag(args, "--parallel") {
+        nested_opt_parallel(&inst, 0)
+    } else {
+        nested_opt(&inst, 0)
+    };
+    match opt {
+        Some(s) => {
+            println!("optimal active slots: {}", s.active_time());
+            println!();
+            println!("{}", s.render_timeline(&inst));
+            Ok(())
+        }
+        None => Err("instance is infeasible".into()),
+    }
+}
+
+fn cmd_greedy(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("greedy needs an instance file")?;
+    let inst = load(path)?;
+    let order = match flag_value(args, "--order").unwrap_or("rtl") {
+        "ltr" => ScanOrder::LeftToRight,
+        "rtl" => ScanOrder::RightToLeft,
+        "rand" => ScanOrder::Shuffled(parse_num(args, "--seed", 0u64)?),
+        other => return Err(format!("unknown order '{other}'")),
+    };
+    match minimal_feasible_fast(&inst, order) {
+        Some(r) => {
+            println!(
+                "greedy active slots: {} ({} deactivated of {})",
+                r.schedule.active_time(),
+                r.deactivated,
+                r.examined
+            );
+            Ok(())
+        }
+        None => Err("instance is infeasible".into()),
+    }
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let inst_path = args.first().ok_or("verify needs INSTANCE.json SCHEDULE.json")?;
+    let sched_path = args.get(1).ok_or("verify needs INSTANCE.json SCHEDULE.json")?;
+    let inst = load(inst_path)?;
+    let body = std::fs::read_to_string(sched_path).map_err(|e| e.to_string())?;
+    let schedule: Schedule = serde_json::from_str(&body).map_err(|e| e.to_string())?;
+    schedule.verify(&inst).map_err(|e| e.to_string())?;
+    println!("schedule is valid: {} active slots", schedule.active_time());
+    Ok(())
+}
+
+fn cmd_gaps(args: &[String]) -> Result<(), String> {
+    use nested_active_time::gaps::instances::{gap2_instance, lemma51_instance};
+    use nested_active_time::gaps::{cw_lp, natural_lp};
+    use nested_active_time::num::Ratio;
+    let g: i64 = parse_num(args, "--g", 3i64)?;
+    let family = flag_value(args, "--family").unwrap_or("lemma51");
+    let inst = match family {
+        "lemma51" => lemma51_instance(g),
+        "gap2" => gap2_instance(g),
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    let natural = natural_lp::value::<Ratio>(&inst).ok_or("infeasible")?;
+    let cw = cw_lp::value::<Ratio>(&inst).ok_or("infeasible")?;
+    let tree = solve_nested(&inst, &SolverOptions::exact()).map_err(|e| e.to_string())?;
+    let opt = nested_opt(&inst, 0).ok_or("infeasible")?;
+    println!("family {family}, g = {g}:");
+    println!("  natural LP : {natural}");
+    println!("  CW LP      : {cw}");
+    println!("  tree LP    : {}", tree.stats.lp_objective_exact.as_deref().unwrap_or("-"));
+    println!("  OPT        : {}", opt.active_time());
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! General (non-laminar) instances and automatic dispatch.
+//!
+//! The paper's 9/5-approximation needs laminar windows. For arbitrary
+//! windows this module provides the best prior-work toolbox assembled in
+//! this workspace: minimal-feasible greedy deactivation (provably ≤ 3·OPT
+//! by CKM'17, directional variants tracking the KK'18 2-approximation)
+//! with a *certified per-instance ratio* against the natural LP lower
+//! bound, plus [`solve_auto`] which dispatches to the nested solver
+//! whenever windows happen to be laminar.
+
+use atsched_baselines::greedy::ScanOrder;
+use atsched_baselines::incremental::minimal_feasible_fast;
+use atsched_core::instance::Instance;
+use atsched_core::schedule::Schedule;
+use atsched_core::solver::{solve_nested, SolveError, SolverOptions};
+use atsched_gaps::natural_lp;
+
+/// Result of solving a general instance.
+#[derive(Debug, Clone)]
+pub struct GeneralResult {
+    /// The best schedule found (verified).
+    pub schedule: Schedule,
+    /// Fractional lower bound from the natural per-slot LP.
+    pub lower_bound: f64,
+    /// Which scan order produced the winner.
+    pub winner: &'static str,
+    /// Certified ratio `active / lower_bound` (≤ 3 by CKM'17; typically
+    /// much lower).
+    pub certified_ratio: f64,
+}
+
+/// Solve an arbitrary-window instance with the greedy family; `None`
+/// when infeasible.
+pub fn solve_general(inst: &Instance) -> Option<GeneralResult> {
+    let candidates = [
+        ("right-to-left", ScanOrder::RightToLeft),
+        ("left-to-right", ScanOrder::LeftToRight),
+        ("shuffled", ScanOrder::Shuffled(0x5EED)),
+    ];
+    let mut best: Option<(&'static str, Schedule)> = None;
+    for (name, order) in candidates {
+        let r = minimal_feasible_fast(inst, order)?;
+        let better = best
+            .as_ref()
+            .map_or(true, |(_, s)| r.schedule.active_time() < s.active_time());
+        if better {
+            best = Some((name, r.schedule));
+        }
+    }
+    let (winner, schedule) = best?;
+    debug_assert!(schedule.verify(inst).is_ok());
+    let lower_bound = natural_lp::value::<f64>(inst)?.max(1.0);
+    let certified_ratio = schedule.active_time() as f64 / lower_bound;
+    Some(GeneralResult { schedule, lower_bound, winner, certified_ratio })
+}
+
+/// How [`solve_auto`] solved the instance.
+#[derive(Debug, Clone)]
+pub enum AutoResult {
+    /// Windows were laminar: the paper's 9/5-approximation ran.
+    Nested(atsched_core::solver::SolveResult),
+    /// Windows cross: the certified greedy toolbox ran.
+    General(GeneralResult),
+}
+
+impl AutoResult {
+    /// The schedule, whichever path produced it.
+    pub fn schedule(&self) -> &Schedule {
+        match self {
+            AutoResult::Nested(r) => &r.schedule,
+            AutoResult::General(r) => &r.schedule,
+        }
+    }
+
+    /// Active slots of the result.
+    pub fn active_time(&self) -> usize {
+        self.schedule().active_time()
+    }
+}
+
+/// Dispatch on laminarity: nested 9/5 when possible, certified greedy
+/// otherwise. `None`/`Err`-style failures collapse to `None`
+/// (infeasible).
+pub fn solve_auto(inst: &Instance) -> Option<AutoResult> {
+    if inst.check_laminar().is_ok() {
+        match solve_nested(inst, &SolverOptions::exact().polished()) {
+            Ok(r) => Some(AutoResult::Nested(r)),
+            Err(SolveError::Infeasible) => None,
+            Err(e) => unreachable!("laminar pre-checked: {e}"),
+        }
+    } else {
+        solve_general(inst).map(AutoResult::General)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::instance::Job;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn general_handles_crossing_windows() {
+        // Crossing windows: [0,5) and [3,8) — rejected by the nested
+        // solver, handled here.
+        let i = inst(2, vec![(0, 5, 2), (3, 8, 2), (4, 6, 1)]);
+        assert!(i.check_laminar().is_err());
+        let r = solve_general(&i).unwrap();
+        r.schedule.verify(&i).unwrap();
+        assert!(r.certified_ratio <= 3.0 + 1e-9);
+        assert!(r.lower_bound <= r.schedule.active_time() as f64 + 1e-6);
+    }
+
+    #[test]
+    fn general_infeasible_is_none() {
+        let i = inst(1, vec![(0, 2, 1); 3]);
+        assert!(solve_general(&i).is_none());
+    }
+
+    #[test]
+    fn auto_dispatches_to_nested_for_laminar() {
+        let i = inst(2, vec![(0, 6, 2), (1, 4, 1)]);
+        match solve_auto(&i).unwrap() {
+            AutoResult::Nested(r) => r.schedule.verify(&i).unwrap(),
+            AutoResult::General(_) => panic!("laminar instance went to the general path"),
+        }
+    }
+
+    #[test]
+    fn auto_dispatches_to_general_for_crossing() {
+        let i = inst(2, vec![(0, 5, 2), (3, 8, 2)]);
+        match solve_auto(&i).unwrap() {
+            AutoResult::General(r) => r.schedule.verify(&i).unwrap(),
+            AutoResult::Nested(_) => panic!("crossing instance went to the nested path"),
+        }
+    }
+
+    #[test]
+    fn auto_infeasible() {
+        assert!(solve_auto(&inst(1, vec![(0, 2, 1); 3])).is_none());
+        let crossing_infeasible = inst(1, vec![(0, 2, 2), (1, 3, 2)]);
+        assert!(crossing_infeasible.check_laminar().is_err());
+        assert!(solve_auto(&crossing_infeasible).is_none());
+    }
+
+    #[test]
+    fn general_matches_nested_value_reasonably_on_laminar() {
+        // The greedy toolbox also runs on laminar inputs; it must stay
+        // within its factor of the nested result.
+        let i = inst(3, vec![(0, 12, 3), (2, 6, 2), (7, 11, 2)]);
+        let nested = solve_nested(&i, &SolverOptions::exact()).unwrap();
+        let general = solve_general(&i).unwrap();
+        assert!(general.schedule.active_time() <= 3 * nested.stats.active_slots);
+    }
+}

@@ -1,0 +1,23 @@
+//! # nested-active-time
+//!
+//! Facade crate re-exporting the whole workspace: a production-quality
+//! reproduction of *"Brief Announcement: Nested Active-Time Scheduling"*
+//! (Cao, Fineman, Li, Mestre, Russell, Umboh — SPAA 2022).
+//!
+//! See the [README](https://example.org/nested-active-time) and
+//! `DESIGN.md` for the architecture, and `examples/` for runnable entry
+//! points.
+
+#![forbid(unsafe_code)]
+
+pub mod general;
+
+pub use atsched_baselines as baselines;
+pub use atsched_core as core;
+pub use atsched_flow as flow;
+pub use atsched_gaps as gaps;
+pub use atsched_lp as lp;
+pub use atsched_multi as multi;
+pub use atsched_npc as npc;
+pub use atsched_num as num;
+pub use atsched_workloads as workloads;

@@ -1,0 +1,112 @@
+//! E9 as a test: the paper's analysis invariants (Claim 1, Lemma 3.3,
+//! Lemmas 4.9/4.11 and the triples cover) hold along the real pipeline on
+//! random instances.
+
+use nested_active_time::core::canonical::{canonicalize, validate_canonical};
+use nested_active_time::core::certify::{
+    build_triples_from_typing, check_lemma_4_11, check_lemma_4_9, check_triples_cover, classify,
+};
+use nested_active_time::core::instance::Instance;
+use nested_active_time::core::lp_model::{build, group_jobs};
+use nested_active_time::core::opt23;
+use nested_active_time::core::rounding::{check_budget, round};
+use nested_active_time::core::transform::{check_claim1, push_down};
+use nested_active_time::core::tree::Forest;
+use nested_active_time::num::Ratio;
+use nested_active_time::workloads::generators::{random_laminar, LaminarConfig};
+
+fn pipeline_invariants(inst: &Instance) {
+    let forest = Forest::build(inst).unwrap();
+    forest.validate().unwrap();
+    let canon = canonicalize(&forest, inst);
+    validate_canonical(&canon, inst).unwrap();
+
+    let bounds = opt23::compute(&canon, inst);
+    let lp = build::<Ratio>(&canon, inst, &bounds);
+    let sol = lp.solve().expect("generator guarantees feasibility");
+    let groups = group_jobs(&canon, inst);
+    sol.check(&canon, inst, &groups).unwrap();
+
+    let out = push_down(&canon, sol);
+    out.solution.check(&canon, inst, &groups).unwrap();
+    check_claim1(&canon, &out.solution, &out.top_positive).unwrap();
+
+    let rounded = round(&canon, &out.solution, &out.top_positive);
+    check_budget(&canon, &out.solution, &rounded).unwrap();
+
+    let typing = classify(&canon, &out.solution, &out.top_positive, &rounded);
+    check_lemma_4_9(&canon, &typing).unwrap();
+    let triples = build_triples_from_typing(&canon, &typing);
+    check_triples_cover(&typing, &triples).unwrap();
+    let (ok, total) = check_lemma_4_11(&canon, &triples.triples);
+    assert_eq!(ok, total, "triple structure of Lemma 4.11 violated");
+}
+
+#[test]
+fn invariants_on_random_instances() {
+    for seed in 0..25u64 {
+        let cfg = LaminarConfig { g: 3, horizon: 18, ..Default::default() };
+        pipeline_invariants(&random_laminar(&cfg, seed));
+    }
+}
+
+#[test]
+fn invariants_on_deeper_trees() {
+    for seed in 0..10u64 {
+        let cfg = LaminarConfig {
+            g: 5,
+            horizon: 30,
+            max_depth: 4,
+            max_children: 4,
+            jobs_per_node: (1, 3),
+            max_processing: 4,
+            child_percent: 75,
+        };
+        pipeline_invariants(&random_laminar(&cfg, seed));
+    }
+}
+
+#[test]
+fn overflow_family_reaches_type_c_regime() {
+    use nested_active_time::workloads::families::overflow_family;
+    // Engineered so the LP leaves fractional mass in (1, 4/3) on some
+    // child subtree; the full invariant set must hold there too, and the
+    // classifier must actually see a type-C node for at least one config.
+    let mut saw_c = false;
+    for (g, branches, extra) in [(10i64, 3usize, 1i64), (10, 4, 1), (12, 3, 1), (9, 3, 1)] {
+        let inst = overflow_family(g, branches, extra);
+        pipeline_invariants(&inst);
+
+        let forest = Forest::build(&inst).unwrap();
+        let canon = canonicalize(&forest, &inst);
+        let bounds = opt23::compute(&canon, &inst);
+        let sol = build::<Ratio>(&canon, &inst, &bounds).solve().unwrap();
+        let out = push_down(&canon, sol);
+        let rounded = round(&canon, &out.solution, &out.top_positive);
+        let typing = classify(&canon, &out.solution, &out.top_positive, &rounded);
+        use nested_active_time::core::certify::NodeType;
+        if !typing.of(NodeType::C1).is_empty() || !typing.of(NodeType::C2).is_empty() {
+            saw_c = true;
+        }
+    }
+    assert!(saw_c, "overflow family failed to produce any type-C node");
+}
+
+#[test]
+fn invariants_on_crafted_families() {
+    use nested_active_time::workloads::families::{deep_chain, dyadic_full, wide_star};
+    pipeline_invariants(&deep_chain(6, 2));
+    pipeline_invariants(&deep_chain(3, 1));
+    pipeline_invariants(&wide_star(5, 2, 4, 3));
+    pipeline_invariants(&wide_star(3, 3, 2, 4));
+    pipeline_invariants(&dyadic_full(3, 1, 3));
+}
+
+#[test]
+fn invariants_on_adversarial_families() {
+    use nested_active_time::gaps::instances::{gap2_instance, lemma51_instance};
+    for g in [2i64, 3, 4] {
+        pipeline_invariants(&lemma51_instance(g));
+        pipeline_invariants(&gap2_instance(g));
+    }
+}

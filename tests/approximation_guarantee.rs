@@ -1,0 +1,79 @@
+//! E1 as a test: on random laminar instances the 9/5 algorithm must stay
+//! within the proven bound of the exact optimum, produce verified
+//! schedules, never trigger the repair pass on the exact path, and at
+//! least match the LP lower bound.
+
+use nested_active_time::baselines::exact::nested_opt;
+use nested_active_time::core::solver::{solve_nested, SolverOptions};
+use nested_active_time::workloads::generators::{random_laminar, LaminarConfig};
+
+#[test]
+fn ratio_bound_holds_on_random_instances() {
+    for g in [2i64, 3, 5] {
+        for seed in 0..12u64 {
+            let cfg = LaminarConfig {
+                g,
+                horizon: 14,
+                max_depth: 3,
+                max_children: 3,
+                jobs_per_node: (1, 2),
+                max_processing: 3,
+                child_percent: 65,
+            };
+            let inst = random_laminar(&cfg, seed);
+            let sol = solve_nested(&inst, &SolverOptions::exact()).expect("feasible");
+            sol.schedule.verify(&inst).unwrap();
+            assert_eq!(sol.stats.repair_opened, 0, "g={g} seed={seed}: repair fired");
+
+            let opt = nested_opt(&inst, sol.stats.lp_objective.ceil() as i64)
+                .expect("feasible")
+                .active_time() as f64;
+            let alg = sol.stats.active_slots as f64;
+            assert!(
+                alg <= 1.8 * opt + 1e-9,
+                "g={g} seed={seed}: ALG {alg} > 1.8·OPT {opt}"
+            );
+            assert!(
+                sol.stats.lp_objective <= opt + 1e-9,
+                "g={g} seed={seed}: LP above OPT"
+            );
+            assert!(alg >= opt, "ALG below OPT is impossible");
+            // Lemma 3.3: opened ≤ (9/5)·LP.
+            assert!(
+                sol.stats.opened_slots as f64 <= 1.8 * sol.stats.lp_objective + 1e-9,
+                "g={g} seed={seed}: budget lemma violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn float_backend_also_within_bound() {
+    for seed in 0..10u64 {
+        let cfg = LaminarConfig { g: 4, horizon: 20, ..Default::default() };
+        let inst = random_laminar(&cfg, seed);
+        let sol = solve_nested(&inst, &SolverOptions::float()).expect("feasible");
+        sol.schedule.verify(&inst).unwrap();
+        assert!(
+            sol.stats.opened_slots as f64
+                <= 1.8 * sol.stats.lp_objective + sol.stats.repair_opened as f64 + 1e-6
+        );
+    }
+}
+
+#[test]
+fn adversarial_families_within_bound() {
+    use nested_active_time::gaps::instances::{gap2_instance, lemma51_instance, lemma51_integral_opt};
+    for g in [2i64, 3, 4] {
+        let inst = lemma51_instance(g);
+        let sol = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        sol.schedule.verify(&inst).unwrap();
+        let opt = lemma51_integral_opt(g) as f64;
+        assert!(sol.stats.active_slots as f64 <= 1.8 * opt + 1e-9, "g={g}");
+    }
+    for g in [2i64, 4, 8] {
+        let inst = gap2_instance(g);
+        let sol = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        assert_eq!(sol.stats.active_slots, 2, "gap2 family is solved optimally");
+    }
+}

@@ -1,0 +1,87 @@
+//! The canonical transformation's WLOG claims, verified:
+//! the rigid-leaf split "reduce j's window to match i''s" (paper §2) must
+//! not change the optimum — slots inside a leaf interval are
+//! interchangeable, so pinning the longest job to the leftmost sub-window
+//! is harmless. We check by exhaustive comparison: exact OPT of the
+//! original instance vs exact OPT of the instance with windows replaced
+//! by the canonical node intervals.
+
+use nested_active_time::core::canonical::canonicalize;
+use nested_active_time::core::instance::{Instance, Job};
+use nested_active_time::core::tree::Forest;
+use nested_active_time::baselines::exact::nested_opt;
+use nested_active_time::workloads::generators::{random_laminar, LaminarConfig};
+
+/// Instance with every job's window replaced by its canonical node
+/// interval (this is the instance the LP effectively solves).
+fn canonical_windows(inst: &Instance) -> Instance {
+    let forest = Forest::build(inst).unwrap();
+    let canon = canonicalize(&forest, inst);
+    let jobs: Vec<Job> = (0..inst.num_jobs())
+        .map(|j| {
+            let iv = canon.nodes[canon.job_node[j]].interval;
+            Job::new(iv.0, iv.1, inst.jobs[j].processing)
+        })
+        .collect();
+    Instance::new(inst.g, jobs).unwrap()
+}
+
+fn assert_opt_preserved(inst: &Instance) {
+    let original = nested_opt(inst, 0).map(|s| s.active_time());
+    let canonicalized = nested_opt(&canonical_windows(inst), 0).map(|s| s.active_time());
+    assert_eq!(original, canonicalized, "instance {:?}", inst.jobs);
+}
+
+#[test]
+fn canonical_windows_preserve_opt_handpicked() {
+    let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        // Non-rigid leaf: longest job shorter than the window.
+        (2, vec![(0, 5, 2), (0, 5, 1)]),
+        // Two-level nesting with a splittable leaf.
+        (2, vec![(0, 8, 2), (1, 6, 3), (1, 6, 1)]),
+        // Multiple leaves each needing a split.
+        (3, vec![(0, 14, 2), (1, 5, 2), (6, 12, 3), (6, 12, 1)]),
+        // Ties between longest jobs.
+        (2, vec![(0, 4, 2), (0, 4, 2), (0, 4, 1)]),
+    ];
+    for (g, jobs) in shapes {
+        let inst = Instance::new(
+            g,
+            jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect(),
+        )
+        .unwrap();
+        assert_opt_preserved(&inst);
+    }
+}
+
+#[test]
+fn canonical_windows_preserve_opt_random() {
+    for seed in 0..15u64 {
+        let cfg = LaminarConfig {
+            g: 2,
+            horizon: 12,
+            max_depth: 2,
+            max_children: 2,
+            jobs_per_node: (1, 2),
+            max_processing: 4,
+            child_percent: 60,
+        };
+        assert_opt_preserved(&random_laminar(&cfg, seed));
+    }
+}
+
+#[test]
+fn canonical_windows_preserve_feasibility() {
+    // Even when instances are close to capacity, the transformed windows
+    // must not flip feasibility.
+    for seed in 20..35u64 {
+        let cfg = LaminarConfig { g: 2, horizon: 14, ..Default::default() };
+        let inst = random_laminar(&cfg, seed);
+        let transformed = canonical_windows(&inst);
+        assert_eq!(
+            inst.is_feasible_all_open(),
+            transformed.is_feasible_all_open(),
+            "seed {seed}"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Cross-checks between every algorithm in the workspace: all produce
+//! verified schedules; the exact solver lower-bounds everything; the LP
+//! lower-bounds the exact solver; the unit solver equals the exact solver
+//! on unit instances.
+
+use nested_active_time::baselines::exact::{brute_force_opt, nested_opt};
+use nested_active_time::baselines::greedy::{minimal_feasible, ScanOrder};
+use nested_active_time::baselines::unit_opt::solve_unit;
+use nested_active_time::core::solver::{solve_nested, SolverOptions};
+use nested_active_time::workloads::generators::{
+    random_laminar, random_unit_laminar, LaminarConfig,
+};
+
+#[test]
+fn all_algorithms_agree_on_ordering() {
+    for seed in 0..10u64 {
+        let cfg = LaminarConfig {
+            g: 3,
+            horizon: 12,
+            max_depth: 2,
+            max_children: 2,
+            jobs_per_node: (1, 2),
+            max_processing: 3,
+            child_percent: 60,
+        };
+        let inst = random_laminar(&cfg, seed);
+        let ours = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        let opt = nested_opt(&inst, 0).unwrap().active_time();
+        let brute = brute_force_opt(&inst, 16).unwrap().active_time();
+        assert_eq!(opt, brute, "seed {seed}: the two exact engines disagree");
+
+        for order in [ScanOrder::LeftToRight, ScanOrder::RightToLeft, ScanOrder::Shuffled(3)] {
+            let gr = minimal_feasible(&inst, order).unwrap();
+            gr.schedule.verify(&inst).unwrap();
+            assert!(gr.schedule.active_time() >= opt, "greedy below OPT");
+            assert!(
+                gr.schedule.active_time() <= 3 * opt,
+                "greedy above its proven factor"
+            );
+        }
+        assert!(ours.stats.active_slots >= opt);
+        assert!((ours.stats.active_slots as f64) <= 1.8 * opt as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn unit_solver_equals_exact_on_unit_instances() {
+    for seed in 0..15u64 {
+        let inst = random_unit_laminar(2, 3, 8, seed);
+        match solve_unit(&inst) {
+            Ok(s) => {
+                s.verify(&inst).unwrap();
+                let opt = nested_opt(&inst, 0).expect("unit said feasible");
+                assert_eq!(s.active_time(), opt.active_time(), "seed {seed}");
+            }
+            Err(_) => {
+                assert!(nested_opt(&inst, 0).is_none(), "seed {seed}: feasibility disagreement");
+            }
+        }
+    }
+}
+
+#[test]
+fn schedules_from_all_sources_verify() {
+    let cfg = LaminarConfig { g: 4, horizon: 18, ..Default::default() };
+    for seed in 20..26u64 {
+        let inst = random_laminar(&cfg, seed);
+        solve_nested(&inst, &SolverOptions::exact())
+            .unwrap()
+            .schedule
+            .verify(&inst)
+            .unwrap();
+        solve_nested(&inst, &SolverOptions::float())
+            .unwrap()
+            .schedule
+            .verify(&inst)
+            .unwrap();
+        minimal_feasible(&inst, ScanOrder::RightToLeft)
+            .unwrap()
+            .schedule
+            .verify(&inst)
+            .unwrap();
+    }
+}

@@ -1,0 +1,49 @@
+//! E6 as a test: the full NP-completeness chain — random Set Cover →
+//! Prefix Sum Cover → nested active-time — preserves the decision answer
+//! at every step, for every budget.
+
+use nested_active_time::baselines::exact::nested_opt;
+use nested_active_time::npc::reductions::{psc_to_active_time, set_cover_to_psc};
+use nested_active_time::npc::prefix_sum_cover::PrefixSumCover;
+use nested_active_time::npc::set_cover::random_set_cover;
+
+#[test]
+fn chain_preserves_decisions() {
+    for seed in 0..10u64 {
+        let sc = random_set_cover(3, 3, seed);
+        for k in 1..=2usize {
+            let sc_yes = sc.solvable_with(k);
+            let psc = set_cover_to_psc(&sc, k);
+            assert_eq!(sc_yes, psc.solvable(), "SC↔PSC seed {seed} k {k}");
+
+            let red = psc_to_active_time(&psc);
+            assert!(red.instance.check_laminar().is_ok());
+            let opt = nested_opt(&red.instance, red.base_slots)
+                .expect("reduction instances are always feasible");
+            let at_yes = (opt.active_time() as i64) <= red.base_slots + red.k as i64;
+            assert_eq!(psc.solvable(), at_yes, "PSC↔AT seed {seed} k {k}");
+        }
+    }
+}
+
+#[test]
+fn reduction_base_slots_are_forced() {
+    // Even a YES instance can never go below the rigid base.
+    let psc = PrefixSumCover::new(vec![vec![2, 1]], vec![2, 1], 1).unwrap();
+    let red = psc_to_active_time(&psc);
+    let opt = nested_opt(&red.instance, 0).unwrap();
+    assert!(opt.active_time() as i64 >= red.base_slots);
+}
+
+#[test]
+fn paper_counterexample_shape_handled() {
+    // u = (1,0,1) incidence — the shape where the paper's slope-1
+    // staircase fails monotonicity; our slope-2 version must validate and
+    // preserve the answer.
+    use nested_active_time::npc::set_cover::SetCover;
+    let sc = SetCover::new(3, vec![vec![0, 2], vec![1], vec![0, 1, 2]]).unwrap();
+    for k in 1..=2usize {
+        let psc = set_cover_to_psc(&sc, k); // panics internally if invalid
+        assert_eq!(sc.solvable_with(k), psc.solvable(), "k {k}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based end-to-end pipeline tests with shrinking.
+//!
+//! Strategy: jobs on *dyadic* windows `[i·2^l, (i+1)·2^l)` — any set of
+//! dyadic intervals is laminar by construction, so proptest can shrink
+//! freely without breaking the precondition.
+
+use nested_active_time::baselines::exact::nested_opt;
+use nested_active_time::baselines::greedy::{minimal_feasible, ScanOrder};
+use nested_active_time::baselines::incremental::minimal_feasible_fast;
+use nested_active_time::core::instance::{Instance, Job};
+use nested_active_time::core::solver::{solve_nested, SolverOptions};
+use proptest::prelude::*;
+
+const LEVELS: u32 = 3; // horizon 8
+
+fn dyadic_job() -> impl Strategy<Value = Job> {
+    (0..=LEVELS, any::<u32>(), 1i64..4).prop_map(|(level, idx, p)| {
+        let width = 1i64 << (LEVELS - level);
+        let positions = 1u32 << level;
+        let i = (idx % positions) as i64;
+        Job::new(i * width, (i + 1) * width, p.min(width))
+    })
+}
+
+fn feasible_instance() -> impl Strategy<Value = Instance> {
+    (1i64..4, proptest::collection::vec(dyadic_job(), 1..8)).prop_filter_map(
+        "must be feasible",
+        |(g, jobs)| {
+            let inst = Instance::new(g, jobs).ok()?;
+            inst.is_feasible_all_open().then_some(inst)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The full exact pipeline: verified schedule, no repair, 9/5 vs LP.
+    #[test]
+    fn prop_exact_pipeline_sound(inst in feasible_instance()) {
+        let r = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        r.schedule.verify(&inst).unwrap();
+        prop_assert_eq!(r.stats.repair_opened, 0);
+        prop_assert!(r.stats.opened_slots as f64 <= 1.8 * r.stats.lp_objective + 1e-9);
+    }
+
+    /// ALG within 1.8·OPT; LP ≤ OPT; greedy within 3·OPT.
+    #[test]
+    fn prop_bounds_vs_exact(inst in feasible_instance()) {
+        let r = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        let opt = nested_opt(&inst, r.stats.lp_objective.ceil() as i64)
+            .unwrap()
+            .active_time();
+        prop_assert!(r.stats.active_slots as f64 <= 1.8 * opt as f64 + 1e-9);
+        prop_assert!(r.stats.lp_objective <= opt as f64 + 1e-9);
+        let g = minimal_feasible(&inst, ScanOrder::RightToLeft).unwrap();
+        prop_assert!(g.schedule.active_time() <= 3 * opt);
+        prop_assert!(g.schedule.active_time() >= opt);
+    }
+
+    /// Incremental greedy ≡ from-scratch greedy for every order.
+    #[test]
+    fn prop_incremental_greedy_equivalent(inst in feasible_instance(), seed in any::<u64>()) {
+        for order in [ScanOrder::LeftToRight, ScanOrder::RightToLeft, ScanOrder::Shuffled(seed)] {
+            let slow = minimal_feasible(&inst, order).unwrap();
+            let fast = minimal_feasible_fast(&inst, order).unwrap();
+            prop_assert_eq!(&slow.schedule.slots, &fast.schedule.slots);
+        }
+    }
+
+    /// Float backend: verified schedules, LP agreement with exact.
+    #[test]
+    fn prop_float_backend_agrees(inst in feasible_instance()) {
+        let e = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        let f = solve_nested(&inst, &SolverOptions::float()).unwrap();
+        f.schedule.verify(&inst).unwrap();
+        prop_assert!((e.stats.lp_objective - f.stats.lp_objective).abs() < 1e-6);
+    }
+
+    /// Polish never worsens and keeps schedules valid.
+    #[test]
+    fn prop_polish_improves(inst in feasible_instance()) {
+        let plain = solve_nested(&inst, &SolverOptions::exact()).unwrap();
+        let polished = solve_nested(&inst, &SolverOptions::exact().polished()).unwrap();
+        polished.schedule.verify(&inst).unwrap();
+        prop_assert!(polished.stats.active_slots <= plain.stats.active_slots);
+    }
+}
