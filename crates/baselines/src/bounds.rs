@@ -12,11 +12,7 @@ pub fn longest_job_lb(inst: &Instance) -> i64 {
 /// interval; the best such bound over all intervals (with endpoints drawn
 /// from window endpoints) is a global lower bound.
 pub fn interval_volume_lb(inst: &Instance) -> i64 {
-    let mut endpoints: Vec<i64> = inst
-        .jobs
-        .iter()
-        .flat_map(|j| [j.release, j.deadline])
-        .collect();
+    let mut endpoints: Vec<i64> = inst.jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
     endpoints.sort_unstable();
     endpoints.dedup();
     let mut best = 0i64;

@@ -14,7 +14,9 @@
 //!   necessarily exponential in the worst case.
 
 use crate::bounds::combined_lb;
-use atsched_core::feasibility::{counts_feasible, counts_to_slots, extract_assignment, slots_feasible};
+use atsched_core::feasibility::{
+    counts_feasible, counts_to_slots, extract_assignment, slots_feasible,
+};
 use atsched_core::instance::Instance;
 use atsched_core::schedule::Schedule;
 use atsched_core::tree::Forest;
@@ -254,6 +256,9 @@ fn search(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-case table: (g, [(release, deadline, processing)]).
+    type Cases = Vec<(i64, Vec<(i64, i64, i64)>)>;
     use atsched_core::instance::Job;
     use proptest::prelude::*;
 
@@ -277,7 +282,7 @@ mod tests {
 
     #[test]
     fn nested_matches_brute_force_handpicked() {
-        let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let shapes: Cases = vec![
             (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
             (3, vec![(0, 2, 1); 4]),
             (2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),
@@ -313,17 +318,10 @@ mod tests {
         // Regression: a float-LP value like 1.0000000000000002 can ceil
         // to OPT+1; the search must walk back down and still return the
         // true optimum (found live by the E12 gap search).
-        let i = inst(
-            4,
-            vec![(0, 14, 1), (9, 10, 1), (9, 10, 1)],
-        );
+        let i = inst(4, vec![(0, 14, 1), (9, 10, 1), (9, 10, 1)]);
         assert_eq!(nested_opt(&i, 0).unwrap().active_time(), 1);
         for bad_hint in [2i64, 3, 5, 100] {
-            assert_eq!(
-                nested_opt(&i, bad_hint).unwrap().active_time(),
-                1,
-                "hint {bad_hint}"
-            );
+            assert_eq!(nested_opt(&i, bad_hint).unwrap().active_time(), 1, "hint {bad_hint}");
             assert_eq!(
                 nested_opt_parallel(&i, bad_hint).unwrap().active_time(),
                 1,
@@ -334,7 +332,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let shapes: Cases = vec![
             (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
             (3, vec![(0, 2, 1); 4]),
             (2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),

@@ -116,6 +116,9 @@ pub fn is_minimal_feasible(inst: &Instance, slots: &[i64]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-case table: (g, [(release, deadline, processing)]).
+    type Cases = Vec<(i64, Vec<(i64, i64, i64)>)>;
     use atsched_core::instance::Job;
 
     fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
@@ -149,10 +152,7 @@ mod tests {
 
     #[test]
     fn results_are_minimal() {
-        let i = inst(
-            2,
-            vec![(0, 10, 2), (1, 4, 1), (1, 4, 1), (5, 9, 2), (6, 8, 1)],
-        );
+        let i = inst(2, vec![(0, 10, 2), (1, 4, 1), (1, 4, 1), (5, 9, 2), (6, 8, 1)]);
         for order in all_orders() {
             let r = minimal_feasible(&i, order).unwrap();
             r.schedule.verify(&i).unwrap();
@@ -165,7 +165,7 @@ mod tests {
     fn greedy_within_three_times_volume_bound() {
         // Minimal feasible ⇒ ≤ 3·OPT (CKM'17); check against the crude
         // volume LB on a batch of shapes.
-        let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let shapes: Cases = vec![
             (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
             (3, vec![(0, 2, 1); 4]),
             (2, vec![(0, 12, 4), (2, 6, 2), (7, 11, 2)]),
@@ -176,10 +176,7 @@ mod tests {
             let lb = crate::bounds::combined_lb(&i);
             for order in all_orders() {
                 let r = minimal_feasible(&i, order).unwrap();
-                assert!(
-                    (r.schedule.active_time() as i64) <= 3 * lb.max(1),
-                    "order {order:?}"
-                );
+                assert!((r.schedule.active_time() as i64) <= 3 * lb.max(1), "order {order:?}");
             }
         }
     }

@@ -46,9 +46,9 @@ impl IncrementalScheduler {
             job_edges.push(net.add_edge(source, job_base + j, job.processing));
             let lo = slots.partition_point(|&x| x < job.release);
             let hi = slots.partition_point(|&x| x < job.deadline);
-            for k in lo..hi {
+            for (k, sj) in slot_jobs.iter_mut().enumerate().take(hi).skip(lo) {
                 let e = net.add_edge(job_base + j, slot_base + k, 1);
-                slot_jobs[k].push((j, e));
+                sj.push((j, e));
             }
         }
         let slot_edges: Vec<EdgeRef> =
@@ -112,12 +112,7 @@ impl IncrementalScheduler {
 
     /// Surviving open slots (sorted).
     pub fn open_slots(&self) -> Vec<i64> {
-        self.slots
-            .iter()
-            .zip(&self.open)
-            .filter(|(_, &o)| o)
-            .map(|(&t, _)| t)
-            .collect()
+        self.slots.iter().zip(&self.open).filter(|(_, &o)| o).map(|(&t, _)| t).collect()
     }
 
     /// Read the current assignment (jobs per open slot) off the flow.
@@ -166,6 +161,9 @@ pub fn minimal_feasible_fast(inst: &Instance, order: ScanOrder) -> Option<Greedy
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-case table: (g, [(release, deadline, processing)]).
+    type Cases = Vec<(i64, Vec<(i64, i64, i64)>)>;
     use crate::greedy::minimal_feasible;
     use atsched_core::instance::Job;
     use atsched_workloads::generators::{random_laminar, LaminarConfig};
@@ -182,7 +180,7 @@ mod tests {
 
     #[test]
     fn matches_slow_greedy_handpicked() {
-        let cases: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let cases: Cases = vec![
             (1, vec![(0, 6, 2)]),
             (2, vec![(0, 10, 2), (1, 4, 1), (1, 4, 1), (5, 9, 2), (6, 8, 1)]),
             (3, vec![(0, 2, 1); 4]),
@@ -190,18 +188,11 @@ mod tests {
         ];
         for (g, jobs) in cases {
             let i = inst(g, jobs.clone());
-            for order in [
-                ScanOrder::LeftToRight,
-                ScanOrder::RightToLeft,
-                ScanOrder::Shuffled(5),
-            ] {
+            for order in [ScanOrder::LeftToRight, ScanOrder::RightToLeft, ScanOrder::Shuffled(5)] {
                 let slow = minimal_feasible(&i, order).unwrap();
                 let fast = minimal_feasible_fast(&i, order).unwrap();
                 fast.schedule.verify(&i).unwrap();
-                assert_eq!(
-                    slow.schedule.slots, fast.schedule.slots,
-                    "{jobs:?} order {order:?}"
-                );
+                assert_eq!(slow.schedule.slots, fast.schedule.slots, "{jobs:?} order {order:?}");
                 assert_eq!(slow.deactivated, fast.deactivated);
             }
         }

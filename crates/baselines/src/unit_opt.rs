@@ -52,18 +52,13 @@ pub fn solve_unit(inst: &Instance) -> Result<Schedule, UnitOptError> {
     }
     // Demand intervals: all endpoint pairs with positive demand, visited
     // by right endpoint ascending, inner (larger `a`) first on ties.
-    let mut endpoints: Vec<i64> =
-        inst.jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
+    let mut endpoints: Vec<i64> = inst.jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
     endpoints.sort_unstable();
     endpoints.dedup();
     let mut intervals: Vec<(i64, i64, i64)> = Vec::new(); // (a, b, dem)
     for (ai, &a) in endpoints.iter().enumerate() {
         for &b in &endpoints[ai + 1..] {
-            let dem = inst
-                .jobs
-                .iter()
-                .filter(|j| a <= j.release && j.deadline <= b)
-                .count() as i64;
+            let dem = inst.jobs.iter().filter(|j| a <= j.release && j.deadline <= b).count() as i64;
             if dem > 0 {
                 intervals.push((a, b, dem));
             }

@@ -52,9 +52,8 @@ fn bench_stages(c: &mut Criterion) {
     let sol = build::<Ratio>(&canon, &inst, &bounds).solve().unwrap();
     group.bench_function("transform", |b| b.iter(|| push_down(&canon, sol.clone())));
     let out = push_down(&canon, sol);
-    group.bench_function("rounding", |b| {
-        b.iter(|| round(&canon, &out.solution, &out.top_positive))
-    });
+    group
+        .bench_function("rounding", |b| b.iter(|| round(&canon, &out.solution, &out.top_positive)));
     group.finish();
 }
 

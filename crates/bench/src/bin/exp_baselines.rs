@@ -9,10 +9,7 @@ use atsched_gaps::instances::{gap2_instance, lemma51_instance};
 use atsched_workloads::generators::{random_laminar, LaminarConfig};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
 
     println!("E5: 9/5 algorithm vs baselines\n");
 

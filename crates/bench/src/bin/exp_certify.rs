@@ -18,10 +18,7 @@ use atsched_num::Ratio;
 use atsched_workloads::generators::{random_laminar, LaminarConfig};
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     println!("E9: analysis certification on random laminar instances\n");
     let mut t = Table::new(&["instance", "|I|", "B", "C1", "C2", "L4.9", "cover", "L4.11"]);
     let mut failures = 0usize;

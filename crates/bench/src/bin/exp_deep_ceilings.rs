@@ -19,7 +19,16 @@ fn main() {
     println!("E11: deeper ceiling constraints (paper extension)\n");
 
     println!("-- gapK family (g = 3): LP value by ceiling depth --");
-    let mut t = Table::new(&["K", "OPT", "depth3 LP", "depth4 LP", "depth5 LP", "depth6 LP", "ALG@3", "ALG@K"]);
+    let mut t = Table::new(&[
+        "K",
+        "OPT",
+        "depth3 LP",
+        "depth4 LP",
+        "depth5 LP",
+        "depth6 LP",
+        "ALG@3",
+        "ALG@K",
+    ]);
     for k in [3i64, 4, 5, 6] {
         let inst = gapk_instance(3, k);
         let mut row = vec![k.to_string(), k.to_string()];

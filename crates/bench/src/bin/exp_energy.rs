@@ -6,20 +6,22 @@
 //! ignores *contiguity*; this experiment measures how much that omission
 //! costs in practice.
 
+use atsched_baselines::greedy::{minimal_feasible, ScanOrder};
 use atsched_bench::table::Table;
 use atsched_core::energy::{simulate, PowerModel};
 use atsched_core::solver::{solve_nested, SolverOptions};
-use atsched_baselines::greedy::{minimal_feasible, ScanOrder};
 use atsched_workloads::generators::{random_laminar, LaminarConfig};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(15);
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
     println!("E13: energy under transition costs (idle power 0.4/slot)\n");
     let mut t = Table::new(&[
-        "startup", "OURS energy", "OURS blocks", "GRDY-R energy", "GRDY-R blocks", "always-on",
+        "startup",
+        "OURS energy",
+        "OURS blocks",
+        "GRDY-R energy",
+        "GRDY-R blocks",
+        "always-on",
     ]);
     for startup in [0.0f64, 1.0, 3.0, 8.0] {
         let model = PowerModel { active_power: 1.0, idle_power: 0.4, startup_cost: startup };

@@ -7,10 +7,7 @@
 use atsched_bench::experiments::e3_gap_natural;
 
 fn main() {
-    let max_g: i64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let max_g: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
     println!("E3: natural-LP gap-2 family (g+1 unit jobs in [0,2))\n");
     let gs: Vec<i64> = (1..=max_g).collect();
     let table = e3_gap_natural(&gs);

@@ -8,10 +8,7 @@
 use atsched_bench::experiments::e2_gap_nested;
 
 fn main() {
-    let max_g: i64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let max_g: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     println!("E2: integrality gaps on the Lemma 5.1 nested family\n");
     let gs: Vec<i64> = (2..=max_g).collect();
     let table = e2_gap_nested(&gs, 4);

@@ -10,10 +10,7 @@ use atsched_gaps::instances::{lemma51_instance, lemma51_integral_opt};
 use atsched_gaps::search::{search_tree_lp_gap, SearchConfig};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150);
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
     println!("E12: searching for tree-LP integrality-gap witnesses\n");
 
     let cfg = SearchConfig { seeds, gs: vec![2, 3, 4], horizon: 14, exact_top: 6 };

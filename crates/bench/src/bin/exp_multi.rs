@@ -37,10 +37,7 @@ fn random_instance(g: i64, seed: u64) -> MultiInstance {
 }
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120);
+    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
     println!("E14: multiple-interval jobs — submodular-cover greedy vs OPT\n");
     let mut t = Table::new(&["g", "instances", "mean ratio", "max ratio", "H_g bound"]);
     for g in [1i64, 2, 3] {

@@ -8,10 +8,7 @@ use atsched_npc::reductions::{psc_to_active_time, set_cover_to_psc};
 use atsched_npc::set_cover::random_set_cover;
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
     println!("E6: Set Cover → Prefix Sum Cover → nested active time\n");
     let mut t = Table::new(&["seed", "k", "SetCover", "PSC", "ActiveTime", "agree"]);
     let mut all_agree = true;
@@ -37,9 +34,6 @@ fn main() {
         }
     }
     println!("{}", t.render());
-    println!(
-        "chain agreement: {}",
-        if all_agree { "100%" } else { "FAILED — reduction bug" }
-    );
+    println!("chain agreement: {}", if all_agree { "100%" } else { "FAILED — reduction bug" });
     assert!(all_agree);
 }

@@ -1,14 +1,34 @@
-//! E7: runtime scaling of the pipeline stages (forest build, LP solve,
-//! transform+round, schedule extraction) for both backends.
+//! E7: runtime scaling of the pipeline stages for both backends, measured
+//! through the batch engine's per-stage instrumentation.
+//!
+//! For each horizon a small corpus of random laminar instances is pushed
+//! through [`atsched_engine::Engine::solve_batch`] once per backend; the
+//! batch report's stage percentiles (canonicalize / LP / transform /
+//! round / extract / verify) come from [`atsched_core::StageTimings`]
+//! recorded inside `solve_nested` itself, so there is no wrapper-timing
+//! skew.
+//!
+//! Usage: `exp_scaling [instances_per_cell]` (default 8).
 
 use atsched_bench::table::Table;
-use atsched_core::solver::{solve_nested, LpBackend, SolverOptions};
+use atsched_core::solver::{LpBackend, SolverOptions};
+use atsched_engine::{Engine, EngineConfig, Outcome};
 use atsched_workloads::generators::{random_laminar, LaminarConfig};
-use std::time::Instant;
 
 fn main() {
-    println!("E7: pipeline runtime vs instance size\n");
-    let mut t = Table::new(&["horizon", "jobs", "nodes", "exact ms", "f64 ms", "snap ms", "active"]);
+    let per_cell: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!("E7: pipeline runtime vs instance size (batch engine, {per_cell} instances/cell)\n");
+    let mut t = Table::new(&[
+        "horizon",
+        "jobs",
+        "backend",
+        "solve p50 ms",
+        "solve max ms",
+        "lp p50 ms",
+        "round p50 ms",
+        "active",
+    ]);
+    let engine = Engine::new(EngineConfig::default().cache(false));
     for horizon in [16i64, 32, 64, 128] {
         let cfg = LaminarConfig {
             g: 3,
@@ -19,35 +39,41 @@ fn main() {
             max_processing: 4,
             child_percent: 70,
         };
-        let inst = random_laminar(&cfg, 42);
-        let start = Instant::now();
-        let exact = solve_nested(&inst, &SolverOptions::exact()).unwrap();
-        let exact_ms = start.elapsed().as_secs_f64() * 1e3;
-        let start = Instant::now();
-        let opts = SolverOptions { backend: LpBackend::Float, ..SolverOptions::exact() };
-        let fl = solve_nested(&inst, &opts).unwrap();
-        let float_ms = start.elapsed().as_secs_f64() * 1e3;
-        let start = Instant::now();
-        let snap_opts =
-            SolverOptions { backend: LpBackend::FloatThenSnap, ..SolverOptions::exact() };
-        let sn = solve_nested(&inst, &snap_opts).unwrap();
-        let snap_ms = start.elapsed().as_secs_f64() * 1e3;
-        assert!((sn.stats.lp_objective - fl.stats.lp_objective).abs() < 1e-6);
-        assert!(
-            (exact.stats.lp_objective - fl.stats.lp_objective).abs()
-                / exact.stats.lp_objective.max(1.0)
-                < 1e-6
-        );
-        t.row(vec![
-            horizon.to_string(),
-            inst.num_jobs().to_string(),
-            exact.stats.nodes_canonical.to_string(),
-            format!("{exact_ms:.1}"),
-            format!("{float_ms:.1}"),
-            format!("{snap_ms:.1}"),
-            exact.stats.active_slots.to_string(),
-        ]);
+        let corpus: Vec<_> =
+            (0..per_cell).map(|seed| random_laminar(&cfg, 42 + seed as u64)).collect();
+        let jobs = corpus.iter().map(|i| i.num_jobs()).sum::<usize>() / corpus.len();
+
+        let mut lp_values: Vec<Vec<f64>> = Vec::new();
+        for (name, backend) in [
+            ("exact", LpBackend::Exact),
+            ("f64", LpBackend::Float),
+            ("snap", LpBackend::FloatThenSnap),
+        ] {
+            let opts = SolverOptions { backend, ..SolverOptions::exact() };
+            let batch = engine.solve_batch(&corpus, &opts);
+            assert_eq!(batch.report.solved, corpus.len(), "generator guarantees feasibility");
+            let solved: Vec<_> = batch.outcomes.iter().filter_map(Outcome::as_solved).collect();
+            lp_values.push(solved.iter().map(|s| s.result.stats.lp_objective).collect());
+            let active = solved.iter().map(|s| s.result.stats.active_slots).sum::<usize>();
+            t.row(vec![
+                horizon.to_string(),
+                jobs.to_string(),
+                name.to_string(),
+                format!("{:.1}", batch.report.latency_ms.p50),
+                format!("{:.1}", batch.report.latency_ms.max),
+                format!("{:.2}", batch.report.stages_ms.lp.p50),
+                format!("{:.2}", batch.report.stages_ms.round.p50),
+                active.to_string(),
+            ]);
+        }
+        // All three backends must agree on every LP value.
+        for (a, b) in lp_values[0].iter().zip(&lp_values[1]) {
+            assert!((a - b).abs() / a.max(1.0) < 1e-6, "exact vs f64 LP mismatch: {a} vs {b}");
+        }
+        for (a, b) in lp_values[1].iter().zip(&lp_values[2]) {
+            assert!((a - b).abs() < 1e-6, "f64 vs snap LP mismatch: {a} vs {b}");
+        }
     }
     println!("{}", t.render());
-    println!("Expected shape: f64 backend scales far better; both agree on LP value.");
+    println!("Expected shape: f64 backend scales far better; all backends agree on LP values.");
 }

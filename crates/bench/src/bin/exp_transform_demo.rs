@@ -18,10 +18,10 @@ fn main() {
     let inst = Instance::new(
         2,
         vec![
-            Job::new(0, 14, 3),  // root window
-            Job::new(1, 6, 2),   // left child
-            Job::new(2, 5, 1),   // grandchild
-            Job::new(8, 13, 2),  // right child
+            Job::new(0, 14, 3), // root window
+            Job::new(1, 6, 2),  // left child
+            Job::new(2, 5, 1),  // grandchild
+            Job::new(8, 13, 2), // right child
             Job::new(8, 13, 1),
         ],
     )

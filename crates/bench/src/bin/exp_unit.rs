@@ -9,10 +9,7 @@ use atsched_core::solver::{solve_nested, SolverOptions};
 use atsched_workloads::generators::random_unit_laminar;
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
     println!("E8: unit-job instances — unit solver vs exact vs 9/5 algorithm\n");
     let mut t = Table::new(&["seed", "jobs", "UNIT", "OPT", "OURS", "unit==opt"]);
     let mut matches = 0usize;

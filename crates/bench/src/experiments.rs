@@ -7,11 +7,11 @@ use atsched_baselines::exact::nested_opt;
 use atsched_baselines::greedy::{minimal_feasible, ScanOrder};
 use atsched_core::instance::Instance;
 use atsched_core::solver::{solve_nested, SolverOptions};
+use atsched_engine::par_map;
 use atsched_gaps::instances::{gap2_instance, lemma51_instance, lemma51_integral_opt};
 use atsched_gaps::{cw_lp, natural_lp};
 use atsched_num::Ratio;
 use atsched_workloads::generators::{random_laminar, LaminarConfig};
-use atsched_workloads::par::par_map;
 
 /// Measurements from one E1 cell (one instance).
 #[derive(Debug, Clone)]
@@ -27,53 +27,48 @@ pub struct RatioSample {
 }
 
 /// E1: approximation-ratio sweep on random laminar instances.
-pub fn e1_ratio_sweep(
-    gs: &[i64],
-    seeds_per_g: u64,
-    horizon: i64,
-    with_exact: bool,
-) -> Table {
+pub fn e1_ratio_sweep(gs: &[i64], seeds_per_g: u64, horizon: i64, with_exact: bool) -> Table {
     let mut table = Table::new(&[
-        "g", "seeds", "avg_jobs", "mean ALG/OPT", "max ALG/OPT", "mean ALG/LP", "max ALG/LP",
+        "g",
+        "seeds",
+        "avg_jobs",
+        "mean ALG/OPT",
+        "max ALG/OPT",
+        "mean ALG/LP",
+        "max ALG/LP",
     ]);
     for &g in gs {
-        let cells: Vec<RatioSample> = par_map(
-            (0..seeds_per_g).collect::<Vec<u64>>(),
-            |seed| {
-                let cfg = LaminarConfig {
-                    g,
-                    horizon,
-                    max_depth: 3,
-                    max_children: 3,
-                    jobs_per_node: (1, 2),
-                    max_processing: 3,
-                    child_percent: 65,
-                };
-                let inst = random_laminar(&cfg, seed);
-                let sol = solve_nested(&inst, &SolverOptions::exact())
-                    .expect("generator guarantees feasibility");
-                let opt = if with_exact {
-                    nested_opt(&inst, sol.stats.lp_objective.ceil() as i64)
-                        .map(|s| s.active_time() as i64)
-                } else {
-                    None
-                };
-                RatioSample {
-                    jobs: inst.num_jobs(),
-                    alg: sol.stats.active_slots as i64,
-                    opt,
-                    lp: sol.stats.lp_objective,
-                }
-            },
-        );
+        let cells: Vec<RatioSample> = par_map((0..seeds_per_g).collect::<Vec<u64>>(), |seed| {
+            let cfg = LaminarConfig {
+                g,
+                horizon,
+                max_depth: 3,
+                max_children: 3,
+                jobs_per_node: (1, 2),
+                max_processing: 3,
+                child_percent: 65,
+            };
+            let inst = random_laminar(&cfg, seed);
+            let sol = solve_nested(&inst, &SolverOptions::exact())
+                .expect("generator guarantees feasibility");
+            let opt = if with_exact {
+                nested_opt(&inst, sol.stats.lp_objective.ceil() as i64)
+                    .map(|s| s.active_time() as i64)
+            } else {
+                None
+            };
+            RatioSample {
+                jobs: inst.num_jobs(),
+                alg: sol.stats.active_slots as i64,
+                opt,
+                lp: sol.stats.lp_objective,
+            }
+        });
         let n = cells.len() as f64;
         let avg_jobs = cells.iter().map(|c| c.jobs as f64).sum::<f64>() / n;
-        let ratios_opt: Vec<f64> = cells
-            .iter()
-            .filter_map(|c| c.opt.map(|o| c.alg as f64 / o.max(1) as f64))
-            .collect();
-        let ratios_lp: Vec<f64> =
-            cells.iter().map(|c| c.alg as f64 / c.lp.max(1e-9)).collect();
+        let ratios_opt: Vec<f64> =
+            cells.iter().filter_map(|c| c.opt.map(|o| c.alg as f64 / o.max(1) as f64)).collect();
+        let ratios_lp: Vec<f64> = cells.iter().map(|c| c.alg as f64 / c.lp.max(1e-9)).collect();
         let mean = |v: &[f64]| {
             if v.is_empty() {
                 f64::NAN
@@ -97,17 +92,14 @@ pub fn e1_ratio_sweep(
 
 /// E2: integrality-gap table on the Lemma 5.1 family.
 pub fn e2_gap_nested(gs: &[i64], exact_opt_up_to: i64) -> Table {
-    let mut table = Table::new(&[
-        "g", "naturalLP", "cwLP", "ourLP", "OPT", "OPT/cwLP", "paper 3g/(2(g+2))",
-    ]);
+    let mut table =
+        Table::new(&["g", "naturalLP", "cwLP", "ourLP", "OPT", "OPT/cwLP", "paper 3g/(2(g+2))"]);
     for &g in gs {
         let inst = lemma51_instance(g);
         let nat = natural_lp::value::<Ratio>(&inst).expect("feasible").to_f64();
         let cw = cw_lp::value::<Ratio>(&inst).expect("feasible").to_f64();
-        let ours = solve_nested(&inst, &SolverOptions::exact())
-            .expect("feasible")
-            .stats
-            .lp_objective;
+        let ours =
+            solve_nested(&inst, &SolverOptions::exact()).expect("feasible").stats.lp_objective;
         let opt = if g <= exact_opt_up_to {
             let s = nested_opt(&inst, 0).expect("feasible");
             assert_eq!(s.active_time() as i64, lemma51_integral_opt(g), "paper formula check");
@@ -130,9 +122,8 @@ pub fn e2_gap_nested(gs: &[i64], exact_opt_up_to: i64) -> Table {
 
 /// E3: natural-LP gap-2 family vs the strengthened LP.
 pub fn e3_gap_natural(gs: &[i64]) -> Table {
-    let mut table = Table::new(&[
-        "g", "naturalLP", "ourLP", "OPT", "OPT/natural", "limit 2g/(g+1)",
-    ]);
+    let mut table =
+        Table::new(&["g", "naturalLP", "ourLP", "OPT", "OPT/natural", "limit 2g/(g+1)"]);
     for &g in gs {
         let inst = gap2_instance(g);
         let nat = natural_lp::value::<Ratio>(&inst).expect("feasible");
@@ -206,9 +197,8 @@ mod tests {
     fn e3_ratios_increase_toward_two() {
         let t = e3_gap_natural(&[2, 4]);
         let s = t.render();
-        let parse = |line: &str| -> f64 {
-            line.split_whitespace().nth(4).unwrap().parse().unwrap()
-        };
+        let parse =
+            |line: &str| -> f64 { line.split_whitespace().nth(4).unwrap().parse().unwrap() };
         let r2 = parse(s.lines().nth(2).unwrap());
         let r4 = parse(s.lines().nth(3).unwrap());
         assert!(r4 > r2, "gap must grow with g: {r2} vs {r4}");

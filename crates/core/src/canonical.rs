@@ -123,10 +123,7 @@ pub fn validate_canonical(f: &Forest, inst: &Instance) -> Result<(), String> {
             if n.is_virtual {
                 return Err(format!("virtual leaf {id}"));
             }
-            let rigid = n
-                .jobs
-                .iter()
-                .any(|&j| inst.jobs[j].processing == n.len());
+            let rigid = n.jobs.iter().any(|&j| inst.jobs[j].processing == n.len());
             if !rigid {
                 return Err(format!("leaf {id} is not rigid"));
             }
@@ -216,16 +213,7 @@ mod tests {
     #[test]
     fn wide_node_is_binarized() {
         // Root [0,12) with four children.
-        let (_, c) = canonical(
-            2,
-            vec![
-                (0, 12, 1),
-                (0, 2, 2),
-                (3, 5, 2),
-                (6, 8, 2),
-                (9, 11, 2),
-            ],
-        );
+        let (_, c) = canonical(2, vec![(0, 12, 1), (0, 2, 2), (3, 5, 2), (6, 8, 2), (9, 11, 2)]);
         for n in &c.nodes {
             assert!(n.children.len() <= 2);
         }
@@ -244,10 +232,7 @@ mod tests {
     fn virtual_hull_does_not_steal_parent_slots() {
         // Children [0,1), [2,3), [4,5) of root [0,6): the virtual hull
         // (0,3) contains root-owned slot 1.
-        let (_, c) = canonical(
-            1,
-            vec![(0, 6, 1), (0, 1, 1), (2, 3, 1), (4, 5, 1)],
-        );
+        let (_, c) = canonical(1, vec![(0, 6, 1), (0, 1, 1), (2, 3, 1), (4, 5, 1)]);
         let root = c.roots[0];
         assert_eq!(c.nodes[root].own_slots, vec![1, 3, 5]);
         let total: i64 = c.nodes.iter().map(|n| n.len()).sum();
@@ -256,10 +241,7 @@ mod tests {
 
     #[test]
     fn deep_rigid_split_preserves_slot_partition() {
-        let (i, c) = canonical(
-            3,
-            vec![(0, 20, 4), (2, 9, 3), (2, 9, 1), (12, 18, 2)],
-        );
+        let (i, c) = canonical(3, vec![(0, 20, 4), (2, 9, 3), (2, 9, 1), (12, 18, 2)]);
         assert!(validate_canonical(&c, &i).is_ok());
         // Every leaf rigid.
         for n in c.nodes.iter().filter(|n| n.is_leaf()) {

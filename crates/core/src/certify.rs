@@ -57,8 +57,8 @@ pub fn classify<S: Scalar>(
     for &i in top {
         let x_des = sol.x_subtree(forest, i);
         // C ⇔ 1 < x(Des) < 4/3  ⇔  x > 1 and 3x < 4.
-        let is_c = x_des.sub(&one).is_positive()
-            && four_thirds_num.sub(&three.mul(&x_des)).is_positive();
+        let is_c =
+            x_des.sub(&one).is_positive() && four_thirds_num.sub(&three.mul(&x_des)).is_positive();
         if !is_c {
             types.push((i, NodeType::B));
             continue;
@@ -120,9 +120,7 @@ pub fn build_triples_from_typing(forest: &Forest, typing: &Typing) -> Triples {
     // Ancestors of I with ≥ 3 I-descendants, bottom-to-top.
     let i_nodes: Vec<usize> = typing.types.iter().map(|(i, _)| *i).collect();
     let mut hosts: Vec<usize> = (0..forest.num_nodes())
-        .filter(|&a| {
-            i_nodes.iter().filter(|&&t| forest.is_ancestor(a, t)).count() >= 3
-        })
+        .filter(|&a| i_nodes.iter().filter(|&&t| forest.is_ancestor(a, t)).count() >= 3)
         .collect();
     hosts.sort_by_key(|&a| std::cmp::Reverse(forest.nodes[a].depth));
 
@@ -147,11 +145,8 @@ pub fn build_triples_from_typing(forest: &Forest, typing: &Typing) -> Triples {
                 picks.push(b);
             }
             // 2. Fill up preferring nearer, unreserved C2s.
-            let mut rest: Vec<usize> = avail
-                .iter()
-                .copied()
-                .filter(|m| !picks.contains(m))
-                .collect();
+            let mut rest: Vec<usize> =
+                avail.iter().copied().filter(|m| !picks.contains(m)).collect();
             let reserved_set: Vec<usize> = c1
                 .iter()
                 .copied()
@@ -182,10 +177,7 @@ pub fn build_triples_from_typing(forest: &Forest, typing: &Typing) -> Triples {
             triples.push((i1, picks[0], picks[1]));
         }
     }
-    Triples {
-        triples,
-        uncovered: c1.iter().copied().filter(|n| !covered.contains(n)).collect(),
-    }
+    Triples { triples, uncovered: c1.iter().copied().filter(|n| !covered.contains(n)).collect() }
 }
 
 /// Depth of the lowest common ancestor walk from `a` to `b` (smaller =
@@ -231,14 +223,14 @@ pub fn check_lemma_4_9(forest: &Forest, typing: &Typing) -> Result<(), String> {
 pub fn check_lemma_4_11(forest: &Forest, triples: &[Triple]) -> (usize, usize) {
     let mut ok = 0;
     for &(i1, i2, i3) in triples {
-        let cond_a = forest.nodes[i1].parent.map_or(false, |p| {
+        let cond_a = forest.nodes[i1].parent.is_some_and(|p| {
             forest.is_ancestor(p, i2) && forest.is_ancestor(p, i3) && i2 != p && i3 != p
         });
         let cond_b = brothers(forest, i1, i2)
             && forest.nodes[i1]
                 .parent
                 .and_then(|p| forest.nodes[p].parent)
-                .map_or(false, |gp| forest.is_ancestor(gp, i3) && i3 != gp);
+                .is_some_and(|gp| forest.is_ancestor(gp, i3) && i3 != gp);
         if cond_a || cond_b {
             ok += 1;
         }
@@ -282,8 +274,7 @@ pub fn check_lemma_4_1(
             if z[i] == 0 {
                 continue;
             }
-            let in_subset =
-                counts_at[i].iter().filter(|j| mask >> **j & 1 == 1).count() as i64;
+            let in_subset = counts_at[i].iter().filter(|j| mask >> **j & 1 == 1).count() as i64;
             capacity += in_subset.min(inst.g) * z[i];
         }
         if capacity < volume {
@@ -319,6 +310,9 @@ pub fn check_triples_cover(typing: &Typing, t: &Triples) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-case table: (g, [(release, deadline, processing)]).
+    type Cases = Vec<(i64, Vec<(i64, i64, i64)>)>;
     use crate::canonical::canonicalize;
     use crate::instance::{Instance, Job};
     use crate::lp_model::build;
@@ -331,9 +325,8 @@ mod tests {
         g: i64,
         jobs: Vec<(i64, i64, i64)>,
     ) -> (Forest, FractionalSolution<Ratio>, Vec<usize>, Rounded) {
-        let inst =
-            Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
-                .unwrap();
+        let inst = Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
+            .unwrap();
         let forest = Forest::build(&inst).unwrap();
         let canon = canonicalize(&forest, &inst);
         let bounds = opt23::compute(&canon, &inst);
@@ -355,7 +348,7 @@ mod tests {
 
     #[test]
     fn lemma_4_9_on_assorted_instances() {
-        let cases: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let cases: Cases = vec![
             (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
             (3, vec![(0, 2, 1); 4]),
             (2, vec![(0, 20, 1), (1, 4, 2), (5, 8, 2), (9, 12, 2), (13, 16, 2)]),
@@ -378,39 +371,26 @@ mod tests {
     #[test]
     fn synthetic_triples_wide_forest() {
         // Root with 6 child windows; I = the 6 children.
-        let jobs: Vec<(i64, i64, i64)> = (0..6)
-            .map(|i| (3 * i, 3 * i + 2, 1))
-            .chain(std::iter::once((0, 18, 1)))
-            .collect();
-        let inst = Instance::new(
-            3,
-            jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect(),
-        )
-        .unwrap();
+        let jobs: Vec<(i64, i64, i64)> =
+            (0..6).map(|i| (3 * i, 3 * i + 2, 1)).chain(std::iter::once((0, 18, 1))).collect();
+        let inst = Instance::new(3, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
+            .unwrap();
         let forest = Forest::build(&inst).unwrap();
         let canon = canonicalize(&forest, &inst);
         let children: Vec<usize> = (0..canon.num_nodes())
-            .filter(|&i| !canon.nodes[i].is_virtual && canon.nodes[i].interval.1 - canon.nodes[i].interval.0 == 2)
+            .filter(|&i| {
+                !canon.nodes[i].is_virtual
+                    && canon.nodes[i].interval.1 - canon.nodes[i].interval.0 == 2
+            })
             .collect();
         assert_eq!(children.len(), 6);
         // 2 C1 and 4 C2 nodes, placed so the counting lemma's hypothesis
         // holds in every binarization subtree (left-deep virtual chain):
         // a C1 only after two C2s to its left.
-        let pattern = [
-            NodeType::C2,
-            NodeType::C2,
-            NodeType::C1,
-            NodeType::C2,
-            NodeType::C2,
-            NodeType::C1,
-        ];
-        let typing = Typing {
-            types: children
-                .iter()
-                .enumerate()
-                .map(|(k, &n)| (n, pattern[k]))
-                .collect(),
-        };
+        let pattern =
+            [NodeType::C2, NodeType::C2, NodeType::C1, NodeType::C2, NodeType::C2, NodeType::C1];
+        let typing =
+            Typing { types: children.iter().enumerate().map(|(k, &n)| (n, pattern[k])).collect() };
         check_lemma_4_9(&canon, &typing).unwrap();
         let triples = build_triples_from_typing(&canon, &typing);
         check_triples_cover(&typing, &triples).unwrap();
@@ -430,11 +410,8 @@ mod tests {
             jobs.push((5 * b, 5 * b + 4, 1)); // their parent window
         }
         jobs.push((0, 15, 1)); // root
-        let inst = Instance::new(
-            3,
-            jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect(),
-        )
-        .unwrap();
+        let inst = Instance::new(3, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
+            .unwrap();
         let forest = Forest::build(&inst).unwrap();
         let canon = canonicalize(&forest, &inst);
         // Identify the sibling windows per block.
@@ -466,8 +443,11 @@ mod tests {
         // The C1's brother must be inside its triple (pair not broken).
         let (i1, i2, i3) = triples.triples[0];
         let brother_of_i1 = (0..canon.num_nodes())
-            .find(|&n| n != i1 && canon.nodes[n].parent == canon.nodes[i1].parent
-                && canon.nodes[i1].parent.is_some())
+            .find(|&n| {
+                n != i1
+                    && canon.nodes[n].parent == canon.nodes[i1].parent
+                    && canon.nodes[i1].parent.is_some()
+            })
             .unwrap();
         assert!(i2 == brother_of_i1 || i3 == brother_of_i1);
     }
@@ -477,18 +457,15 @@ mod tests {
         use crate::feasibility::counts_feasible;
         // Enumerate all count vectors z on small instances; Lemma 4.1's
         // condition and max-flow feasibility must agree exactly.
-        let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let shapes: Cases = vec![
             (2, vec![(0, 4, 2), (1, 3, 1)]),
             (1, vec![(0, 3, 1), (0, 3, 1), (1, 2, 1)]),
             (2, vec![(0, 6, 2), (1, 3, 2), (4, 6, 1)]),
             (3, vec![(0, 2, 1); 4]),
         ];
         for (g, jobs) in shapes {
-            let inst = Instance::new(
-                g,
-                jobs.iter().map(|&(r, d, p)| Job::new(r, d, p)).collect(),
-            )
-            .unwrap();
+            let inst = Instance::new(g, jobs.iter().map(|&(r, d, p)| Job::new(r, d, p)).collect())
+                .unwrap();
             let forest = Forest::build(&inst).unwrap();
             let lens: Vec<i64> = forest.nodes.iter().map(|n| n.len()).collect();
             // Iterate the full z-grid (small by construction).
@@ -496,10 +473,7 @@ mod tests {
             loop {
                 let flow_ok = counts_feasible(&forest, &inst, &z);
                 let lemma_ok = check_lemma_4_1(&forest, &inst, &z, 8).is_ok();
-                assert_eq!(
-                    flow_ok, lemma_ok,
-                    "disagreement at z = {z:?} on {jobs:?} (g = {g})"
-                );
+                assert_eq!(flow_ok, lemma_ok, "disagreement at z = {z:?} on {jobs:?} (g = {g})");
                 // Next grid point.
                 let mut idx = 0;
                 loop {
@@ -536,8 +510,9 @@ mod tests {
             full_pipeline(2, vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2)]);
         let typing = classify(&canon, &sol, &top, &rounded);
         assert_eq!(typing.types.len(), top.len());
-        let total =
-            typing.of(NodeType::B).len() + typing.of(NodeType::C1).len() + typing.of(NodeType::C2).len();
+        let total = typing.of(NodeType::B).len()
+            + typing.of(NodeType::C1).len()
+            + typing.of(NodeType::C2).len();
         assert_eq!(total, top.len());
     }
 }

@@ -135,12 +135,7 @@ pub fn extract_assignment_balanced(
 pub fn counts_feasible(forest: &Forest, inst: &Instance, z: &[i64]) -> bool {
     assert_eq!(z.len(), forest.num_nodes());
     for (i, n) in forest.nodes.iter().enumerate() {
-        assert!(
-            0 <= z[i] && z[i] <= n.len(),
-            "z[{i}] = {} outside [0, L = {}]",
-            z[i],
-            n.len()
-        );
+        assert!(0 <= z[i] && z[i] <= n.len(), "z[{i}] = {} outside [0, L = {}]", z[i], n.len());
     }
     let n = inst.num_jobs();
     let s = 0usize;
@@ -156,9 +151,9 @@ pub fn counts_feasible(forest: &Forest, inst: &Instance, z: &[i64]) -> bool {
             }
         }
     }
-    for i in 0..forest.num_nodes() {
-        if z[i] > 0 {
-            net.add_edge(node_base + i, t, inst.g * z[i]);
+    for (i, &zi) in z.iter().enumerate().take(forest.num_nodes()) {
+        if zi > 0 {
+            net.add_edge(node_base + i, t, inst.g * zi);
         }
     }
     net.max_flow(s, t) == inst.total_volume()

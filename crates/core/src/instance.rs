@@ -59,7 +59,9 @@ impl fmt::Display for InstanceError {
             InstanceError::NotLaminar(a, b) => {
                 write!(f, "windows of jobs {a} and {b} cross; instance is not laminar")
             }
-            InstanceError::Infeasible => write!(f, "instance is infeasible even with all slots open"),
+            InstanceError::Infeasible => {
+                write!(f, "instance is infeasible even with all slots open")
+            }
         }
     }
 }
@@ -210,10 +212,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_inputs() {
-        assert!(matches!(
-            Instance::new(0, vec![]),
-            Err(InstanceError::BadParallelism(0))
-        ));
+        assert!(matches!(Instance::new(0, vec![]), Err(InstanceError::BadParallelism(0))));
         assert!(matches!(
             Instance::new(1, vec![Job::new(0, 2, 0)]),
             Err(InstanceError::BadProcessing(0))
@@ -250,21 +249,16 @@ mod tests {
     #[test]
     fn laminar_shared_endpoints_are_fine() {
         // [0,4) ⊃ [0,2) and [0,4) ⊃ [2,4): shared endpoints, still laminar.
-        let inst = Instance::new(
-            1,
-            vec![Job::new(0, 4, 1), Job::new(0, 2, 1), Job::new(2, 4, 1)],
-        )
-        .unwrap();
+        let inst = Instance::new(1, vec![Job::new(0, 4, 1), Job::new(0, 2, 1), Job::new(2, 4, 1)])
+            .unwrap();
         assert!(inst.check_laminar().is_ok());
     }
 
     #[test]
     fn candidate_slots_merge_overlaps() {
-        let inst = Instance::new(
-            1,
-            vec![Job::new(0, 3, 1), Job::new(1, 2, 1), Job::new(10, 12, 1)],
-        )
-        .unwrap();
+        let inst =
+            Instance::new(1, vec![Job::new(0, 3, 1), Job::new(1, 2, 1), Job::new(10, 12, 1)])
+                .unwrap();
         assert_eq!(inst.candidate_slots(), vec![0, 1, 2, 10, 11]);
     }
 
@@ -285,8 +279,8 @@ mod tests {
         assert!(moved.is_feasible_all_open());
         assert_eq!(moved.candidate_slots(), (-10..-4).collect::<Vec<i64>>());
         // Solving at negative coordinates works end to end.
-        let r = crate::solver::solve_nested(&moved, &crate::solver::SolverOptions::exact())
-            .unwrap();
+        let r =
+            crate::solver::solve_nested(&moved, &crate::solver::SolverOptions::exact()).unwrap();
         r.schedule.verify(&moved).unwrap();
         assert!(r.schedule.slots.iter().all(|&t| t < 0));
     }
@@ -299,10 +293,7 @@ mod tests {
         assert_eq!(m.num_jobs(), 2);
         assert!(m.check_laminar().is_ok());
         let c = Instance::new(3, vec![Job::new(0, 2, 1)]).unwrap();
-        assert!(matches!(
-            Instance::merged(&[&a, &c]),
-            Err(InstanceError::BadParallelism(3))
-        ));
+        assert!(matches!(Instance::merged(&[&a, &c]), Err(InstanceError::BadParallelism(3))));
         assert_eq!(Instance::merged(&[]).unwrap().num_jobs(), 0);
     }
 

@@ -68,4 +68,6 @@ pub mod tree;
 
 pub use instance::{Instance, InstanceError, Job};
 pub use schedule::Schedule;
-pub use solver::{solve_nested, LpBackend, SolveResult, SolverOptions};
+pub use solver::{
+    solve_nested, LpBackend, SolveError, SolveResult, SolveStats, SolverOptions, StageTimings,
+};

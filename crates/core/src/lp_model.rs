@@ -53,10 +53,7 @@ pub fn group_jobs(forest: &Forest, inst: &Instance) -> Vec<JobGroup> {
     let mut groups: Vec<JobGroup> = Vec::new();
     for (j, job) in inst.jobs.iter().enumerate() {
         let node = forest.job_node[j];
-        match groups
-            .iter_mut()
-            .find(|g| g.node == node && g.processing == job.processing)
-        {
+        match groups.iter_mut().find(|g| g.node == node && g.processing == job.processing) {
             Some(g) => g.jobs.push(j),
             None => groups.push(JobGroup { node, processing: job.processing, jobs: vec![j] }),
         }
@@ -133,14 +130,13 @@ pub fn build_opts<S: Scalar>(
     let groups = group_jobs(forest, inst);
     let mut model: Model<S> = Model::new();
 
-    let x_vars: Vec<VarId> =
-        (0..m).map(|i| model.add_var(format!("x{i}"), S::one())).collect();
+    let x_vars: Vec<VarId> = (0..m).map(|i| model.add_var(format!("x{i}"), S::one())).collect();
 
     // y variables only where the node can actually hold work: L(i) > 0.
     let mut y_vars: Vec<Vec<(usize, VarId)>> = vec![Vec::new(); m];
     for (gid, grp) in groups.iter().enumerate() {
         for i in forest.descendants(grp.node) {
-            if forest.nodes[i].len() > 0 {
+            if !forest.nodes[i].is_empty() {
                 let v = model.add_var(format!("y{i}g{gid}"), S::zero());
                 y_vars[i].push((gid, v));
             }
@@ -160,22 +156,17 @@ pub fn build_opts<S: Scalar>(
 
     // (3) capacity per node: Σ_G y(i,G) − g·x(i) ≤ 0.
     for i in 0..m {
-        if forest.nodes[i].len() == 0 {
+        if forest.nodes[i].is_empty() {
             continue;
         }
-        let mut terms: Vec<(VarId, S)> =
-            y_vars[i].iter().map(|(_, v)| (*v, S::one())).collect();
+        let mut terms: Vec<(VarId, S)> = y_vars[i].iter().map(|(_, v)| (*v, S::one())).collect();
         terms.push((x_vars[i], S::from_i64(-inst.g)));
         model.add_constraint(terms, Cmp::Le, S::zero());
     }
 
     // (4) x(i) ≤ L(i).
-    for i in 0..m {
-        model.add_constraint(
-            vec![(x_vars[i], S::one())],
-            Cmp::Le,
-            S::from_i64(forest.nodes[i].len()),
-        );
+    for (i, &xv) in x_vars.iter().enumerate().take(m) {
+        model.add_constraint(vec![(xv, S::one())], Cmp::Le, S::from_i64(forest.nodes[i].len()));
     }
 
     // (5) y(i,G) ≤ q·x(i).
@@ -193,11 +184,8 @@ pub fn build_opts<S: Scalar>(
     // (7)/(8) ceiling constraints from the OPT_i oracles.
     for i in 0..m {
         if use_ceiling && (bounds.ge2[i] || bounds.ge3[i]) {
-            let terms: Vec<(VarId, S)> = forest
-                .descendants(i)
-                .into_iter()
-                .map(|d| (x_vars[d], S::one()))
-                .collect();
+            let terms: Vec<(VarId, S)> =
+                forest.descendants(i).into_iter().map(|d| (x_vars[d], S::one())).collect();
             let rhs = if bounds.ge3[i] { 3 } else { 2 };
             model.add_constraint(terms, Cmp::Ge, S::from_i64(rhs));
         }
@@ -220,11 +208,8 @@ pub fn add_deep_ceilings<S: Scalar>(
         if deep.lower[i] <= 3 {
             continue;
         }
-        let terms: Vec<(VarId, S)> = forest
-            .descendants(i)
-            .into_iter()
-            .map(|d| (lp.x_vars[d], S::one()))
-            .collect();
+        let terms: Vec<(VarId, S)> =
+            forest.descendants(i).into_iter().map(|d| (lp.x_vars[d], S::one())).collect();
         lp.model.add_constraint(terms, Cmp::Ge, S::from_i64(deep.lower[i]));
     }
 }
@@ -242,12 +227,7 @@ impl<S: Scalar> NestedLp<S> {
         let y: Vec<Vec<(usize, S)>> = self
             .y_vars
             .iter()
-            .map(|per_node| {
-                per_node
-                    .iter()
-                    .map(|(gid, v)| (*gid, sol.value(*v).clone()))
-                    .collect()
-            })
+            .map(|per_node| per_node.iter().map(|(gid, v)| (*gid, sol.value(*v).clone())).collect())
             .collect();
         Ok(FractionalSolution { objective: sol.objective, x, y })
     }
@@ -320,10 +300,12 @@ mod tests {
     use crate::opt23;
     use atsched_num::Ratio;
 
-    fn pipeline(g: i64, jobs: Vec<(i64, i64, i64)>) -> (Instance, Forest, FractionalSolution<Ratio>) {
-        let inst =
-            Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
-                .unwrap();
+    fn pipeline(
+        g: i64,
+        jobs: Vec<(i64, i64, i64)>,
+    ) -> (Instance, Forest, FractionalSolution<Ratio>) {
+        let inst = Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
+            .unwrap();
         let forest = Forest::build(&inst).unwrap();
         let canon = canonicalize(&forest, &inst);
         let bounds = opt23::compute(&canon, &inst);
@@ -335,11 +317,8 @@ mod tests {
 
     #[test]
     fn grouping_merges_identical_jobs() {
-        let inst = Instance::new(
-            2,
-            vec![Job::new(0, 4, 1), Job::new(0, 4, 1), Job::new(0, 4, 2)],
-        )
-        .unwrap();
+        let inst = Instance::new(2, vec![Job::new(0, 4, 1), Job::new(0, 4, 1), Job::new(0, 4, 2)])
+            .unwrap();
         let forest = Forest::build(&inst).unwrap();
         let groups = group_jobs(&forest, &inst);
         assert_eq!(groups.len(), 2);

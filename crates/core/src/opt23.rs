@@ -75,7 +75,7 @@ pub struct DeepBounds {
 pub fn compute_deep(forest: &Forest, inst: &Instance, max_k: i64) -> DeepBounds {
     let m = forest.num_nodes();
     let mut lower = vec![0i64; m];
-    for i in 0..m {
+    for (i, low) in lower.iter_mut().enumerate().take(m) {
         let jobs = forest.jobs_in_subtree(i);
         if jobs.is_empty() {
             continue;
@@ -95,7 +95,7 @@ pub fn compute_deep(forest: &Forest, inst: &Instance, max_k: i64) -> DeepBounds 
             }
             bound = k + 1;
         }
-        lower[i] = bound;
+        *low = bound;
     }
     DeepBounds { lower }
 }
@@ -129,10 +129,7 @@ fn at_most_k_slots(g: i64, windows: &[(i64, i64, i64)], k: i64) -> Option<bool> 
     }
     let mut budget = COMBO_BUDGET;
     let mut pick: Vec<i64> = Vec::with_capacity(k as usize);
-    match combo_search(g, windows, k as usize, &cands, 0, &mut pick, &mut budget) {
-        Some(found) => Some(found),
-        None => None,
-    }
+    combo_search(g, windows, k as usize, &cands, 0, &mut pick, &mut budget)
 }
 
 /// DFS over slot combinations; `None` when the budget is exhausted.
@@ -261,6 +258,9 @@ fn pair_feasible(g: i64, windows: &[(i64, i64, i64)], t1: i64, t2: i64) -> bool 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-case table: (g, [(release, deadline, processing)]).
+    type Cases = Vec<(i64, Vec<(i64, i64, i64)>)>;
     use crate::feasibility::slots_feasible;
     use crate::instance::{Instance, Job};
     use proptest::prelude::*;
@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn deep_bounds_agree_with_pair_oracles() {
-        let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let shapes: Cases = vec![
             (1, vec![(0, 5, 1)]),
             (10, vec![(0, 5, 3)]),
             (3, vec![(0, 2, 1); 4]),
@@ -353,7 +353,7 @@ mod tests {
         let root = f.roots[0];
         assert!(b.ge2[root]);
         assert!(!b.ge3[root]); // slots 1 and 6 cover everything
-        // Subtree of leaf [1,3) alone needs just one slot.
+                               // Subtree of leaf [1,3) alone needs just one slot.
         let leaf = (0..f.num_nodes()).find(|&i| f.nodes[i].interval == (1, 3)).unwrap();
         assert!(!b.ge2[leaf]);
     }
@@ -410,8 +410,8 @@ mod tests {
         let (lo, hi) = f.nodes[i].interval;
         let slots: Vec<i64> = (lo..hi).collect();
         if k >= 1 {
-            for a in 0..slots.len() {
-                if slots_feasible(&sub, &[slots[a]]) {
+            for &a in &slots {
+                if slots_feasible(&sub, &[a]) {
                     return true;
                 }
             }

@@ -50,11 +50,7 @@ pub fn to_svg(inst: &Instance, schedule: &Schedule, opts: &SvgOptions) -> String
     // Time axis ticks.
     for t in lo..=hi {
         if (t - lo) % 2 == 0 {
-            let _ = write!(
-                svg,
-                r##"<text x="{}" y="14" fill="#555">{t}</text>"##,
-                x_of(t)
-            );
+            let _ = write!(svg, r##"<text x="{}" y="14" fill="#555">{t}</text>"##, x_of(t));
         }
     }
 
@@ -145,8 +141,7 @@ mod tests {
         let i = inst(1, vec![(0, 2, 1)]);
         let r = solve_nested(&i, &SolverOptions::exact()).unwrap();
         let with = to_svg(&i, &r.schedule, &SvgOptions::default());
-        let without =
-            to_svg(&i, &r.schedule, &SvgOptions { header: false, ..Default::default() });
+        let without = to_svg(&i, &r.schedule, &SvgOptions { header: false, ..Default::default() });
         assert!(with.contains(">active<"));
         assert!(!without.contains(">active<"));
     }

@@ -82,27 +82,23 @@ pub fn round_with<S: Scalar>(
 
     // Line 1: floors on I, exact values elsewhere.
     let mut z: Vec<i64> = Vec::with_capacity(m);
-    for i in 0..m {
+    for (i, &top) in is_top.iter().enumerate().take(m) {
         let xi = &sol.x[i];
-        if is_top[i] {
+        if top {
             z.push(xi.floor_int());
         } else {
             let v = xi.floor_int();
             let back = S::from_i64(v);
             let frac = xi.sub(&back);
-            assert!(
-                frac.is_zero() || is_top[i],
-                "node {i} outside I has fractional x = {xi}"
-            );
+            assert!(frac.is_zero() || top, "node {i} outside I has fractional x = {xi}");
             z.push(v);
         }
     }
 
     // Anc(I): every node having an I-descendant (I nodes included),
     // processed bottom-to-top.
-    let mut anc_of_top: Vec<usize> = (0..m)
-        .filter(|&i| top.iter().any(|&t| forest.is_ancestor(i, t)))
-        .collect();
+    let mut anc_of_top: Vec<usize> =
+        (0..m).filter(|&i| top.iter().any(|&t| forest.is_ancestor(i, t))).collect();
     anc_of_top.sort_by_key(|&i| std::cmp::Reverse(forest.nodes[i].depth));
 
     let mut rounded_up: Vec<usize> = Vec::new();
@@ -138,16 +134,14 @@ pub fn round_with<S: Scalar>(
                 break; // line 8: nothing left to round up
             }
             let pick = match choice {
-                RoundingChoice::LargestFraction => {
-                    candidates
-                        .iter()
-                        .enumerate()
-                        .max_by(|(_, (_, a)), (_, (_, b))| {
-                            a.partial_cmp(b).expect("scalars are ordered")
-                        })
-                        .map(|(idx, _)| idx)
-                        .expect("nonempty")
-                }
+                RoundingChoice::LargestFraction => candidates
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, (_, a)), (_, (_, b))| {
+                        a.partial_cmp(b).expect("scalars are ordered")
+                    })
+                    .map(|(idx, _)| idx)
+                    .expect("nonempty"),
                 RoundingChoice::FirstId => 0, // candidates follow preorder; take first
                 RoundingChoice::Shuffled(_) => {
                     rng_state = rng_state.wrapping_add(0x9E3779B97F4A7C15);
@@ -163,11 +157,7 @@ pub fn round_with<S: Scalar>(
         }
     }
 
-    let left_floored = top
-        .iter()
-        .copied()
-        .filter(|&i| !rounded_up.contains(&i))
-        .collect();
+    let left_floored = top.iter().copied().filter(|&i| !rounded_up.contains(&i)).collect();
     Rounded { z, rounded_up, left_floored }
 }
 
@@ -196,6 +186,9 @@ pub fn check_budget<S: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-case table: (g, [(release, deadline, processing)]).
+    type Cases = Vec<(i64, Vec<(i64, i64, i64)>)>;
     use crate::canonical::canonicalize;
     use crate::instance::{Instance, Job};
     use crate::lp_model::build;
@@ -203,10 +196,12 @@ mod tests {
     use crate::transform::push_down;
     use atsched_num::Ratio;
 
-    fn run(g: i64, jobs: Vec<(i64, i64, i64)>) -> (Instance, Forest, FractionalSolution<Ratio>, Vec<usize>, Rounded) {
-        let inst =
-            Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
-                .unwrap();
+    fn run(
+        g: i64,
+        jobs: Vec<(i64, i64, i64)>,
+    ) -> (Instance, Forest, FractionalSolution<Ratio>, Vec<usize>, Rounded) {
+        let inst = Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
+            .unwrap();
         let forest = Forest::build(&inst).unwrap();
         let canon = canonicalize(&forest, &inst);
         let bounds = opt23::compute(&canon, &inst);
@@ -230,10 +225,8 @@ mod tests {
 
     #[test]
     fn z_respects_node_capacity() {
-        let (_, canon, _, _, rounded) = run(
-            2,
-            vec![(0, 12, 2), (1, 5, 2), (1, 5, 1), (6, 11, 3), (7, 10, 1)],
-        );
+        let (_, canon, _, _, rounded) =
+            run(2, vec![(0, 12, 2), (1, 5, 2), (1, 5, 1), (6, 11, 3), (7, 10, 1)]);
         for i in 0..canon.num_nodes() {
             assert!(rounded.z[i] >= 0);
             assert!(rounded.z[i] <= canon.nodes[i].len());
@@ -317,7 +310,7 @@ mod tests {
 
     #[test]
     fn z_brackets_x_per_node() {
-        let cases: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let cases: Cases = vec![
             (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
             (3, vec![(0, 10, 1), (0, 10, 1), (2, 6, 2), (7, 9, 2)]),
         ];

@@ -35,7 +35,9 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Malformed => write!(f, "malformed schedule"),
             ScheduleError::OverCapacity(t) => write!(f, "slot {t} exceeds capacity g"),
             ScheduleError::DuplicateInSlot(j, t) => write!(f, "job {j} duplicated in slot {t}"),
-            ScheduleError::OutsideWindow(j, t) => write!(f, "job {j} scheduled at {t} outside window"),
+            ScheduleError::OutsideWindow(j, t) => {
+                write!(f, "job {j} scheduled at {t} outside window")
+            }
             ScheduleError::WrongVolume(j) => write!(f, "job {j} did not receive exactly p_j slots"),
         }
     }
@@ -202,10 +204,7 @@ mod tests {
             Schedule::new(vec![1, 0], vec![vec![0], vec![]]).verify(&i),
             Err(ScheduleError::Malformed)
         );
-        assert_eq!(
-            Schedule::new(vec![0], vec![]).verify(&i),
-            Err(ScheduleError::Malformed)
-        );
+        assert_eq!(Schedule::new(vec![0], vec![]).verify(&i), Err(ScheduleError::Malformed));
     }
 
     #[test]

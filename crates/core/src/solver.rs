@@ -24,6 +24,7 @@ use crate::tree::Forest;
 use atsched_lp::Scalar;
 use atsched_num::Ratio;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Which arithmetic the LP + rounding pipeline runs in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +111,35 @@ impl Default for SolverOptions {
     }
 }
 
+/// Wall-clock time spent in each pipeline stage.
+///
+/// Filled by [`solve_nested`]; stages that did not run (e.g. on the
+/// empty-instance fast path) stay at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Window-forest construction + canonical transformation + OPT
+    /// lower-bound oracle.
+    pub canonicalize: Duration,
+    /// Building and solving the strengthened LP (both attempts, for the
+    /// snap backend).
+    pub lp: Duration,
+    /// Lemma 3.1 push-down.
+    pub transform: Duration,
+    /// Algorithm 1 rounding.
+    pub round: Duration,
+    /// Slot materialization, max-flow extraction, repair and polish.
+    pub extract: Duration,
+    /// Independent final verification.
+    pub verify: Duration,
+}
+
+impl StageTimings {
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        self.canonicalize + self.lp + self.transform + self.round + self.extract + self.verify
+    }
+}
+
 /// Everything the solver learned along the way.
 #[derive(Debug, Clone)]
 pub struct SolveStats {
@@ -137,6 +167,8 @@ pub struct SolveStats {
     /// `opened / lp_objective` — certified ≤ 9/5 by Lemma 3.3 (when the
     /// ceiling constraints are enabled).
     pub opened_over_lp: f64,
+    /// Wall-clock time per pipeline stage.
+    pub timings: StageTimings,
 }
 
 /// Solver output: a verified schedule plus statistics.
@@ -196,20 +228,29 @@ pub fn solve_nested(inst: &Instance, opts: &SolverOptions) -> Result<SolveResult
                 repair_opened: 0,
                 polish_closed: 0,
                 opened_over_lp: 1.0,
+                timings: StageTimings::default(),
             },
             z: Vec::new(),
             forest: Forest { nodes: Vec::new(), roots: Vec::new(), job_node: Vec::new() },
         });
     }
+    let stage = Instant::now();
     let forest = Forest::build(inst).map_err(SolveError::Instance)?;
     let nodes_original = forest.num_nodes();
     let canon = canonicalize(&forest, inst);
     let bounds = opt23::compute(&canon, inst);
+    let timings = StageTimings { canonicalize: stage.elapsed(), ..StageTimings::default() };
 
     match opts.backend {
-        LpBackend::Exact => run_pipeline::<Ratio>(inst, canon, nodes_original, &bounds, opts),
-        LpBackend::Float => run_pipeline::<f64>(inst, canon, nodes_original, &bounds, opts),
-        LpBackend::FloatThenSnap => run_snap_pipeline(inst, canon, nodes_original, &bounds, opts),
+        LpBackend::Exact => {
+            run_pipeline::<Ratio>(inst, canon, nodes_original, &bounds, opts, timings)
+        }
+        LpBackend::Float => {
+            run_pipeline::<f64>(inst, canon, nodes_original, &bounds, opts, timings)
+        }
+        LpBackend::FloatThenSnap => {
+            run_snap_pipeline(inst, canon, nodes_original, &bounds, opts, timings)
+        }
     }
 }
 
@@ -220,7 +261,9 @@ fn run_snap_pipeline(
     nodes_original: usize,
     bounds: &opt23::OptBounds,
     opts: &SolverOptions,
+    mut timings: StageTimings,
 ) -> Result<SolveResult, SolveError> {
+    let stage = Instant::now();
     let mut lp = build_opts::<f64>(&canon, inst, bounds, opts.use_ceiling);
     if opts.use_ceiling && opts.ceiling_depth > 3 {
         let deep = crate::opt23::compute_deep(&canon, inst, opts.ceiling_depth);
@@ -230,6 +273,7 @@ fn run_snap_pipeline(
         NestedLpError::Infeasible => SolveError::Infeasible,
         NestedLpError::Solver(e) => SolveError::Lp(e),
     })?;
+    timings.lp = stage.elapsed();
 
     // Rationalize. Simplex vertices of these LPs have modest
     // denominators; 10^6 comfortably covers them while still absorbing
@@ -251,14 +295,17 @@ fn run_snap_pipeline(
         Some(crate::lp_model::FractionalSolution { x, y, objective })
     })();
 
+    let stage = Instant::now();
     if let Some(sol_q) = snapped {
         let groups = crate::lp_model::group_jobs(&canon, inst);
         if sol_q.check(&canon, inst, &groups).is_ok() {
-            return finish_pipeline::<Ratio>(inst, canon, nodes_original, opts, sol_q);
+            timings.lp += stage.elapsed();
+            return finish_pipeline::<Ratio>(inst, canon, nodes_original, opts, sol_q, timings);
         }
     }
     // Snap failed LP feasibility: fall back to the plain float pipeline.
-    finish_pipeline::<f64>(inst, canon, nodes_original, opts, sol_f)
+    timings.lp += stage.elapsed();
+    finish_pipeline::<f64>(inst, canon, nodes_original, opts, sol_f, timings)
 }
 
 fn run_pipeline<S: Scalar>(
@@ -267,7 +314,9 @@ fn run_pipeline<S: Scalar>(
     nodes_original: usize,
     bounds: &opt23::OptBounds,
     opts: &SolverOptions,
+    mut timings: StageTimings,
 ) -> Result<SolveResult, SolveError> {
+    let stage = Instant::now();
     let mut lp = build_opts::<S>(&canon, inst, bounds, opts.use_ceiling);
     if opts.use_ceiling && opts.ceiling_depth > 3 {
         let deep = crate::opt23::compute_deep(&canon, inst, opts.ceiling_depth);
@@ -277,7 +326,8 @@ fn run_pipeline<S: Scalar>(
         NestedLpError::Infeasible => SolveError::Infeasible,
         NestedLpError::Solver(e) => SolveError::Lp(e),
     })?;
-    finish_pipeline::<S>(inst, canon, nodes_original, opts, sol)
+    timings.lp = stage.elapsed();
+    finish_pipeline::<S>(inst, canon, nodes_original, opts, sol, timings)
 }
 
 /// Everything after the LP: Lemma 3.1 transform, Algorithm 1 rounding,
@@ -288,15 +338,22 @@ fn finish_pipeline<S: Scalar>(
     nodes_original: usize,
     opts: &SolverOptions,
     sol: crate::lp_model::FractionalSolution<S>,
+    mut timings: StageTimings,
 ) -> Result<SolveResult, SolveError> {
     let lp_objective = sol.objective.to_f64();
     let lp_exact = exact_objective_string(&sol.objective);
 
+    let stage = Instant::now();
     let transformed = push_down(&canon, sol);
-    debug_assert!(
-        crate::transform::check_claim1(&canon, &transformed.solution, &transformed.top_positive)
-            .is_ok()
-    );
+    debug_assert!(crate::transform::check_claim1(
+        &canon,
+        &transformed.solution,
+        &transformed.top_positive
+    )
+    .is_ok());
+    timings.transform = stage.elapsed();
+
+    let stage = Instant::now();
     let rounded = crate::rounding::round_with(
         &canon,
         &transformed.solution,
@@ -304,7 +361,9 @@ fn finish_pipeline<S: Scalar>(
         opts.round_choice,
     );
     debug_assert!(check_budget(&canon, &transformed.solution, &rounded).is_ok());
+    timings.round = stage.elapsed();
 
+    let stage = Instant::now();
     // Materialize and extract; repair only if extraction falls short
     // (never on the exact path — Theorem 4.5).
     let mut z = rounded.z.clone();
@@ -322,12 +381,10 @@ fn finish_pipeline<S: Scalar>(
                 continue;
             }
             z[i] += 1;
-            let vol = crate::feasibility::max_schedulable_volume(
-                inst,
-                &counts_to_slots(&canon, &z),
-            );
+            let vol =
+                crate::feasibility::max_schedulable_volume(inst, &counts_to_slots(&canon, &z));
             z[i] -= 1;
-            if best.map_or(true, |(_, bv)| vol > bv) {
+            if best.is_none_or(|(_, bv)| vol > bv) {
                 best = Some((i, vol));
             }
         }
@@ -357,8 +414,8 @@ fn finish_pipeline<S: Scalar>(
             }
         }
         if polish_closed > 0 {
-            let assignment = extract_assignment(inst, &open)
-                .expect("polish only keeps feasible sets");
+            let assignment =
+                extract_assignment(inst, &open).expect("polish only keeps feasible sets");
             schedule = Schedule::new(open, assignment);
         }
     }
@@ -366,9 +423,11 @@ fn finish_pipeline<S: Scalar>(
     if opts.compact {
         schedule.compact();
     }
-    schedule
-        .verify(inst)
-        .expect("extracted schedule must verify; this is a bug");
+    timings.extract = stage.elapsed();
+
+    let stage = Instant::now();
+    schedule.verify(inst).expect("extracted schedule must verify; this is a bug");
+    timings.verify = stage.elapsed();
 
     let opened_slots: i64 = opened_before_polish - polish_closed;
     let stats = SolveStats {
@@ -382,11 +441,8 @@ fn finish_pipeline<S: Scalar>(
         active_slots: schedule.active_time(),
         repair_opened,
         polish_closed,
-        opened_over_lp: if lp_objective > 0.0 {
-            opened_slots as f64 / lp_objective
-        } else {
-            1.0
-        },
+        opened_over_lp: if lp_objective > 0.0 { opened_slots as f64 / lp_objective } else { 1.0 },
+        timings,
     };
     Ok(SolveResult { schedule, stats, z, forest: canon })
 }
@@ -404,6 +460,9 @@ fn exact_objective_string<S: Scalar>(obj: &S) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-case table: (g, [(release, deadline, processing)]).
+    type Cases = Vec<(i64, Vec<(i64, i64, i64)>)>;
     use crate::instance::Job;
 
     fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
@@ -461,10 +520,7 @@ mod tests {
     #[test]
     fn infeasible_is_reported() {
         let i = inst(1, vec![(0, 2, 1); 3]);
-        assert_eq!(
-            solve_nested(&i, &SolverOptions::exact()).unwrap_err(),
-            SolveError::Infeasible
-        );
+        assert_eq!(solve_nested(&i, &SolverOptions::exact()).unwrap_err(), SolveError::Infeasible);
     }
 
     #[test]
@@ -478,7 +534,7 @@ mod tests {
 
     #[test]
     fn float_backend_agrees_on_small_instances() {
-        let cases: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let cases: Cases = vec![
             (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
             (3, vec![(0, 2, 1); 4]),
             (2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),
@@ -494,7 +550,7 @@ mod tests {
 
     #[test]
     fn polish_never_hurts_and_verifies() {
-        let cases: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let cases: Cases = vec![
             (2, vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2)]),
             (3, vec![(0, 2, 1); 4]),
             (2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),
@@ -544,7 +600,7 @@ mod tests {
 
     #[test]
     fn snap_backend_matches_exact() {
-        let cases: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+        let cases: Cases = vec![
             (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
             (3, vec![(0, 2, 1); 4]),
             (2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),
@@ -559,10 +615,7 @@ mod tests {
             )
             .unwrap();
             snap.schedule.verify(&i).unwrap();
-            assert!(
-                (exact.stats.lp_objective - snap.stats.lp_objective).abs() < 1e-6,
-                "{jobs:?}"
-            );
+            assert!((exact.stats.lp_objective - snap.stats.lp_objective).abs() < 1e-6, "{jobs:?}");
             assert!(snap.stats.opened_slots as f64 <= 1.8 * snap.stats.lp_objective + 1e-6);
         }
     }
@@ -581,5 +634,19 @@ mod tests {
         assert!(r.stats.active_slots as i64 <= r.stats.opened_slots);
         assert!(r.stats.lp_objective > 0.0);
         assert!(r.stats.lp_objective_exact.is_some());
+    }
+
+    #[test]
+    fn stage_timings_are_recorded() {
+        let r = solve_ok(2, vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2)]);
+        let t = r.stats.timings;
+        // Stages actually executed must have been measured; LP work
+        // dominates and can never be zero on a non-empty instance.
+        assert!(t.lp > Duration::ZERO);
+        assert!(t.total() >= t.lp);
+
+        // The empty-instance fast path reports all-zero timings.
+        let empty = solve_nested(&inst(3, vec![]), &SolverOptions::exact()).unwrap();
+        assert_eq!(empty.stats.timings, StageTimings::default());
     }
 }

@@ -34,10 +34,7 @@ pub struct Transformed<S> {
 /// already full) and pull from its *topmost* positive ancestor. Each move
 /// either zeroes the ancestor or fills the descendant, so at most
 /// `O(m²)` moves happen; a safety cap asserts this.
-pub fn push_down<S: Scalar>(
-    forest: &Forest,
-    mut sol: FractionalSolution<S>,
-) -> Transformed<S> {
+pub fn push_down<S: Scalar>(forest: &Forest, mut sol: FractionalSolution<S>) -> Transformed<S> {
     let m = forest.num_nodes();
     let cap = 4 * m * m + 16;
     let mut moves = 0usize;
@@ -50,14 +47,13 @@ pub fn push_down<S: Scalar>(
             if !len.sub(&sol.x[i2]).is_positive() {
                 continue; // full (or L = 0)
             }
-            let has_positive_anc = forest.ancestors(i2)[1..]
-                .iter()
-                .any(|&a| sol.x[a].is_positive());
+            let has_positive_anc =
+                forest.ancestors(i2)[1..].iter().any(|&a| sol.x[a].is_positive());
             if !has_positive_anc {
                 continue;
             }
             let d = forest.nodes[i2].depth;
-            if pick.map_or(true, |(_, pd)| d > pd) {
+            if pick.is_none_or(|(_, pd)| d > pd) {
                 pick = Some((i2, d));
             }
         }
@@ -65,8 +61,7 @@ pub fn push_down<S: Scalar>(
         // Topmost positive strict ancestor.
         let i1 = *forest.ancestors(i2)[1..]
             .iter()
-            .filter(|&&a| sol.x[a].is_positive())
-            .last()
+            .rfind(|&&a| sol.x[a].is_positive())
             .expect("checked above");
 
         let slack = S::from_i64(forest.nodes[i2].len()).sub(&sol.x[i2]);
@@ -77,10 +72,8 @@ pub fn push_down<S: Scalar>(
         let x1_old = sol.x[i1].clone();
         let x1_new = x1_old.sub(&theta);
         let scale = theta.div(&x1_old); // fraction moved
-        let moved: Vec<(usize, S)> = sol.y[i1]
-            .iter()
-            .map(|(gid, yv)| (*gid, yv.mul(&scale)))
-            .collect();
+        let moved: Vec<(usize, S)> =
+            sol.y[i1].iter().map(|(gid, yv)| (*gid, yv.mul(&scale))).collect();
         for (gid, delta) in moved {
             if delta.is_zero() {
                 continue;
@@ -109,10 +102,7 @@ pub fn push_down<S: Scalar>(
 
 /// The antichain `I`: nodes with `x > 0` whose strict ancestors all have
 /// `x = 0`.
-pub fn compute_top_positive<S: Scalar>(
-    forest: &Forest,
-    sol: &FractionalSolution<S>,
-) -> Vec<usize> {
+pub fn compute_top_positive<S: Scalar>(forest: &Forest, sol: &FractionalSolution<S>) -> Vec<usize> {
     (0..forest.num_nodes())
         .filter(|&i| {
             sol.x[i].is_positive()
@@ -216,9 +206,8 @@ mod tests {
         g: i64,
         jobs: Vec<(i64, i64, i64)>,
     ) -> (Instance, Forest, Vec<JobGroup>, FractionalSolution<Ratio>) {
-        let inst =
-            Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
-                .unwrap();
+        let inst = Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
+            .unwrap();
         let forest = Forest::build(&inst).unwrap();
         let canon = canonicalize(&forest, &inst);
         let bounds = opt23::compute(&canon, &inst);
@@ -230,10 +219,8 @@ mod tests {
 
     #[test]
     fn transform_preserves_feasibility_and_objective() {
-        let (inst, canon, groups, sol) = setup(
-            2,
-            vec![(0, 10, 2), (1, 5, 2), (1, 5, 1), (6, 9, 2), (6, 9, 1)],
-        );
+        let (inst, canon, groups, sol) =
+            setup(2, vec![(0, 10, 2), (1, 5, 2), (1, 5, 1), (6, 9, 2), (6, 9, 1)]);
         let before = sol.clone();
         let out = push_down(&canon, sol);
         verify_transform(&canon, &inst, &groups, &before, &out).unwrap();
@@ -250,8 +237,8 @@ mod tests {
         let mut x = vec![Ratio::zero(); m];
         let mut y: Vec<Vec<(usize, Ratio)>> = vec![Vec::new(); m];
         // Open the whole tree: x = L, put each group at its own node.
-        for i in 0..m {
-            x[i] = Ratio::from_i64(canon.nodes[i].len());
+        for (i, xi) in x.iter_mut().enumerate().take(m) {
+            *xi = Ratio::from_i64(canon.nodes[i].len());
         }
         for (gid, grp) in groups.iter().enumerate() {
             // schedule at k(G) itself (has enough own slots here)
@@ -298,10 +285,7 @@ mod tests {
         if out.solution.x[root].is_positive() {
             for d in canon.descendants(root) {
                 if d != root {
-                    assert_eq!(
-                        out.solution.x[d],
-                        Ratio::from_i64(canon.nodes[d].len())
-                    );
+                    assert_eq!(out.solution.x[d], Ratio::from_i64(canon.nodes[d].len()));
                 }
             }
         }
@@ -309,10 +293,8 @@ mod tests {
 
     #[test]
     fn group_mass_conserved() {
-        let (_, canon, groups, sol) = setup(
-            3,
-            vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2), (7, 11, 1)],
-        );
+        let (_, canon, groups, sol) =
+            setup(3, vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2), (7, 11, 1)]);
         let before_mass = group_mass(&sol, &groups);
         let out = push_down(&canon, sol);
         let after_mass = group_mass(&out.solution, &groups);

@@ -127,11 +127,8 @@ impl Forest {
     pub(crate) fn recompute_own_slots(&mut self) {
         for id in 0..self.nodes.len() {
             let (lo, hi) = self.nodes[id].interval;
-            let mut covered: Vec<(i64, i64)> = self.nodes[id]
-                .children
-                .iter()
-                .map(|&c| self.nodes[c].interval)
-                .collect();
+            let mut covered: Vec<(i64, i64)> =
+                self.nodes[id].children.iter().map(|&c| self.nodes[c].interval).collect();
             covered.sort_unstable();
             let mut own = Vec::new();
             let mut t = lo;
@@ -365,8 +362,9 @@ mod tests {
 
     #[test]
     fn orders_cover_all_nodes() {
-        let f = Forest::build(&inst(2, vec![(0, 10, 1), (1, 4, 1), (5, 9, 1), (6, 8, 1), (11, 13, 1)]))
-            .unwrap();
+        let f =
+            Forest::build(&inst(2, vec![(0, 10, 1), (1, 4, 1), (5, 9, 1), (6, 8, 1), (11, 13, 1)]))
+                .unwrap();
         let topo = f.topological_order();
         let post = f.post_order();
         assert_eq!(topo.len(), f.num_nodes());

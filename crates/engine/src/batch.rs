@@ -1,0 +1,430 @@
+//! The batch-solve engine: dispatcher, isolation, and outcome model.
+
+use crate::cache::{CacheKey, CacheStats, SolveCache};
+use crate::isolate::{isolated, with_budget, Interrupt};
+use crate::par::default_workers;
+use crate::report::{BatchReport, CacheReport, Percentiles, StageReport};
+use atsched_core::instance::Instance;
+use atsched_core::solver::{solve_nested, SolveError, SolveResult, SolverOptions};
+use crossbeam::channel;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Engine configuration (builder-style).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Bounded dispatch-queue depth; `0` means `2 × workers`.
+    pub queue_depth: usize,
+    /// Memoize deterministic solve outcomes (default true).
+    pub cache: bool,
+    /// Per-solve wall-clock budget; `None` means unlimited.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: 0, queue_depth: 0, cache: true, timeout: None }
+    }
+}
+
+impl EngineConfig {
+    /// Set the worker count (`0` = one per core).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Set the dispatch-queue depth (`0` = `2 × workers`).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n;
+        self
+    }
+
+    /// Enable or disable the solve cache.
+    pub fn cache(mut self, on: bool) -> Self {
+        self.cache = on;
+        self
+    }
+
+    /// Set a per-solve wall-clock budget.
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.timeout = Some(budget);
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            default_workers()
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// A successfully solved batch item.
+#[derive(Debug, Clone)]
+pub struct SolvedItem {
+    /// The verified solver output.
+    pub result: SolveResult,
+    /// Wall-clock spent on this item (≈0 for cache hits).
+    pub elapsed: Duration,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+}
+
+/// Per-instance result of a batch solve.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// A verified schedule (boxed: the payload is large).
+    Solved(Box<SolvedItem>),
+    /// The instance is provably infeasible.
+    Infeasible,
+    /// The per-solve wall-clock budget ran out.
+    TimedOut,
+    /// The solve errored (bad instance, LP failure) or panicked.
+    Failed(String),
+}
+
+impl Outcome {
+    /// The solved payload, if any.
+    pub fn as_solved(&self) -> Option<&SolvedItem> {
+        match self {
+            Outcome::Solved(item) => Some(item),
+            _ => None,
+        }
+    }
+
+    /// True for [`Outcome::Solved`].
+    pub fn is_solved(&self) -> bool {
+        matches!(self, Outcome::Solved(_))
+    }
+
+    /// Short stable label (`solved` / `infeasible` / `timed_out` /
+    /// `failed`), used in reports and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Solved(_) => "solved",
+            Outcome::Infeasible => "infeasible",
+            Outcome::TimedOut => "timed_out",
+            Outcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// A batch's outcomes (input order) plus its report.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One outcome per input instance, positionally.
+    pub outcomes: Vec<Outcome>,
+    /// Aggregated statistics for the batch.
+    pub report: BatchReport,
+}
+
+/// Parallel batch-solve engine with a solve cache.
+///
+/// The engine owns its cache, so it can be reused across batches to
+/// carry memoized results forward; cheap to construct per batch when
+/// that is not wanted.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cfg: EngineConfig,
+    cache: SolveCache,
+}
+
+impl Engine {
+    /// Engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine { cfg, cache: SolveCache::default() }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Lifetime cache counters (across all batches run on this engine).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of memoized solve outcomes currently held.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Solve every instance, in parallel, preserving input order.
+    ///
+    /// Output is positionally identical to solving sequentially: worker
+    /// scheduling affects only wall-clock, never results. Panics and
+    /// budget overruns are contained to their own item.
+    pub fn solve_batch(&self, instances: &[Instance], opts: &SolverOptions) -> BatchResult {
+        let start = Instant::now();
+        let n = instances.len();
+        let workers = self.cfg.effective_workers().min(n.max(1));
+        let cache_before = self.cache.stats();
+
+        let outcomes: Vec<Outcome> = if workers <= 1 {
+            instances.iter().map(|inst| self.solve_one(inst, opts)).collect()
+        } else {
+            let depth = if self.cfg.queue_depth == 0 { 2 * workers } else { self.cfg.queue_depth };
+            let (tx, rx) = channel::bounded::<(usize, &Instance)>(depth);
+            let (out_tx, out_rx) = channel::unbounded::<(usize, Outcome)>();
+
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    let rx = rx.clone();
+                    let out_tx = out_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok((i, inst)) = rx.recv() {
+                            out_tx.send((i, self.solve_one(inst, opts))).expect("collector open");
+                        }
+                    });
+                }
+                drop(out_tx);
+                for (i, inst) in instances.iter().enumerate() {
+                    tx.send((i, inst)).expect("workers alive");
+                }
+                drop(tx);
+            });
+
+            let mut slots: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
+            while let Ok((i, outcome)) = out_rx.recv() {
+                slots[i] = Some(outcome);
+            }
+            slots.into_iter().map(|o| o.expect("every index produced")).collect()
+        };
+
+        let report = self.build_report(&outcomes, workers, start.elapsed(), cache_before);
+        BatchResult { outcomes, report }
+    }
+
+    /// Solve a single instance under this engine's isolation and cache
+    /// policy (the unit of work a batch worker executes).
+    pub fn solve_one(&self, inst: &Instance, opts: &SolverOptions) -> Outcome {
+        let start = Instant::now();
+        let key = self.cfg.cache.then(|| CacheKey::new(inst, opts));
+        if let Some(key) = &key {
+            if let Some(found) = self.cache.get(key) {
+                return settle(found, start.elapsed(), true);
+            }
+        }
+
+        let solved = match self.cfg.timeout {
+            None => isolated(|| solve_nested(inst, opts)),
+            Some(budget) => {
+                let inst = inst.clone();
+                let opts = opts.clone();
+                with_budget(move || solve_nested(&inst, &opts), budget)
+            }
+        };
+        match solved {
+            Ok(deterministic) => {
+                if let Some(key) = key {
+                    self.cache.insert(key, deterministic.clone());
+                }
+                settle(deterministic, start.elapsed(), false)
+            }
+            // Interrupts are transient and never cached.
+            Err(Interrupt::TimedOut) => Outcome::TimedOut,
+            Err(Interrupt::Panicked(msg)) => Outcome::Failed(format!("solver panicked: {msg}")),
+        }
+    }
+
+    fn build_report(
+        &self,
+        outcomes: &[Outcome],
+        workers: usize,
+        wall_clock: Duration,
+        cache_before: CacheStats,
+    ) -> BatchReport {
+        let mut solved = 0;
+        let mut infeasible = 0;
+        let mut timed_out = 0;
+        let mut failed = 0;
+        let mut latencies = Vec::new();
+        let mut timings = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Outcome::Solved(item) => {
+                    solved += 1;
+                    latencies.push(item.elapsed.as_secs_f64() * 1e3);
+                    if !item.cached {
+                        timings.push(item.result.stats.timings);
+                    }
+                }
+                Outcome::Infeasible => infeasible += 1,
+                Outcome::TimedOut => timed_out += 1,
+                Outcome::Failed(_) => failed += 1,
+            }
+        }
+        let delta = self.cache.stats().since(cache_before);
+        BatchReport {
+            total: outcomes.len(),
+            solved,
+            infeasible,
+            timed_out,
+            failed,
+            wall_clock_ms: wall_clock.as_secs_f64() * 1e3,
+            workers,
+            cache: CacheReport {
+                hits: delta.hits,
+                misses: delta.misses,
+                hit_rate: delta.hit_rate(),
+            },
+            latency_ms: Percentiles::from_samples(latencies),
+            stages_ms: StageReport::from_timings(&timings),
+        }
+    }
+}
+
+/// Map a deterministic solve outcome to an [`Outcome`].
+fn settle(res: Result<SolveResult, SolveError>, elapsed: Duration, cached: bool) -> Outcome {
+    match res {
+        Ok(result) => Outcome::Solved(Box::new(SolvedItem { result, elapsed, cached })),
+        Err(SolveError::Infeasible) => Outcome::Infeasible,
+        Err(other) => Outcome::Failed(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::instance::Job;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    fn small_corpus() -> Vec<Instance> {
+        vec![
+            inst(2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
+            inst(3, vec![(0, 2, 1); 4]),
+            inst(2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),
+            inst(1, vec![(0, 2, 1); 3]),                    // infeasible
+            inst(2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]), // repeat of [0]
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_counts_cache() {
+        let corpus = small_corpus();
+        let opts = SolverOptions::exact();
+        // One worker: with parallel workers a duplicate can be *looked
+        // up* before its twin's solve finishes (a legitimate miss), so
+        // exact hit counts are only deterministic sequentially.
+        let engine = Engine::new(EngineConfig::default().workers(1));
+        let batch = engine.solve_batch(&corpus, &opts);
+
+        assert_eq!(batch.report.total, 5);
+        assert_eq!(batch.report.solved, 4);
+        assert_eq!(batch.report.infeasible, 1);
+        assert_eq!(batch.report.failed, 0);
+        // Instance 4 repeats instance 0: exactly one hit.
+        assert_eq!(batch.report.cache.hits, 1);
+        assert_eq!(batch.report.cache.misses, 4);
+
+        for (i, (instance, outcome)) in corpus.iter().zip(&batch.outcomes).enumerate() {
+            match solve_nested(instance, &opts) {
+                Ok(seq) => {
+                    let item = outcome.as_solved().unwrap_or_else(|| panic!("item {i} solved"));
+                    assert_eq!(item.result.schedule, seq.schedule, "item {i}");
+                    assert_eq!(item.result.z, seq.z, "item {i}");
+                }
+                Err(SolveError::Infeasible) => {
+                    assert!(matches!(outcome, Outcome::Infeasible), "item {i}")
+                }
+                Err(e) => panic!("unexpected sequential error on {i}: {e}"),
+            }
+        }
+        // The repeat must be served from cache.
+        assert!(batch.outcomes[4].as_solved().unwrap().cached);
+        assert!(!batch.outcomes[0].as_solved().unwrap().cached);
+    }
+
+    #[test]
+    fn cache_disabled_never_hits() {
+        let corpus = small_corpus();
+        let engine = Engine::new(EngineConfig::default().workers(2).cache(false));
+        let batch = engine.solve_batch(&corpus, &SolverOptions::exact());
+        assert_eq!(batch.report.cache.hits, 0);
+        assert_eq!(batch.report.cache.misses, 0);
+        assert_eq!(batch.report.solved, 4);
+        assert!(batch.outcomes.iter().all(|o| o.as_solved().is_none_or(|s| !s.cached)));
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let corpus = small_corpus();
+        let engine = Engine::new(EngineConfig::default().workers(2));
+        engine.solve_batch(&corpus, &SolverOptions::exact());
+        let second = engine.solve_batch(&corpus, &SolverOptions::exact());
+        // Every deterministic outcome is now memoized (4 solved + 1
+        // infeasible content-distinct = 4 distinct keys).
+        assert_eq!(second.report.cache.misses, 0);
+        assert_eq!(second.report.cache.hits, 5);
+        assert_eq!(engine.cache_len(), 4);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let engine = Engine::new(EngineConfig::default());
+        let batch = engine.solve_batch(&[], &SolverOptions::exact());
+        assert_eq!(batch.report.total, 0);
+        assert_eq!(batch.report.latency_ms.max, 0.0);
+    }
+
+    #[test]
+    fn report_counts_and_json() {
+        let engine = Engine::new(EngineConfig::default().workers(2));
+        let batch = engine.solve_batch(&small_corpus(), &SolverOptions::exact());
+        let json = batch.report.to_json();
+        assert!(json.contains("\"total\":5"), "{json}");
+        assert!(json.contains("\"latency_ms\""), "{json}");
+        assert!(json.contains("\"lp\""), "{json}");
+        assert!(batch.report.latency_ms.max >= batch.report.latency_ms.p50);
+    }
+
+    #[test]
+    fn timeout_yields_timed_out_without_affecting_neighbors() {
+        // An instance the exact backend cannot finish within the budget,
+        // surrounded by trivial neighbors that comfortably can.
+        let slow = {
+            let mut jobs = Vec::new();
+            for k in 0..16i64 {
+                jobs.push((k, 6000 - k, 3));
+            }
+            inst(2, jobs)
+        };
+        let corpus = vec![inst(1, vec![(0, 5, 2)]), slow, inst(3, vec![(0, 2, 1); 4])];
+        let engine =
+            Engine::new(EngineConfig::default().workers(2).timeout(Duration::from_millis(60)));
+        let batch = engine.solve_batch(&corpus, &SolverOptions::exact());
+        assert!(matches!(batch.outcomes[1], Outcome::TimedOut), "{:?}", batch.report);
+        assert!(batch.outcomes[0].is_solved(), "{:?}", batch.report);
+        assert!(batch.outcomes[2].is_solved(), "{:?}", batch.report);
+        assert_eq!(batch.report.timed_out, 1);
+        assert_eq!(batch.report.solved, 2);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let corpus = small_corpus();
+        let opts = SolverOptions::exact();
+        let reference = Engine::new(EngineConfig::default().workers(1)).solve_batch(&corpus, &opts);
+        for workers in [2, 4, 8] {
+            let batch =
+                Engine::new(EngineConfig::default().workers(workers)).solve_batch(&corpus, &opts);
+            for (i, (a, b)) in reference.outcomes.iter().zip(&batch.outcomes).enumerate() {
+                match (a, b) {
+                    (Outcome::Solved(x), Outcome::Solved(y)) => {
+                        assert_eq!(x.result.schedule, y.result.schedule, "item {i}")
+                    }
+                    (Outcome::Infeasible, Outcome::Infeasible) => {}
+                    other => panic!("outcome mismatch at {i}: {other:?}"),
+                }
+            }
+        }
+    }
+}

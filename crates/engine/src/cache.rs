@@ -1,0 +1,154 @@
+//! Solve memoization cache.
+//!
+//! Experiment corpora routinely contain repeated instances (seed sweeps
+//! over small grids, duplicated stress cases, re-solves under the same
+//! options). Solving is deterministic given an instance and options, so
+//! repeats can be answered from memory.
+//!
+//! The key is the instance's **full content** — `g` plus the exact job
+//! sequence — together with a fingerprint of the solver options. Keying
+//! by content rather than by a hash alone means a collision can never
+//! hand back the wrong schedule; the `HashMap` underneath still gives
+//! O(1) expected lookups. The job *sequence* (not the sorted multiset)
+//! is deliberate: `SolveResult` assignments refer to jobs by index, so a
+//! result is only valid for the exact order it was solved under.
+
+use atsched_core::instance::{Instance, Job};
+use atsched_core::solver::{SolveError, SolveResult, SolverOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: solver-options fingerprint + full instance content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// `Debug` rendering of [`SolverOptions`] — covers every field, so
+    /// two option sets collide only when they are behaviorally
+    /// identical.
+    opts: String,
+    g: i64,
+    jobs: Vec<Job>,
+}
+
+impl CacheKey {
+    pub(crate) fn new(inst: &Instance, opts: &SolverOptions) -> Self {
+        CacheKey { opts: format!("{opts:?}"), g: inst.g, jobs: inst.jobs.clone() }
+    }
+}
+
+/// Hit/miss counters, cheap to snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real solve.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when there were no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference (`self - earlier`), for per-batch deltas.
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// Thread-safe memoization table for deterministic solve outcomes.
+///
+/// Only deterministic outcomes are stored (solved, infeasible, instance
+/// or LP errors); timeouts and panics are transient and never cached.
+#[derive(Debug, Default)]
+pub(crate) struct SolveCache {
+    map: Mutex<HashMap<CacheKey, Result<SolveResult, SolveError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// Look up a key, bumping the hit/miss counters.
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<Result<SolveResult, SolveError>> {
+        let found = self.map.lock().expect("cache lock").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a deterministic outcome.
+    pub(crate) fn insert(&self, key: CacheKey, value: Result<SolveResult, SolveError>) {
+        self.map.lock().expect("cache lock").insert(key, value);
+    }
+
+    /// Snapshot the counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached entries.
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::solver::solve_nested;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn same_content_same_key_different_order_different_key() {
+        let opts = SolverOptions::exact();
+        let a = inst(2, vec![(0, 4, 2), (5, 9, 1)]);
+        let b = inst(2, vec![(0, 4, 2), (5, 9, 1)]);
+        let c = inst(2, vec![(5, 9, 1), (0, 4, 2)]);
+        assert_eq!(CacheKey::new(&a, &opts), CacheKey::new(&b, &opts));
+        assert_ne!(CacheKey::new(&a, &opts), CacheKey::new(&c, &opts));
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let i = inst(2, vec![(0, 4, 2)]);
+        let k_exact = CacheKey::new(&i, &SolverOptions::exact());
+        let k_float = CacheKey::new(&i, &SolverOptions::float());
+        let k_polish = CacheKey::new(&i, &SolverOptions::exact().polished());
+        assert_ne!(k_exact, k_float);
+        assert_ne!(k_exact, k_polish);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = SolveCache::default();
+        let i = inst(2, vec![(0, 4, 2)]);
+        let opts = SolverOptions::exact();
+        let key = CacheKey::new(&i, &opts);
+
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), solve_nested(&i, &opts));
+        assert!(cache.get(&key).is_some());
+        assert!(cache.get(&key).is_some());
+
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert!((cache.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Panic and wall-clock isolation primitives.
+//!
+//! The engine contains each unit of solve work so one bad instance
+//! cannot take down a batch; these primitives are public so other
+//! layers (the facade's `Solve` builder, the CLI) can wrap arbitrary
+//! solve paths the same way.
+
+use crossbeam::channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::Duration;
+
+/// Why an isolated unit of work did not return a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The wall-clock budget ran out; the work was abandoned.
+    TimedOut,
+    /// The work panicked, with the panic message.
+    Panicked(String),
+}
+
+/// Run `work` in place, containing panics.
+///
+/// Returns the panic message on unwind instead of propagating it.
+pub fn isolated<T, F: FnOnce() -> T>(work: F) -> Result<T, Interrupt> {
+    catch_unwind(AssertUnwindSafe(work))
+        .map_err(|payload| Interrupt::Panicked(panic_message(payload)))
+}
+
+/// Run `work` on a helper thread under a wall-clock budget, containing
+/// panics.
+///
+/// On overrun the helper thread is abandoned: it finishes its work and
+/// exits on its own, and the result is discarded — the caller moves on
+/// immediately. Callers that cannot tolerate a lingering computation
+/// should make the work itself interruptible instead.
+pub fn with_budget<T, F>(work: F, budget: Duration) -> Result<T, Interrupt>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = channel::bounded(1);
+    thread::spawn(move || {
+        let res = catch_unwind(AssertUnwindSafe(work));
+        // Receiver may be gone after a timeout; that is fine.
+        let _ = tx.send(res);
+    });
+    match rx.recv_timeout(budget) {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(payload)) => Err(Interrupt::Panicked(panic_message(payload))),
+        Err(channel::RecvTimeoutError::Timeout) => Err(Interrupt::TimedOut),
+        Err(channel::RecvTimeoutError::Disconnected) => {
+            Err(Interrupt::Panicked("worker thread died".into()))
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    // Taken by value: a `&Box<dyn Any>` would itself coerce to `&dyn
+    // Any` and every downcast to the payload type would miss.
+    match payload.downcast::<&'static str>() {
+        Ok(s) => (*s).to_string(),
+        Err(payload) => match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_passes_values_and_contains_panics() {
+        assert_eq!(isolated(|| 41 + 1), Ok(42));
+        match isolated(|| -> i32 { panic!("boom") }) {
+            Err(Interrupt::Panicked(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // String payloads (panic! with formatting) survive too.
+        match isolated(|| -> i32 { panic!("boom {}", 7) }) {
+            Err(Interrupt::Panicked(msg)) => assert!(msg.contains("boom 7"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_enforced() {
+        assert_eq!(with_budget(|| 5u8, Duration::from_secs(5)), Ok(5));
+        let slow = || {
+            thread::sleep(Duration::from_secs(2));
+            0u8
+        };
+        assert_eq!(with_budget(slow, Duration::from_millis(20)), Err(Interrupt::TimedOut));
+        match with_budget(|| -> u8 { panic!("late boom") }, Duration::from_secs(5)) {
+            Err(Interrupt::Panicked(msg)) => assert!(msg.contains("late boom"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+}

@@ -1,22 +1,38 @@
-//! A small parallel sweep runner.
+//! Order-preserving parallel map.
 //!
-//! Experiment grids are embarrassingly parallel: every cell is an
-//! independent (instance, algorithm) evaluation. This runner fans cells
-//! out to scoped worker threads over a crossbeam channel and collects
-//! results in input order. It follows the guide idioms: scoped threads
-//! (no `'static` bounds, no leaked join handles), channel-based work
-//! distribution (no shared mutable state), and a worker count derived
-//! from available parallelism.
+//! The primitive under every sweep in this workspace: fan items out to a
+//! fixed pool of scoped worker threads over a *bounded* crossbeam
+//! channel (so a slow consumer applies backpressure instead of buffering
+//! the whole input), and collect results back in input order. Scoped
+//! threads mean no `'static` bounds and no leaked join handles; channel
+//! distribution means idle workers steal the next item the moment they
+//! finish one.
 
 use crossbeam::channel;
 use std::num::NonZeroUsize;
 use std::thread;
 
+/// Default worker count: one per available core.
+pub(crate) fn default_workers() -> usize {
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+}
+
 /// Map `f` over `items` in parallel, preserving input order.
 ///
-/// `f` must be `Sync` (it is shared by reference across workers); items
-/// are moved to workers. Panics in workers propagate.
+/// Uses one worker per available core. `f` must be `Sync` (it is shared
+/// by reference across workers); items are moved to workers. Panics in
+/// workers propagate.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_workers(items, default_workers(), f)
+}
+
+/// [`par_map`] with an explicit worker count (`0` means one per core).
+pub fn par_map_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -26,20 +42,16 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n);
+    let workers = if workers == 0 { default_workers() } else { workers }.min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
 
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    // Bounded dispatch queue: the feeder blocks once `2 * workers` items
+    // are in flight. Results go through an unbounded channel (workers
+    // never block on output) and are reordered on collection.
+    let (tx, rx) = channel::bounded::<(usize, T)>(2 * workers);
     let (out_tx, out_rx) = channel::unbounded::<(usize, R)>();
-    for (i, item) in items.into_iter().enumerate() {
-        tx.send((i, item)).expect("queue open");
-    }
-    drop(tx);
 
     thread::scope(|scope| {
         for _ in 0..workers {
@@ -53,6 +65,10 @@ where
             });
         }
         drop(out_tx);
+        for (i, item) in items.into_iter().enumerate() {
+            tx.send((i, item)).expect("workers alive");
+        }
+        drop(tx);
     });
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -78,6 +94,14 @@ mod tests {
     fn empty_input() {
         let out: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_worker_counts() {
+        for workers in [0, 1, 2, 3, 7, 64] {
+            let out = par_map_workers((0..50).collect::<Vec<i64>>(), workers, |x| x + 1);
+            assert_eq!(out, (1..51).collect::<Vec<i64>>(), "workers = {workers}");
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Batch observability: latency percentiles and the JSON batch report.
+
+use atsched_core::solver::StageTimings;
+use serde::Serialize;
+use std::time::Duration;
+
+/// p50 / p95 / max summary of a latency sample, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles over a sample; all-zero when empty.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = |p: f64| -> f64 {
+            let idx = (p * (samples.len() - 1) as f64).round() as usize;
+            samples[idx]
+        };
+        Percentiles { p50: rank(0.50), p95: rank(0.95), max: *samples.last().unwrap() }
+    }
+}
+
+/// Cache counters as reported per batch.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CacheReport {
+    /// Lookups answered from the cache during this batch.
+    pub hits: u64,
+    /// Lookups that fell through to a real solve.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 when the cache saw no lookups.
+    pub hit_rate: f64,
+}
+
+/// Per-stage latency percentiles (milliseconds), over non-cached solves.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageReport {
+    /// Forest build + canonical transformation + OPT oracle.
+    pub canonicalize: Percentiles,
+    /// LP build + solve (both attempts on the snap backend).
+    pub lp: Percentiles,
+    /// Lemma 3.1 push-down.
+    pub transform: Percentiles,
+    /// Algorithm 1 rounding.
+    pub round: Percentiles,
+    /// Slot materialization, flow extraction, repair, polish.
+    pub extract: Percentiles,
+    /// Independent schedule verification.
+    pub verify: Percentiles,
+}
+
+impl StageReport {
+    /// Summarize a set of per-solve stage timings.
+    pub fn from_timings(timings: &[StageTimings]) -> Self {
+        let ms = |pick: fn(&StageTimings) -> Duration| {
+            Percentiles::from_samples(timings.iter().map(|t| pick(t).as_secs_f64() * 1e3).collect())
+        };
+        StageReport {
+            canonicalize: ms(|t| t.canonicalize),
+            lp: ms(|t| t.lp),
+            transform: ms(|t| t.transform),
+            round: ms(|t| t.round),
+            extract: ms(|t| t.extract),
+            verify: ms(|t| t.verify),
+        }
+    }
+}
+
+/// Everything a batch run reports, serializable to JSON.
+///
+/// Schema (all latencies in milliseconds):
+///
+/// ```json
+/// {
+///   "total": 100, "solved": 97, "infeasible": 2, "timed_out": 1, "failed": 0,
+///   "wall_clock_ms": 412.7,
+///   "workers": 8,
+///   "cache": { "hits": 31, "misses": 69, "hit_rate": 0.31 },
+///   "latency_ms": { "p50": 2.1, "p95": 14.9, "max": 55.0 },
+///   "stages_ms": {
+///     "canonicalize": { "p50": 0.1, "p95": 0.4, "max": 1.2 },
+///     "lp":           { "p50": 1.8, "p95": 13.0, "max": 51.3 },
+///     "transform":    { "p50": 0.0, "p95": 0.1, "max": 0.3 },
+///     "round":        { "p50": 0.0, "p95": 0.1, "max": 0.2 },
+///     "extract":      { "p50": 0.2, "p95": 1.1, "max": 2.9 },
+///     "verify":       { "p50": 0.0, "p95": 0.1, "max": 0.4 }
+///   }
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchReport {
+    /// Instances in the batch.
+    pub total: usize,
+    /// Outcomes that produced a verified schedule.
+    pub solved: usize,
+    /// Provably infeasible instances.
+    pub infeasible: usize,
+    /// Solves cut off by the per-instance wall-clock budget.
+    pub timed_out: usize,
+    /// Solves that errored or panicked.
+    pub failed: usize,
+    /// End-to-end batch wall-clock, milliseconds.
+    pub wall_clock_ms: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cache activity during this batch.
+    pub cache: CacheReport,
+    /// End-to-end per-solve latency (all solved instances, cached ones
+    /// included at their ~0 ms lookup cost).
+    pub latency_ms: Percentiles,
+    /// Per-stage latency percentiles over non-cached solves.
+    pub stages_ms: StageReport,
+}
+
+impl BatchReport {
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let p = Percentiles::from_samples((1..=100).map(|x| x as f64).collect());
+        assert_eq!(p.p50, 51.0); // nearest rank on 0-indexed 99 * 0.5 = 49.5 -> 50
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.max, 100.0);
+        let empty = Percentiles::from_samples(Vec::new());
+        assert_eq!(empty.max, 0.0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = BatchReport {
+            total: 2,
+            solved: 2,
+            infeasible: 0,
+            timed_out: 0,
+            failed: 0,
+            wall_clock_ms: 1.5,
+            workers: 4,
+            cache: CacheReport { hits: 1, misses: 1, hit_rate: 0.5 },
+            latency_ms: Percentiles { p50: 1.0, p95: 1.0, max: 1.0 },
+            stages_ms: StageReport::default(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"hit_rate\":0.5"), "{json}");
+        assert!(json.contains("\"stages_ms\""), "{json}");
+        assert!(json.contains("\"canonicalize\""), "{json}");
+    }
+}

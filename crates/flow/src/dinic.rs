@@ -369,15 +369,15 @@ mod tests {
             prop_assert!(f >= 0);
 
             // Capacity constraints and conservation at interior nodes.
-            let mut balance = vec![0i64; 6];
+            let mut balance = [0i64; 6];
             for (u, v, r) in &refs {
                 let fl = net.flow_on(*r);
                 prop_assert!(fl >= 0);
                 balance[*u] -= fl;
                 balance[*v] += fl;
             }
-            for node in 1..5 {
-                prop_assert_eq!(balance[node], 0);
+            for &b in &balance[1..5] {
+                prop_assert_eq!(b, 0);
             }
             prop_assert_eq!(balance[5], f);
             prop_assert_eq!(balance[0], -f);

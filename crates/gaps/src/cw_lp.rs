@@ -32,17 +32,13 @@ pub fn q_j(r: i64, d: i64, p: i64, t1: i64, t2: i64) -> i64 {
 /// every other interval's constraint is dominated by an endpoint one).
 pub fn build<S: Scalar>(inst: &Instance) -> PerSlotLp<S> {
     let mut lp = build_natural::<S>(inst);
-    let mut endpoints: Vec<i64> =
-        inst.jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
+    let mut endpoints: Vec<i64> = inst.jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
     endpoints.sort_unstable();
     endpoints.dedup();
     for (ai, &t1) in endpoints.iter().enumerate() {
         for &t2 in &endpoints[ai + 1..] {
-            let demand: i64 = inst
-                .jobs
-                .iter()
-                .map(|j| q_j(j.release, j.deadline, j.processing, t1, t2))
-                .sum();
+            let demand: i64 =
+                inst.jobs.iter().map(|j| q_j(j.release, j.deadline, j.processing, t1, t2)).sum();
             if demand == 0 {
                 continue;
             }

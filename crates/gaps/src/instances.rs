@@ -84,11 +84,7 @@ mod tests {
         for g in 1..=3i64 {
             let inst = lemma51_instance(g);
             let s = nested_opt(&inst, 0).unwrap();
-            assert_eq!(
-                s.active_time() as i64,
-                lemma51_integral_opt(g),
-                "g = {g}"
-            );
+            assert_eq!(s.active_time() as i64, lemma51_integral_opt(g), "g = {g}");
         }
     }
 

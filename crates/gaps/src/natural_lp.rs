@@ -46,10 +46,8 @@ pub fn build<S: Scalar>(inst: &Instance) -> PerSlotLp<S> {
     let slots = inst.candidate_slots();
     let groups = group_identical(inst);
     let mut model: Model<S> = Model::new();
-    let x_vars: Vec<(i64, VarId)> = slots
-        .iter()
-        .map(|&t| (t, model.add_var(format!("x{t}"), S::one())))
-        .collect();
+    let x_vars: Vec<(i64, VarId)> =
+        slots.iter().map(|&t| (t, model.add_var(format!("x{t}"), S::one()))).collect();
     let mut y_vars: Vec<Vec<(usize, VarId)>> = vec![Vec::new(); slots.len()];
     for (gid, &(r, d, _, _)) in groups.iter().enumerate() {
         for (k, &(t, _)) in x_vars.iter().enumerate() {
@@ -121,11 +119,7 @@ mod tests {
         for g in 2..=5i64 {
             let inst = gap2_instance(g);
             let v = value::<Ratio>(&inst).unwrap();
-            assert_eq!(
-                v,
-                Ratio::from_i64(1) + Ratio::from_frac(1, g),
-                "g = {g}"
-            );
+            assert_eq!(v, Ratio::from_i64(1) + Ratio::from_frac(1, g), "g = {g}");
         }
     }
 
@@ -147,11 +141,8 @@ mod tests {
 
     #[test]
     fn grouping_counts() {
-        let inst = Instance::new(
-            2,
-            vec![Job::new(0, 2, 1), Job::new(0, 2, 1), Job::new(0, 3, 1)],
-        )
-        .unwrap();
+        let inst = Instance::new(2, vec![Job::new(0, 2, 1), Job::new(0, 2, 1), Job::new(0, 3, 1)])
+            .unwrap();
         let g = group_identical(&inst);
         assert_eq!(g.len(), 2);
         assert!(g.contains(&(0, 2, 1, 2)));

@@ -265,10 +265,7 @@ impl<S: Scalar> Model<S> {
             dual_obj = dual_obj.add(&c.rhs.mul(y));
         }
         if !dual_obj.sub(&solution.objective).is_zero() {
-            return Err(format!(
-                "duality gap: primal {} vs dual {}",
-                solution.objective, dual_obj
-            ));
+            return Err(format!("duality gap: primal {} vs dual {}", solution.objective, dual_obj));
         }
         Ok(())
     }

@@ -85,8 +85,8 @@ pub(crate) fn presolve<S: Scalar>(model: &Model<S>) -> Result<Presolved<S>, ()> 
     // Pass 2: rebuild the model with fixed variables substituted out.
     let mut var_disposition: Vec<Result<usize, S>> = Vec::with_capacity(n);
     let mut reduced: Model<S> = Model::new();
-    for v in 0..n {
-        match &fixed[v] {
+    for (v, fx) in fixed.iter().enumerate() {
+        match fx {
             Some(val) => var_disposition.push(Err(val.clone())),
             None => {
                 let id = reduced.add_var(model.names[v].clone(), model.objective[v].clone());
@@ -95,8 +95,10 @@ pub(crate) fn presolve<S: Scalar>(model: &Model<S>) -> Result<Presolved<S>, ()> 
         }
     }
 
+    // (terms, cmp, rhs) rendered to strings for duplicate-row detection.
+    type RowKey = (Vec<(usize, String)>, Cmp, String);
     let mut rows_dropped = 0usize;
-    let mut seen_rows: Vec<(Vec<(usize, String)>, Cmp, String)> = Vec::new();
+    let mut seen_rows: Vec<RowKey> = Vec::new();
     for c in &model.constraints {
         let mut new_terms: Vec<(crate::model::VarId, S)> = Vec::new();
         let mut rhs = c.rhs.clone();
@@ -121,10 +123,8 @@ pub(crate) fn presolve<S: Scalar>(model: &Model<S>) -> Result<Presolved<S>, ()> 
         }
         // Dedup on a canonical rendering (exact for Ratio; for f64 this
         // only merges bit-identical rows, which is still sound).
-        let mut key_terms: Vec<(usize, String)> = new_terms
-            .iter()
-            .map(|(v, coef)| (v.index(), format!("{coef}")))
-            .collect();
+        let mut key_terms: Vec<(usize, String)> =
+            new_terms.iter().map(|(v, coef)| (v.index(), format!("{coef}"))).collect();
         key_terms.sort();
         let key = (key_terms, c.cmp, format!("{rhs}"));
         if seen_rows.contains(&key) {
@@ -140,10 +140,7 @@ pub(crate) fn presolve<S: Scalar>(model: &Model<S>) -> Result<Presolved<S>, ()> 
 }
 
 /// Expand a reduced-space solution back to original variable order.
-pub(crate) fn inflate<S: Scalar>(
-    disposition: &[Result<usize, S>],
-    reduced_values: &[S],
-) -> Vec<S> {
+pub(crate) fn inflate<S: Scalar>(disposition: &[Result<usize, S>], reduced_values: &[S]) -> Vec<S> {
     disposition
         .iter()
         .map(|d| match d {

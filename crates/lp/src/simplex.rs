@@ -34,7 +34,7 @@ impl<S: Scalar> Tableau<S> {
     /// Gauss-pivot on `(row, col)`: row is scaled so the pivot becomes 1,
     /// then eliminated from every other row and from `red` (the reduced
     /// cost row, with its own RHS = -objective).
-    fn pivot(&mut self, row: usize, col: usize, red: &mut Vec<S>) {
+    fn pivot(&mut self, row: usize, col: usize, red: &mut [S]) {
         let pivot_val = self.rows[row][col].clone();
         debug_assert!(!pivot_val.is_zero());
         for v in self.rows[row].iter_mut() {
@@ -64,7 +64,7 @@ impl<S: Scalar> Tableau<S> {
 
     /// Run the simplex loop to optimality of the current reduced costs.
     /// Returns the status and the number of pivots performed.
-    fn optimize(&mut self, red: &mut Vec<S>) -> Result<(LpStatus, usize), LpError> {
+    fn optimize(&mut self, red: &mut [S]) -> Result<(LpStatus, usize), LpError> {
         for iter in 0..MAX_ITERS {
             let use_bland = iter > 8 * (self.rows.len() + self.cols);
             let entering = self.choose_entering(red, use_bland);
@@ -84,15 +84,15 @@ impl<S: Scalar> Tableau<S> {
             (0..self.cols).find(|&j| !self.banned[j] && red[j].is_negative())
         } else {
             let mut best: Option<(usize, &S)> = None;
-            for j in 0..self.cols {
-                if self.banned[j] || !red[j].is_negative() {
+            for (j, rj) in red.iter().enumerate().take(self.cols) {
+                if self.banned[j] || !rj.is_negative() {
                     continue;
                 }
                 match &best {
-                    None => best = Some((j, &red[j])),
+                    None => best = Some((j, rj)),
                     Some((_, b)) => {
-                        if red[j] < **b {
-                            best = Some((j, &red[j]));
+                        if rj < *b {
+                            best = Some((j, rj));
                         }
                     }
                 }
@@ -114,9 +114,10 @@ impl<S: Scalar> Tableau<S> {
             match &best {
                 None => best = Some((i, ratio)),
                 Some((bi, br)) => {
-                    if ratio < *br || (!(ratio.sub(br)).is_positive()
-                        && !(br.sub(&ratio)).is_positive()
-                        && self.basis[i] < self.basis[*bi])
+                    if ratio < *br
+                        || (!(ratio.sub(br)).is_positive()
+                            && !(br.sub(&ratio)).is_positive()
+                            && self.basis[i] < self.basis[*bi])
                     {
                         best = Some((i, ratio));
                     }
@@ -156,11 +157,8 @@ fn reduced_costs<S: Scalar>(tab: &Tableau<S>, costs: &[S]) -> (Vec<S>, S) {
 pub(crate) fn solve_detailed<S: Scalar>(
     model: &Model<S>,
 ) -> Result<(Solution<S>, SolveInfo), LpError> {
-    let mut info = SolveInfo {
-        vars: model.num_vars(),
-        rows: model.num_constraints(),
-        ..SolveInfo::default()
-    };
+    let mut info =
+        SolveInfo { vars: model.num_vars(), rows: model.num_constraints(), ..SolveInfo::default() };
     let pre = match presolve(model) {
         Err(()) => {
             return Ok((
@@ -185,19 +183,17 @@ pub(crate) fn solve_detailed<S: Scalar>(
             let objective = model.objective_at(&values);
             Solution { status: LpStatus::Optimal, objective, values }
         }
-        status => Solution {
-            status,
-            objective: S::zero(),
-            values: vec![S::zero(); model.num_vars()],
-        },
+        status => {
+            Solution { status, objective: S::zero(), values: vec![S::zero(); model.num_vars()] }
+        }
     };
     Ok((solution, info))
 }
 
-fn solve_core<S: Scalar>(
-    model: &Model<S>,
-    want_duals: bool,
-) -> Result<(Solution<S>, usize, Option<Vec<S>>), LpError> {
+/// Solution, pivot count, and (when requested) the dual values.
+type CoreOutput<S> = (Solution<S>, usize, Option<Vec<S>>);
+
+fn solve_core<S: Scalar>(model: &Model<S>, want_duals: bool) -> Result<CoreOutput<S>, LpError> {
     let n = model.num_vars();
     let m = model.constraints.len();
     let mut pivots = 0usize;
@@ -301,8 +297,7 @@ fn solve_core<S: Scalar>(
         let mut row_idx = 0;
         while row_idx < tab.rows.len() {
             if is_art(tab.basis[row_idx]) {
-                let pivot_col =
-                    (0..n + num_slack).find(|&j| !tab.rows[row_idx][j].is_zero());
+                let pivot_col = (0..n + num_slack).find(|&j| !tab.rows[row_idx][j].is_zero());
                 match pivot_col {
                     Some(j) => {
                         let mut dummy = vec![S::zero(); cols + 1];

@@ -120,11 +120,8 @@ impl MultiInstance {
 
     /// Slots allowed for at least one job, sorted and distinct.
     pub fn candidate_slots(&self) -> Vec<i64> {
-        let mut out: Vec<i64> = self
-            .jobs
-            .iter()
-            .flat_map(|j| j.intervals.iter().flat_map(|&(a, b)| a..b))
-            .collect();
+        let mut out: Vec<i64> =
+            self.jobs.iter().flat_map(|j| j.intervals.iter().flat_map(|&(a, b)| a..b)).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -240,7 +237,7 @@ pub fn greedy_cover(inst: &MultiInstance) -> Option<MultiSchedule> {
             let mut trial = open.clone();
             trial.insert(pos, t);
             let f = inst.max_volume(&trial);
-            if best.map_or(true, |(_, bf)| f > bf) {
+            if best.is_none_or(|(_, bf)| f > bf) {
                 best = Some((idx, f));
             }
         }
@@ -327,10 +324,7 @@ mod tests {
         // Equivalent to the classic single-window case.
         let inst = MultiInstance::new(
             2,
-            vec![
-                MultiJob::new(vec![(0, 4)], 2).unwrap(),
-                MultiJob::new(vec![(1, 3)], 1).unwrap(),
-            ],
+            vec![MultiJob::new(vec![(0, 4)], 2).unwrap(), MultiJob::new(vec![(1, 3)], 1).unwrap()],
         )
         .unwrap();
         let s = greedy_cover(&inst).unwrap();
@@ -341,11 +335,8 @@ mod tests {
     #[test]
     fn split_intervals_force_spread() {
         // A job that can only run in two separated unit intervals.
-        let inst = MultiInstance::new(
-            1,
-            vec![MultiJob::new(vec![(0, 1), (5, 6)], 2).unwrap()],
-        )
-        .unwrap();
+        let inst =
+            MultiInstance::new(1, vec![MultiJob::new(vec![(0, 1), (5, 6)], 2).unwrap()]).unwrap();
         let s = greedy_cover(&inst).unwrap();
         inst.verify(&s.slots, &s.assignment).unwrap();
         assert_eq!(s.slots, vec![0, 5]);
@@ -372,10 +363,7 @@ mod tests {
     fn infeasible_detected() {
         let inst = MultiInstance::new(
             1,
-            vec![
-                MultiJob::new(vec![(0, 1)], 1).unwrap(),
-                MultiJob::new(vec![(0, 1)], 1).unwrap(),
-            ],
+            vec![MultiJob::new(vec![(0, 1)], 1).unwrap(), MultiJob::new(vec![(0, 1)], 1).unwrap()],
         )
         .unwrap();
         assert!(greedy_cover(&inst).is_none());

@@ -65,13 +65,7 @@ impl PrefixSumCover {
 
     /// Maximum scalar `W` appearing anywhere.
     pub fn max_scalar(&self) -> i64 {
-        self.vectors
-            .iter()
-            .flatten()
-            .chain(self.target.iter())
-            .copied()
-            .max()
-            .unwrap_or(0)
+        self.vectors.iter().flatten().chain(self.target.iter()).copied().max().unwrap_or(0)
     }
 
     /// Do the chosen indices solve the instance?
@@ -139,11 +133,9 @@ mod tests {
     #[test]
     fn small_decisions() {
         // Two vectors; need both to dominate [3,3].
-        let psc =
-            PrefixSumCover::new(vec![vec![2, 2], vec![2, 1]], vec![3, 3], 2).unwrap();
+        let psc = PrefixSumCover::new(vec![vec![2, 2], vec![2, 1]], vec![3, 3], 2).unwrap();
         assert!(psc.solvable()); // sum = [4,3]: prefixes 4 ≥ 3, 7 ≥ 6 ✓
-        let psc1 =
-            PrefixSumCover::new(vec![vec![2, 2], vec![2, 1]], vec![3, 3], 1).unwrap();
+        let psc1 = PrefixSumCover::new(vec![vec![2, 2], vec![2, 1]], vec![3, 3], 1).unwrap();
         assert!(!psc1.solvable());
     }
 

@@ -142,11 +142,7 @@ mod tests {
             let sc = random_set_cover(4, 4, seed);
             for k in 1..=3usize {
                 let psc = set_cover_to_psc(&sc, k);
-                assert_eq!(
-                    sc.solvable_with(k),
-                    psc.solvable(),
-                    "seed {seed}, k {k}"
-                );
+                assert_eq!(sc.solvable_with(k), psc.solvable(), "seed {seed}, k {k}");
             }
         }
     }
@@ -170,8 +166,7 @@ mod tests {
     #[test]
     fn psc_to_active_time_no_instance_needs_more() {
         // Target too big for one vector: k = 1, but v needs both.
-        let psc =
-            PrefixSumCover::new(vec![vec![2, 1], vec![2, 1]], vec![4, 2], 1).unwrap();
+        let psc = PrefixSumCover::new(vec![vec![2, 1], vec![2, 1]], vec![4, 2], 1).unwrap();
         assert!(!psc.solvable());
         let red = psc_to_active_time(&psc);
         if let Some(s) = nested_opt(&red.instance, 0) {

@@ -96,7 +96,7 @@ impl Int {
 
     /// True iff the magnitude is even.
     pub fn is_even(&self) -> bool {
-        self.mag.first().map_or(true, |l| l & 1 == 0)
+        self.mag.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Quotient and remainder of truncated division (`q` rounds toward
@@ -560,8 +560,8 @@ fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
-        let s = long[i] as u128 + *short.get(i).unwrap_or(&0) as u128 + carry as u128;
+    for (i, &limb) in long.iter().enumerate() {
+        let s = limb as u128 + *short.get(i).unwrap_or(&0) as u128 + carry as u128;
         out.push(s as u64);
         carry = (s >> 64) as u64;
     }
@@ -576,9 +576,9 @@ fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
     debug_assert!(mag_cmp(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0u64;
-    for i in 0..a.len() {
+    for (i, &ai) in a.iter().enumerate() {
         let bi = *b.get(i).unwrap_or(&0);
-        let (d, b1) = a[i].overflowing_sub(bi);
+        let (d, b1) = ai.overflowing_sub(bi);
         let (d, b2) = d.overflowing_sub(borrow);
         out.push(d);
         borrow = (b1 as u64) + (b2 as u64);

@@ -540,7 +540,8 @@ mod tests {
         assert_eq!(r(1, 2).to_f64(), 0.5);
         assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
         // Huge operands still produce a finite, accurate quotient.
-        let big = Ratio::new(Int::from(10i64).pow(400), Int::from(10i64).pow(400) * Int::from(3i64));
+        let big =
+            Ratio::new(Int::from(10i64).pow(400), Int::from(10i64).pow(400) * Int::from(3i64));
         assert!((big.to_f64() - 1.0 / 3.0).abs() < 1e-9);
     }
 
@@ -593,7 +594,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let vals = vec![r(1, 2), r(1, 3), r(1, 6)];
+        let vals = [r(1, 2), r(1, 3), r(1, 6)];
         let s: Ratio = vals.iter().sum();
         assert_eq!(s, Ratio::one());
     }

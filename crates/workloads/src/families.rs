@@ -48,9 +48,7 @@ pub fn overflow_family(g: i64, branches: usize, extra: i64) -> Instance {
 pub fn deep_chain(depth: usize, g: i64) -> Instance {
     assert!(depth >= 1);
     let width = 2 * depth as i64 + 1;
-    let jobs: Vec<Job> = (0..depth as i64)
-        .map(|lvl| Job::new(lvl, width - lvl, 1))
-        .collect();
+    let jobs: Vec<Job> = (0..depth as i64).map(|lvl| Job::new(lvl, width - lvl, 1)).collect();
     Instance::new(g, jobs).expect("valid by construction")
 }
 

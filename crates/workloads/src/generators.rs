@@ -49,14 +49,7 @@ pub fn random_laminar(cfg: &LaminarConfig, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     loop {
         let mut windows: Vec<(i64, i64)> = Vec::new();
-        gen_windows(
-            &mut rng,
-            cfg,
-            0,
-            cfg.horizon,
-            0,
-            &mut windows,
-        );
+        gen_windows(&mut rng, cfg, 0, cfg.horizon, 0, &mut windows);
         if windows.is_empty() {
             windows.push((0, cfg.horizon));
         }
@@ -114,7 +107,7 @@ fn gen_windows(
         if cursor >= hi - 1 {
             break;
         }
-        if rng.gen_range(0..100) >= cfg.child_percent {
+        if rng.gen_range(0..100u32) >= cfg.child_percent {
             // Skip some space instead.
             cursor += rng.gen_range(1..=((hi - cursor) / 2).max(1));
             continue;

@@ -1,10 +1,70 @@
 //! JSON (de)serialization of instances and experiment records.
 
-use atsched_core::instance::Instance;
+use atsched_core::instance::{Instance, InstanceError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+/// Errors from instance / record (de)serialization.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum IoError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// Text-format parse failure, with its 1-based line number.
+    Parse {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The decoded data does not form a valid instance.
+    Instance(InstanceError),
+    /// Filesystem failure.
+    Fs(io::Error),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Json(e) => write!(f, "invalid JSON: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Instance(e) => write!(f, "invalid instance: {e}"),
+            IoError::Fs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Json(e) => Some(e),
+            IoError::Instance(e) => Some(e),
+            IoError::Fs(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+impl From<InstanceError> for IoError {
+    fn from(e: InstanceError) -> Self {
+        IoError::Instance(e)
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
 
 /// One row of an experiment output, ready for `serde_json` persistence.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -23,25 +83,25 @@ pub fn instance_to_json(inst: &Instance) -> String {
 }
 
 /// Parse an instance from JSON and re-validate it.
-pub fn instance_from_json(s: &str) -> Result<Instance, String> {
-    let raw: Instance = serde_json::from_str(s).map_err(|e| e.to_string())?;
+pub fn instance_from_json(s: &str) -> Result<Instance, IoError> {
+    let raw: Instance = serde_json::from_str(s)?;
     // Re-run validation (serde bypasses Instance::new).
-    Instance::new(raw.g, raw.jobs).map_err(|e| e.to_string())
+    Ok(Instance::new(raw.g, raw.jobs)?)
 }
 
 /// Write an instance to a file.
-pub fn save_instance(inst: &Instance, path: &Path) -> io::Result<()> {
-    fs::write(path, instance_to_json(inst))
+pub fn save_instance(inst: &Instance, path: &Path) -> Result<(), IoError> {
+    Ok(fs::write(path, instance_to_json(inst))?)
 }
 
 /// Read an instance from a file.
-pub fn load_instance(path: &Path) -> io::Result<Instance> {
+pub fn load_instance(path: &Path) -> Result<Instance, IoError> {
     let s = fs::read_to_string(path)?;
-    instance_from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    instance_from_json(&s)
 }
 
 /// Append experiment records as JSON lines.
-pub fn append_records(records: &[ExperimentRecord], path: &Path) -> io::Result<()> {
+pub fn append_records(records: &[ExperimentRecord], path: &Path) -> Result<(), IoError> {
     use std::io::Write;
     let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
     for r in records {
@@ -70,8 +130,9 @@ pub fn instance_to_text(inst: &Instance) -> String {
 /// Parse the plain-text exchange format (see [`instance_to_text`]).
 /// Blank lines and `#` comments are ignored; the `g` line may appear
 /// anywhere (last one wins) and defaults to 1.
-pub fn instance_from_text(s: &str) -> Result<Instance, String> {
+pub fn instance_from_text(s: &str) -> Result<Instance, IoError> {
     use atsched_core::instance::Job;
+    let parse_err = |line: usize, message: String| IoError::Parse { line: line + 1, message };
     let mut g = 1i64;
     let mut jobs: Vec<Job> = Vec::new();
     for (lineno, raw) in s.lines().enumerate() {
@@ -84,28 +145,28 @@ pub fn instance_from_text(s: &str) -> Result<Instance, String> {
             Some("g") => {
                 g = it
                     .next()
-                    .ok_or_else(|| format!("line {}: g needs a value", lineno + 1))?
+                    .ok_or_else(|| parse_err(lineno, "g needs a value".into()))?
                     .parse()
-                    .map_err(|_| format!("line {}: invalid g", lineno + 1))?;
+                    .map_err(|_| parse_err(lineno, "invalid g".into()))?;
             }
             Some("job") => {
-                let mut num = || -> Result<i64, String> {
+                let mut num = || -> Result<i64, IoError> {
                     it.next()
-                        .ok_or_else(|| format!("line {}: job needs r d p", lineno + 1))?
+                        .ok_or_else(|| parse_err(lineno, "job needs r d p".into()))?
                         .parse()
-                        .map_err(|_| format!("line {}: invalid number", lineno + 1))
+                        .map_err(|_| parse_err(lineno, "invalid number".into()))
                 };
                 let (r, d, p) = (num()?, num()?, num()?);
                 jobs.push(Job::new(r, d, p));
             }
-            Some(other) => return Err(format!("line {}: unknown directive '{other}'", lineno + 1)),
+            Some(other) => return Err(parse_err(lineno, format!("unknown directive '{other}'"))),
             None => unreachable!("empty lines filtered"),
         }
         if it.next().is_some() {
-            return Err(format!("line {}: trailing tokens", lineno + 1));
+            return Err(parse_err(lineno, "trailing tokens".into()));
         }
     }
-    Instance::new(g, jobs).map_err(|e| e.to_string())
+    Ok(Instance::new(g, jobs)?)
 }
 
 #[cfg(test)]
@@ -115,11 +176,8 @@ mod tests {
 
     #[test]
     fn instance_roundtrip() {
-        let inst = Instance::new(
-            3,
-            vec![Job::new(0, 8, 2), Job::new(1, 4, 1), Job::new(5, 7, 2)],
-        )
-        .unwrap();
+        let inst = Instance::new(3, vec![Job::new(0, 8, 2), Job::new(1, 4, 1), Job::new(5, 7, 2)])
+            .unwrap();
         let s = instance_to_json(&inst);
         let back = instance_from_json(&s).unwrap();
         assert_eq!(inst, back);
@@ -146,11 +204,8 @@ mod tests {
 
     #[test]
     fn text_format_roundtrip() {
-        let inst = Instance::new(
-            3,
-            vec![Job::new(0, 8, 2), Job::new(-3, 4, 1), Job::new(5, 7, 2)],
-        )
-        .unwrap();
+        let inst = Instance::new(3, vec![Job::new(0, 8, 2), Job::new(-3, 4, 1), Job::new(5, 7, 2)])
+            .unwrap();
         let text = instance_to_text(&inst);
         let back = instance_from_text(&text).unwrap();
         assert_eq!(inst, back);
@@ -172,6 +227,21 @@ mod tests {
         assert!(instance_from_text("job 0 2 1 9").is_err()); // trailing token
         assert!(instance_from_text("job 0 2 5").is_err()); // invalid instance (p > window)
         assert_eq!(instance_from_text("").unwrap().num_jobs(), 0); // empty ok
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        assert!(matches!(instance_from_json("{"), Err(IoError::Json(_))));
+        let bad = r#"{"g":1,"jobs":[{"release":0,"deadline":2,"processing":0}]}"#;
+        assert!(matches!(instance_from_json(bad), Err(IoError::Instance(_))));
+        match instance_from_text("g 2\nfrob 1") {
+            Err(e @ IoError::Parse { line: 2, .. }) => {
+                assert!(e.to_string().contains("line 2"), "{e}")
+            }
+            other => panic!("expected Parse error on line 2, got {other:?}"),
+        }
+        let missing = std::env::temp_dir().join("atsched_io_test_does_not_exist.json");
+        assert!(matches!(load_instance(&missing), Err(IoError::Fs(_))));
     }
 
     #[test]

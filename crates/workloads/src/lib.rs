@@ -9,9 +9,9 @@
 //!   structure (type-C nodes, deep chains, wide stars, dyadic trees).
 //! * [`io`] — serde-based JSON (de)serialization of instances and
 //!   experiment records.
-//! * [`par`] — a small parallel sweep runner (scoped threads feeding off
-//!   a crossbeam channel) used by the experiment binaries to evaluate
-//!   parameter grids on all cores.
+//!
+//! Parallel sweeps live in the `atsched-engine` crate (`par_map` and the
+//! batch-solve engine), which the experiment binaries build on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,4 +19,3 @@
 pub mod families;
 pub mod generators;
 pub mod io;
-pub mod par;

@@ -4,6 +4,7 @@
 //! ```text
 //! atsched generate --g 3 --horizon 24 --seed 7 --out inst.json
 //! atsched solve inst.json [--float|--snap] [--polish] [--no-ceiling] [--schedule out.json]
+//! atsched batch [inst.json ...] [--count N] [--workers N] [--no-cache] [--timeout-ms N] [--check]
 //! atsched opt inst.json [--parallel]
 //! atsched greedy inst.json [--order ltr|rtl|rand]
 //! atsched verify inst.json schedule.json
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("greedy") => cmd_greedy(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
@@ -53,6 +55,9 @@ atsched — nested active-time scheduling (SPAA 2022 reproduction)
 USAGE:
   atsched generate [--g N] [--horizon N] [--seed N] [--out FILE]
   atsched solve INSTANCE.{json,txt} [--float|--snap] [--polish] [--no-ceiling] [--schedule FILE] [--svg FILE]
+  atsched batch [INSTANCE ...] [--count N] [--g N] [--horizon N] [--seed N]
+                [--workers N] [--no-cache] [--timeout-ms N] [--float|--snap] [--polish]
+                [--check] [--out FILE]
   atsched opt INSTANCE.json [--parallel]
   atsched greedy INSTANCE.json [--order ltr|rtl|rand]
   atsched verify INSTANCE.json SCHEDULE.json
@@ -149,6 +154,104 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         std::fs::write(out, svg).map_err(|e| e.to_string())?;
         eprintln!("gantt chart written to {out}");
     }
+    Ok(())
+}
+
+/// Solve a corpus of instances through the parallel batch engine and
+/// print the JSON batch report (outcome counts, cache hit rate, p50 /
+/// p95 / max latencies end-to-end and per pipeline stage).
+///
+/// The corpus is the positional instance files plus, when `--count N`
+/// is given, `N` generated laminar instances (seeds `--seed`,
+/// `--seed + 1`, …).
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    use nested_active_time::engine::{Engine, EngineConfig, Outcome};
+
+    let mut instances = Vec::new();
+    for path in args.iter().take_while(|a| !a.starts_with("--")) {
+        instances.push(load(path)?);
+    }
+    let count: usize = parse_num(args, "--count", 0usize)?;
+    if count > 0 {
+        let cfg = LaminarConfig {
+            g: parse_num(args, "--g", 3i64)?,
+            horizon: parse_num(args, "--horizon", 24i64)?,
+            ..Default::default()
+        };
+        let seed: u64 = parse_num(args, "--seed", 0u64)?;
+        for i in 0..count {
+            instances.push(random_laminar(&cfg, seed.wrapping_add(i as u64)));
+        }
+    }
+    if instances.is_empty() {
+        return Err("batch needs instance files and/or --count N".into());
+    }
+
+    let mut opts = SolverOptions::exact();
+    if has_flag(args, "--float") {
+        opts.backend = LpBackend::Float;
+    }
+    if has_flag(args, "--snap") {
+        opts.backend = LpBackend::FloatThenSnap;
+    }
+    if has_flag(args, "--polish") {
+        opts.polish = true;
+    }
+
+    let mut cfg = EngineConfig::default()
+        .workers(parse_num(args, "--workers", 0usize)?)
+        .cache(!has_flag(args, "--no-cache"));
+    if let Some(ms) = flag_value(args, "--timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid value for --timeout-ms: {ms}"))?;
+        cfg = cfg.timeout(std::time::Duration::from_millis(ms));
+    }
+
+    let engine = Engine::new(cfg);
+    let batch = engine.solve_batch(&instances, &opts);
+
+    if has_flag(args, "--check") {
+        let sequential = Engine::new(EngineConfig::default().workers(1).cache(false))
+            .solve_batch(&instances, &opts);
+        for (i, (par, seq)) in batch.outcomes.iter().zip(&sequential.outcomes).enumerate() {
+            let same = match (par, seq) {
+                (Outcome::Solved(a), Outcome::Solved(b)) => a.result.schedule == b.result.schedule,
+                (Outcome::Infeasible, Outcome::Infeasible) => true,
+                // A timeout is inherently racy; don't fail the check on it.
+                (Outcome::TimedOut, _) | (_, Outcome::TimedOut) => true,
+                _ => false,
+            };
+            if !same {
+                return Err(format!(
+                    "instance {i}: parallel outcome {} != sequential {}",
+                    par.label(),
+                    seq.label()
+                ));
+            }
+        }
+        eprintln!(
+            "check: parallel results identical to sequential on {} instances",
+            instances.len()
+        );
+    }
+
+    let json = batch.report.to_json_pretty();
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "batch: {} instances, {} solved, {} infeasible, {} timed out, {} failed ({} workers, {:.0}% cache hits)",
+        batch.report.total,
+        batch.report.solved,
+        batch.report.infeasible,
+        batch.report.timed_out,
+        batch.report.failed,
+        batch.report.workers,
+        100.0 * batch.report.cache.hit_rate
+    );
     Ok(())
 }
 

@@ -10,10 +10,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod general;
+pub mod solve;
 
 pub use atsched_baselines as baselines;
 pub use atsched_core as core;
+pub use atsched_engine as engine;
 pub use atsched_flow as flow;
 pub use atsched_gaps as gaps;
 pub use atsched_lp as lp;
@@ -21,3 +24,29 @@ pub use atsched_multi as multi;
 pub use atsched_npc as npc;
 pub use atsched_num as num;
 pub use atsched_workloads as workloads;
+
+pub use error::Error;
+pub use solve::{Method, Solve, SolveOutcome, SolvePath};
+
+/// The one-stop import for typical users of this crate.
+///
+/// ```
+/// use nested_active_time::prelude::*;
+///
+/// let inst = Instance::new(2, vec![Job::new(0, 4, 2), Job::new(1, 3, 1)]).unwrap();
+/// let outcome = Solve::new(&inst).run().unwrap();
+/// assert!(outcome.schedule().verify(&inst).is_ok());
+/// ```
+pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::general::{
+        solve_auto, solve_general, solve_general_seeded, AutoResult, GeneralResult,
+    };
+    pub use crate::solve::{Method, Solve, SolveOutcome, SolvePath};
+    pub use atsched_core::instance::{Instance, Job};
+    pub use atsched_core::schedule::Schedule;
+    pub use atsched_core::solver::{
+        solve_nested, LpBackend, SolveResult, SolveStats, SolverOptions, StageTimings,
+    };
+    pub use atsched_engine::{BatchReport, Engine, EngineConfig, Outcome};
+}

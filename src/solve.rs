@@ -1,0 +1,331 @@
+//! The unified public solving API: the [`Solve`] builder.
+//!
+//! One entry point for every solving path in the workspace:
+//!
+//! ```
+//! use nested_active_time::{Solve, Method};
+//! use nested_active_time::core::instance::{Instance, Job};
+//!
+//! let inst = Instance::new(2, vec![Job::new(0, 4, 2), Job::new(1, 3, 1)]).unwrap();
+//!
+//! // Auto-dispatch (laminar → nested 9/5, crossing → certified greedy):
+//! let outcome = Solve::new(&inst).run().unwrap();
+//! assert!(outcome.schedule().verify(&inst).is_ok());
+//!
+//! // Explicit configuration, builder-style:
+//! let outcome = Solve::new(&inst)
+//!     .method(Method::Nested)
+//!     .exact()
+//!     .polished()
+//!     .timeout(std::time::Duration::from_secs(30))
+//!     .run()
+//!     .unwrap();
+//! assert!(outcome.stats().is_some());
+//! ```
+//!
+//! Failures — invalid instances, infeasibility, LP breakdown, timeouts,
+//! contained panics — all surface as the unified [`Error`].
+
+use crate::error::Error;
+use crate::general::{solve_general_seeded, GeneralResult, DEFAULT_SHUFFLE_SEED};
+use atsched_baselines::greedy::ScanOrder;
+use atsched_baselines::incremental::minimal_feasible_fast;
+use atsched_core::instance::Instance;
+use atsched_core::schedule::Schedule;
+use atsched_core::solver::{solve_nested, LpBackend, SolveResult, SolveStats, SolverOptions};
+use atsched_engine::{isolated, with_budget};
+use std::time::Duration;
+
+/// Which solving path [`Solve`] takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Dispatch on laminarity: nested 9/5 when windows nest, certified
+    /// greedy otherwise (the default).
+    #[default]
+    Auto,
+    /// The paper's 9/5-approximation; errors on non-laminar windows.
+    Nested,
+    /// The certified greedy toolbox for arbitrary windows.
+    General,
+    /// Single greedy deactivation scan (fastest, factor 3 by CKM'17).
+    Greedy,
+}
+
+/// How a [`SolveOutcome`] was produced, with path-specific detail.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub enum SolvePath {
+    /// The nested 9/5-approximation ran (laminar windows).
+    Nested(Box<SolveResult>),
+    /// The certified greedy toolbox ran.
+    General(Box<GeneralResult>),
+    /// A single greedy deactivation scan ran.
+    Greedy {
+        /// The verified schedule.
+        schedule: Schedule,
+        /// The scan order used.
+        order: &'static str,
+    },
+}
+
+/// Result of [`Solve::run`]: a verified schedule plus which path
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The path taken and its details.
+    pub path: SolvePath,
+}
+
+impl SolveOutcome {
+    /// The verified schedule, whichever path produced it.
+    pub fn schedule(&self) -> &Schedule {
+        match &self.path {
+            SolvePath::Nested(r) => &r.schedule,
+            SolvePath::General(r) => &r.schedule,
+            SolvePath::Greedy { schedule, .. } => schedule,
+        }
+    }
+
+    /// Active slots of the result.
+    pub fn active_time(&self) -> usize {
+        self.schedule().active_time()
+    }
+
+    /// Pipeline statistics (nested path only).
+    pub fn stats(&self) -> Option<&SolveStats> {
+        match &self.path {
+            SolvePath::Nested(r) => Some(&r.stats),
+            _ => None,
+        }
+    }
+
+    /// Per-instance certified approximation ratio, when one is
+    /// available: `opened / LP` for the nested path (≤ 9/5), `active /
+    /// natural-LP` for the general path (≤ 3).
+    pub fn certified_ratio(&self) -> Option<f64> {
+        match &self.path {
+            SolvePath::Nested(r) => Some(r.stats.opened_over_lp),
+            SolvePath::General(r) => Some(r.certified_ratio),
+            SolvePath::Greedy { .. } => None,
+        }
+    }
+
+    /// Short stable label of the path taken.
+    pub fn method_label(&self) -> &'static str {
+        match &self.path {
+            SolvePath::Nested(_) => "nested",
+            SolvePath::General(_) => "general",
+            SolvePath::Greedy { .. } => "greedy",
+        }
+    }
+}
+
+/// Builder for a single solve; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Solve<'a> {
+    inst: &'a Instance,
+    method: Method,
+    opts: SolverOptions,
+    seed: u64,
+    timeout: Option<Duration>,
+}
+
+impl<'a> Solve<'a> {
+    /// Start configuring a solve of `inst` (defaults: [`Method::Auto`],
+    /// exact backend, no polish, no timeout).
+    pub fn new(inst: &'a Instance) -> Self {
+        Solve {
+            inst,
+            method: Method::Auto,
+            opts: SolverOptions::exact(),
+            seed: DEFAULT_SHUFFLE_SEED,
+            timeout: None,
+        }
+    }
+
+    /// Choose the solving path.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Replace the full nested-solver configuration.
+    pub fn options(mut self, opts: SolverOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Exact big-rational LP backend (the default; unconditional 9/5).
+    pub fn exact(mut self) -> Self {
+        self.opts.backend = LpBackend::Exact;
+        self
+    }
+
+    /// Fast `f64` LP backend.
+    pub fn float(mut self) -> Self {
+        self.opts.backend = LpBackend::Float;
+        self
+    }
+
+    /// Hybrid backend: float LP, rationalized, exact rounding.
+    pub fn snap(mut self) -> Self {
+        self.opts.backend = LpBackend::FloatThenSnap;
+        self
+    }
+
+    /// Enable the slot-closing post-optimization.
+    pub fn polished(mut self) -> Self {
+        self.opts.polish = true;
+        self
+    }
+
+    /// Seed for the general path's shuffled scan candidate.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Wall-clock budget; [`Error::TimedOut`] on overrun.
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.timeout = Some(budget);
+        self
+    }
+
+    /// Execute the configured solve.
+    ///
+    /// Panics inside the solver are contained and reported as
+    /// [`Error::Panicked`]; with a [`timeout`](Solve::timeout), overruns
+    /// report [`Error::TimedOut`] (the abandoned computation finishes in
+    /// the background and is discarded).
+    pub fn run(self) -> Result<SolveOutcome, Error> {
+        let Solve { inst, method, opts, seed, timeout } = self;
+        match timeout {
+            None => isolated(|| run_inner(inst, method, &opts, seed))?,
+            Some(budget) => {
+                let inst = inst.clone();
+                with_budget(move || run_inner(&inst, method, &opts, seed), budget)?
+            }
+        }
+    }
+}
+
+fn run_inner(
+    inst: &Instance,
+    method: Method,
+    opts: &SolverOptions,
+    seed: u64,
+) -> Result<SolveOutcome, Error> {
+    let method = match method {
+        Method::Auto => {
+            if inst.check_laminar().is_ok() {
+                Method::Nested
+            } else {
+                Method::General
+            }
+        }
+        other => other,
+    };
+    let path = match method {
+        Method::Auto => unreachable!("auto resolved above"),
+        Method::Nested => SolvePath::Nested(Box::new(solve_nested(inst, opts)?)),
+        Method::General => {
+            SolvePath::General(Box::new(solve_general_seeded(inst, seed).ok_or(Error::Infeasible)?))
+        }
+        Method::Greedy => {
+            // The strongest directional variant (KK'18-style right-to-left).
+            let r = minimal_feasible_fast(inst, ScanOrder::RightToLeft).ok_or(Error::Infeasible)?;
+            SolvePath::Greedy { schedule: r.schedule, order: "right-to-left" }
+        }
+    };
+    debug_assert!(path_schedule(&path).verify(inst).is_ok());
+    Ok(SolveOutcome { path })
+}
+
+fn path_schedule(path: &SolvePath) -> &Schedule {
+    match path {
+        SolvePath::Nested(r) => &r.schedule,
+        SolvePath::General(r) => &r.schedule,
+        SolvePath::Greedy { schedule, .. } => schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::instance::{InstanceError, Job};
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn auto_picks_nested_for_laminar_and_general_for_crossing() {
+        let laminar = inst(2, vec![(0, 6, 2), (1, 4, 1)]);
+        let out = Solve::new(&laminar).run().unwrap();
+        assert_eq!(out.method_label(), "nested");
+        out.schedule().verify(&laminar).unwrap();
+        assert!(out.certified_ratio().unwrap() <= 1.8 + 1e-9);
+
+        let crossing = inst(2, vec![(0, 5, 2), (3, 8, 2)]);
+        let out = Solve::new(&crossing).run().unwrap();
+        assert_eq!(out.method_label(), "general");
+        out.schedule().verify(&crossing).unwrap();
+        assert!(out.certified_ratio().unwrap() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn builder_options_reach_the_solver() {
+        let i = inst(2, vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2)]);
+        let plain = Solve::new(&i).method(Method::Nested).run().unwrap();
+        let polished = Solve::new(&i).method(Method::Nested).polished().run().unwrap();
+        assert!(polished.active_time() <= plain.active_time());
+        assert!(polished.stats().unwrap().polish_closed >= 0);
+
+        let float = Solve::new(&i).method(Method::Nested).float().run().unwrap();
+        float.schedule().verify(&i).unwrap();
+        let snap = Solve::new(&i).method(Method::Nested).snap().run().unwrap();
+        snap.schedule().verify(&i).unwrap();
+    }
+
+    #[test]
+    fn errors_are_unified() {
+        let infeasible = inst(1, vec![(0, 2, 1); 3]);
+        assert!(matches!(Solve::new(&infeasible).run(), Err(Error::Infeasible)));
+        assert!(matches!(
+            Solve::new(&infeasible).method(Method::Greedy).run(),
+            Err(Error::Infeasible)
+        ));
+
+        let crossing = inst(2, vec![(0, 5, 2), (3, 8, 2)]);
+        assert!(matches!(
+            Solve::new(&crossing).method(Method::Nested).run(),
+            Err(Error::Instance(InstanceError::NotLaminar(_, _)))
+        ));
+    }
+
+    #[test]
+    fn greedy_path_produces_verified_schedule() {
+        let i = inst(2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]);
+        let out = Solve::new(&i).method(Method::Greedy).run().unwrap();
+        assert_eq!(out.method_label(), "greedy");
+        out.schedule().verify(&i).unwrap();
+        assert!(out.stats().is_none());
+        assert!(out.certified_ratio().is_none());
+    }
+
+    #[test]
+    fn generous_timeout_still_solves() {
+        let i = inst(2, vec![(0, 6, 2), (1, 4, 1)]);
+        let out = Solve::new(&i).timeout(Duration::from_secs(60)).run().unwrap();
+        out.schedule().verify(&i).unwrap();
+    }
+
+    #[test]
+    fn seed_varies_only_the_shuffled_candidate() {
+        let crossing = inst(2, vec![(0, 5, 2), (3, 8, 2), (4, 6, 1)]);
+        for seed in [0u64, 7, 0x5EED] {
+            let out = Solve::new(&crossing).seed(seed).run().unwrap();
+            out.schedule().verify(&crossing).unwrap();
+        }
+    }
+}

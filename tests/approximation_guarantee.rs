@@ -29,14 +29,8 @@ fn ratio_bound_holds_on_random_instances() {
                 .expect("feasible")
                 .active_time() as f64;
             let alg = sol.stats.active_slots as f64;
-            assert!(
-                alg <= 1.8 * opt + 1e-9,
-                "g={g} seed={seed}: ALG {alg} > 1.8·OPT {opt}"
-            );
-            assert!(
-                sol.stats.lp_objective <= opt + 1e-9,
-                "g={g} seed={seed}: LP above OPT"
-            );
+            assert!(alg <= 1.8 * opt + 1e-9, "g={g} seed={seed}: ALG {alg} > 1.8·OPT {opt}");
+            assert!(sol.stats.lp_objective <= opt + 1e-9, "g={g} seed={seed}: LP above OPT");
             assert!(alg >= opt, "ALG below OPT is impossible");
             // Lemma 3.3: opened ≤ (9/5)·LP.
             assert!(
@@ -63,7 +57,9 @@ fn float_backend_also_within_bound() {
 
 #[test]
 fn adversarial_families_within_bound() {
-    use nested_active_time::gaps::instances::{gap2_instance, lemma51_instance, lemma51_integral_opt};
+    use nested_active_time::gaps::instances::{
+        gap2_instance, lemma51_instance, lemma51_integral_opt,
+    };
     for g in [2i64, 3, 4] {
         let inst = lemma51_instance(g);
         let sol = solve_nested(&inst, &SolverOptions::exact()).unwrap();

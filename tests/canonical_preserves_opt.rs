@@ -6,11 +6,13 @@
 //! original instance vs exact OPT of the instance with windows replaced
 //! by the canonical node intervals.
 
+use nested_active_time::baselines::exact::nested_opt;
 use nested_active_time::core::canonical::canonicalize;
 use nested_active_time::core::instance::{Instance, Job};
 use nested_active_time::core::tree::Forest;
-use nested_active_time::baselines::exact::nested_opt;
 use nested_active_time::workloads::generators::{random_laminar, LaminarConfig};
+/// Test-case table: (g, [(release, deadline, processing)]).
+type Cases = Vec<(i64, Vec<(i64, i64, i64)>)>;
 
 /// Instance with every job's window replaced by its canonical node
 /// interval (this is the instance the LP effectively solves).
@@ -34,7 +36,7 @@ fn assert_opt_preserved(inst: &Instance) {
 
 #[test]
 fn canonical_windows_preserve_opt_handpicked() {
-    let shapes: Vec<(i64, Vec<(i64, i64, i64)>)> = vec![
+    let shapes: Cases = vec![
         // Non-rigid leaf: longest job shorter than the window.
         (2, vec![(0, 5, 2), (0, 5, 1)]),
         // Two-level nesting with a splittable leaf.
@@ -45,11 +47,8 @@ fn canonical_windows_preserve_opt_handpicked() {
         (2, vec![(0, 4, 2), (0, 4, 2), (0, 4, 1)]),
     ];
     for (g, jobs) in shapes {
-        let inst = Instance::new(
-            g,
-            jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect(),
-        )
-        .unwrap();
+        let inst = Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect())
+            .unwrap();
         assert_opt_preserved(&inst);
     }
 }
@@ -78,10 +77,6 @@ fn canonical_windows_preserve_feasibility() {
         let cfg = LaminarConfig { g: 2, horizon: 14, ..Default::default() };
         let inst = random_laminar(&cfg, seed);
         let transformed = canonical_windows(&inst);
-        assert_eq!(
-            inst.is_feasible_all_open(),
-            transformed.is_feasible_all_open(),
-            "seed {seed}"
-        );
+        assert_eq!(inst.is_feasible_all_open(), transformed.is_feasible_all_open(), "seed {seed}");
     }
 }

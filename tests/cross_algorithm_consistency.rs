@@ -33,10 +33,7 @@ fn all_algorithms_agree_on_ordering() {
             let gr = minimal_feasible(&inst, order).unwrap();
             gr.schedule.verify(&inst).unwrap();
             assert!(gr.schedule.active_time() >= opt, "greedy below OPT");
-            assert!(
-                gr.schedule.active_time() <= 3 * opt,
-                "greedy above its proven factor"
-            );
+            assert!(gr.schedule.active_time() <= 3 * opt, "greedy above its proven factor");
         }
         assert!(ours.stats.active_slots >= opt);
         assert!((ours.stats.active_slots as f64) <= 1.8 * opt as f64 + 1e-9);
@@ -65,20 +62,8 @@ fn schedules_from_all_sources_verify() {
     let cfg = LaminarConfig { g: 4, horizon: 18, ..Default::default() };
     for seed in 20..26u64 {
         let inst = random_laminar(&cfg, seed);
-        solve_nested(&inst, &SolverOptions::exact())
-            .unwrap()
-            .schedule
-            .verify(&inst)
-            .unwrap();
-        solve_nested(&inst, &SolverOptions::float())
-            .unwrap()
-            .schedule
-            .verify(&inst)
-            .unwrap();
-        minimal_feasible(&inst, ScanOrder::RightToLeft)
-            .unwrap()
-            .schedule
-            .verify(&inst)
-            .unwrap();
+        solve_nested(&inst, &SolverOptions::exact()).unwrap().schedule.verify(&inst).unwrap();
+        solve_nested(&inst, &SolverOptions::float()).unwrap().schedule.verify(&inst).unwrap();
+        minimal_feasible(&inst, ScanOrder::RightToLeft).unwrap().schedule.verify(&inst).unwrap();
     }
 }

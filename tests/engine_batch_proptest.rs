@@ -1,0 +1,74 @@
+//! Property: the parallel batch engine is observationally identical to
+//! sequential solving — for any corpus of laminar instances, any worker
+//! count, and cache on or off, `Engine::solve_batch` yields elementwise
+//! exactly the schedules and LP openings that `solve_nested` produces
+//! one instance at a time.
+//!
+//! Instances use the dyadic-window strategy (laminar by construction,
+//! shrink-safe); feasibility is *not* filtered, so infeasible inputs
+//! exercise the `Outcome::Infeasible` path against the sequential
+//! `SolveError::Infeasible`.
+
+use nested_active_time::core::instance::{Instance, Job};
+use nested_active_time::core::solver::{solve_nested, SolveError, SolverOptions};
+use nested_active_time::engine::{Engine, EngineConfig, Outcome};
+use proptest::prelude::*;
+
+const LEVELS: u32 = 3; // horizon 8
+
+fn dyadic_job() -> impl Strategy<Value = Job> {
+    (0..=LEVELS, any::<u32>(), 1i64..4).prop_map(|(level, idx, p)| {
+        let width = 1i64 << (LEVELS - level);
+        let positions = 1u32 << level;
+        let i = (idx % positions) as i64;
+        Job::new(i * width, (i + 1) * width, p.min(width))
+    })
+}
+
+fn laminar_instance() -> impl Strategy<Value = Instance> {
+    (1i64..4, proptest::collection::vec(dyadic_job(), 1..8))
+        .prop_filter_map("instance must validate", |(g, jobs)| Instance::new(g, jobs).ok())
+}
+
+proptest! {
+    #[test]
+    fn batch_is_elementwise_identical_to_sequential(
+        instances in proptest::collection::vec(laminar_instance(), 1..6),
+        workers in 1usize..5,
+        cache in any::<bool>(),
+    ) {
+        let opts = SolverOptions::exact();
+        let engine = Engine::new(EngineConfig::default().workers(workers).cache(cache));
+        let batch = engine.solve_batch(&instances, &opts);
+        prop_assert_eq!(batch.outcomes.len(), instances.len());
+        prop_assert_eq!(batch.report.total, instances.len());
+
+        for (inst, outcome) in instances.iter().zip(&batch.outcomes) {
+            match solve_nested(inst, &opts) {
+                Ok(seq) => {
+                    let item = match outcome {
+                        Outcome::Solved(item) => item,
+                        other => return Err(TestCaseError::Fail(format!(
+                            "sequential solved but batch said {}", other.label()
+                        ))),
+                    };
+                    prop_assert_eq!(&item.result.schedule, &seq.schedule);
+                    prop_assert_eq!(&item.result.z, &seq.z);
+                    prop_assert_eq!(
+                        item.result.stats.active_slots,
+                        seq.stats.active_slots
+                    );
+                }
+                Err(SolveError::Infeasible) => {
+                    prop_assert!(matches!(outcome, Outcome::Infeasible));
+                }
+                Err(_) => {
+                    prop_assert!(matches!(outcome, Outcome::Failed(_)));
+                }
+            }
+        }
+
+        let solved = batch.outcomes.iter().filter(|o| o.is_solved()).count();
+        prop_assert_eq!(batch.report.solved, solved);
+    }
+}

@@ -3,8 +3,8 @@
 //! at every step, for every budget.
 
 use nested_active_time::baselines::exact::nested_opt;
-use nested_active_time::npc::reductions::{psc_to_active_time, set_cover_to_psc};
 use nested_active_time::npc::prefix_sum_cover::PrefixSumCover;
+use nested_active_time::npc::reductions::{psc_to_active_time, set_cover_to_psc};
 use nested_active_time::npc::set_cover::random_set_cover;
 
 #[test]

@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The bench sources compile unchanged against this crate; running them
+//! executes every benchmark a handful of times and prints mean
+//! wall-clock timings — no statistics, warm-up, or plots. When the
+//! binary is invoked by `cargo test` (bench targets default to
+//! `test = true`), benchmarks are skipped entirely so test runs stay
+//! fast; pass `--force` (or run `cargo bench`) to measure.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Iterations per measured benchmark (the stub's entire sampling story).
+const DEFAULT_ITERS: u32 = 3;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Measure `f`, running it a fixed small number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Bench targets default to `test = true`, so `cargo test` runs
+        // these binaries; skip the actual measuring there. Cargo's test
+        // runner passes no marker argument, so opt *in* to measuring:
+        // `cargo bench` passes `--bench`.
+        let args: Vec<String> = std::env::args().collect();
+        let enabled = args.iter().any(|a| a == "--bench" || a == "--force");
+        Criterion { enabled }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.enabled, name, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// No-op in the stub (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// No-op in the stub (kept for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a named benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.parent.enabled, &format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Run a named benchmark with an input value.
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        run_one(self.parent.enabled, &format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(enabled: bool, label: &str, mut f: F) {
+    if !enabled {
+        println!("bench {label}: skipped (run with --bench or --force to measure)");
+        return;
+    }
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: DEFAULT_ITERS };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / DEFAULT_ITERS as f64;
+    println!("bench {label}: {:.3} ms/iter ({} iters)", per_iter * 1e3, DEFAULT_ITERS);
+}
+
+/// Opaque value barrier (re-exported `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,72 @@
+//! Collection strategies (`proptest::collection` stand-in).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything that can describe a collection length: a fixed `usize` or a
+/// (half-open / inclusive) range of lengths.
+pub trait SizeRange {
+    /// Sample a length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        self.start + rng.below((self.end - self.start) as u128) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty length range");
+        lo + rng.below((hi - lo + 1) as u128) as usize
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.try_generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respected() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = vec(0i64..4, 2usize..6);
+        for _ in 0..200 {
+            let v = s.try_generate(&mut rng).unwrap();
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..4).contains(x)));
+        }
+        let fixed = vec(0i64..4, 3usize);
+        assert_eq!(fixed.try_generate(&mut rng).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API surface this workspace's tests use — the
+//! [`proptest!`] macro with `pattern in strategy` bindings and an inner
+//! `#![proptest_config(..)]` attribute, [`Strategy`] with `prop_map` /
+//! `prop_filter` / `prop_filter_map`, integer range and tuple
+//! strategies, [`collection::vec`], `any::<T>()`, `Just`, and the
+//! `prop_assert*` / `prop_assume` macros.
+//!
+//! Differences from the real crate, chosen for zero dependencies:
+//!
+//! * **No shrinking.** A failing case reports the exact failing inputs
+//!   (which are deterministic per test name) but does not minimize them.
+//! * The default number of cases is 64, not 256; override with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` as usual.
+//! * Sampling streams differ from the real crate, so failures found by
+//!   one will not replay byte-for-byte in the other.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Everything a test module needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` body runs
+/// for `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run [$cfg] $($rest)*);
+    };
+    (@run [$cfg:expr]
+        $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted: u32 = 0;
+                let mut rejected: u64 = 0;
+                let max_rejects: u64 = (config.cases as u64) * 256 + 65536;
+                while accepted < config.cases {
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest stub: {} rejected {} inputs before reaching {} cases",
+                        stringify!($name),
+                        rejected,
+                        config.cases,
+                    );
+                    let __vals = ($(
+                        match $crate::strategy::Strategy::try_generate(&$strat, &mut rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => {
+                                rejected += 1;
+                                continue;
+                            }
+                        },
+                    )+);
+                    let __input_desc = format!("{:?}", __vals);
+                    let ($($pat,)+) = __vals;
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => rejected += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!(
+                            "proptest case failed: {}\n  test: {}\n  case: #{}\n  inputs: {}",
+                            msg,
+                            stringify!($name),
+                            accepted,
+                            __input_desc,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run [$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                left
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (resampled, not counted) unless the
+/// precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,259 @@
+//! Strategies: how test inputs are sampled.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values (`proptest::strategy::Strategy` stand-in).
+///
+/// `try_generate` returns `None` when the sample was rejected by a
+/// filter; the runner resamples (without counting the case) up to a
+/// generous cap.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Sample one value, or `None` on a local rejection.
+    fn try_generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform every sampled value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying the predicate; others are rejected.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason, f }
+    }
+
+    /// Combined map + filter: `None` results are rejected.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, reason, f }
+    }
+
+    /// Chain a dependent strategy off every sampled value.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.try_generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.try_generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.try_generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<O::Value> {
+        let next = (self.f)(self.inner.try_generate(rng)?);
+        next.try_generate(rng)
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn try_generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// --- Integer / bool ranges and `any` ---------------------------------
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn try_generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn try_generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                Some((lo as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Sample an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for [`Arbitrary`] types; see [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `T`: uniform over the whole type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// --- Tuples ----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($($s:ident)+;)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn try_generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                Some(($($s.try_generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    A;
+    A B;
+    A B C;
+    A B C D;
+    A B C D E;
+    A B C D E F;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let a = (0i64..7).try_generate(&mut rng).unwrap();
+            assert!((0..7).contains(&a));
+            let b = (1u32..=3).try_generate(&mut rng).unwrap();
+            assert!((1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = TestRng::deterministic("filter");
+        let s = (0i64..10).prop_filter("even", |v| v % 2 == 0);
+        let mut evens = 0;
+        for _ in 0..100 {
+            if let Some(v) = s.try_generate(&mut rng) {
+                assert_eq!(v % 2, 0);
+                evens += 1;
+            }
+        }
+        assert!(evens > 0);
+    }
+
+    #[test]
+    fn tuples_and_map() {
+        let mut rng = TestRng::deterministic("tuple");
+        let s = (0i64..5, 0i64..5).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            let v = s.try_generate(&mut rng).unwrap();
+            assert!((0..9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Test-runner plumbing: configuration, case outcomes, and the
+//! deterministic RNG behind every strategy.
+
+/// Per-test configuration (`proptest::test_runner::Config` stand-in).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps exact-arithmetic
+        // test suites fast while still exercising plenty of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a sampled case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Precondition failed (`prop_assume!`); resample without counting.
+    Reject,
+    /// Assertion failed; the test panics with this message.
+    Fail(String),
+}
+
+/// Deterministic RNG driving all strategies (SplitMix64).
+///
+/// Seeded from the fully qualified test name so every test has a stable
+/// but distinct stream; set `PROPTEST_SEED` to explore other streams.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test identifier.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, mixed with an optional env override.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = extra.trim().parse::<u64>() {
+                h ^= n.rotate_left(32);
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, span)`; `span` must be nonzero.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % span
+    }
+}

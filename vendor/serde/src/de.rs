@@ -1,0 +1,162 @@
+//! Deserialization half of the vendored serde stub.
+
+use crate::value::{Value, ValueError};
+use std::fmt::Display;
+
+/// Error trait for deserializers (`serde::de::Error`).
+pub trait Error: Sized + std::fmt::Debug {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A deserializable type (`serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserializer (`serde::Deserializer`): hands out one parsed
+/// [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produce the value tree to deserialize from.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Deserializer over an in-memory [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Deserialize any `Deserialize` type from the in-memory data model.
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, ValueError> {
+    Err(ValueError(format!("expected {expected}, got {}", got.kind())))
+}
+
+// --- Deserialize impls for the std types the workspace parses ---------
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_value()?;
+                let n: i128 = match v {
+                    Value::Int(i) => i as i128,
+                    Value::UInt(u) => u as i128,
+                    other => return type_err("integer", &other).map_err(Error::custom),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => type_err("bool", &other).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Float(x) => Ok(x),
+            Value::Int(i) => Ok(i as f64),
+            Value::UInt(u) => Ok(u as f64),
+            other => type_err("number", &other).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => type_err("string", &other).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(()),
+            other => type_err("null", &other).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Seq(items) => {
+                items.into_iter().map(|v| from_value(v).map_err(Error::custom)).collect()
+            }
+            other => type_err("sequence", &other).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n; // positional; consume in order
+                            from_value(it.next().expect("length checked"))
+                                .map_err(Error::custom)?
+                        },)+))
+                    }
+                    other => type_err(concat!("sequence of length ", $len), &other)
+                        .map_err(Error::custom),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the slice of serde's API that the workspace actually
+//! uses: the `Serialize` / `Deserialize` / `Serializer` / `Deserializer`
+//! traits (with the same method signatures the workspace's manual impls
+//! were written against), `ser::Error` / `de::Error` with `custom`, and
+//! derive macros re-exported from the vendored `serde_derive`.
+//!
+//! Unlike the real serde, which drives serialization through a visitor
+//! data model, this stub routes everything through a concrete
+//! self-describing [`value::Value`] tree. That is a simplification, not
+//! an observable difference, for the formats used here (JSON only).
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// Derive macros share the trait names, as in the real serde.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,72 @@
+//! The self-describing data model every (de)serializer in this stub
+//! routes through.
+
+use std::fmt;
+
+/// A serialized value: the JSON-shaped tree the vendored serde uses as
+/// its data model. Maps preserve insertion order (struct field order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples).
+    Seq(Vec<Value>),
+    /// Key-value map (structs, maps), in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short human-readable kind name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Error type used by the in-memory `Value` (de)serializers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl crate::ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl crate::de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}

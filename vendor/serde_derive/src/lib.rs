@@ -1,0 +1,168 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unavailable in this build environment,
+//! so the workspace vendors a minimal serde implementation (see
+//! `vendor/serde`). This proc-macro crate derives that implementation's
+//! `Serialize` / `Deserialize` traits for the only shape the workspace
+//! uses: structs with named fields. Field values round-trip through the
+//! vendored serde's `Value` data model, so the generated code is tiny.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type: its name and field names in order.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Walk the item's token stream and extract the struct name and the
+/// named fields. Attributes (including doc comments), visibility
+/// modifiers and generic bounds are skipped; tuple structs, unit structs
+/// and enums are rejected — the workspace only derives on named-field
+/// structs.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut name: Option<String> = None;
+    let mut saw_struct = false;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => saw_struct = true,
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("serde_derive stub: enums are not supported".into());
+            }
+            TokenTree::Ident(id) if saw_struct && name.is_none() => {
+                name = Some(id.to_string());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                body = Some(g.stream());
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.ok_or("serde_derive stub: no struct name found")?;
+    let body = body.ok_or("serde_derive stub: only structs with named fields are supported")?;
+
+    // Fields: `attrs* vis? ident : type ,` — collect each ident that is
+    // directly followed by a ':', then skip to the next top-level comma
+    // (commas nested in groups are invisible; commas inside `<...>` are
+    // skipped by tracking angle-bracket depth).
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next(); // skip attribute body
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    // Skip optional `(crate)`-style restriction.
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next();
+                    }
+                    continue;
+                }
+                match toks.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        fields.push(word);
+                        toks.next(); // the ':'
+                                     // Skip the type up to the next top-level ','.
+                        let mut angle = 0i32;
+                        for ty in toks.by_ref() {
+                            match ty {
+                                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                                _ => {}
+                            }
+                        }
+                    }
+                    _ => return Err(format!("serde_derive stub: unexpected token '{word}'")),
+                }
+            }
+            _ => return Err("serde_derive stub: only named fields are supported".into()),
+        }
+    }
+
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive the vendored serde's `Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut pushes = String::new();
+    for f in &shape.fields {
+        pushes.push_str(&format!(
+            "fields.push(({f:?}.to_string(), \
+             ::serde::ser::to_value(&self.{f}).map_err(::serde::ser::Error::custom)?));\n"
+        ));
+    }
+    let name = &shape.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serializer.serialize_value(::serde::value::Value::Map(fields))\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive the vendored serde's `Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for f in &shape.fields {
+        inits.push_str(&format!(
+            "{f}: {{\n\
+                 let v = map.iter().find(|(k, _)| k == {f:?}).map(|(_, v)| v.clone())\n\
+                     .ok_or_else(|| ::serde::de::Error::custom(\
+                         concat!(\"missing field `\", {f:?}, \"`\")))?;\n\
+                 ::serde::de::from_value(v).map_err(::serde::de::Error::custom)?\n\
+             }},\n"
+        ));
+    }
+    let name = &shape.name;
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 let value = deserializer.deserialize_value()?;\n\
+                 let map = match value {{\n\
+                     ::serde::value::Value::Map(m) => m,\n\
+                     other => return ::core::result::Result::Err(::serde::de::Error::custom(\n\
+                         format!(\"expected map for struct {name}, got {{}}\", other.kind()))),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .unwrap()
+}
