@@ -1,0 +1,108 @@
+//! `atsched client` — talk to a running solve service.
+//!
+//! `atsched client ADDR VERB ...`; every service failure maps to a
+//! nonzero exit code with the typed error kind on stderr.
+
+use atsched_serve::{Client, ClientError, Request};
+
+pub(crate) fn cmd_client(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("client needs ADDR (host:port) and a verb")?;
+    let verb = args.get(1).map(String::as_str).ok_or("client needs a verb after ADDR")?;
+    let rest = &args[2..];
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    match verb {
+        "solve" => cmd_solve(&mut client, rest),
+        "batch" => cmd_batch(&mut client, rest),
+        "stats" => {
+            let stats = client.stats().map_err(render)?;
+            println!("{}", serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "health" => {
+            client.health().map_err(render)?;
+            println!("ok");
+            Ok(())
+        }
+        "shutdown" => {
+            let snapshot = client.shutdown().map_err(render)?;
+            println!("{}", serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?);
+            eprintln!(
+                "server drained: {} completed of {} accepted",
+                snapshot.completed, snapshot.accepted
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown client verb '{other}' (solve|batch|stats|health|shutdown)")),
+    }
+}
+
+fn render(e: ClientError) -> String {
+    e.to_string()
+}
+
+fn cmd_solve(client: &mut Client, args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("client solve needs an instance file")?;
+    let inst = crate::load(path)?;
+    let mut req = Request::solve(&inst);
+    if let Some(method) = crate::flag_value(args, "--method") {
+        req = req.with_method(method);
+    }
+    if let Some(backend) = crate::flag_value(args, "--backend") {
+        req = req.with_backend(backend);
+    }
+    if crate::has_flag(args, "--polish") {
+        req = req.with_polish(true);
+    }
+    if let Some(seed) = crate::flag_value(args, "--seed") {
+        req = req.with_seed(seed.parse().map_err(|_| format!("invalid value for --seed: {seed}"))?);
+    }
+    if let Some(ms) = crate::flag_value(args, "--timeout-ms") {
+        req = req.with_timeout_ms(
+            ms.parse().map_err(|_| format!("invalid value for --timeout-ms: {ms}"))?,
+        );
+    }
+    let want_schedule = crate::flag_value(args, "--schedule");
+    if want_schedule.is_some() {
+        req = req.with_schedule();
+    }
+    let reply = client.solve(req).map_err(render)?;
+    println!("active slots : {}", reply.active_slots);
+    println!("method       : {}", reply.method);
+    if let Some(ratio) = reply.certified_ratio {
+        println!("ALG/LP       : {ratio:.4}");
+    }
+    println!("cached       : {}", reply.cached);
+    println!("elapsed      : {:.2} ms", reply.elapsed_ms);
+    if let Some(out) = want_schedule {
+        let schedule = reply.schedule.ok_or("server reply carried no schedule")?;
+        let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        eprintln!("schedule written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_batch(client: &mut Client, args: &[String]) -> Result<(), String> {
+    let paths: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        return Err("client batch needs instance files".into());
+    }
+    let mut instances = Vec::with_capacity(paths.len());
+    for path in paths {
+        instances.push(crate::load(path)?);
+    }
+    let reply = client.batch(&instances).map_err(render)?;
+    println!("{}", serde_json::to_string_pretty(&reply).map_err(|e| e.to_string())?);
+    eprintln!(
+        "batch: {} instances, {} solved, {} infeasible, {} timed out, {} failed",
+        reply.total, reply.solved, reply.infeasible, reply.timed_out, reply.failed
+    );
+    // Same contract as the local `atsched batch`: lost work is a
+    // nonzero exit.
+    let lost = reply.timed_out + reply.failed;
+    if lost > 0 {
+        return Err(format!("{lost} of {} instances did not finish", reply.total));
+    }
+    Ok(())
+}

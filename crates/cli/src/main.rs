@@ -9,9 +9,14 @@
 //! atsched greedy inst.json [--order ltr|rtl|rand]
 //! atsched verify inst.json schedule.json
 //! atsched gaps --family lemma51|gap2 --g 4
+//! atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
+//! atsched client ADDR solve|batch|stats|health|shutdown ...
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
+
+mod client_cmd;
+mod serve_cmd;
 
 use nested_active_time::baselines::exact::{nested_opt, nested_opt_parallel};
 use nested_active_time::baselines::greedy::ScanOrder;
@@ -34,6 +39,8 @@ fn main() -> ExitCode {
         Some("greedy") => cmd_greedy(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("gaps") => cmd_gaps(&args[1..]),
+        Some("serve") => serve_cmd::cmd_serve(&args[1..]),
+        Some("client") => client_cmd::cmd_client(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -57,22 +64,31 @@ USAGE:
   atsched solve INSTANCE.{json,txt} [--float|--snap] [--polish] [--no-ceiling] [--schedule FILE] [--svg FILE]
   atsched batch [INSTANCE ...] [--count N] [--g N] [--horizon N] [--seed N]
                 [--workers N] [--no-cache] [--timeout-ms N] [--float|--snap] [--polish]
-                [--check] [--out FILE]
+                [--check] [--keep-going] [--out FILE]
   atsched opt INSTANCE.json [--parallel]
   atsched greedy INSTANCE.json [--order ltr|rtl|rand]
   atsched verify INSTANCE.json SCHEDULE.json
   atsched gaps --family lemma51|gap2 --g N
+  atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--delay-ms N]
+  atsched client ADDR solve INSTANCE [--method auto|nested|general|greedy] [--backend exact|float|snap]
+                 [--polish] [--seed N] [--timeout-ms N] [--schedule FILE]
+  atsched client ADDR batch INSTANCE [INSTANCE ...]
+  atsched client ADDR stats | health | shutdown
 ";
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+pub(crate) fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
-fn has_flag(args: &[String], name: &str) -> bool {
+pub(crate) fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+pub(crate) fn parse_num<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
     match flag_value(args, name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
@@ -81,7 +97,7 @@ fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> R
 
 /// Load an instance: `.txt` files use the plain-text exchange format,
 /// everything else is JSON.
-fn load(path: &str) -> Result<Instance, String> {
+pub(crate) fn load(path: &str) -> Result<Instance, String> {
     if path.ends_with(".txt") {
         let body = std::fs::read_to_string(path).map_err(|e| format!("loading {path}: {e}"))?;
         io::instance_from_text(&body).map_err(|e| format!("parsing {path}: {e}"))
@@ -252,6 +268,17 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         batch.report.workers,
         100.0 * batch.report.cache.hit_rate
     );
+    // A batch with lost work must not exit 0 — scripts and CI depend on
+    // the status code. `--keep-going` restores the old advisory
+    // behavior. (Infeasible is a *result*, not a failure.)
+    let lost = batch.report.timed_out + batch.report.failed;
+    if lost > 0 && !has_flag(args, "--keep-going") {
+        return Err(format!(
+            "{} of {} instances did not finish ({} timed out, {} failed); \
+             pass --keep-going to exit 0 anyway",
+            lost, batch.report.total, batch.report.timed_out, batch.report.failed
+        ));
+    }
     Ok(())
 }
 

@@ -1,0 +1,39 @@
+//! `atsched serve` — run the long-lived solve service.
+
+use atsched_serve::{Server, ServerConfig};
+use std::io::Write;
+use std::time::Duration;
+
+/// Start the service and block until a `shutdown` request drains it.
+///
+/// Prints exactly one `listening on ADDR` line to stdout once the
+/// socket is bound — supervisors (and the CI smoke job) wait for that
+/// line before sending traffic.
+pub(crate) fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServerConfig::default()
+        .workers(crate::parse_num(args, "--workers", 0usize)?)
+        .queue_depth(crate::parse_num(args, "--queue", 0usize)?)
+        .delay_ms(crate::parse_num(args, "--delay-ms", 0u64)?);
+    if let Some(addr) = crate::flag_value(args, "--addr") {
+        cfg = cfg.addr(addr);
+    }
+    if let Some(ms) = crate::flag_value(args, "--timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid value for --timeout-ms: {ms}"))?;
+        cfg = cfg.default_timeout(if ms == 0 { None } else { Some(Duration::from_millis(ms)) });
+    }
+
+    let server = Server::bind(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    let snapshot = server.run().map_err(|e| format!("server failed: {e}"))?;
+    eprintln!(
+        "drained: {} received, {} accepted, {} completed, {} shed, {:.0}% cache hits",
+        snapshot.received,
+        snapshot.accepted,
+        snapshot.completed,
+        snapshot.rejected_overload + snapshot.rejected_shutdown,
+        100.0 * snapshot.cache_hit_rate
+    );
+    Ok(())
+}

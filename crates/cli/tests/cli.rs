@@ -1,0 +1,109 @@
+//! Black-box tests for the `atsched` binary: batch exit-code contract
+//! and a serve/client roundtrip over a real socket.
+
+use nested_active_time::core::instance::{Instance, Job};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn atsched() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_atsched"))
+}
+
+/// Write `inst` as JSON under a test-unique name; returns the path.
+fn write_instance(name: &str, inst: &Instance) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("atsched-cli-{}-{name}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_string(inst).unwrap()).unwrap();
+    path
+}
+
+fn small_instance() -> Instance {
+    Instance::new(2, vec![Job::new(0, 4, 2), Job::new(1, 3, 1)]).unwrap()
+}
+
+/// Big enough that its exact LP cannot finish within a 1 ms budget.
+fn heavy_instance() -> Instance {
+    Instance::new(2, vec![Job::new(0, 5000, 100); 40]).unwrap()
+}
+
+fn infeasible_instance() -> Instance {
+    Instance::new(1, vec![Job::new(0, 2, 1); 3]).unwrap()
+}
+
+#[test]
+fn batch_exit_code_reflects_lost_work() {
+    let heavy = write_instance("heavy", &heavy_instance());
+    let heavy = heavy.to_str().unwrap();
+
+    // A timed-out instance must fail the run...
+    let out = atsched().args(["batch", heavy, "--timeout-ms", "1"]).output().unwrap();
+    assert!(!out.status.success(), "timed-out batch must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("timed out"), "stderr names the cause: {stderr}");
+    assert!(stderr.contains("--keep-going"), "stderr suggests the opt-out: {stderr}");
+
+    // ...unless the caller opts out.
+    let out =
+        atsched().args(["batch", heavy, "--timeout-ms", "1", "--keep-going"]).output().unwrap();
+    assert!(out.status.success(), "--keep-going restores exit 0");
+
+    // A clean batch (including infeasible results — those are answers,
+    // not failures) exits 0.
+    let small = write_instance("small", &small_instance());
+    let infeasible = write_instance("infeasible", &infeasible_instance());
+    let out = atsched()
+        .args(["batch", small.to_str().unwrap(), infeasible.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "infeasible is a result, not lost work");
+}
+
+/// Spawn `atsched serve` on an ephemeral port and return the child plus
+/// the address it printed.
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = atsched()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line.trim().strip_prefix("listening on ").expect("ready line").to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_and_client_roundtrip() {
+    let (mut server, addr) = spawn_serve(&[]);
+
+    let out = atsched().args(["client", &addr, "health"]).output().unwrap();
+    assert!(out.status.success(), "health: {}", String::from_utf8_lossy(&out.stderr));
+
+    let small = write_instance("roundtrip", &small_instance());
+    let out = atsched().args(["client", &addr, "solve", small.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "solve: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("active slots"), "{stdout}");
+    assert!(stdout.contains("nested"), "{stdout}");
+
+    // Service errors surface as nonzero exits with the typed kind.
+    let bad = write_instance("bad", &infeasible_instance());
+    let out = atsched().args(["client", &addr, "solve", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "infeasible solve must exit nonzero");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("infeasible"));
+
+    let out = atsched().args(["client", &addr, "stats"]).output().unwrap();
+    assert!(out.status.success());
+    let stats = String::from_utf8_lossy(&out.stdout);
+    assert!(stats.contains("\"accepted\""), "{stats}");
+
+    let out = atsched().args(["client", &addr, "shutdown"]).output().unwrap();
+    assert!(out.status.success(), "shutdown: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"completed\""));
+
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server drains to exit 0");
+}

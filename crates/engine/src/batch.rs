@@ -3,10 +3,11 @@
 use crate::cache::{CacheKey, CacheStats, SolveCache};
 use crate::isolate::{isolated, with_budget, Interrupt};
 use crate::par::default_workers;
-use crate::report::{BatchReport, CacheReport, Percentiles, StageReport};
+use crate::report::{BatchReport, CacheReport, EngineTotals, Percentiles, StageReport};
 use atsched_core::instance::Instance;
 use atsched_core::solver::{solve_nested, SolveError, SolveResult, SolverOptions};
 use crossbeam::channel;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -127,16 +128,33 @@ pub struct BatchResult {
 /// The engine owns its cache, so it can be reused across batches to
 /// carry memoized results forward; cheap to construct per batch when
 /// that is not wanted.
+///
+/// Every method takes `&self` and all mutable state (cache, counters)
+/// sits behind interior mutability, so one engine can be wrapped in an
+/// `Arc` and shared by many threads — the deployment shape of a
+/// long-lived solve service, which keeps the cache warm across
+/// requests. Lifetime outcome counters are exposed via
+/// [`Engine::totals`].
 #[derive(Debug, Default)]
 pub struct Engine {
     cfg: EngineConfig,
     cache: SolveCache,
+    totals: TotalCounters,
+}
+
+/// Lifetime outcome counters, updated lock-free on every finished solve.
+#[derive(Debug, Default)]
+struct TotalCounters {
+    solved: AtomicU64,
+    infeasible: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
 }
 
 impl Engine {
     /// Engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Self {
-        Engine { cfg, cache: SolveCache::default() }
+        Engine { cfg, cache: SolveCache::default(), totals: TotalCounters::default() }
     }
 
     /// The configuration this engine runs with.
@@ -152,6 +170,17 @@ impl Engine {
     /// Number of memoized solve outcomes currently held.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Lifetime outcome counters (across all batches and all threads
+    /// sharing this engine).
+    pub fn totals(&self) -> EngineTotals {
+        EngineTotals {
+            solved: self.totals.solved.load(Ordering::Relaxed),
+            infeasible: self.totals.infeasible.load(Ordering::Relaxed),
+            timed_out: self.totals.timed_out.load(Ordering::Relaxed),
+            failed: self.totals.failed.load(Ordering::Relaxed),
+        }
     }
 
     /// Solve every instance, in parallel, preserving input order.
@@ -203,6 +232,18 @@ impl Engine {
     /// Solve a single instance under this engine's isolation and cache
     /// policy (the unit of work a batch worker executes).
     pub fn solve_one(&self, inst: &Instance, opts: &SolverOptions) -> Outcome {
+        let outcome = self.solve_one_inner(inst, opts);
+        let counter = match &outcome {
+            Outcome::Solved(_) => &self.totals.solved,
+            Outcome::Infeasible => &self.totals.infeasible,
+            Outcome::TimedOut => &self.totals.timed_out,
+            Outcome::Failed(_) => &self.totals.failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    fn solve_one_inner(&self, inst: &Instance, opts: &SolverOptions) -> Outcome {
         let start = Instant::now();
         let key = self.cfg.cache.then(|| CacheKey::new(inst, opts));
         if let Some(key) = &key {
@@ -406,6 +447,52 @@ mod tests {
         assert!(batch.outcomes[2].is_solved(), "{:?}", batch.report);
         assert_eq!(batch.report.timed_out, 1);
         assert_eq!(batch.report.solved, 2);
+    }
+
+    #[test]
+    fn engine_is_arc_shareable_across_threads() {
+        fn assert_sync_send<T: Send + Sync>() {}
+        assert_sync_send::<Engine>();
+
+        let engine = std::sync::Arc::new(Engine::new(EngineConfig::default().workers(1)));
+        let corpus = small_corpus();
+        let opts = SolverOptions::exact();
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = std::sync::Arc::clone(&engine);
+                let corpus = &corpus;
+                let opts = &opts;
+                scope.spawn(move || {
+                    for instance in corpus {
+                        engine.solve_one(instance, opts);
+                    }
+                });
+            }
+        });
+        // 4 threads × 5 instances, every outcome counted exactly once.
+        let totals = engine.totals();
+        assert_eq!(totals.total(), 20);
+        assert_eq!(totals.solved, 16);
+        assert_eq!(totals.infeasible, 4);
+        assert_eq!(totals.failed, 0);
+        // All threads share one cache: only 4 distinct keys were solved.
+        assert_eq!(engine.cache_len(), 4);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 20);
+        // Each thread solves the duplicate item after inserting its twin
+        // itself, so at least that lookup is a guaranteed hit per thread;
+        // racing first lookups may legitimately miss.
+        assert!(stats.hits >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn totals_accumulate_across_batches() {
+        let engine = Engine::new(EngineConfig::default().workers(2));
+        engine.solve_batch(&small_corpus(), &SolverOptions::exact());
+        engine.solve_batch(&small_corpus(), &SolverOptions::exact());
+        let totals = engine.totals();
+        assert_eq!(totals, EngineTotals { solved: 8, infeasible: 2, timed_out: 0, failed: 0 });
+        assert_eq!(totals.total(), 10);
     }
 
     #[test]

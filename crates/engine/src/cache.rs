@@ -135,6 +135,132 @@ mod tests {
         assert_ne!(k_exact, k_polish);
     }
 
+    mod key_distinguishes_mutations {
+        //! Property (no false hits): any mutation of the instance
+        //! content or of the solver-options fingerprint produces a
+        //! *different* cache key, while byte-identical content produces
+        //! the same key.
+
+        use super::*;
+        use atsched_core::rounding::RoundingChoice;
+        use atsched_core::solver::LpBackend;
+        use proptest::prelude::*;
+
+        fn job() -> impl Strategy<Value = Job> {
+            (0i64..16, 1i64..12, 1i64..6).prop_map(|(r, len, p)| Job::new(r, r + len, p.min(len)))
+        }
+
+        fn instance() -> impl Strategy<Value = Instance> {
+            (1i64..5, proptest::collection::vec(job(), 1..7))
+                .prop_filter_map("valid", |(g, jobs)| Instance::new(g, jobs).ok())
+        }
+
+        fn options() -> impl Strategy<Value = SolverOptions> {
+            (0u8..3, any::<bool>(), any::<bool>(), any::<bool>(), 0u8..3, 3i64..6).prop_map(
+                |(backend, compact, use_ceiling, polish, round, depth)| SolverOptions {
+                    backend: match backend {
+                        0 => LpBackend::Exact,
+                        1 => LpBackend::Float,
+                        _ => LpBackend::FloatThenSnap,
+                    },
+                    compact,
+                    use_ceiling,
+                    polish,
+                    round_choice: match round {
+                        0 => RoundingChoice::LargestFraction,
+                        1 => RoundingChoice::FirstId,
+                        _ => RoundingChoice::Shuffled(depth as u64),
+                    },
+                    ceiling_depth: depth,
+                },
+            )
+        }
+
+        /// Apply one of the content mutations; returns `None` when the
+        /// mutation does not apply (or would not change the content).
+        fn mutate_instance(inst: &Instance, which: u8, delta: i64) -> Option<Instance> {
+            let delta = 1 + delta.abs() % 4;
+            let mut g = inst.g;
+            let mut jobs = inst.jobs.clone();
+            match which {
+                0 => g += delta,
+                1 => jobs[0].deadline += delta,
+                2 => {
+                    // Shrink processing, keeping the job valid.
+                    if jobs[0].processing == 1 {
+                        return None;
+                    }
+                    jobs[0].processing -= 1;
+                }
+                3 => jobs.push(Job::new(0, 30, 1)),
+                4 => {
+                    // Reversal only mutates content when it is not a
+                    // palindrome (the key is order-sensitive).
+                    let mut reversed = jobs.clone();
+                    reversed.reverse();
+                    if reversed == jobs {
+                        return None;
+                    }
+                    jobs = reversed;
+                }
+                _ => {
+                    if jobs.len() < 2 {
+                        return None;
+                    }
+                    jobs.pop();
+                }
+            }
+            Instance::new(g, jobs).ok()
+        }
+
+        fn mutate_options(opts: &SolverOptions, which: u8) -> SolverOptions {
+            let mut m = opts.clone();
+            match which {
+                0 => {
+                    m.backend = match m.backend {
+                        LpBackend::Exact => LpBackend::Float,
+                        _ => LpBackend::Exact,
+                    }
+                }
+                1 => m.compact = !m.compact,
+                2 => m.use_ceiling = !m.use_ceiling,
+                3 => m.polish = !m.polish,
+                4 => {
+                    m.round_choice = match m.round_choice {
+                        RoundingChoice::FirstId => RoundingChoice::LargestFraction,
+                        _ => RoundingChoice::FirstId,
+                    }
+                }
+                _ => m.ceiling_depth += 1,
+            }
+            m
+        }
+
+        proptest! {
+            #[test]
+            fn identical_content_hits_mutated_content_misses(
+                inst in instance(),
+                opts in options(),
+                which_inst in 0u8..6,
+                which_opts in 0u8..6,
+                delta in 0i64..8,
+            ) {
+                // Reflexivity: a clone is the same key (a repeat hits).
+                let key = CacheKey::new(&inst, &opts);
+                prop_assert_eq!(CacheKey::new(&inst.clone(), &opts.clone()), key.clone());
+
+                // Any instance-content mutation changes the key.
+                if let Some(mutated) = mutate_instance(&inst, which_inst, delta) {
+                    prop_assert_ne!(CacheKey::new(&mutated, &opts), key.clone());
+                }
+
+                // Any options mutation changes the fingerprint, hence the key.
+                let mutated_opts = mutate_options(&opts, which_opts);
+                prop_assert_ne!(CacheKey::new(&inst, &mutated_opts), key);
+            }
+        }
+    }
+
     #[test]
     fn counters_track_hits_and_misses() {
         let cache = SolveCache::default();

@@ -57,4 +57,4 @@ pub use batch::{BatchResult, Engine, EngineConfig, Outcome, SolvedItem};
 pub use cache::CacheStats;
 pub use isolate::{isolated, with_budget, Interrupt};
 pub use par::{par_map, par_map_workers};
-pub use report::{BatchReport, Percentiles};
+pub use report::{BatchReport, EngineTotals, Percentiles};

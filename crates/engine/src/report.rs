@@ -1,11 +1,14 @@
 //! Batch observability: latency percentiles and the JSON batch report.
 
 use atsched_core::solver::StageTimings;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// p50 / p95 / max summary of a latency sample, in milliseconds.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+///
+/// `Deserialize` as well as `Serialize`: the serve layer ships these
+/// over the wire inside `stats` replies.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct Percentiles {
     /// Median.
     pub p50: f64,
@@ -27,6 +30,28 @@ impl Percentiles {
             samples[idx]
         };
         Percentiles { p50: rank(0.50), p95: rank(0.95), max: *samples.last().unwrap() }
+    }
+}
+
+/// Lifetime outcome counters of a long-lived [`crate::Engine`]: how many
+/// solves it has finished in each terminal state since construction,
+/// across every batch and every thread sharing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineTotals {
+    /// Solves that produced a verified schedule (cache hits included).
+    pub solved: u64,
+    /// Provably infeasible instances (cache hits included).
+    pub infeasible: u64,
+    /// Solves cut off by the per-solve wall-clock budget.
+    pub timed_out: u64,
+    /// Solves that errored or panicked.
+    pub failed: u64,
+}
+
+impl EngineTotals {
+    /// Total solves finished, in any state.
+    pub fn total(&self) -> u64 {
+        self.solved + self.infeasible + self.timed_out + self.failed
     }
 }
 

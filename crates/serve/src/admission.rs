@@ -1,0 +1,192 @@
+//! Bounded admission with explicit load shedding.
+//!
+//! The server never queues unboundedly: a request either takes one of
+//! the `capacity` queue slots or is rejected *immediately* with a typed
+//! `overloaded` response ([`Admit::Full`]). Shedding at admission keeps
+//! tail latency bounded — a request that cannot start soon is cheaper
+//! to retry than to let rot in an ever-growing queue — and keeps memory
+//! use proportional to `capacity`, not to offered load.
+//!
+//! The queue is also the drain mechanism for graceful shutdown:
+//! [`AdmissionQueue::close`] atomically stops admissions while letting
+//! workers pop everything already accepted, so every admitted request
+//! is answered before the server exits.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`AdmissionQueue::try_push`] rejected an item (the item is handed
+/// back so the caller can answer its reply channel).
+#[derive(Debug)]
+pub enum Admit<T> {
+    /// All `capacity` slots are taken: shed the request.
+    Full(T),
+    /// The queue is closed: the service is draining.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer queue with non-blocking
+/// admission and blocking consumption.
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    takers: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue with the given capacity (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            takers: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit an item without ever blocking: `Err(Full)` when all slots
+    /// are taken (load shed), `Err(Closed)` after [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), Admit<T>> {
+        let mut state = self.state.lock().expect("admission lock");
+        if state.closed {
+            return Err(Admit::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(Admit::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available; `None` once the queue is closed
+    /// *and* drained — the worker-loop exit condition.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("admission lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.takers.wait(state).expect("admission lock");
+        }
+    }
+
+    /// Stop admissions; already-queued items remain poppable (drain).
+    /// Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("admission lock").closed = true;
+        self.takers.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("admission lock").items.len()
+    }
+
+    /// True when no items are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The load-shedding threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn sheds_when_full_and_rejects_when_closed() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(Admit::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "slot freed by pop");
+        q.close();
+        match q.try_push(4) {
+            Err(Admit::Closed(4)) => {}
+            other => panic!("expected Closed(4), got {other:?}"),
+        }
+        // Close drains: queued items stay poppable, then None.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let q = AdmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+        assert!(matches!(q.try_push(2), Err(Admit::Full(2))));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            })
+        };
+        thread::sleep(Duration::from_millis(20)); // let the consumer block
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_producers_never_exceed_capacity() {
+        let q = Arc::new(AdmissionQueue::new(3));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                let mut accepted = 0usize;
+                for i in 0..50 {
+                    if q.try_push(t * 1000 + i).is_ok() {
+                        accepted += 1;
+                    }
+                    assert!(q.len() <= 3, "bounded at all times");
+                }
+                accepted
+            }));
+        }
+        let accepted: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(accepted >= 3, "at least the initial fills are admitted");
+        q.close();
+        let mut drained = 0;
+        while q.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, accepted, "every admitted item is drained");
+    }
+}

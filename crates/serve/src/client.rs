@@ -1,0 +1,214 @@
+//! Blocking client for the solve service.
+//!
+//! One [`Client`] wraps one TCP connection and issues strictly
+//! sequential request/response exchanges. Correlation ids are assigned
+//! automatically and verified on every reply, so a cross-wired or
+//! out-of-order response surfaces as [`ClientError::Protocol`] instead
+//! of silently corrupting results.
+
+use crate::protocol::{Request, Response, SolveReply, StatsReply};
+use atsched_core::instance::Instance;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, read, or write).
+    Io(io::Error),
+    /// The server broke the wire protocol (closed mid-exchange, sent an
+    /// unparseable frame, or echoed the wrong correlation id).
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Service {
+        /// One of the [`kind`](crate::protocol::kind) constants.
+        kind: String,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Service { kind, message } => {
+                write!(f, "service error ({kind}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Map service failures onto the library's error type so embedders can
+/// swap a local [`Solve`](nested_active_time::Solve) for a remote call
+/// without changing their error handling.
+impl From<ClientError> for nested_active_time::Error {
+    fn from(e: ClientError) -> Self {
+        use crate::protocol::kind;
+        use nested_active_time::Error;
+        match e {
+            ClientError::Io(io) => Error::Protocol(format!("connection error: {io}")),
+            ClientError::Protocol(msg) => Error::Protocol(msg),
+            ClientError::Service { kind, message } => match kind.as_str() {
+                kind::OVERLOADED => Error::Overloaded,
+                kind::SHUTTING_DOWN => Error::ShuttingDown,
+                kind::INFEASIBLE => Error::Infeasible,
+                kind::TIMED_OUT => Error::TimedOut,
+                kind::FAILED | kind::INTERNAL => Error::Panicked(message),
+                _ => Error::Protocol(format!("{kind}: {message}")),
+            },
+        }
+    }
+}
+
+/// A blocking connection to a solve server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    /// Set (or with `None` clear) the socket read timeout — a safety
+    /// net against a hung server rather than a solve deadline; prefer
+    /// [`Request::with_timeout_ms`] for deadlines.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one request and wait for its response frame. A correlation
+    /// id is assigned when the request has none; the reply's echo is
+    /// verified. Error frames are returned as `Ok` — use the typed
+    /// helpers for `Result`-shaped calls.
+    pub fn request(&mut self, mut req: Request) -> Result<Response, ClientError> {
+        let id = *req.id.get_or_insert_with(|| {
+            let id = self.next_id;
+            self.next_id += 1;
+            id
+        });
+        let mut line = serde_json::to_string(&req)
+            .map_err(|e| ClientError::Protocol(format!("request does not serialize: {e}")))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let resp: Response = serde_json::from_str(reply.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response frame: {e}")))?;
+        // `id: null` only happens when the server could not recover an id
+        // from our frame; anything else must echo ours.
+        if let Some(echoed) = resp.id {
+            if echoed != id {
+                return Err(ClientError::Protocol(format!(
+                    "response id {echoed} does not match request id {id}"
+                )));
+            }
+        }
+        Ok(resp)
+    }
+
+    fn expect_ok(&mut self, req: Request) -> Result<Response, ClientError> {
+        let resp = self.request(req)?;
+        match resp.error {
+            Some(err) => Err(ClientError::Service { kind: err.kind, message: err.message }),
+            None => Ok(resp),
+        }
+    }
+
+    /// Solve one instance with server defaults; see [`solve`](Self::solve)
+    /// to control method, backend, seed, or deadline.
+    pub fn solve_instance(&mut self, inst: &Instance) -> Result<SolveReply, ClientError> {
+        self.solve(Request::solve(inst))
+    }
+
+    /// Issue a prepared `solve` request (built via [`Request::solve`]
+    /// and its `with_*` helpers).
+    pub fn solve(&mut self, req: Request) -> Result<SolveReply, ClientError> {
+        let resp = self.expect_ok(req)?;
+        resp.solve.ok_or_else(|| ClientError::Protocol("ok response without solve payload".into()))
+    }
+
+    /// Solve a list of instances through the server's batch engine.
+    pub fn batch(
+        &mut self,
+        instances: &[Instance],
+    ) -> Result<crate::protocol::BatchReply, ClientError> {
+        let resp = self.expect_ok(Request::batch(instances))?;
+        resp.batch.ok_or_else(|| ClientError::Protocol("ok response without batch payload".into()))
+    }
+
+    /// Fetch the server's current stats snapshot.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        let resp = self.expect_ok(Request::stats())?;
+        resp.stats.ok_or_else(|| ClientError::Protocol("ok response without stats payload".into()))
+    }
+
+    /// Liveness probe; `Err(Service { kind: "shutting_down", .. })` once
+    /// the server is draining.
+    pub fn health(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(Request::health()).map(|_| ())
+    }
+
+    /// Ask the server to drain and return its final stats snapshot.
+    /// Blocks until every admitted request has been answered.
+    pub fn shutdown(&mut self) -> Result<StatsReply, ClientError> {
+        let resp = self.expect_ok(Request::shutdown())?;
+        resp.stats.ok_or_else(|| ClientError::Protocol("shutdown ack without snapshot".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::kind;
+    use nested_active_time::Error;
+
+    #[test]
+    fn service_errors_map_onto_library_errors() {
+        let svc = |k: &str| ClientError::Service { kind: k.into(), message: "m".into() };
+        assert!(matches!(Error::from(svc(kind::OVERLOADED)), Error::Overloaded));
+        assert!(matches!(Error::from(svc(kind::SHUTTING_DOWN)), Error::ShuttingDown));
+        assert!(matches!(Error::from(svc(kind::INFEASIBLE)), Error::Infeasible));
+        assert!(matches!(Error::from(svc(kind::TIMED_OUT)), Error::TimedOut));
+        assert!(matches!(Error::from(svc(kind::FAILED)), Error::Panicked(_)));
+        assert!(matches!(Error::from(svc(kind::BAD_REQUEST)), Error::Protocol(_)));
+        assert!(matches!(Error::from(ClientError::Protocol("x".into())), Error::Protocol(_)));
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let err = ClientError::Service { kind: "overloaded".into(), message: "queue full".into() };
+        assert_eq!(err.to_string(), "service error (overloaded): queue full");
+        assert!(ClientError::Protocol("bad frame".into()).to_string().contains("bad frame"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # atsched-serve — a long-running solve service
+//!
+//! This crate turns the batch-solve engine into a network service: a
+//! threaded TCP server speaking newline-delimited JSON, sharing one
+//! [`Engine`](atsched_engine::Engine) (and therefore one content-keyed
+//! solve cache) across every connection.
+//!
+//! Built entirely on `std::net` + threads — no async runtime, no new
+//! dependencies.
+//!
+//! ## Service guarantees
+//!
+//! - **Bounded admission.** Solve work either takes a slot in a bounded
+//!   queue or is shed *immediately* with a typed `overloaded` error
+//!   ([`admission`]). The server never queues unboundedly.
+//! - **Deadlines.** Every request gets a wall-clock budget (its own
+//!   `timeout_ms` or the server default) enforced with the engine's
+//!   watchdog isolation; overruns answer `timed_out`.
+//! - **Fault containment.** A malformed frame poisons that request, not
+//!   the connection; a panicking solve poisons that request, not the
+//!   server.
+//! - **Graceful shutdown.** The `shutdown` verb stops admissions,
+//!   drains everything already accepted, and acks with the final stats
+//!   snapshot ([`shutdown`]).
+//! - **Observability.** The `stats` verb reports request counters,
+//!   cache hit rate, and end-to-end latency percentiles ([`stats`]).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use atsched_serve::{Client, Request, Server, ServerConfig};
+//! use atsched_core::instance::{Instance, Job};
+//!
+//! // Spawn a server on an ephemeral port.
+//! let server = Server::bind(ServerConfig::default().addr("127.0.0.1:0")).unwrap();
+//! let handle = server.spawn();
+//!
+//! // Talk to it.
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let inst = Instance::new(2, vec![Job::new(0, 4, 2)]).unwrap();
+//! let reply = client.solve(Request::solve(&inst).with_timeout_ms(5_000)).unwrap();
+//! println!("{} active slots via {}", reply.active_slots, reply.method);
+//!
+//! // Drain and collect the final snapshot.
+//! let final_stats = client.shutdown().unwrap();
+//! assert_eq!(final_stats.inflight, 0);
+//! handle.join().unwrap();
+//! ```
+//!
+//! The wire protocol (verbs, fields, error kinds, example frames) is
+//! documented in [`protocol`] and DESIGN.md §8.
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod shutdown;
+pub mod stats;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    kind, verb, BatchItemReply, BatchReply, ErrorInfo, Request, Response, SolveReply, StatsReply,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

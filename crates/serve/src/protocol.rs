@@ -1,0 +1,549 @@
+//! The wire protocol: newline-delimited JSON frames.
+//!
+//! One request per line, one response per line, strictly in order per
+//! connection. A request is a JSON object with a `verb` and
+//! verb-specific fields; a response echoes the request `id` and carries
+//! either a payload (on `"status": "ok"`) or a typed error (on
+//! `"status": "error"`). See `DESIGN.md` §8 for example frames.
+//!
+//! ## Encoding notes
+//!
+//! Optional request fields may simply be omitted — the hand-written
+//! [`Deserialize`] impls treat a missing field and an explicit `null`
+//! identically (the vendored serde derive requires every field to be
+//! present, which is wrong for a hand-typed wire format). Unknown
+//! request fields are rejected so typos fail loudly instead of being
+//! silently ignored. Responses likewise omit absent payloads.
+
+use atsched_core::instance::Instance;
+use atsched_core::schedule::Schedule;
+use atsched_engine::{EngineTotals, Percentiles};
+use serde::de::{from_value, Deserializer};
+use serde::ser::{to_value, Serializer};
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Request verbs.
+pub mod verb {
+    /// Solve a single instance.
+    pub const SOLVE: &str = "solve";
+    /// Solve a list of instances through the batch engine.
+    pub const BATCH: &str = "batch";
+    /// Service counters, cache statistics, and latency percentiles.
+    pub const STATS: &str = "stats";
+    /// Liveness probe.
+    pub const HEALTH: &str = "health";
+    /// Graceful shutdown: stop accepting, drain, reply with final stats.
+    pub const SHUTDOWN: &str = "shutdown";
+}
+
+/// Typed error kinds carried by `"status": "error"` responses.
+pub mod kind {
+    /// Malformed frame, unknown verb/field, or invalid instance.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The admission queue was full; the request was shed, not queued.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The service is draining and no longer accepts work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The instance admits no feasible schedule.
+    pub const INFEASIBLE: &str = "infeasible";
+    /// The per-request wall-clock deadline ran out.
+    pub const TIMED_OUT: &str = "timed_out";
+    /// The solve errored or panicked (contained).
+    pub const FAILED: &str = "failed";
+    /// The server lost the worker handling the request.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// A request frame.
+///
+/// Only `verb` is mandatory; everything else is verb-specific and
+/// optional on the wire (server-side defaults apply).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<u64>,
+    /// One of the [`verb`] constants.
+    pub verb: String,
+    /// The instance to solve (`solve`).
+    pub instance: Option<Instance>,
+    /// The instances to solve (`batch`).
+    pub instances: Option<Vec<Instance>>,
+    /// Solving path: `auto` | `nested` | `general` | `greedy` (default `auto`).
+    pub method: Option<String>,
+    /// LP backend: `exact` | `float` | `snap` (default `exact`).
+    pub backend: Option<String>,
+    /// Enable the slot-closing post-optimization (default false).
+    pub polish: Option<bool>,
+    /// Seed for the general path's shuffled candidate.
+    pub seed: Option<u64>,
+    /// Per-request wall-clock deadline in milliseconds (overrides the
+    /// server default).
+    pub timeout_ms: Option<u64>,
+    /// Return the full schedule in the reply, not just its summary.
+    pub include_schedule: Option<bool>,
+}
+
+impl Request {
+    /// A bare request with the given verb and no payload.
+    pub fn new(verb: &str) -> Request {
+        Request {
+            id: None,
+            verb: verb.to_string(),
+            instance: None,
+            instances: None,
+            method: None,
+            backend: None,
+            polish: None,
+            seed: None,
+            timeout_ms: None,
+            include_schedule: None,
+        }
+    }
+
+    /// A `solve` request for one instance.
+    pub fn solve(inst: &Instance) -> Request {
+        Request { instance: Some(inst.clone()), ..Request::new(verb::SOLVE) }
+    }
+
+    /// A `batch` request for a list of instances.
+    pub fn batch(instances: &[Instance]) -> Request {
+        Request { instances: Some(instances.to_vec()), ..Request::new(verb::BATCH) }
+    }
+
+    /// A `stats` request.
+    pub fn stats() -> Request {
+        Request::new(verb::STATS)
+    }
+
+    /// A `health` request.
+    pub fn health() -> Request {
+        Request::new(verb::HEALTH)
+    }
+
+    /// A `shutdown` request.
+    pub fn shutdown() -> Request {
+        Request::new(verb::SHUTDOWN)
+    }
+
+    /// Set the correlation id.
+    pub fn with_id(mut self, id: u64) -> Request {
+        self.id = Some(id);
+        self
+    }
+
+    /// Set the solving path (`auto` | `nested` | `general` | `greedy`).
+    pub fn with_method(mut self, method: &str) -> Request {
+        self.method = Some(method.to_string());
+        self
+    }
+
+    /// Set the LP backend (`exact` | `float` | `snap`).
+    pub fn with_backend(mut self, backend: &str) -> Request {
+        self.backend = Some(backend.to_string());
+        self
+    }
+
+    /// Enable or disable the polish post-optimization.
+    pub fn with_polish(mut self, polish: bool) -> Request {
+        self.polish = Some(polish);
+        self
+    }
+
+    /// Set the shuffle seed for the general path.
+    pub fn with_seed(mut self, seed: u64) -> Request {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Set the per-request deadline in milliseconds.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Request {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Ask for the full schedule in the reply.
+    pub fn with_schedule(mut self) -> Request {
+        self.include_schedule = Some(true);
+        self
+    }
+}
+
+/// Payload of a successful `solve`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveReply {
+    /// Active slots of the verified schedule.
+    pub active_slots: u64,
+    /// Path that produced it: `nested` | `general` | `greedy`.
+    pub method: String,
+    /// Per-instance certified approximation ratio, when available.
+    pub certified_ratio: Option<f64>,
+    /// Whether the result came from the engine's solve cache.
+    pub cached: bool,
+    /// Solve execution time in milliseconds (excludes queue wait).
+    pub elapsed_ms: f64,
+    /// The schedule itself, when `include_schedule` was set.
+    pub schedule: Option<Schedule>,
+}
+
+/// One instance's outcome inside a `batch` reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchItemReply {
+    /// Position in the request's `instances` array.
+    pub index: u64,
+    /// `solved` | `infeasible` | `timed_out` | `failed`.
+    pub outcome: String,
+    /// Active slots, for solved items.
+    pub active_slots: Option<u64>,
+    /// Whether a solved item came from the cache.
+    pub cached: Option<bool>,
+    /// Failure detail, for failed items.
+    pub message: Option<String>,
+}
+
+/// Payload of a successful `batch`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchReply {
+    /// Per-instance outcomes, in input order.
+    pub items: Vec<BatchItemReply>,
+    /// Instances in the batch.
+    pub total: u64,
+    /// Verified schedules produced.
+    pub solved: u64,
+    /// Provably infeasible instances.
+    pub infeasible: u64,
+    /// Items cut off by the per-solve budget.
+    pub timed_out: u64,
+    /// Items that errored or panicked.
+    pub failed: u64,
+    /// End-to-end batch wall-clock, milliseconds.
+    pub wall_clock_ms: f64,
+    /// Cache hits during this batch.
+    pub cache_hits: u64,
+    /// Cache misses during this batch.
+    pub cache_misses: u64,
+}
+
+/// Payload of a successful `stats` (and of the `shutdown` ack, as the
+/// final post-drain snapshot).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Time since the server started, milliseconds.
+    pub uptime_ms: f64,
+    /// Frames read off connections (including malformed ones).
+    pub received: u64,
+    /// Frames rejected before admission (parse errors, unknown verbs,
+    /// invalid instances, oversized lines).
+    pub bad_requests: u64,
+    /// Requests admitted into the solve queue.
+    pub accepted: u64,
+    /// Requests shed with a typed `overloaded` response.
+    pub rejected_overload: u64,
+    /// Requests refused because the service was draining.
+    pub rejected_shutdown: u64,
+    /// Admitted requests that received a response (any outcome).
+    pub completed: u64,
+    /// Completed requests whose outcome was `infeasible` or `failed`.
+    pub solve_errors: u64,
+    /// Completed requests that hit their wall-clock deadline.
+    pub timed_out: u64,
+    /// Admitted requests not yet answered.
+    pub inflight: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queue_len: u64,
+    /// Admission queue capacity (the load-shedding threshold).
+    pub queue_capacity: u64,
+    /// Engine cache hits over the server's lifetime.
+    pub cache_hits: u64,
+    /// Engine cache misses over the server's lifetime.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 with no lookups.
+    pub cache_hit_rate: f64,
+    /// Memoized solve outcomes currently held.
+    pub cache_entries: u64,
+    /// Lifetime engine outcome counters.
+    pub engine: EngineTotals,
+    /// End-to-end latency of completed requests (admission → response),
+    /// over a sliding window of recent requests, milliseconds.
+    pub latency_ms: Percentiles,
+}
+
+/// A typed error payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorInfo {
+    /// One of the [`kind`] constants.
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A response frame: `id` echo, `status`, and one payload at most.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's correlation id (absent when the request was too
+    /// malformed to recover one).
+    pub id: Option<u64>,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// The request verb, echoed for log readability.
+    pub verb: Option<String>,
+    /// Error payload (`status == "error"`).
+    pub error: Option<ErrorInfo>,
+    /// `solve` payload.
+    pub solve: Option<SolveReply>,
+    /// `batch` payload.
+    pub batch: Option<BatchReply>,
+    /// `stats` / `shutdown` payload.
+    pub stats: Option<StatsReply>,
+}
+
+impl Response {
+    /// An `ok` response with no payload (health, bare acks).
+    pub fn ok(id: Option<u64>, verb: &str) -> Response {
+        Response {
+            id,
+            status: "ok".into(),
+            verb: Some(verb.to_string()),
+            error: None,
+            solve: None,
+            batch: None,
+            stats: None,
+        }
+    }
+
+    /// An `ok` response carrying a solve payload.
+    pub fn ok_solve(id: Option<u64>, payload: SolveReply) -> Response {
+        Response { solve: Some(payload), ..Response::ok(id, verb::SOLVE) }
+    }
+
+    /// An `ok` response carrying a batch payload.
+    pub fn ok_batch(id: Option<u64>, payload: BatchReply) -> Response {
+        Response { batch: Some(payload), ..Response::ok(id, verb::BATCH) }
+    }
+
+    /// An `ok` response carrying a stats payload under the given verb
+    /// (`stats`, or `shutdown` for the final snapshot).
+    pub fn ok_stats(id: Option<u64>, verb: &str, payload: StatsReply) -> Response {
+        Response { stats: Some(payload), ..Response::ok(id, verb) }
+    }
+
+    /// An `error` response with the given typed kind.
+    pub fn error(id: Option<u64>, verb: Option<&str>, kind: &str, message: String) -> Response {
+        Response {
+            id,
+            status: "error".into(),
+            verb: verb.map(str::to_string),
+            error: Some(ErrorInfo { kind: kind.to_string(), message }),
+            solve: None,
+            batch: None,
+            stats: None,
+        }
+    }
+
+    /// True for `"status": "ok"`.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// The error kind, when this is an error response.
+    pub fn error_kind(&self) -> Option<&str> {
+        self.error.as_ref().map(|e| e.kind.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-written (de)serialization: omitted field == null, compact frames.
+// ---------------------------------------------------------------------
+
+fn take_field(entries: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+    entries.iter().position(|(k, _)| k == name).map(|i| entries.remove(i).1)
+}
+
+fn opt_field<T, E>(entries: &mut Vec<(String, Value)>, name: &str) -> Result<Option<T>, E>
+where
+    T: for<'a> Deserialize<'a>,
+    E: serde::de::Error,
+{
+    match take_field(entries, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => from_value(v).map(Some).map_err(|e| E::custom(format!("field `{name}`: {e}"))),
+    }
+}
+
+fn push_field<T: Serialize, E: serde::ser::Error>(
+    entries: &mut Vec<(String, Value)>,
+    name: &str,
+    value: &T,
+) -> Result<(), E> {
+    entries.push((name.to_string(), to_value(value).map_err(E::custom)?));
+    Ok(())
+}
+
+fn push_opt<T: Serialize, E: serde::ser::Error>(
+    entries: &mut Vec<(String, Value)>,
+    name: &str,
+    value: &Option<T>,
+) -> Result<(), E> {
+    if let Some(v) = value {
+        push_field(entries, name, v)?;
+    }
+    Ok(())
+}
+
+impl Serialize for Request {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut m = Vec::new();
+        push_opt(&mut m, "id", &self.id)?;
+        push_field(&mut m, "verb", &self.verb)?;
+        push_opt(&mut m, "instance", &self.instance)?;
+        push_opt(&mut m, "instances", &self.instances)?;
+        push_opt(&mut m, "method", &self.method)?;
+        push_opt(&mut m, "backend", &self.backend)?;
+        push_opt(&mut m, "polish", &self.polish)?;
+        push_opt(&mut m, "seed", &self.seed)?;
+        push_opt(&mut m, "timeout_ms", &self.timeout_ms)?;
+        push_opt(&mut m, "include_schedule", &self.include_schedule)?;
+        serializer.serialize_value(Value::Map(m))
+    }
+}
+
+impl<'de> Deserialize<'de> for Request {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries = match deserializer.deserialize_value()? {
+            Value::Map(m) => m,
+            other => {
+                return Err(serde::de::Error::custom(format!(
+                    "expected a request object, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        let req = Request {
+            id: opt_field(&mut entries, "id")?,
+            verb: opt_field::<String, D::Error>(&mut entries, "verb")?
+                .ok_or_else(|| serde::de::Error::custom("missing field `verb`"))?,
+            instance: opt_field(&mut entries, "instance")?,
+            instances: opt_field(&mut entries, "instances")?,
+            method: opt_field(&mut entries, "method")?,
+            backend: opt_field(&mut entries, "backend")?,
+            polish: opt_field(&mut entries, "polish")?,
+            seed: opt_field(&mut entries, "seed")?,
+            timeout_ms: opt_field(&mut entries, "timeout_ms")?,
+            include_schedule: opt_field(&mut entries, "include_schedule")?,
+        };
+        if let Some((key, _)) = entries.first() {
+            return Err(serde::de::Error::custom(format!("unknown field `{key}`")));
+        }
+        Ok(req)
+    }
+}
+
+impl Serialize for Response {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut m = Vec::new();
+        // `id` is always present (null when unknown) so clients can
+        // correlate even rejections of unparseable frames.
+        push_field(&mut m, "id", &self.id)?;
+        push_field(&mut m, "status", &self.status)?;
+        push_opt(&mut m, "verb", &self.verb)?;
+        push_opt(&mut m, "error", &self.error)?;
+        push_opt(&mut m, "solve", &self.solve)?;
+        push_opt(&mut m, "batch", &self.batch)?;
+        push_opt(&mut m, "stats", &self.stats)?;
+        serializer.serialize_value(Value::Map(m))
+    }
+}
+
+impl<'de> Deserialize<'de> for Response {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries = match deserializer.deserialize_value()? {
+            Value::Map(m) => m,
+            other => {
+                return Err(serde::de::Error::custom(format!(
+                    "expected a response object, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(Response {
+            id: opt_field(&mut entries, "id")?,
+            status: opt_field::<String, D::Error>(&mut entries, "status")?
+                .ok_or_else(|| serde::de::Error::custom("missing field `status`"))?,
+            verb: opt_field(&mut entries, "verb")?,
+            error: opt_field(&mut entries, "error")?,
+            solve: opt_field(&mut entries, "solve")?,
+            batch: opt_field(&mut entries, "batch")?,
+            stats: opt_field(&mut entries, "stats")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::instance::Job;
+
+    fn inst() -> Instance {
+        Instance::new(2, vec![Job::new(0, 4, 2), Job::new(1, 3, 1)]).unwrap()
+    }
+
+    #[test]
+    fn request_round_trips_and_skips_absent_fields() {
+        let req = Request::solve(&inst()).with_id(7).with_method("nested").with_timeout_ms(500);
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(!line.contains('\n'), "frames are single lines: {line}");
+        assert!(!line.contains("seed"), "absent fields are omitted: {line}");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn sparse_hand_typed_request_parses() {
+        let req: Request = serde_json::from_str(r#"{"verb":"stats"}"#).unwrap();
+        assert_eq!(req.verb, verb::STATS);
+        assert_eq!(req.id, None);
+        assert_eq!(req.instance, None);
+
+        let req: Request =
+            serde_json::from_str(r#"{"id":3,"verb":"solve","instance":{"g":2,"jobs":[{"release":0,"deadline":4,"processing":2}]},"polish":true}"#)
+                .unwrap();
+        assert_eq!(req.id, Some(3));
+        assert_eq!(req.polish, Some(true));
+        assert_eq!(req.instance.unwrap().jobs.len(), 1);
+    }
+
+    #[test]
+    fn unknown_fields_and_missing_verb_are_rejected() {
+        assert!(serde_json::from_str::<Request>(r#"{"verb":"solve","bogus":1}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"id":1}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"[1,2]"#).is_err());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response::ok_solve(
+            Some(9),
+            SolveReply {
+                active_slots: 4,
+                method: "nested".into(),
+                certified_ratio: Some(1.25),
+                cached: false,
+                elapsed_ms: 1.5,
+                schedule: None,
+            },
+        );
+        let line = serde_json::to_string(&resp).unwrap();
+        assert!(line.contains("\"id\":9"), "{line}");
+        assert!(!line.contains("error"), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.is_ok());
+        assert_eq!(back.id, Some(9));
+        assert_eq!(back.solve.unwrap().active_slots, 4);
+
+        let resp = Response::error(None, Some(verb::SOLVE), kind::OVERLOADED, "queue full".into());
+        let line = serde_json::to_string(&resp).unwrap();
+        assert!(line.starts_with("{\"id\":null"), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.error_kind(), Some(kind::OVERLOADED));
+    }
+}

@@ -1,0 +1,837 @@
+//! The threaded TCP solve server.
+//!
+//! Architecture (everything on `std::net` + threads, no async runtime):
+//!
+//! ```text
+//!            accept loop (nonblocking poll, stops on drain)
+//!                │ one thread per connection
+//!                ▼
+//!   connection handler ── read frame ── parse ── validate
+//!        │                                  │
+//!        │ stats/health/shutdown            │ solve/batch
+//!        ▼                                  ▼
+//!   answered inline            AdmissionQueue::try_push ──full──▶ `overloaded`
+//!                                           │
+//!                              worker pool (shared Engine + cache)
+//!                                           │ per-request deadline
+//!                                           ▼
+//!                              reply channel ──▶ handler writes frame
+//! ```
+//!
+//! Request/response is strictly sequential per connection: a handler
+//! reads the next frame only after writing the previous response, so
+//! replies can never cross-wire. Parallelism comes from concurrent
+//! connections feeding one bounded queue.
+
+use crate::admission::{AdmissionQueue, Admit};
+use crate::protocol::{kind, verb, BatchItemReply, BatchReply, Request, Response, SolveReply};
+use crate::shutdown::ShutdownGate;
+use crate::stats::ServerMetrics;
+use atsched_core::instance::Instance;
+use atsched_core::solver::{LpBackend, SolverOptions};
+use atsched_engine::{with_budget, Engine, EngineConfig, Interrupt, Outcome};
+use crossbeam::channel;
+use nested_active_time::{Error, Method, Solve};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server configuration (builder-style).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Solver worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Admission-queue depth — the load-shedding threshold; `0` means
+    /// `2 × workers`.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not set `timeout_ms`;
+    /// `None` disables the default cap.
+    pub default_timeout: Option<Duration>,
+    /// Maximum accepted request-frame length; longer lines get a
+    /// `bad_request` response and are skipped (the connection survives).
+    pub max_line_bytes: usize,
+    /// Artificial delay before each admitted request is executed.
+    /// Load-testing aid (lets tests saturate the queue
+    /// deterministically); keep `0` in production.
+    pub delay_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7411".into(),
+            workers: 0,
+            queue_depth: 0,
+            default_timeout: Some(Duration::from_secs(30)),
+            max_line_bytes: 1 << 20,
+            delay_ms: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Set the listen address.
+    pub fn addr(mut self, addr: &str) -> Self {
+        self.addr = addr.to_string();
+        self
+    }
+
+    /// Set the worker count (`0` = one per core).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Set the admission-queue depth (`0` = `2 × workers`).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n;
+        self
+    }
+
+    /// Set (or with `None` disable) the default per-request deadline.
+    pub fn default_timeout(mut self, budget: Option<Duration>) -> Self {
+        self.default_timeout = budget;
+        self
+    }
+
+    /// Set the artificial pre-execution delay (load-testing aid).
+    pub fn delay_ms(mut self, ms: u64) -> Self {
+        self.delay_ms = ms;
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    }
+
+    fn effective_queue_depth(&self) -> usize {
+        if self.queue_depth != 0 {
+            return self.queue_depth;
+        }
+        2 * self.effective_workers()
+    }
+}
+
+/// A validated unit of admitted work.
+#[derive(Debug)]
+enum Work {
+    Solve {
+        inst: Instance,
+        method: Method,
+        opts: SolverOptions,
+        seed: Option<u64>,
+        timeout: Option<Duration>,
+        include_schedule: bool,
+    },
+    Batch {
+        instances: Vec<Instance>,
+        opts: SolverOptions,
+        timeout: Option<Duration>,
+    },
+}
+
+/// A queued request: validated work plus its reply path.
+struct Job {
+    id: Option<u64>,
+    work: Work,
+    reply: channel::Sender<Response>,
+    admitted: Instant,
+}
+
+/// Everything shared between the accept loop, connection handlers, and
+/// workers.
+struct Shared {
+    cfg: ServerConfig,
+    engine: Engine,
+    queue: AdmissionQueue<Job>,
+    metrics: ServerMetrics,
+    gate: ShutdownGate,
+    started: Instant,
+    conns: Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
+}
+
+/// A bound (but not yet running) solve server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Join handle for a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: JoinHandle<io::Result<crate::protocol::StatsReply>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the server to drain and return its final snapshot.
+    pub fn join(self) -> io::Result<crate::protocol::StatsReply> {
+        self.join.join().unwrap_or_else(|_| Err(io::Error::other("server thread panicked")))
+    }
+}
+
+impl Server {
+    /// Bind the listen socket; the server starts serving on
+    /// [`run`](Server::run) / [`spawn`](Server::spawn).
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.effective_workers();
+        let queue = AdmissionQueue::new(cfg.effective_queue_depth());
+        let engine = Engine::new(EngineConfig::default().workers(workers));
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                cfg,
+                engine,
+                queue,
+                metrics: ServerMetrics::default(),
+                gate: ShutdownGate::default(),
+                started: Instant::now(),
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a `shutdown` request drains the server; returns the
+    /// final stats snapshot.
+    pub fn run(self) -> io::Result<crate::protocol::StatsReply> {
+        let Server { listener, addr: _, shared } = self;
+        listener.set_nonblocking(true)?;
+
+        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.effective_workers())
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        while !shared.gate.is_draining() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    let reader = match stream.try_clone() {
+                        Ok(clone) => clone,
+                        Err(_) => continue, // connection unusable; drop it
+                    };
+                    let handler = {
+                        let shared = Arc::clone(&shared);
+                        thread::spawn(move || connection_loop(&shared, reader))
+                    };
+                    shared.conns.lock().expect("conns lock").push((stream, handler));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. per-connection
+                    // resource limits); keep serving.
+                    thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        drop(listener); // stop accepting
+
+        // Drain: the queue is already closed (the shutdown handler did
+        // it); workers exit once every admitted request is answered.
+        shared.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+
+        let snapshot =
+            shared.metrics.snapshot(&shared.engine, shared.started, 0, shared.queue.capacity());
+        // Hand the snapshot to the waiting `shutdown` requester and give
+        // it a moment to write the response before teardown.
+        shared.gate.resolve(snapshot.clone(), Duration::from_secs(5));
+
+        // Unblock idle readers; handlers see EOF and exit.
+        let conns = std::mem::take(&mut *shared.conns.lock().expect("conns lock"));
+        for (stream, _) in &conns {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for (_, handler) in conns {
+            let _ = handler.join();
+        }
+        Ok(snapshot)
+    }
+
+    /// Run on a background thread (tests, embedding).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let join = thread::spawn(move || self.run());
+        ServerHandle { addr, join }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+/// One frame read off a connection.
+enum Frame {
+    /// A complete line (without the terminator).
+    Line(String),
+    /// A line that broke the framing rules; the reason goes into the
+    /// `bad_request` response. The connection stays usable.
+    Malformed(&'static str),
+    /// Peer closed (or the socket died).
+    Eof,
+}
+
+/// Read one `\n`-terminated frame, enforcing `max` bytes. Oversized
+/// lines are consumed to their terminator (so the stream stays in sync)
+/// but reported as [`Frame::Malformed`] — one bad line poisons one
+/// request, never the connection.
+fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(Frame::Eof),
+        };
+        if chunk.is_empty() {
+            // EOF: a final unterminated line is still a frame.
+            if buf.is_empty() && !oversized {
+                return Ok(Frame::Eof);
+            }
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !oversized {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                if !oversized {
+                    buf.extend_from_slice(chunk);
+                }
+                reader.consume(len);
+            }
+        }
+        if buf.len() > max {
+            oversized = true;
+            buf.clear();
+        }
+    }
+    if oversized || buf.len() > max {
+        return Ok(Frame::Malformed("request line exceeds the frame size limit"));
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop(); // tolerate CRLF clients
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Frame::Line(line)),
+        Err(_) => Ok(Frame::Malformed("request line is not valid UTF-8")),
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut line = serde_json::to_string(resp).expect("response serializes");
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn connection_loop(shared: &Shared, stream: TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while let Ok(frame) = read_frame(&mut reader, shared.cfg.max_line_bytes) {
+        let line = match frame {
+            Frame::Eof => break,
+            Frame::Malformed(reason) => {
+                shared.metrics.frame_received();
+                shared.metrics.bad_request();
+                let resp = Response::error(None, None, kind::BAD_REQUEST, reason.to_string());
+                if write_frame(&mut writer, &resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Frame::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue; // tolerate blank keep-alive lines
+        }
+        shared.metrics.frame_received();
+        let req = match serde_json::from_str::<Request>(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.metrics.bad_request();
+                let resp = Response::error(None, None, kind::BAD_REQUEST, e.to_string());
+                if write_frame(&mut writer, &resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        if req.verb == verb::SHUTDOWN {
+            if handle_shutdown(shared, req, &mut writer) {
+                break;
+            }
+            continue;
+        }
+        let resp = route(shared, req);
+        if write_frame(&mut writer, &resp).is_err() {
+            break;
+        }
+    }
+}
+
+/// Handle the `shutdown` verb; returns true when the connection should
+/// close (the server is exiting).
+fn handle_shutdown(shared: &Shared, req: Request, writer: &mut TcpStream) -> bool {
+    match shared.gate.begin() {
+        None => {
+            shared.metrics.shed_shutdown();
+            let resp = Response::error(
+                req.id,
+                Some(verb::SHUTDOWN),
+                kind::SHUTTING_DOWN,
+                "service is already draining".into(),
+            );
+            let _ = write_frame(writer, &resp);
+            false
+        }
+        Some(ticket) => {
+            // Stop admissions; queued and in-flight work still drains.
+            shared.queue.close();
+            let resp = match ticket.snapshot.recv() {
+                Ok(snapshot) => Response::ok_stats(req.id, verb::SHUTDOWN, snapshot),
+                Err(_) => Response::error(
+                    req.id,
+                    Some(verb::SHUTDOWN),
+                    kind::INTERNAL,
+                    "server exited before the final snapshot".into(),
+                ),
+            };
+            let _ = write_frame(writer, &resp);
+            let _ = ticket.written.send(());
+            true
+        }
+    }
+}
+
+/// Route a parsed (non-shutdown) request to its response. Blocks for
+/// admitted solve/batch work — per-connection request/reply stays
+/// strictly ordered.
+fn route(shared: &Shared, req: Request) -> Response {
+    match req.verb.as_str() {
+        verb::HEALTH => {
+            if shared.gate.is_draining() {
+                Response::error(
+                    req.id,
+                    Some(verb::HEALTH),
+                    kind::SHUTTING_DOWN,
+                    "service is draining".into(),
+                )
+            } else {
+                Response::ok(req.id, verb::HEALTH)
+            }
+        }
+        verb::STATS => {
+            let snapshot = shared.metrics.snapshot(
+                &shared.engine,
+                shared.started,
+                shared.queue.len(),
+                shared.queue.capacity(),
+            );
+            Response::ok_stats(req.id, verb::STATS, snapshot)
+        }
+        verb::SOLVE | verb::BATCH => admit(shared, req),
+        other => {
+            shared.metrics.bad_request();
+            Response::error(
+                req.id,
+                Some(other),
+                kind::BAD_REQUEST,
+                format!("unknown verb '{other}'"),
+            )
+        }
+    }
+}
+
+/// Validate, admit (or shed), and await the worker's reply.
+fn admit(shared: &Shared, req: Request) -> Response {
+    let id = req.id;
+    let verb_name = req.verb.clone();
+    if shared.gate.is_draining() {
+        shared.metrics.shed_shutdown();
+        return Response::error(
+            id,
+            Some(verb_name.as_str()),
+            kind::SHUTTING_DOWN,
+            "service is draining".into(),
+        );
+    }
+    let work = match validate(&req, shared.cfg.default_timeout) {
+        Ok(work) => work,
+        Err(message) => {
+            shared.metrics.bad_request();
+            return Response::error(id, Some(verb_name.as_str()), kind::BAD_REQUEST, message);
+        }
+    };
+    let (reply_tx, reply_rx) = channel::bounded(1);
+    let job = Job { id, work, reply: reply_tx, admitted: Instant::now() };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared.metrics.admitted();
+            reply_rx.recv().unwrap_or_else(|_| {
+                Response::error(
+                    id,
+                    Some(verb_name.as_str()),
+                    kind::INTERNAL,
+                    "worker exited before answering".into(),
+                )
+            })
+        }
+        Err(Admit::Full(_)) => {
+            shared.metrics.shed_overload();
+            Response::error(
+                id,
+                Some(verb_name.as_str()),
+                kind::OVERLOADED,
+                format!("admission queue full ({} slots)", shared.queue.capacity()),
+            )
+        }
+        Err(Admit::Closed(_)) => {
+            shared.metrics.shed_shutdown();
+            Response::error(
+                id,
+                Some(verb_name.as_str()),
+                kind::SHUTTING_DOWN,
+                "service is draining".into(),
+            )
+        }
+    }
+}
+
+/// Turn a wire request into validated work, applying server defaults.
+fn validate(req: &Request, default_timeout: Option<Duration>) -> Result<Work, String> {
+    let opts = {
+        let mut opts = SolverOptions::exact();
+        opts.backend = match req.backend.as_deref() {
+            None | Some("exact") => LpBackend::Exact,
+            Some("float") => LpBackend::Float,
+            Some("snap") => LpBackend::FloatThenSnap,
+            Some(other) => return Err(format!("unknown backend '{other}' (exact|float|snap)")),
+        };
+        opts.polish = req.polish.unwrap_or(false);
+        opts
+    };
+    let timeout = req.timeout_ms.map(Duration::from_millis).or(default_timeout);
+    match req.verb.as_str() {
+        verb::SOLVE => {
+            let raw = req.instance.as_ref().ok_or("solve needs an `instance`")?;
+            let inst = Instance::new(raw.g, raw.jobs.clone())
+                .map_err(|e| format!("invalid instance: {e}"))?;
+            let method: Method = req.method.as_deref().unwrap_or("auto").parse()?;
+            Ok(Work::Solve {
+                inst,
+                method,
+                opts,
+                seed: req.seed,
+                timeout,
+                include_schedule: req.include_schedule.unwrap_or(false),
+            })
+        }
+        verb::BATCH => {
+            let raw = req.instances.as_ref().ok_or("batch needs `instances`")?;
+            let mut instances = Vec::with_capacity(raw.len());
+            for (i, r) in raw.iter().enumerate() {
+                instances.push(
+                    Instance::new(r.g, r.jobs.clone())
+                        .map_err(|e| format!("invalid instance at index {i}: {e}"))?,
+                );
+            }
+            Ok(Work::Batch { instances, opts, timeout })
+        }
+        other => Err(format!("verb '{other}' is not admittable")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        if shared.cfg.delay_ms > 0 {
+            thread::sleep(Duration::from_millis(shared.cfg.delay_ms));
+        }
+        let Job { id, work, reply, admitted } = job;
+        let resp = match work {
+            Work::Solve { inst, method, opts, seed, timeout, include_schedule } => {
+                execute_solve(shared, id, inst, method, opts, seed, timeout, include_schedule)
+            }
+            Work::Batch { instances, opts, timeout } => {
+                execute_batch(shared, id, instances, opts, timeout)
+            }
+        };
+        let deadline_overrun = resp.error_kind() == Some(kind::TIMED_OUT);
+        let solve_error = matches!(resp.error_kind(), Some(kind::INFEASIBLE) | Some(kind::FAILED));
+        shared.metrics.finished(
+            admitted.elapsed().as_secs_f64() * 1e3,
+            deadline_overrun,
+            solve_error,
+        );
+        // The handler may have died with its connection; nothing to do.
+        let _ = reply.send(resp);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_solve(
+    shared: &Arc<Shared>,
+    id: Option<u64>,
+    inst: Instance,
+    method: Method,
+    opts: SolverOptions,
+    seed: Option<u64>,
+    timeout: Option<Duration>,
+    include_schedule: bool,
+) -> Response {
+    let start = Instant::now();
+    // Auto-dispatch mirrors the `Solve` facade: nested when laminar.
+    let method = match method {
+        Method::Auto => {
+            if inst.check_laminar().is_ok() {
+                Method::Nested
+            } else {
+                Method::General
+            }
+        }
+        other => other,
+    };
+    if method == Method::Nested {
+        // Nested solves go through the shared engine so repeats across
+        // requests (and clients) hit its content-keyed cache.
+        let outcome = match timeout {
+            None => shared.engine.solve_one(&inst, &opts),
+            Some(budget) => {
+                let engine_shared = Arc::clone(shared);
+                let inst = inst.clone();
+                let opts = opts.clone();
+                match with_budget(move || engine_shared.engine.solve_one(&inst, &opts), budget) {
+                    Ok(outcome) => outcome,
+                    Err(Interrupt::TimedOut) => Outcome::TimedOut,
+                    Err(Interrupt::Panicked(msg)) => Outcome::Failed(msg),
+                }
+            }
+        };
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            Outcome::Solved(item) => Response::ok_solve(
+                id,
+                SolveReply {
+                    active_slots: item.result.schedule.active_time() as u64,
+                    method: "nested".into(),
+                    certified_ratio: Some(item.result.stats.opened_over_lp),
+                    cached: item.cached,
+                    elapsed_ms,
+                    schedule: include_schedule.then(|| item.result.schedule.clone()),
+                },
+            ),
+            Outcome::Infeasible => Response::error(
+                id,
+                Some(verb::SOLVE),
+                kind::INFEASIBLE,
+                "instance is infeasible".into(),
+            ),
+            Outcome::TimedOut => deadline_response(id, verb::SOLVE, timeout),
+            Outcome::Failed(msg) => Response::error(id, Some(verb::SOLVE), kind::FAILED, msg),
+        }
+    } else {
+        let mut solve = Solve::new(&inst).method(method).options(opts);
+        if let Some(seed) = seed {
+            solve = solve.seed(seed);
+        }
+        if let Some(budget) = timeout {
+            solve = solve.timeout(budget);
+        }
+        let result = solve.run();
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        match result {
+            Ok(outcome) => Response::ok_solve(
+                id,
+                SolveReply {
+                    active_slots: outcome.active_time() as u64,
+                    method: outcome.method_label().into(),
+                    certified_ratio: outcome.certified_ratio(),
+                    cached: false,
+                    elapsed_ms,
+                    schedule: include_schedule.then(|| outcome.schedule().clone()),
+                },
+            ),
+            Err(Error::Infeasible) => Response::error(
+                id,
+                Some(verb::SOLVE),
+                kind::INFEASIBLE,
+                "instance is infeasible".into(),
+            ),
+            Err(Error::TimedOut) => deadline_response(id, verb::SOLVE, timeout),
+            Err(Error::Instance(e)) => {
+                Response::error(id, Some(verb::SOLVE), kind::BAD_REQUEST, e.to_string())
+            }
+            Err(e) => Response::error(id, Some(verb::SOLVE), kind::FAILED, e.to_string()),
+        }
+    }
+}
+
+fn execute_batch(
+    shared: &Arc<Shared>,
+    id: Option<u64>,
+    instances: Vec<Instance>,
+    opts: SolverOptions,
+    timeout: Option<Duration>,
+) -> Response {
+    let result = match timeout {
+        None => shared.engine.solve_batch(&instances, &opts),
+        Some(budget) => {
+            let engine_shared = Arc::clone(shared);
+            let opts = opts.clone();
+            match with_budget(move || engine_shared.engine.solve_batch(&instances, &opts), budget) {
+                Ok(result) => result,
+                Err(Interrupt::TimedOut) => return deadline_response(id, verb::BATCH, timeout),
+                Err(Interrupt::Panicked(msg)) => {
+                    return Response::error(id, Some(verb::BATCH), kind::FAILED, msg)
+                }
+            }
+        }
+    };
+    let items = result
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(index, outcome)| BatchItemReply {
+            index: index as u64,
+            outcome: outcome.label().to_string(),
+            active_slots: outcome.as_solved().map(|s| s.result.schedule.active_time() as u64),
+            cached: outcome.as_solved().map(|s| s.cached),
+            message: match outcome {
+                Outcome::Failed(msg) => Some(msg.clone()),
+                _ => None,
+            },
+        })
+        .collect();
+    let report = &result.report;
+    Response::ok_batch(
+        id,
+        BatchReply {
+            items,
+            total: report.total as u64,
+            solved: report.solved as u64,
+            infeasible: report.infeasible as u64,
+            timed_out: report.timed_out as u64,
+            failed: report.failed as u64,
+            wall_clock_ms: report.wall_clock_ms,
+            cache_hits: report.cache.hits,
+            cache_misses: report.cache.misses,
+        },
+    )
+}
+
+fn deadline_response(id: Option<u64>, verb_name: &str, timeout: Option<Duration>) -> Response {
+    let budget = timeout.map(|t| t.as_millis()).unwrap_or(0);
+    Response::error(
+        id,
+        Some(verb_name),
+        kind::TIMED_OUT,
+        format!("request exceeded its {budget} ms deadline"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_frame_splits_lines_and_survives_oversize() {
+        let data = b"short\nway too long line here\nnext\n";
+        let mut reader = BufReader::new(Cursor::new(&data[..]));
+        match read_frame(&mut reader, 10).unwrap() {
+            Frame::Line(s) => assert_eq!(s, "short"),
+            _ => panic!("expected a line"),
+        }
+        assert!(matches!(read_frame(&mut reader, 10).unwrap(), Frame::Malformed(_)));
+        // The oversized line was consumed to its terminator: the stream
+        // is back in sync.
+        match read_frame(&mut reader, 10).unwrap() {
+            Frame::Line(s) => assert_eq!(s, "next"),
+            _ => panic!("expected a line"),
+        }
+        assert!(matches!(read_frame(&mut reader, 10).unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn read_frame_handles_crlf_final_fragment_and_bad_utf8() {
+        let mut reader = BufReader::new(Cursor::new(&b"a\r\ntail"[..]));
+        match read_frame(&mut reader, 100).unwrap() {
+            Frame::Line(s) => assert_eq!(s, "a"),
+            _ => panic!("expected a line"),
+        }
+        match read_frame(&mut reader, 100).unwrap() {
+            Frame::Line(s) => assert_eq!(s, "tail"),
+            _ => panic!("unterminated final line is still a frame"),
+        }
+        let mut reader = BufReader::new(Cursor::new(&b"\xff\xfe\n"[..]));
+        assert!(matches!(read_frame(&mut reader, 100).unwrap(), Frame::Malformed(_)));
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let err = validate(&Request::new(verb::SOLVE), None).unwrap_err();
+        assert!(err.contains("instance"), "{err}");
+
+        let bad = Request {
+            instance: Some(Instance { g: 0, jobs: Vec::new() }),
+            ..Request::new(verb::SOLVE)
+        };
+        let err = validate(&bad, None).unwrap_err();
+        assert!(err.contains("invalid instance"), "{err}");
+
+        let inst = Instance::new(2, vec![atsched_core::instance::Job::new(0, 4, 2)]).unwrap();
+        let err = validate(&Request::solve(&inst).with_method("fancy"), None).unwrap_err();
+        assert!(err.contains("unknown method"), "{err}");
+        let err = validate(&Request::solve(&inst).with_backend("gpu"), None).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+
+        // Defaults flow through.
+        match validate(&Request::solve(&inst), Some(Duration::from_secs(1))).unwrap() {
+            Work::Solve { timeout, method, include_schedule, .. } => {
+                assert_eq!(timeout, Some(Duration::from_secs(1)));
+                assert_eq!(method, Method::Auto);
+                assert!(!include_schedule);
+            }
+            _ => panic!("expected solve work"),
+        }
+    }
+}

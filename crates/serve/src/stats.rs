@@ -1,0 +1,191 @@
+//! Service observability: lock-free request counters and a sliding
+//! latency window, snapshotted into [`StatsReply`] frames.
+
+use crate::protocol::StatsReply;
+use atsched_engine::{Engine, Percentiles};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many recent end-to-end latencies the percentile window keeps.
+/// Old samples are overwritten ring-buffer style, so `stats` reflects
+/// recent behavior, not the whole process lifetime.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Fixed-capacity ring of latency samples (milliseconds).
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, ms: f64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(ms);
+        } else {
+            self.samples[self.next] = ms;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+}
+
+/// Request counters, all behind interior mutability so every connection
+/// and worker thread shares one instance through an `Arc`.
+pub struct ServerMetrics {
+    received: AtomicU64,
+    bad_requests: AtomicU64,
+    accepted: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    completed: AtomicU64,
+    solve_errors: AtomicU64,
+    timed_out: AtomicU64,
+    inflight: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            received: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            solve_errors: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing { samples: Vec::new(), next: 0 }),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// A frame was read off a connection (well-formed or not).
+    pub fn frame_received(&self) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A frame was rejected before admission.
+    pub fn bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered the admission queue.
+    pub fn admitted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was shed because the queue was full.
+    pub fn shed_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was refused because the service is draining.
+    pub fn shed_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request finished with the given disposition.
+    pub fn finished(&self, latency_ms: f64, deadline_overrun: bool, solve_error: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        if deadline_overrun {
+            self.timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+        if solve_error {
+            self.solve_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latencies.lock().expect("latency lock").push(latency_ms);
+    }
+
+    /// Requests admitted but not yet answered.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Build a wire-ready snapshot of everything observable.
+    pub fn snapshot(
+        &self,
+        engine: &Engine,
+        started: Instant,
+        queue_len: usize,
+        queue_capacity: usize,
+    ) -> StatsReply {
+        let cache = engine.cache_stats();
+        let latency_ms = {
+            let ring = self.latencies.lock().expect("latency lock");
+            Percentiles::from_samples(ring.samples.clone())
+        };
+        StatsReply {
+            uptime_ms: started.elapsed().as_secs_f64() * 1e3,
+            received: self.received.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            solve_errors: self.solve_errors.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            queue_len: queue_len as u64,
+            queue_capacity: queue_capacity as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_hit_rate: cache.hit_rate(),
+            cache_entries: engine.cache_len() as u64,
+            engine: engine.totals(),
+            latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_engine::EngineConfig;
+
+    #[test]
+    fn counters_and_snapshot() {
+        let m = ServerMetrics::default();
+        m.frame_received();
+        m.frame_received();
+        m.bad_request();
+        m.admitted();
+        m.admitted();
+        m.shed_overload();
+        m.finished(2.0, false, false);
+        m.finished(4.0, true, false);
+        assert_eq!(m.inflight(), 0);
+
+        let engine = Engine::new(EngineConfig::default());
+        let snap = m.snapshot(&engine, Instant::now(), 3, 8);
+        assert_eq!(snap.received, 2);
+        assert_eq!(snap.bad_requests, 1);
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected_overload, 1);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.timed_out, 1);
+        assert_eq!(snap.queue_len, 3);
+        assert_eq!(snap.queue_capacity, 8);
+        assert!(snap.latency_ms.max >= 4.0);
+        // The snapshot survives the wire format.
+        let line = serde_json::to_string(&snap).unwrap();
+        let back: StatsReply = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.accepted, 2);
+        assert_eq!(back.engine.solved, 0);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let m = ServerMetrics::default();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            m.admitted();
+            m.finished(i as f64, false, false);
+        }
+        let ring = m.latencies.lock().unwrap();
+        assert_eq!(ring.samples.len(), LATENCY_WINDOW);
+    }
+}

@@ -31,6 +31,13 @@ pub enum Error {
     Panicked(String),
     /// Reading, writing, or parsing instances / records failed.
     Io(IoError),
+    /// A solve service shed the request: its admission queue was full.
+    Overloaded,
+    /// A solve service is draining and no longer accepts work.
+    ShuttingDown,
+    /// A wire-protocol failure talking to a solve service (malformed
+    /// frame, unexpected reply, broken connection).
+    Protocol(String),
 }
 
 impl fmt::Display for Error {
@@ -42,6 +49,9 @@ impl fmt::Display for Error {
             Error::TimedOut => write!(f, "solve exceeded its wall-clock budget"),
             Error::Panicked(msg) => write!(f, "solver panicked: {msg}"),
             Error::Io(e) => write!(f, "{e}"),
+            Error::Overloaded => write!(f, "service overloaded: admission queue is full"),
+            Error::ShuttingDown => write!(f, "service is shutting down"),
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }
@@ -52,7 +62,12 @@ impl std::error::Error for Error {
             Error::Instance(e) => Some(e),
             Error::Lp(e) => Some(e),
             Error::Io(e) => Some(e),
-            Error::Infeasible | Error::TimedOut | Error::Panicked(_) => None,
+            Error::Infeasible
+            | Error::TimedOut
+            | Error::Panicked(_)
+            | Error::Overloaded
+            | Error::ShuttingDown
+            | Error::Protocol(_) => None,
         }
     }
 }
@@ -110,5 +125,11 @@ mod tests {
 
         let e: Error = IoError::Parse { line: 3, message: "bad".into() }.into();
         assert!(e.to_string().contains("line 3"));
+
+        assert!(Error::Overloaded.to_string().contains("admission queue"));
+        assert!(Error::ShuttingDown.to_string().contains("shutting down"));
+        let e = Error::Protocol("bad frame".into());
+        assert!(e.to_string().contains("bad frame"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

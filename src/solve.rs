@@ -51,6 +51,34 @@ pub enum Method {
     Greedy,
 }
 
+impl Method {
+    /// Short stable label (`auto` / `nested` / `general` / `greedy`),
+    /// the inverse of [`Method::from_str`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Auto => "auto",
+            Method::Nested => "nested",
+            Method::General => "general",
+            Method::Greedy => "greedy",
+        }
+    }
+}
+
+impl std::str::FromStr for Method {
+    type Err = String;
+
+    /// Parse the labels used by the CLI and the serve wire protocol.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Method::Auto),
+            "nested" => Ok(Method::Nested),
+            "general" => Ok(Method::General),
+            "greedy" => Ok(Method::Greedy),
+            other => Err(format!("unknown method '{other}' (expected auto|nested|general|greedy)")),
+        }
+    }
+}
+
 /// How a [`SolveOutcome`] was produced, with path-specific detail.
 #[non_exhaustive]
 #[derive(Debug, Clone)]
@@ -318,6 +346,14 @@ mod tests {
         let i = inst(2, vec![(0, 6, 2), (1, 4, 1)]);
         let out = Solve::new(&i).timeout(Duration::from_secs(60)).run().unwrap();
         out.schedule().verify(&i).unwrap();
+    }
+
+    #[test]
+    fn method_labels_round_trip() {
+        for m in [Method::Auto, Method::Nested, Method::General, Method::Greedy] {
+            assert_eq!(m.label().parse::<Method>().unwrap(), m);
+        }
+        assert!("fancy".parse::<Method>().is_err());
     }
 
     #[test]
