@@ -1,0 +1,164 @@
+//! `atsched-bench` — the default perf-baseline binary (`cargo run -p
+//! atsched-bench`).
+//!
+//! Runs a fixed seeded laminar corpus through the batch engine twice —
+//! once with observation recording on, once with it disabled — and
+//! emits a `BENCH_pr3.json` baseline: per-stage p50/p95 latencies from
+//! the `span.*` histograms, algorithm counters (LP pivots, flow
+//! augmentations), end-to-end solve percentiles, and the measured
+//! instrumentation overhead. CI uploads the file as an artifact so
+//! future PRs can diff the perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p atsched-bench -- \
+//!     [--count N] [--g N] [--horizon N] [--seed N] [--runs N] [--out FILE]
+//! ```
+
+use atsched_core::solver::SolverOptions;
+use atsched_engine::{Engine, EngineConfig};
+use atsched_obs as obs;
+use atsched_workloads::generators::{random_laminar, LaminarConfig};
+use serde::ser::{Serialize, Serializer};
+use serde::value::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wrapper giving a hand-built [`Value`] tree a `Serialize` impl (the
+/// vendored serde stub has none for `Value` itself).
+struct Json(Value);
+
+impl Serialize for Json {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.0.clone())
+    }
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let count: usize = flag(&args, "--count", 32usize)?;
+    let g: i64 = flag(&args, "--g", 4i64)?;
+    let horizon: i64 = flag(&args, "--horizon", 48i64)?;
+    let seed: u64 = flag(&args, "--seed", 1u64)?;
+    let runs: usize = flag(&args, "--runs", 3usize)?.max(1);
+    let out: String = flag(&args, "--out", "BENCH_pr3.json".to_string())?;
+
+    let cfg = LaminarConfig { g, horizon, ..Default::default() };
+    let instances: Vec<_> =
+        (0..count).map(|i| random_laminar(&cfg, seed.wrapping_add(i as u64))).collect();
+    let opts = SolverOptions::exact();
+
+    // The solve cache would turn every run after the first into a
+    // lookup benchmark; disable it so each run does the same work.
+    let engine_cfg = || EngineConfig::default().cache(false);
+
+    // Warm-up (page in code, stabilize allocator) — not measured.
+    Engine::new(engine_cfg().observe(false)).solve_batch(&instances, &opts);
+
+    // Observed runs share one registry so histograms accumulate over
+    // `runs x count` solves; wall-clock is the best of the runs.
+    let registry = Arc::new(obs::Registry::new());
+    let mut observed_best = Duration::MAX;
+    for _ in 0..runs {
+        let engine = Engine::with_registry(engine_cfg().observe(true), Arc::clone(&registry));
+        let start = Instant::now();
+        engine.solve_batch(&instances, &opts);
+        observed_best = observed_best.min(start.elapsed());
+    }
+
+    let mut disabled_best = Duration::MAX;
+    for _ in 0..runs {
+        let engine = Engine::new(engine_cfg().observe(false));
+        let start = Instant::now();
+        engine.solve_batch(&instances, &opts);
+        disabled_best = disabled_best.min(start.elapsed());
+    }
+
+    let observed_ms = observed_best.as_secs_f64() * 1e3;
+    let disabled_ms = disabled_best.as_secs_f64() * 1e3;
+    let overhead_pct =
+        if disabled_ms > 0.0 { (observed_ms - disabled_ms) / disabled_ms * 100.0 } else { 0.0 };
+
+    let snapshot = registry.snapshot();
+
+    // Per-stage summary: `span.<stage>.ms` histograms (skip the
+    // `.self_ms` companions — the full trace keeps those).
+    let mut stages = Vec::new();
+    for (name, h) in &snapshot.histograms {
+        let stage = match name.strip_prefix("span.").and_then(|n| n.strip_suffix(".ms")) {
+            Some(s) if !s.ends_with(".self") => s,
+            _ => continue,
+        };
+        stages.push((
+            stage.to_string(),
+            Value::Map(vec![
+                ("count".into(), Value::UInt(h.count)),
+                ("p50_ms".into(), Value::Float(h.p50)),
+                ("p95_ms".into(), Value::Float(h.p95)),
+                ("max_ms".into(), Value::Float(h.max)),
+            ]),
+        ));
+    }
+
+    let counters: Vec<(String, Value)> =
+        snapshot.counters.iter().map(|(n, v)| (n.clone(), Value::UInt(*v))).collect();
+
+    let solve = snapshot.histogram("engine.solve_ms");
+    let report = Value::Map(vec![
+        ("bench".into(), Value::Str("atsched-bench baseline (PR3)".into())),
+        (
+            "corpus".into(),
+            Value::Map(vec![
+                ("count".into(), Value::UInt(count as u64)),
+                ("g".into(), Value::Int(g)),
+                ("horizon".into(), Value::Int(horizon)),
+                ("seed".into(), Value::UInt(seed)),
+            ]),
+        ),
+        ("runs".into(), Value::UInt(runs as u64)),
+        (
+            "wall_clock".into(),
+            Value::Map(vec![
+                ("observed_ms".into(), Value::Float(observed_ms)),
+                ("disabled_ms".into(), Value::Float(disabled_ms)),
+                ("overhead_pct".into(), Value::Float(overhead_pct)),
+            ]),
+        ),
+        (
+            "solve_ms".into(),
+            Value::Map(vec![
+                ("count".into(), Value::UInt(solve.map_or(0, |s| s.count))),
+                ("p50".into(), Value::Float(solve.map_or(0.0, |s| s.p50))),
+                ("p95".into(), Value::Float(solve.map_or(0.0, |s| s.p95))),
+                ("max".into(), Value::Float(solve.map_or(0.0, |s| s.max))),
+            ]),
+        ),
+        ("stages".into(), Value::Map(stages)),
+        ("counters".into(), Value::Map(counters)),
+    ]);
+
+    let json = serde_json::to_string_pretty(&Json(report)).map_err(|e| e.to_string())?;
+    std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("{json}");
+    eprintln!(
+        "baseline written to {out} ({count} instances x {runs} runs; \
+         observed {observed_ms:.1} ms vs disabled {disabled_ms:.1} ms, {overhead_pct:+.2}%)"
+    );
+    Ok(())
+}

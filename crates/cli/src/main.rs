@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! atsched generate --g 3 --horizon 24 --seed 7 --out inst.json
-//! atsched solve inst.json [--float|--snap] [--polish] [--no-ceiling] [--schedule out.json]
+//! atsched solve inst.json [--float|--snap] [--polish] [--no-ceiling] [--schedule out.json] [--metrics]
 //! atsched batch [inst.json ...] [--count N] [--workers N] [--no-cache] [--timeout-ms N] [--check]
+//!               [--trace-out trace.json]
 //! atsched opt inst.json [--parallel]
 //! atsched greedy inst.json [--order ltr|rtl|rand]
 //! atsched verify inst.json schedule.json
@@ -62,9 +63,10 @@ atsched — nested active-time scheduling (SPAA 2022 reproduction)
 USAGE:
   atsched generate [--g N] [--horizon N] [--seed N] [--out FILE]
   atsched solve INSTANCE.{json,txt} [--float|--snap] [--polish] [--no-ceiling] [--schedule FILE] [--svg FILE]
+                [--metrics]
   atsched batch [INSTANCE ...] [--count N] [--g N] [--horizon N] [--seed N]
                 [--workers N] [--no-cache] [--timeout-ms N] [--float|--snap] [--polish]
-                [--check] [--keep-going] [--out FILE]
+                [--check] [--keep-going] [--out FILE] [--trace-out FILE]
   atsched opt INSTANCE.json [--parallel]
   atsched greedy INSTANCE.json [--order ltr|rtl|rand]
   atsched verify INSTANCE.json SCHEDULE.json
@@ -131,6 +133,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
+    use atsched_obs as obs;
+    use std::sync::Arc;
+
     let path = args.first().ok_or("solve needs an instance file")?;
     let inst = load(path)?;
     let mut opts = SolverOptions::exact();
@@ -146,7 +151,15 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     if has_flag(args, "--no-ceiling") {
         opts.use_ceiling = false;
     }
-    let result = solve_nested(&inst, &opts).map_err(|e| e.to_string())?;
+    let metrics = has_flag(args, "--metrics");
+    let registry = Arc::new(obs::Registry::new());
+    let result = if metrics {
+        let collector = obs::Collector::new(Arc::clone(&registry));
+        obs::with_collector(collector, || solve_nested(&inst, &opts))
+    } else {
+        solve_nested(&inst, &opts)
+    }
+    .map_err(|e| e.to_string())?;
     println!("jobs            : {}", inst.num_jobs());
     println!("g               : {}", inst.g);
     println!("LP lower bound  : {:.4}", result.stats.lp_objective);
@@ -169,6 +182,11 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         let svg = to_svg(&inst, &result.schedule, &SvgOptions::default());
         std::fs::write(out, svg).map_err(|e| e.to_string())?;
         eprintln!("gantt chart written to {out}");
+    }
+    if metrics {
+        let json = serde_json::to_string_pretty(&registry.snapshot()).map_err(|e| e.to_string())?;
+        println!();
+        println!("{json}");
     }
     Ok(())
 }
@@ -222,8 +240,17 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         cfg = cfg.timeout(std::time::Duration::from_millis(ms));
     }
 
-    let engine = Engine::new(cfg);
+    let trace = flag_value(args, "--trace-out")
+        .map(|path| (path.to_string(), std::sync::Arc::new(atsched_obs::TraceBuffer::new())));
+    let mut engine = Engine::new(cfg);
+    if let Some((_, buffer)) = &trace {
+        engine = engine.with_trace(std::sync::Arc::clone(buffer));
+    }
     let batch = engine.solve_batch(&instances, &opts);
+    if let Some((path, buffer)) = &trace {
+        std::fs::write(path, buffer.to_chrome_json()).map_err(|e| e.to_string())?;
+        eprintln!("trace written to {path} ({} events; load via chrome://tracing)", buffer.len());
+    }
 
     if has_flag(args, "--check") {
         let sequential = Engine::new(EngineConfig::default().workers(1).cache(false))

@@ -23,6 +23,7 @@ use crate::transform::push_down;
 use crate::tree::Forest;
 use atsched_lp::Scalar;
 use atsched_num::Ratio;
+use atsched_obs as obs;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -234,12 +235,17 @@ pub fn solve_nested(inst: &Instance, opts: &SolverOptions) -> Result<SolveResult
             forest: Forest { nodes: Vec::new(), roots: Vec::new(), job_node: Vec::new() },
         });
     }
+    // Outer span: covers the whole pipeline (dropped when the chosen
+    // backend returns). Stage spans nest inside it.
+    let _solve_span = obs::Span::enter("solve");
     let stage = Instant::now();
+    let span = obs::Span::enter("canonicalize");
     let forest = Forest::build(inst).map_err(SolveError::Instance)?;
     let nodes_original = forest.num_nodes();
     let canon = canonicalize(&forest, inst);
     let bounds = opt23::compute(&canon, inst);
     let timings = StageTimings { canonicalize: stage.elapsed(), ..StageTimings::default() };
+    drop(span);
 
     match opts.backend {
         LpBackend::Exact => {
@@ -264,6 +270,7 @@ fn run_snap_pipeline(
     mut timings: StageTimings,
 ) -> Result<SolveResult, SolveError> {
     let stage = Instant::now();
+    let lp_span = obs::Span::enter("lp");
     let mut lp = build_opts::<f64>(&canon, inst, bounds, opts.use_ceiling);
     if opts.use_ceiling && opts.ceiling_depth > 3 {
         let deep = crate::opt23::compute_deep(&canon, inst, opts.ceiling_depth);
@@ -300,11 +307,13 @@ fn run_snap_pipeline(
         let groups = crate::lp_model::group_jobs(&canon, inst);
         if sol_q.check(&canon, inst, &groups).is_ok() {
             timings.lp += stage.elapsed();
+            drop(lp_span);
             return finish_pipeline::<Ratio>(inst, canon, nodes_original, opts, sol_q, timings);
         }
     }
     // Snap failed LP feasibility: fall back to the plain float pipeline.
     timings.lp += stage.elapsed();
+    drop(lp_span);
     finish_pipeline::<f64>(inst, canon, nodes_original, opts, sol_f, timings)
 }
 
@@ -317,6 +326,7 @@ fn run_pipeline<S: Scalar>(
     mut timings: StageTimings,
 ) -> Result<SolveResult, SolveError> {
     let stage = Instant::now();
+    let lp_span = obs::Span::enter("lp");
     let mut lp = build_opts::<S>(&canon, inst, bounds, opts.use_ceiling);
     if opts.use_ceiling && opts.ceiling_depth > 3 {
         let deep = crate::opt23::compute_deep(&canon, inst, opts.ceiling_depth);
@@ -327,6 +337,7 @@ fn run_pipeline<S: Scalar>(
         NestedLpError::Solver(e) => SolveError::Lp(e),
     })?;
     timings.lp = stage.elapsed();
+    drop(lp_span);
     finish_pipeline::<S>(inst, canon, nodes_original, opts, sol, timings)
 }
 
@@ -344,6 +355,7 @@ fn finish_pipeline<S: Scalar>(
     let lp_exact = exact_objective_string(&sol.objective);
 
     let stage = Instant::now();
+    let span = obs::Span::enter("transform");
     let transformed = push_down(&canon, sol);
     debug_assert!(crate::transform::check_claim1(
         &canon,
@@ -352,8 +364,10 @@ fn finish_pipeline<S: Scalar>(
     )
     .is_ok());
     timings.transform = stage.elapsed();
+    drop(span);
 
     let stage = Instant::now();
+    let span = obs::Span::enter("round");
     let rounded = crate::rounding::round_with(
         &canon,
         &transformed.solution,
@@ -362,8 +376,10 @@ fn finish_pipeline<S: Scalar>(
     );
     debug_assert!(check_budget(&canon, &transformed.solution, &rounded).is_ok());
     timings.round = stage.elapsed();
+    drop(span);
 
     let stage = Instant::now();
+    let span = obs::Span::enter("extract");
     // Materialize and extract; repair only if extraction falls short
     // (never on the exact path — Theorem 4.5).
     let mut z = rounded.z.clone();
@@ -424,10 +440,13 @@ fn finish_pipeline<S: Scalar>(
         schedule.compact();
     }
     timings.extract = stage.elapsed();
+    drop(span);
 
     let stage = Instant::now();
+    let span = obs::Span::enter("verify");
     schedule.verify(inst).expect("extracted schedule must verify; this is a bug");
     timings.verify = stage.elapsed();
+    drop(span);
 
     let opened_slots: i64 = opened_before_polish - polish_closed;
     let stats = SolveStats {

@@ -6,8 +6,10 @@ use crate::par::default_workers;
 use crate::report::{BatchReport, CacheReport, EngineTotals, Percentiles, StageReport};
 use atsched_core::instance::Instance;
 use atsched_core::solver::{solve_nested, SolveError, SolveResult, SolverOptions};
+use atsched_obs as obs;
 use crossbeam::channel;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -22,11 +24,16 @@ pub struct EngineConfig {
     pub cache: bool,
     /// Per-solve wall-clock budget; `None` means unlimited.
     pub timeout: Option<Duration>,
+    /// Install a metrics collector around each solve (default true).
+    /// When false, deep-crate counters/spans see no collector and
+    /// reduce to a thread-local null check — the baseline for
+    /// measuring instrumentation overhead.
+    pub observe: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: 0, queue_depth: 0, cache: true, timeout: None }
+        EngineConfig { workers: 0, queue_depth: 0, cache: true, timeout: None, observe: true }
     }
 }
 
@@ -52,6 +59,12 @@ impl EngineConfig {
     /// Set a per-solve wall-clock budget.
     pub fn timeout(mut self, budget: Duration) -> Self {
         self.timeout = Some(budget);
+        self
+    }
+
+    /// Enable or disable metric collection around each solve.
+    pub fn observe(mut self, on: bool) -> Self {
+        self.observe = on;
         self
     }
 
@@ -140,6 +153,8 @@ pub struct Engine {
     cfg: EngineConfig,
     cache: SolveCache,
     totals: TotalCounters,
+    registry: Arc<obs::Registry>,
+    trace: Option<Arc<obs::TraceBuffer>>,
 }
 
 /// Lifetime outcome counters, updated lock-free on every finished solve.
@@ -152,9 +167,34 @@ struct TotalCounters {
 }
 
 impl Engine {
-    /// Engine with the given configuration.
+    /// Engine with the given configuration and a fresh metric registry.
     pub fn new(cfg: EngineConfig) -> Self {
-        Engine { cfg, cache: SolveCache::default(), totals: TotalCounters::default() }
+        Self::with_registry(cfg, Arc::new(obs::Registry::new()))
+    }
+
+    /// Engine writing metrics into a shared registry — the deployment
+    /// shape of the serve layer, where server-level counters and
+    /// solver-level counters land in one snapshot.
+    pub fn with_registry(cfg: EngineConfig, registry: Arc<obs::Registry>) -> Self {
+        Engine {
+            cfg,
+            cache: SolveCache::default(),
+            totals: TotalCounters::default(),
+            registry,
+            trace: None,
+        }
+    }
+
+    /// Attach a trace buffer: every solver span is also appended as a
+    /// Chrome trace event (see [`obs::TraceBuffer::to_chrome_json`]).
+    pub fn with_trace(mut self, trace: Arc<obs::TraceBuffer>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The metric registry this engine writes into.
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// The configuration this engine runs with.
@@ -232,7 +272,15 @@ impl Engine {
     /// Solve a single instance under this engine's isolation and cache
     /// policy (the unit of work a batch worker executes).
     pub fn solve_one(&self, inst: &Instance, opts: &SolverOptions) -> Outcome {
-        let outcome = self.solve_one_inner(inst, opts);
+        let outcome = if self.cfg.observe {
+            let mut collector = obs::Collector::new(Arc::clone(&self.registry));
+            if let Some(trace) = &self.trace {
+                collector = collector.with_trace(Arc::clone(trace));
+            }
+            obs::with_collector(collector, || self.solve_one_inner(inst, opts))
+        } else {
+            self.solve_one_inner(inst, opts)
+        };
         let counter = match &outcome {
             Outcome::Solved(_) => &self.totals.solved,
             Outcome::Infeasible => &self.totals.infeasible,
@@ -240,6 +288,12 @@ impl Engine {
             Outcome::Failed(_) => &self.totals.failed,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.observe {
+            self.registry.counter(&format!("engine.outcome.{}", outcome.label())).inc();
+            if let Some(item) = outcome.as_solved() {
+                self.registry.histogram("engine.solve_ms").record(item.elapsed.as_secs_f64() * 1e3);
+            }
+        }
         outcome
     }
 
@@ -314,7 +368,7 @@ impl Engine {
                 misses: delta.misses,
                 hit_rate: delta.hit_rate(),
             },
-            latency_ms: Percentiles::from_samples(latencies),
+            latency_ms: Percentiles::summarize(latencies),
             stages_ms: StageReport::from_timings(&timings),
         }
     }
@@ -483,6 +537,71 @@ mod tests {
         // itself, so at least that lookup is a guaranteed hit per thread;
         // racing first lookups may legitimately miss.
         assert!(stats.hits >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn batch_populates_registry_with_stage_spans_and_algorithm_counters() {
+        // One worker: the duplicate instance is a deterministic cache
+        // hit, making span counts exact.
+        let engine = Engine::new(EngineConfig::default().workers(1));
+        let batch = engine.solve_batch(&small_corpus(), &SolverOptions::exact());
+        assert_eq!(batch.report.solved, 4);
+        let snap = engine.registry().snapshot();
+        // Outcome counters match the report (cache hits included).
+        assert_eq!(snap.counter("engine.outcome.solved"), Some(4));
+        assert_eq!(snap.counter("engine.outcome.infeasible"), Some(1));
+        // The simplex really pivoted and the LP layer saw solves.
+        assert!(snap.counter("lp.pivots").unwrap_or(0) > 0, "{snap:?}");
+        assert!(snap.counter("lp.solves").unwrap_or(0) > 0, "{snap:?}");
+        // Extraction ran max-flow feasibility checks.
+        assert!(snap.counter("flow.max_flow_calls").unwrap_or(0) > 0, "{snap:?}");
+        assert!(snap.counter("flow.augmenting_paths").unwrap_or(0) > 0, "{snap:?}");
+        // 4 non-cached solver runs reach the lp stage; the infeasible
+        // one stops there, so the later stages see 3.
+        for stage in ["solve", "canonicalize", "lp"] {
+            let h = snap
+                .histogram(&format!("span.{stage}.ms"))
+                .unwrap_or_else(|| panic!("missing span.{stage}.ms in {snap:?}"));
+            assert_eq!(h.count, 4, "stage {stage}");
+        }
+        for stage in ["transform", "round", "extract", "verify"] {
+            let h = snap
+                .histogram(&format!("span.{stage}.ms"))
+                .unwrap_or_else(|| panic!("missing span.{stage}.ms in {snap:?}"));
+            assert_eq!(h.count, 3, "stage {stage}");
+        }
+        // Nesting: the outer solve span dominates every stage's total.
+        let solve = snap.histogram("span.solve.ms").unwrap();
+        let lp = snap.histogram("span.lp.ms").unwrap();
+        assert!(solve.max >= lp.max);
+        // End-to-end engine latency histogram covers cache hits too.
+        assert_eq!(snap.histogram("engine.solve_ms").unwrap().count, 4);
+    }
+
+    #[test]
+    fn observe_disabled_leaves_registry_empty() {
+        let engine = Engine::new(EngineConfig::default().workers(1).observe(false));
+        let batch = engine.solve_batch(&small_corpus(), &SolverOptions::exact());
+        assert_eq!(batch.report.solved, 4);
+        let snap = engine.registry().snapshot();
+        assert!(snap.counters.is_empty(), "{snap:?}");
+        assert!(snap.histograms.is_empty(), "{snap:?}");
+    }
+
+    #[test]
+    fn trace_buffer_collects_nested_stage_events() {
+        let trace = std::sync::Arc::new(obs::TraceBuffer::new());
+        let engine = Engine::new(EngineConfig::default().workers(1))
+            .with_trace(std::sync::Arc::clone(&trace));
+        engine.solve_batch(&small_corpus(), &SolverOptions::exact());
+        let events = trace.events();
+        // 3 full solves × 7 spans + 1 infeasible × 3 spans; the cache
+        // hit skips the solver entirely.
+        assert_eq!(events.len(), 24, "{events:?}");
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"name\":\"solve\""));
+        assert!(json.contains("\"name\":\"lp\""));
+        assert!(json.contains("\"ph\":\"X\""));
     }
 
     #[test]

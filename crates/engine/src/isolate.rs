@@ -5,6 +5,7 @@
 //! layers (the facade's `Solve` builder, the CLI) can wrap arbitrary
 //! solve paths the same way.
 
+use atsched_obs as obs;
 use crossbeam::channel;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
@@ -34,14 +35,26 @@ pub fn isolated<T, F: FnOnce() -> T>(work: F) -> Result<T, Interrupt> {
 /// exits on its own, and the result is discarded — the caller moves on
 /// immediately. Callers that cannot tolerate a lingering computation
 /// should make the work itself interruptible instead.
+///
+/// The caller's metrics collector (if any) is re-installed inside the
+/// helper thread, so counters and spans emitted by the work land in the
+/// same registry as in-place execution — including when the work
+/// panics (spans record on drop, during the unwind) or overruns the
+/// budget (the abandoned thread still flushes into the shared registry
+/// when it eventually finishes).
 pub fn with_budget<T, F>(work: F, budget: Duration) -> Result<T, Interrupt>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
+    let collector = obs::current_collector();
     let (tx, rx) = channel::bounded(1);
     thread::spawn(move || {
-        let res = catch_unwind(AssertUnwindSafe(work));
+        let contained = || catch_unwind(AssertUnwindSafe(work));
+        let res = match collector {
+            Some(c) => obs::with_collector(c, contained),
+            None => contained(),
+        };
         // Receiver may be gone after a timeout; that is fine.
         let _ = tx.send(res);
     });
@@ -83,6 +96,54 @@ mod tests {
             Err(Interrupt::Panicked(msg)) => assert!(msg.contains("boom 7"), "{msg}"),
             other => panic!("expected Panicked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn with_budget_flushes_counters_and_spans_on_panic() {
+        use std::sync::Arc;
+        let reg = Arc::new(obs::Registry::new());
+        obs::with_collector(obs::Collector::new(Arc::clone(&reg)), || {
+            let res = with_budget(
+                || -> u8 {
+                    let _span = obs::Span::enter("doomed_stage");
+                    obs::counter_add("work.progress", 3);
+                    panic!("injected failure")
+                },
+                Duration::from_secs(10),
+            );
+            assert!(matches!(res, Err(Interrupt::Panicked(_))), "{res:?}");
+        });
+        // The counter bumped before the panic and the span (recorded on
+        // drop, during the unwind) both landed in the caller's registry
+        // even though the work ran on a helper thread and died.
+        assert_eq!(reg.counter("work.progress").get(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("span.doomed_stage.ms").unwrap().count, 1);
+    }
+
+    #[test]
+    fn with_budget_timeout_flushes_late_but_flushes() {
+        use std::sync::Arc;
+        let reg = Arc::new(obs::Registry::new());
+        let res = obs::with_collector(obs::Collector::new(Arc::clone(&reg)), || {
+            with_budget(
+                || {
+                    thread::sleep(Duration::from_millis(80));
+                    obs::counter_add("late.work", 1);
+                    0u8
+                },
+                Duration::from_millis(10),
+            )
+        });
+        assert_eq!(res, Err(Interrupt::TimedOut));
+        // The abandoned helper thread still writes into the shared
+        // registry when it eventually finishes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while reg.counter("late.work").get() == 0 {
+            assert!(std::time::Instant::now() < deadline, "late flush never arrived");
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(reg.counter("late.work").get(), 1);
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! Batch observability: latency percentiles and the JSON batch report.
 
 use atsched_core::solver::StageTimings;
+use atsched_obs::{Histogram, HistogramSnapshot};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// p50 / p95 / max summary of a latency sample, in milliseconds.
+///
+/// Backed by the shared [`atsched_obs::Histogram`] — the workspace's
+/// single percentile implementation — so p50/p95 are nearest-rank
+/// log-bucket upper bounds (within ~19% of the exact sample value)
+/// while `max` stays exact.
 ///
 /// `Deserialize` as well as `Serialize`: the serve layer ships these
 /// over the wire inside `stats` replies.
@@ -19,17 +25,24 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Nearest-rank percentiles over a sample; all-zero when empty.
-    pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        if samples.is_empty() {
-            return Percentiles::default();
+    /// Summary of a live histogram.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        Percentiles { p50: h.percentile(0.50), p95: h.percentile(0.95), max: h.max() }
+    }
+
+    /// Summary of a frozen histogram snapshot.
+    pub fn from_snapshot(s: &HistogramSnapshot) -> Self {
+        Percentiles { p50: s.p50, p95: s.p95, max: s.max }
+    }
+
+    /// Summarize a sample by routing it through a histogram; all-zero
+    /// when empty.
+    pub fn summarize(samples: impl IntoIterator<Item = f64>) -> Self {
+        let h = Histogram::new();
+        for s in samples {
+            h.record(s);
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let rank = |p: f64| -> f64 {
-            let idx = (p * (samples.len() - 1) as f64).round() as usize;
-            samples[idx]
-        };
-        Percentiles { p50: rank(0.50), p95: rank(0.95), max: *samples.last().unwrap() }
+        Self::from_histogram(&h)
     }
 }
 
@@ -87,7 +100,7 @@ impl StageReport {
     /// Summarize a set of per-solve stage timings.
     pub fn from_timings(timings: &[StageTimings]) -> Self {
         let ms = |pick: fn(&StageTimings) -> Duration| {
-            Percentiles::from_samples(timings.iter().map(|t| pick(t).as_secs_f64() * 1e3).collect())
+            Percentiles::summarize(timings.iter().map(|t| pick(t).as_secs_f64() * 1e3))
         };
         StageReport {
             canonicalize: ms(|t| t.canonicalize),
@@ -164,11 +177,16 @@ mod tests {
 
     #[test]
     fn percentiles_of_known_sample() {
-        let p = Percentiles::from_samples((1..=100).map(|x| x as f64).collect());
-        assert_eq!(p.p50, 51.0); // nearest rank on 0-indexed 99 * 0.5 = 49.5 -> 50
-        assert_eq!(p.p95, 95.0);
+        let p = Percentiles::summarize((1..=100).map(|x| x as f64));
+        // Histogram buckets grow by 2^(1/4): percentiles are upper
+        // bounds within ~19% of the exact nearest-rank value; max is
+        // tracked exactly.
+        assert!(p.p50 >= 50.0 && p.p50 <= 50.0 * 1.19, "p50 = {}", p.p50);
+        assert!(p.p95 >= 95.0 && p.p95 <= 95.0 * 1.19, "p95 = {}", p.p95);
         assert_eq!(p.max, 100.0);
-        let empty = Percentiles::from_samples(Vec::new());
+        assert!(p.p50 <= p.p95 && p.p95 <= p.max);
+        let empty = Percentiles::summarize(Vec::new());
+        assert_eq!(empty.p50, 0.0);
         assert_eq!(empty.max, 0.0);
     }
 

@@ -4,6 +4,7 @@
 //! networks produced by scheduling feasibility checks — comfortably fast
 //! for every workload in this repository.
 
+use atsched_obs as obs;
 use std::collections::VecDeque;
 
 /// Handle to an edge added with [`FlowNetwork::add_edge`]; lets callers
@@ -85,16 +86,25 @@ impl FlowNetwork {
         let mut total = 0i64;
         let mut level = vec![-1i32; n];
         let mut iter = vec![0usize; n];
+        // Metrics are accumulated locally and flushed once per call so
+        // the inner loops stay free of thread-local lookups.
+        let mut bfs_phases = 0u64;
+        let mut augmenting_paths = 0u64;
         loop {
             if !self.bfs(s, t, &mut level) {
+                obs::counter_add("flow.max_flow_calls", 1);
+                obs::counter_add("flow.bfs_phases", bfs_phases);
+                obs::counter_add("flow.augmenting_paths", augmenting_paths);
                 return total;
             }
+            bfs_phases += 1;
             iter.iter_mut().for_each(|v| *v = 0);
             loop {
                 let f = self.dfs(s, t, i64::MAX, &level, &mut iter);
                 if f == 0 {
                     break;
                 }
+                augmenting_paths += 1;
                 total += f;
             }
         }

@@ -8,6 +8,7 @@
 use crate::model::{Cmp, Constraint, LpError, LpStatus, Model, Solution, SolveInfo};
 use crate::presolve::{inflate, presolve};
 use crate::scalar::Scalar;
+use atsched_obs as obs;
 
 /// Hard iteration cap (per phase). Protects the `f64` instantiation from
 /// tolerance-induced stalls; never reached by the exact path in practice.
@@ -157,6 +158,7 @@ fn reduced_costs<S: Scalar>(tab: &Tableau<S>, costs: &[S]) -> (Vec<S>, S) {
 pub(crate) fn solve_detailed<S: Scalar>(
     model: &Model<S>,
 ) -> Result<(Solution<S>, SolveInfo), LpError> {
+    obs::counter_add("lp.solves", 1);
     let mut info =
         SolveInfo { vars: model.num_vars(), rows: model.num_constraints(), ..SolveInfo::default() };
     let pre = match presolve(model) {
@@ -174,6 +176,8 @@ pub(crate) fn solve_detailed<S: Scalar>(
     };
     info.presolve_fixed = pre.vars_fixed;
     info.presolve_rows_dropped = pre.rows_dropped;
+    obs::counter_add("lp.presolve_fixed", pre.vars_fixed as u64);
+    obs::counter_add("lp.presolve_rows_dropped", pre.rows_dropped as u64);
 
     let (reduced_sol, pivots, _) = solve_core(&pre.model, false)?;
     info.pivots = pivots;
@@ -193,7 +197,20 @@ pub(crate) fn solve_detailed<S: Scalar>(
 /// Solution, pivot count, and (when requested) the dual values.
 type CoreOutput<S> = (Solution<S>, usize, Option<Vec<S>>);
 
+/// [`solve_core_inner`] plus the `lp.pivots` metric: counting in this
+/// wrapper covers both the presolved ([`solve_detailed`]) and the dual
+/// ([`solve_with_duals`]) entry points, whichever return path the inner
+/// solve takes.
 fn solve_core<S: Scalar>(model: &Model<S>, want_duals: bool) -> Result<CoreOutput<S>, LpError> {
+    let out = solve_core_inner(model, want_duals)?;
+    obs::counter_add("lp.pivots", out.1 as u64);
+    Ok(out)
+}
+
+fn solve_core_inner<S: Scalar>(
+    model: &Model<S>,
+    want_duals: bool,
+) -> Result<CoreOutput<S>, LpError> {
     let n = model.num_vars();
     let m = model.constraints.len();
     let mut pivots = 0usize;

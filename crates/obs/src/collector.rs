@@ -1,0 +1,139 @@
+//! Thread-local collector plumbing.
+//!
+//! Deep crates (`lp`, `flow`, `core`) emit metrics without knowing who
+//! owns the registry: the driver (engine, bench, tests) installs a
+//! [`Collector`] for the duration of a solve with [`with_collector`],
+//! and the emission helpers here silently no-op when none is installed.
+
+use crate::registry::Registry;
+use crate::trace::TraceBuffer;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Destination for metrics and trace events: a registry plus an
+/// optional trace buffer. Cheap to clone (two `Arc`s).
+#[derive(Debug, Clone)]
+pub struct Collector {
+    /// Metric destination.
+    pub registry: Arc<Registry>,
+    /// Optional span trace destination.
+    pub trace: Option<Arc<TraceBuffer>>,
+}
+
+impl Collector {
+    /// Collector writing metrics to `registry`, with no tracing.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Collector { registry, trace: None }
+    }
+
+    /// Attach a trace buffer for span events.
+    pub fn with_trace(mut self, trace: Arc<TraceBuffer>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed collector on drop — including
+/// during panic unwinding, so an unwound solve never leaks its
+/// collector into unrelated work on the same thread.
+struct Restore(Option<Collector>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Run `f` with `collector` installed as this thread's metric
+/// destination; the previous collector (if any) is restored afterwards,
+/// even if `f` panics.
+pub fn with_collector<R>(collector: Collector, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(collector));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The collector currently installed on this thread, if any. Use this
+/// to propagate collection onto helper threads (see
+/// `engine::isolate::with_budget`).
+pub fn current_collector() -> Option<Collector> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether a collector is installed on this thread.
+pub fn is_collecting() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Add `delta` to counter `name` in the installed registry; no-op when
+/// no collector is installed.
+pub fn counter_add(name: &str, delta: u64) {
+    if let Some(c) = current_collector() {
+        c.registry.counter(name).add(delta);
+    }
+}
+
+/// Add `delta` to gauge `name` in the installed registry; no-op when no
+/// collector is installed.
+pub fn gauge_add(name: &str, delta: i64) {
+    if let Some(c) = current_collector() {
+        c.registry.gauge(name).add(delta);
+    }
+}
+
+/// Record `value` into histogram `name` in the installed registry;
+/// no-op when no collector is installed.
+pub fn histogram_record(name: &str, value: f64) {
+    if let Some(c) = current_collector() {
+        c.registry.histogram(name).record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emission_is_a_noop_without_a_collector() {
+        assert!(!is_collecting());
+        counter_add("orphan", 1); // must not panic
+        histogram_record("orphan.ms", 1.0);
+    }
+
+    #[test]
+    fn with_collector_installs_and_restores() {
+        let reg = Arc::new(Registry::new());
+        with_collector(Collector::new(Arc::clone(&reg)), || {
+            assert!(is_collecting());
+            counter_add("seen", 2);
+        });
+        assert!(!is_collecting());
+        assert_eq!(reg.counter("seen").get(), 2);
+    }
+
+    #[test]
+    fn collector_is_restored_after_a_panic() {
+        let outer = Arc::new(Registry::new());
+        let inner = Arc::new(Registry::new());
+        with_collector(Collector::new(Arc::clone(&outer)), || {
+            let inner = Arc::clone(&inner);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_collector(Collector::new(inner), || {
+                    counter_add("inner", 1);
+                    panic!("boom");
+                })
+            }));
+            assert!(result.is_err());
+            // The outer collector is back in place after the unwind.
+            counter_add("outer", 1);
+        });
+        assert_eq!(inner.counter("inner").get(), 1);
+        assert_eq!(outer.counter("outer").get(), 1);
+        assert_eq!(outer.counter("inner").get(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Observability layer for the nested active-time scheduling workspace.
+//!
+//! This crate is deliberately dependency-free (the optional `serde`
+//! feature pulls in only the workspace's vendored stub, for wire
+//! snapshots). It provides three cooperating pieces:
+//!
+//! * **Metrics** — [`Counter`], [`Gauge`], and a fixed log-bucket
+//!   [`Histogram`] with nearest-rank p50/p95/p99, owned by a
+//!   global-free [`Registry`]. Anything that wants metrics holds (or is
+//!   handed) an `Arc<Registry>`; there is no process-wide singleton, so
+//!   two engines in one process never share or clobber counters.
+//! * **Collector plumbing** — deep crates (`lp`, `flow`, `core`) cannot
+//!   know who owns the registry, so emission goes through a
+//!   thread-local [`Collector`] installed with [`with_collector`] by
+//!   whoever drives a solve (the engine). The free functions
+//!   [`counter_add`] / [`histogram_record`] and [`Span::enter`] no-op
+//!   cheaply when no collector is installed, which is also the
+//!   "recording disabled" mode used to measure instrumentation
+//!   overhead.
+//! * **Spans** — [`Span::enter("lp")`](Span::enter) returns an RAII
+//!   guard that records `span.lp.ms` (wall) and `span.lp.self_ms`
+//!   (wall minus enclosed child spans) histograms on drop, and appends
+//!   a complete event to the optional [`TraceBuffer`], exportable as
+//!   Chrome trace-event JSON (`chrome://tracing` / Perfetto).
+//!   Recording happens in `Drop`, so timings survive panics unwinding
+//!   through `catch_unwind`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod metrics;
+mod registry;
+#[cfg(feature = "serde")]
+mod serde_impls;
+mod span;
+mod trace;
+
+pub use collector::{
+    counter_add, current_collector, gauge_add, histogram_record, is_collecting, with_collector,
+    Collector,
+};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{HistogramSnapshot, Registry, RegistrySnapshot};
+pub use span::Span;
+pub use trace::{TraceBuffer, TraceEvent};

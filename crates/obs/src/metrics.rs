@@ -1,0 +1,309 @@
+//! Counter, gauge, and fixed log-bucket histogram primitives.
+//!
+//! All three are lock-free (atomics only) so hot solver loops can bump
+//! them without contention; aggregation work is deferred to snapshot
+//! time.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed instantaneous value (e.g. in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Lowest bucket upper bound, in the recorded unit (we use milliseconds
+/// for latencies: 1µs resolution at the bottom).
+const MIN_BOUND: f64 = 1e-3;
+/// Geometric bucket growth factor: 2^(1/4), i.e. four buckets per
+/// doubling, ≤ ~19% relative error on any reported percentile.
+const GROWTH: f64 = 1.189_207_115_002_721;
+/// Number of finite buckets; bucket `i` covers
+/// `(MIN_BOUND·GROWTH^(i-1), MIN_BOUND·GROWTH^i]`, bucket 0 covers
+/// `(-inf, MIN_BOUND]`. 128 buckets reach ~4.3e6 ms (≈72 minutes).
+pub(crate) const BUCKETS: usize = 128;
+
+/// Fixed log-bucket histogram with exact count/sum/min/max and
+/// nearest-rank percentiles over the bucket bounds.
+///
+/// Values are `f64`; negative or NaN samples are clamped into the
+/// lowest bucket / ignored respectively. Percentiles return the upper
+/// bound of the bucket holding the nearest-rank sample, clamped to the
+/// exact observed maximum, so they are upper bounds within one bucket
+/// width (≤ ~19%) of the true sample percentile.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Samples above the last finite bucket bound.
+    overflow: AtomicU64,
+    count: AtomicU64,
+    /// f64 bit patterns, CAS-updated.
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Upper bound of finite bucket `i`.
+    pub(crate) fn bound(i: usize) -> f64 {
+        MIN_BOUND * GROWTH.powi(i as i32)
+    }
+
+    /// Index of the bucket a value falls into; `BUCKETS` means overflow.
+    pub(crate) fn bucket_index(v: f64) -> usize {
+        if v <= MIN_BOUND {
+            return 0;
+        }
+        // Walk up from the log estimate to absorb float rounding: the
+        // invariant is simply "first bucket whose bound >= v".
+        let mut i = ((v / MIN_BOUND).ln() / GROWTH.ln()).floor() as usize;
+        i = i.min(BUCKETS);
+        while i < BUCKETS && Self::bound(i) < v {
+            i += 1;
+        }
+        i
+    }
+
+    /// Record one sample. NaN samples are ignored.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = Self::bucket_index(v);
+        if idx >= BUCKETS {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum, |s| s + v);
+        atomic_f64_update(&self.min, |m| m.min(v));
+        atomic_f64_update(&self.max, |m| m.max(v));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+
+    /// Exact minimum sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        f64::from_bits(self.min.load(Ordering::Relaxed))
+    }
+
+    /// Exact maximum sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        f64::from_bits(self.max.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Nearest-rank percentile `q ∈ [0, 1]`: upper bound of the bucket
+    /// containing the ⌈q·n⌉-th smallest sample, clamped to the exact
+    /// observed max. Returns 0.0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: 1-based rank ⌈q·n⌉, at least 1.
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty `(upper_bound, count)` bucket pairs, in ascending
+    /// order; the overflow bucket reports `f64::INFINITY` as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        for i in 0..BUCKETS {
+            let c = self.buckets[i].load(Ordering::Relaxed);
+            if c > 0 {
+                out.push((Self::bound(i), c));
+            }
+        }
+        let over = self.overflow.load(Ordering::Relaxed);
+        if over > 0 {
+            out.push((f64::INFINITY, over));
+        }
+        out
+    }
+}
+
+/// CAS-loop update of an `AtomicU64` holding f64 bits.
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bound_invariant() {
+        for &v in &[0.0, 1e-9, 1e-3, 1.5e-3, 1.0, 17.0, 4.0e6, 1.0e12] {
+            let i = Histogram::bucket_index(v);
+            if i < BUCKETS {
+                assert!(Histogram::bound(i) >= v, "bound({i}) < {v}");
+                if i > 0 {
+                    assert!(Histogram::bound(i - 1) < v, "not the first bucket for {v}");
+                }
+            } else {
+                assert!(Histogram::bound(BUCKETS - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_exact_everywhere() {
+        let h = Histogram::new();
+        h.record(3.25);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 3.25);
+        assert_eq!(h.max(), 3.25);
+        assert_eq!(h.mean(), 3.25);
+        // One sample: every percentile is clamped to the exact max.
+        assert_eq!(h.percentile(0.0), 3.25);
+        assert_eq!(h.percentile(0.5), 3.25);
+        assert_eq!(h.percentile(1.0), 3.25);
+    }
+
+    #[test]
+    fn percentile_is_within_one_bucket_of_true_value() {
+        let h = Histogram::new();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        for &(q, truth) in &[(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.percentile(q);
+            assert!(got >= truth, "p{q}: {got} < {truth}");
+            assert!(got <= truth * GROWTH, "p{q}: {got} > {truth}·growth");
+        }
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.percentile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn overflow_samples_are_counted_and_clamped_to_max() {
+        let h = Histogram::new();
+        h.record(1.0e12);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(0.99), 1.0e12);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 1);
+        assert!(buckets[0].0.is_infinite());
+    }
+}

@@ -1,0 +1,212 @@
+//! Global-free metric registry and its serializable snapshot types.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Named home for counters, gauges, and histograms.
+///
+/// Instruments are created on first use and interned by name, so
+/// `registry.counter("lp.pivots")` is cheap after the first call and
+/// always returns the same underlying atomic. There is no global
+/// registry: owners (the engine, the server) create one and hand out
+/// `Arc<Registry>` clones.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<String, Arc<Counter>>>,
+    gauges: Mutex<HashMap<String, Arc<Gauge>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &lock(&self.counters).len())
+            .field("gauges", &lock(&self.gauges).len())
+            .field("histograms", &lock(&self.histograms).len())
+            .finish()
+    }
+}
+
+/// Ignore mutex poisoning: metric maps stay structurally valid even if
+/// a panic unwound through an insert.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock(&self.counters);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock(&self.gauges);
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut counters: Vec<(String, u64)> =
+            lock(&self.counters).iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, i64)> =
+            lock(&self.gauges).iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSnapshot)> = lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), HistogramSnapshot::of(v)))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        RegistrySnapshot { counters, gauges, histograms }
+    }
+}
+
+/// Frozen percentile summary of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Exact observed minimum (0.0 when empty).
+    pub min: f64,
+    /// Exact observed maximum (0.0 when empty).
+    pub max: f64,
+    /// Nearest-rank 50th percentile (bucket upper bound).
+    pub p50: f64,
+    /// Nearest-rank 95th percentile (bucket upper bound).
+    pub p95: f64,
+    /// Nearest-rank 99th percentile (bucket upper bound).
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// Summarize a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.percentile(0.50),
+            p95: h.percentile(0.95),
+            p99: h.percentile(0.99),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], sorted by instrument name.
+///
+/// With the `serde` feature this serializes as a three-key map
+/// (`counters`, `gauges`, `histograms`), each a name → value map — the
+/// wire format of the serve `stats` verb and `atsched solve --metrics`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Counter value by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram summary by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn instruments_are_interned_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        assert_eq!(reg.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_eight_threads() {
+        let reg = Arc::new(Registry::new());
+        let per_thread = 10_000u64;
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let c = reg.counter("shared");
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("shared").get(), 8 * per_thread);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").inc();
+        reg.gauge("g").set(-4);
+        reg.histogram("h").record(2.0);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(snap.gauge("g"), Some(-4));
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 2.0);
+        assert!(snap.histogram("missing").is_none());
+    }
+}

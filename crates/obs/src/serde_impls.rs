@@ -1,0 +1,152 @@
+//! Wire (de)serialization for snapshot types, behind the `serde`
+//! feature.
+//!
+//! The vendored serde stub has no map `Serialize` impls, so the
+//! name-keyed sections are built manually as `Value::Map` trees — the
+//! same idiom `crates/serve/src/protocol.rs` uses. On the wire a
+//! [`RegistrySnapshot`] is:
+//!
+//! ```json
+//! {
+//!   "counters":   { "lp.pivots": 42, ... },
+//!   "gauges":     { "serve.inflight": 0, ... },
+//!   "histograms": { "span.lp.ms": { "count": 9, "sum": ..., "min": ...,
+//!                                    "max": ..., "p50": ..., "p95": ...,
+//!                                    "p99": ... }, ... }
+//! }
+//! ```
+
+use crate::registry::{HistogramSnapshot, RegistrySnapshot};
+use serde::de::{from_value, Deserialize, Deserializer, Error as DeError};
+use serde::ser::{to_value, Error as SerError, Serialize, Serializer};
+use serde::value::Value;
+
+impl Serialize for HistogramSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Map(vec![
+            ("count".to_string(), uint_value(self.count)),
+            ("sum".to_string(), Value::Float(self.sum)),
+            ("min".to_string(), Value::Float(self.min)),
+            ("max".to_string(), Value::Float(self.max)),
+            ("p50".to_string(), Value::Float(self.p50)),
+            ("p95".to_string(), Value::Float(self.p95)),
+            ("p99".to_string(), Value::Float(self.p99)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for HistogramSnapshot {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = expect_map(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        let mut snap = HistogramSnapshot::default();
+        for (key, value) in entries {
+            match key.as_str() {
+                "count" => snap.count = from_value(value).map_err(D::Error::custom)?,
+                "sum" => snap.sum = from_value(value).map_err(D::Error::custom)?,
+                "min" => snap.min = from_value(value).map_err(D::Error::custom)?,
+                "max" => snap.max = from_value(value).map_err(D::Error::custom)?,
+                "p50" => snap.p50 = from_value(value).map_err(D::Error::custom)?,
+                "p95" => snap.p95 = from_value(value).map_err(D::Error::custom)?,
+                "p99" => snap.p99 = from_value(value).map_err(D::Error::custom)?,
+                other => {
+                    return Err(D::Error::custom(format!("unknown histogram field `{other}`")))
+                }
+            }
+        }
+        Ok(snap)
+    }
+}
+
+impl Serialize for RegistrySnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let counters =
+            self.counters.iter().map(|(name, v)| (name.clone(), uint_value(*v))).collect();
+        let gauges = self.gauges.iter().map(|(name, v)| (name.clone(), Value::Int(*v))).collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| Ok((name.clone(), to_value(h).map_err(S::Error::custom)?)))
+            .collect::<Result<Vec<_>, S::Error>>()?;
+        serializer.serialize_value(Value::Map(vec![
+            ("counters".to_string(), Value::Map(counters)),
+            ("gauges".to_string(), Value::Map(gauges)),
+            ("histograms".to_string(), Value::Map(histograms)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for RegistrySnapshot {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = expect_map(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        let mut snap = RegistrySnapshot::default();
+        for (key, value) in entries {
+            let section = expect_map(value).map_err(D::Error::custom)?;
+            match key.as_str() {
+                "counters" => {
+                    for (name, v) in section {
+                        snap.counters.push((name, from_value(v).map_err(D::Error::custom)?));
+                    }
+                }
+                "gauges" => {
+                    for (name, v) in section {
+                        snap.gauges.push((name, from_value(v).map_err(D::Error::custom)?));
+                    }
+                }
+                "histograms" => {
+                    for (name, v) in section {
+                        snap.histograms.push((name, from_value(v).map_err(D::Error::custom)?));
+                    }
+                }
+                other => {
+                    return Err(D::Error::custom(format!("unknown registry section `{other}`")))
+                }
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn uint_value(v: u64) -> Value {
+    match i64::try_from(v) {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::UInt(v),
+    }
+}
+
+fn expect_map(v: Value) -> Result<Vec<(String, Value)>, String> {
+    match v {
+        Value::Map(entries) => Ok(entries),
+        other => Err(format!("expected map, got {}", other.kind())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn registry_snapshot_roundtrips_through_value() {
+        let reg = Registry::new();
+        reg.counter("lp.pivots").add(42);
+        reg.gauge("inflight").set(-2);
+        let h = reg.histogram("span.lp.ms");
+        h.record(1.5);
+        h.record(80.0);
+        let snap = reg.snapshot();
+        let value = to_value(&snap).unwrap();
+        let back: RegistrySnapshot = from_value(value).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_serializes_as_name_keyed_maps() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        let value = to_value(&reg.snapshot()).unwrap();
+        let Value::Map(sections) = value else { panic!("not a map") };
+        assert_eq!(sections[0].0, "counters");
+        let Value::Map(counters) = &sections[0].1 else { panic!("counters not a map") };
+        assert_eq!(counters[0], ("a".to_string(), Value::Int(1)));
+    }
+}

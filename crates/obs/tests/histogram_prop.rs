@@ -1,0 +1,88 @@
+//! Property test: histogram percentiles against a sorted-vec oracle.
+//!
+//! The histogram quantizes into fixed log buckets, so it cannot return
+//! the exact sample — but its answer is fully determined: for the
+//! nearest-rank sample `x` (1-based rank ⌈q·n⌉) the histogram must
+//! report `min(upper_bound(bucket_of(x)), observed_max)`, which in
+//! particular brackets the true percentile within one bucket width
+//! (≤ ~19% relative error).
+
+use atsched_obs::Histogram;
+use proptest::prelude::*;
+
+/// The oracle: exact nearest-rank percentile over the raw samples.
+fn oracle_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0);
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Upper bound of the bucket a value lands in, replicated from the
+/// documented bucket layout (base 1e-3, growth 2^(1/4)): the smallest
+/// bound `1e-3 · g^i >= v`.
+fn bucket_upper_bound(v: f64) -> f64 {
+    const MIN_BOUND: f64 = 1e-3;
+    const GROWTH: f64 = 1.189_207_115_002_721;
+    let mut bound = MIN_BOUND;
+    while bound < v {
+        bound *= GROWTH;
+    }
+    bound
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn prop_histogram_percentiles_match_sorted_vec_oracle(
+        // Samples in microseconds, 1µs .. 100s: spans ~7 decades of
+        // buckets including the sub-resolution bottom bucket.
+        raw in proptest::collection::vec(1u64..100_000_000u64, 1..200),
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&us| us as f64 / 1e3).collect();
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let max = *sorted.last().unwrap();
+
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.max(), max);
+        prop_assert_eq!(hist.min(), sorted[0]);
+
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let truth = oracle_nearest_rank(&sorted, q);
+            let expected = bucket_upper_bound(truth).min(max);
+            let got = hist.percentile(q);
+            // The oracle rebuilds bucket bounds by repeated
+            // multiplication while the histogram uses powi, so the two
+            // agree only up to float rounding in the last ulps.
+            prop_assert!(
+                (got - expected).abs() <= expected.abs() * 1e-9,
+                "q={} truth={} expected={} got={}", q, truth, expected, got
+            );
+            // And the bracketing guarantee the callers rely on.
+            prop_assert!(got >= truth || (got - max).abs() < f64::EPSILON);
+            prop_assert!(got <= (truth * 1.19).max(1e-3).max(truth + 1e-12));
+        }
+    }
+
+    #[test]
+    fn prop_sum_and_mean_are_exact(
+        raw in proptest::collection::vec(1u64..1_000_000u64, 1..50),
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&us| us as f64 / 1e3).collect();
+        let hist = Histogram::new();
+        let mut sum = 0.0;
+        for &s in &samples {
+            hist.record(s);
+            sum += s;
+        }
+        // Single-threaded recording: sum is accumulated in the same
+        // order, so it is bitwise identical.
+        prop_assert_eq!(hist.sum(), sum);
+        prop_assert_eq!(hist.mean(), sum / samples.len() as f64);
+    }
+}

@@ -18,6 +18,7 @@
 use atsched_core::instance::Instance;
 use atsched_core::schedule::Schedule;
 use atsched_engine::{EngineTotals, Percentiles};
+use atsched_obs::RegistrySnapshot;
 use serde::de::{from_value, Deserializer};
 use serde::ser::{to_value, Serializer};
 use serde::value::Value;
@@ -264,8 +265,12 @@ pub struct StatsReply {
     /// Lifetime engine outcome counters.
     pub engine: EngineTotals,
     /// End-to-end latency of completed requests (admission → response),
-    /// over a sliding window of recent requests, milliseconds.
+    /// lifetime histogram percentiles, milliseconds.
     pub latency_ms: Percentiles,
+    /// Full metric-registry snapshot: every counter, gauge, and
+    /// histogram the server and its solver stack recorded (`serve.*`,
+    /// `engine.*`, `lp.*`, `flow.*`, `span.*`).
+    pub registry: RegistrySnapshot,
 }
 
 /// A typed error payload.

@@ -190,7 +190,11 @@ impl Server {
         let addr = listener.local_addr()?;
         let workers = cfg.effective_workers();
         let queue = AdmissionQueue::new(cfg.effective_queue_depth());
-        let engine = Engine::new(EngineConfig::default().workers(workers));
+        // One registry shared by server-level counters and the engine's
+        // solver instrumentation: the `stats` verb snapshots both.
+        let registry = Arc::new(atsched_obs::Registry::new());
+        let engine =
+            Engine::with_registry(EngineConfig::default().workers(workers), Arc::clone(&registry));
         Ok(Server {
             listener,
             addr,
@@ -198,7 +202,7 @@ impl Server {
                 cfg,
                 engine,
                 queue,
-                metrics: ServerMetrics::default(),
+                metrics: ServerMetrics::new(registry),
                 gate: ShutdownGate::default(),
                 started: Instant::now(),
                 conns: Mutex::new(Vec::new()),

@@ -108,6 +108,7 @@ mod tests {
             cache_entries: 2,
             engine: EngineTotals::default(),
             latency_ms: Percentiles::default(),
+            registry: atsched_obs::RegistrySnapshot::default(),
         }
     }
 

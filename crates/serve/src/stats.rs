@@ -1,109 +1,109 @@
-//! Service observability: lock-free request counters and a sliding
-//! latency window, snapshotted into [`StatsReply`] frames.
+//! Service observability, backed by the shared [`atsched_obs`]
+//! registry.
+//!
+//! The server and its engine write into one [`Registry`]: request
+//! counters land under `serve.*`, solver internals (simplex pivots,
+//! Dinic augmentations, stage spans) under their own prefixes, and the
+//! `stats` verb ships the whole registry snapshot over the wire
+//! alongside the typed [`StatsReply`] fields.
 
 use crate::protocol::StatsReply;
 use atsched_engine::{Engine, Percentiles};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use atsched_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// How many recent end-to-end latencies the percentile window keeps.
-/// Old samples are overwritten ring-buffer style, so `stats` reflects
-/// recent behavior, not the whole process lifetime.
-const LATENCY_WINDOW: usize = 4096;
-
-/// Fixed-capacity ring of latency samples (milliseconds).
-struct LatencyRing {
-    samples: Vec<f64>,
-    next: usize,
-}
-
-impl LatencyRing {
-    fn push(&mut self, ms: f64) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(ms);
-        } else {
-            self.samples[self.next] = ms;
-        }
-        self.next = (self.next + 1) % LATENCY_WINDOW;
-    }
-}
-
-/// Request counters, all behind interior mutability so every connection
-/// and worker thread shares one instance through an `Arc`.
+/// Request counters, all interned in the shared registry so every
+/// connection and worker thread shares one instance through an `Arc`.
+///
+/// The hot instruments are resolved once at construction: emission is a
+/// plain atomic bump, never a name lookup.
 pub struct ServerMetrics {
-    received: AtomicU64,
-    bad_requests: AtomicU64,
-    accepted: AtomicU64,
-    rejected_overload: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    completed: AtomicU64,
-    solve_errors: AtomicU64,
-    timed_out: AtomicU64,
-    inflight: AtomicU64,
-    latencies: Mutex<LatencyRing>,
+    registry: Arc<Registry>,
+    received: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    accepted: Arc<Counter>,
+    rejected_overload: Arc<Counter>,
+    rejected_shutdown: Arc<Counter>,
+    completed: Arc<Counter>,
+    solve_errors: Arc<Counter>,
+    timed_out: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    /// End-to-end latency (admission → response), lifetime histogram.
+    latency: Arc<Histogram>,
 }
 
 impl Default for ServerMetrics {
     fn default() -> Self {
-        ServerMetrics {
-            received: AtomicU64::new(0),
-            bad_requests: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            rejected_overload: AtomicU64::new(0),
-            rejected_shutdown: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            solve_errors: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
-            inflight: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing { samples: Vec::new(), next: 0 }),
-        }
+        Self::new(Arc::new(Registry::new()))
     }
 }
 
 impl ServerMetrics {
+    /// Metrics writing into `registry` under the `serve.*` prefix.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        ServerMetrics {
+            received: registry.counter("serve.received"),
+            bad_requests: registry.counter("serve.bad_requests"),
+            accepted: registry.counter("serve.accepted"),
+            rejected_overload: registry.counter("serve.rejected_overload"),
+            rejected_shutdown: registry.counter("serve.rejected_shutdown"),
+            completed: registry.counter("serve.completed"),
+            solve_errors: registry.counter("serve.solve_errors"),
+            timed_out: registry.counter("serve.timed_out"),
+            inflight: registry.gauge("serve.inflight"),
+            latency: registry.histogram("serve.latency_ms"),
+            registry,
+        }
+    }
+
+    /// The registry this instance writes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// A frame was read off a connection (well-formed or not).
     pub fn frame_received(&self) {
-        self.received.fetch_add(1, Ordering::Relaxed);
+        self.received.inc();
     }
 
     /// A frame was rejected before admission.
     pub fn bad_request(&self) {
-        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        self.bad_requests.inc();
     }
 
     /// A request entered the admission queue.
     pub fn admitted(&self) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
-        self.inflight.fetch_add(1, Ordering::Relaxed);
+        self.accepted.inc();
+        self.inflight.add(1);
     }
 
     /// A request was shed because the queue was full.
     pub fn shed_overload(&self) {
-        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        self.rejected_overload.inc();
     }
 
     /// A request was refused because the service is draining.
     pub fn shed_shutdown(&self) {
-        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+        self.rejected_shutdown.inc();
     }
 
     /// An admitted request finished with the given disposition.
     pub fn finished(&self, latency_ms: f64, deadline_overrun: bool, solve_error: bool) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.completed.inc();
+        self.inflight.add(-1);
         if deadline_overrun {
-            self.timed_out.fetch_add(1, Ordering::Relaxed);
+            self.timed_out.inc();
         }
         if solve_error {
-            self.solve_errors.fetch_add(1, Ordering::Relaxed);
+            self.solve_errors.inc();
         }
-        self.latencies.lock().expect("latency lock").push(latency_ms);
+        self.latency.record(latency_ms);
     }
 
     /// Requests admitted but not yet answered.
     pub fn inflight(&self) -> u64 {
-        self.inflight.load(Ordering::Relaxed)
+        self.inflight.get().max(0) as u64
     }
 
     /// Build a wire-ready snapshot of everything observable.
@@ -115,21 +115,22 @@ impl ServerMetrics {
         queue_capacity: usize,
     ) -> StatsReply {
         let cache = engine.cache_stats();
-        let latency_ms = {
-            let ring = self.latencies.lock().expect("latency lock");
-            Percentiles::from_samples(ring.samples.clone())
-        };
+        // Mirror externally-sourced cache totals into gauges so the
+        // registry snapshot is self-contained for generic consumers.
+        self.registry.gauge("engine.cache.hits").set(cache.hits as i64);
+        self.registry.gauge("engine.cache.misses").set(cache.misses as i64);
+        self.registry.gauge("engine.cache.entries").set(engine.cache_len() as i64);
         StatsReply {
             uptime_ms: started.elapsed().as_secs_f64() * 1e3,
-            received: self.received.load(Ordering::Relaxed),
-            bad_requests: self.bad_requests.load(Ordering::Relaxed),
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
-            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            solve_errors: self.solve_errors.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            inflight: self.inflight.load(Ordering::Relaxed),
+            received: self.received.get(),
+            bad_requests: self.bad_requests.get(),
+            accepted: self.accepted.get(),
+            rejected_overload: self.rejected_overload.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            completed: self.completed.get(),
+            solve_errors: self.solve_errors.get(),
+            timed_out: self.timed_out.get(),
+            inflight: self.inflight(),
             queue_len: queue_len as u64,
             queue_capacity: queue_capacity as u64,
             cache_hits: cache.hits,
@@ -137,7 +138,8 @@ impl ServerMetrics {
             cache_hit_rate: cache.hit_rate(),
             cache_entries: engine.cache_len() as u64,
             engine: engine.totals(),
-            latency_ms,
+            latency_ms: Percentiles::from_snapshot(&HistogramSnapshot::of(&self.latency)),
+            registry: self.registry.snapshot(),
         }
     }
 }
@@ -170,22 +172,31 @@ mod tests {
         assert_eq!(snap.timed_out, 1);
         assert_eq!(snap.queue_len, 3);
         assert_eq!(snap.queue_capacity, 8);
-        assert!(snap.latency_ms.max >= 4.0);
+        assert_eq!(snap.latency_ms.max, 4.0);
+        // The registry snapshot carries the same counters.
+        assert_eq!(snap.registry.counter("serve.received"), Some(2));
+        assert_eq!(snap.registry.counter("serve.accepted"), Some(2));
+        assert_eq!(snap.registry.gauge("serve.inflight"), Some(0));
+        assert_eq!(snap.registry.histogram("serve.latency_ms").unwrap().count, 2);
         // The snapshot survives the wire format.
         let line = serde_json::to_string(&snap).unwrap();
         let back: StatsReply = serde_json::from_str(&line).unwrap();
         assert_eq!(back.accepted, 2);
         assert_eq!(back.engine.solved, 0);
+        assert_eq!(back.registry, snap.registry);
     }
 
     #[test]
-    fn latency_window_is_bounded() {
-        let m = ServerMetrics::default();
-        for i in 0..(LATENCY_WINDOW + 100) {
-            m.admitted();
-            m.finished(i as f64, false, false);
-        }
-        let ring = m.latencies.lock().unwrap();
-        assert_eq!(ring.samples.len(), LATENCY_WINDOW);
+    fn shared_registry_merges_server_and_engine_metrics() {
+        let registry = Arc::new(Registry::new());
+        let engine = Engine::with_registry(EngineConfig::default(), Arc::clone(&registry));
+        let m = ServerMetrics::new(Arc::clone(&registry));
+        m.admitted();
+        m.finished(1.0, false, false);
+        engine.registry().counter("lp.pivots").add(7);
+        let snap = m.snapshot(&engine, Instant::now(), 0, 4);
+        assert_eq!(snap.registry.counter("serve.completed"), Some(1));
+        assert_eq!(snap.registry.counter("lp.pivots"), Some(7));
+        assert_eq!(snap.registry.gauge("engine.cache.entries"), Some(0));
     }
 }

@@ -256,6 +256,38 @@ fn soak_eight_clients_match_sequential_solves_and_drain_cleanly() {
     assert_eq!(snapshot.inflight, 0);
     assert_eq!(snapshot.queue_len, 0);
     assert!(snapshot.engine.infeasible > 0 && snapshot.engine.solved > 0);
+
+    // Post-drain registry reconciliation: the wire snapshot's registry
+    // counters must agree with what the clients observed — no lost or
+    // double-counted solves.
+    let reg = &snapshot.registry;
+    assert_eq!(reg.counter("serve.accepted"), Some(served), "{reg:?}");
+    assert_eq!(reg.counter("serve.completed"), Some(served), "{reg:?}");
+    assert_eq!(reg.gauge("serve.inflight"), Some(0), "{reg:?}");
+    // Typed fields and the registry are two views of one source.
+    assert_eq!(reg.counter("serve.received"), Some(snapshot.received));
+    assert_eq!(reg.counter("serve.bad_requests"), Some(snapshot.bad_requests));
+    assert_eq!(reg.counter("serve.rejected_overload"), Some(snapshot.rejected_overload));
+    // Every completed request recorded exactly one latency sample.
+    let latency = reg.histogram("serve.latency_ms").expect("latency histogram on the wire");
+    assert_eq!(latency.count, served);
+    assert_eq!(latency.p50, snapshot.latency_ms.p50);
+    assert_eq!(latency.max, snapshot.latency_ms.max);
+    // Engine outcome counters reconcile with the engine totals, and the
+    // solver stack's own instrumentation crossed the wire too: the
+    // corpus is LP-bound, so the simplex pivoted and Dinic augmented.
+    assert_eq!(reg.counter("engine.outcome.solved"), Some(snapshot.engine.solved));
+    assert_eq!(reg.counter("engine.outcome.infeasible"), Some(snapshot.engine.infeasible));
+    assert!(reg.counter("lp.pivots").unwrap_or(0) > 0, "{reg:?}");
+    assert!(reg.counter("lp.solves").unwrap_or(0) > 0, "{reg:?}");
+    assert!(reg.counter("flow.augmenting_paths").unwrap_or(0) > 0, "{reg:?}");
+    // Stage spans were recorded for every non-cached solver run.
+    let solve_spans = reg.histogram("span.solve.ms").expect("solve span histogram");
+    assert!(solve_spans.count > 0 && solve_spans.count <= served);
+    // Cache gauges mirror the typed cache fields.
+    assert_eq!(reg.gauge("engine.cache.hits"), Some(snapshot.cache_hits as i64));
+    assert_eq!(reg.gauge("engine.cache.misses"), Some(snapshot.cache_misses as i64));
+
     let joined = handle.join().expect("server thread exits");
     assert_eq!(joined.accepted, served);
 }

@@ -23,6 +23,7 @@ pub use atsched_lp as lp;
 pub use atsched_multi as multi;
 pub use atsched_npc as npc;
 pub use atsched_num as num;
+pub use atsched_obs as obs;
 pub use atsched_workloads as workloads;
 
 pub use error::Error;
