@@ -3,16 +3,24 @@
 //!
 //! Runs a fixed seeded laminar corpus through the batch engine twice —
 //! once with observation recording on, once with it disabled — and
-//! emits a `BENCH_pr3.json` baseline: per-stage p50/p95 latencies from
-//! the `span.*` histograms, algorithm counters (LP pivots, flow
+//! emits a `BENCH_<tag>.json` baseline: per-stage p50/p95 latencies
+//! from the `span.*` histograms, algorithm counters (LP pivots, flow
 //! augmentations), end-to-end solve percentiles, and the measured
 //! instrumentation overhead. CI uploads the file as an artifact so
 //! future PRs can diff the perf trajectory.
 //!
 //! ```text
 //! cargo run --release -p atsched-bench -- \
-//!     [--count N] [--g N] [--horizon N] [--seed N] [--runs N] [--out FILE]
+//!     [--tag NAME] [--count N] [--g N] [--horizon N] [--seed N] \
+//!     [--runs N] [--out FILE] [--compare PREV.json] [--in REPORT.json]
 //! ```
+//!
+//! `--tag` names the baseline and derives the default output file
+//! (`BENCH_<tag>.json`). `--compare PREV.json` checks the lp-stage p50
+//! against a previous baseline and exits non-zero when it regressed by
+//! more than 10%. `--in REPORT.json` skips the benchmark and loads an
+//! already-written report instead — CI uses this to run the compare as
+//! its own step without re-benching.
 
 use atsched_core::solver::SolverOptions;
 use atsched_engine::{Engine, EngineConfig};
@@ -33,11 +41,70 @@ impl Serialize for Json {
     }
 }
 
+impl<'de> serde::de::Deserialize<'de> for Json {
+    fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_value().map(Json)
+    }
+}
+
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
     }
+}
+
+fn opt_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Load a previously written baseline report.
+fn load_report(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str::<Json>(&text).map(|j| j.0).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Pull `stages.<stage>.p50_ms` out of a report tree.
+fn stage_p50(report: &Value, stage: &str) -> Option<f64> {
+    let field = |v: &Value, key: &str| -> Option<Value> {
+        match v {
+            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()),
+            _ => None,
+        }
+    };
+    let p50 = field(&field(&field(report, "stages")?, stage)?, "p50_ms")?;
+    match p50 {
+        Value::Float(f) => Some(f),
+        Value::Int(i) => Some(i as f64),
+        Value::UInt(u) => Some(u as f64),
+        _ => None,
+    }
+}
+
+/// Maximum tolerated lp-stage p50 growth before `--compare` fails.
+const REGRESSION_LIMIT_PCT: f64 = 10.0;
+
+/// Compare the lp-stage p50 against a previous baseline; `Err` when it
+/// regressed past [`REGRESSION_LIMIT_PCT`].
+fn compare_lp_p50(cur_lp: f64, cur_label: &str, prev_path: &str) -> Result<(), String> {
+    let prev = load_report(prev_path)?;
+    let prev_lp =
+        stage_p50(&prev, "lp").ok_or_else(|| format!("{prev_path} has no lp-stage p50"))?;
+    if prev_lp <= 0.0 {
+        return Err(format!("{prev_path} has a non-positive lp-stage p50 ({prev_lp})"));
+    }
+    let change_pct = (cur_lp - prev_lp) / prev_lp * 100.0;
+    eprintln!(
+        "bench-compare: lp p50 {prev_lp:.3} ms ({prev_path}) -> {cur_lp:.3} ms ({cur_label}), \
+         {change_pct:+.1}%"
+    );
+    if change_pct > REGRESSION_LIMIT_PCT {
+        return Err(format!(
+            "lp-stage p50 regressed {change_pct:+.1}% (limit +{REGRESSION_LIMIT_PCT:.0}%): \
+             {prev_lp:.3} ms -> {cur_lp:.3} ms"
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> std::process::ExitCode {
@@ -52,12 +119,24 @@ fn main() -> std::process::ExitCode {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let compare = opt_flag(&args, "--compare");
+
+    // Compare-only mode: load an existing report instead of benching.
+    if let Some(input) = opt_flag(&args, "--in") {
+        let prev_path = compare.ok_or("--in requires --compare PREV.json")?;
+        let report = load_report(&input)?;
+        let cur_lp =
+            stage_p50(&report, "lp").ok_or_else(|| format!("{input} has no lp-stage p50"))?;
+        return compare_lp_p50(cur_lp, &input, &prev_path);
+    }
+
+    let tag: String = flag(&args, "--tag", "pr4".to_string())?;
     let count: usize = flag(&args, "--count", 32usize)?;
     let g: i64 = flag(&args, "--g", 4i64)?;
     let horizon: i64 = flag(&args, "--horizon", 48i64)?;
     let seed: u64 = flag(&args, "--seed", 1u64)?;
     let runs: usize = flag(&args, "--runs", 3usize)?.max(1);
-    let out: String = flag(&args, "--out", "BENCH_pr3.json".to_string())?;
+    let out: String = flag(&args, "--out", format!("BENCH_{tag}.json"))?;
 
     let cfg = LaminarConfig { g, horizon, ..Default::default() };
     let instances: Vec<_> =
@@ -121,7 +200,7 @@ fn run() -> Result<(), String> {
 
     let solve = snapshot.histogram("engine.solve_ms");
     let report = Value::Map(vec![
-        ("bench".into(), Value::Str("atsched-bench baseline (PR3)".into())),
+        ("bench".into(), Value::Str(format!("atsched-bench baseline ({tag})"))),
         (
             "corpus".into(),
             Value::Map(vec![
@@ -160,5 +239,13 @@ fn run() -> Result<(), String> {
         "baseline written to {out} ({count} instances x {runs} runs; \
          observed {observed_ms:.1} ms vs disabled {disabled_ms:.1} ms, {overhead_pct:+.2}%)"
     );
+
+    if let Some(prev_path) = compare {
+        let cur_lp = snapshot
+            .histogram("span.lp.ms")
+            .map(|h| h.p50)
+            .ok_or("this run recorded no lp-stage histogram")?;
+        compare_lp_p50(cur_lp, &out, &prev_path)?;
+    }
     Ok(())
 }

@@ -22,6 +22,10 @@ pub struct EngineConfig {
     pub queue_depth: usize,
     /// Memoize deterministic solve outcomes (default true).
     pub cache: bool,
+    /// Maximum memoized entries before FIFO eviction kicks in
+    /// (default [`crate::cache::DEFAULT_CACHE_CAPACITY`]; `0` =
+    /// unbounded).
+    pub cache_capacity: usize,
     /// Per-solve wall-clock budget; `None` means unlimited.
     pub timeout: Option<Duration>,
     /// Install a metrics collector around each solve (default true).
@@ -33,7 +37,14 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: 0, queue_depth: 0, cache: true, timeout: None, observe: true }
+        EngineConfig {
+            workers: 0,
+            queue_depth: 0,
+            cache: true,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            timeout: None,
+            observe: true,
+        }
     }
 }
 
@@ -53,6 +64,12 @@ impl EngineConfig {
     /// Enable or disable the solve cache.
     pub fn cache(mut self, on: bool) -> Self {
         self.cache = on;
+        self
+    }
+
+    /// Bound the solve cache to `n` entries (`0` = unbounded).
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
         self
     }
 
@@ -176,13 +193,8 @@ impl Engine {
     /// shape of the serve layer, where server-level counters and
     /// solver-level counters land in one snapshot.
     pub fn with_registry(cfg: EngineConfig, registry: Arc<obs::Registry>) -> Self {
-        Engine {
-            cfg,
-            cache: SolveCache::default(),
-            totals: TotalCounters::default(),
-            registry,
-            trace: None,
-        }
+        let cache = SolveCache::with_capacity(cfg.cache_capacity);
+        Engine { cfg, cache, totals: TotalCounters::default(), registry, trace: None }
     }
 
     /// Attach a trace buffer: every solver span is also appended as a
@@ -318,6 +330,9 @@ impl Engine {
             Ok(deterministic) => {
                 if let Some(key) = key {
                     self.cache.insert(key, deterministic.clone());
+                    if self.cfg.observe {
+                        self.registry.gauge("engine.cache_entries").set(self.cache.len() as i64);
+                    }
                 }
                 settle(deterministic, start.elapsed(), false)
             }
@@ -460,6 +475,29 @@ mod tests {
         assert_eq!(second.report.cache.misses, 0);
         assert_eq!(second.report.cache.hits, 5);
         assert_eq!(engine.cache_len(), 4);
+    }
+
+    #[test]
+    fn cache_capacity_bounds_memory_and_reports_gauge() {
+        // Capacity 2 with 4 distinct deterministic outcomes (one of them
+        // repeated after its twin has already been displaced): the cache
+        // may never exceed the bound, every displacement is counted, and
+        // the gauge tracks the live entry count.
+        let engine = Engine::new(EngineConfig::default().workers(1).cache_capacity(2));
+        let corpus = small_corpus();
+        engine.solve_batch(&corpus, &SolverOptions::exact());
+        assert_eq!(engine.cache_len(), 2);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.evictions, 3, "{stats:?}");
+        assert_eq!(stats.misses, 5, "the repeat re-solves after eviction: {stats:?}");
+        let snap = engine.registry().snapshot();
+        assert_eq!(snap.gauge("engine.cache_entries"), Some(2), "{snap:?}");
+
+        // Evicted entries are misses on the next run (bounded ≠ broken:
+        // results are still correct, just re-solved).
+        let second = engine.solve_batch(&corpus, &SolverOptions::exact());
+        assert_eq!(second.report.solved, 4);
+        assert!(second.report.cache.misses > 0, "{:?}", second.report);
     }
 
     #[test]

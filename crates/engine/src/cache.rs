@@ -15,9 +15,14 @@
 
 use atsched_core::instance::{Instance, Job};
 use atsched_core::solver::{SolveError, SolveResult, SolverOptions};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Default bound on memoized entries. Under sustained serve traffic the
+/// cache would otherwise grow without limit; at this size the resident
+/// set stays modest while seed-sweep workloads still hit repeatedly.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// Cache key: solver-options fingerprint + full instance content.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -36,13 +41,15 @@ impl CacheKey {
     }
 }
 
-/// Hit/miss counters, cheap to snapshot.
+/// Hit/miss/eviction counters, cheap to snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that fell through to a real solve.
     pub misses: u64,
+    /// Entries displaced to stay within the capacity bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -61,25 +68,58 @@ impl CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
 }
 
-/// Thread-safe memoization table for deterministic solve outcomes.
+/// Map plus FIFO insertion order, updated together under one lock.
+#[derive(Debug, Default)]
+struct CacheTable {
+    map: HashMap<CacheKey, Result<SolveResult, SolveError>>,
+    /// Keys in insertion order; the front is the next eviction victim.
+    order: VecDeque<CacheKey>,
+}
+
+/// Thread-safe, capacity-bounded memoization table for deterministic
+/// solve outcomes.
 ///
 /// Only deterministic outcomes are stored (solved, infeasible, instance
 /// or LP errors); timeouts and panics are transient and never cached.
-#[derive(Debug, Default)]
+/// When the table is full the oldest insertion is evicted (FIFO — cheap,
+/// and adequate because repeat traffic in experiment corpora arrives in
+/// bursts close to the first solve).
+#[derive(Debug)]
 pub(crate) struct SolveCache {
-    map: Mutex<HashMap<CacheKey, Result<SolveResult, SolveError>>>,
+    table: Mutex<CacheTable>,
+    /// Maximum entries held; `0` disables the bound.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        SolveCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl SolveCache {
+    /// Cache bounded to `capacity` entries (`0` = unbounded).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        SolveCache {
+            table: Mutex::new(CacheTable::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
     /// Look up a key, bumping the hit/miss counters.
     pub(crate) fn get(&self, key: &CacheKey) -> Option<Result<SolveResult, SolveError>> {
-        let found = self.map.lock().expect("cache lock").get(key).cloned();
+        let found = self.table.lock().expect("cache lock").map.get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -87,9 +127,20 @@ impl SolveCache {
         found
     }
 
-    /// Store a deterministic outcome.
+    /// Store a deterministic outcome, evicting the oldest entries if the
+    /// capacity bound would be exceeded.
     pub(crate) fn insert(&self, key: CacheKey, value: Result<SolveResult, SolveError>) {
-        self.map.lock().expect("cache lock").insert(key, value);
+        let mut table = self.table.lock().expect("cache lock");
+        if table.map.insert(key.clone(), value).is_none() {
+            table.order.push_back(key);
+        }
+        if self.capacity > 0 {
+            while table.map.len() > self.capacity {
+                let victim = table.order.pop_front().expect("order tracks map");
+                table.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Snapshot the counters.
@@ -97,12 +148,13 @@ impl SolveCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Number of cached entries.
     pub(crate) fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.table.lock().expect("cache lock").map.len()
     }
 }
 
@@ -273,8 +325,51 @@ mod tests {
         assert!(cache.get(&key).is_some());
         assert!(cache.get(&key).is_some());
 
-        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1, evictions: 0 });
         assert!((cache.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let cache = SolveCache::with_capacity(2);
+        let opts = SolverOptions::exact();
+        let instances: Vec<Instance> =
+            (1..=3).map(|g| inst(g, vec![(0, 6, 2), (1, 5, 1)])).collect();
+        let keys: Vec<CacheKey> = instances.iter().map(|i| CacheKey::new(i, &opts)).collect();
+
+        for (i, k) in instances.iter().zip(&keys) {
+            cache.insert(k.clone(), solve_nested(i, &opts));
+        }
+        // Capacity 2: the third insert displaced the first key.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&keys[0]).is_none(), "oldest entry must be evicted");
+        assert!(cache.get(&keys[1]).is_some());
+        assert!(cache.get(&keys[2]).is_some());
+
+        // Re-inserting an existing key replaces in place: no eviction,
+        // no duplicate order entry.
+        cache.insert(keys[1].clone(), solve_nested(&instances[1], &opts));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+
+        // The evicted instance can be cached again afterwards.
+        cache.insert(keys[0].clone(), solve_nested(&instances[0], &opts));
+        assert!(cache.get(&keys[0]).is_some());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let cache = SolveCache::with_capacity(0);
+        let opts = SolverOptions::exact();
+        for g in 1..=20 {
+            let i = inst(g, vec![(0, 6, 2)]);
+            cache.insert(CacheKey::new(&i, &opts), solve_nested(&i, &opts));
+        }
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.stats().evictions, 0);
     }
 }

@@ -17,7 +17,7 @@ impl VarId {
 }
 
 /// Constraint sense.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cmp {
     /// `expr ≤ rhs`
     Le,

@@ -98,7 +98,7 @@ pub(crate) fn presolve<S: Scalar>(model: &Model<S>) -> Result<Presolved<S>, ()> 
     // (terms, cmp, rhs) rendered to strings for duplicate-row detection.
     type RowKey = (Vec<(usize, String)>, Cmp, String);
     let mut rows_dropped = 0usize;
-    let mut seen_rows: Vec<RowKey> = Vec::new();
+    let mut seen_rows: std::collections::HashSet<RowKey> = std::collections::HashSet::new();
     for c in &model.constraints {
         let mut new_terms: Vec<(crate::model::VarId, S)> = Vec::new();
         let mut rhs = c.rhs.clone();
@@ -121,17 +121,25 @@ pub(crate) fn presolve<S: Scalar>(model: &Model<S>) -> Result<Presolved<S>, ()> 
             rows_dropped += 1;
             continue;
         }
-        // Dedup on a canonical rendering (exact for Ratio; for f64 this
-        // only merges bit-identical rows, which is still sound).
-        let mut key_terms: Vec<(usize, String)> =
-            new_terms.iter().map(|(v, coef)| (v.index(), format!("{coef}"))).collect();
-        key_terms.sort();
-        let key = (key_terms, c.cmp, format!("{rhs}"));
-        if seen_rows.contains(&key) {
+        // Dedup on a canonical scale-normalized rendering: every row is
+        // divided through by the absolute value of its lowest-index
+        // coefficient, so scalar multiples (2x + 2y ≥ 4 vs x + y ≥ 2)
+        // collapse to one key. The divisor is positive, preserving the
+        // sense. Exact for Ratio; for f64 the sub-tolerance rounding of
+        // the division only merges rows that are equal well below the
+        // solver's 1e-9 tolerance, which is sound.
+        let mut sorted: Vec<(usize, &S)> =
+            new_terms.iter().map(|(v, coef)| (v.index(), coef)).collect();
+        sorted.sort_by_key(|(v, _)| *v);
+        let lead = sorted[0].1;
+        let scale = if lead.is_negative() { lead.neg() } else { lead.clone() };
+        let key_terms: Vec<(usize, String)> =
+            sorted.iter().map(|(v, coef)| (*v, format!("{}", coef.div(&scale)))).collect();
+        let key = (key_terms, c.cmp, format!("{}", rhs.div(&scale)));
+        if !seen_rows.insert(key) {
             rows_dropped += 1;
             continue;
         }
-        seen_rows.push(key);
         reduced.add_constraint(new_terms, c.cmp, rhs);
     }
 
@@ -232,6 +240,24 @@ mod tests {
         for _ in 0..3 {
             m.add_constraint(vec![(x, ri(1)), (y, ri(2))], Cmp::Ge, ri(4));
         }
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.rows_dropped, 2);
+        assert_eq!(m.solve().unwrap().objective, ri(2));
+    }
+
+    #[test]
+    fn scaled_duplicate_rows_dropped() {
+        // 2x + 2y ≥ 4 and 3x + 3y ≥ 6 are scalar multiples of x + y ≥ 2;
+        // the scale-normalized key must collapse all three.
+        let mut m: Model<Ratio> = Model::new();
+        let x = m.add_var("x", ri(1));
+        let y = m.add_var("y", ri(1));
+        m.add_constraint(vec![(x, ri(1)), (y, ri(1))], Cmp::Ge, ri(2));
+        m.add_constraint(vec![(x, ri(2)), (y, ri(2))], Cmp::Ge, ri(4));
+        m.add_constraint(vec![(x, ri(3)), (y, ri(3))], Cmp::Ge, ri(6));
+        // Negated-leading-coefficient multiple of the same row: the
+        // divisor is |lead|, so the sense stays distinct and it is kept.
+        m.add_constraint(vec![(x, ri(-1)), (y, ri(-1))], Cmp::Le, ri(-2));
         let p = presolve(&m).unwrap();
         assert_eq!(p.rows_dropped, 2);
         assert_eq!(m.solve().unwrap().objective, ri(2));

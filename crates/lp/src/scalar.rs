@@ -34,6 +34,20 @@ pub trait Scalar: Clone + PartialOrd + Debug + Display + 'static {
     fn is_positive(&self) -> bool {
         !self.is_zero() && !self.is_negative()
     }
+    /// `self /= d` in place — the kernel of pivot-row scaling. The
+    /// default just reassigns; implementations can skip work (e.g. when
+    /// `self` is zero or `d` is one).
+    fn div_in_place(&mut self, d: &Self) {
+        *self = self.div(d);
+    }
+    /// `self -= f·s` in place — the kernel of row elimination. Callers
+    /// guarantee `f` is nonzero; implementations may skip when `s` is
+    /// zero.
+    fn sub_mul_in_place(&mut self, f: &Self, s: &Self) {
+        if !s.is_zero() {
+            *self = self.sub(&f.mul(s));
+        }
+    }
     /// Lossy conversion for reporting.
     fn to_f64(&self) -> f64;
     /// Largest integer `≤ self` (exact for [`Ratio`]; rounds for `f64`).
@@ -81,6 +95,22 @@ impl Scalar for Ratio {
 
     fn is_negative(&self) -> bool {
         Ratio::is_negative(self)
+    }
+
+    fn div_in_place(&mut self, d: &Self) {
+        // Exact arithmetic: dividing zero (most tableau entries) or by
+        // one is the identity.
+        if Ratio::is_zero(self) || d.is_one() {
+            return;
+        }
+        *self = &*self / d;
+    }
+
+    fn sub_mul_in_place(&mut self, f: &Self, s: &Self) {
+        if Ratio::is_zero(s) {
+            return;
+        }
+        *self = &*self - &(f * s);
     }
 
     fn to_f64(&self) -> f64 {
@@ -138,6 +168,17 @@ impl Scalar for f64 {
 
     fn is_negative(&self) -> bool {
         *self < -F64_EPS
+    }
+
+    // No zero-skipping in the float kernels: subtracting a below-
+    // tolerance value must still happen, bit-for-bit, to match the
+    // out-of-place formulation.
+    fn div_in_place(&mut self, d: &Self) {
+        *self /= d;
+    }
+
+    fn sub_mul_in_place(&mut self, f: &Self, s: &Self) {
+        *self -= f * s;
     }
 
     fn to_f64(&self) -> f64 {

@@ -35,13 +35,18 @@ impl<S: Scalar> Tableau<S> {
     /// Gauss-pivot on `(row, col)`: row is scaled so the pivot becomes 1,
     /// then eliminated from every other row and from `red` (the reduced
     /// cost row, with its own RHS = -objective).
+    ///
+    /// The pivot row is moved out of the tableau for the duration of the
+    /// elimination sweep (`rows[row]` is briefly an empty `Vec`), so no
+    /// full-row clone is ever made; all updates run through the in-place
+    /// [`Scalar`] kernels.
     fn pivot(&mut self, row: usize, col: usize, red: &mut [S]) {
-        let pivot_val = self.rows[row][col].clone();
+        let mut pivot_row = std::mem::take(&mut self.rows[row]);
+        let pivot_val = pivot_row[col].clone();
         debug_assert!(!pivot_val.is_zero());
-        for v in self.rows[row].iter_mut() {
-            *v = v.div(&pivot_val);
+        for v in pivot_row.iter_mut() {
+            v.div_in_place(&pivot_val);
         }
-        let pivot_row = self.rows[row].clone();
         for (i, r) in self.rows.iter_mut().enumerate() {
             if i == row {
                 continue;
@@ -51,15 +56,16 @@ impl<S: Scalar> Tableau<S> {
                 continue;
             }
             for (dst, src) in r.iter_mut().zip(pivot_row.iter()) {
-                *dst = dst.sub(&factor.mul(src));
+                dst.sub_mul_in_place(&factor, src);
             }
         }
         let factor = red[col].clone();
         if !factor.is_zero() {
             for (dst, src) in red.iter_mut().zip(pivot_row.iter()) {
-                *dst = dst.sub(&factor.mul(src));
+                dst.sub_mul_in_place(&factor, src);
             }
         }
+        self.rows[row] = pivot_row;
         self.basis[row] = col;
     }
 
@@ -115,10 +121,14 @@ impl<S: Scalar> Tableau<S> {
             match &best {
                 None => best = Some((i, ratio)),
                 Some((bi, br)) => {
+                    // Tie-break (Bland): when the new ratio is not
+                    // strictly smaller, it ties iff `ratio - br` is not
+                    // positive (for f64 this keeps the tolerance window
+                    // of the original two-sided check, since `ratio ≥ br`
+                    // already holds here). Check the cheap index
+                    // comparison first.
                     if ratio < *br
-                        || (!(ratio.sub(br)).is_positive()
-                            && !(br.sub(&ratio)).is_positive()
-                            && self.basis[i] < self.basis[*bi])
+                        || (self.basis[i] < self.basis[*bi] && !(ratio.sub(br)).is_positive())
                     {
                         best = Some((i, ratio));
                     }
@@ -311,14 +321,16 @@ fn solve_core_inner<S: Scalar>(
         // Pivot basic artificials (necessarily at value 0) out of the
         // basis, or drop redundant rows.
         let is_art = |j: usize| art_cols.binary_search(&j).is_ok();
+        // Scratch reduced-cost row for the pivot-out sweeps below: it is
+        // all zeros, so every pivot leaves it all zeros — allocate once.
+        let mut scratch = vec![S::zero(); cols + 1];
         let mut row_idx = 0;
         while row_idx < tab.rows.len() {
             if is_art(tab.basis[row_idx]) {
                 let pivot_col = (0..n + num_slack).find(|&j| !tab.rows[row_idx][j].is_zero());
                 match pivot_col {
                     Some(j) => {
-                        let mut dummy = vec![S::zero(); cols + 1];
-                        tab.pivot(row_idx, j, &mut dummy);
+                        tab.pivot(row_idx, j, &mut scratch);
                         row_idx += 1;
                     }
                     None => {

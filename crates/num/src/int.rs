@@ -1,14 +1,27 @@
-//! Sign-magnitude arbitrary-precision integers.
+//! Signed integers with a small-word fast path.
 //!
-//! Representation: `sign ∈ {-1, 0, +1}` plus a little-endian vector of
-//! `u64` limbs with no trailing (most-significant) zero limbs. The zero
-//! value is canonically `sign = 0, mag = []`.
+//! Representation is a two-variant enum:
 //!
-//! The implementation favours clarity and exactness over peak throughput,
-//! but includes the two optimizations that matter for the exact simplex
-//! workload: Karatsuba multiplication above a limb threshold and Knuth
-//! Algorithm D long division (both validated against `u128` ground truth
-//! and property tests).
+//! * `Small(i128)` — any value that fits a signed 128-bit machine word
+//!   lives inline. Add/sub/mul/div/cmp/hash on small values never touch
+//!   the heap; overflow is detected with checked arithmetic and promotes
+//!   to the big representation.
+//! * `Big { sign, mag }` — `sign ∈ {-1, +1}` plus a little-endian vector
+//!   of `u64` limbs with no trailing (most-significant) zero limbs,
+//!   exactly the classic sign-magnitude bignum.
+//!
+//! **Canonical-form invariant:** a value is `Small` *iff* it fits
+//! `i128`. Every constructor and operation demotes big results that
+//! shrank back into word range, so equal values always share one
+//! representation and the derived `Eq`/`Hash` stay consistent (cache
+//! keys built on `Int` survive arbitrary op sequences).
+//!
+//! The big backend keeps the two optimizations that matter for the exact
+//! simplex workload: Karatsuba multiplication above a limb threshold and
+//! Knuth Algorithm D long division (both validated against `u128` ground
+//! truth and property tests). In the scheduling LPs virtually every
+//! tableau entry stays word-sized, so the big path is the rare slow lane,
+//! not the common case.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -18,85 +31,219 @@ use std::str::FromStr;
 /// Limbs at or above this length use Karatsuba multiplication.
 const KARATSUBA_THRESHOLD: usize = 32;
 
-/// An arbitrary-precision signed integer.
+/// Magnitude of `i128::MIN`, the one value whose absolute value does not
+/// itself fit `i128`.
+const I128_MIN_MAG: u128 = 1u128 << 127;
+
+/// The internal representation. `Small` holds every value in the `i128`
+/// range; `Big` holds everything else (see the module docs for the
+/// canonical-form invariant that makes derived `Eq`/`Hash` sound).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Small(i128),
+    Big {
+        /// -1 or +1 (zero is always `Small(0)`).
+        sign: i8,
+        /// Little-endian magnitude; no high zero limbs; magnitude is
+        /// always strictly greater than `i128`'s range.
+        mag: Vec<u64>,
+    },
+}
+
+/// An arbitrary-precision signed integer with an inline word-sized fast
+/// path.
 ///
 /// See the [crate docs](crate) for why this exists. All arithmetic is
-/// exact; operations never overflow (they allocate instead).
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct Int {
-    /// -1, 0, or +1. Zero iff `mag` is empty.
-    sign: i8,
-    /// Little-endian magnitude; no high zero limbs.
-    mag: Vec<u64>,
+/// exact; operations never overflow (they promote to a heap
+/// representation instead).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int(Repr);
+
+impl Default for Int {
+    fn default() -> Self {
+        Int::zero()
+    }
+}
+
+/// Stack-allocated limb view of a word-sized magnitude (so mixed
+/// small/big operations can reuse the limb algorithms without
+/// allocating).
+struct SmallLimbs {
+    buf: [u64; 2],
+    len: usize,
+}
+
+impl SmallLimbs {
+    #[inline]
+    fn of(m: u128) -> SmallLimbs {
+        let lo = m as u64;
+        let hi = (m >> 64) as u64;
+        let len = if hi != 0 {
+            2
+        } else if lo != 0 {
+            1
+        } else {
+            0
+        };
+        SmallLimbs { buf: [lo, hi], len }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        &self.buf[..self.len]
+    }
+}
+
+#[inline]
+fn sign_of_i128(v: i128) -> i8 {
+    (v > 0) as i8 - (v < 0) as i8
 }
 
 impl Int {
     /// The integer 0.
     pub fn zero() -> Self {
-        Int { sign: 0, mag: Vec::new() }
+        Int(Repr::Small(0))
     }
 
     /// The integer 1.
     pub fn one() -> Self {
-        Int { sign: 1, mag: vec![1] }
+        Int(Repr::Small(1))
     }
 
-    /// Construct from a raw sign and magnitude, normalizing.
+    #[inline]
+    fn small(v: i128) -> Self {
+        Int(Repr::Small(v))
+    }
+
+    /// The inline value, when this is word-sized.
+    #[inline]
+    fn as_small(&self) -> Option<i128> {
+        match self.0 {
+            Repr::Small(v) => Some(v),
+            Repr::Big { .. } => None,
+        }
+    }
+
+    /// True when the value is held in the inline machine-word
+    /// representation (exposed so representation-boundary tests can
+    /// assert promotion and demotion; not meaningful for callers
+    /// otherwise — the two representations are behaviorally identical).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Small(_))
+    }
+
+    /// Construct from a raw sign and magnitude, normalizing (trims high
+    /// zero limbs, demotes word-sized magnitudes to the inline
+    /// representation).
     fn from_sign_mag(sign: i8, mut mag: Vec<u64>) -> Self {
         trim(&mut mag);
-        if mag.is_empty() {
-            Int::zero()
-        } else {
-            debug_assert!(sign == 1 || sign == -1);
-            Int { sign, mag }
+        match mag.len() {
+            0 => Int::zero(),
+            1 | 2 => {
+                let m = (mag[0] as u128) | ((*mag.get(1).unwrap_or(&0) as u128) << 64);
+                Int::from_sign_u128(sign, m)
+            }
+            _ => {
+                debug_assert!(sign == 1 || sign == -1);
+                Int(Repr::Big { sign, mag })
+            }
+        }
+    }
+
+    /// Construct from a sign and a `u128` magnitude, demoting to the
+    /// inline representation whenever the signed value fits `i128`.
+    #[inline]
+    fn from_sign_u128(sign: i8, m: u128) -> Self {
+        if m == 0 {
+            return Int::zero();
+        }
+        debug_assert!(sign == 1 || sign == -1);
+        if sign > 0 {
+            if m <= i128::MAX as u128 {
+                return Int::small(m as i128);
+            }
+        } else if m <= I128_MIN_MAG {
+            // `m as i128` wraps 2^127 to i128::MIN, whose negation is
+            // itself — exactly the value we want.
+            return Int::small((m as i128).wrapping_neg());
+        }
+        let mut mag = vec![m as u64, (m >> 64) as u64];
+        trim(&mut mag);
+        Int(Repr::Big { sign, mag })
+    }
+
+    /// Run `f` over the sign-magnitude view of this value, materializing
+    /// small magnitudes on the stack.
+    #[inline]
+    fn with_view<R>(&self, f: impl FnOnce(i8, &[u64]) -> R) -> R {
+        match &self.0 {
+            Repr::Small(v) => {
+                let limbs = SmallLimbs::of(v.unsigned_abs());
+                f(sign_of_i128(*v), limbs.as_slice())
+            }
+            Repr::Big { sign, mag } => f(*sign, mag),
         }
     }
 
     /// True iff this is 0.
     pub fn is_zero(&self) -> bool {
-        self.sign == 0
+        matches!(self.0, Repr::Small(0))
     }
 
     /// True iff this is 1.
     pub fn is_one(&self) -> bool {
-        self.sign == 1 && self.mag.len() == 1 && self.mag[0] == 1
+        matches!(self.0, Repr::Small(1))
     }
 
     /// True iff strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.sign < 0
+        self.signum() < 0
     }
 
     /// True iff strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.sign > 0
+        self.signum() > 0
     }
 
     /// The sign as -1 / 0 / +1.
     pub fn signum(&self) -> i8 {
-        self.sign
+        match &self.0 {
+            Repr::Small(v) => sign_of_i128(*v),
+            Repr::Big { sign, .. } => *sign,
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Int {
-        if self.sign < 0 {
-            Int { sign: 1, mag: self.mag.clone() }
-        } else {
-            self.clone()
+        match &self.0 {
+            Repr::Small(v) => {
+                if *v == 0 {
+                    Int::zero()
+                } else {
+                    Int::from_sign_u128(1, v.unsigned_abs())
+                }
+            }
+            Repr::Big { mag, .. } => Int(Repr::Big { sign: 1, mag: mag.clone() }),
         }
     }
 
     /// Number of significant bits of the magnitude (0 for zero).
     pub fn bits(&self) -> u64 {
-        match self.mag.last() {
-            None => 0,
-            Some(&hi) => (self.mag.len() as u64) * 64 - hi.leading_zeros() as u64,
+        match &self.0 {
+            Repr::Small(v) => (128 - v.unsigned_abs().leading_zeros()) as u64,
+            Repr::Big { mag, .. } => match mag.last() {
+                None => 0,
+                Some(&hi) => (mag.len() as u64) * 64 - hi.leading_zeros() as u64,
+            },
         }
     }
 
     /// True iff the magnitude is even.
     pub fn is_even(&self) -> bool {
-        self.mag.first().is_none_or(|l| l & 1 == 0)
+        match &self.0 {
+            Repr::Small(v) => v & 1 == 0,
+            Repr::Big { mag, .. } => mag[0] & 1 == 0,
+        }
     }
 
     /// Quotient and remainder of truncated division (`q` rounds toward
@@ -107,20 +254,28 @@ impl Int {
     /// Panics if `rhs` is zero.
     pub fn div_rem(&self, rhs: &Int) -> (Int, Int) {
         assert!(!rhs.is_zero(), "Int division by zero");
+        if let (Some(a), Some(b)) = (self.as_small(), rhs.as_small()) {
+            // The single overflowing case is i128::MIN / -1 = 2^127.
+            return match a.checked_div(b) {
+                Some(q) => (Int::small(q), Int::small(a % b)),
+                None => (Int::from_sign_u128(1, I128_MIN_MAG), Int::zero()),
+            };
+        }
         if self.is_zero() {
             return (Int::zero(), Int::zero());
         }
-        let (q_mag, r_mag) = mag_div_rem(&self.mag, &rhs.mag);
-        let q_sign = self.sign * rhs.sign;
-        let q = Int::from_sign_mag(q_sign, q_mag);
-        let r = Int::from_sign_mag(self.sign, r_mag);
-        (q, r)
+        self.with_view(|sa, ma| {
+            rhs.with_view(|sb, mb| {
+                let (q_mag, r_mag) = mag_div_rem(ma, mb);
+                (Int::from_sign_mag(sa * sb, q_mag), Int::from_sign_mag(sa, r_mag))
+            })
+        })
     }
 
     /// Euclidean division: quotient rounded toward negative infinity.
     pub fn div_floor(&self, rhs: &Int) -> Int {
         let (q, r) = self.div_rem(rhs);
-        if !r.is_zero() && (r.sign * rhs.sign) < 0 {
+        if !r.is_zero() && (r.signum() * rhs.signum()) < 0 {
             q - Int::one()
         } else {
             q
@@ -130,7 +285,7 @@ impl Int {
     /// Ceiling division: quotient rounded toward positive infinity.
     pub fn div_ceil_int(&self, rhs: &Int) -> Int {
         let (q, r) = self.div_rem(rhs);
-        if !r.is_zero() && (r.sign * rhs.sign) > 0 {
+        if !r.is_zero() && (r.signum() * rhs.signum()) > 0 {
             q + Int::one()
         } else {
             q
@@ -156,77 +311,91 @@ impl Int {
 
     /// Shift left by `n` bits (multiply by 2^n).
     pub fn shl(&self, n: u32) -> Int {
-        if self.is_zero() {
-            return Int::zero();
+        match &self.0 {
+            Repr::Small(0) => Int::zero(),
+            Repr::Small(v) => {
+                let m = v.unsigned_abs();
+                if n <= m.leading_zeros() {
+                    // The shifted magnitude still fits u128.
+                    Int::from_sign_u128(sign_of_i128(*v), m << n)
+                } else {
+                    let limbs = SmallLimbs::of(m);
+                    Int::from_sign_mag(sign_of_i128(*v), mag_shl(limbs.as_slice(), n as usize))
+                }
+            }
+            Repr::Big { sign, mag } => Int::from_sign_mag(*sign, mag_shl(mag, n as usize)),
         }
-        Int::from_sign_mag(self.sign, mag_shl(&self.mag, n as usize))
     }
 
     /// Shift the magnitude right by `n` bits, truncating toward zero.
     pub fn shr(&self, n: u32) -> Int {
-        if self.is_zero() {
-            return Int::zero();
+        match &self.0 {
+            Repr::Small(v) => {
+                if n >= 128 {
+                    return Int::zero();
+                }
+                Int::from_sign_u128(
+                    if sign_of_i128(*v) == 0 { 1 } else { sign_of_i128(*v) },
+                    v.unsigned_abs() >> n,
+                )
+            }
+            Repr::Big { sign, mag } => Int::from_sign_mag(*sign, mag_shr(mag, n as usize)),
         }
-        Int::from_sign_mag(self.sign, mag_shr(&self.mag, n as usize))
     }
 
     /// Lossy conversion to `f64` (round-to-nearest on the top bits; very
     /// large values map to ±inf).
     pub fn to_f64(&self) -> f64 {
-        let bits = self.bits();
-        let v = if bits <= 128 {
-            let mut v: u128 = 0;
-            for (i, &l) in self.mag.iter().enumerate() {
-                v |= (l as u128) << (64 * i);
+        match &self.0 {
+            Repr::Small(v) => *v as f64,
+            Repr::Big { sign, mag } => {
+                let bits = self.bits();
+                // Take the top 128 bits and scale.
+                let shift = bits - 128;
+                let top = mag_shr(mag, shift as usize);
+                let mut v: u128 = 0;
+                for (i, &l) in top.iter().enumerate().take(2) {
+                    v |= (l as u128) << (64 * i);
+                }
+                let v = (v as f64) * 2f64.powi(shift as i32);
+                if *sign < 0 {
+                    -v
+                } else {
+                    v
+                }
             }
-            v as f64
-        } else {
-            // Take the top 128 bits and scale.
-            let shift = bits - 128;
-            let top = self.shr(shift as u32);
-            let mut v: u128 = 0;
-            for (i, &l) in top.mag.iter().enumerate() {
-                v |= (l as u128) << (64 * i);
-            }
-            (v as f64) * 2f64.powi(shift as i32)
-        };
-        if self.sign < 0 {
-            -v
-        } else {
-            v
         }
     }
 
     /// Checked conversion to `i64`.
     pub fn to_i64(&self) -> Option<i64> {
-        match self.mag.len() {
-            0 => Some(0),
-            1 => {
-                let m = self.mag[0];
-                if self.sign > 0 && m <= i64::MAX as u64 {
-                    Some(m as i64)
-                } else if self.sign < 0 && m <= (i64::MAX as u64) + 1 {
-                    Some((m as i64).wrapping_neg())
-                } else {
-                    None
-                }
-            }
-            _ => None,
+        match self.0 {
+            Repr::Small(v) => i64::try_from(v).ok(),
+            Repr::Big { .. } => None,
         }
+    }
+
+    /// Checked conversion to `i128`.
+    pub fn to_i128(&self) -> Option<i128> {
+        self.as_small()
     }
 
     /// Checked conversion to `u64` (fails for negatives).
     pub fn to_u64(&self) -> Option<u64> {
-        match (self.sign, self.mag.len()) {
-            (0, _) => Some(0),
-            (1, 1) => Some(self.mag[0]),
-            _ => None,
+        match self.0 {
+            Repr::Small(v) => u64::try_from(v).ok(),
+            Repr::Big { .. } => None,
         }
     }
 
     /// Compare magnitudes only (ignoring sign).
     pub fn cmp_abs(&self, other: &Int) -> Ordering {
-        mag_cmp(&self.mag, &other.mag)
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.unsigned_abs().cmp(&b.unsigned_abs()),
+            (Repr::Small(_), Repr::Big { .. }) => Ordering::Less,
+            (Repr::Big { .. }, Repr::Small(_)) => Ordering::Greater,
+            (Repr::Big { mag: ma, .. }, Repr::Big { mag: mb, .. }) => mag_cmp(ma, mb),
+        }
     }
 }
 
@@ -234,57 +403,41 @@ impl Int {
 
 impl From<i64> for Int {
     fn from(v: i64) -> Self {
-        match v.cmp(&0) {
-            Ordering::Equal => Int::zero(),
-            Ordering::Greater => Int { sign: 1, mag: vec![v as u64] },
-            Ordering::Less => Int { sign: -1, mag: vec![(v as i128).unsigned_abs() as u64] },
-        }
+        Int::small(v as i128)
     }
 }
 
 impl From<u64> for Int {
     fn from(v: u64) -> Self {
-        if v == 0 {
-            Int::zero()
-        } else {
-            Int { sign: 1, mag: vec![v] }
-        }
+        Int::small(v as i128)
     }
 }
 
 impl From<i32> for Int {
     fn from(v: i32) -> Self {
-        Int::from(v as i64)
+        Int::small(v as i128)
     }
 }
 
 impl From<usize> for Int {
     fn from(v: usize) -> Self {
-        Int::from(v as u64)
+        Int::small(v as i128)
     }
 }
 
 impl From<i128> for Int {
     fn from(v: i128) -> Self {
-        if v == 0 {
-            return Int::zero();
-        }
-        let sign = if v > 0 { 1 } else { -1 };
-        let m = v.unsigned_abs();
-        let mut mag = vec![m as u64, (m >> 64) as u64];
-        trim(&mut mag);
-        Int { sign, mag }
+        Int::small(v)
     }
 }
 
 impl From<u128> for Int {
     fn from(v: u128) -> Self {
         if v == 0 {
-            return Int::zero();
+            Int::zero()
+        } else {
+            Int::from_sign_u128(1, v)
         }
-        let mut mag = vec![v as u64, (v >> 64) as u64];
-        trim(&mut mag);
-        Int { sign: 1, mag }
     }
 }
 
@@ -304,6 +457,12 @@ impl FromStr for Int {
     type Err = ParseIntError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Word-sized fast path: `i128::from_str` accepts exactly the
+        // grammar below (optional sign, then digits) and fails on
+        // overflow, in which case we fall through to the chunked path.
+        if let Ok(v) = s.parse::<i128>() {
+            return Ok(Int::small(v));
+        }
         let (sign, digits) = match s.as_bytes().first() {
             Some(b'-') => (-1i8, &s[1..]),
             Some(b'+') => (1, &s[1..]),
@@ -345,26 +504,28 @@ impl FromStr for Int {
 
 impl fmt::Display for Int {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.pad_integral(true, "", "0");
-        }
-        // Repeatedly divide by 10^19, collecting low-order chunks.
-        let mut chunks: Vec<u64> = Vec::new();
-        let mut mag = self.mag.clone();
-        while !mag.is_empty() {
-            let rem = mag_div_single_in_place(&mut mag, 10_000_000_000_000_000_000u64);
-            trim(&mut mag);
-            chunks.push(rem);
-        }
-        let mut s = String::with_capacity(chunks.len() * 19);
-        for (i, chunk) in chunks.iter().rev().enumerate() {
-            if i == 0 {
-                s.push_str(&chunk.to_string());
-            } else {
-                s.push_str(&format!("{chunk:019}"));
+        match &self.0 {
+            Repr::Small(v) => f.pad_integral(*v >= 0, "", &v.unsigned_abs().to_string()),
+            Repr::Big { sign, mag } => {
+                // Repeatedly divide by 10^19, collecting low-order chunks.
+                let mut chunks: Vec<u64> = Vec::new();
+                let mut mag = mag.clone();
+                while !mag.is_empty() {
+                    let rem = mag_div_single_in_place(&mut mag, 10_000_000_000_000_000_000u64);
+                    trim(&mut mag);
+                    chunks.push(rem);
+                }
+                let mut s = String::with_capacity(chunks.len() * 19);
+                for (i, chunk) in chunks.iter().rev().enumerate() {
+                    if i == 0 {
+                        s.push_str(&chunk.to_string());
+                    } else {
+                        s.push_str(&format!("{chunk:019}"));
+                    }
+                }
+                f.pad_integral(*sign >= 0, "", &s)
             }
         }
-        f.pad_integral(self.sign >= 0, "", &s)
     }
 }
 
@@ -384,59 +545,115 @@ impl PartialOrd for Int {
 
 impl Ord for Int {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.sign.cmp(&other.sign) {
-            Ordering::Equal => {}
-            ord => return ord,
-        }
-        match self.sign {
-            0 => Ordering::Equal,
-            1 => mag_cmp(&self.mag, &other.mag),
-            _ => mag_cmp(&other.mag, &self.mag),
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // A big value's magnitude always exceeds i128 range, so its
+            // sign alone decides against any small value.
+            (Repr::Small(_), Repr::Big { sign, .. }) => {
+                if *sign > 0 {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (Repr::Big { sign, .. }, Repr::Small(_)) => {
+                if *sign > 0 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (Repr::Big { sign: sa, mag: ma }, Repr::Big { sign: sb, mag: mb }) => {
+                match sa.cmp(sb) {
+                    Ordering::Equal => {}
+                    ord => return ord,
+                }
+                if *sa > 0 {
+                    mag_cmp(ma, mb)
+                } else {
+                    mag_cmp(mb, ma)
+                }
+            }
         }
     }
 }
 
 // --- arithmetic on references (canonical impls) ------------------------------
 
+/// Signed addition over sign-magnitude views (the mixed / big-big path).
+fn add_views(sa: i8, ma: &[u64], sb: i8, mb: &[u64]) -> Int {
+    if sa == 0 {
+        return Int::from_sign_mag(sb, mb.to_vec());
+    }
+    if sb == 0 {
+        return Int::from_sign_mag(sa, ma.to_vec());
+    }
+    if sa == sb {
+        Int::from_sign_mag(sa, mag_add(ma, mb))
+    } else {
+        match mag_cmp(ma, mb) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int::from_sign_mag(sa, mag_sub(ma, mb)),
+            Ordering::Less => Int::from_sign_mag(sb, mag_sub(mb, ma)),
+        }
+    }
+}
+
 impl<'b> Add<&'b Int> for &Int {
     type Output = Int;
     fn add(self, rhs: &'b Int) -> Int {
-        if self.is_zero() {
-            return rhs.clone();
-        }
-        if rhs.is_zero() {
-            return self.clone();
-        }
-        if self.sign == rhs.sign {
-            Int::from_sign_mag(self.sign, mag_add(&self.mag, &rhs.mag))
-        } else {
-            match mag_cmp(&self.mag, &rhs.mag) {
-                Ordering::Equal => Int::zero(),
-                Ordering::Greater => Int::from_sign_mag(self.sign, mag_sub(&self.mag, &rhs.mag)),
-                Ordering::Less => Int::from_sign_mag(rhs.sign, mag_sub(&rhs.mag, &self.mag)),
+        if let (Some(a), Some(b)) = (self.as_small(), rhs.as_small()) {
+            if let Some(s) = a.checked_add(b) {
+                return Int::small(s);
             }
+            // Overflow ⇒ same signs; the magnitude is |a| + |b| ≤ 2^128.
+            let (m, carry) = a.unsigned_abs().overflowing_add(b.unsigned_abs());
+            let sign = if a < 0 { -1 } else { 1 };
+            if carry {
+                return Int(Repr::Big { sign, mag: vec![m as u64, (m >> 64) as u64, 1] });
+            }
+            return Int::from_sign_u128(sign, m);
         }
+        self.with_view(|sa, ma| rhs.with_view(|sb, mb| add_views(sa, ma, sb, mb)))
     }
 }
 
 impl<'b> Sub<&'b Int> for &Int {
     type Output = Int;
     fn sub(self, rhs: &'b Int) -> Int {
-        if rhs.is_zero() {
-            return self.clone();
+        if let (Some(a), Some(b)) = (self.as_small(), rhs.as_small()) {
+            if let Some(d) = a.checked_sub(b) {
+                return Int::small(d);
+            }
+            // Overflow ⇒ opposite signs; the magnitude is |a| + |b|.
+            let (m, carry) = a.unsigned_abs().overflowing_add(b.unsigned_abs());
+            let sign = if a < 0 { -1 } else { 1 };
+            if carry {
+                return Int(Repr::Big { sign, mag: vec![m as u64, (m >> 64) as u64, 1] });
+            }
+            return Int::from_sign_u128(sign, m);
         }
-        let negated = Int { sign: -rhs.sign, mag: rhs.mag.clone() };
-        self + &negated
+        self.with_view(|sa, ma| rhs.with_view(|sb, mb| add_views(sa, ma, -sb, mb)))
     }
 }
 
 impl<'b> Mul<&'b Int> for &Int {
     type Output = Int;
     fn mul(self, rhs: &'b Int) -> Int {
+        if let (Some(a), Some(b)) = (self.as_small(), rhs.as_small()) {
+            if let Some(p) = a.checked_mul(b) {
+                return Int::small(p);
+            }
+            let sign = sign_of_i128(a) * sign_of_i128(b);
+            let mag = mul_u128_full(a.unsigned_abs(), b.unsigned_abs());
+            return Int::from_sign_mag(sign, mag);
+        }
         if self.is_zero() || rhs.is_zero() {
             return Int::zero();
         }
-        Int::from_sign_mag(self.sign * rhs.sign, mag_mul(&self.mag, &rhs.mag))
+        self.with_view(|sa, ma| {
+            rhs.with_view(|sb, mb| Int::from_sign_mag(sa * sb, mag_mul(ma, mb)))
+        })
     }
 }
 
@@ -486,14 +703,22 @@ forward_binop!(Rem, rem);
 impl Neg for Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int { sign: -self.sign, mag: self.mag }
+        match self.0 {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => Int::small(n),
+                None => Int::from_sign_u128(1, I128_MIN_MAG),
+            },
+            // Canonicalize: magnitude 2^127 demotes to Small(i128::MIN)
+            // exactly when the sign flips to negative.
+            Repr::Big { sign, mag } => Int::from_sign_mag(-sign, mag),
+        }
     }
 }
 
 impl Neg for &Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int { sign: -self.sign, mag: self.mag.clone() }
+        self.clone().neg()
     }
 }
 
@@ -523,16 +748,60 @@ impl std::iter::Sum for Int {
 
 // --- gcd ---------------------------------------------------------------------
 
-/// Euclidean gcd on magnitudes; result is non-negative.
+/// Stein's binary GCD on machine words: shift/subtract only, no
+/// division. The workhorse of `Ratio` normalization on the fast path.
+pub(crate) fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            break;
+        }
+    }
+    a << shift
+}
+
+/// Gcd on magnitudes; result is non-negative. Word-sized operands take
+/// the binary-GCD fast path; big operands run Euclid until both
+/// remainders have demoted into word range (which one division step
+/// usually achieves), then finish binary.
 pub(crate) fn gcd(a: &Int, b: &Int) -> Int {
     let mut a = a.abs();
     let mut b = b.abs();
-    while !b.is_zero() {
+    loop {
+        if let (Some(x), Some(y)) = (a.as_small(), b.as_small()) {
+            return Int::from_u128_mag(gcd_u128(x.unsigned_abs(), y.unsigned_abs()));
+        }
+        if b.is_zero() {
+            return a;
+        }
         let r = &a % &b;
         a = b;
         b = r;
     }
-    a
+}
+
+impl Int {
+    /// Non-negative value from a raw `u128` magnitude (demoting).
+    #[inline]
+    fn from_u128_mag(m: u128) -> Int {
+        if m == 0 {
+            Int::zero()
+        } else {
+            Int::from_sign_u128(1, m)
+        }
+    }
 }
 
 // --- magnitude (unsigned little-endian limb vector) helpers -------------------
@@ -584,6 +853,37 @@ fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
         borrow = (b1 as u64) + (b2 as u64);
     }
     debug_assert_eq!(borrow, 0);
+    trim(&mut out);
+    out
+}
+
+/// Full 256-bit product of two `u128` magnitudes, as limbs.
+fn mul_u128_full(a: u128, b: u128) -> Vec<u64> {
+    let (a0, a1) = (a as u64 as u128, (a >> 64) as u64 as u128);
+    let (b0, b1) = (b as u64 as u128, (b >> 64) as u64 as u128);
+    // Partial products: a·b = a1b1·2^128 + (a1b0 + a0b1)·2^64 + a0b0.
+    let ll = a0 * b0;
+    let lh = a0 * b1;
+    let hl = a1 * b0;
+    let hh = a1 * b1;
+    let mut out = vec![ll as u64, (ll >> 64) as u64, hh as u64, (hh >> 64) as u64];
+    let mut add_shifted = |p: u128| {
+        let mut carry = 0u64;
+        for (i, part) in [p as u64, (p >> 64) as u64].into_iter().enumerate() {
+            let s = out[1 + i] as u128 + part as u128 + carry as u128;
+            out[1 + i] = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        let mut k = 3;
+        while carry != 0 {
+            let s = out[k] as u128 + carry as u128;
+            out[k] = s as u64;
+            carry = (s >> 64) as u64;
+            k += 1;
+        }
+    };
+    add_shifted(lh);
+    add_shifted(hl);
     trim(&mut out);
     out
 }
@@ -941,6 +1241,15 @@ mod tests {
     }
 
     #[test]
+    fn gcd_big_operands_reduce() {
+        let a = int(6) * Int::from(10i64).pow(40);
+        let b = int(9) * Int::from(10i64).pow(40);
+        assert_eq!(gcd(&a, &b), int(3) * Int::from(10i64).pow(40));
+        // Mixed big/small still lands on the word-sized gcd.
+        assert_eq!(gcd(&a, &int(9)), int(3));
+    }
+
+    #[test]
     fn to_f64_small_and_huge() {
         assert_eq!(int(12345).to_f64(), 12345.0);
         assert_eq!(int(-12345).to_f64(), -12345.0);
@@ -984,6 +1293,93 @@ mod tests {
         let (q, r) = u.div_rem(&v);
         assert_eq!(&(&q * &v) + &r, u);
         assert!(r.cmp_abs(&v) == Ordering::Less);
+    }
+
+    #[test]
+    fn promotion_and_demotion_at_i128_boundaries() {
+        let max = int(i128::MAX);
+        let min = int(i128::MIN);
+        assert!(max.is_inline() && min.is_inline());
+
+        // One past the boundary promotes; stepping back demotes.
+        let over = &max + &Int::one();
+        assert!(!over.is_inline());
+        assert_eq!(over.to_string(), "170141183460469231731687303715884105728");
+        let back = &over - &Int::one();
+        assert!(back.is_inline());
+        assert_eq!(back, max);
+
+        let under = &min - &Int::one();
+        assert!(!under.is_inline());
+        assert_eq!(under.to_string(), "-170141183460469231731687303715884105729");
+        let back = &under + &Int::one();
+        assert!(back.is_inline());
+        assert_eq!(back, min);
+
+        // The asymmetric corner: |i128::MIN| fits the small repr only
+        // as i128::MIN itself; its negation must stay inline.
+        let neg_min = -min.clone();
+        assert!(!neg_min.is_inline(), "2^127 exceeds i128::MAX");
+        assert_eq!((-neg_min.clone()).to_i128(), Some(i128::MIN));
+        assert!((-neg_min).is_inline());
+
+        // i128::MIN / -1 is the one overflowing small division.
+        let (q, r) = min.div_rem(&int(-1));
+        assert_eq!(q.to_string(), "170141183460469231731687303715884105728");
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn small_overflow_carry_edges() {
+        // |a| + |b| == 2^128 exactly: the carry limb path.
+        let a = int(i128::MIN);
+        let sum = &a + &a;
+        assert_eq!(sum.to_string(), "-340282366920938463463374607431768211456");
+        assert_eq!(&sum - &a, a);
+        // Largest positive doubling.
+        let b = int(i128::MAX);
+        let sum = &b + &b;
+        assert_eq!(sum.to_string(), "340282366920938463463374607431768211454");
+        assert_eq!(&sum - &b, b);
+    }
+
+    #[test]
+    fn small_mul_overflow_matches_decimal() {
+        let a = int(i128::MAX);
+        let p = &a * &a;
+        assert!(!p.is_inline());
+        assert_eq!(
+            p.to_string(),
+            "28948022309329048855892746252171976962977213799489202546401021394546514198529"
+        );
+        assert_eq!(&p / &a, a);
+        let m = int(i128::MIN);
+        let p = &m * &m;
+        assert_eq!(p, Int::one().shl(254));
+    }
+
+    #[test]
+    fn hash_eq_consistency_across_representations() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Int| {
+            let mut hasher = DefaultHasher::new();
+            v.hash(&mut hasher);
+            hasher.finish()
+        };
+        // The same value reached via a promote/demote round trip must
+        // hash identically to the directly constructed one.
+        for v in [0i128, 1, -1, i64::MIN as i128, i64::MAX as i128, i128::MAX, i128::MIN] {
+            let direct = int(v);
+            let round_trip = &(&int(v) + &int(i128::MAX)) - &int(i128::MAX);
+            assert_eq!(direct, round_trip, "{v}");
+            assert_eq!(h(&direct), h(&round_trip), "{v}");
+            let shifted = int(v).shl(130).shr(130);
+            // Truncating shr loses low bits only for negatives rounded
+            // toward zero — shl/shr is exact, so this must round-trip.
+            assert_eq!(direct, shifted, "{v}");
+            assert_eq!(h(&direct), h(&shifted), "{v}");
+        }
     }
 
     proptest! {
@@ -1044,6 +1440,14 @@ mod tests {
         }
 
         #[test]
+        fn prop_mul_u128_full_matches_schoolbook(a in any::<u128>(), b in any::<u128>()) {
+            prop_assume!(a != 0 && b != 0);
+            let la = SmallLimbs::of(a);
+            let lb = SmallLimbs::of(b);
+            prop_assert_eq!(mul_u128_full(a, b), schoolbook_mul(la.as_slice(), lb.as_slice()));
+        }
+
+        #[test]
         fn prop_gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
             let g = gcd(&int(a as i128), &int(b as i128));
             if !g.is_zero() {
@@ -1056,10 +1460,37 @@ mod tests {
         }
 
         #[test]
+        fn prop_binary_gcd_matches_euclid(a in any::<u128>(), b in any::<u128>()) {
+            let euclid = {
+                let (mut a, mut b) = (a, b);
+                while b != 0 {
+                    let r = a % b;
+                    a = b;
+                    b = r;
+                }
+                a
+            };
+            prop_assert_eq!(gcd_u128(a, b), euclid);
+        }
+
+        #[test]
         fn prop_shl_shr_roundtrip(mag in proptest::collection::vec(any::<u64>(), 1..5), n in 0u32..200) {
             let v = Int::from_sign_mag(1, mag);
             prop_assume!(!v.is_zero());
             prop_assert_eq!(v.shl(n).shr(n), v);
+        }
+
+        #[test]
+        fn prop_canonical_form_is_invariant(a in any::<i128>(), b in any::<i128>()) {
+            // Any op result in the i128 range must be inline, and any
+            // outside must not be — the representation is a function of
+            // the value alone.
+            let x = int(a);
+            let y = int(b);
+            for v in [&x + &y, &x - &y, &x * &y, -&x] {
+                let in_range = v.to_string().parse::<i128>().is_ok();
+                prop_assert_eq!(v.is_inline(), in_range, "{}", v);
+            }
         }
     }
 }

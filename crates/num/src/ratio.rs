@@ -36,6 +36,21 @@ impl Ratio {
         Ratio { num: Int::one(), den: Int::one() }
     }
 
+    /// Construct an already-normalized rational without running gcd.
+    ///
+    /// Callers must guarantee the invariants (positive denominator,
+    /// coprime parts, zero as `0/1`); debug builds verify them.
+    #[inline]
+    fn raw(num: Int, den: Int) -> Self {
+        debug_assert!(den.is_positive(), "Ratio::raw: non-positive denominator");
+        debug_assert!(
+            crate::gcd(&num, &den).is_one() || num.is_zero(),
+            "Ratio::raw: non-coprime parts"
+        );
+        debug_assert!(!num.is_zero() || den.is_one(), "Ratio::raw: zero not 0/1");
+        Ratio { num, den }
+    }
+
     /// Construct `num/den`, normalizing sign and common factors.
     ///
     /// # Panics
@@ -44,6 +59,10 @@ impl Ratio {
         assert!(!den.is_zero(), "Ratio with zero denominator");
         if num.is_zero() {
             return Ratio::zero();
+        }
+        // Integer fast path: nothing to reduce when the denominator is 1.
+        if den.is_one() {
+            return Ratio::raw(num, den);
         }
         let g = crate::gcd(&num, &den);
         let mut num = &num / &g;
@@ -103,6 +122,11 @@ impl Ratio {
         self.den.is_one()
     }
 
+    /// True iff the value is exactly 1.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
     /// Sign as -1/0/+1.
     pub fn signum(&self) -> i8 {
         self.num.signum()
@@ -134,7 +158,13 @@ impl Ratio {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Ratio {
         assert!(!self.is_zero(), "Ratio::recip of zero");
-        Ratio::new(self.den.clone(), self.num.clone())
+        // num and den are already coprime, so the reciprocal is a sign-
+        // adjusted swap — no gcd needed.
+        if self.num.is_negative() {
+            Ratio::raw(-self.den.clone(), self.num.abs())
+        } else {
+            Ratio::raw(self.den.clone(), self.num.clone())
+        }
     }
 
     /// Lossy conversion to `f64`.
@@ -243,24 +273,77 @@ impl Ratio {
 
 // --- arithmetic ---------------------------------------------------------------
 
+impl Ratio {
+    /// Normalize `num / den` when `den` is a known-positive denominator
+    /// shared by both addends, so a single gcd against the (usually
+    /// word-sized) denominator suffices.
+    #[inline]
+    fn with_shared_den(num: Int, den: &Int) -> Ratio {
+        if num.is_zero() {
+            return Ratio::zero();
+        }
+        if den.is_one() {
+            return Ratio::raw(num, Int::one());
+        }
+        let g = crate::gcd(&num, den);
+        if g.is_one() {
+            Ratio::raw(num, den.clone())
+        } else {
+            Ratio::raw(&num / &g, den / &g)
+        }
+    }
+
+    /// Shared implementation of `+` / `-` (Knuth 4.5.1: for reduced
+    /// inputs the result is reduced by construction, so no full gcd over
+    /// the combined numerator is ever needed).
+    fn add_impl(x: &Ratio, y: &Ratio, negate_y: bool) -> Ratio {
+        // Same denominator: combine numerators, reduce against den once.
+        if x.den == y.den {
+            let num = if negate_y { &x.num - &y.num } else { &x.num + &y.num };
+            return Ratio::with_shared_den(num, &x.den);
+        }
+        let d1 = crate::gcd(&x.den, &y.den);
+        if d1.is_one() {
+            // Coprime denominators: (a·d ± c·b)/(b·d) is already in
+            // lowest terms.
+            let cross = &y.num * &x.den;
+            let lhs = &x.num * &y.den;
+            let num = if negate_y { &lhs - &cross } else { &lhs + &cross };
+            if num.is_zero() {
+                return Ratio::zero();
+            }
+            return Ratio::raw(num, &x.den * &y.den);
+        }
+        // General case: t = a·(d/d1) ± c·(b/d1); the only factor shared
+        // with the denominator divides d1.
+        let db = &x.den / &d1;
+        let dd = &y.den / &d1;
+        let cross = &y.num * &db;
+        let lhs = &x.num * &dd;
+        let t = if negate_y { &lhs - &cross } else { &lhs + &cross };
+        if t.is_zero() {
+            return Ratio::zero();
+        }
+        let d2 = crate::gcd(&t, &d1);
+        if d2.is_one() {
+            Ratio::raw(t, &x.den * &dd)
+        } else {
+            Ratio::raw(&t / &d2, &db * &(&y.den / &d2))
+        }
+    }
+}
+
 impl<'b> Add<&'b Ratio> for &Ratio {
     type Output = Ratio;
     fn add(self, rhs: &'b Ratio) -> Ratio {
-        // a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)), g = gcd(b, d).
-        let g = crate::gcd(&self.den, &rhs.den);
-        let db = &self.den / &g;
-        let dd = &rhs.den / &g;
-        let num = &(&self.num * &dd) + &(&rhs.num * &db);
-        let den = &self.den * &dd;
-        Ratio::new(num, den)
+        Ratio::add_impl(self, rhs, false)
     }
 }
 
 impl<'b> Sub<&'b Ratio> for &Ratio {
     type Output = Ratio;
     fn sub(self, rhs: &'b Ratio) -> Ratio {
-        let neg = Ratio { num: -rhs.num.clone(), den: rhs.den.clone() };
-        self + &neg
+        Ratio::add_impl(self, rhs, true)
     }
 }
 
@@ -270,13 +353,18 @@ impl<'b> Mul<&'b Ratio> for &Ratio {
         if self.is_zero() || rhs.is_zero() {
             return Ratio::zero();
         }
-        // Reduce cross factors first to keep intermediates small.
+        // Integer × integer: nothing to reduce.
+        if self.den.is_one() && rhs.den.is_one() {
+            return Ratio::raw(&self.num * &rhs.num, Int::one());
+        }
+        // Reduce cross factors first to keep intermediates small; for
+        // reduced inputs the result is then reduced by construction and
+        // the denominator stays positive.
         let g1 = crate::gcd(&self.num, &rhs.den);
         let g2 = crate::gcd(&rhs.num, &self.den);
         let num = &(&self.num / &g1) * &(&rhs.num / &g2);
         let den = &(&self.den / &g2) * &(&rhs.den / &g1);
-        // num/den already coprime; fix the sign convention via new().
-        Ratio::new(num, den)
+        Ratio::raw(num, den)
     }
 }
 
@@ -388,6 +476,11 @@ impl PartialOrd for Ratio {
 
 impl Ord for Ratio {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Shared denominator (including integer vs integer): compare
+        // numerators directly, no multiplication.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // Denominators positive: a/b vs c/d  ⇔  a·d vs c·b.
         match self.num.signum().cmp(&other.num.signum()) {
             Ordering::Equal => {}

@@ -1,0 +1,261 @@
+//! Small/big equivalence oracle for `Int` and `Ratio`.
+//!
+//! `Int` carries word-sized values inline (`Small(i128)`) and spills to
+//! sign+limbs only past the i128 range; every operator has a machine-
+//! word fast path next to the limb algorithms. These tests pit the two
+//! against each other: the same arithmetic is routed once directly
+//! (fast path) and once through a 2^200-scaled detour that forces the
+//! limb representation end to end, and the results must be equal — and
+//! equally hashed — after canonicalization. Operand generation is
+//! biased toward the promotion boundaries (±i128 range ends, i64::MIN,
+//! power-of-two shift/carry edges) where the two representations meet.
+
+use atsched_num::{Int, Ratio};
+use proptest::{prop_assert, prop_assert_eq, prop_assume, proptest, strategy::any};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn int(v: i128) -> Int {
+    Int::from(v)
+}
+
+/// The scale factor pushing any nonzero word-sized value far past the
+/// inline range, so scaled arithmetic runs on the limb representation.
+fn big_scale() -> Int {
+    Int::one().shl(200)
+}
+
+/// Bias a raw i128 toward representation boundaries: shift/carry edges
+/// (2^63, 2^64, 2^127), the inline range ends, and i64::MIN.
+fn edgy(raw: i128, sel: u8) -> i128 {
+    const EDGES: [i128; 12] = [
+        0,
+        1,
+        -1,
+        i64::MAX as i128,
+        i64::MIN as i128,
+        u64::MAX as i128,
+        (u64::MAX as i128) + 1,
+        i128::MAX,
+        i128::MIN,
+        i128::MIN + 1,
+        1 << 100,
+        -(1 << 100),
+    ];
+    match sel {
+        // About a tenth of the draws land exactly on an edge...
+        s if (s as usize) < 2 * EDGES.len() => EDGES[s as usize % EDGES.len()],
+        // ...two thirds within a few steps of one...
+        s if s < 192 => {
+            EDGES[raw.unsigned_abs() as usize % EDGES.len()].wrapping_add((s % 7) as i128 - 3)
+        }
+        // ...the rest anywhere.
+        _ => raw,
+    }
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// The canonical-form invariant every assertion below leans on: a
+/// result in the i128 range must be inline, anything larger must not.
+fn assert_canonical(v: &Int) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(v.is_inline(), v.to_i128().is_some());
+    Ok(())
+}
+
+proptest! {
+    /// `a ± b` via the inline fast path vs forced limb arithmetic:
+    /// (aK ± bK) / K with K = 2^200.
+    #[test]
+    fn int_add_sub_match_big_detour(
+        (ra, sa) in (any::<i128>(), any::<u8>()),
+        (rb, sb) in (any::<i128>(), any::<u8>()),
+    ) {
+        let (a, b) = (edgy(ra, sa), edgy(rb, sb));
+        let k = big_scale();
+        let (xa, xb) = (int(a), int(b));
+
+        let fast_add = &xa + &xb;
+        let (slow_add, rem) = (&(&xa * &k) + &(&xb * &k)).div_rem(&k);
+        prop_assert!(rem.is_zero());
+        prop_assert_eq!(&fast_add, &slow_add);
+        prop_assert_eq!(hash_of(&fast_add), hash_of(&slow_add));
+        assert_canonical(&fast_add)?;
+
+        let fast_sub = &xa - &xb;
+        let (slow_sub, rem) = (&(&xa * &k) - &(&xb * &k)).div_rem(&k);
+        prop_assert!(rem.is_zero());
+        prop_assert_eq!(&fast_sub, &slow_sub);
+        prop_assert_eq!(hash_of(&fast_sub), hash_of(&slow_sub));
+        assert_canonical(&fast_sub)?;
+    }
+
+    /// `a * b` via the inline fast path vs (aK)(bK) / K².
+    #[test]
+    fn int_mul_matches_big_detour(
+        (ra, sa) in (any::<i128>(), any::<u8>()),
+        (rb, sb) in (any::<i128>(), any::<u8>()),
+    ) {
+        let (a, b) = (edgy(ra, sa), edgy(rb, sb));
+        let k = big_scale();
+        let fast = &int(a) * &int(b);
+        let (slow, rem) = (&(&int(a) * &k) * &(&int(b) * &k)).div_rem(&(&k * &k));
+        prop_assert!(rem.is_zero());
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(hash_of(&fast), hash_of(&slow));
+        assert_canonical(&fast)?;
+    }
+
+    /// Truncating division against the i128 reference wherever the
+    /// reference exists, including the `i128::MIN / -1` promotion.
+    #[test]
+    fn int_div_rem_matches_i128_reference(
+        (ra, sa) in (any::<i128>(), any::<u8>()),
+        (rb, sb) in (any::<i128>(), any::<u8>()),
+    ) {
+        let (a, b) = (edgy(ra, sa), edgy(rb, sb));
+        prop_assume!(b != 0);
+        let (q, r) = int(a).div_rem(&int(b));
+        match a.checked_div(b) {
+            Some(qq) => {
+                prop_assert_eq!(&q, &int(qq));
+                prop_assert_eq!(&r, &int(a % b));
+            }
+            None => {
+                // i128::MIN / -1: the quotient 2^127 must promote.
+                prop_assert!(!q.is_inline());
+                prop_assert_eq!(&q, &int(i128::MIN).abs());
+                prop_assert!(r.is_zero());
+            }
+        }
+        // Euclid round-trip holds regardless of representation.
+        prop_assert_eq!(&(&(&q * &int(b)) + &r), &int(a));
+    }
+
+    /// Values equal through any construction route — literal, negated
+    /// negation, demoted big arithmetic, string round-trip — are one
+    /// value: same representation, `Eq`, and hash.
+    #[test]
+    fn int_hash_eq_consistency_across_routes((raw, sel) in (any::<i128>(), any::<u8>())) {
+        let v = edgy(raw, sel);
+        let direct = int(v);
+        let negneg = -(-direct.clone());
+        let k = big_scale();
+        let (demoted, rem) = (&direct * &k).div_rem(&k);
+        let parsed: Int = direct.to_string().parse().unwrap();
+        prop_assert!(rem.is_zero());
+        for other in [&negneg, &demoted, &parsed] {
+            prop_assert_eq!(&direct, other);
+            prop_assert_eq!(hash_of(&direct), hash_of(other));
+            prop_assert_eq!(direct.is_inline(), other.is_inline());
+        }
+        prop_assert_eq!(direct.to_i128(), Some(v));
+        // Ordering agrees with the reference on the inline range.
+        prop_assert_eq!(direct.cmp(&Int::zero()), v.cmp(&0));
+    }
+
+    /// Ratio fast paths (shared-denominator add, coprime-denominator
+    /// Knuth reduction, gcd-free integer cases) vs the textbook
+    /// cross-multiplied construction on forced-big components.
+    #[test]
+    fn ratio_ops_match_cross_multiplied_reference(
+        (ra, sa) in (any::<i128>(), any::<u8>()),
+        rb in any::<i128>(),
+        (rc, sc) in (any::<i128>(), any::<u8>()),
+        rd in any::<i128>(),
+    ) {
+        let (a, c) = (edgy(ra, sa), edgy(rc, sc));
+        // Denominator pool is biased small so equal/coprime/shared-
+        // factor denominator fast paths all get exercised.
+        let b = (rb % 40) + 41; // 1..=81
+        let d = (rd % 40) + 41;
+        let x = Ratio::new(int(a), int(b));
+        let y = Ratio::new(int(c), int(d));
+        let k = big_scale();
+        // Scaling both components by K forces limb arithmetic inside
+        // `new`'s reduction without changing the value.
+        let xk = Ratio::new(&int(a) * &k, &int(b) * &k);
+        prop_assert_eq!(&x, &xk);
+        prop_assert_eq!(hash_of(&x), hash_of(&xk));
+
+        let sum = &x + &y;
+        let reference = Ratio::new(
+            &(&int(a) * &int(d)) + &(&int(c) * &int(b)),
+            &int(b) * &int(d),
+        );
+        prop_assert_eq!(&sum, &reference);
+        prop_assert_eq!(hash_of(&sum), hash_of(&reference));
+
+        let diff = &x - &y;
+        let reference = Ratio::new(
+            &(&int(a) * &int(d)) - &(&int(c) * &int(b)),
+            &int(b) * &int(d),
+        );
+        prop_assert_eq!(&diff, &reference);
+
+        let prod = &x * &y;
+        let reference = Ratio::new(&int(a) * &int(c), &int(b) * &int(d));
+        prop_assert_eq!(&prod, &reference);
+        prop_assert_eq!(hash_of(&prod), hash_of(&reference));
+
+        // Comparison agrees with cross multiplication.
+        let lhs = &int(a) * &int(d);
+        let rhs = &int(c) * &int(b);
+        prop_assert_eq!(x.cmp(&y), lhs.cmp(&rhs));
+
+        // recip's gcd-free path preserves canonical form.
+        if !y.is_zero() {
+            prop_assert_eq!(&(&x * &y.recip()), &Ratio::new(
+                &int(a) * &int(d),
+                &int(b) * &int(c),
+            ));
+        }
+    }
+}
+
+/// Non-random spot checks at the exact promotion boundaries.
+#[test]
+fn int_promotion_boundaries_exact() {
+    let max = int(i128::MAX);
+    let min = int(i128::MIN);
+    assert!(max.is_inline() && min.is_inline());
+
+    // One step past either end promotes; stepping back demotes.
+    let over = &max + &Int::one();
+    assert!(!over.is_inline());
+    assert_eq!(&over - &Int::one(), max);
+    let under = &min - &Int::one();
+    assert!(!under.is_inline());
+    assert_eq!(&under + &Int::one(), min);
+
+    // |i128::MIN| = 2^127 does not fit; negating it round-trips.
+    let abs_min = min.abs();
+    assert!(!abs_min.is_inline());
+    assert_eq!(-abs_min, min);
+    assert_eq!(min.to_i128(), Some(i128::MIN));
+
+    // i64::MIN survives the i64 accessor boundary in both directions.
+    let m64 = int(i64::MIN as i128);
+    assert_eq!(m64.to_i64(), Some(i64::MIN));
+    assert_eq!(m64.abs().to_i64(), None);
+    assert_eq!(m64.abs().to_i128(), Some(-(i64::MIN as i128)));
+
+    // Squaring the u64 carry edge needs the full 128-bit magnitude
+    // (2^128 - 2^65 + 1 > i128::MAX), so it promotes — and divides
+    // back down exactly.
+    let edge = int(u64::MAX as i128);
+    let sq = &edge * &edge;
+    assert!(!sq.is_inline());
+    let (q, r) = sq.div_rem(&edge);
+    assert_eq!(q, edge);
+    assert!(r.is_zero());
+
+    // The largest inline square: floor(sqrt(i128::MAX)).
+    let root = int(13_043_817_825_332_782_212);
+    assert!((&root * &root).is_inline());
+    assert!(!(&(&root + &Int::one()) * &(&root + &Int::one())).is_inline());
+}

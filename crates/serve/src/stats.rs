@@ -27,6 +27,7 @@ pub struct ServerMetrics {
     rejected_shutdown: Arc<Counter>,
     completed: Arc<Counter>,
     solve_errors: Arc<Counter>,
+    serialize_errors: Arc<Counter>,
     timed_out: Arc<Counter>,
     inflight: Arc<Gauge>,
     /// End-to-end latency (admission → response), lifetime histogram.
@@ -50,6 +51,7 @@ impl ServerMetrics {
             rejected_shutdown: registry.counter("serve.rejected_shutdown"),
             completed: registry.counter("serve.completed"),
             solve_errors: registry.counter("serve.solve_errors"),
+            serialize_errors: registry.counter("serve.serialize_errors"),
             timed_out: registry.counter("serve.timed_out"),
             inflight: registry.gauge("serve.inflight"),
             latency: registry.histogram("serve.latency_ms"),
@@ -88,6 +90,12 @@ impl ServerMetrics {
         self.rejected_shutdown.inc();
     }
 
+    /// A response failed to serialize and a fallback frame was sent
+    /// in its place.
+    pub fn serialize_error(&self) {
+        self.serialize_errors.inc();
+    }
+
     /// An admitted request finished with the given disposition.
     pub fn finished(&self, latency_ms: f64, deadline_overrun: bool, solve_error: bool) {
         self.completed.inc();
@@ -119,6 +127,7 @@ impl ServerMetrics {
         // registry snapshot is self-contained for generic consumers.
         self.registry.gauge("engine.cache.hits").set(cache.hits as i64);
         self.registry.gauge("engine.cache.misses").set(cache.misses as i64);
+        self.registry.gauge("engine.cache.evictions").set(cache.evictions as i64);
         self.registry.gauge("engine.cache.entries").set(engine.cache_len() as i64);
         StatsReply {
             uptime_ms: started.elapsed().as_secs_f64() * 1e3,

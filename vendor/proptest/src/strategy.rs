@@ -177,6 +177,18 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
 /// Strategy for [`Arbitrary`] types; see [`any`].
 #[derive(Debug, Clone)]
 pub struct Any<T>(PhantomData<T>);
