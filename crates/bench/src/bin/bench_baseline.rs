@@ -11,21 +11,26 @@
 //!
 //! ```text
 //! cargo run --release -p atsched-bench -- \
-//!     [--tag NAME] [--count N] [--g N] [--horizon N] [--seed N] \
+//!     [--tag NAME] [--count N] [--g N] [--horizon N] [--seed N] [--roots N] \
 //!     [--runs N] [--out FILE] [--compare PREV.json] [--in REPORT.json]
 //! ```
 //!
 //! `--tag` names the baseline and derives the default output file
-//! (`BENCH_<tag>.json`). `--compare PREV.json` checks the lp-stage p50
-//! against a previous baseline and exits non-zero when it regressed by
-//! more than 10%. `--in REPORT.json` skips the benchmark and loads an
+//! (`BENCH_<tag>.json`). `--roots N` switches the corpus to many-root
+//! instances (`N` independent laminar trees each) and adds a
+//! single-instance `shard=force` vs `shard=off` wall-clock comparison
+//! to the report. `--compare PREV.json` checks the lp-stage p50 against
+//! a previous baseline and exits non-zero when it regressed by more
+//! than 10%. `--in REPORT.json` skips the benchmark and loads an
 //! already-written report instead — CI uses this to run the compare as
 //! its own step without re-benching.
 
-use atsched_core::solver::SolverOptions;
-use atsched_engine::{Engine, EngineConfig};
+use atsched_core::solver::{solve_nested, ShardMode, SolverOptions};
+use atsched_engine::{solve_nested_sharded, Engine, EngineConfig};
 use atsched_obs as obs;
-use atsched_workloads::generators::{random_laminar, LaminarConfig};
+use atsched_workloads::generators::{
+    random_laminar, random_multi_root, LaminarConfig, MultiRootConfig,
+};
 use serde::ser::{Serialize, Serializer};
 use serde::value::Value;
 use std::sync::Arc;
@@ -130,17 +135,29 @@ fn run() -> Result<(), String> {
         return compare_lp_p50(cur_lp, &input, &prev_path);
     }
 
-    let tag: String = flag(&args, "--tag", "pr4".to_string())?;
+    let tag: String = flag(&args, "--tag", "pr5".to_string())?;
     let count: usize = flag(&args, "--count", 32usize)?;
     let g: i64 = flag(&args, "--g", 4i64)?;
     let horizon: i64 = flag(&args, "--horizon", 48i64)?;
     let seed: u64 = flag(&args, "--seed", 1u64)?;
+    let roots: usize = flag(&args, "--roots", 1usize)?.max(1);
     let runs: usize = flag(&args, "--runs", 3usize)?.max(1);
     let out: String = flag(&args, "--out", format!("BENCH_{tag}.json"))?;
 
-    let cfg = LaminarConfig { g, horizon, ..Default::default() };
-    let instances: Vec<_> =
-        (0..count).map(|i| random_laminar(&cfg, seed.wrapping_add(i as u64))).collect();
+    let cfg = LaminarConfig { g, horizon, ..Default::default() }
+        .validated()
+        .map_err(|e| e.to_string())?;
+    let instances: Vec<_> = (0..count)
+        .map(|i| {
+            let s = seed.wrapping_add(i as u64);
+            if roots > 1 {
+                let mr = MultiRootConfig { base: cfg.clone(), roots, gap: 1 };
+                random_multi_root(&mr, s)
+            } else {
+                random_laminar(&cfg, s)
+            }
+        })
+        .collect();
     let opts = SolverOptions::exact();
 
     // The solve cache would turn every run after the first into a
@@ -173,6 +190,50 @@ fn run() -> Result<(), String> {
     let disabled_ms = disabled_best.as_secs_f64() * 1e3;
     let overhead_pct =
         if disabled_ms > 0.0 { (observed_ms - disabled_ms) / disabled_ms * 100.0 } else { 0.0 };
+
+    // Many-root corpus: single-instance wall-clock with root
+    // decomposition forced vs off. Best-of-runs per instance and mode,
+    // p50 across instances — the shard layer's headline number.
+    let shard_section = (roots > 1).then(|| {
+        let mut off_opts = opts.clone();
+        off_opts.shard = ShardMode::Off;
+        let mut force_opts = opts.clone();
+        force_opts.shard = ShardMode::Force;
+        let mut off_best = vec![f64::MAX; instances.len()];
+        let mut force_best = vec![f64::MAX; instances.len()];
+        for _ in 0..runs {
+            for (i, inst) in instances.iter().enumerate() {
+                let start = Instant::now();
+                solve_nested(inst, &off_opts).expect("bench corpus is feasible");
+                off_best[i] = off_best[i].min(start.elapsed().as_secs_f64() * 1e3);
+                let start = Instant::now();
+                solve_nested_sharded(inst, &force_opts).expect("bench corpus is feasible");
+                force_best[i] = force_best[i].min(start.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        let p50 = |xs: &mut Vec<f64>| -> f64 {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            xs[xs.len() / 2]
+        };
+        let off_p50 = p50(&mut off_best);
+        let force_p50 = p50(&mut force_best);
+        let speedup = if force_p50 > 0.0 { off_p50 / force_p50 } else { 1.0 };
+        eprintln!(
+            "shard: single-instance p50 off {off_p50:.1} ms vs force {force_p50:.1} ms \
+             ({speedup:.2}x, {} cores)",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        Value::Map(vec![
+            ("roots".into(), Value::UInt(roots as u64)),
+            ("off_p50_ms".into(), Value::Float(off_p50)),
+            ("force_p50_ms".into(), Value::Float(force_p50)),
+            ("speedup".into(), Value::Float(speedup)),
+            (
+                "cores".into(),
+                Value::UInt(std::thread::available_parallelism().map_or(1, |n| n.get()) as u64),
+            ),
+        ])
+    });
 
     let snapshot = registry.snapshot();
 
@@ -208,6 +269,7 @@ fn run() -> Result<(), String> {
                 ("g".into(), Value::Int(g)),
                 ("horizon".into(), Value::Int(horizon)),
                 ("seed".into(), Value::UInt(seed)),
+                ("roots".into(), Value::UInt(roots as u64)),
             ]),
         ),
         ("runs".into(), Value::UInt(runs as u64)),
@@ -231,6 +293,13 @@ fn run() -> Result<(), String> {
         ("stages".into(), Value::Map(stages)),
         ("counters".into(), Value::Map(counters)),
     ]);
+    let report = match (report, shard_section) {
+        (Value::Map(mut m), Some(shard)) => {
+            m.push(("shard".into(), shard));
+            Value::Map(m)
+        }
+        (r, _) => r,
+    };
 
     let json = serde_json::to_string_pretty(&Json(report)).map_err(|e| e.to_string())?;
     std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;

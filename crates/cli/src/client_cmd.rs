@@ -57,6 +57,9 @@ fn cmd_solve(client: &mut Client, args: &[String]) -> Result<(), String> {
     if let Some(seed) = crate::flag_value(args, "--seed") {
         req = req.with_seed(seed.parse().map_err(|_| format!("invalid value for --seed: {seed}"))?);
     }
+    if let Some(shard) = crate::flag_value(args, "--shard") {
+        req = req.with_shard(shard);
+    }
     if let Some(ms) = crate::flag_value(args, "--timeout-ms") {
         req = req.with_timeout_ms(
             ms.parse().map_err(|_| format!("invalid value for --timeout-ms: {ms}"))?,

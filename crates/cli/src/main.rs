@@ -24,8 +24,11 @@ use nested_active_time::baselines::greedy::ScanOrder;
 use nested_active_time::baselines::incremental::minimal_feasible_fast;
 use nested_active_time::core::instance::Instance;
 use nested_active_time::core::schedule::Schedule;
-use nested_active_time::core::solver::{solve_nested, LpBackend, SolverOptions};
-use nested_active_time::workloads::generators::{random_laminar, LaminarConfig};
+use nested_active_time::core::solver::{solve_nested, LpBackend, ShardMode, SolverOptions};
+use nested_active_time::engine::solve_nested_sharded;
+use nested_active_time::workloads::generators::{
+    random_laminar, random_multi_root, LaminarConfig, MultiRootConfig,
+};
 use nested_active_time::workloads::io;
 use std::path::Path;
 use std::process::ExitCode;
@@ -61,19 +64,19 @@ const USAGE: &str = "\
 atsched — nested active-time scheduling (SPAA 2022 reproduction)
 
 USAGE:
-  atsched generate [--g N] [--horizon N] [--seed N] [--out FILE]
-  atsched solve INSTANCE.{json,txt} [--float|--snap] [--polish] [--no-ceiling] [--schedule FILE] [--svg FILE]
-                [--metrics]
-  atsched batch [INSTANCE ...] [--count N] [--g N] [--horizon N] [--seed N]
+  atsched generate [--g N] [--horizon N] [--seed N] [--roots N] [--gap N] [--child-percent N] [--out FILE]
+  atsched solve INSTANCE.{json,txt} [--float|--snap] [--polish] [--no-ceiling] [--shard auto|off|force]
+                [--schedule FILE] [--svg FILE] [--metrics]
+  atsched batch [INSTANCE ...] [--count N] [--g N] [--horizon N] [--seed N] [--roots N]
                 [--workers N] [--no-cache] [--timeout-ms N] [--float|--snap] [--polish]
-                [--check] [--keep-going] [--out FILE] [--trace-out FILE]
+                [--shard auto|off|force] [--check] [--keep-going] [--out FILE] [--trace-out FILE]
   atsched opt INSTANCE.json [--parallel]
   atsched greedy INSTANCE.json [--order ltr|rtl|rand]
   atsched verify INSTANCE.json SCHEDULE.json
   atsched gaps --family lemma51|gap2 --g N
   atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--delay-ms N]
   atsched client ADDR solve INSTANCE [--method auto|nested|general|greedy] [--backend exact|float|snap]
-                 [--polish] [--seed N] [--timeout-ms N] [--schedule FILE]
+                 [--polish] [--seed N] [--shard auto|off|force] [--timeout-ms N] [--schedule FILE]
   atsched client ADDR batch INSTANCE [INSTANCE ...]
   atsched client ADDR stats | health | shutdown
 ";
@@ -109,13 +112,24 @@ pub(crate) fn load(path: &str) -> Result<Instance, String> {
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let cfg = LaminarConfig {
+    let base = LaminarConfig {
         g: parse_num(args, "--g", 3i64)?,
         horizon: parse_num(args, "--horizon", 24i64)?,
+        child_percent: parse_num(args, "--child-percent", 70u32)?,
         ..Default::default()
-    };
+    }
+    .validated()
+    .map_err(|e| e.to_string())?;
     let seed: u64 = parse_num(args, "--seed", 0u64)?;
-    let inst = random_laminar(&cfg, seed);
+    let roots: usize = parse_num(args, "--roots", 1usize)?;
+    let inst = if roots > 1 {
+        let cfg = MultiRootConfig { base, roots, gap: parse_num(args, "--gap", 1i64)? }
+            .validated()
+            .map_err(|e| e.to_string())?;
+        random_multi_root(&cfg, seed)
+    } else {
+        random_laminar(&base, seed)
+    };
     match flag_value(args, "--out") {
         Some(path) => {
             io::save_instance(&inst, Path::new(path)).map_err(|e| e.to_string())?;
@@ -151,13 +165,16 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     if has_flag(args, "--no-ceiling") {
         opts.use_ceiling = false;
     }
+    if let Some(mode) = flag_value(args, "--shard") {
+        opts.shard = mode.parse::<ShardMode>()?;
+    }
     let metrics = has_flag(args, "--metrics");
     let registry = Arc::new(obs::Registry::new());
     let result = if metrics {
         let collector = obs::Collector::new(Arc::clone(&registry));
-        obs::with_collector(collector, || solve_nested(&inst, &opts))
+        obs::with_collector(collector, || solve_nested_sharded(&inst, &opts))
     } else {
-        solve_nested(&inst, &opts)
+        solve_nested_sharded(&inst, &opts)
     }
     .map_err(|e| e.to_string())?;
     println!("jobs            : {}", inst.num_jobs());
@@ -207,14 +224,25 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
     let count: usize = parse_num(args, "--count", 0usize)?;
     if count > 0 {
-        let cfg = LaminarConfig {
+        let base = LaminarConfig {
             g: parse_num(args, "--g", 3i64)?,
             horizon: parse_num(args, "--horizon", 24i64)?,
             ..Default::default()
-        };
+        }
+        .validated()
+        .map_err(|e| e.to_string())?;
         let seed: u64 = parse_num(args, "--seed", 0u64)?;
+        let roots: usize = parse_num(args, "--roots", 1usize)?;
         for i in 0..count {
-            instances.push(random_laminar(&cfg, seed.wrapping_add(i as u64)));
+            let s = seed.wrapping_add(i as u64);
+            if roots > 1 {
+                let cfg = MultiRootConfig { base: base.clone(), roots, gap: 1 }
+                    .validated()
+                    .map_err(|e| e.to_string())?;
+                instances.push(random_multi_root(&cfg, s));
+            } else {
+                instances.push(random_laminar(&base, s));
+            }
         }
     }
     if instances.is_empty() {
@@ -230,6 +258,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
     if has_flag(args, "--polish") {
         opts.polish = true;
+    }
+    if let Some(mode) = flag_value(args, "--shard") {
+        opts.shard = mode.parse::<ShardMode>()?;
     }
 
     let mut cfg = EngineConfig::default()
@@ -273,6 +304,38 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         }
         eprintln!(
             "check: parallel results identical to sequential on {} instances",
+            instances.len()
+        );
+
+        // Shard equivalence: forcing root decomposition must not change
+        // the objective relative to the monolithic solve.
+        let mut forced = opts.clone();
+        forced.shard = ShardMode::Force;
+        let mut off = opts.clone();
+        off.shard = ShardMode::Off;
+        let fb = Engine::new(EngineConfig::default().cache(false)).solve_batch(&instances, &forced);
+        let ob = Engine::new(EngineConfig::default().workers(1).cache(false))
+            .solve_batch(&instances, &off);
+        for (i, (f, o)) in fb.outcomes.iter().zip(&ob.outcomes).enumerate() {
+            let same = match (f, o) {
+                (Outcome::Solved(a), Outcome::Solved(b)) => {
+                    a.result.stats.opened_slots == b.result.stats.opened_slots
+                        && a.result.schedule.active_time() == b.result.schedule.active_time()
+                }
+                (Outcome::Infeasible, Outcome::Infeasible) => true,
+                (Outcome::TimedOut, _) | (_, Outcome::TimedOut) => true,
+                _ => false,
+            };
+            if !same {
+                return Err(format!(
+                    "instance {i}: shard=force outcome {} diverges from shard=off {}",
+                    f.label(),
+                    o.label()
+                ));
+            }
+        }
+        eprintln!(
+            "check: shard=force objectives identical to shard=off on {} instances",
             instances.len()
         );
     }

@@ -54,6 +54,7 @@
 
 pub mod canonical;
 pub mod certify;
+pub mod decompose;
 pub mod energy;
 pub mod feasibility;
 pub mod instance;
@@ -69,5 +70,6 @@ pub mod tree;
 pub use instance::{Instance, InstanceError, Job};
 pub use schedule::Schedule;
 pub use solver::{
-    solve_nested, LpBackend, SolveError, SolveResult, SolveStats, SolverOptions, StageTimings,
+    solve_nested, LpBackend, ShardMode, SolveError, SolveResult, SolveStats, SolverOptions,
+    StageTimings,
 };

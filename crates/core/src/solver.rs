@@ -44,6 +44,52 @@ pub enum LpBackend {
     FloatThenSnap,
 }
 
+/// Whether a driver may split an instance at the forest roots and solve
+/// the pieces independently (see `crate::decompose`).
+///
+/// Sharding is a *driver-level* policy: [`solve_nested`] itself always
+/// solves the instance it is given monolithically, and the engine/facade
+/// layers consult this option to decide whether to decompose first. The
+/// decomposition is exact — the strengthened LP is block-diagonal across
+/// trees and every later stage acts tree-locally — so the merged result
+/// opens exactly the slots the monolithic solve would
+/// (`RoundingChoice::Shuffled` is the one exception: its tie-break RNG
+/// is global, so sharding is always declined for it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Decompose when the instance has ≥ 2 roots and enough jobs for the
+    /// fan-out to pay for itself (the default).
+    Auto,
+    /// Never decompose.
+    Off,
+    /// Decompose whenever the instance has ≥ 2 roots, regardless of size.
+    Force,
+}
+
+impl ShardMode {
+    /// Stable lowercase label (`auto` / `off` / `force`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardMode::Auto => "auto",
+            ShardMode::Off => "off",
+            ShardMode::Force => "force",
+        }
+    }
+}
+
+impl std::str::FromStr for ShardMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ShardMode::Auto),
+            "off" => Ok(ShardMode::Off),
+            "force" => Ok(ShardMode::Force),
+            other => Err(format!("unknown shard mode '{other}' (auto|off|force)")),
+        }
+    }
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone)]
 pub struct SolverOptions {
@@ -67,6 +113,10 @@ pub struct SolverOptions {
     /// exhaustive oracle proves `OPT_i ≥ k ≤ ceiling_depth`. Only
     /// meaningful when `use_ceiling` is true.
     pub ceiling_depth: i64,
+    /// Root-decomposition policy for drivers that support it (the batch
+    /// engine, the `Solve` facade, the CLI and the serve layer).
+    /// [`solve_nested`] ignores this field.
+    pub shard: ShardMode,
 }
 
 impl SolverOptions {
@@ -79,6 +129,7 @@ impl SolverOptions {
             polish: false,
             round_choice: crate::rounding::RoundingChoice::LargestFraction,
             ceiling_depth: 3,
+            shard: ShardMode::Auto,
         }
     }
 

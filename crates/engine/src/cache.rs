@@ -195,7 +195,7 @@ mod tests {
 
         use super::*;
         use atsched_core::rounding::RoundingChoice;
-        use atsched_core::solver::LpBackend;
+        use atsched_core::solver::{LpBackend, ShardMode};
         use proptest::prelude::*;
 
         fn job() -> impl Strategy<Value = Job> {
@@ -208,8 +208,8 @@ mod tests {
         }
 
         fn options() -> impl Strategy<Value = SolverOptions> {
-            (0u8..3, any::<bool>(), any::<bool>(), any::<bool>(), 0u8..3, 3i64..6).prop_map(
-                |(backend, compact, use_ceiling, polish, round, depth)| SolverOptions {
+            (0u8..3, any::<bool>(), any::<bool>(), any::<bool>(), 0u8..3, 3i64..6, 0u8..3).prop_map(
+                |(backend, compact, use_ceiling, polish, round, depth, shard)| SolverOptions {
                     backend: match backend {
                         0 => LpBackend::Exact,
                         1 => LpBackend::Float,
@@ -224,6 +224,11 @@ mod tests {
                         _ => RoundingChoice::Shuffled(depth as u64),
                     },
                     ceiling_depth: depth,
+                    shard: match shard {
+                        0 => ShardMode::Auto,
+                        1 => ShardMode::Off,
+                        _ => ShardMode::Force,
+                    },
                 },
             )
         }
@@ -283,6 +288,12 @@ mod tests {
                         _ => RoundingChoice::FirstId,
                     }
                 }
+                5 => {
+                    m.shard = match m.shard {
+                        ShardMode::Off => ShardMode::Auto,
+                        _ => ShardMode::Off,
+                    }
+                }
                 _ => m.ceiling_depth += 1,
             }
             m
@@ -294,7 +305,7 @@ mod tests {
                 inst in instance(),
                 opts in options(),
                 which_inst in 0u8..6,
-                which_opts in 0u8..6,
+                which_opts in 0u8..7,
                 delta in 0i64..8,
             ) {
                 // Reflexivity: a clone is the same key (a repeat hits).

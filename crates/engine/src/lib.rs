@@ -28,6 +28,10 @@
 //!   [`atsched_core::StageTimings`] — serializable to JSON.
 //! - **Primitive** ([`par_map`]): the order-preserving parallel map the
 //!   rest of the workspace builds sweeps on.
+//! - **Sharding** ([`shard`]): multi-root instances are split at the
+//!   laminar forest roots and their trees solved concurrently *within*
+//!   one solve (policy via `SolverOptions::shard`), with shard-level
+//!   cache keys so repeated subtree shapes hit the solve cache.
 //!
 //! ## Example
 //!
@@ -52,9 +56,11 @@ pub mod cache;
 pub mod isolate;
 pub mod par;
 pub mod report;
+pub mod shard;
 
 pub use batch::{BatchResult, Engine, EngineConfig, Outcome, SolvedItem};
 pub use cache::CacheStats;
 pub use isolate::{isolated, with_budget, Interrupt};
 pub use par::{par_map, par_map_workers};
 pub use report::{BatchReport, EngineTotals, Percentiles};
+pub use shard::{solve_nested_sharded, AUTO_MIN_JOBS};

@@ -1,0 +1,214 @@
+//! Shard-parallel solving: fan the trees of a multi-root instance out
+//! to worker threads and merge the per-tree results.
+//!
+//! The decomposition itself lives in [`atsched_core::decompose`]; this
+//! module is the driver side: the *policy* deciding when sharding
+//! applies ([`plan`]), the fan-out/merge harness ([`solve_decomposed`]),
+//! and a cache-less convenience entry point used by the `Solve` facade
+//! and the CLI ([`solve_nested_sharded`]). The batch engine layers its
+//! solve cache on top via the `solve_shard` callback, giving shard-level
+//! cache keys: identical subtree shapes (normalized to start at slot 0)
+//! hit regardless of where in time they occurred.
+//!
+//! Observability: the decomposition is timed under a `solve.decompose`
+//! span, the reassembly under `solve.merge`, and each sharded solve
+//! bumps the `engine.shards` counter by its shard count.
+
+use crate::par::par_map_workers;
+use atsched_core::decompose::{decompose, merge, Decomposition};
+use atsched_core::instance::Instance;
+use atsched_core::rounding::RoundingChoice;
+use atsched_core::solver::{solve_nested, ShardMode, SolveError, SolveResult, SolverOptions};
+use atsched_obs as obs;
+
+/// Minimum job count before [`ShardMode::Auto`] decomposes. Below this
+/// the per-shard LPs are already tiny and the thread fan-out costs more
+/// than it saves; `force` ignores the floor.
+pub const AUTO_MIN_JOBS: usize = 24;
+
+/// Decide whether `inst` should be solved shard-parallel under `opts`;
+/// returns the decomposition when it should.
+///
+/// Sharding applies when the shard mode allows it, the rounding rule is
+/// tree-local (`Shuffled` advances one global RNG across the forest, so
+/// it is never sharded — not even under `force`), the instance is
+/// laminar, and it actually has ≥ 2 roots. `Auto` additionally requires
+/// [`AUTO_MIN_JOBS`] jobs. Non-laminar instances return `None` so the
+/// monolithic path reports the validation error.
+pub fn plan(inst: &Instance, opts: &SolverOptions) -> Option<Decomposition> {
+    if opts.shard == ShardMode::Off {
+        return None;
+    }
+    if matches!(opts.round_choice, RoundingChoice::Shuffled(_)) {
+        return None;
+    }
+    if opts.shard == ShardMode::Auto && inst.num_jobs() < AUTO_MIN_JOBS {
+        return None;
+    }
+    let span = obs::Span::enter("solve.decompose");
+    let dec = decompose(inst).ok();
+    drop(span);
+    dec.filter(|d| d.len() >= 2)
+}
+
+/// The options each shard is solved under: the same pipeline with
+/// sharding disabled (a shard is single-rooted, and a distinct options
+/// fingerprint keeps shard cache entries apart from whole-instance
+/// entries).
+pub fn shard_options(opts: &SolverOptions) -> SolverOptions {
+    SolverOptions { shard: ShardMode::Off, ..opts.clone() }
+}
+
+/// Solve a decomposed instance: run `solve_shard` over every shard on up
+/// to `workers` threads (`0` = one per core), then merge.
+///
+/// `solve_shard` receives each shard's normalized instance together with
+/// [`shard_options`]; the batch engine passes a caching wrapper here,
+/// plain callers pass [`solve_nested`]. The caller's metric collector
+/// (if any) is re-installed on the fan-out threads, so per-shard solver
+/// spans and counters land in the same registry as a monolithic solve.
+/// Errors are reported deterministically: the first failing shard in
+/// root order wins, matching what the monolithic solve would report.
+pub fn solve_decomposed<F>(
+    inst: &Instance,
+    opts: &SolverOptions,
+    dec: &Decomposition,
+    workers: usize,
+    solve_shard: F,
+) -> Result<SolveResult, SolveError>
+where
+    F: Fn(&Instance, &SolverOptions) -> Result<SolveResult, SolveError> + Sync,
+{
+    let sopts = shard_options(opts);
+    let collector = obs::current_collector();
+    let indices: Vec<usize> = (0..dec.len()).collect();
+    let results = par_map_workers(indices, workers, |i| {
+        let run = || solve_shard(&dec.shards[i].instance, &sopts);
+        match &collector {
+            Some(c) => obs::with_collector(c.clone(), run),
+            None => run(),
+        }
+    });
+    let mut parts = Vec::with_capacity(results.len());
+    for r in results {
+        parts.push(r?);
+    }
+    let span = obs::Span::enter("solve.merge");
+    let merged = merge(inst, dec, &parts);
+    drop(span);
+    obs::counter_add("engine.shards", dec.len() as u64);
+    Ok(merged)
+}
+
+/// Shard-aware drop-in for [`solve_nested`]: decompose-and-merge when
+/// [`plan`] says so, the plain monolithic solve otherwise. No caching —
+/// the batch engine's path adds that.
+pub fn solve_nested_sharded(
+    inst: &Instance,
+    opts: &SolverOptions,
+) -> Result<SolveResult, SolveError> {
+    match plan(inst, opts) {
+        Some(dec) => solve_decomposed(inst, opts, &dec, 0, solve_nested),
+        None => solve_nested(inst, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_core::instance::Job;
+
+    /// `roots` copies of a 3-job subtree at disjoint offsets: 3·roots
+    /// jobs, `roots` forest roots.
+    fn many_root(roots: usize) -> Instance {
+        let mut jobs = Vec::new();
+        for k in 0..roots as i64 {
+            let base = 12 * k;
+            jobs.push(Job::new(base, base + 8, 2));
+            jobs.push(Job::new(base + 1, base + 4, 1));
+            jobs.push(Job::new(base + 5, base + 7, 1));
+        }
+        Instance::new(2, jobs).unwrap()
+    }
+
+    #[test]
+    fn plan_respects_mode_rounding_and_size() {
+        let big = many_root(10); // 30 jobs, 10 roots
+        let small = many_root(2); // 6 jobs, 2 roots
+        let auto = SolverOptions::exact();
+        assert!(auto.shard == ShardMode::Auto);
+        assert!(plan(&big, &auto).is_some());
+        assert!(plan(&small, &auto).is_none(), "Auto respects the job floor");
+
+        let force = SolverOptions { shard: ShardMode::Force, ..SolverOptions::exact() };
+        assert_eq!(plan(&small, &force).map(|d| d.len()), Some(2));
+
+        let off = SolverOptions { shard: ShardMode::Off, ..SolverOptions::exact() };
+        assert!(plan(&big, &off).is_none());
+
+        let shuffled = SolverOptions {
+            shard: ShardMode::Force,
+            round_choice: RoundingChoice::Shuffled(7),
+            ..SolverOptions::exact()
+        };
+        assert!(plan(&big, &shuffled).is_none(), "global-RNG rounding never shards");
+
+        // Single root: nothing to decompose.
+        let single = Instance::new(2, vec![Job::new(0, 9, 2), Job::new(1, 5, 1)]).unwrap();
+        assert!(plan(&single, &force).is_none());
+    }
+
+    #[test]
+    fn sharded_matches_monolith_objectives() {
+        for roots in [2usize, 3, 8] {
+            let inst = many_root(roots);
+            let opts = SolverOptions { shard: ShardMode::Force, ..SolverOptions::exact() };
+            let whole = solve_nested(&inst, &opts).unwrap();
+            let sharded = solve_nested_sharded(&inst, &opts).unwrap();
+            sharded.schedule.verify(&inst).unwrap();
+            assert_eq!(sharded.stats.opened_slots, whole.stats.opened_slots, "roots={roots}");
+            assert_eq!(sharded.stats.active_slots, whole.stats.active_slots, "roots={roots}");
+            assert_eq!(
+                sharded.stats.lp_objective_exact, whole.stats.lp_objective_exact,
+                "roots={roots}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_error_is_deterministic_first_root() {
+        // Second root infeasible: the sharded path reports exactly what
+        // the monolith would.
+        let inst = Instance::new(
+            1,
+            vec![
+                Job::new(0, 4, 2),
+                Job::new(6, 8, 1),
+                Job::new(6, 8, 1),
+                Job::new(6, 8, 1),
+                Job::new(10, 13, 1),
+            ],
+        )
+        .unwrap();
+        let opts = SolverOptions { shard: ShardMode::Force, ..SolverOptions::exact() };
+        assert!(matches!(solve_nested_sharded(&inst, &opts), Err(SolveError::Infeasible)));
+        assert!(matches!(solve_nested(&inst, &opts), Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn spans_and_counters_are_recorded_under_a_collector() {
+        use std::sync::Arc;
+        let reg = Arc::new(obs::Registry::new());
+        let inst = many_root(4);
+        let opts = SolverOptions { shard: ShardMode::Force, ..SolverOptions::exact() };
+        obs::with_collector(obs::Collector::new(Arc::clone(&reg)), || {
+            solve_nested_sharded(&inst, &opts).unwrap();
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("span.solve.decompose.ms").map(|h| h.count), Some(1));
+        assert_eq!(snap.histogram("span.solve.merge.ms").map(|h| h.count), Some(1));
+        assert_eq!(snap.counter("engine.shards"), Some(4));
+        // Per-shard solver spans landed too (one "solve" per shard).
+        assert_eq!(snap.histogram("span.solve.ms").map(|h| h.count), Some(4));
+    }
+}

@@ -1,0 +1,78 @@
+//! Shard-merge equivalence: on random multi-root forests, the
+//! decomposed parallel solve must be indistinguishable (in objective
+//! value and certificates) from the whole-instance sequential solve.
+//!
+//! This is the empirical check of the decomposition contract in
+//! `DESIGN.md` §11: the strengthened LP is block-diagonal across the
+//! forest roots, so splitting at the roots is exact — not merely
+//! approximation-preserving.
+
+use atsched_core::certify::check_lemma_4_1;
+use atsched_core::instance::{Instance, Job};
+use atsched_core::solver::{solve_nested, ShardMode, SolveError, SolverOptions};
+use atsched_engine::solve_nested_sharded;
+use atsched_workloads::generators::{random_multi_root, LaminarConfig, MultiRootConfig};
+use proptest::prelude::*;
+
+/// Random feasible multi-root instance: 2–5 independent laminar trees.
+fn multi_root() -> impl Strategy<Value = Instance> {
+    (2usize..6, 2i64..4, 8i64..13, any::<u64>()).prop_map(|(roots, g, horizon, seed)| {
+        let base = LaminarConfig { g, horizon, max_depth: 2, ..Default::default() };
+        let cfg = MultiRootConfig { base, roots, gap: 1 }.validated().unwrap();
+        random_multi_root(&cfg, seed)
+    })
+}
+
+proptest! {
+    #[test]
+    fn sharded_solve_matches_sequential_monolith(inst in multi_root(), polish in any::<bool>()) {
+        let mut off = SolverOptions::exact();
+        off.polish = polish;
+        off.shard = ShardMode::Off;
+        let mut forced = off.clone();
+        forced.shard = ShardMode::Force;
+
+        let whole = solve_nested(&inst, &off).expect("generated instances are feasible");
+        let sharded = solve_nested_sharded(&inst, &forced).expect("sharding preserves feasibility");
+
+        // Objectives are bit-identical, not just within tolerance.
+        prop_assert_eq!(sharded.stats.opened_slots, whole.stats.opened_slots);
+        prop_assert_eq!(sharded.stats.active_slots, whole.stats.active_slots);
+        prop_assert_eq!(
+            sharded.stats.lp_objective_exact.clone(),
+            whole.stats.lp_objective_exact.clone()
+        );
+        prop_assert_eq!(sharded.z.iter().sum::<i64>(), whole.z.iter().sum::<i64>());
+
+        // The merged schedule verifies against the original instance...
+        sharded.schedule.verify(&inst).expect("merged schedule must verify");
+
+        // ...and the merged (forest, z) pair still satisfies the Lemma
+        // 4.1 characterization (the 2^n oracle, so only on small inputs).
+        if inst.num_jobs() <= 14 {
+            check_lemma_4_1(&sharded.forest, &inst, &sharded.z, 14)
+                .expect("merged certificate must pass the oracle");
+        }
+    }
+
+    #[test]
+    fn infeasibility_surfaces_identically(inst in multi_root(), overload in 2i64..5) {
+        // Wreck the first root: overload a unit window beyond g.
+        let mut jobs = inst.jobs.clone();
+        for _ in 0..inst.g + overload {
+            jobs.push(Job::new(0, 1, 1));
+        }
+        let broken = Instance::new(inst.g, jobs).unwrap();
+
+        let mut forced = SolverOptions::exact();
+        forced.shard = ShardMode::Force;
+        prop_assert!(matches!(
+            solve_nested(&broken, &SolverOptions::exact()),
+            Err(SolveError::Infeasible)
+        ));
+        prop_assert!(matches!(
+            solve_nested_sharded(&broken, &forced),
+            Err(SolveError::Infeasible)
+        ));
+    }
+}

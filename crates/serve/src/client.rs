@@ -13,11 +13,21 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Extra wall-clock allowed beyond a request's own deadline before the
+/// socket read gives up — covers queueing, serialization, and network
+/// overhead on top of the server-side solve budget.
+pub const READ_TIMEOUT_SLACK: Duration = Duration::from_secs(2);
+
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
     /// The socket failed (connect, read, or write).
     Io(io::Error),
+    /// The server accepted the connection but did not reply within the
+    /// socket read timeout. The connection is left in an unknown state —
+    /// a late reply would desynchronize correlation ids — so drop the
+    /// client and reconnect.
+    Timeout,
     /// The server broke the wire protocol (closed mid-exchange, sent an
     /// unparseable frame, or echoed the wrong correlation id).
     Protocol(String),
@@ -34,6 +44,9 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Timeout => {
+                write!(f, "timed out waiting for the server's reply; reconnect before retrying")
+            }
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ClientError::Service { kind, message } => {
                 write!(f, "service error ({kind}): {message}")
@@ -66,6 +79,7 @@ impl From<ClientError> for nested_active_time::Error {
         use nested_active_time::Error;
         match e {
             ClientError::Io(io) => Error::Protocol(format!("connection error: {io}")),
+            ClientError::Timeout => Error::TimedOut,
             ClientError::Protocol(msg) => Error::Protocol(msg),
             ClientError::Service { kind, message } => match kind.as_str() {
                 kind::OVERLOADED => Error::Overloaded,
@@ -84,6 +98,10 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// `true` once the caller picked a read timeout (including `None`)
+    /// via [`set_read_timeout`](Self::set_read_timeout); the per-request
+    /// deadline-derived default then stays out of the way.
+    explicit_timeout: bool,
 }
 
 impl Client {
@@ -92,14 +110,21 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1, explicit_timeout: false })
     }
 
     /// Set (or with `None` clear) the socket read timeout — a safety
     /// net against a hung server rather than a solve deadline; prefer
     /// [`Request::with_timeout_ms`] for deadlines.
+    ///
+    /// Calling this (even with `None`) disables the automatic default:
+    /// otherwise, requests carrying a deadline get a read timeout of the
+    /// deadline plus [`READ_TIMEOUT_SLACK`], so a server that accepts
+    /// and then hangs surfaces as [`ClientError::Timeout`] instead of
+    /// blocking the caller forever.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.writer.set_read_timeout(timeout)?;
+        self.explicit_timeout = true;
         Ok(())
     }
 
@@ -116,11 +141,23 @@ impl Client {
         let mut line = serde_json::to_string(&req)
             .map_err(|e| ClientError::Protocol(format!("request does not serialize: {e}")))?;
         line.push('\n');
+        // Bound the wait for the reply by the request's own deadline
+        // (plus slack) unless the caller took over timeout management.
+        // Requests without a deadline keep the previous behavior of
+        // waiting indefinitely.
+        if !self.explicit_timeout {
+            let net = req.timeout_ms.map(|ms| Duration::from_millis(ms) + READ_TIMEOUT_SLACK);
+            self.writer.set_read_timeout(net)?;
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
 
         let mut reply = String::new();
-        if self.reader.read_line(&mut reply)? == 0 {
+        let n = self.reader.read_line(&mut reply).map_err(|e| match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout,
+            _ => ClientError::Io(e),
+        })?;
+        if n == 0 {
             return Err(ClientError::Protocol("server closed the connection".into()));
         }
         let resp: Response = serde_json::from_str(reply.trim_end())
@@ -203,6 +240,52 @@ mod tests {
         assert!(matches!(Error::from(svc(kind::FAILED)), Error::Panicked(_)));
         assert!(matches!(Error::from(svc(kind::BAD_REQUEST)), Error::Protocol(_)));
         assert!(matches!(Error::from(ClientError::Protocol("x".into())), Error::Protocol(_)));
+        assert!(matches!(Error::from(ClientError::Timeout), Error::TimedOut));
+    }
+
+    /// Accept one connection, read the request, and never reply.
+    /// Returns the address plus a guard that keeps the socket open.
+    fn silent_server() -> (std::net::SocketAddr, std::thread::JoinHandle<TcpStream>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let guard = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = std::io::Read::read(&mut sock, &mut buf);
+            sock
+        });
+        (addr, guard)
+    }
+
+    #[test]
+    fn explicit_read_timeout_fires_against_a_silent_server() {
+        use atsched_core::instance::{Instance, Job};
+        let (addr, _guard) = silent_server();
+        let mut client = Client::connect(addr).unwrap();
+        client.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+        let inst = Instance::new(2, vec![Job::new(0, 2, 1)]).unwrap();
+        let err = client.solve_instance(&inst).unwrap_err();
+        assert!(matches!(err, ClientError::Timeout), "got {err:?}");
+    }
+
+    #[test]
+    fn request_deadline_bounds_the_socket_wait_by_default() {
+        use atsched_core::instance::{Instance, Job};
+        let (addr, _guard) = silent_server();
+        let mut client = Client::connect(addr).unwrap();
+        let inst = Instance::new(2, vec![Job::new(0, 2, 1)]).unwrap();
+        // No set_read_timeout call: the 10 ms request deadline plus the
+        // slack becomes the socket timeout, so this returns instead of
+        // hanging forever (the pre-fix behavior).
+        let start = std::time::Instant::now();
+        let err = client.solve(Request::solve(&inst).with_timeout_ms(10)).unwrap_err();
+        assert!(matches!(err, ClientError::Timeout), "got {err:?}");
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(10), "timed out too early: {waited:?}");
+        assert!(
+            waited < READ_TIMEOUT_SLACK + Duration::from_secs(8),
+            "timed out far too late: {waited:?}"
+        );
     }
 
     #[test]

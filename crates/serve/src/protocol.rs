@@ -78,6 +78,8 @@ pub struct Request {
     pub polish: Option<bool>,
     /// Seed for the general path's shuffled candidate.
     pub seed: Option<u64>,
+    /// Root-decomposition policy: `auto` | `off` | `force` (default `auto`).
+    pub shard: Option<String>,
     /// Per-request wall-clock deadline in milliseconds (overrides the
     /// server default).
     pub timeout_ms: Option<u64>,
@@ -97,6 +99,7 @@ impl Request {
             backend: None,
             polish: None,
             seed: None,
+            shard: None,
             timeout_ms: None,
             include_schedule: None,
         }
@@ -154,6 +157,12 @@ impl Request {
     /// Set the shuffle seed for the general path.
     pub fn with_seed(mut self, seed: u64) -> Request {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Set the root-decomposition policy (`auto` | `off` | `force`).
+    pub fn with_shard(mut self, shard: &str) -> Request {
+        self.shard = Some(shard.to_string());
         self
     }
 
@@ -406,6 +415,7 @@ impl Serialize for Request {
         push_opt(&mut m, "backend", &self.backend)?;
         push_opt(&mut m, "polish", &self.polish)?;
         push_opt(&mut m, "seed", &self.seed)?;
+        push_opt(&mut m, "shard", &self.shard)?;
         push_opt(&mut m, "timeout_ms", &self.timeout_ms)?;
         push_opt(&mut m, "include_schedule", &self.include_schedule)?;
         serializer.serialize_value(Value::Map(m))
@@ -433,6 +443,7 @@ impl<'de> Deserialize<'de> for Request {
             backend: opt_field(&mut entries, "backend")?,
             polish: opt_field(&mut entries, "polish")?,
             seed: opt_field(&mut entries, "seed")?,
+            shard: opt_field(&mut entries, "shard")?,
             timeout_ms: opt_field(&mut entries, "timeout_ms")?,
             include_schedule: opt_field(&mut entries, "include_schedule")?,
         };
@@ -494,7 +505,11 @@ mod tests {
 
     #[test]
     fn request_round_trips_and_skips_absent_fields() {
-        let req = Request::solve(&inst()).with_id(7).with_method("nested").with_timeout_ms(500);
+        let req = Request::solve(&inst())
+            .with_id(7)
+            .with_method("nested")
+            .with_shard("force")
+            .with_timeout_ms(500);
         let line = serde_json::to_string(&req).unwrap();
         assert!(!line.contains('\n'), "frames are single lines: {line}");
         assert!(!line.contains("seed"), "absent fields are omitted: {line}");

@@ -573,6 +573,9 @@ fn validate(req: &Request, default_timeout: Option<Duration>) -> Result<Work, St
             Some(other) => return Err(format!("unknown backend '{other}' (exact|float|snap)")),
         };
         opts.polish = req.polish.unwrap_or(false);
+        if let Some(shard) = req.shard.as_deref() {
+            opts.shard = shard.parse()?;
+        }
         opts
     };
     let timeout = req.timeout_ms.map(Duration::from_millis).or(default_timeout);
@@ -852,13 +855,24 @@ mod tests {
         assert!(err.contains("unknown method"), "{err}");
         let err = validate(&Request::solve(&inst).with_backend("gpu"), None).unwrap_err();
         assert!(err.contains("unknown backend"), "{err}");
+        let err = validate(&Request::solve(&inst).with_shard("maybe"), None).unwrap_err();
+        assert!(err.contains("unknown shard mode"), "{err}");
 
         // Defaults flow through.
         match validate(&Request::solve(&inst), Some(Duration::from_secs(1))).unwrap() {
-            Work::Solve { timeout, method, include_schedule, .. } => {
+            Work::Solve { timeout, method, include_schedule, opts, .. } => {
                 assert_eq!(timeout, Some(Duration::from_secs(1)));
                 assert_eq!(method, Method::Auto);
                 assert!(!include_schedule);
+                assert_eq!(opts.shard, atsched_core::solver::ShardMode::Auto);
+            }
+            _ => panic!("expected solve work"),
+        }
+
+        // Explicit shard modes parse onto the options.
+        match validate(&Request::solve(&inst).with_shard("force"), None).unwrap() {
+            Work::Solve { opts, .. } => {
+                assert_eq!(opts.shard, atsched_core::solver::ShardMode::Force);
             }
             _ => panic!("expected solve work"),
         }

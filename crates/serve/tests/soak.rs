@@ -287,6 +287,16 @@ fn soak_eight_clients_match_sequential_solves_and_drain_cleanly() {
     // Cache gauges mirror the typed cache fields.
     assert_eq!(reg.gauge("engine.cache.hits"), Some(snapshot.cache_hits as i64));
     assert_eq!(reg.gauge("engine.cache.misses"), Some(snapshot.cache_misses as i64));
+    // Latency split: runs that actually solved record `engine.solve_ms`,
+    // cache hits record `engine.cache_hit_ms` — together they account
+    // for exactly the solved outcomes (cached *infeasible* replays
+    // record neither histogram), so cache hits no longer skew the
+    // solve-latency percentiles.
+    let solve_ms = reg.histogram("engine.solve_ms").expect("miss-only solve histogram");
+    let hit_ms = reg.histogram("engine.cache_hit_ms").expect("cache-hit histogram");
+    assert_eq!(solve_ms.count + hit_ms.count, snapshot.engine.solved, "{reg:?}");
+    assert!(hit_ms.count > 0, "a >0.5 hit rate must include solved hits: {reg:?}");
+    assert!(solve_ms.count < snapshot.engine.solved, "hits must not inflate solve_ms: {reg:?}");
 
     let joined = handle.join().expect("server thread exits");
     assert_eq!(joined.accepted, served);

@@ -3,6 +3,40 @@
 use atsched_core::instance::{Instance, Job};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Why a generator configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeneratorError {
+    /// `child_percent` is a probability in percent and must be ≤ 100;
+    /// larger values used to silently saturate (`gen_range(0..100) >=
+    /// child_percent` is then always false), producing always-nested
+    /// instances with no diagnostic.
+    ChildPercentOutOfRange(u32),
+    /// `jobs_per_node` has an empty range (`min > max`).
+    EmptyJobRange(usize, usize),
+    /// `horizon < 1`: the root window would be empty.
+    BadHorizon(i64),
+    /// A multi-root config asked for zero roots.
+    NoRoots,
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::ChildPercentOutOfRange(p) => {
+                write!(f, "child_percent = {p} is not a percentage (must be ≤ 100)")
+            }
+            GeneratorError::EmptyJobRange(lo, hi) => {
+                write!(f, "jobs_per_node = ({lo}, {hi}) is an empty range")
+            }
+            GeneratorError::BadHorizon(h) => write!(f, "horizon = {h} < 1"),
+            GeneratorError::NoRoots => write!(f, "multi-root config asked for zero roots"),
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
 
 /// Parameters for the recursive laminar generator.
 #[derive(Debug, Clone)]
@@ -36,6 +70,79 @@ impl Default for LaminarConfig {
             child_percent: 70,
         }
     }
+}
+
+impl LaminarConfig {
+    /// Validate the configuration, returning it unchanged when sane.
+    ///
+    /// Catches the parameters the generator cannot diagnose at run time:
+    /// an out-of-range `child_percent` saturates silently in the
+    /// `gen_range(0..100) >= child_percent` branch test, an empty
+    /// `jobs_per_node` range panics deep inside `rand`, and a
+    /// non-positive horizon loops forever. Call this at construction —
+    /// the CLI and bench front ends do.
+    pub fn validated(self) -> Result<Self, GeneratorError> {
+        if self.child_percent > 100 {
+            return Err(GeneratorError::ChildPercentOutOfRange(self.child_percent));
+        }
+        if self.jobs_per_node.0 > self.jobs_per_node.1 {
+            return Err(GeneratorError::EmptyJobRange(self.jobs_per_node.0, self.jobs_per_node.1));
+        }
+        if self.horizon < 1 {
+            return Err(GeneratorError::BadHorizon(self.horizon));
+        }
+        Ok(self)
+    }
+}
+
+/// Parameters for the many-root generator: `roots` independent laminar
+/// trees laid out left to right with `gap` empty slots between them.
+///
+/// This is the shard layer's natural corpus — each tree is one `base`
+/// instance, so the whole instance decomposes into `roots` shards.
+#[derive(Debug, Clone)]
+pub struct MultiRootConfig {
+    /// Shape of each individual tree.
+    pub base: LaminarConfig,
+    /// Number of independent trees (forest roots).
+    pub roots: usize,
+    /// Empty slots between consecutive trees (≥ 0; trees are disjoint
+    /// even at 0 because windows are half-open).
+    pub gap: i64,
+}
+
+impl Default for MultiRootConfig {
+    fn default() -> Self {
+        MultiRootConfig { base: LaminarConfig::default(), roots: 4, gap: 1 }
+    }
+}
+
+impl MultiRootConfig {
+    /// Validate the configuration, returning it unchanged when sane.
+    pub fn validated(self) -> Result<Self, GeneratorError> {
+        if self.roots == 0 {
+            return Err(GeneratorError::NoRoots);
+        }
+        let base = self.base.validated()?;
+        Ok(MultiRootConfig { base, ..self })
+    }
+}
+
+/// Generate a random feasible instance with `cfg.roots` independent
+/// laminar trees (forest roots) spaced `cfg.gap` slots apart.
+///
+/// Each tree is drawn by [`random_laminar`] with its own derived seed
+/// and shifted to its place on the time axis; the composition is
+/// validated and stays feasible because the trees are disjoint.
+pub fn random_multi_root(cfg: &MultiRootConfig, seed: u64) -> Instance {
+    let stride = cfg.base.horizon + cfg.gap.max(0);
+    let parts: Vec<Instance> = (0..cfg.roots as u64)
+        .map(|k| random_laminar(&cfg.base, seed.wrapping_add(k)).shifted(k as i64 * stride))
+        .collect();
+    let refs: Vec<&Instance> = parts.iter().collect();
+    let inst = Instance::merged(&refs).expect("disjoint shifted parts share g and stay valid");
+    debug_assert!(inst.check_laminar().is_ok());
+    inst
 }
 
 /// Generate a random *feasible, laminar* instance.
@@ -186,6 +293,44 @@ mod tests {
             assert!(inst.jobs.iter().all(|j| j.processing <= 2));
             assert!(inst.jobs.iter().all(|j| j.release >= 0 && j.deadline <= 50));
         }
+    }
+
+    #[test]
+    fn validated_rejects_bad_configs() {
+        let over = LaminarConfig { child_percent: 150, ..Default::default() };
+        assert_eq!(over.validated().unwrap_err(), GeneratorError::ChildPercentOutOfRange(150));
+
+        let empty = LaminarConfig { jobs_per_node: (3, 1), ..Default::default() };
+        assert_eq!(empty.validated().unwrap_err(), GeneratorError::EmptyJobRange(3, 1));
+
+        let flat = LaminarConfig { horizon: 0, ..Default::default() };
+        assert_eq!(flat.validated().unwrap_err(), GeneratorError::BadHorizon(0));
+
+        assert!(LaminarConfig::default().validated().is_ok());
+
+        let rootless = MultiRootConfig { roots: 0, ..Default::default() };
+        assert_eq!(rootless.validated().unwrap_err(), GeneratorError::NoRoots);
+        let bad_base = MultiRootConfig {
+            base: LaminarConfig { child_percent: 101, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(bad_base.validated().unwrap_err(), GeneratorError::ChildPercentOutOfRange(101));
+        assert!(MultiRootConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn multi_root_generator_output_is_valid_and_deterministic() {
+        let cfg = MultiRootConfig { roots: 6, ..Default::default() };
+        for seed in 0..5u64 {
+            let inst = random_multi_root(&cfg, seed);
+            assert!(inst.check_laminar().is_ok(), "seed {seed}");
+            assert!(inst.is_feasible_all_open(), "seed {seed}");
+            let dec = atsched_core::decompose::decompose(&inst).unwrap();
+            assert_eq!(dec.len(), 6, "seed {seed}: one shard per generated tree");
+        }
+        let a = random_multi_root(&cfg, 9);
+        let b = random_multi_root(&cfg, 9);
+        assert_eq!(a, b);
     }
 
     #[test]

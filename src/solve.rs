@@ -32,8 +32,8 @@ use atsched_baselines::greedy::ScanOrder;
 use atsched_baselines::incremental::minimal_feasible_fast;
 use atsched_core::instance::Instance;
 use atsched_core::schedule::Schedule;
-use atsched_core::solver::{solve_nested, LpBackend, SolveResult, SolveStats, SolverOptions};
-use atsched_engine::{isolated, with_budget};
+use atsched_core::solver::{LpBackend, ShardMode, SolveResult, SolveStats, SolverOptions};
+use atsched_engine::{isolated, solve_nested_sharded, with_budget};
 use std::time::Duration;
 
 /// Which solving path [`Solve`] takes.
@@ -213,6 +213,14 @@ impl<'a> Solve<'a> {
         self
     }
 
+    /// Root-decomposition policy for the nested path: multi-root
+    /// instances split at the laminar forest roots and solve their
+    /// trees concurrently ([`ShardMode::Auto`] by default).
+    pub fn shard(mut self, mode: ShardMode) -> Self {
+        self.opts.shard = mode;
+        self
+    }
+
     /// Wall-clock budget; [`Error::TimedOut`] on overrun.
     pub fn timeout(mut self, budget: Duration) -> Self {
         self.timeout = Some(budget);
@@ -255,7 +263,7 @@ fn run_inner(
     };
     let path = match method {
         Method::Auto => unreachable!("auto resolved above"),
-        Method::Nested => SolvePath::Nested(Box::new(solve_nested(inst, opts)?)),
+        Method::Nested => SolvePath::Nested(Box::new(solve_nested_sharded(inst, opts)?)),
         Method::General => {
             SolvePath::General(Box::new(solve_general_seeded(inst, seed).ok_or(Error::Infeasible)?))
         }
@@ -346,6 +354,27 @@ mod tests {
         let i = inst(2, vec![(0, 6, 2), (1, 4, 1)]);
         let out = Solve::new(&i).timeout(Duration::from_secs(60)).run().unwrap();
         out.schedule().verify(&i).unwrap();
+    }
+
+    #[test]
+    fn shard_modes_agree_on_a_multi_root_instance() {
+        // Three independent trees, far enough apart to be separate roots.
+        let mut jobs = Vec::new();
+        for k in 0..3i64 {
+            let base = 10 * k;
+            jobs.push((base, base + 8, 2));
+            jobs.push((base + 1, base + 4, 1));
+        }
+        let i = inst(2, jobs);
+        let off = Solve::new(&i).method(Method::Nested).shard(ShardMode::Off).run().unwrap();
+        let forced = Solve::new(&i).method(Method::Nested).shard(ShardMode::Force).run().unwrap();
+        assert_eq!(off.active_time(), forced.active_time());
+        assert_eq!(
+            off.stats().unwrap().opened_slots,
+            forced.stats().unwrap().opened_slots,
+            "decomposition must not change the objective"
+        );
+        forced.schedule().verify(&i).unwrap();
     }
 
     #[test]
