@@ -1,5 +1,12 @@
 //! Warm-started incremental feasibility for greedy deactivation.
 //!
+//! **Scope note.** "Incremental" here means incremental *within one
+//! greedy solve*: the max-flow feasibility oracle is kept warm while
+//! slots close one at a time. It is unrelated to incremental solving
+//! *across instance revisions* — re-solving after jobs are added,
+//! removed, or re-windowed — which lives in the engine's session layer
+//! (`atsched_engine::Session`, `Engine::open_session`, DESIGN.md §12).
+//!
 //! The plain greedy re-runs a full max-flow (cost `O(V·E)`-ish, `V = Σp`)
 //! for *every* candidate slot. This engine keeps one flow alive: to test
 //! closing slot `t` it cancels only the ≤ `g` units currently routed

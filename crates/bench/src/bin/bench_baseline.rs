@@ -17,16 +17,21 @@
 //!
 //! `--tag` names the baseline and derives the default output file
 //! (`BENCH_<tag>.json`). `--roots N` switches the corpus to many-root
-//! instances (`N` independent laminar trees each) and adds a
-//! single-instance `shard=force` vs `shard=off` wall-clock comparison
-//! to the report. `--compare PREV.json` checks the lp-stage p50 against
-//! a previous baseline and exits non-zero when it regressed by more
-//! than 10%. `--in REPORT.json` skips the benchmark and loads an
-//! already-written report instead — CI uses this to run the compare as
-//! its own step without re-benching.
+//! instances (`N` independent laminar trees each) and adds two
+//! sections to the report: a single-instance `shard=force` vs
+//! `shard=off` wall-clock comparison, and a steady-state session
+//! `amend` workload (one job re-windowed inside its root hull per
+//! amend) measured against cold full re-solves. `--compare PREV.json`
+//! checks the lp-stage p50 against a previous baseline and exits
+//! non-zero when it regressed by more than 10%, and — when the report
+//! has an amend section — additionally requires the amend p50 to stay
+//! at or below 0.5x the full re-solve p50. `--in REPORT.json` skips
+//! the benchmark and loads an already-written report instead — CI uses
+//! this to run the compare as its own step without re-benching.
 
+use atsched_core::delta::JobDelta;
 use atsched_core::solver::{solve_nested, ShardMode, SolverOptions};
-use atsched_engine::{solve_nested_sharded, Engine, EngineConfig};
+use atsched_engine::{solve_nested_sharded, Engine, EngineConfig, Outcome};
 use atsched_obs as obs;
 use atsched_workloads::generators::{
     random_laminar, random_multi_root, LaminarConfig, MultiRootConfig,
@@ -69,16 +74,16 @@ fn load_report(path: &str) -> Result<Value, String> {
     serde_json::from_str::<Json>(&text).map(|j| j.0).map_err(|e| format!("parsing {path}: {e}"))
 }
 
-/// Pull `stages.<stage>.p50_ms` out of a report tree.
-fn stage_p50(report: &Value, stage: &str) -> Option<f64> {
-    let field = |v: &Value, key: &str| -> Option<Value> {
-        match v {
-            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()),
-            _ => None,
-        }
-    };
-    let p50 = field(&field(&field(report, "stages")?, stage)?, "p50_ms")?;
-    match p50 {
+/// Look up a key in a `Value::Map`.
+fn field(v: &Value, key: &str) -> Option<Value> {
+    match v {
+        Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()),
+        _ => None,
+    }
+}
+
+fn as_f64(v: Value) -> Option<f64> {
+    match v {
         Value::Float(f) => Some(f),
         Value::Int(i) => Some(i as f64),
         Value::UInt(u) => Some(u as f64),
@@ -86,8 +91,39 @@ fn stage_p50(report: &Value, stage: &str) -> Option<f64> {
     }
 }
 
+/// Pull `stages.<stage>.p50_ms` out of a report tree.
+fn stage_p50(report: &Value, stage: &str) -> Option<f64> {
+    as_f64(field(&field(&field(report, "stages")?, stage)?, "p50_ms")?)
+}
+
 /// Maximum tolerated lp-stage p50 growth before `--compare` fails.
 const REGRESSION_LIMIT_PCT: f64 = 10.0;
+
+/// Maximum tolerated steady-state amend p50 as a fraction of the full
+/// re-solve p50 before `--compare` fails (only when the report carries
+/// an amend section, i.e. on a many-root corpus).
+const AMEND_RATIO_LIMIT: f64 = 0.5;
+
+/// Gate the amend-vs-full-re-solve ratio recorded in a report. Reports
+/// without an amend section (single-root corpora) pass trivially.
+fn check_amend_gate(report: &Value, label: &str) -> Result<(), String> {
+    let Some(amend) = field(report, "amend") else { return Ok(()) };
+    let ratio =
+        as_f64(field(&amend, "ratio").ok_or(format!("{label}: amend section has no ratio"))?)
+            .ok_or(format!("{label}: amend ratio is not a number"))?;
+    eprintln!(
+        "bench-compare: steady-state amend p50 is {:.2}x the full re-solve p50 \
+         (limit {AMEND_RATIO_LIMIT:.2}x)",
+        ratio
+    );
+    if ratio > AMEND_RATIO_LIMIT {
+        return Err(format!(
+            "steady-state amend p50 is {ratio:.2}x the full re-solve p50 \
+             (limit {AMEND_RATIO_LIMIT:.2}x): session reuse is not paying off"
+        ));
+    }
+    Ok(())
+}
 
 /// Compare the lp-stage p50 against a previous baseline; `Err` when it
 /// regressed past [`REGRESSION_LIMIT_PCT`].
@@ -132,10 +168,11 @@ fn run() -> Result<(), String> {
         let report = load_report(&input)?;
         let cur_lp =
             stage_p50(&report, "lp").ok_or_else(|| format!("{input} has no lp-stage p50"))?;
-        return compare_lp_p50(cur_lp, &input, &prev_path);
+        compare_lp_p50(cur_lp, &input, &prev_path)?;
+        return check_amend_gate(&report, &input);
     }
 
-    let tag: String = flag(&args, "--tag", "pr5".to_string())?;
+    let tag: String = flag(&args, "--tag", "pr6".to_string())?;
     let count: usize = flag(&args, "--count", 32usize)?;
     let g: i64 = flag(&args, "--g", 4i64)?;
     let horizon: i64 = flag(&args, "--horizon", 48i64)?;
@@ -235,6 +272,66 @@ fn run() -> Result<(), String> {
         ])
     });
 
+    // Steady-state amend workload (sessions): each amend re-windows a
+    // single job inside its own root hull — alternately widening it to
+    // the hull and restoring it — so exactly one shard goes dirty per
+    // amend while the other `roots - 1` splice from the session's part
+    // cache. The reference is a cold cache-off `solve_one` of the same
+    // amended instance. Sessions keep the cache *on* (reuse is the
+    // point); both sides pay the same engine/isolation overhead.
+    let amend_section = (roots > 1).then(|| {
+        let stride = horizon + 1; // MultiRootConfig { gap: 1 } above
+        let amends_per_instance = 8usize;
+        let session_engine = Engine::new(EngineConfig::default());
+        let cold = Engine::new(engine_cfg());
+        let mut amend_ms = Vec::new();
+        let mut full_ms = Vec::new();
+        for inst in &instances {
+            let session = session_engine.open_session(inst.clone(), &opts);
+            let n = inst.num_jobs();
+            for t in 0..amends_per_instance {
+                let j = (t / 2) % n;
+                let job = inst.jobs[j];
+                let (release, deadline) = if t % 2 == 0 {
+                    let k = job.release.div_euclid(stride);
+                    (k * stride, k * stride + horizon)
+                } else {
+                    (job.release, job.deadline)
+                };
+                let delta = JobDelta::new().modify_window(j, release, deadline);
+                let start = Instant::now();
+                let outcome = session.amend(&delta).expect("bench delta references live jobs");
+                amend_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                assert!(
+                    matches!(outcome, Outcome::Solved(_)),
+                    "widening a window keeps the corpus feasible"
+                );
+                let amended = session.instance();
+                let start = Instant::now();
+                cold.solve_one(&amended, &opts);
+                full_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        let p50 = |xs: &mut Vec<f64>| -> f64 {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            xs[xs.len() / 2]
+        };
+        let amend_p50 = p50(&mut amend_ms);
+        let full_p50 = p50(&mut full_ms);
+        let ratio = if full_p50 > 0.0 { amend_p50 / full_p50 } else { 1.0 };
+        eprintln!(
+            "amend: steady-state p50 {amend_p50:.2} ms vs full re-solve p50 {full_p50:.2} ms \
+             ({ratio:.2}x, {} amends)",
+            amend_ms.len()
+        );
+        Value::Map(vec![
+            ("amends".into(), Value::UInt(amend_ms.len() as u64)),
+            ("amend_p50_ms".into(), Value::Float(amend_p50)),
+            ("full_p50_ms".into(), Value::Float(full_p50)),
+            ("ratio".into(), Value::Float(ratio)),
+        ])
+    });
+
     let snapshot = registry.snapshot();
 
     // Per-stage summary: `span.<stage>.ms` histograms (skip the
@@ -293,15 +390,20 @@ fn run() -> Result<(), String> {
         ("stages".into(), Value::Map(stages)),
         ("counters".into(), Value::Map(counters)),
     ]);
-    let report = match (report, shard_section) {
-        (Value::Map(mut m), Some(shard)) => {
-            m.push(("shard".into(), shard));
+    let report = match (report, shard_section, amend_section) {
+        (Value::Map(mut m), shard, amend) => {
+            if let Some(shard) = shard {
+                m.push(("shard".into(), shard));
+            }
+            if let Some(amend) = amend {
+                m.push(("amend".into(), amend));
+            }
             Value::Map(m)
         }
-        (r, _) => r,
+        (r, ..) => r,
     };
 
-    let json = serde_json::to_string_pretty(&Json(report)).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&Json(report.clone())).map_err(|e| e.to_string())?;
     std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!("{json}");
     eprintln!(
@@ -315,6 +417,7 @@ fn run() -> Result<(), String> {
             .map(|h| h.p50)
             .ok_or("this run recorded no lp-stage histogram")?;
         compare_lp_p50(cur_lp, &out, &prev_path)?;
+        check_amend_gate(&report, &out)?;
     }
     Ok(())
 }

@@ -11,7 +11,8 @@
 //! atsched verify inst.json schedule.json
 //! atsched gaps --family lemma51|gap2 --g 4
 //! atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
-//! atsched client ADDR solve|batch|stats|health|shutdown ...
+//! atsched client ADDR solve|batch|open|amend|close|stats|health|shutdown ...
+//! atsched amend ADDR inst.json --delta delta.json [--delta d2.json ...]
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
         Some("gaps") => cmd_gaps(&args[1..]),
         Some("serve") => serve_cmd::cmd_serve(&args[1..]),
         Some("client") => client_cmd::cmd_client(&args[1..]),
+        Some("amend") => client_cmd::cmd_amend(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -78,7 +80,9 @@ USAGE:
   atsched client ADDR solve INSTANCE [--method auto|nested|general|greedy] [--backend exact|float|snap]
                  [--polish] [--seed N] [--shard auto|off|force] [--timeout-ms N] [--schedule FILE]
   atsched client ADDR batch INSTANCE [INSTANCE ...]
+  atsched client ADDR open INSTANCE | amend SESSION DELTA.json | close SESSION
   atsched client ADDR stats | health | shutdown
+  atsched amend ADDR INSTANCE --delta DELTA.json [--delta DELTA.json ...] [--keep-open]
 ";
 
 pub(crate) fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {

@@ -107,3 +107,62 @@ fn serve_and_client_roundtrip() {
     let status = server.wait().unwrap();
     assert!(status.success(), "server drains to exit 0");
 }
+
+#[test]
+fn amend_command_drives_a_session_end_to_end() {
+    let (mut server, addr) = spawn_serve(&[]);
+
+    let inst = write_instance("session-base", &small_instance());
+    let delta1 =
+        std::env::temp_dir().join(format!("atsched-cli-{}-delta1.json", std::process::id()));
+    std::fs::write(&delta1, r#"{"modify":[{"job":1,"release":0,"deadline":4}]}"#).unwrap();
+    let delta2 =
+        std::env::temp_dir().join(format!("atsched-cli-{}-delta2.json", std::process::id()));
+    std::fs::write(&delta2, r#"{"add":[{"release":1,"deadline":3,"processing":1}]}"#).unwrap();
+
+    let out = atsched()
+        .args([
+            "amend",
+            &addr,
+            inst.to_str().unwrap(),
+            "--delta",
+            delta1.to_str().unwrap(),
+            "--delta",
+            delta2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "amend: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("opened"), "{stdout}");
+    assert!(stdout.contains("amend #1"), "{stdout}");
+    assert!(stdout.contains("amend #2"), "{stdout}");
+
+    // The session verbs via `client`: open prints an id usable later.
+    let out = atsched().args(["client", &addr, "open", inst.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "open: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let session = stdout
+        .split("session ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .expect("open prints the session id")
+        .trim()
+        .to_string();
+    let out = atsched()
+        .args(["client", &addr, "amend", &session, delta2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "client amend: {}", String::from_utf8_lossy(&out.stderr));
+    let out = atsched().args(["client", &addr, "close", &session]).output().unwrap();
+    assert!(out.status.success(), "close: {}", String::from_utf8_lossy(&out.stderr));
+    // Closing twice is the typed unknown-session error.
+    let out = atsched().args(["client", &addr, "close", &session]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown_session"));
+
+    let out = atsched().args(["client", &addr, "shutdown"]).output().unwrap();
+    assert!(out.status.success());
+    let status = server.wait().unwrap();
+    assert!(status.success());
+}

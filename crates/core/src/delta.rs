@@ -1,0 +1,258 @@
+//! Typed instance deltas: the input side of incremental solving.
+//!
+//! A [`JobDelta`] is a batch of add / remove / modify-window operations
+//! against an existing [`Instance`]. [`apply`] turns the pair into the
+//! amended instance, which a session layer can then re-decompose to
+//! find the shards actually touched by the change (the *dirty-shard
+//! rule*, DESIGN.md §12).
+//!
+//! ## Id semantics
+//!
+//! Every operation refers to jobs by their **pre-amend** id — an index
+//! into the instance the delta is applied to. All operations in one
+//! batch are interpreted against that same snapshot, so the order of
+//! ops within a batch carries no meaning except for the append order of
+//! added jobs. Concretely:
+//!
+//! * modifies rewrite the windows of surviving jobs in place;
+//! * removes drop jobs, and the survivors are compacted keeping their
+//!   relative order (post-amend ids shift down);
+//! * adds append after the survivors, in the order given.
+//!
+//! Referring to the same pre-amend job twice (two modifies, a modify
+//! plus a remove, two removes) is rejected as
+//! [`DeltaError::DuplicateOp`] rather than silently picking a winner.
+//! The amended job list is re-validated by [`Instance::new`]; window
+//! shapes that break laminarity are *not* rejected here (the solver
+//! rejects them later, exactly as it does for cold inputs).
+
+use crate::instance::{Instance, InstanceError, Job};
+
+/// One edit against a pre-amend instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Append a new job (post-amend id assigned after all survivors).
+    Add(Job),
+    /// Remove the job with this pre-amend id.
+    Remove(usize),
+    /// Rewrite the window of the job with pre-amend id `job` to
+    /// `[release, deadline)`; processing time is unchanged.
+    ModifyWindow {
+        /// Pre-amend id of the job to modify.
+        job: usize,
+        /// New release time (window start, inclusive).
+        release: i64,
+        /// New deadline (window end, exclusive).
+        deadline: i64,
+    },
+}
+
+/// A batch of edits applied atomically to one instance snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobDelta {
+    /// The operations; see the module docs for id semantics.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl JobDelta {
+    /// An empty delta (applying it returns the instance unchanged).
+    pub fn new() -> Self {
+        JobDelta::default()
+    }
+
+    /// Append an add operation (builder style).
+    #[allow(clippy::should_implement_trait)] // builder verb, not arithmetic
+    pub fn add(mut self, job: Job) -> Self {
+        self.ops.push(DeltaOp::Add(job));
+        self
+    }
+
+    /// Append a remove operation (builder style).
+    pub fn remove(mut self, job: usize) -> Self {
+        self.ops.push(DeltaOp::Remove(job));
+        self
+    }
+
+    /// Append a modify-window operation (builder style).
+    pub fn modify_window(mut self, job: usize, release: i64, deadline: i64) -> Self {
+        self.ops.push(DeltaOp::ModifyWindow { job, release, deadline });
+        self
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Why a delta could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An op referenced a pre-amend job id past the end of the instance.
+    UnknownJob(usize),
+    /// Two ops referenced the same pre-amend job id.
+    DuplicateOp(usize),
+    /// The amended job list failed [`Instance::new`] validation.
+    Instance(InstanceError),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownJob(j) => write!(f, "delta references unknown job {j}"),
+            DeltaError::DuplicateOp(j) => {
+                write!(f, "delta references job {j} more than once")
+            }
+            DeltaError::Instance(e) => write!(f, "amended instance is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaError::Instance(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InstanceError> for DeltaError {
+    fn from(e: InstanceError) -> Self {
+        DeltaError::Instance(e)
+    }
+}
+
+/// Apply `delta` to `inst`, producing the amended instance.
+///
+/// See the module docs for id semantics. The result is validated with
+/// [`Instance::new`]; `g` is carried over unchanged.
+pub fn apply(inst: &Instance, delta: &JobDelta) -> Result<Instance, DeltaError> {
+    let n = inst.jobs.len();
+    // None = untouched, Some(None) = removed, Some(Some(j)) = modified.
+    let mut touched: Vec<Option<Option<Job>>> = vec![None; n];
+    let mut added: Vec<Job> = Vec::new();
+
+    for op in &delta.ops {
+        match *op {
+            DeltaOp::Add(job) => added.push(job),
+            DeltaOp::Remove(j) => {
+                if j >= n {
+                    return Err(DeltaError::UnknownJob(j));
+                }
+                if touched[j].replace(None).is_some() {
+                    return Err(DeltaError::DuplicateOp(j));
+                }
+            }
+            DeltaOp::ModifyWindow { job, release, deadline } => {
+                if job >= n {
+                    return Err(DeltaError::UnknownJob(job));
+                }
+                let modified = Job::new(release, deadline, inst.jobs[job].processing);
+                if touched[job].replace(Some(modified)).is_some() {
+                    return Err(DeltaError::DuplicateOp(job));
+                }
+            }
+        }
+    }
+
+    let mut jobs: Vec<Job> = Vec::with_capacity(n + added.len());
+    for (j, slot) in touched.into_iter().enumerate() {
+        match slot {
+            None => jobs.push(inst.jobs[j]),
+            Some(Some(modified)) => jobs.push(modified),
+            Some(None) => {} // removed
+        }
+    }
+    jobs.extend(added);
+    Instance::new(inst.g, jobs).map_err(DeltaError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let i = inst(2, vec![(0, 4, 2), (1, 3, 1)]);
+        assert_eq!(apply(&i, &JobDelta::new()).unwrap(), i);
+    }
+
+    #[test]
+    fn add_appends_after_survivors() {
+        let i = inst(2, vec![(0, 4, 2)]);
+        let out = apply(&i, &JobDelta::new().add(Job::new(6, 9, 1))).unwrap();
+        assert_eq!(out.jobs, vec![Job::new(0, 4, 2), Job::new(6, 9, 1)]);
+    }
+
+    #[test]
+    fn remove_compacts_keeping_order() {
+        let i = inst(2, vec![(0, 4, 2), (5, 8, 1), (10, 12, 1)]);
+        let out = apply(&i, &JobDelta::new().remove(1)).unwrap();
+        assert_eq!(out.jobs, vec![Job::new(0, 4, 2), Job::new(10, 12, 1)]);
+    }
+
+    #[test]
+    fn modify_rewrites_window_preserving_processing() {
+        let i = inst(2, vec![(0, 4, 2), (5, 8, 1)]);
+        let out = apply(&i, &JobDelta::new().modify_window(0, 10, 14)).unwrap();
+        assert_eq!(out.jobs[0], Job::new(10, 14, 2));
+        assert_eq!(out.jobs[1], Job::new(5, 8, 1));
+    }
+
+    #[test]
+    fn ops_reference_the_pre_amend_snapshot() {
+        // Remove job 0 and modify job 2: the modify still names the
+        // *original* id 2, even though removal shifts it to index 1.
+        let i = inst(1, vec![(0, 2, 1), (3, 5, 1), (6, 9, 1)]);
+        let out = apply(&i, &JobDelta::new().remove(0).modify_window(2, 20, 23)).unwrap();
+        assert_eq!(out.jobs, vec![Job::new(3, 5, 1), Job::new(20, 23, 1)]);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_ids_are_rejected() {
+        let i = inst(1, vec![(0, 2, 1)]);
+        assert_eq!(apply(&i, &JobDelta::new().remove(1)), Err(DeltaError::UnknownJob(1)));
+        assert_eq!(
+            apply(&i, &JobDelta::new().modify_window(3, 0, 2)),
+            Err(DeltaError::UnknownJob(3))
+        );
+        assert_eq!(
+            apply(&i, &JobDelta::new().remove(0).modify_window(0, 0, 2)),
+            Err(DeltaError::DuplicateOp(0))
+        );
+        assert_eq!(
+            apply(&i, &JobDelta::new().remove(0).remove(0)),
+            Err(DeltaError::DuplicateOp(0))
+        );
+    }
+
+    #[test]
+    fn amended_instance_is_revalidated() {
+        let i = inst(1, vec![(0, 4, 3)]);
+        // Shrinking the window below the processing time must fail.
+        let err = apply(&i, &JobDelta::new().modify_window(0, 0, 2)).unwrap_err();
+        assert!(matches!(err, DeltaError::Instance(InstanceError::WindowTooShort(0))));
+        // Adding an invalid job fails too.
+        let err = apply(&i, &JobDelta::new().add(Job::new(0, 1, 0))).unwrap_err();
+        assert!(matches!(err, DeltaError::Instance(InstanceError::BadProcessing(1))));
+    }
+
+    #[test]
+    fn non_laminar_amendments_pass_validation_here() {
+        // Laminarity is the *solver's* contract, not the delta layer's:
+        // crossing windows apply fine and fail later, like cold inputs.
+        let i = inst(1, vec![(0, 5, 1)]);
+        let out = apply(&i, &JobDelta::new().add(Job::new(3, 8, 1))).unwrap();
+        assert!(out.check_laminar().is_err());
+    }
+}

@@ -55,6 +55,7 @@
 pub mod canonical;
 pub mod certify;
 pub mod decompose;
+pub mod delta;
 pub mod energy;
 pub mod feasibility;
 pub mod instance;
@@ -67,9 +68,10 @@ pub mod solver;
 pub mod transform;
 pub mod tree;
 
+pub use delta::{DeltaError, DeltaOp, JobDelta};
 pub use instance::{Instance, InstanceError, Job};
 pub use schedule::Schedule;
 pub use solver::{
-    solve_nested, LpBackend, ShardMode, SolveError, SolveResult, SolveStats, SolverOptions,
-    StageTimings,
+    solve_nested, solve_nested_seeded, LpBackend, SeededSolve, ShardMode, SolveError, SolveResult,
+    SolveStats, SolverOptions, StageTimings, WarmSeed,
 };

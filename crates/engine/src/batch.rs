@@ -87,7 +87,7 @@ impl EngineConfig {
         self
     }
 
-    fn effective_workers(&self) -> usize {
+    pub(crate) fn effective_workers(&self) -> usize {
         if self.workers == 0 {
             default_workers()
         } else {
@@ -169,11 +169,12 @@ pub struct BatchResult {
 /// [`Engine::totals`].
 #[derive(Debug, Default)]
 pub struct Engine {
-    cfg: EngineConfig,
-    cache: SolveCache,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) cache: SolveCache,
     totals: TotalCounters,
-    registry: Arc<obs::Registry>,
+    pub(crate) registry: Arc<obs::Registry>,
     trace: Option<Arc<obs::TraceBuffer>>,
+    pub(crate) sessions: crate::session::SessionTable,
 }
 
 /// Lifetime outcome counters, updated lock-free on every finished solve.
@@ -196,7 +197,14 @@ impl Engine {
     /// solver-level counters land in one snapshot.
     pub fn with_registry(cfg: EngineConfig, registry: Arc<obs::Registry>) -> Self {
         let cache = SolveCache::with_capacity(cfg.cache_capacity);
-        Engine { cfg, cache, totals: TotalCounters::default(), registry, trace: None }
+        Engine {
+            cfg,
+            cache,
+            totals: TotalCounters::default(),
+            registry,
+            trace: None,
+            sessions: crate::session::SessionTable::default(),
+        }
     }
 
     /// Attach a trace buffer: every solver span is also appended as a
@@ -286,24 +294,9 @@ impl Engine {
     /// Solve a single instance under this engine's isolation and cache
     /// policy (the unit of work a batch worker executes).
     pub fn solve_one(&self, inst: &Instance, opts: &SolverOptions) -> Outcome {
-        let outcome = if self.cfg.observe {
-            let mut collector = obs::Collector::new(Arc::clone(&self.registry));
-            if let Some(trace) = &self.trace {
-                collector = collector.with_trace(Arc::clone(trace));
-            }
-            obs::with_collector(collector, || self.solve_one_inner(inst, opts))
-        } else {
-            self.solve_one_inner(inst, opts)
-        };
-        let counter = match &outcome {
-            Outcome::Solved(_) => &self.totals.solved,
-            Outcome::Infeasible => &self.totals.infeasible,
-            Outcome::TimedOut => &self.totals.timed_out,
-            Outcome::Failed(_) => &self.totals.failed,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.observed(|| self.solve_one_inner(inst, opts));
+        self.tally(&outcome);
         if self.cfg.observe {
-            self.registry.counter(&format!("engine.outcome.{}", outcome.label())).inc();
             if let Some(item) = outcome.as_solved() {
                 // Hits go to their own histogram: folding ~0 ms lookups
                 // into `engine.solve_ms` would skew the latency
@@ -313,6 +306,36 @@ impl Engine {
             }
         }
         outcome
+    }
+
+    /// Run `work` under this engine's collector policy: when `observe`
+    /// is on, a fresh [`obs::Collector`] bound to the engine registry
+    /// (and trace buffer, if any) is installed for the duration.
+    pub(crate) fn observed<T>(&self, work: impl FnOnce() -> T) -> T {
+        if self.cfg.observe {
+            let mut collector = obs::Collector::new(Arc::clone(&self.registry));
+            if let Some(trace) = &self.trace {
+                collector = collector.with_trace(Arc::clone(trace));
+            }
+            obs::with_collector(collector, work)
+        } else {
+            work()
+        }
+    }
+
+    /// Count `outcome` into the lifetime totals and (when observing)
+    /// the `engine.outcome.<label>` counter.
+    pub(crate) fn tally(&self, outcome: &Outcome) {
+        let counter = match outcome {
+            Outcome::Solved(_) => &self.totals.solved,
+            Outcome::Infeasible => &self.totals.infeasible,
+            Outcome::TimedOut => &self.totals.timed_out,
+            Outcome::Failed(_) => &self.totals.failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.observe {
+            self.registry.counter(&format!("engine.outcome.{}", outcome.label())).inc();
+        }
     }
 
     fn solve_one_inner(&self, inst: &Instance, opts: &SolverOptions) -> Outcome {
@@ -450,7 +473,11 @@ impl Engine {
 }
 
 /// Map a deterministic solve outcome to an [`Outcome`].
-fn settle(res: Result<SolveResult, SolveError>, elapsed: Duration, cached: bool) -> Outcome {
+pub(crate) fn settle(
+    res: Result<SolveResult, SolveError>,
+    elapsed: Duration,
+    cached: bool,
+) -> Outcome {
     match res {
         Ok(result) => Outcome::Solved(Box::new(SolvedItem { result, elapsed, cached })),
         Err(SolveError::Infeasible) => Outcome::Infeasible,
@@ -585,8 +612,8 @@ mod tests {
         // surrounded by trivial neighbors that comfortably can.
         let slow = {
             let mut jobs = Vec::new();
-            for k in 0..16i64 {
-                jobs.push((k, 6000 - k, 3));
+            for k in 0..48i64 {
+                jobs.push((k, 20000 - k, 3));
             }
             inst(2, jobs)
         };

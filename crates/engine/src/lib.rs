@@ -56,6 +56,7 @@ pub mod cache;
 pub mod isolate;
 pub mod par;
 pub mod report;
+pub mod session;
 pub mod shard;
 
 pub use batch::{BatchResult, Engine, EngineConfig, Outcome, SolvedItem};
@@ -63,4 +64,8 @@ pub use cache::CacheStats;
 pub use isolate::{isolated, with_budget, Interrupt};
 pub use par::{par_map, par_map_workers};
 pub use report::{BatchReport, EngineTotals, Percentiles};
-pub use shard::{solve_nested_sharded, AUTO_MIN_JOBS};
+pub use session::{Session, SessionId};
+#[doc(hidden)] // prefer `Engine::solve_one` (or the `Solve` facade): same
+// decomposition, plus cache/isolation/observability.
+pub use shard::solve_nested_sharded;
+pub use shard::AUTO_MIN_JOBS;

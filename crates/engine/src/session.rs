@@ -1,0 +1,639 @@
+//! Incremental solving: long-lived sessions with delta amends.
+//!
+//! A [`Session`] pins one instance inside an [`Engine`] and re-solves it
+//! after each [`JobDelta`] amendment, reusing as much of the previous
+//! solve as correctness allows:
+//!
+//! 1. **Shard splicing.** The amended instance is re-decomposed at its
+//!    laminar forest roots ([`crate::shard::plan`]); shards whose
+//!    *normalized content* (machine parallelism + exact job list, after
+//!    shifting the root window to slot 0) matches a part of the previous
+//!    solve are spliced in without touching the solver. Content keying
+//!    makes splices bit-identical by construction — there is nothing to
+//!    re-verify per shard, and [`atsched_core::decompose::merge`]
+//!    re-verifies the assembled schedule end to end anyway.
+//! 2. **Engine cache.** Dirty shards first consult the engine's solve
+//!    cache (shared with [`Engine::solve_batch`]), so a shard shape seen
+//!    anywhere before — by any session or batch — is reused.
+//! 3. **LP warm starts.** A genuinely dirty shard is solved with
+//!    [`solve_nested_seeded`]: a dual certificate captured from the
+//!    previous solve of the overlapping time region is offered to the
+//!    new LP and reused only when it *proves* the unique optimum
+//!    (see [`atsched_lp::Model::try_warm`]) — bit-identical or declined.
+//!
+//! The invariant is absolute: **any amend sequence yields exactly the
+//! result a cold solve of the final instance would**. Every reuse layer
+//! is either content-identical (1, 2) or proof-gated (3).
+//!
+//! Sessions deliberately ignore [`EngineConfig::timeout`]: the splice
+//! bookkeeping needs borrowed state that the budget helper thread's
+//! `'static` bound rules out, and amends are expected to be fast by
+//! design. Panics are still contained per solve.
+//!
+//! ## Lifecycle
+//!
+//! [`Engine::open_session`] solves eagerly and registers the session in
+//! the engine's table; [`Engine::session`] re-attaches to it by id (the
+//! serve layer's correlation handle); [`Engine::close_session`] drops
+//! the cached state. The engine keeps sessions until explicitly closed —
+//! the serve layer layers TTL eviction on top.
+//!
+//! ## Metrics
+//!
+//! When the engine observes, sessions record `engine.open_ms` /
+//! `engine.amend_ms` latency histograms, an `engine.amends` counter, an
+//! `engine.sessions_open` gauge, per-amend reuse counters
+//! (`engine.amend_shards_reused`, `engine.amend_shards_solved`,
+//! `engine.amend_warm_hits`, `engine.amend_warm_misses`), and a
+//! `span.amend.ms` span wrapping the re-solve.
+
+use crate::batch::{settle, Engine, Outcome};
+use crate::cache::CacheKey;
+use crate::isolate::{isolated, Interrupt};
+use crate::par::par_map_workers;
+use crate::shard;
+use atsched_core::decompose::{merge, Shard};
+use atsched_core::delta::{apply, DeltaError, JobDelta};
+use atsched_core::instance::{Instance, Job};
+use atsched_core::solver::{solve_nested_seeded, SolveError, SolveResult, SolverOptions, WarmSeed};
+use atsched_obs as obs;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Opaque session identifier, unique per [`Engine`].
+///
+/// Stable across [`Engine::session`] lookups; the serve layer uses it to
+/// correlate `amend` requests with their `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw id, for wire protocols and logs.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for SessionId {
+    fn from(id: u64) -> Self {
+        SessionId(id)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The engine-side session registry: monotonically increasing ids and
+/// the live session states.
+#[derive(Debug, Default)]
+pub(crate) struct SessionTable {
+    next: AtomicU64,
+    map: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
+}
+
+/// Content key for a previously solved part: machine parallelism plus
+/// the exact (normalized) job list. Two shards with equal keys are the
+/// same solver input, so their results are interchangeable bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PartKey {
+    g: i64,
+    jobs: Vec<Job>,
+}
+
+impl PartKey {
+    fn of(inst: &Instance) -> Self {
+        PartKey { g: inst.g, jobs: inst.jobs.clone() }
+    }
+}
+
+/// Everything a session carries between amends.
+#[derive(Debug)]
+struct SessionState {
+    /// The current (post-amend) instance.
+    instance: Instance,
+    /// The options the session was opened with (fixed for its lifetime).
+    opts: SolverOptions,
+    /// Outcome of the most recent solve.
+    outcome: Outcome,
+    /// Per-part results of the previous solve, keyed by normalized
+    /// content. Rebuilt on every solve, so it never outgrows the
+    /// current decomposition.
+    parts: HashMap<PartKey, SolveResult>,
+    /// Dual certificates from the previous solve, keyed by the absolute
+    /// time hull `[lo, hi)` they were captured over. Offered to dirty
+    /// shards overlapping that hull.
+    seeds: Vec<(i64, i64, WarmSeed)>,
+}
+
+/// A live incremental-solving session (see the [module docs](self)).
+///
+/// Borrow-tied to its engine; cheap to re-obtain via [`Engine::session`].
+/// Cloning the handle is not needed — the state behind it is shared.
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e Engine,
+    id: SessionId,
+    state: Arc<Mutex<SessionState>>,
+}
+
+impl Engine {
+    /// Open a session on `inst`: solve it eagerly under this engine's
+    /// policy and keep the per-part results for future amends.
+    ///
+    /// The options are fixed for the session's lifetime. The initial
+    /// solve records into `engine.open_ms`; it captures no LP
+    /// certificates (that costs an extra LP solve per shard), so warm
+    /// starts begin with the second amend.
+    pub fn open_session(&self, inst: Instance, opts: &SolverOptions) -> Session<'_> {
+        let mut state = SessionState {
+            instance: inst,
+            opts: opts.clone(),
+            outcome: Outcome::Failed("session not yet solved".into()),
+            parts: HashMap::new(),
+            seeds: Vec::new(),
+        };
+        let start = Instant::now();
+        let outcome = self.observed(|| self.session_solve(&mut state, false));
+        state.outcome = outcome;
+        self.tally(&state.outcome);
+        if self.cfg.observe {
+            self.registry.histogram("engine.open_ms").record(start.elapsed().as_secs_f64() * 1e3);
+        }
+
+        let id = SessionId(self.sessions.next.fetch_add(1, Ordering::Relaxed) + 1);
+        let state = Arc::new(Mutex::new(state));
+        let open = {
+            let mut map = self.sessions.map.lock().expect("session table lock");
+            map.insert(id.0, Arc::clone(&state));
+            map.len()
+        };
+        if self.cfg.observe {
+            self.registry.gauge("engine.sessions_open").set(open as i64);
+        }
+        Session { engine: self, id, state }
+    }
+
+    /// Re-attach to an open session by id.
+    pub fn session(&self, id: SessionId) -> Option<Session<'_>> {
+        let state = {
+            let map = self.sessions.map.lock().expect("session table lock");
+            Arc::clone(map.get(&id.0)?)
+        };
+        Some(Session { engine: self, id, state })
+    }
+
+    /// Close a session, dropping its cached parts and seeds. Returns
+    /// whether the id was open. (Results already copied into the
+    /// engine's solve cache stay there.)
+    pub fn close_session(&self, id: SessionId) -> bool {
+        let (removed, open) = {
+            let mut map = self.sessions.map.lock().expect("session table lock");
+            (map.remove(&id.0).is_some(), map.len())
+        };
+        if removed && self.cfg.observe {
+            self.registry.gauge("engine.sessions_open").set(open as i64);
+        }
+        removed
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.map.lock().expect("session table lock").len()
+    }
+
+    /// Solve `state.instance`, splicing previous parts where the
+    /// decomposition's content matches and seeding dirty shards with
+    /// captured LP certificates. `amend` enables certificate capture and
+    /// the amend reuse counters (the opening solve skips both).
+    fn session_solve(&self, state: &mut SessionState, amend: bool) -> Outcome {
+        let start = Instant::now();
+        let inst = state.instance.clone();
+        let opts = state.opts.clone();
+        let prev_parts = std::mem::take(&mut state.parts);
+        let prev_seeds = std::mem::take(&mut state.seeds);
+        let mut next_parts: HashMap<PartKey, SolveResult> = HashMap::new();
+        let mut next_seeds: Vec<(i64, i64, WarmSeed)> = Vec::new();
+        let mut reused = 0u64;
+        let mut dirty_solved = 0u64;
+        let mut warm_hits = 0u64;
+        let mut warm_misses = 0u64;
+
+        let solved: Result<Result<SolveResult, SolveError>, Interrupt> = isolated(|| {
+            match shard::plan(&inst, &opts) {
+                Some(dec) => {
+                    let sopts = shard::shard_options(&opts);
+                    let n = dec.len();
+                    // Resolution pass: splice from session parts, then
+                    // from the engine cache; everything else is dirty.
+                    let mut slots: Vec<Option<Result<SolveResult, SolveError>>> =
+                        (0..n).map(|_| None).collect();
+                    let mut dirty: Vec<usize> = Vec::new();
+                    for (i, sh) in dec.shards.iter().enumerate() {
+                        if let Some(part) = prev_parts.get(&PartKey::of(&sh.instance)) {
+                            reused += 1;
+                            carry_seeds(&prev_seeds, abs_hull(sh), &mut next_seeds);
+                            slots[i] = Some(Ok(part.clone()));
+                        } else if let Some(found) = self
+                            .cfg
+                            .cache
+                            .then(|| CacheKey::new(&sh.instance, &sopts))
+                            .and_then(|k| self.cache.get(&k))
+                        {
+                            if self.cfg.observe {
+                                self.registry.counter("engine.shard_cache_hits").inc();
+                            }
+                            reused += 1;
+                            slots[i] = Some(found);
+                        } else {
+                            dirty.push(i);
+                        }
+                    }
+                    dirty_solved += dirty.len() as u64;
+
+                    // Fan the dirty shards out, seeded by hull overlap.
+                    let workers = self.cfg.effective_workers();
+                    let collector = obs::current_collector();
+                    let dirty_out = par_map_workers(dirty, workers, |i| {
+                        let sh = &dec.shards[i];
+                        let seed = find_seed(&prev_seeds, abs_hull(sh));
+                        let run = || solve_nested_seeded(&sh.instance, &sopts, seed, amend);
+                        let res = match &collector {
+                            Some(c) => obs::with_collector(c.clone(), run),
+                            None => run(),
+                        };
+                        (i, res)
+                    });
+                    for (i, res) in dirty_out {
+                        let sh = &dec.shards[i];
+                        let key = self.cfg.cache.then(|| CacheKey::new(&sh.instance, &sopts));
+                        match res {
+                            Ok(s) => {
+                                if s.warm_hit {
+                                    warm_hits += 1;
+                                } else if amend {
+                                    warm_misses += 1;
+                                }
+                                if let Some(seed) = s.seed {
+                                    let (lo, hi) = abs_hull(sh);
+                                    next_seeds.push((lo, hi, seed));
+                                }
+                                if let Some(key) = key {
+                                    self.cache.insert(key, Ok(s.result.clone()));
+                                }
+                                slots[i] = Some(Ok(s.result));
+                            }
+                            Err(e) => {
+                                if let Some(key) = key {
+                                    self.cache.insert(key, Err(e.clone()));
+                                }
+                                slots[i] = Some(Err(e));
+                            }
+                        }
+                    }
+
+                    // Combine in root order; the first error wins,
+                    // matching both the monolithic solve and
+                    // [`shard::solve_decomposed`]. Successful parts are
+                    // kept for future amends even when a sibling failed —
+                    // content keys stay valid regardless.
+                    let mut parts: Vec<SolveResult> = Vec::with_capacity(n);
+                    let mut first_err: Option<SolveError> = None;
+                    for (sh, slot) in dec.shards.iter().zip(slots) {
+                        match slot.expect("every shard resolved") {
+                            Ok(r) => {
+                                next_parts.insert(PartKey::of(&sh.instance), r.clone());
+                                if first_err.is_none() {
+                                    parts.push(r);
+                                }
+                            }
+                            Err(e) => {
+                                if first_err.is_none() {
+                                    first_err = Some(e);
+                                }
+                            }
+                        }
+                    }
+                    match first_err {
+                        Some(e) => Err(e),
+                        None => {
+                            let span = obs::Span::enter("solve.merge");
+                            let merged = merge(&inst, &dec, &parts);
+                            drop(span);
+                            obs::counter_add("engine.shards", n as u64);
+                            Ok(merged)
+                        }
+                    }
+                }
+                // Single-root (or sharding-off) instances degenerate to
+                // one pseudo-shard: splice on identical content, seed
+                // from the whole-instance hull otherwise.
+                None => {
+                    let key = PartKey::of(&inst);
+                    let hull = inst.horizon().unwrap_or((0, 0));
+                    if let Some(part) = prev_parts.get(&key) {
+                        reused += 1;
+                        carry_seeds(&prev_seeds, hull, &mut next_seeds);
+                        let part = part.clone();
+                        next_parts.insert(key, part.clone());
+                        Ok(part)
+                    } else {
+                        dirty_solved += 1;
+                        let seed = find_seed(&prev_seeds, hull);
+                        match solve_nested_seeded(&inst, &opts, seed, amend) {
+                            Ok(s) => {
+                                if s.warm_hit {
+                                    warm_hits += 1;
+                                } else if amend {
+                                    warm_misses += 1;
+                                }
+                                if let Some(sd) = s.seed {
+                                    next_seeds.push((hull.0, hull.1, sd));
+                                }
+                                next_parts.insert(key, s.result.clone());
+                                Ok(s.result)
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                }
+            }
+        });
+
+        state.parts = next_parts;
+        state.seeds = next_seeds;
+        if self.cfg.observe && amend {
+            self.registry.counter("engine.amends").inc();
+            self.registry.counter("engine.amend_shards_reused").add(reused);
+            self.registry.counter("engine.amend_shards_solved").add(dirty_solved);
+            self.registry.counter("engine.amend_warm_hits").add(warm_hits);
+            self.registry.counter("engine.amend_warm_misses").add(warm_misses);
+        }
+
+        match solved {
+            Ok(deterministic) => {
+                if let Some(key) = self.cfg.cache.then(|| CacheKey::new(&inst, &opts)) {
+                    self.cache.insert(key, deterministic.clone());
+                    if self.cfg.observe {
+                        self.registry.gauge("engine.cache_entries").set(self.cache.len() as i64);
+                    }
+                }
+                settle(deterministic, start.elapsed(), false)
+            }
+            Err(Interrupt::TimedOut) => Outcome::TimedOut, // unreachable: sessions never budget
+            Err(Interrupt::Panicked(msg)) => Outcome::Failed(format!("solver panicked: {msg}")),
+        }
+    }
+}
+
+impl Session<'_> {
+    /// This session's identifier.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The outcome of the most recent solve (open or amend).
+    pub fn outcome(&self) -> Outcome {
+        self.state.lock().expect("session lock").outcome.clone()
+    }
+
+    /// The current (post-amend) instance.
+    pub fn instance(&self) -> Instance {
+        self.state.lock().expect("session lock").instance.clone()
+    }
+
+    /// Apply `delta` to the session's instance and re-solve
+    /// incrementally.
+    ///
+    /// On a delta error ([`DeltaError`]) the session is untouched. An
+    /// amend whose *solve* fails (e.g. the amended instance is
+    /// infeasible) keeps the session open on the amended instance —
+    /// returning [`Outcome::Infeasible`] — so a later amend can repair
+    /// it; reusable parts from earlier solves are retained throughout.
+    ///
+    /// The returned outcome is bit-identical to what a cold
+    /// [`Engine::solve_one`] of the amended instance would produce.
+    pub fn amend(&self, delta: &JobDelta) -> Result<Outcome, DeltaError> {
+        let mut st = self.state.lock().expect("session lock");
+        st.instance = apply(&st.instance, delta)?;
+        let start = Instant::now();
+        let outcome = self.engine.observed(|| {
+            let _span = obs::Span::enter("amend");
+            self.engine.session_solve(&mut st, true)
+        });
+        st.outcome = outcome.clone();
+        drop(st);
+        self.engine.tally(&outcome);
+        if self.engine.cfg.observe {
+            self.engine
+                .registry
+                .histogram("engine.amend_ms")
+                .record(start.elapsed().as_secs_f64() * 1e3);
+        }
+        Ok(outcome)
+    }
+}
+
+/// A shard's absolute time hull `[lo, hi)` (offset undone).
+fn abs_hull(sh: &Shard) -> (i64, i64) {
+    let (lo, hi) = sh.instance.horizon().unwrap_or((0, 0));
+    (sh.offset + lo, sh.offset + hi)
+}
+
+/// The first previous-solve seed overlapping `hull`, if any.
+fn find_seed(seeds: &[(i64, i64, WarmSeed)], hull: (i64, i64)) -> Option<&WarmSeed> {
+    seeds.iter().find(|(lo, hi, _)| *lo < hull.1 && hull.0 < *hi).map(|(_, _, s)| s)
+}
+
+/// Carry every seed overlapping `hull` forward under the new hull (a
+/// spliced shard keeps its region's certificates alive for the amend
+/// that eventually dirties it).
+fn carry_seeds(
+    seeds: &[(i64, i64, WarmSeed)],
+    hull: (i64, i64),
+    out: &mut Vec<(i64, i64, WarmSeed)>,
+) {
+    for (lo, hi, seed) in seeds {
+        if *lo < hull.1 && hull.0 < *hi {
+            out.push((hull.0, hull.1, seed.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::EngineConfig;
+    use atsched_core::solver::ShardMode;
+
+    fn inst(g: i64, jobs: Vec<(i64, i64, i64)>) -> Instance {
+        Instance::new(g, jobs.into_iter().map(|(r, d, p)| Job::new(r, d, p)).collect()).unwrap()
+    }
+
+    /// `roots` copies of a 3-job subtree at disjoint offsets.
+    fn many_root(roots: usize) -> Instance {
+        let mut jobs = Vec::new();
+        for k in 0..roots as i64 {
+            let base = 12 * k;
+            jobs.push((base, base + 8, 2));
+            jobs.push((base + 1, base + 4, 1));
+            jobs.push((base + 5, base + 7, 1));
+        }
+        inst(2, jobs)
+    }
+
+    fn assert_bit_identical(a: &Outcome, b: &Outcome) {
+        match (a, b) {
+            (Outcome::Solved(x), Outcome::Solved(y)) => {
+                assert_eq!(x.result.schedule, y.result.schedule);
+                assert_eq!(x.result.z, y.result.z);
+                assert_eq!(x.result.stats.lp_objective_exact, y.result.stats.lp_objective_exact);
+                assert_eq!(x.result.stats.opened_slots, y.result.stats.opened_slots);
+            }
+            (Outcome::Infeasible, Outcome::Infeasible) => {}
+            other => panic!("outcome mismatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_then_amend_matches_cold_solve() {
+        let opts = SolverOptions { shard: ShardMode::Force, ..SolverOptions::exact() };
+        let engine = Engine::new(EngineConfig::default().workers(2));
+        let session = engine.open_session(many_root(4), &opts);
+        assert!(session.outcome().is_solved());
+
+        // Move one job's window inside the second root, then add and
+        // remove jobs; after every amend the outcome must be
+        // bit-identical to a cold solve of the session's instance.
+        let deltas = vec![
+            JobDelta::new().modify_window(4, 13, 17),
+            JobDelta::new().add(Job::new(1, 4, 1)),
+            JobDelta::new().remove(5),
+        ];
+        let cold_engine = Engine::new(EngineConfig::default().cache(false).workers(2));
+        for delta in &deltas {
+            let outcome = session.amend(delta).expect("delta applies");
+            let cold = cold_engine.solve_one(&session.instance(), &opts);
+            assert_bit_identical(&outcome, &cold);
+        }
+    }
+
+    #[test]
+    fn amend_reuses_untouched_shards() {
+        let opts = SolverOptions { shard: ShardMode::Force, ..SolverOptions::exact() };
+        // Cache off isolates the session's own part splicing from the
+        // engine-wide shard cache.
+        let engine = Engine::new(EngineConfig::default().workers(1).cache(false));
+        let session = engine.open_session(many_root(4), &opts);
+
+        // Dirty only the second root (jobs 3..6 live in it).
+        session.amend(&JobDelta::new().modify_window(4, 13, 17)).unwrap();
+        let snap = engine.registry().snapshot();
+        assert_eq!(snap.counter("engine.amend_shards_reused"), Some(3), "{snap:?}");
+        assert_eq!(snap.counter("engine.amend_shards_solved"), Some(1), "{snap:?}");
+        assert_eq!(snap.counter("engine.amends"), Some(1));
+        assert_eq!(snap.histogram("engine.amend_ms").map(|h| h.count), Some(1));
+        assert_eq!(snap.histogram("span.amend.ms").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn amends_that_split_and_merge_roots_stay_exact() {
+        let opts = SolverOptions { shard: ShardMode::Force, ..SolverOptions::exact() };
+        let engine = Engine::new(EngineConfig::default().workers(2));
+        // Two roots bridged into one by a spanning job, then split again.
+        let session = engine.open_session(many_root(2), &opts);
+        let cold = Engine::new(EngineConfig::default().cache(false));
+
+        let bridged = session.amend(&JobDelta::new().add(Job::new(0, 20, 1))).unwrap();
+        assert_bit_identical(&bridged, &cold.solve_one(&session.instance(), &opts));
+
+        let split = session.amend(&JobDelta::new().remove(6)).unwrap();
+        assert_bit_identical(&split, &cold.solve_one(&session.instance(), &opts));
+    }
+
+    #[test]
+    fn infeasible_amend_keeps_session_repairable() {
+        let opts = SolverOptions::exact();
+        let engine = Engine::new(EngineConfig::default());
+        let session = engine.open_session(inst(1, vec![(0, 4, 2)]), &opts);
+        assert!(session.outcome().is_solved());
+
+        // g=1, three unit jobs in a 2-slot window: infeasible.
+        let overload =
+            JobDelta::new().add(Job::new(0, 2, 1)).add(Job::new(0, 2, 1)).add(Job::new(0, 2, 1));
+        let outcome = session.amend(&overload).unwrap();
+        assert!(matches!(outcome, Outcome::Infeasible));
+        assert_eq!(session.instance().num_jobs(), 4);
+
+        // Removing the overload repairs the session.
+        let repaired = session.amend(&JobDelta::new().remove(1).remove(2).remove(3)).unwrap();
+        assert!(repaired.is_solved());
+    }
+
+    #[test]
+    fn bad_delta_leaves_session_untouched() {
+        let engine = Engine::new(EngineConfig::default());
+        let session =
+            engine.open_session(inst(2, vec![(0, 4, 2), (1, 3, 1)]), &SolverOptions::exact());
+        let before = session.instance();
+        let err = session.amend(&JobDelta::new().remove(9)).unwrap_err();
+        assert!(matches!(err, DeltaError::UnknownJob { .. }));
+        assert_eq!(session.instance(), before);
+        assert!(session.outcome().is_solved());
+    }
+
+    #[test]
+    fn session_table_lifecycle() {
+        let engine = Engine::new(EngineConfig::default());
+        let opts = SolverOptions::exact();
+        let a = engine.open_session(inst(2, vec![(0, 4, 2)]), &opts).id();
+        let b = engine.open_session(inst(2, vec![(0, 5, 3)]), &opts).id();
+        assert_ne!(a, b);
+        assert_eq!(engine.open_sessions(), 2);
+        assert_eq!(engine.registry().snapshot().gauge("engine.sessions_open"), Some(2));
+
+        // Re-attach and amend through the looked-up handle.
+        let found = engine.session(a).expect("session a open");
+        assert_eq!(found.id(), a);
+        assert!(found.amend(&JobDelta::new().add(Job::new(1, 3, 1))).unwrap().is_solved());
+
+        assert!(engine.close_session(a));
+        assert!(!engine.close_session(a), "double close is a no-op");
+        assert!(engine.session(a).is_none());
+        assert_eq!(engine.open_sessions(), 1);
+        assert_eq!(engine.registry().snapshot().gauge("engine.sessions_open"), Some(1));
+        assert!(engine.close_session(b));
+    }
+
+    #[test]
+    fn rigid_amends_warm_start_the_lp() {
+        // Fully rigid instances (window length == processing) have
+        // provably unique LP optima, and the LP model depends only on
+        // window *shapes*, not absolute times — so sliding a rigid
+        // instance along the timeline changes its content (dirty, no
+        // splice) while the certificate captured by the previous amend
+        // still proves the new optimum. The simplex never runs.
+        let opts = SolverOptions::exact();
+        let engine = Engine::new(EngineConfig::default().workers(1).cache(false));
+        let session = engine.open_session(inst(2, vec![(0, 4, 4), (0, 4, 4)]), &opts);
+        assert!(session.outcome().is_solved());
+
+        // Amend 1: dirty solve, no seed yet (open captures none) — a
+        // warm miss that captures the certificate. Amend 2: dirty again,
+        // hulls overlap, certificate accepted.
+        session.amend(&JobDelta::new().modify_window(0, 1, 5).modify_window(1, 1, 5)).unwrap();
+        session.amend(&JobDelta::new().modify_window(0, 2, 6).modify_window(1, 2, 6)).unwrap();
+        let snap = engine.registry().snapshot();
+        assert_eq!(snap.counter("engine.amend_warm_misses"), Some(1), "{snap:?}");
+        assert_eq!(snap.counter("engine.amend_warm_hits"), Some(1), "{snap:?}");
+        // Bit-identity holds throughout, warm or cold.
+        let cold =
+            Engine::new(EngineConfig::default().cache(false)).solve_one(&session.instance(), &opts);
+        assert_bit_identical(&session.outcome(), &cold);
+    }
+}

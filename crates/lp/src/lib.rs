@@ -42,6 +42,7 @@ mod model;
 mod presolve;
 mod scalar;
 mod simplex;
+mod warm;
 
 pub use model::{Cmp, LpError, LpStatus, Model, Solution, SolveInfo, VarId};
 pub use scalar::{scalar_from_int, Scalar};

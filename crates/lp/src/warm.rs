@@ -1,0 +1,202 @@
+//! Warm-start by certificate reuse.
+//!
+//! The simplex solver keeps no basis between solves, so "warm starting"
+//! here does not mean seeding a pivot sequence. Instead, a prior
+//! primal/dual pair `(x, y)` — typically from [`Model::solve_with_duals`]
+//! on an earlier, closely related model — is *checked* against the new
+//! model, and reused outright when it is provably the unique optimum:
+//!
+//! 1. **Optimality.** `x` is primal feasible, `y` is dual feasible with
+//!    the right signs, and `cᵀx = bᵀy` exactly ([`Model::check_duality`]).
+//!    Strong duality of a feasible pair already implies complementary
+//!    slackness, so `(x, y)` certifies that `x` is *an* optimum.
+//! 2. **Uniqueness.** Let `Z = {v : r_v > 0}` be the variables with
+//!    strictly positive reduced cost `r_v = c_v − (Aᵀy)_v`, `S` its
+//!    complement, and `T = {i : y_i ≠ 0}` the rows with active duals.
+//!    Complementary slackness forces *every* optimal `x′` to vanish on
+//!    `Z` and to satisfy the `T`-rows with equality, i.e.
+//!    `A[T,S]·x′_S = b_T`. When `A[T,S]` has full column rank `|S|`
+//!    (checked by exact Gaussian elimination), that system has at most
+//!    one solution — so `x′ = x` and reuse is bit-identical to whatever
+//!    a cold solve would return.
+//!
+//! When either check fails the candidate is declined (`None`) and the
+//! caller falls back to a cold solve; declining is always safe. On the
+//! exact [`atsched_num::Ratio`] field every comparison above is
+//! bit-for-bit, which is the instantiation the incremental solver uses.
+
+use crate::model::{Cmp, LpStatus, Model, Solution};
+use crate::scalar::Scalar;
+
+impl<S: Scalar> Model<S> {
+    /// Try to reuse a prior primal/dual certificate `(x, y)` as this
+    /// model's optimum.
+    ///
+    /// Returns the ready-made [`Solution`] when `(x, y)` proves both
+    /// optimality *and* uniqueness of the optimum (see the module docs);
+    /// `None` otherwise, in which case the caller should solve cold. A
+    /// `Some` result is exactly what [`Model::solve`] would return.
+    pub fn try_warm(&self, x: &[S], y: &[S]) -> Option<Solution<S>> {
+        if x.len() != self.num_vars() || y.len() != self.num_constraints() {
+            return None;
+        }
+        let candidate = Solution {
+            status: LpStatus::Optimal,
+            objective: self.objective_at(x),
+            values: x.to_vec(),
+        };
+        if self.check_duality(&candidate, y).is_err() {
+            return None;
+        }
+
+        // Reduced costs r_v = c_v − Σ_i a_{iv}·y_i. Dual feasibility
+        // (checked above) guarantees r_v ≥ 0.
+        let mut reduced: Vec<S> = self.objective.clone();
+        for (c, yi) in self.constraints.iter().zip(y) {
+            if yi.is_zero() {
+                continue;
+            }
+            for (v, coef) in &c.terms {
+                reduced[*v] = reduced[*v].sub(&coef.mul(yi));
+            }
+        }
+        let support: Vec<usize> = (0..self.num_vars()).filter(|&v| reduced[v].is_zero()).collect();
+        let tight: Vec<usize> = (0..self.num_constraints())
+            .filter(|&i| !y[i].is_zero() || matches!(self.constraints[i].cmp, Cmp::Eq))
+            .collect();
+        if tight.len() < support.len() {
+            return None;
+        }
+
+        // A[T,S] must have full column rank |S| for the optimum to be
+        // pinned uniquely. Dense Gaussian elimination, exact on Ratio.
+        let mut mat: Vec<Vec<S>> = tight
+            .iter()
+            .map(|&i| {
+                let row = &self.constraints[i];
+                support
+                    .iter()
+                    .map(|&v| {
+                        row.terms
+                            .iter()
+                            .find(|(idx, _)| *idx == v)
+                            .map_or_else(S::zero, |(_, c)| c.clone())
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut rank = 0usize;
+        for col in 0..support.len() {
+            let pivot = (rank..mat.len()).find(|&r| !mat[r][col].is_zero())?;
+            mat.swap(rank, pivot);
+            let (head, tail) = mat.split_at_mut(rank + 1);
+            let prow = &head[rank];
+            let pval = prow[col].clone();
+            for row in tail {
+                if row[col].is_zero() {
+                    continue;
+                }
+                let f = row[col].div(&pval);
+                for c in col..support.len() {
+                    row[c].sub_mul_in_place(&f, &prow[c]);
+                }
+            }
+            rank += 1;
+        }
+        debug_assert_eq!(rank, support.len());
+        Some(candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsched_num::Ratio;
+
+    fn r(v: i64) -> Ratio {
+        Ratio::from_i64(v)
+    }
+
+    /// min x + y  s.t.  x + 2y ≥ 3,  3x + y ≥ 4 — unique optimum (1, 1).
+    fn unique_model() -> Model<Ratio> {
+        let mut m: Model<Ratio> = Model::new();
+        let x = m.add_var("x", r(1));
+        let y = m.add_var("y", r(1));
+        m.add_constraint(vec![(x, r(1)), (y, r(2))], Cmp::Ge, r(3));
+        m.add_constraint(vec![(x, r(3)), (y, r(1))], Cmp::Ge, r(4));
+        m
+    }
+
+    #[test]
+    fn reuses_a_valid_certificate_bit_identically() {
+        let m = unique_model();
+        let (sol, duals) = m.solve_with_duals().unwrap();
+        let warm = m.try_warm(&sol.values, &duals).expect("certificate must be accepted");
+        assert_eq!(warm.objective, sol.objective);
+        assert_eq!(warm.values, sol.values);
+        let cold = m.solve().unwrap();
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values, cold.values);
+    }
+
+    #[test]
+    fn declines_wrong_arity_and_suboptimal_points() {
+        let m = unique_model();
+        let (sol, duals) = m.solve_with_duals().unwrap();
+        assert!(m.try_warm(&sol.values[..1], &duals).is_none());
+        assert!(m.try_warm(&sol.values, &duals[..1]).is_none());
+        // Feasible but suboptimal point: (3, 0) — strong duality fails.
+        assert!(m.try_warm(&[r(3), r(0)], &duals).is_none());
+        // Infeasible point.
+        assert!(m.try_warm(&[r(0), r(0)], &duals).is_none());
+    }
+
+    #[test]
+    fn declines_certificates_from_a_changed_model() {
+        let m = unique_model();
+        let (sol, duals) = m.solve_with_duals().unwrap();
+        // Same shape, different rhs: the old optimum is infeasible.
+        let mut changed: Model<Ratio> = Model::new();
+        let x = changed.add_var("x", r(1));
+        let y = changed.add_var("y", r(1));
+        changed.add_constraint(vec![(x, r(1)), (y, r(2))], Cmp::Ge, r(5));
+        changed.add_constraint(vec![(x, r(3)), (y, r(1))], Cmp::Ge, r(4));
+        assert!(changed.try_warm(&sol.values, &duals).is_none());
+    }
+
+    #[test]
+    fn declines_when_the_optimum_is_not_unique() {
+        // min x + y  s.t.  x + y ≥ 1: every point on the segment is
+        // optimal, so no certificate can pin the cold solve's choice.
+        let mut m: Model<Ratio> = Model::new();
+        let x = m.add_var("x", r(1));
+        let y = m.add_var("y", r(1));
+        m.add_constraint(vec![(x, r(1)), (y, r(1))], Cmp::Ge, r(1));
+        let (sol, duals) = m.solve_with_duals().unwrap();
+        // The pair is a perfectly valid *optimality* certificate …
+        assert!(m.check_duality(&sol, &duals).is_ok());
+        // … but try_warm must refuse it: A[T,S] is 1×2, rank 1 < 2.
+        assert!(m.try_warm(&sol.values, &duals).is_none());
+    }
+
+    #[test]
+    fn empty_model_certificate_is_accepted() {
+        let m: Model<Ratio> = Model::new();
+        let warm = m.try_warm(&[], &[]).expect("empty certificate is trivially unique");
+        assert!(warm.values.is_empty());
+        assert!(Scalar::is_zero(&warm.objective));
+    }
+
+    #[test]
+    fn equality_rows_with_zero_dual_still_pin_the_optimum() {
+        // min 0·x  s.t.  x = 2. Objective ignores x, so the dual on the
+        // equality row is 0 — but the Eq row itself still constrains
+        // every optimal point and must count as tight.
+        let mut m: Model<Ratio> = Model::new();
+        let x = m.add_var("x", r(0));
+        m.add_constraint(vec![(x, r(1))], Cmp::Eq, r(2));
+        let (sol, duals) = m.solve_with_duals().unwrap();
+        let warm = m.try_warm(&sol.values, &duals).expect("Eq row pins x uniquely");
+        assert_eq!(warm.values, vec![r(2)]);
+    }
+}

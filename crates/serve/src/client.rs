@@ -6,7 +6,7 @@
 //! out-of-order response surfaces as [`ClientError::Protocol`] instead
 //! of silently corrupting results.
 
-use crate::protocol::{Request, Response, SolveReply, StatsReply};
+use crate::protocol::{DeltaSpec, Request, Response, SolveReply, StatsReply};
 use atsched_core::instance::Instance;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -221,6 +221,32 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<StatsReply, ClientError> {
         let resp = self.expect_ok(Request::shutdown())?;
         resp.stats.ok_or_else(|| ClientError::Protocol("shutdown ack without snapshot".into()))
+    }
+
+    /// Open an incremental session on an instance (protocol v2); returns
+    /// the session id plus the initial solve. Pass a request built via
+    /// [`Request::open`] to [`request`](Self::request) directly for
+    /// per-call options.
+    pub fn open(&mut self, inst: &Instance) -> Result<(u64, SolveReply), ClientError> {
+        let resp = self.expect_ok(Request::open(inst))?;
+        let session = resp
+            .session
+            .ok_or_else(|| ClientError::Protocol("open response without session id".into()))?;
+        let reply = resp
+            .solve
+            .ok_or_else(|| ClientError::Protocol("ok response without solve payload".into()))?;
+        Ok((session, reply))
+    }
+
+    /// Amend an open session and return the incremental re-solve.
+    pub fn amend(&mut self, session: u64, delta: &DeltaSpec) -> Result<SolveReply, ClientError> {
+        let resp = self.expect_ok(Request::amend(session, delta))?;
+        resp.solve.ok_or_else(|| ClientError::Protocol("ok response without solve payload".into()))
+    }
+
+    /// Close an open session, releasing its server-side cached state.
+    pub fn close(&mut self, session: u64) -> Result<(), ClientError> {
+        self.expect_ok(Request::close(session)).map(|_| ())
     }
 }
 

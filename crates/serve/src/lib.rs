@@ -24,6 +24,11 @@
 //!   snapshot ([`shutdown`]).
 //! - **Observability.** The `stats` verb reports request counters,
 //!   cache hit rate, and end-to-end latency percentiles ([`stats`]).
+//! - **Versioned evolution.** Requests may declare a protocol
+//!   `version` (absent means v1); the v2 session verbs `open` /
+//!   `amend` / `close` expose the engine's incremental re-solve, and
+//!   v1 clients keep working against v2 servers unchanged
+//!   ([`protocol::PROTOCOL_VERSION`]).
 //!
 //! ## Quick start
 //!
@@ -59,6 +64,7 @@ pub mod stats;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    kind, verb, BatchItemReply, BatchReply, ErrorInfo, Request, Response, SolveReply, StatsReply,
+    kind, verb, BatchItemReply, BatchReply, DeltaSpec, ErrorInfo, Request, Response, SolveReply,
+    StatsReply, WindowChange, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -15,7 +15,8 @@
 //! request fields are rejected so typos fail loudly instead of being
 //! silently ignored. Responses likewise omit absent payloads.
 
-use atsched_core::instance::Instance;
+use atsched_core::delta::JobDelta;
+use atsched_core::instance::{Instance, Job};
 use atsched_core::schedule::Schedule;
 use atsched_engine::{EngineTotals, Percentiles};
 use atsched_obs::RegistrySnapshot;
@@ -23,6 +24,23 @@ use serde::de::{from_value, Deserializer};
 use serde::ser::{to_value, Serializer};
 use serde::value::Value;
 use serde::{Deserialize, Serialize};
+
+/// The protocol version this build speaks.
+///
+/// Version history:
+/// - **1** — `solve` / `batch` / `stats` / `health` / `shutdown`.
+///   Requests carry no `version` field; its absence *means* v1.
+/// - **2** — adds the session verbs `open` / `amend` / `close` and the
+///   `version` / `session` / `delta` request fields. Responses gain
+///   `version` and `session` echoes (v1 clients ignore unknown response
+///   fields by construction, so these are always safe to send).
+///
+/// Servers answer requests declaring a *newer* version than they speak
+/// with a typed [`kind::UNSUPPORTED_VERSION`] error; session verbs
+/// require the client to declare `version ≥ 2` so that a v2 frame
+/// mis-delivered to a v1 deployment fails loudly on the field name
+/// rather than on a missing capability.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Request verbs.
 pub mod verb {
@@ -36,6 +54,12 @@ pub mod verb {
     pub const HEALTH: &str = "health";
     /// Graceful shutdown: stop accepting, drain, reply with final stats.
     pub const SHUTDOWN: &str = "shutdown";
+    /// Open an incremental-solving session on an instance (v2).
+    pub const OPEN: &str = "open";
+    /// Amend an open session's instance and re-solve incrementally (v2).
+    pub const AMEND: &str = "amend";
+    /// Close an open session (v2).
+    pub const CLOSE: &str = "close";
 }
 
 /// Typed error kinds carried by `"status": "error"` responses.
@@ -54,6 +78,87 @@ pub mod kind {
     pub const FAILED: &str = "failed";
     /// The server lost the worker handling the request.
     pub const INTERNAL: &str = "internal";
+    /// The request declared a protocol version this server does not
+    /// speak (or used a versioned verb without declaring one).
+    pub const UNSUPPORTED_VERSION: &str = "unsupported_version";
+    /// The `session` id is not (or no longer) open — never issued,
+    /// closed, or evicted by the server's session TTL.
+    pub const UNKNOWN_SESSION: &str = "unknown_session";
+}
+
+/// Wire form of a [`JobDelta`]: three op lists, all optional on the
+/// wire (`{"add": [...], "remove": [...], "modify": [...]}`).
+///
+/// `remove` and `modify` reference **pre-amend** job ids — every op in
+/// one delta names jobs of the same snapshot, so op order within a
+/// delta never matters (duplicate references are rejected
+/// server-side). Added jobs are appended after the survivors in list
+/// order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeltaSpec {
+    /// Jobs to append.
+    pub add: Vec<Job>,
+    /// Pre-amend ids of jobs to remove.
+    pub remove: Vec<u64>,
+    /// Window changes, by pre-amend id.
+    pub modify: Vec<WindowChange>,
+}
+
+/// One `modify` entry of a [`DeltaSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowChange {
+    /// Pre-amend id of the job to re-window.
+    pub job: u64,
+    /// New release time.
+    pub release: i64,
+    /// New deadline.
+    pub deadline: i64,
+}
+
+impl DeltaSpec {
+    /// An empty delta.
+    pub fn new() -> DeltaSpec {
+        DeltaSpec::default()
+    }
+
+    /// Append a job.
+    #[allow(clippy::should_implement_trait)] // builder verb, not arithmetic
+    pub fn add(mut self, job: Job) -> DeltaSpec {
+        self.add.push(job);
+        self
+    }
+
+    /// Remove the job with this pre-amend id.
+    pub fn remove(mut self, job: u64) -> DeltaSpec {
+        self.remove.push(job);
+        self
+    }
+
+    /// Re-window the job with this pre-amend id.
+    pub fn modify_window(mut self, job: u64, release: i64, deadline: i64) -> DeltaSpec {
+        self.modify.push(WindowChange { job, release, deadline });
+        self
+    }
+
+    /// True when no op is present.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.remove.is_empty() && self.modify.is_empty()
+    }
+
+    /// Lower onto the engine's typed delta.
+    pub fn to_delta(&self) -> JobDelta {
+        let mut delta = JobDelta::new();
+        for w in &self.modify {
+            delta = delta.modify_window(w.job as usize, w.release, w.deadline);
+        }
+        for &j in &self.remove {
+            delta = delta.remove(j as usize);
+        }
+        for job in &self.add {
+            delta = delta.add(*job);
+        }
+        delta
+    }
 }
 
 /// A request frame.
@@ -85,6 +190,13 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Return the full schedule in the reply, not just its summary.
     pub include_schedule: Option<bool>,
+    /// Protocol version the client speaks; absent means 1. Required
+    /// (≥ 2) for the session verbs.
+    pub version: Option<u32>,
+    /// Session id for `amend` / `close`.
+    pub session: Option<u64>,
+    /// Instance amendment for `amend`.
+    pub delta: Option<DeltaSpec>,
 }
 
 impl Request {
@@ -102,6 +214,9 @@ impl Request {
             shard: None,
             timeout_ms: None,
             include_schedule: None,
+            version: None,
+            session: None,
+            delta: None,
         }
     }
 
@@ -128,6 +243,37 @@ impl Request {
     /// A `shutdown` request.
     pub fn shutdown() -> Request {
         Request::new(verb::SHUTDOWN)
+    }
+
+    /// An `open` request: start an incremental session on an instance.
+    /// Declares [`PROTOCOL_VERSION`].
+    pub fn open(inst: &Instance) -> Request {
+        Request {
+            instance: Some(inst.clone()),
+            version: Some(PROTOCOL_VERSION),
+            ..Request::new(verb::OPEN)
+        }
+    }
+
+    /// An `amend` request against an open session. Declares
+    /// [`PROTOCOL_VERSION`].
+    pub fn amend(session: u64, delta: &DeltaSpec) -> Request {
+        Request {
+            session: Some(session),
+            delta: Some(delta.clone()),
+            version: Some(PROTOCOL_VERSION),
+            ..Request::new(verb::AMEND)
+        }
+    }
+
+    /// A `close` request for an open session. Declares
+    /// [`PROTOCOL_VERSION`].
+    pub fn close(session: u64) -> Request {
+        Request {
+            session: Some(session),
+            version: Some(PROTOCOL_VERSION),
+            ..Request::new(verb::CLOSE)
+        }
     }
 
     /// Set the correlation id.
@@ -175,6 +321,19 @@ impl Request {
     /// Ask for the full schedule in the reply.
     pub fn with_schedule(mut self) -> Request {
         self.include_schedule = Some(true);
+        self
+    }
+
+    /// Declare an explicit protocol version (tests and forward-compat
+    /// probes; the session constructors set this automatically).
+    pub fn with_version(mut self, version: u32) -> Request {
+        self.version = Some(version);
+        self
+    }
+
+    /// Set the session id.
+    pub fn with_session(mut self, session: u64) -> Request {
+        self.session = Some(session);
         self
     }
 }
@@ -309,6 +468,11 @@ pub struct Response {
     pub batch: Option<BatchReply>,
     /// `stats` / `shutdown` payload.
     pub stats: Option<StatsReply>,
+    /// Protocol version the server spoke for this exchange (v2+
+    /// servers always set it; v1 clients ignore it).
+    pub version: Option<u32>,
+    /// Session id echo for `open` / `amend` / `close` exchanges.
+    pub session: Option<u64>,
 }
 
 impl Response {
@@ -322,6 +486,8 @@ impl Response {
             solve: None,
             batch: None,
             stats: None,
+            version: None,
+            session: None,
         }
     }
 
@@ -351,7 +517,21 @@ impl Response {
             solve: None,
             batch: None,
             stats: None,
+            version: None,
+            session: None,
         }
+    }
+
+    /// Attach a session id echo.
+    pub fn with_session(mut self, session: u64) -> Response {
+        self.session = Some(session);
+        self
+    }
+
+    /// Stamp the protocol version the server speaks.
+    pub fn with_version(mut self, version: u32) -> Response {
+        self.version = Some(version);
+        self
     }
 
     /// True for `"status": "ok"`.
@@ -418,6 +598,9 @@ impl Serialize for Request {
         push_opt(&mut m, "shard", &self.shard)?;
         push_opt(&mut m, "timeout_ms", &self.timeout_ms)?;
         push_opt(&mut m, "include_schedule", &self.include_schedule)?;
+        push_opt(&mut m, "version", &self.version)?;
+        push_opt(&mut m, "session", &self.session)?;
+        push_opt(&mut m, "delta", &self.delta)?;
         serializer.serialize_value(Value::Map(m))
     }
 }
@@ -446,6 +629,9 @@ impl<'de> Deserialize<'de> for Request {
             shard: opt_field(&mut entries, "shard")?,
             timeout_ms: opt_field(&mut entries, "timeout_ms")?,
             include_schedule: opt_field(&mut entries, "include_schedule")?,
+            version: opt_field(&mut entries, "version")?,
+            session: opt_field(&mut entries, "session")?,
+            delta: opt_field(&mut entries, "delta")?,
         };
         if let Some((key, _)) = entries.first() {
             return Err(serde::de::Error::custom(format!("unknown field `{key}`")));
@@ -466,6 +652,8 @@ impl Serialize for Response {
         push_opt(&mut m, "solve", &self.solve)?;
         push_opt(&mut m, "batch", &self.batch)?;
         push_opt(&mut m, "stats", &self.stats)?;
+        push_opt(&mut m, "version", &self.version)?;
+        push_opt(&mut m, "session", &self.session)?;
         serializer.serialize_value(Value::Map(m))
     }
 }
@@ -490,7 +678,50 @@ impl<'de> Deserialize<'de> for Response {
             solve: opt_field(&mut entries, "solve")?,
             batch: opt_field(&mut entries, "batch")?,
             stats: opt_field(&mut entries, "stats")?,
+            version: opt_field(&mut entries, "version")?,
+            session: opt_field(&mut entries, "session")?,
         })
+    }
+}
+
+impl Serialize for DeltaSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut m = Vec::new();
+        if !self.add.is_empty() {
+            push_field(&mut m, "add", &self.add)?;
+        }
+        if !self.remove.is_empty() {
+            push_field(&mut m, "remove", &self.remove)?;
+        }
+        if !self.modify.is_empty() {
+            push_field(&mut m, "modify", &self.modify)?;
+        }
+        serializer.serialize_value(Value::Map(m))
+    }
+}
+
+impl<'de> Deserialize<'de> for DeltaSpec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries = match deserializer.deserialize_value()? {
+            Value::Map(m) => m,
+            other => {
+                return Err(serde::de::Error::custom(format!(
+                    "expected a delta object, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        let spec = DeltaSpec {
+            add: opt_field(&mut entries, "add")?.unwrap_or_default(),
+            remove: opt_field(&mut entries, "remove")?.unwrap_or_default(),
+            modify: opt_field(&mut entries, "modify")?.unwrap_or_default(),
+        };
+        // Same loudness contract as Request: a typo'd op list must not
+        // silently no-op.
+        if let Some((key, _)) = entries.first() {
+            return Err(serde::de::Error::custom(format!("unknown delta field `{key}`")));
+        }
+        Ok(spec)
     }
 }
 
@@ -537,6 +768,74 @@ mod tests {
         assert!(serde_json::from_str::<Request>(r#"{"verb":"solve","bogus":1}"#).is_err());
         assert!(serde_json::from_str::<Request>(r#"{"id":1}"#).is_err());
         assert!(serde_json::from_str::<Request>(r#"[1,2]"#).is_err());
+    }
+
+    #[test]
+    fn v2_session_requests_round_trip() {
+        let req = Request::open(&inst()).with_id(1).with_shard("force");
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(line.contains("\"version\":2"), "{line}");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+
+        let delta = DeltaSpec::new().add(Job::new(1, 3, 1)).remove(0).modify_window(1, 0, 4);
+        let req = Request::amend(42, &delta).with_id(2);
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(line.contains("\"session\":42"), "{line}");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+        let spec = back.delta.unwrap();
+        assert_eq!(spec.add.len(), 1);
+        assert_eq!(spec.remove, vec![0]);
+        assert_eq!(spec.modify.len(), 1);
+
+        let req = Request::close(42).with_id(3);
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn delta_spec_tolerates_missing_lists_and_rejects_typos() {
+        let spec: DeltaSpec = serde_json::from_str(r#"{"remove":[3]}"#).unwrap();
+        assert!(spec.add.is_empty());
+        assert_eq!(spec.remove, vec![3]);
+        assert!(spec.modify.is_empty());
+
+        let empty: DeltaSpec = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_empty());
+        // An empty delta serializes to the empty object.
+        assert_eq!(serde_json::to_string(&DeltaSpec::new()).unwrap(), "{}");
+
+        assert!(serde_json::from_str::<DeltaSpec>(r#"{"removes":[3]}"#).is_err());
+    }
+
+    #[test]
+    fn version_less_frames_stay_v1_shaped() {
+        // A v1 client's frame — no version — still parses, and
+        // serializing a v1-style request emits no v2 fields.
+        let req: Request = serde_json::from_str(r#"{"id":1,"verb":"stats"}"#).unwrap();
+        assert_eq!(req.version, None);
+        let line = serde_json::to_string(&Request::stats().with_id(1)).unwrap();
+        assert!(!line.contains("version"), "{line}");
+        assert!(!line.contains("session"), "{line}");
+
+        // A v2 response with version/session echoes still parses as a
+        // plain ok for a reader that ignores the extra fields.
+        let resp = Response::ok(Some(5), verb::OPEN).with_version(PROTOCOL_VERSION).with_session(9);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.is_ok());
+        assert_eq!(back.session, Some(9));
+        assert_eq!(back.version, Some(PROTOCOL_VERSION));
+    }
+
+    #[test]
+    fn delta_spec_lowers_onto_job_delta() {
+        let base = inst();
+        let spec = DeltaSpec::new().modify_window(0, 0, 5).add(Job::new(1, 3, 1));
+        let next = atsched_core::delta::apply(&base, &spec.to_delta()).unwrap();
+        assert_eq!(next.jobs.len(), 3);
+        assert_eq!(next.jobs[0].deadline, 5);
     }
 
     #[test]

@@ -24,14 +24,18 @@
 //! connections feeding one bounded queue.
 
 use crate::admission::{AdmissionQueue, Admit};
-use crate::protocol::{kind, verb, BatchItemReply, BatchReply, Request, Response, SolveReply};
+use crate::protocol::{
+    kind, verb, BatchItemReply, BatchReply, DeltaSpec, Request, Response, SolveReply,
+    PROTOCOL_VERSION,
+};
 use crate::shutdown::ShutdownGate;
 use crate::stats::ServerMetrics;
 use atsched_core::instance::Instance;
 use atsched_core::solver::{LpBackend, SolverOptions};
-use atsched_engine::{with_budget, Engine, EngineConfig, Interrupt, Outcome};
+use atsched_engine::{with_budget, Engine, EngineConfig, Interrupt, Outcome, SessionId};
 use crossbeam::channel;
 use nested_active_time::{Error, Method, Solve};
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
@@ -58,6 +62,10 @@ pub struct ServerConfig {
     /// Load-testing aid (lets tests saturate the queue
     /// deterministically); keep `0` in production.
     pub delay_ms: u64,
+    /// Idle time after which an open session is evicted. Eviction is
+    /// lazy — swept on the next session verb — so an expired session
+    /// costs memory only until someone touches the session table.
+    pub session_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +77,7 @@ impl Default for ServerConfig {
             default_timeout: Some(Duration::from_secs(30)),
             max_line_bytes: 1 << 20,
             delay_ms: 0,
+            session_ttl: Duration::from_secs(15 * 60),
         }
     }
 }
@@ -104,6 +113,12 @@ impl ServerConfig {
         self
     }
 
+    /// Set the session idle TTL.
+    pub fn session_ttl(mut self, ttl: Duration) -> Self {
+        self.session_ttl = ttl;
+        self
+    }
+
     fn effective_workers(&self) -> usize {
         if self.workers != 0 {
             return self.workers;
@@ -135,6 +150,18 @@ enum Work {
         opts: SolverOptions,
         timeout: Option<Duration>,
     },
+    Open {
+        inst: Instance,
+        opts: SolverOptions,
+        timeout: Option<Duration>,
+        include_schedule: bool,
+    },
+    Amend {
+        session: u64,
+        delta: DeltaSpec,
+        timeout: Option<Duration>,
+        include_schedule: bool,
+    },
 }
 
 /// A queued request: validated work plus its reply path.
@@ -155,6 +182,10 @@ struct Shared {
     gate: ShutdownGate,
     started: Instant,
     conns: Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
+    /// Wire-visible sessions: engine session id → last touch. The
+    /// engine's own table holds the solve state; this layer only adds
+    /// the idle-TTL policy.
+    sessions: Mutex<HashMap<u64, Instant>>,
 }
 
 /// A bound (but not yet running) solve server.
@@ -206,6 +237,7 @@ impl Server {
                 gate: ShutdownGate::default(),
                 started: Instant::now(),
                 conns: Mutex::new(Vec::new()),
+                sessions: Mutex::new(HashMap::new()),
             }),
         })
     }
@@ -468,10 +500,43 @@ fn handle_shutdown(shared: &Shared, req: Request, writer: &mut TcpStream) -> boo
     }
 }
 
+/// Version gate: `None` when the request's declared version is fine
+/// for its verb, otherwise the typed rejection.
+///
+/// An absent `version` means v1 — always accepted for the v1 verbs so
+/// PR 2-era clients keep working unchanged. Session verbs demand an
+/// explicit `version ≥ 2`; versions newer than this build are refused
+/// outright (the client expects capabilities we cannot honor).
+fn check_version(req: &Request) -> Option<Response> {
+    let declared = req.version.unwrap_or(1);
+    if declared > PROTOCOL_VERSION {
+        return Some(Response::error(
+            req.id,
+            Some(req.verb.as_str()),
+            kind::UNSUPPORTED_VERSION,
+            format!("this server speaks protocol {PROTOCOL_VERSION}, request declared {declared}"),
+        ));
+    }
+    let needs_v2 = matches!(req.verb.as_str(), verb::OPEN | verb::AMEND | verb::CLOSE);
+    if needs_v2 && declared < 2 {
+        return Some(Response::error(
+            req.id,
+            Some(req.verb.as_str()),
+            kind::UNSUPPORTED_VERSION,
+            format!("verb '{}' requires `\"version\": 2`", req.verb),
+        ));
+    }
+    None
+}
+
 /// Route a parsed (non-shutdown) request to its response. Blocks for
-/// admitted solve/batch work — per-connection request/reply stays
-/// strictly ordered.
+/// admitted solve/batch/session work — per-connection request/reply
+/// stays strictly ordered.
 fn route(shared: &Shared, req: Request) -> Response {
+    if let Some(reject) = check_version(&req) {
+        shared.metrics.bad_request();
+        return reject;
+    }
     match req.verb.as_str() {
         verb::HEALTH => {
             if shared.gate.is_draining() {
@@ -494,7 +559,8 @@ fn route(shared: &Shared, req: Request) -> Response {
             );
             Response::ok_stats(req.id, verb::STATS, snapshot)
         }
-        verb::SOLVE | verb::BATCH => admit(shared, req),
+        verb::SOLVE | verb::BATCH | verb::OPEN | verb::AMEND => admit(shared, req),
+        verb::CLOSE => handle_close(shared, &req),
         other => {
             shared.metrics.bad_request();
             Response::error(
@@ -605,7 +671,78 @@ fn validate(req: &Request, default_timeout: Option<Duration>) -> Result<Work, St
             }
             Ok(Work::Batch { instances, opts, timeout })
         }
+        verb::OPEN => {
+            let raw = req.instance.as_ref().ok_or("open needs an `instance`")?;
+            let inst = Instance::new(raw.g, raw.jobs.clone())
+                .map_err(|e| format!("invalid instance: {e}"))?;
+            if req.method.as_deref().is_some_and(|m| m != "auto" && m != "nested") {
+                return Err("sessions always solve on the nested path; omit `method`".into());
+            }
+            Ok(Work::Open {
+                inst,
+                opts,
+                timeout,
+                include_schedule: req.include_schedule.unwrap_or(false),
+            })
+        }
+        verb::AMEND => {
+            let session = req.session.ok_or("amend needs a `session` id")?;
+            let delta = req.delta.clone().ok_or("amend needs a `delta`")?;
+            if delta.is_empty() {
+                return Err("amend `delta` has no ops".into());
+            }
+            Ok(Work::Amend {
+                session,
+                delta,
+                timeout,
+                include_schedule: req.include_schedule.unwrap_or(false),
+            })
+        }
         other => Err(format!("verb '{other}' is not admittable")),
+    }
+}
+
+/// Evict sessions idle past the TTL. Called lazily on every session
+/// verb; counts each eviction under `serve.sessions_expired`.
+fn sweep_sessions(shared: &Shared) {
+    let ttl = shared.cfg.session_ttl;
+    let mut table = shared.sessions.lock().expect("sessions lock");
+    let expired: Vec<u64> =
+        table.iter().filter(|(_, touched)| touched.elapsed() > ttl).map(|(&id, _)| id).collect();
+    for id in expired {
+        table.remove(&id);
+        shared.engine.close_session(SessionId::from(id));
+        shared.metrics.session_expired();
+    }
+}
+
+/// `close` is answered inline (no solve happens): drop the session from
+/// both tables. Closing an unknown (or already-evicted) session is the
+/// typed [`kind::UNKNOWN_SESSION`] error so clients can distinguish
+/// "closed twice" from "never opened".
+fn handle_close(shared: &Shared, req: &Request) -> Response {
+    sweep_sessions(shared);
+    let Some(session) = req.session else {
+        shared.metrics.bad_request();
+        return Response::error(
+            req.id,
+            Some(verb::CLOSE),
+            kind::BAD_REQUEST,
+            "close needs a `session` id".into(),
+        );
+    };
+    let known = shared.sessions.lock().expect("sessions lock").remove(&session).is_some();
+    if known && shared.engine.close_session(SessionId::from(session)) {
+        shared.metrics.session_closed();
+        Response::ok(req.id, verb::CLOSE).with_version(PROTOCOL_VERSION).with_session(session)
+    } else {
+        Response::error(
+            req.id,
+            Some(verb::CLOSE),
+            kind::UNKNOWN_SESSION,
+            format!("session {session} is not open"),
+        )
+        .with_version(PROTOCOL_VERSION)
     }
 }
 
@@ -625,6 +762,12 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             Work::Batch { instances, opts, timeout } => {
                 execute_batch(shared, id, instances, opts, timeout)
+            }
+            Work::Open { inst, opts, timeout, include_schedule } => {
+                execute_open(shared, id, inst, opts, timeout, include_schedule)
+            }
+            Work::Amend { session, delta, timeout, include_schedule } => {
+                execute_amend(shared, id, session, delta, timeout, include_schedule)
             }
         };
         let deadline_overrun = resp.error_kind() == Some(kind::TIMED_OUT);
@@ -788,6 +931,170 @@ fn execute_batch(
             cache_misses: report.cache.misses,
         },
     )
+}
+
+/// Shape a session solve outcome into the reply frame. Used by both
+/// `open` and `amend`; errors still echo the session id so the client
+/// knows the session survives (it does — an infeasible amendment keeps
+/// the session open and amendable).
+fn session_outcome_response(
+    id: Option<u64>,
+    verb_name: &'static str,
+    session: u64,
+    outcome: Outcome,
+    elapsed_ms: f64,
+    include_schedule: bool,
+    timeout: Option<Duration>,
+) -> Response {
+    let resp = match outcome {
+        Outcome::Solved(item) => Response {
+            solve: Some(SolveReply {
+                active_slots: item.result.schedule.active_time() as u64,
+                method: "nested".into(),
+                certified_ratio: Some(item.result.stats.opened_over_lp),
+                cached: item.cached,
+                elapsed_ms,
+                schedule: include_schedule.then(|| item.result.schedule.clone()),
+            }),
+            ..Response::ok(id, verb_name)
+        },
+        Outcome::Infeasible => Response::error(
+            id,
+            Some(verb_name),
+            kind::INFEASIBLE,
+            "instance is infeasible (the session stays open and amendable)".into(),
+        ),
+        Outcome::TimedOut => deadline_response(id, verb_name, timeout),
+        Outcome::Failed(msg) => Response::error(id, Some(verb_name), kind::FAILED, msg),
+    };
+    resp.with_version(PROTOCOL_VERSION).with_session(session)
+}
+
+fn execute_open(
+    shared: &Arc<Shared>,
+    id: Option<u64>,
+    inst: Instance,
+    opts: SolverOptions,
+    timeout: Option<Duration>,
+    include_schedule: bool,
+) -> Response {
+    sweep_sessions(shared);
+    let start = Instant::now();
+    let opened = match timeout {
+        None => {
+            let session = shared.engine.open_session(inst, &opts);
+            Ok((session.id().as_u64(), session.outcome()))
+        }
+        Some(budget) => {
+            let engine_shared = Arc::clone(shared);
+            with_budget(
+                move || {
+                    let session = engine_shared.engine.open_session(inst, &opts);
+                    (session.id().as_u64(), session.outcome())
+                },
+                budget,
+            )
+        }
+    };
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    match opened {
+        Ok((session, outcome)) => {
+            shared.sessions.lock().expect("sessions lock").insert(session, Instant::now());
+            shared.metrics.session_opened();
+            session_outcome_response(
+                id,
+                verb::OPEN,
+                session,
+                outcome,
+                elapsed_ms,
+                include_schedule,
+                timeout,
+            )
+        }
+        // The budget thread keeps running detached on a timeout, so the
+        // engine session it opens is unreachable wire-side; the next
+        // sweep cannot see it either (it was never registered), but the
+        // engine table drops it with the server. Opens are expected to
+        // fit their budget; this is the honest failure mode.
+        Err(Interrupt::TimedOut) => {
+            deadline_response(id, verb::OPEN, timeout).with_version(PROTOCOL_VERSION)
+        }
+        Err(Interrupt::Panicked(msg)) => {
+            Response::error(id, Some(verb::OPEN), kind::FAILED, msg).with_version(PROTOCOL_VERSION)
+        }
+    }
+}
+
+fn execute_amend(
+    shared: &Arc<Shared>,
+    id: Option<u64>,
+    session: u64,
+    delta: DeltaSpec,
+    timeout: Option<Duration>,
+    include_schedule: bool,
+) -> Response {
+    sweep_sessions(shared);
+    let unknown = || {
+        Response::error(
+            id,
+            Some(verb::AMEND),
+            kind::UNKNOWN_SESSION,
+            format!("session {session} is not open"),
+        )
+        .with_version(PROTOCOL_VERSION)
+    };
+    if !shared.sessions.lock().expect("sessions lock").contains_key(&session) {
+        return unknown();
+    }
+    let start = Instant::now();
+    // `None` inside the budget result means the session vanished
+    // between the table check and the engine lookup (a concurrent
+    // `close` won the race) — that is "unknown session", not an error.
+    let amended = match timeout {
+        None => {
+            Ok(shared.engine.session(SessionId::from(session)).map(|s| s.amend(&delta.to_delta())))
+        }
+        Some(budget) => {
+            let engine_shared = Arc::clone(shared);
+            with_budget(
+                move || {
+                    engine_shared
+                        .engine
+                        .session(SessionId::from(session))
+                        .map(|s| s.amend(&delta.to_delta()))
+                },
+                budget,
+            )
+        }
+    };
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    match amended {
+        Ok(None) => unknown(),
+        Ok(Some(Ok(outcome))) => {
+            shared.sessions.lock().expect("sessions lock").insert(session, Instant::now());
+            session_outcome_response(
+                id,
+                verb::AMEND,
+                session,
+                outcome,
+                elapsed_ms,
+                include_schedule,
+                timeout,
+            )
+        }
+        // A bad delta leaves the session exactly as it was.
+        Ok(Some(Err(delta_err))) => {
+            Response::error(id, Some(verb::AMEND), kind::BAD_REQUEST, delta_err.to_string())
+                .with_version(PROTOCOL_VERSION)
+                .with_session(session)
+        }
+        Err(Interrupt::TimedOut) => {
+            deadline_response(id, verb::AMEND, timeout).with_version(PROTOCOL_VERSION)
+        }
+        Err(Interrupt::Panicked(msg)) => {
+            Response::error(id, Some(verb::AMEND), kind::FAILED, msg).with_version(PROTOCOL_VERSION)
+        }
+    }
 }
 
 fn deadline_response(id: Option<u64>, verb_name: &str, timeout: Option<Duration>) -> Response {

@@ -29,6 +29,9 @@ pub struct ServerMetrics {
     solve_errors: Arc<Counter>,
     serialize_errors: Arc<Counter>,
     timed_out: Arc<Counter>,
+    sessions_opened: Arc<Counter>,
+    sessions_closed: Arc<Counter>,
+    sessions_expired: Arc<Counter>,
     inflight: Arc<Gauge>,
     /// End-to-end latency (admission → response), lifetime histogram.
     latency: Arc<Histogram>,
@@ -53,6 +56,9 @@ impl ServerMetrics {
             solve_errors: registry.counter("serve.solve_errors"),
             serialize_errors: registry.counter("serve.serialize_errors"),
             timed_out: registry.counter("serve.timed_out"),
+            sessions_opened: registry.counter("serve.sessions_opened"),
+            sessions_closed: registry.counter("serve.sessions_closed"),
+            sessions_expired: registry.counter("serve.sessions_expired"),
             inflight: registry.gauge("serve.inflight"),
             latency: registry.histogram("serve.latency_ms"),
             registry,
@@ -94,6 +100,21 @@ impl ServerMetrics {
     /// in its place.
     pub fn serialize_error(&self) {
         self.serialize_errors.inc();
+    }
+
+    /// An incremental session was opened.
+    pub fn session_opened(&self) {
+        self.sessions_opened.inc();
+    }
+
+    /// A session was closed by explicit client request.
+    pub fn session_closed(&self) {
+        self.sessions_closed.inc();
+    }
+
+    /// An idle session was evicted by the TTL sweep.
+    pub fn session_expired(&self) {
+        self.sessions_expired.inc();
     }
 
     /// An admitted request finished with the given disposition.

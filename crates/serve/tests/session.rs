@@ -1,0 +1,208 @@
+//! Session-verb service tests: the v2 `open` / `amend` / `close` flow
+//! over a real socket, protocol-version enforcement, v1-client
+//! compatibility against a v2 server, and TTL eviction.
+
+use atsched_core::instance::{Instance, Job};
+use atsched_serve::{
+    kind, verb, Client, ClientError, DeltaSpec, Request, Server, ServerConfig, ServerHandle,
+    PROTOCOL_VERSION,
+};
+use nested_active_time::Solve;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn spawn_server(cfg: ServerConfig) -> ServerHandle {
+    Server::bind(cfg.addr("127.0.0.1:0")).expect("bind").spawn()
+}
+
+/// Four independent laminar roots; the session layer shards these and
+/// reuses untouched roots across amends.
+fn multi_root() -> Instance {
+    let mut jobs = Vec::new();
+    for r in 0..4i64 {
+        let base = 10 * r;
+        jobs.push(Job::new(base, base + 8, 2));
+        jobs.push(Job::new(base + 1, base + 5, 1));
+        jobs.push(Job::new(base + 2, base + 4, 1));
+    }
+    Instance::new(2, jobs).unwrap()
+}
+
+fn cold_active_slots(inst: &Instance) -> u64 {
+    Solve::new(inst).run().expect("feasible").active_time() as u64
+}
+
+#[test]
+fn open_amend_close_flow_matches_cold_solves() {
+    let handle = spawn_server(ServerConfig::default().workers(2));
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let inst = multi_root();
+    let (session, opened) = client.open(&inst).expect("open");
+    assert_eq!(opened.active_slots, cold_active_slots(&inst));
+    assert_eq!(opened.method, "nested");
+
+    // Amend 1: tighten one job's window inside root 0.
+    let delta = DeltaSpec::new().modify_window(2, 2, 4);
+    let amended = client.amend(session, &delta).expect("amend 1");
+    let mut current = atsched_core::delta::apply(&inst, &delta.to_delta()).unwrap();
+    assert_eq!(amended.active_slots, cold_active_slots(&current));
+
+    // Amend 2: drop a job from root 3 and add one to root 1.
+    let delta = DeltaSpec::new().remove(11).add(Job::new(12, 14, 1));
+    let amended = client.amend(session, &delta).expect("amend 2");
+    current = atsched_core::delta::apply(&current, &delta.to_delta()).unwrap();
+    assert_eq!(amended.active_slots, cold_active_slots(&current));
+
+    // The session registry counters moved.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.registry.counter("serve.sessions_opened"), Some(1));
+    assert_eq!(stats.registry.counter("engine.amends"), Some(2));
+
+    client.close(session).expect("close");
+    // Closing again (and amending a closed session) is the typed error.
+    match client.close(session).unwrap_err() {
+        ClientError::Service { kind: k, .. } => assert_eq!(k, kind::UNKNOWN_SESSION),
+        other => panic!("expected a service error, got {other}"),
+    }
+    match client.amend(session, &DeltaSpec::new().remove(0)).unwrap_err() {
+        ClientError::Service { kind: k, .. } => assert_eq!(k, kind::UNKNOWN_SESSION),
+        other => panic!("expected a service error, got {other}"),
+    }
+
+    client.shutdown().expect("drain");
+    handle.join().unwrap();
+}
+
+#[test]
+fn bad_and_infeasible_amends_keep_the_session_usable() {
+    let handle = spawn_server(ServerConfig::default().workers(1));
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let inst = Instance::new(1, vec![Job::new(0, 4, 2), Job::new(0, 4, 1)]).unwrap();
+    let (session, _) = client.open(&inst).expect("open");
+
+    // Referencing a job that does not exist is a bad request; the
+    // session survives untouched.
+    match client.amend(session, &DeltaSpec::new().remove(9)).unwrap_err() {
+        ClientError::Service { kind: k, message } => {
+            assert_eq!(k, kind::BAD_REQUEST, "{message}");
+        }
+        other => panic!("expected a service error, got {other}"),
+    }
+
+    // Overloading the single machine is infeasible — but the amendment
+    // *applies*; the session stays open holding the infeasible instance.
+    let overload = DeltaSpec::new().add(Job::new(0, 4, 4));
+    match client.amend(session, &overload).unwrap_err() {
+        ClientError::Service { kind: k, .. } => assert_eq!(k, kind::INFEASIBLE),
+        other => panic!("expected a service error, got {other}"),
+    }
+
+    // Removing the overload (now job id 2) repairs it.
+    let repaired = client.amend(session, &DeltaSpec::new().remove(2)).expect("repair");
+    assert_eq!(repaired.active_slots, cold_active_slots(&inst));
+
+    client.shutdown().expect("drain");
+    handle.join().unwrap();
+}
+
+#[test]
+fn idle_sessions_are_evicted_by_the_ttl() {
+    let handle =
+        spawn_server(ServerConfig::default().workers(1).session_ttl(Duration::from_millis(50)));
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let inst = Instance::new(2, vec![Job::new(0, 4, 2), Job::new(1, 3, 1)]).unwrap();
+    let (session, _) = client.open(&inst).expect("open");
+    std::thread::sleep(Duration::from_millis(120));
+
+    match client.amend(session, &DeltaSpec::new().remove(0)).unwrap_err() {
+        ClientError::Service { kind: k, .. } => assert_eq!(k, kind::UNKNOWN_SESSION),
+        other => panic!("expected a service error, got {other}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.registry.counter("serve.sessions_expired"), Some(1));
+
+    client.shutdown().expect("drain");
+    handle.join().unwrap();
+}
+
+/// Exchange one raw JSON line with the server, v1-client style: no
+/// typed [`Request`], just bytes on the socket. The reply parses into
+/// [`atsched_serve::Response`], whose deserializer tolerates fields it
+/// does not know — exactly like a v1-era client's parser (that
+/// tolerance is unit-tested in the protocol module).
+fn raw_exchange(addr: std::net::SocketAddr, line: &str) -> atsched_serve::Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    serde_json::from_str(reply.trim_end()).unwrap()
+}
+
+#[test]
+fn v1_frames_keep_working_against_a_v2_server() {
+    let handle = spawn_server(ServerConfig::default().workers(1));
+    let addr = handle.addr();
+
+    // A PR 2-era client frame: no `version` field anywhere.
+    let resp = raw_exchange(
+        addr,
+        r#"{"id":1,"verb":"solve","instance":{"g":2,"jobs":[{"release":0,"deadline":4,"processing":2}]}}"#,
+    );
+    assert!(resp.is_ok(), "{resp:?}");
+    assert!(resp.solve.is_some());
+
+    // v1 stats and health still answer.
+    assert!(raw_exchange(addr, r#"{"id":2,"verb":"stats"}"#).is_ok());
+    assert!(raw_exchange(addr, r#"{"id":3,"verb":"health"}"#).is_ok());
+
+    // Declaring the current version explicitly is also fine.
+    assert!(raw_exchange(addr, r#"{"id":4,"verb":"health","version":2}"#).is_ok());
+
+    // A session verb without `version` is refused with the typed kind —
+    // not a generic bad_request — so capability probing is reliable.
+    let resp = raw_exchange(
+        addr,
+        r#"{"id":5,"verb":"open","instance":{"g":2,"jobs":[{"release":0,"deadline":4,"processing":2}]}}"#,
+    );
+    assert_eq!(resp.error_kind(), Some(kind::UNSUPPORTED_VERSION), "{resp:?}");
+
+    // A client from the future is refused the same way.
+    let resp = raw_exchange(addr, r#"{"id":6,"verb":"solve","version":99}"#);
+    assert_eq!(resp.error_kind(), Some(kind::UNSUPPORTED_VERSION), "{resp:?}");
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().expect("drain");
+    handle.join().unwrap();
+}
+
+#[test]
+fn v2_session_replies_parse_for_version_blind_readers() {
+    let handle = spawn_server(ServerConfig::default().workers(1));
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let inst = Instance::new(2, vec![Job::new(0, 4, 2)]).unwrap();
+    let resp = client.request(Request::open(&inst)).expect("open exchange");
+    assert!(resp.is_ok());
+    assert_eq!(resp.version, Some(PROTOCOL_VERSION));
+    assert_eq!(resp.verb.as_deref(), Some(verb::OPEN));
+    let session = resp.session.expect("session id");
+
+    // Round-trip the reply through the wire format with the session
+    // fields present: a reader that only knows the v1 fields still
+    // gets a well-formed ok response.
+    let line = serde_json::to_string(&resp).unwrap();
+    let back: atsched_serve::Response = serde_json::from_str(&line).unwrap();
+    assert!(back.is_ok());
+    assert!(back.solve.is_some());
+
+    client.close(session).expect("close");
+    client.shutdown().expect("drain");
+    handle.join().unwrap();
+}

@@ -7,6 +7,32 @@
 //! See the [README](https://example.org/nested-active-time) and
 //! `DESIGN.md` for the architecture, and `examples/` for runnable entry
 //! points.
+//!
+//! ## Which entry point?
+//!
+//! The workspace exposes exactly two solving surfaces; everything else
+//! is plumbing they share.
+//!
+//! - **[`Solve`] — the one-shot facade.** Build it around an instance,
+//!   pick a method/backend/deadline, call [`Solve::run`]. It
+//!   auto-dispatches nested vs. general windows and needs no held
+//!   state. Use this for a single instance in hand.
+//! - **[`Engine`](engine::Engine) — the service-grade surface.** One
+//!   engine holds the content-keyed solve cache, the worker pool, the
+//!   metric registry, and the session table. Use
+//!   [`solve_one`](engine::Engine::solve_one) /
+//!   [`solve_batch`](engine::Engine::solve_batch) for streams of
+//!   instances, and [`open_session`](engine::Engine::open_session) /
+//!   [`Session::amend`](engine::Session::amend) when one instance
+//!   evolves over time and re-solves should reuse the unchanged parts
+//!   (see `DESIGN.md` §12 for the delta contract).
+//!
+//! Root decomposition is not a separate entry point: both surfaces
+//! shard multi-root instances internally, steered by
+//! [`SolverOptions::shard`](core::solver::SolverOptions). The older
+//! free function `engine::solve_nested_sharded` remains for
+//! compatibility but is hidden from the docs — prefer an `Engine`, or
+//! `Solve` for one-shots.
 
 #![forbid(unsafe_code)]
 
@@ -38,16 +64,31 @@ pub use solve::{Method, Solve, SolveOutcome, SolvePath};
 /// let outcome = Solve::new(&inst).run().unwrap();
 /// assert!(outcome.schedule().verify(&inst).is_ok());
 /// ```
+///
+/// Incremental solving rides along: open a session, amend with typed
+/// deltas, every re-solve is bit-identical to a cold solve of the
+/// amended instance.
+///
+/// ```
+/// use nested_active_time::prelude::*;
+///
+/// let inst = Instance::new(2, vec![Job::new(0, 4, 2), Job::new(1, 3, 1)]).unwrap();
+/// let engine = Engine::new(EngineConfig::default());
+/// let session = engine.open_session(inst, &SolverOptions::exact());
+/// let outcome = session.amend(&JobDelta::new().add(Job::new(1, 3, 1))).unwrap();
+/// assert!(matches!(outcome, Outcome::Solved(_)));
+/// ```
 pub mod prelude {
     pub use crate::error::Error;
     pub use crate::general::{
         solve_auto, solve_general, solve_general_seeded, AutoResult, GeneralResult,
     };
     pub use crate::solve::{Method, Solve, SolveOutcome, SolvePath};
+    pub use atsched_core::delta::{apply as apply_delta, DeltaError, JobDelta};
     pub use atsched_core::instance::{Instance, Job};
     pub use atsched_core::schedule::Schedule;
     pub use atsched_core::solver::{
         solve_nested, LpBackend, ShardMode, SolveResult, SolveStats, SolverOptions, StageTimings,
     };
-    pub use atsched_engine::{BatchReport, Engine, EngineConfig, Outcome};
+    pub use atsched_engine::{BatchReport, Engine, EngineConfig, Outcome, Session, SessionId};
 }
