@@ -12,7 +12,10 @@
 //! ```text
 //! cargo run --release -p atsched-bench -- \
 //!     [--tag NAME] [--count N] [--g N] [--horizon N] [--seed N] [--roots N] \
-//!     [--runs N] [--out FILE] [--compare PREV.json] [--in REPORT.json]
+//!     [--runs N] [--out FILE] [--compare PREV.json] [--in REPORT.json] \
+//!     [--serve] [--serve-only] [--serve-conns N] [--serve-reqs N] \
+//!     [--serve-router N] [--serve-workers N] [--serve-addr HOST:PORT] \
+//!     [--serve-scale-addr HOST:PORT] [--serve-scale-conns N]
 //! ```
 //!
 //! `--tag` names the baseline and derives the default output file
@@ -21,25 +24,45 @@
 //! sections to the report: a single-instance `shard=force` vs
 //! `shard=off` wall-clock comparison, and a steady-state session
 //! `amend` workload (one job re-windowed inside its root hull per
-//! amend) measured against cold full re-solves. `--compare PREV.json`
-//! checks the lp-stage p50 against a previous baseline and exits
-//! non-zero when it regressed by more than 10%, and — when the report
-//! has an amend section — additionally requires the amend p50 to stay
-//! at or below 0.5x the full re-solve p50. `--in REPORT.json` skips
-//! the benchmark and loads an already-written report instead — CI uses
-//! this to run the compare as its own step without re-benching.
+//! amend) measured against cold full re-solves.
+//!
+//! `--serve` adds a `serve` section: the reactor load generator
+//! ([`atsched_serve::run_load`]) drives `--serve-conns` concurrent
+//! connections against an in-process server (or an external one named
+//! by `--serve-addr`) and records connect/request latency
+//! distributions. `--serve-only` skips the solve corpus and emits just
+//! the serve section — CI's load-smoke job uses this. A separate
+//! `--serve-scale-addr` section targets an already-running server for
+//! fleet sizes (10k+ connections) that want the client and server in
+//! different processes, splitting the per-process fd budget.
+//!
+//! `--compare PREV.json` gates the run against a previous baseline:
+//! the lp-stage p50 must not regress more than 10%, an amend section
+//! must keep its ratio at or below 0.5x, and a serve section must keep
+//! its request p99 under `1.75x previous + 10 ms` at the same
+//! connection count. Reports are stamped with a `schema_version`; a
+//! baseline *lacking a section the current report carries* is a hard
+//! schema error, never a silently skipped gate. `--in REPORT.json`
+//! skips the benchmark and loads an already-written report instead —
+//! CI uses this to run the compare as its own step without re-benching.
 
 use atsched_core::delta::JobDelta;
 use atsched_core::solver::{solve_nested, ShardMode, SolverOptions};
 use atsched_engine::{solve_nested_sharded, Engine, EngineConfig, Outcome};
 use atsched_obs as obs;
+use atsched_serve::{run_load, Client, LoadConfig, Server, ServerConfig};
 use atsched_workloads::generators::{
     random_laminar, random_multi_root, LaminarConfig, MultiRootConfig,
 };
 use serde::ser::{Serialize, Serializer};
 use serde::value::Value;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Report layout version stamped into every baseline. Bump when the
+/// section set or gated fields change shape.
+const SCHEMA_VERSION: u64 = 2;
 
 /// Wrapper giving a hand-built [`Value`] tree a `Serialize` impl (the
 /// vendored serde stub has none for `Value` itself).
@@ -66,6 +89,10 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
 
 fn opt_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 /// Load a previously written baseline report.
@@ -104,6 +131,45 @@ const REGRESSION_LIMIT_PCT: f64 = 10.0;
 /// an amend section, i.e. on a many-root corpus).
 const AMEND_RATIO_LIMIT: f64 = 0.5;
 
+/// Serve request-p99 gate: the current p99 may not exceed
+/// `previous * FACTOR + SLACK`. Generous because short smoke runs on
+/// shared CI boxes put few samples in the tail buckets.
+const SERVE_P99_FACTOR: f64 = 1.75;
+const SERVE_P99_SLACK_MS: f64 = 10.0;
+
+/// Sections whose presence in the current report obliges the baseline
+/// to carry them too. A baseline missing one of these measured a
+/// different workload; silently skipping its gate would wave a
+/// regression through, so `--compare` refuses with a schema error.
+const GATED_SECTIONS: &[&str] = &["stages", "shard", "amend", "serve", "serve_scale"];
+
+/// The `schema_version` a report was written with; reports predating
+/// the stamp are v1.
+fn schema_version_of(report: &Value) -> u64 {
+    field(report, "schema_version").and_then(as_f64).map_or(1, |v| v as u64)
+}
+
+/// Cross-version and cross-shape sanity for `--compare`.
+fn check_schema(cur: &Value, prev: &Value, prev_path: &str) -> Result<(), String> {
+    let prev_version = schema_version_of(prev);
+    if prev_version > SCHEMA_VERSION {
+        return Err(format!(
+            "{prev_path} was written by a newer bench (schema v{prev_version}; this binary \
+             understands up to v{SCHEMA_VERSION}) — rebuild before comparing"
+        ));
+    }
+    for name in GATED_SECTIONS {
+        if field(cur, name).is_some() && field(prev, name).is_none() {
+            return Err(format!(
+                "{prev_path} (schema v{prev_version}) lacks the `{name}` section this run \
+                 recorded — regenerate the baseline with a matching bench invocation; \
+                 refusing to silently skip its gate"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Gate the amend-vs-full-re-solve ratio recorded in a report. Reports
 /// without an amend section (single-root corpora) pass trivially.
 fn check_amend_gate(report: &Value, label: &str) -> Result<(), String> {
@@ -125,27 +191,85 @@ fn check_amend_gate(report: &Value, label: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Compare the lp-stage p50 against a previous baseline; `Err` when it
-/// regressed past [`REGRESSION_LIMIT_PCT`].
-fn compare_lp_p50(cur_lp: f64, cur_label: &str, prev_path: &str) -> Result<(), String> {
-    let prev = load_report(prev_path)?;
-    let prev_lp =
-        stage_p50(&prev, "lp").ok_or_else(|| format!("{prev_path} has no lp-stage p50"))?;
-    if prev_lp <= 0.0 {
-        return Err(format!("{prev_path} has a non-positive lp-stage p50 ({prev_lp})"));
+/// Numeric field at `path` inside a serve section, with a schema error
+/// naming what is missing rather than a panic or a default.
+fn serve_num(section: &Value, label: &str, path: &[&str]) -> Result<f64, String> {
+    let mut v = section.clone();
+    for key in path {
+        v = field(&v, key)
+            .ok_or_else(|| format!("{label}: serve section has no `{}`", path.join(".")))?;
     }
-    let change_pct = (cur_lp - prev_lp) / prev_lp * 100.0;
-    eprintln!(
-        "bench-compare: lp p50 {prev_lp:.3} ms ({prev_path}) -> {cur_lp:.3} ms ({cur_label}), \
-         {change_pct:+.1}%"
-    );
-    if change_pct > REGRESSION_LIMIT_PCT {
+    as_f64(v).ok_or_else(|| format!("{label}: serve `{}` is not a number", path.join(".")))
+}
+
+/// Gate the serve request p99 against the previous baseline. Only runs
+/// when the current report has a `serve` section; [`check_schema`] has
+/// already guaranteed the baseline has one too.
+fn check_serve_gate(
+    cur: &Value,
+    cur_label: &str,
+    prev: &Value,
+    prev_path: &str,
+) -> Result<(), String> {
+    let Some(cur_s) = field(cur, "serve") else { return Ok(()) };
+    let prev_s = field(prev, "serve").ok_or_else(|| format!("{prev_path} has no serve section"))?;
+
+    let errors = serve_num(&cur_s, cur_label, &["errors"])?;
+    if errors > 0.0 {
+        return Err(format!("{cur_label}: the serve load run recorded {errors} errors"));
+    }
+    let cur_conns = serve_num(&cur_s, cur_label, &["conns"])?;
+    let prev_conns = serve_num(&prev_s, prev_path, &["conns"])?;
+    if cur_conns != prev_conns {
         return Err(format!(
-            "lp-stage p50 regressed {change_pct:+.1}% (limit +{REGRESSION_LIMIT_PCT:.0}%): \
-             {prev_lp:.3} ms -> {cur_lp:.3} ms"
+            "serve sections are not comparable: {cur_conns} connections ({cur_label}) vs \
+             {prev_conns} ({prev_path}) — rerun with --serve-conns {prev_conns}"
+        ));
+    }
+    let cur_p99 = serve_num(&cur_s, cur_label, &["req_ms", "p99_ms"])?;
+    let prev_p99 = serve_num(&prev_s, prev_path, &["req_ms", "p99_ms"])?;
+    let limit = prev_p99 * SERVE_P99_FACTOR + SERVE_P99_SLACK_MS;
+    eprintln!(
+        "bench-compare: serve req p99 {prev_p99:.2} ms ({prev_path}) -> {cur_p99:.2} ms \
+         ({cur_label}) at {cur_conns} conns, limit {limit:.2} ms"
+    );
+    if cur_p99 > limit {
+        return Err(format!(
+            "serve req p99 regressed: {cur_p99:.2} ms exceeds {limit:.2} ms \
+             ({SERVE_P99_FACTOR}x previous {prev_p99:.2} ms + {SERVE_P99_SLACK_MS} ms slack)"
         ));
     }
     Ok(())
+}
+
+/// Run every gate the current report's sections call for against a
+/// previous baseline.
+fn compare_reports(cur: &Value, cur_label: &str, prev_path: &str) -> Result<(), String> {
+    let prev = load_report(prev_path)?;
+    check_schema(cur, &prev, prev_path)?;
+
+    if field(cur, "stages").is_some() {
+        let cur_lp =
+            stage_p50(cur, "lp").ok_or_else(|| format!("{cur_label} has no lp-stage p50"))?;
+        let prev_lp =
+            stage_p50(&prev, "lp").ok_or_else(|| format!("{prev_path} has no lp-stage p50"))?;
+        if prev_lp <= 0.0 {
+            return Err(format!("{prev_path} has a non-positive lp-stage p50 ({prev_lp})"));
+        }
+        let change_pct = (cur_lp - prev_lp) / prev_lp * 100.0;
+        eprintln!(
+            "bench-compare: lp p50 {prev_lp:.3} ms ({prev_path}) -> {cur_lp:.3} ms \
+             ({cur_label}), {change_pct:+.1}%"
+        );
+        if change_pct > REGRESSION_LIMIT_PCT {
+            return Err(format!(
+                "lp-stage p50 regressed {change_pct:+.1}% (limit +{REGRESSION_LIMIT_PCT:.0}%): \
+                 {prev_lp:.3} ms -> {cur_lp:.3} ms"
+            ));
+        }
+    }
+    check_amend_gate(cur, cur_label)?;
+    check_serve_gate(cur, cur_label, &prev, prev_path)
 }
 
 fn main() -> std::process::ExitCode {
@@ -158,28 +282,119 @@ fn main() -> std::process::ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let compare = opt_flag(&args, "--compare");
+fn hist_map(h: &obs::HistogramSnapshot) -> Value {
+    Value::Map(vec![
+        ("count".into(), Value::UInt(h.count)),
+        ("p50_ms".into(), Value::Float(h.p50)),
+        ("p95_ms".into(), Value::Float(h.p95)),
+        ("p99_ms".into(), Value::Float(h.p99)),
+        ("max_ms".into(), Value::Float(h.max)),
+    ])
+}
 
-    // Compare-only mode: load an existing report instead of benching.
-    if let Some(input) = opt_flag(&args, "--in") {
-        let prev_path = compare.ok_or("--in requires --compare PREV.json")?;
-        let report = load_report(&input)?;
-        let cur_lp =
-            stage_p50(&report, "lp").ok_or_else(|| format!("{input} has no lp-stage p50"))?;
-        compare_lp_p50(cur_lp, &input, &prev_path)?;
-        return check_amend_gate(&report, &input);
+/// One load-generator pass against `addr`; the section value it
+/// returns is what the serve p99 gate reads. Any error (connect
+/// failure, response timeout, id mismatch) fails the run — an
+/// unhealthy pass must not become a baseline.
+fn drive_load(
+    addr: SocketAddr,
+    conns: usize,
+    reqs: usize,
+    router: usize,
+    in_process: bool,
+    label: &str,
+) -> Result<Value, String> {
+    let registry = Arc::new(obs::Registry::new());
+    let mut cfg = LoadConfig::new(addr);
+    cfg.conns = conns;
+    cfg.requests_per_conn = reqs;
+    cfg.connect_batch = 256;
+    let report = run_load(cfg, &registry).map_err(|e| format!("{label} load run: {e}"))?;
+    eprintln!(
+        "{label}: {}/{} conns (peak {}), {} reqs in {:.0} ms ({:.0} rps), \
+         req p50 {:.2} / p99 {:.2} ms, {} errors",
+        report.opened,
+        conns,
+        report.peak_open,
+        report.completed_requests,
+        report.wall_ms,
+        report.rps,
+        report.req_ms.p50,
+        report.req_ms.p99,
+        report.errors
+    );
+    if report.errors > 0 {
+        return Err(format!("{label}: load run recorded {} errors", report.errors));
     }
+    Ok(Value::Map(vec![
+        ("conns".into(), Value::UInt(conns as u64)),
+        ("requests_per_conn".into(), Value::UInt(reqs as u64)),
+        ("router_workers".into(), Value::UInt(router as u64)),
+        ("in_process".into(), Value::Bool(in_process)),
+        ("opened".into(), Value::UInt(report.opened as u64)),
+        ("peak_open".into(), Value::UInt(report.peak_open as u64)),
+        ("completed_requests".into(), Value::UInt(report.completed_requests)),
+        ("errors".into(), Value::UInt(report.errors)),
+        ("wall_ms".into(), Value::Float(report.wall_ms)),
+        ("rps".into(), Value::Float(report.rps)),
+        ("open_ms".into(), hist_map(&report.open_ms)),
+        ("req_ms".into(), hist_map(&report.req_ms)),
+    ]))
+}
 
-    let tag: String = flag(&args, "--tag", "pr6".to_string())?;
-    let count: usize = flag(&args, "--count", 32usize)?;
-    let g: i64 = flag(&args, "--g", 4i64)?;
-    let horizon: i64 = flag(&args, "--horizon", 48i64)?;
-    let seed: u64 = flag(&args, "--seed", 1u64)?;
-    let roots: usize = flag(&args, "--roots", 1usize)?.max(1);
-    let runs: usize = flag(&args, "--runs", 3usize)?.max(1);
-    let out: String = flag(&args, "--out", format!("BENCH_{tag}.json"))?;
+/// The `--serve` section: spin an in-process server (unless
+/// `--serve-addr` points at an external one) and measure a full
+/// connection fleet through the reactor load generator.
+fn serve_section(args: &[String]) -> Result<Value, String> {
+    let conns: usize = flag(args, "--serve-conns", 256usize)?.max(1);
+    let reqs: usize = flag(args, "--serve-reqs", 4usize)?.max(1);
+    let router: usize = flag(args, "--serve-router", 1usize)?;
+    let workers: usize = flag(args, "--serve-workers", 2usize)?;
+    let external = opt_flag(args, "--serve-addr");
+    let (addr, handle) = match &external {
+        Some(a) => {
+            let addr = a.parse().map_err(|_| format!("invalid --serve-addr: {a}"))?;
+            (addr, None)
+        }
+        None => {
+            let cfg =
+                ServerConfig::default().addr("127.0.0.1:0").workers(workers).router_workers(router);
+            let handle = Server::bind(cfg).map_err(|e| format!("serve bind: {e}"))?.spawn();
+            (handle.addr(), Some(handle))
+        }
+    };
+    let section = drive_load(addr, conns, reqs, router, external.is_none(), "serve")?;
+    if let Some(handle) = handle {
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("connecting for shutdown: {e}"))?;
+        client.shutdown().map_err(|e| format!("draining the serve-bench server: {e}"))?;
+        handle.join().map_err(|e| format!("serve-bench server: {e}"))?;
+    }
+    Ok(section)
+}
+
+/// The `--serve-scale-addr` section: a large fleet against an
+/// *external* server, so client and server each get their own
+/// process-wide fd budget. The server is left running — the operator
+/// owns its lifecycle.
+fn scale_section(args: &[String]) -> Result<Option<Value>, String> {
+    let Some(addr) = opt_flag(args, "--serve-scale-addr") else { return Ok(None) };
+    let addr: SocketAddr =
+        addr.parse().map_err(|_| format!("invalid --serve-scale-addr: {addr}"))?;
+    let conns: usize = flag(args, "--serve-scale-conns", 10_000usize)?.max(1);
+    let reqs: usize = flag(args, "--serve-scale-reqs", 2usize)?.max(1);
+    drive_load(addr, conns, reqs, 0, false, "serve_scale").map(Some)
+}
+
+/// The solve-corpus benchmark: the report entries every non
+/// `--serve-only` run carries.
+fn run_corpus(args: &[String]) -> Result<Vec<(String, Value)>, String> {
+    let count: usize = flag(args, "--count", 32usize)?;
+    let g: i64 = flag(args, "--g", 4i64)?;
+    let horizon: i64 = flag(args, "--horizon", 48i64)?;
+    let seed: u64 = flag(args, "--seed", 1u64)?;
+    let roots: usize = flag(args, "--roots", 1usize)?.max(1);
+    let runs: usize = flag(args, "--runs", 3usize)?.max(1);
 
     let cfg = LaminarConfig { g, horizon, ..Default::default() }
         .validated()
@@ -356,9 +571,13 @@ fn run() -> Result<(), String> {
     let counters: Vec<(String, Value)> =
         snapshot.counters.iter().map(|(n, v)| (n.clone(), Value::UInt(*v))).collect();
 
+    eprintln!(
+        "corpus: {count} instances x {runs} runs; observed {observed_ms:.1} ms vs \
+         disabled {disabled_ms:.1} ms, {overhead_pct:+.2}%"
+    );
+
     let solve = snapshot.histogram("engine.solve_ms");
-    let report = Value::Map(vec![
-        ("bench".into(), Value::Str(format!("atsched-bench baseline ({tag})"))),
+    let mut entries = vec![
         (
             "corpus".into(),
             Value::Map(vec![
@@ -389,35 +608,54 @@ fn run() -> Result<(), String> {
         ),
         ("stages".into(), Value::Map(stages)),
         ("counters".into(), Value::Map(counters)),
-    ]);
-    let report = match (report, shard_section, amend_section) {
-        (Value::Map(mut m), shard, amend) => {
-            if let Some(shard) = shard {
-                m.push(("shard".into(), shard));
-            }
-            if let Some(amend) = amend {
-                m.push(("amend".into(), amend));
-            }
-            Value::Map(m)
-        }
-        (r, ..) => r,
-    };
+    ];
+    if let Some(shard) = shard_section {
+        entries.push(("shard".into(), shard));
+    }
+    if let Some(amend) = amend_section {
+        entries.push(("amend".into(), amend));
+    }
+    Ok(entries)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let compare = opt_flag(&args, "--compare");
+
+    // Compare-only mode: load an existing report instead of benching.
+    if let Some(input) = opt_flag(&args, "--in") {
+        let prev_path = compare.ok_or("--in requires --compare PREV.json")?;
+        let report = load_report(&input)?;
+        return compare_reports(&report, &input, &prev_path);
+    }
+
+    let serve_only = has_flag(&args, "--serve-only");
+    let serve = serve_only || has_flag(&args, "--serve");
+    let tag: String = flag(&args, "--tag", "pr7".to_string())?;
+    let out: String = flag(&args, "--out", format!("BENCH_{tag}.json"))?;
+
+    let mut entries: Vec<(String, Value)> = vec![
+        ("bench".into(), Value::Str(format!("atsched-bench baseline ({tag})"))),
+        ("schema_version".into(), Value::UInt(SCHEMA_VERSION)),
+    ];
+    if !serve_only {
+        entries.extend(run_corpus(&args)?);
+    }
+    if serve {
+        entries.push(("serve".into(), serve_section(&args)?));
+    }
+    if let Some(scale) = scale_section(&args)? {
+        entries.push(("serve_scale".into(), scale));
+    }
+    let report = Value::Map(entries);
 
     let json = serde_json::to_string_pretty(&Json(report.clone())).map_err(|e| e.to_string())?;
     std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!("{json}");
-    eprintln!(
-        "baseline written to {out} ({count} instances x {runs} runs; \
-         observed {observed_ms:.1} ms vs disabled {disabled_ms:.1} ms, {overhead_pct:+.2}%)"
-    );
+    eprintln!("baseline written to {out}");
 
     if let Some(prev_path) = compare {
-        let cur_lp = snapshot
-            .histogram("span.lp.ms")
-            .map(|h| h.p50)
-            .ok_or("this run recorded no lp-stage histogram")?;
-        compare_lp_p50(cur_lp, &out, &prev_path)?;
-        check_amend_gate(&report, &out)?;
+        compare_reports(&report, &out, &prev_path)?;
     }
     Ok(())
 }

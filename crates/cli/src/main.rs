@@ -10,7 +10,8 @@
 //! atsched greedy inst.json [--order ltr|rtl|rand]
 //! atsched verify inst.json schedule.json
 //! atsched gaps --family lemma51|gap2 --g 4
-//! atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
+//! atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--router N] [--timeout-ms N]
+//!               [--max-sessions N] [--session-ttl-ms N]
 //! atsched client ADDR solve|batch|open|amend|close|stats|health|shutdown ...
 //! atsched amend ADDR inst.json --delta delta.json [--delta d2.json ...]
 //! ```
@@ -76,7 +77,8 @@ USAGE:
   atsched greedy INSTANCE.json [--order ltr|rtl|rand]
   atsched verify INSTANCE.json SCHEDULE.json
   atsched gaps --family lemma51|gap2 --g N
-  atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] [--delay-ms N]
+  atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--router N] [--timeout-ms N]
+                [--max-sessions N] [--session-ttl-ms N] [--delay-ms N]
   atsched client ADDR solve INSTANCE [--method auto|nested|general|greedy] [--backend exact|float|snap]
                  [--polish] [--seed N] [--shard auto|off|force] [--timeout-ms N] [--schedule FILE]
   atsched client ADDR batch INSTANCE [INSTANCE ...]

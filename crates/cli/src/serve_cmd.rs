@@ -13,6 +13,7 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = ServerConfig::default()
         .workers(crate::parse_num(args, "--workers", 0usize)?)
         .queue_depth(crate::parse_num(args, "--queue", 0usize)?)
+        .router_workers(crate::parse_num(args, "--router", 0usize)?)
         .delay_ms(crate::parse_num(args, "--delay-ms", 0u64)?);
     if let Some(addr) = crate::flag_value(args, "--addr") {
         cfg = cfg.addr(addr);
@@ -20,6 +21,15 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(ms) = crate::flag_value(args, "--timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| format!("invalid value for --timeout-ms: {ms}"))?;
         cfg = cfg.default_timeout(if ms == 0 { None } else { Some(Duration::from_millis(ms)) });
+    }
+    if let Some(n) = crate::flag_value(args, "--max-sessions") {
+        let n: usize = n.parse().map_err(|_| format!("invalid value for --max-sessions: {n}"))?;
+        cfg = cfg.max_sessions(n);
+    }
+    if let Some(ms) = crate::flag_value(args, "--session-ttl-ms") {
+        let ms: u64 =
+            ms.parse().map_err(|_| format!("invalid value for --session-ttl-ms: {ms}"))?;
+        cfg = cfg.session_ttl(Duration::from_millis(ms));
     }
 
     let server = Server::bind(cfg).map_err(|e| format!("bind failed: {e}"))?;

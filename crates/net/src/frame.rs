@@ -1,0 +1,352 @@
+//! Per-connection framing state machines for newline-delimited JSON.
+//!
+//! [`FrameReader`] reassembles lines from arbitrarily fragmented reads
+//! with a bounded buffer: a line that exceeds the limit is reported as a
+//! typed [`FrameError::Oversized`] exactly once and the connection then
+//! *resynchronises* at the next newline instead of dying — matching the
+//! recovery semantics the serve protocol has always promised.
+//!
+//! [`WriteQueue`] holds not-yet-written response bytes across partial
+//! writes so an edge-triggered reactor can resume exactly where the
+//! kernel buffer filled up. It never drops or reorders frames; flow
+//! control (pausing reads past a high watermark) is the reactor's job,
+//! keyed off [`WriteQueue::len`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Write};
+
+/// Typed framing failures. Both are recoverable: the reader keeps
+/// working on the same connection after reporting one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line exceeded the configured byte limit. The reader discards
+    /// input until the next newline and then resumes framing.
+    Oversized,
+    /// The line was not valid UTF-8.
+    NotUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized => write!(f, "request line exceeds the frame size limit"),
+            FrameError::NotUtf8 => write!(f, "request line is not valid UTF-8"),
+        }
+    }
+}
+
+/// Incremental newline-delimited frame reassembly with a bounded buffer.
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes before `start` are consumed (compacted lazily).
+    start: usize,
+    /// Absolute index where the newline scan resumes — everything in
+    /// `start..scan` is already known newline-free.
+    scan: usize,
+    /// Inside an oversized line: drop bytes until the next newline.
+    skipping: bool,
+    max_line: usize,
+}
+
+impl FrameReader {
+    pub fn new(max_line: usize) -> FrameReader {
+        FrameReader { buf: Vec::new(), start: 0, scan: 0, skipping: false, max_line }
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Feed freshly read bytes into the reassembly buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extract the next complete frame, if any. Call in a loop until it
+    /// returns `None`, then read more bytes. An oversized line yields
+    /// `Some(Err(Oversized))` exactly once, as soon as the limit is
+    /// exceeded, even before its terminator has arrived.
+    pub fn next_frame(&mut self) -> Option<Result<String, FrameError>> {
+        if self.skipping {
+            match self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                Some(off) => {
+                    self.start += off + 1;
+                    self.scan = self.start;
+                    self.skipping = false;
+                }
+                None => {
+                    // Still inside the oversized line: drop everything.
+                    self.buf.clear();
+                    self.start = 0;
+                    self.scan = 0;
+                    return None;
+                }
+            }
+        }
+        match self.buf[self.scan..].iter().position(|&b| b == b'\n') {
+            Some(off) => {
+                let end = self.scan + off;
+                let line = if end - self.start > self.max_line {
+                    Err(FrameError::Oversized)
+                } else {
+                    decode_line(&self.buf[self.start..end])
+                };
+                self.start = end + 1;
+                self.scan = self.start;
+                self.compact();
+                Some(line)
+            }
+            None => {
+                self.scan = self.buf.len();
+                if self.buffered() > self.max_line {
+                    // Report once, then resynchronise at the next '\n'.
+                    self.skipping = true;
+                    self.buf.clear();
+                    self.start = 0;
+                    self.scan = 0;
+                    Some(Err(FrameError::Oversized))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// EOF: the unterminated tail, if any, is delivered as a final frame
+    /// (a client that writes a request and shuts down its write side
+    /// without a trailing newline still gets an answer).
+    pub fn finish(&mut self) -> Option<Result<String, FrameError>> {
+        if self.skipping || self.buffered() == 0 {
+            return None;
+        }
+        let line = decode_line(&self.buf[self.start..]);
+        self.buf.clear();
+        self.start = 0;
+        self.scan = 0;
+        Some(line)
+    }
+
+    fn compact(&mut self) {
+        if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.scan -= self.start;
+            self.start = 0;
+        }
+    }
+}
+
+fn decode_line(raw: &[u8]) -> Result<String, FrameError> {
+    let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+    std::str::from_utf8(raw).map(str::to_owned).map_err(|_| FrameError::NotUtf8)
+}
+
+/// Outbound frame queue with partial-write resumption.
+pub struct WriteQueue {
+    chunks: VecDeque<Vec<u8>>,
+    /// Offset of the first unwritten byte within `chunks[0]`.
+    head: usize,
+    bytes: usize,
+}
+
+impl WriteQueue {
+    pub fn new() -> WriteQueue {
+        WriteQueue { chunks: VecDeque::new(), head: 0, bytes: 0 }
+    }
+
+    /// Unwritten bytes still queued.
+    pub fn len(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    pub fn push(&mut self, frame: Vec<u8>) {
+        self.bytes += frame.len();
+        self.chunks.push_back(frame);
+    }
+
+    /// Write queued bytes until drained or the sink would block. Returns
+    /// `(bytes_written, drained)`. `WouldBlock` is progress-so-far, not
+    /// an error; a zero-length write and real I/O errors surface as
+    /// `Err` so the caller tears the connection down.
+    pub fn write_to<W: Write>(&mut self, sink: &mut W) -> io::Result<(usize, bool)> {
+        let mut wrote = 0;
+        while let Some(chunk) = self.chunks.front() {
+            match sink.write(&chunk[self.head..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "peer stopped accepting"))
+                }
+                Ok(n) => {
+                    wrote += n;
+                    self.bytes -= n;
+                    self.head += n;
+                    if self.head == chunk.len() {
+                        self.chunks.pop_front();
+                        self.head = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok((wrote, false)),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((wrote, true))
+    }
+}
+
+impl Default for WriteQueue {
+    fn default() -> Self {
+        WriteQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(r: &mut FrameReader) -> Vec<Result<String, FrameError>> {
+        let mut out = Vec::new();
+        while let Some(f) = r.next_frame() {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn reassembles_across_many_small_pushes() {
+        let mut r = FrameReader::new(1024);
+        let line = r#"{"verb":"solve","id":17}"#;
+        for chunk in line.as_bytes().chunks(3) {
+            r.push(chunk);
+            assert!(r.next_frame().is_none(), "no frame before the terminator");
+        }
+        r.push(b"\n");
+        assert_eq!(drain(&mut r), vec![Ok(line.to_owned())]);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn splits_batched_frames_and_keeps_the_tail() {
+        let mut r = FrameReader::new(1024);
+        r.push(b"one\ntwo\nthr");
+        assert_eq!(drain(&mut r), vec![Ok("one".into()), Ok("two".into())]);
+        r.push(b"ee\n");
+        assert_eq!(drain(&mut r), vec![Ok("three".into())]);
+    }
+
+    #[test]
+    fn crlf_is_tolerated() {
+        let mut r = FrameReader::new(1024);
+        r.push(b"hello\r\nworld\r\n");
+        assert_eq!(drain(&mut r), vec![Ok("hello".into()), Ok("world".into())]);
+    }
+
+    #[test]
+    fn oversized_line_reports_once_then_resynchronises() {
+        let mut r = FrameReader::new(8);
+        r.push(b"0123456789");
+        assert_eq!(drain(&mut r), vec![Err(FrameError::Oversized)]);
+        // More of the same giant line: silently discarded.
+        r.push(b"aaaaaaaaaaaaaaaaaaaa");
+        assert_eq!(drain(&mut r), vec![]);
+        // Terminator arrives mid-push; framing resumes on the next line.
+        r.push(b"bbb\nok\n");
+        assert_eq!(drain(&mut r), vec![Ok("ok".into())]);
+    }
+
+    #[test]
+    fn oversized_exactly_at_limit_is_fine() {
+        let mut r = FrameReader::new(4);
+        r.push(b"abcd\n");
+        assert_eq!(drain(&mut r), vec![Ok("abcd".into())]);
+        r.push(b"abcde\n");
+        assert_eq!(drain(&mut r), vec![Err(FrameError::Oversized)]);
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed_and_recoverable() {
+        let mut r = FrameReader::new(64);
+        r.push(b"\xff\xfe\n next\n");
+        assert_eq!(drain(&mut r), vec![Err(FrameError::NotUtf8), Ok(" next".into())]);
+    }
+
+    #[test]
+    fn finish_delivers_the_unterminated_tail() {
+        let mut r = FrameReader::new(64);
+        r.push(b"done\npartial");
+        assert_eq!(drain(&mut r), vec![Ok("done".into())]);
+        assert_eq!(r.finish(), Some(Ok("partial".into())));
+        assert_eq!(r.finish(), None);
+    }
+
+    #[test]
+    fn finish_ignores_a_skipped_oversized_tail() {
+        let mut r = FrameReader::new(4);
+        r.push(b"way too long");
+        assert_eq!(drain(&mut r), vec![Err(FrameError::Oversized)]);
+        assert_eq!(r.finish(), None, "the oversized tail was already reported");
+    }
+
+    /// A sink that accepts at most `cap` bytes per call and then blocks.
+    struct Throttled {
+        accepted: Vec<u8>,
+        cap: usize,
+        blocked_calls: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.cap == 0 {
+                self.blocked_calls += 1;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.cap);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_resumes_partial_writes_in_order() {
+        let mut q = WriteQueue::new();
+        q.push(b"abcdefgh".to_vec());
+        q.push(b"ij".to_vec());
+        assert_eq!(q.len(), 10);
+
+        let mut sink = Throttled { accepted: Vec::new(), cap: 3, blocked_calls: 0 };
+        // 3-byte slices: several partial writes, never drops a byte.
+        let (wrote, drained) = q.write_to(&mut sink).unwrap();
+        assert!(drained);
+        assert_eq!(wrote, 10);
+        assert_eq!(sink.accepted, b"abcdefghij");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn write_queue_parks_on_wouldblock_and_resumes() {
+        let mut q = WriteQueue::new();
+        q.push(b"0123456789".to_vec());
+        let mut sink = Throttled { accepted: Vec::new(), cap: 4, blocked_calls: 0 };
+        let (w1, drained) = q.write_to(&mut sink).unwrap();
+        assert_eq!((w1, drained), (10, true));
+
+        q.push(b"abcdef".to_vec());
+        let mut blocked = Throttled { accepted: Vec::new(), cap: 0, blocked_calls: 0 };
+        let (w2, drained) = q.write_to(&mut blocked).unwrap();
+        assert_eq!((w2, drained), (0, false));
+        assert_eq!(blocked.blocked_calls, 1);
+        assert_eq!(q.len(), 6, "blocked bytes stay queued");
+
+        let mut sink = Throttled { accepted: Vec::new(), cap: 100, blocked_calls: 0 };
+        let (w3, drained) = q.write_to(&mut sink).unwrap();
+        assert_eq!((w3, drained), (6, true));
+        assert_eq!(sink.accepted, b"abcdef");
+    }
+}

@@ -1,0 +1,53 @@
+//! # atsched-net — a zero-dependency readiness reactor
+//!
+//! The event-loop substrate under the serve tier: a single-threaded
+//! epoll reactor with edge-triggered readiness dispatch, per-connection
+//! state machines for incremental newline-delimited framing, a hashed
+//! timer wheel for deadlines and TTLs, and an eventfd-backed mailbox so
+//! worker threads can inject replies without touching sockets.
+//!
+//! Per the workspace policy this crate has **no dependencies at all**:
+//! the epoll/eventfd/rlimit calls are declared straight against the C
+//! runtime that std already links ([`sys`]), so there is no async
+//! runtime, no `libc` crate, and no reactor framework — just readiness,
+//! buffers and timers.
+//!
+//! ## Layering
+//!
+//! - [`sys`] — the raw (Linux-only) syscall surface, all `unsafe` here;
+//! - [`poll`] — [`Poller`], [`Waker`], decoded [`Event`]s;
+//! - [`frame`] — [`FrameReader`] / [`WriteQueue`] connection state
+//!   machines with bounded buffers and typed error recovery;
+//! - [`timer`] — the [`TimerWheel`];
+//! - [`reactor`] — the [`Reactor`] event loop tying it together around
+//!   a user [`Service`].
+//!
+//! ## A minimal echo service
+//!
+//! ```no_run
+//! use atsched_net::{Ctx, Reactor, ReactorConfig, ConnId, Service};
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     type Msg = ();
+//!     fn on_frame(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, line: String) {
+//!         ctx.send(conn, format!("{line}\n").into_bytes());
+//!     }
+//! }
+//!
+//! let (mut reactor, _remote) = Reactor::new(ReactorConfig::default(), Echo).unwrap();
+//! reactor.listen(std::net::TcpListener::bind("127.0.0.1:0").unwrap()).unwrap();
+//! reactor.run().unwrap();
+//! ```
+
+pub mod frame;
+pub mod poll;
+pub mod reactor;
+pub mod sys;
+pub mod timer;
+
+pub use frame::{FrameError, FrameReader, WriteQueue};
+pub use poll::{Event, Interest, Poller, Waker};
+pub use reactor::{ConnId, Ctx, Reactor, ReactorConfig, Remote, Service};
+pub use sys::raise_nofile_limit;
+pub use timer::{TimerId, TimerWheel};

@@ -1,0 +1,261 @@
+//! A hashed timer wheel for request deadlines and session TTLs.
+//!
+//! Deadlines in the serve tier are coarse (milliseconds to minutes) and
+//! cancelled far more often than they fire — a completed request always
+//! cancels its deadline. The wheel makes both operations O(1): timers
+//! hash into `slots.len()` buckets by absolute tick, each entry carries
+//! its full tick so colliding far-future timers simply stay parked when
+//! the cursor passes their bucket early, and cancellation is a lazy
+//! tombstone checked at fire time.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Handle for cancelling a scheduled timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+struct Entry {
+    id: u64,
+    tick: u64,
+    data: u64,
+}
+
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// Next tick the cursor will collect.
+    cursor: u64,
+    /// Ids scheduled and not yet fired or cancelled.
+    active: HashSet<u64>,
+    /// Ids cancelled while still parked in a slot.
+    cancelled: HashSet<u64>,
+    next_id: u64,
+    start: Instant,
+    granularity: Duration,
+    /// Cached lower bound on the earliest active tick; `None` = stale.
+    min_tick: Option<u64>,
+}
+
+impl TimerWheel {
+    /// `granularity` is the firing resolution (deadlines round *up* to
+    /// the next tick so timers never fire early); `slots` trades memory
+    /// for fewer far-future collisions.
+    pub fn new(granularity: Duration, slots: usize, start: Instant) -> TimerWheel {
+        assert!(!granularity.is_zero(), "timer granularity must be positive");
+        let slots = slots.max(1);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            active: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            start,
+            granularity,
+            min_tick: Some(u64::MAX),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    fn tick_ceil(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start).as_nanos();
+        elapsed.div_ceil(self.granularity.as_nanos()).min(u64::MAX as u128) as u64
+    }
+
+    fn tick_floor(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start).as_nanos();
+        (elapsed / self.granularity.as_nanos()).min(u64::MAX as u128) as u64
+    }
+
+    /// Schedule a timer `after` from `now`, carrying opaque `data`.
+    pub fn schedule(&mut self, now: Instant, after: Duration, data: u64) -> TimerId {
+        // Never earlier than the cursor: a zero-delay timer fires on the
+        // next poll, not never.
+        let tick = self.tick_ceil(now + after).max(self.cursor);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.active.insert(id);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { id, tick, data });
+        if let Some(min) = self.min_tick {
+            self.min_tick = Some(min.min(tick));
+        }
+        TimerId(id)
+    }
+
+    /// Cancel a timer. Returns `false` if it already fired or was
+    /// already cancelled. The slot entry is tombstoned lazily; the
+    /// cached wakeup may therefore be spuriously early, which is
+    /// harmless — the poll simply finds nothing to fire.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if self.active.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Collect every timer due at `now` into `out` as `(id, data)`,
+    /// in tick order per slot.
+    pub fn poll(&mut self, now: Instant, out: &mut Vec<(TimerId, u64)>) {
+        let target = self.tick_floor(now);
+        if target < self.cursor {
+            return;
+        }
+        let n = self.slots.len() as u64;
+        let span = (target - self.cursor + 1).min(n);
+        for i in 0..span {
+            let slot = ((self.cursor + i) % n) as usize;
+            let entries = &mut self.slots[slot];
+            let mut keep = 0;
+            for j in 0..entries.len() {
+                let e = &entries[j];
+                if self.cancelled.remove(&e.id) {
+                    continue; // drop tombstone
+                }
+                if e.tick <= target {
+                    self.active.remove(&e.id);
+                    out.push((TimerId(e.id), e.data));
+                } else {
+                    entries.swap(keep, j);
+                    keep += 1;
+                }
+            }
+            entries.truncate(keep);
+        }
+        self.cursor = target + 1;
+        // Once the cursor passes the cached minimum (fired *or* stale
+        // from a lazy cancel), invalidate it so the next wakeup is
+        // recomputed from live entries instead of spinning at zero.
+        if self.min_tick.is_some_and(|min| min < self.cursor) {
+            self.min_tick = None;
+        }
+    }
+
+    /// How long until the earliest active timer is due (zero if overdue),
+    /// or `None` when no timers are scheduled.
+    pub fn next_timeout(&mut self, now: Instant) -> Option<Duration> {
+        if self.active.is_empty() {
+            self.min_tick = Some(u64::MAX);
+            return None;
+        }
+        let min = match self.min_tick {
+            Some(min) if min != u64::MAX => min,
+            _ => {
+                let mut min = u64::MAX;
+                for slot in &self.slots {
+                    for e in slot {
+                        if e.tick < min && self.active.contains(&e.id) {
+                            min = e.tick;
+                        }
+                    }
+                }
+                self.min_tick = Some(min);
+                min
+            }
+        };
+        let gran_ns = self.granularity.as_nanos().min(u64::MAX as u128) as u64;
+        let due = self.start + Duration::from_nanos(gran_ns.saturating_mul(min));
+        Some(due.saturating_duration_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn fires_in_deadline_order_not_before() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(4), 8, t0);
+        let _a = w.schedule(t0, ms(40), 1);
+        let _b = w.schedule(t0, ms(12), 2);
+
+        let mut out = Vec::new();
+        w.poll(t0 + ms(8), &mut out);
+        assert!(out.is_empty(), "nothing due yet");
+
+        w.poll(t0 + ms(16), &mut out);
+        assert_eq!(out.iter().map(|&(_, d)| d).collect::<Vec<_>>(), vec![2]);
+
+        out.clear();
+        w.poll(t0 + ms(44), &mut out);
+        assert_eq!(out.iter().map(|&(_, d)| d).collect::<Vec<_>>(), vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_timers_survive_wheel_wraparound() {
+        let t0 = Instant::now();
+        // 8 slots x 4 ms = 32 ms per revolution; a 200 ms timer shares a
+        // slot with near timers and must stay parked for 6+ revolutions.
+        let mut w = TimerWheel::new(ms(4), 8, t0);
+        w.schedule(t0, ms(200), 99);
+        let mut out = Vec::new();
+        for step in 1..=48 {
+            w.poll(t0 + ms(4 * step), &mut out);
+        }
+        assert!(out.is_empty(), "fired {out:?} before its 200 ms deadline");
+        w.poll(t0 + ms(204), &mut out);
+        assert_eq!(out, vec![(out[0].0, 99)]);
+    }
+
+    #[test]
+    fn cancel_prevents_firing_and_is_idempotent() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(1), 16, t0);
+        let a = w.schedule(t0, ms(5), 1);
+        let b = w.schedule(t0, ms(5), 2);
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a), "second cancel is a no-op");
+        assert_eq!(w.len(), 1);
+
+        let mut out = Vec::new();
+        w.poll(t0 + ms(10), &mut out);
+        assert_eq!(out.iter().map(|&(_, d)| d).collect::<Vec<_>>(), vec![2]);
+        assert!(!w.cancel(b), "fired timers cannot be cancelled");
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_earliest_survivor() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(2), 32, t0);
+        assert_eq!(w.next_timeout(t0), None);
+        let early = w.schedule(t0, ms(6), 1);
+        w.schedule(t0, ms(60), 2);
+        assert!(w.next_timeout(t0).unwrap() <= ms(6));
+
+        // Cancelling the early timer leaves a stale (earlier) cached
+        // wakeup — allowed, as long as it never *over*-sleeps.
+        w.cancel(early);
+        assert!(w.next_timeout(t0).unwrap() <= ms(60));
+
+        let mut out = Vec::new();
+        w.poll(t0 + ms(8), &mut out);
+        assert!(out.is_empty());
+        // After a poll pass the cache is refreshed from live entries.
+        let wait = w.next_timeout(t0 + ms(8)).unwrap();
+        assert!(wait <= ms(52), "stale wakeup persisted: {wait:?}");
+    }
+
+    #[test]
+    fn zero_delay_fires_on_the_next_poll() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(ms(4), 8, t0);
+        w.schedule(t0, ms(0), 5);
+        let mut out = Vec::new();
+        w.poll(t0, &mut out);
+        assert_eq!(out.iter().map(|&(_, d)| d).collect::<Vec<_>>(), vec![5]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Reactor integration tests over real loopback sockets: partial-frame
+//! reassembly, write-buffer backpressure, and deadline timers firing
+//! under deliberately silent or stalled peers.
+
+use atsched_net::{ConnId, Ctx, FrameError, Reactor, ReactorConfig, Remote, Service, TimerId};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Echo server used by most tests. Counts what it saw and can arm a
+/// per-connection deadline on accept.
+struct Echo {
+    frames: usize,
+    frame_errors: Vec<FrameError>,
+    closes: usize,
+    /// If set: close any connection that stays silent this long.
+    silence_deadline: Option<Duration>,
+    deadline_closes: usize,
+    timers: Vec<(ConnId, TimerId)>,
+    events: mpsc::Sender<&'static str>,
+}
+
+enum Cmd {
+    Stop,
+}
+
+impl Service for Echo {
+    type Msg = Cmd;
+
+    fn on_accept(&mut self, ctx: &mut Ctx<'_>, stream: TcpStream, _peer: SocketAddr) {
+        if let Ok(conn) = ctx.adopt(stream) {
+            if let Some(after) = self.silence_deadline {
+                let t = ctx.schedule(after, conn.as_u64());
+                self.timers.push((conn, t));
+            }
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, line: String) {
+        self.frames += 1;
+        // First frame proves liveness: cancel the silence deadline.
+        if let Some(pos) = self.timers.iter().position(|&(c, _)| c == conn) {
+            let (_, t) = self.timers.swap_remove(pos);
+            ctx.cancel_timer(t);
+        }
+        let mut reply = line.into_bytes();
+        reply.push(b'\n');
+        ctx.send(conn, reply);
+    }
+
+    fn on_frame_error(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, err: FrameError) {
+        self.frame_errors.push(err);
+        ctx.send(conn, b"error\n".to_vec());
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerId, data: u64) {
+        if let Some(pos) = self.timers.iter().position(|&(_, t)| t == timer) {
+            self.timers.swap_remove(pos);
+            self.deadline_closes += 1;
+            ctx.close(ConnId::from_u64(data));
+            let _ = self.events.send("deadline");
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Cmd) {
+        match msg {
+            Cmd::Stop => ctx.stop(),
+        }
+    }
+
+    fn on_close(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
+        self.closes += 1;
+        let _ = self.events.send("close");
+    }
+}
+
+struct Server {
+    addr: SocketAddr,
+    remote: Remote<Cmd>,
+    events: mpsc::Receiver<&'static str>,
+    handle: thread::JoinHandle<Echo>,
+}
+
+fn start(cfg: ReactorConfig, silence_deadline: Option<Duration>) -> Server {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (events_tx, events) = mpsc::channel();
+    let echo = Echo {
+        frames: 0,
+        frame_errors: Vec::new(),
+        closes: 0,
+        silence_deadline,
+        deadline_closes: 0,
+        timers: Vec::new(),
+        events: events_tx,
+    };
+    let (mut reactor, remote) = Reactor::new(cfg, echo).unwrap();
+    reactor.listen(listener).unwrap();
+    let handle = thread::spawn(move || reactor.run().unwrap());
+    Server { addr, remote, events, handle }
+}
+
+impl Server {
+    fn stop(self) -> Echo {
+        assert!(self.remote.send(Cmd::Stop));
+        self.handle.join().unwrap()
+    }
+}
+
+fn read_line(stream: &mut TcpStream) -> String {
+    let mut out = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => out.push(byte[0]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn partial_frames_reassemble_across_many_small_writes() {
+    let server = start(ReactorConfig::default(), None);
+    let mut client = TcpStream::connect(server.addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    client.set_nodelay(true).unwrap();
+
+    // One 900-byte frame dribbled in 2-byte writes with pauses: the
+    // reader must reassemble it into exactly one frame.
+    let payload = "x".repeat(900);
+    let line = format!("{payload}\n");
+    for (i, chunk) in line.as_bytes().chunks(2).enumerate() {
+        client.write_all(chunk).unwrap();
+        if i % 64 == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+    assert_eq!(read_line(&mut client), payload);
+
+    // Several frames batched into a single write still split correctly.
+    client.write_all(b"a\nbb\nccc\n").unwrap();
+    assert_eq!(read_line(&mut client), "a");
+    assert_eq!(read_line(&mut client), "bb");
+    assert_eq!(read_line(&mut client), "ccc");
+
+    drop(client);
+    let echo = server.stop();
+    assert_eq!(echo.frames, 4);
+    assert!(echo.frame_errors.is_empty());
+}
+
+#[test]
+fn oversized_and_non_utf8_frames_recover_with_typed_errors() {
+    let cfg = ReactorConfig { max_line_bytes: 64, ..ReactorConfig::default() };
+    let server = start(cfg, None);
+    let mut client = TcpStream::connect(server.addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let giant = "g".repeat(500);
+    client.write_all(format!("{giant}\n").as_bytes()).unwrap();
+    assert_eq!(read_line(&mut client), "error");
+
+    client.write_all(b"\xff\xfe\n").unwrap();
+    assert_eq!(read_line(&mut client), "error");
+
+    // The connection survived both and still echoes.
+    client.write_all(b"still here\n").unwrap();
+    assert_eq!(read_line(&mut client), "still here");
+
+    drop(client);
+    let echo = server.stop();
+    assert_eq!(echo.frame_errors, vec![FrameError::Oversized, FrameError::NotUtf8]);
+    assert_eq!(echo.frames, 1);
+}
+
+#[test]
+fn write_backpressure_queues_partial_writes_without_corruption() {
+    // Tiny watermark so the test exercises the stalled path; generous
+    // stall timeout so a slow reader is not disconnected.
+    let cfg = ReactorConfig {
+        write_high_watermark: 16 * 1024,
+        write_stall_timeout: Some(Duration::from_secs(30)),
+        ..ReactorConfig::default()
+    };
+    let server = start(cfg, None);
+
+    let mut client = TcpStream::connect(server.addr).unwrap();
+    client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Ask for ~4 MB of echo (far beyond socket buffers) while not
+    // reading, then drain slowly: every byte must come back in order.
+    let big = "B".repeat(1 << 20);
+    for _ in 0..4 {
+        client.write_all(format!("{big}\n").as_bytes()).unwrap();
+    }
+    thread::sleep(Duration::from_millis(100)); // let the queue build up
+
+    for _ in 0..4 {
+        let got = read_line(&mut client);
+        assert_eq!(got.len(), big.len());
+        assert!(got.bytes().all(|b| b == b'B'), "corrupted echo");
+    }
+
+    drop(client);
+    let echo = server.stop();
+    assert_eq!(echo.frames, 4);
+}
+
+#[test]
+fn deadline_timer_fires_under_a_silent_client() {
+    let server = start(ReactorConfig::default(), Some(Duration::from_millis(80)));
+
+    // A deliberately silent client: connects, sends nothing.
+    let mut silent = TcpStream::connect(server.addr).unwrap();
+    silent.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // A chatty client on the same reactor stays untouched.
+    let mut chatty = TcpStream::connect(server.addr).unwrap();
+    chatty.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    chatty.write_all(b"hello\n").unwrap();
+    assert_eq!(read_line(&mut chatty), "hello");
+
+    // The reactor must disconnect the silent peer on its own clock.
+    let t0 = Instant::now();
+    let mut buf = [0u8; 1];
+    let n = silent.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "expected EOF from the deadline close");
+    assert!(t0.elapsed() < Duration::from_secs(5), "deadline far too slow");
+
+    // Chatty connection still alive after the other's deadline.
+    chatty.write_all(b"again\n").unwrap();
+    assert_eq!(read_line(&mut chatty), "again");
+
+    drop(chatty);
+    let echo = server.stop();
+    assert_eq!(echo.deadline_closes, 1);
+    assert_eq!(echo.frames, 2);
+}
+
+#[test]
+fn stalled_peer_is_disconnected_by_the_write_stall_timer() {
+    let cfg = ReactorConfig {
+        write_high_watermark: 4 * 1024,
+        write_stall_timeout: Some(Duration::from_millis(150)),
+        ..ReactorConfig::default()
+    };
+    let server = start(cfg, None);
+
+    let mut client = TcpStream::connect(server.addr).unwrap();
+    // Request megabytes of echo in frame-sized lines and then never
+    // read: kernel buffers fill, the echo queue wedges above the
+    // watermark, and the stall timer must evict us. Writes may start
+    // failing once the reactor drops the connection — that is the point.
+    let line = format!("{}\n", "S".repeat(256 * 1024));
+    for _ in 0..32 {
+        if client.write_all(line.as_bytes()).is_err() {
+            break;
+        }
+    }
+
+    let t0 = Instant::now();
+    loop {
+        match server.events.recv_timeout(Duration::from_secs(10)) {
+            Ok("close") => break,
+            Ok(_) => continue,
+            Err(e) => panic!("no stall close within 10 s: {e}"),
+        }
+    }
+    assert!(t0.elapsed() < Duration::from_secs(8));
+
+    let echo = server.stop();
+    assert_eq!(echo.closes, 1);
+}

@@ -1,12 +1,15 @@
 //! # atsched-serve — a long-running solve service
 //!
-//! This crate turns the batch-solve engine into a network service: a
-//! threaded TCP server speaking newline-delimited JSON, sharing one
-//! [`Engine`](atsched_engine::Engine) (and therefore one content-keyed
-//! solve cache) across every connection.
+//! This crate turns the batch-solve engine into a network service: an
+//! event-driven TCP server speaking newline-delimited JSON, sharing
+//! [`Engine`](atsched_engine::Engine) shards (and their content-keyed
+//! solve caches) across every connection.
 //!
-//! Built entirely on `std::net` + threads — no async runtime, no new
-//! dependencies.
+//! Connections are served by [`atsched_net`] readiness reactors — a
+//! single reactor thread multiplexes thousands of sockets — and solve
+//! work is consistent-hashed across router shards ([`router`]), each
+//! with its own engine and bounded admission queue. No async runtime,
+//! no external dependencies.
 //!
 //! ## Service guarantees
 //!
@@ -57,12 +60,15 @@
 
 pub mod admission;
 pub mod client;
+pub mod loadgen;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod shutdown;
 pub mod stats;
 
 pub use client::{Client, ClientError};
+pub use loadgen::{run_load, LoadConfig, LoadReport, Payload};
 pub use protocol::{
     kind, verb, BatchItemReply, BatchReply, DeltaSpec, ErrorInfo, Request, Response, SolveReply,
     StatsReply, WindowChange, PROTOCOL_VERSION,

@@ -1,0 +1,309 @@
+//! A reactor-driven load generator for the serve tier.
+//!
+//! Drives thousands of concurrent connections from a single thread by
+//! running the *client* side on the same [`atsched_net::Reactor`] the
+//! server uses: connections ramp up in batches, each connection plays
+//! a strictly sequential request/response script, and every connection
+//! is held open until the whole fleet finishes — so peak concurrency
+//! really is the configured connection count, not a rolling window.
+//!
+//! Latencies are recorded through [`atsched_obs`] histograms
+//! (`loadgen.open_ms` = connect → first response, `loadgen.req_ms` =
+//! per-request round trip), which is what `atsched-bench --serve`
+//! snapshots into `results/BENCH_*.json` for the CI p99 gate.
+
+use crate::protocol::{verb, Request, Response};
+use atsched_core::instance::Instance;
+use atsched_net::{
+    raise_nofile_limit, ConnId, Ctx, FrameError, Reactor, ReactorConfig, Service, TimerId,
+};
+use atsched_obs::{Histogram, HistogramSnapshot, Registry};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timer payload for the connection-ramp tick (distinct from any
+/// `ConnId`, which would need 2^30 live slots to reach bit 62).
+const RAMP_TIMER: u64 = 1 << 62;
+
+/// What each request on a connection carries.
+#[derive(Clone)]
+pub enum Payload {
+    /// `health` probes: measures pure protocol/reactor overhead.
+    Health,
+    /// `solve` of one fixed instance: exercises admission, routing and
+    /// the engine cache under connection concurrency.
+    Solve(Box<Instance>),
+}
+
+/// Load-run parameters.
+#[derive(Clone)]
+pub struct LoadConfig {
+    /// Target server.
+    pub addr: SocketAddr,
+    /// Concurrent connections to establish (all held open to the end).
+    pub conns: usize,
+    /// Sequential requests per connection.
+    pub requests_per_conn: usize,
+    /// Connections opened per ramp tick (bounds the connect burst the
+    /// listener backlog has to absorb).
+    pub connect_batch: usize,
+    /// Request body.
+    pub payload: Payload,
+    /// Per-request response deadline; an overrun counts as an error
+    /// and drops that connection.
+    pub request_timeout: Duration,
+}
+
+impl LoadConfig {
+    /// Defaults sized for a smoke run against `addr`.
+    pub fn new(addr: SocketAddr) -> LoadConfig {
+        LoadConfig {
+            addr,
+            conns: 256,
+            requests_per_conn: 4,
+            connect_batch: 128,
+            payload: Payload::Health,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Connections the run was asked to open.
+    pub target_conns: usize,
+    /// Connections that actually connected.
+    pub opened: usize,
+    /// Most connections simultaneously open on the generator.
+    pub peak_open: usize,
+    /// Requests that received a matching response.
+    pub completed_requests: u64,
+    /// Connect failures, response timeouts, id mismatches, early EOFs.
+    pub errors: u64,
+    /// Wall clock of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per second over the run.
+    pub rps: f64,
+    /// Connect → first response latency distribution.
+    pub open_ms: HistogramSnapshot,
+    /// Per-request round-trip distribution.
+    pub req_ms: HistogramSnapshot,
+}
+
+struct ConnState {
+    connected_at: Instant,
+    sent_at: Instant,
+    expect_id: u64,
+    responses: usize,
+    timer: Option<TimerId>,
+}
+
+struct LoadGen {
+    cfg: LoadConfig,
+    open_ms: Arc<Histogram>,
+    req_ms: Arc<Histogram>,
+    conns: HashMap<ConnId, ConnState>,
+    /// Connections attempted so far (success or not), ≤ cfg.conns.
+    launched: usize,
+    /// Connections that completed their life cycle (script finished,
+    /// connect failed, or died early). The run ends at cfg.conns.
+    finished: usize,
+    opened: usize,
+    peak_open: usize,
+    completed_requests: u64,
+    errors: u64,
+    next_id: u64,
+    started: Instant,
+    wall: Option<Duration>,
+}
+
+impl LoadGen {
+    fn request_frame(&mut self) -> (u64, Vec<u8>) {
+        self.next_id += 1;
+        let id = self.next_id;
+        let req = match &self.cfg.payload {
+            Payload::Health => Request { id: Some(id), ..Request::new(verb::HEALTH) },
+            Payload::Solve(inst) => Request { id: Some(id), ..Request::solve(inst) },
+        };
+        let mut line = serde_json::to_string(&req).expect("requests always serialize");
+        line.push('\n');
+        (id, line.into_bytes())
+    }
+
+    fn send_next(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let (id, frame) = self.request_frame();
+        let timer = ctx.schedule(self.cfg.request_timeout, conn.as_u64());
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.expect_id = id;
+            state.sent_at = Instant::now();
+            if let Some(old) = state.timer.replace(timer) {
+                ctx.cancel_timer(old);
+            }
+        }
+        if !ctx.send(conn, frame) {
+            // The connection died under us; on_close does the books.
+            ctx.close(conn);
+        }
+    }
+
+    fn ramp(&mut self, ctx: &mut Ctx<'_>) {
+        let batch = self.cfg.connect_batch.max(1);
+        let mut dialed = 0;
+        while self.launched < self.cfg.conns && dialed < batch {
+            self.launched += 1;
+            dialed += 1;
+            let adopted = TcpStream::connect(self.cfg.addr).and_then(|stream| ctx.adopt(stream));
+            match adopted {
+                Ok(conn) => {
+                    self.opened += 1;
+                    self.conns.insert(
+                        conn,
+                        ConnState {
+                            connected_at: Instant::now(),
+                            sent_at: Instant::now(),
+                            expect_id: 0,
+                            responses: 0,
+                            timer: None,
+                        },
+                    );
+                    self.send_next(ctx, conn);
+                }
+                Err(_) => {
+                    self.errors += 1;
+                    self.finished += 1;
+                }
+            }
+        }
+        self.peak_open = self.peak_open.max(ctx.conn_count());
+        if self.launched < self.cfg.conns {
+            ctx.schedule(Duration::from_millis(1), RAMP_TIMER);
+        }
+        self.check_done(ctx);
+    }
+
+    fn check_done(&mut self, ctx: &mut Ctx<'_>) {
+        if self.launched == self.cfg.conns && self.finished == self.launched {
+            self.peak_open = self.peak_open.max(ctx.conn_count());
+            self.wall = Some(self.started.elapsed());
+            ctx.stop();
+        }
+    }
+}
+
+impl Service for LoadGen {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started = Instant::now();
+        self.ramp(ctx);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, line: String) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return; // a straggler frame after this conn finished its script
+        };
+        if let Some(timer) = state.timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        let id_ok = serde_json::from_str::<Response>(&line)
+            .map(|resp| resp.id == Some(state.expect_id))
+            .unwrap_or(false);
+        if !id_ok {
+            self.errors += 1;
+            ctx.close(conn);
+            return;
+        }
+        let rtt_ms = state.sent_at.elapsed().as_secs_f64() * 1e3;
+        if state.responses == 0 {
+            self.open_ms.record(state.connected_at.elapsed().as_secs_f64() * 1e3);
+        }
+        state.responses += 1;
+        self.completed_requests += 1;
+        self.req_ms.record(rtt_ms);
+        if state.responses < self.cfg.requests_per_conn {
+            self.send_next(ctx, conn);
+        } else {
+            // Script done: hold the socket open (so peak concurrency is
+            // honest) but stop tracking it.
+            self.conns.remove(&conn);
+            self.finished += 1;
+            self.peak_open = self.peak_open.max(ctx.conn_count());
+            self.check_done(ctx);
+        }
+    }
+
+    fn on_frame_error(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _err: FrameError) {
+        self.errors += 1;
+        ctx.close(conn);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerId, data: u64) {
+        if data == RAMP_TIMER {
+            self.ramp(ctx);
+            return;
+        }
+        let conn = ConnId::from_u64(data);
+        let timed_out = self
+            .conns
+            .get_mut(&conn)
+            .is_some_and(|state| state.timer.take_if(|t| *t == timer).is_some());
+        if timed_out {
+            self.errors += 1;
+            ctx.close(conn);
+        }
+    }
+
+    fn on_close(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        if let Some(state) = self.conns.remove(&conn) {
+            if let Some(timer) = state.timer {
+                ctx.cancel_timer(timer);
+            }
+            // Died mid-script (timeout close, server drop, EOF).
+            self.errors += 1;
+            self.finished += 1;
+            self.check_done(ctx);
+        }
+    }
+}
+
+/// Run one load pass and report what it saw. Latency histograms are
+/// also recorded into `registry` under `loadgen.*`.
+pub fn run_load(cfg: LoadConfig, registry: &Arc<Registry>) -> io::Result<LoadReport> {
+    // Thousands of sockets need headroom beyond the default 1024 soft
+    // cap; best-effort raise to the hard limit.
+    let _ = raise_nofile_limit();
+    let service = LoadGen {
+        cfg,
+        open_ms: registry.histogram("loadgen.open_ms"),
+        req_ms: registry.histogram("loadgen.req_ms"),
+        conns: HashMap::new(),
+        launched: 0,
+        finished: 0,
+        opened: 0,
+        peak_open: 0,
+        completed_requests: 0,
+        errors: 0,
+        next_id: 0,
+        started: Instant::now(),
+        wall: None,
+    };
+    let (reactor, _remote) = Reactor::new(ReactorConfig::default(), service)?;
+    let done = reactor.run()?;
+    let wall = done.wall.unwrap_or_else(|| done.started.elapsed());
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    Ok(LoadReport {
+        target_conns: done.cfg.conns,
+        opened: done.opened,
+        peak_open: done.peak_open,
+        completed_requests: done.completed_requests,
+        errors: done.errors,
+        wall_ms,
+        rps: if wall_ms > 0.0 { done.completed_requests as f64 / (wall_ms / 1e3) } else { 0.0 },
+        open_ms: HistogramSnapshot::of(&done.open_ms),
+        req_ms: HistogramSnapshot::of(&done.req_ms),
+    })
+}

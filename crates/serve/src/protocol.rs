@@ -430,7 +430,13 @@ pub struct StatsReply {
     pub cache_hit_rate: f64,
     /// Memoized solve outcomes currently held.
     pub cache_entries: u64,
-    /// Lifetime engine outcome counters.
+    /// Wire-visible sessions open right now (reported after an eager
+    /// TTL sweep, so no expired stragglers are counted).
+    pub sessions_open: u64,
+    /// Router event-loop workers serving connections (1 unless the
+    /// server runs in sharded router mode).
+    pub router_workers: u64,
+    /// Lifetime engine outcome counters (summed across router shards).
     pub engine: EngineTotals,
     /// End-to-end latency of completed requests (admission → response),
     /// lifetime histogram percentiles, milliseconds.

@@ -1,44 +1,49 @@
-//! The threaded TCP solve server.
+//! The reactor-based TCP solve server.
 //!
-//! Architecture (everything on `std::net` + threads, no async runtime):
+//! Architecture (epoll readiness via `atsched-net`, no async runtime):
 //!
 //! ```text
-//!            accept loop (nonblocking poll, stops on drain)
-//!                │ one thread per connection
-//!                ▼
-//!   connection handler ── read frame ── parse ── validate
-//!        │                                  │
-//!        │ stats/health/shutdown            │ solve/batch
-//!        ▼                                  ▼
-//!   answered inline            AdmissionQueue::try_push ──full──▶ `overloaded`
-//!                                           │
-//!                              worker pool (shared Engine + cache)
-//!                                           │ per-request deadline
-//!                                           ▼
-//!                              reply channel ──▶ handler writes frame
+//!        reactor 0 (owns the listener, accepts)
+//!            │ round-robin handoff of connections
+//!            ▼
+//!   R reactor event loops ── frames ── parse ── validate
+//!        │                               │
+//!        │ health/stats/close            │ solve/batch/open/amend
+//!        ▼                               ▼
+//!   answered inline          consistent-hash route to a shard
+//!                                        │
+//!                            AdmissionQueue[shard] ──full──▶ `overloaded`
+//!                                        │
+//!                            shard solver threads (Engine + cache)
+//!                                        │ per-request deadline
+//!                                        ▼
+//!                            Remote mailbox ──▶ owning reactor writes
 //! ```
 //!
-//! Request/response is strictly sequential per connection: a handler
-//! reads the next frame only after writing the previous response, so
-//! replies can never cross-wire. Parallelism comes from concurrent
-//! connections feeding one bounded queue.
+//! Request/response is strictly sequential per connection: admitting a
+//! request pauses reading on that connection until its reply (or its
+//! deadline preemption) resumes it, so replies can never cross-wire.
+//! One reactor thread multiplexes thousands of connections; parallelism
+//! comes from the solver threads behind each shard's bounded queue.
 
-use crate::admission::{AdmissionQueue, Admit};
+use crate::admission::AdmissionQueue;
 use crate::protocol::{
     kind, verb, BatchItemReply, BatchReply, DeltaSpec, Request, Response, SolveReply,
     PROTOCOL_VERSION,
 };
+use crate::router::{HashRing, Msg, ServeLoop};
 use crate::shutdown::ShutdownGate;
 use crate::stats::ServerMetrics;
 use atsched_core::instance::Instance;
 use atsched_core::solver::{LpBackend, SolverOptions};
 use atsched_engine::{with_budget, Engine, EngineConfig, Interrupt, Outcome, SessionId};
-use crossbeam::channel;
+use atsched_net::{ConnId, Reactor, ReactorConfig, Remote};
 use nested_active_time::{Error, Method, Solve};
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -50,21 +55,27 @@ pub struct ServerConfig {
     /// Solver worker threads; `0` means one per available core.
     pub workers: usize,
     /// Admission-queue depth — the load-shedding threshold; `0` means
-    /// `2 × workers`.
+    /// `2 × workers`. Split across router shards.
     pub queue_depth: usize,
+    /// Router event-loop workers (each with its own engine shard and
+    /// admission queue); `0` means 1.
+    pub router_workers: usize,
     /// Deadline applied to requests that do not set `timeout_ms`;
     /// `None` disables the default cap.
     pub default_timeout: Option<Duration>,
     /// Maximum accepted request-frame length; longer lines get a
     /// `bad_request` response and are skipped (the connection survives).
     pub max_line_bytes: usize,
+    /// Cap on wire-visible open sessions; `open` beyond it is refused
+    /// with a typed `overloaded` response.
+    pub max_sessions: usize,
     /// Artificial delay before each admitted request is executed.
     /// Load-testing aid (lets tests saturate the queue
     /// deterministically); keep `0` in production.
     pub delay_ms: u64,
-    /// Idle time after which an open session is evicted. Eviction is
-    /// lazy — swept on the next session verb — so an expired session
-    /// costs memory only until someone touches the session table.
+    /// Idle time after which an open session is evicted — swept
+    /// periodically by reactor 0 and eagerly on every session verb and
+    /// on `stats`.
     pub session_ttl: Duration,
 }
 
@@ -74,8 +85,10 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7411".into(),
             workers: 0,
             queue_depth: 0,
+            router_workers: 0,
             default_timeout: Some(Duration::from_secs(30)),
             max_line_bytes: 1 << 20,
+            max_sessions: 4096,
             delay_ms: 0,
             session_ttl: Duration::from_secs(15 * 60),
         }
@@ -101,9 +114,21 @@ impl ServerConfig {
         self
     }
 
+    /// Set the router event-loop worker count (`0` = 1).
+    pub fn router_workers(mut self, n: usize) -> Self {
+        self.router_workers = n;
+        self
+    }
+
     /// Set (or with `None` disable) the default per-request deadline.
     pub fn default_timeout(mut self, budget: Option<Duration>) -> Self {
         self.default_timeout = budget;
+        self
+    }
+
+    /// Set the open-session cap.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n;
         self
     }
 
@@ -132,11 +157,20 @@ impl ServerConfig {
         }
         2 * self.effective_workers()
     }
+
+    fn effective_router_workers(&self) -> usize {
+        self.router_workers.max(1)
+    }
+}
+
+/// `total` split as evenly as possible over `parts`, slot `index`.
+fn share(total: usize, parts: usize, index: usize) -> usize {
+    total / parts + usize::from(index < total % parts)
 }
 
 /// A validated unit of admitted work.
 #[derive(Debug)]
-enum Work {
+pub(crate) enum Work {
     Solve {
         inst: Instance,
         method: Method,
@@ -164,28 +198,85 @@ enum Work {
     },
 }
 
-/// A queued request: validated work plus its reply path.
-struct Job {
-    id: Option<u64>,
-    work: Work,
-    reply: channel::Sender<Response>,
-    admitted: Instant,
+/// The wall-clock budget of a piece of work.
+pub(crate) fn timeout_of(work: &Work) -> Option<Duration> {
+    match work {
+        Work::Solve { timeout, .. }
+        | Work::Batch { timeout, .. }
+        | Work::Open { timeout, .. }
+        | Work::Amend { timeout, .. } => *timeout,
+    }
 }
 
-/// Everything shared between the accept loop, connection handlers, and
-/// workers.
-struct Shared {
-    cfg: ServerConfig,
-    engine: Engine,
-    queue: AdmissionQueue<Job>,
-    metrics: ServerMetrics,
-    gate: ShutdownGate,
-    started: Instant,
-    conns: Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
-    /// Wire-visible sessions: engine session id → last touch. The
-    /// engine's own table holds the solve state; this layer only adds
-    /// the idle-TTL policy.
-    sessions: Mutex<HashMap<u64, Instant>>,
+/// A queued request: validated work plus its reply path back to the
+/// reactor that owns the connection.
+pub(crate) struct Job {
+    pub(crate) id: Option<u64>,
+    pub(crate) work: Work,
+    pub(crate) conn: ConnId,
+    pub(crate) seq: u64,
+    pub(crate) reply_to: Remote<Msg>,
+    pub(crate) admitted: Instant,
+}
+
+/// One router shard: an engine (with its own solve cache) fed by a
+/// bounded admission queue, drained by `threads` solver threads.
+pub(crate) struct ShardState {
+    pub(crate) engine: Engine,
+    pub(crate) queue: AdmissionQueue<Job>,
+    threads: usize,
+}
+
+/// A wire-visible session: which shard's engine holds it, under which
+/// engine-local id, and when it was last touched (for the idle TTL).
+pub(crate) struct SessionEntry {
+    pub(crate) shard: usize,
+    pub(crate) engine: SessionId,
+    pub(crate) touched: Instant,
+}
+
+/// Events the reactors raise to the coordinator in [`Server::run`].
+pub(crate) enum DrainEvent {
+    /// A `shutdown` verb won the gate on `reactor`; answer `conn` with
+    /// the final snapshot once the drain completes.
+    Request { reactor: usize, conn: ConnId, id: Option<u64> },
+    /// A reactor's event loop died with an I/O error.
+    ReactorFailed(String),
+}
+
+/// Everything shared between the reactors, solver threads, and the
+/// coordinator.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) gate: ShutdownGate,
+    pub(crate) started: Instant,
+    pub(crate) shards: Vec<ShardState>,
+    pub(crate) ring: HashRing,
+    /// Wire session id → owning shard + engine session. Wire ids are
+    /// allocated server-side ([`Shared::next_session`]) because engine
+    /// session ids are only unique per shard.
+    pub(crate) sessions: Mutex<HashMap<u64, SessionEntry>>,
+    pub(crate) next_session: AtomicU64,
+    /// `open` requests admitted but not yet registered in the table;
+    /// counted against `max_sessions` so a burst of opens cannot blow
+    /// past the cap while in flight.
+    pub(crate) open_reservations: AtomicUsize,
+    /// One mailbox per reactor; set once by [`Server::run`] before any
+    /// reactor thread starts.
+    remotes: OnceLock<Vec<Remote<Msg>>>,
+    pub(crate) drain_tx: mpsc::Sender<DrainEvent>,
+    pub(crate) drain_written_tx: mpsc::Sender<()>,
+}
+
+impl Shared {
+    pub(crate) fn remotes(&self) -> &[Remote<Msg>] {
+        self.remotes.get().expect("remotes installed before serving")
+    }
+
+    pub(crate) fn remote(&self, reactor: usize) -> Remote<Msg> {
+        self.remotes()[reactor].clone()
+    }
 }
 
 /// A bound (but not yet running) solve server.
@@ -193,6 +284,8 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     shared: Arc<Shared>,
+    drain_rx: mpsc::Receiver<DrainEvent>,
+    written_rx: mpsc::Receiver<()>,
 }
 
 /// Join handle for a server running on a background thread.
@@ -217,28 +310,51 @@ impl Server {
     /// Bind the listen socket; the server starts serving on
     /// [`run`](Server::run) / [`spawn`](Server::spawn).
     pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        // Thousands of concurrent connections need fd headroom beyond
+        // the usual 1024 soft cap; best-effort raise to the hard limit.
+        let _ = atsched_net::raise_nofile_limit();
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let workers = cfg.effective_workers();
-        let queue = AdmissionQueue::new(cfg.effective_queue_depth());
-        // One registry shared by server-level counters and the engine's
-        // solver instrumentation: the `stats` verb snapshots both.
+        let routers = cfg.effective_router_workers();
+        let total_threads = cfg.effective_workers();
+        let total_depth = cfg.effective_queue_depth();
+        // One registry shared by server-level counters and every shard
+        // engine's solver instrumentation: `stats` snapshots all of it.
         let registry = Arc::new(atsched_obs::Registry::new());
-        let engine =
-            Engine::with_registry(EngineConfig::default().workers(workers), Arc::clone(&registry));
+        let shards = (0..routers)
+            .map(|i| {
+                let threads = share(total_threads, routers, i).max(1);
+                ShardState {
+                    engine: Engine::with_registry(
+                        EngineConfig::default().workers(threads),
+                        Arc::clone(&registry),
+                    ),
+                    queue: AdmissionQueue::new(share(total_depth, routers, i).max(1)),
+                    threads,
+                }
+            })
+            .collect();
+        let (drain_tx, drain_rx) = mpsc::channel();
+        let (drain_written_tx, written_rx) = mpsc::channel();
         Ok(Server {
             listener,
             addr,
             shared: Arc::new(Shared {
                 cfg,
-                engine,
-                queue,
                 metrics: ServerMetrics::new(registry),
                 gate: ShutdownGate::default(),
                 started: Instant::now(),
-                conns: Mutex::new(Vec::new()),
+                ring: HashRing::new(routers),
+                shards,
                 sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(0),
+                open_reservations: AtomicUsize::new(0),
+                remotes: OnceLock::new(),
+                drain_tx,
+                drain_written_tx,
             }),
+            drain_rx,
+            written_rx,
         })
     }
 
@@ -250,64 +366,89 @@ impl Server {
     /// Serve until a `shutdown` request drains the server; returns the
     /// final stats snapshot.
     pub fn run(self) -> io::Result<crate::protocol::StatsReply> {
-        let Server { listener, addr: _, shared } = self;
-        listener.set_nonblocking(true)?;
+        let Server { listener, addr: _, shared, drain_rx, written_rx } = self;
 
-        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.effective_workers())
-            .map(|_| {
+        // Build every reactor before spawning anything, so a failure
+        // here needs no cleanup.
+        let rcfg =
+            ReactorConfig { max_line_bytes: shared.cfg.max_line_bytes, ..ReactorConfig::default() };
+        let mut built = Vec::new();
+        let mut remotes = Vec::new();
+        for index in 0..shared.shards.len() {
+            let (reactor, remote) =
+                Reactor::new(rcfg.clone(), ServeLoop::new(Arc::clone(&shared), index))?;
+            built.push(reactor);
+            remotes.push(remote);
+        }
+        built[0].listen(listener)?;
+        assert!(shared.remotes.set(remotes).is_ok(), "remotes installed once");
+
+        let solvers: Vec<JoinHandle<()>> = shared
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(index, shard)| (0..shard.threads).map(move |_| index).collect::<Vec<_>>())
+            .map(|index| {
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared))
+                thread::spawn(move || worker_loop(&shared, index))
             })
             .collect();
 
-        while !shared.gate.is_draining() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let _ = stream.set_nodelay(true);
-                    let reader = match stream.try_clone() {
-                        Ok(clone) => clone,
-                        Err(_) => continue, // connection unusable; drop it
-                    };
-                    let handler = {
-                        let shared = Arc::clone(&shared);
-                        thread::spawn(move || connection_loop(&shared, reader))
-                    };
-                    shared.conns.lock().expect("conns lock").push((stream, handler));
+        let reactors: Vec<JoinHandle<()>> = built
+            .into_iter()
+            .map(|reactor| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    if let Err(e) = reactor.run() {
+                        let _ = shared.drain_tx.send(DrainEvent::ReactorFailed(e.to_string()));
+                    }
+                })
+            })
+            .collect();
+
+        // Coordinator: block until a `shutdown` wins the gate (or a
+        // reactor dies), drain, snapshot, answer, stop.
+        let event = drain_rx.recv().unwrap_or_else(|_| {
+            DrainEvent::ReactorFailed("every reactor exited without draining".into())
+        });
+        let result = match event {
+            DrainEvent::Request { reactor, conn, id } => {
+                // The winning reactor already closed every queue;
+                // joining the solvers waits out the admitted backlog.
+                for solver in solvers {
+                    let _ = solver.join();
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(10));
+                // Every reply the workers sent is already in its
+                // reactor's mailbox (FIFO), so the snapshot reflects a
+                // fully-answered server — and the drain closes all
+                // live sessions before reporting.
+                drain_sessions(&shared);
+                let snapshot = snapshot_all(&shared);
+                let resp = Response::ok_stats(id, verb::SHUTDOWN, snapshot.clone());
+                if shared.remotes()[reactor].send(Msg::Final { conn, resp: Box::new(resp) }) {
+                    // Give the requester a grace window to receive it.
+                    let _ = written_rx.recv_timeout(Duration::from_secs(5));
                 }
-                Err(_) => {
-                    // Transient accept failure (e.g. per-connection
-                    // resource limits); keep serving.
-                    thread::sleep(Duration::from_millis(10));
-                }
+                Ok(snapshot)
             }
+            DrainEvent::ReactorFailed(msg) => {
+                shared.gate.begin_silent();
+                for shard in &shared.shards {
+                    shard.queue.close();
+                }
+                for solver in solvers {
+                    let _ = solver.join();
+                }
+                Err(io::Error::other(msg))
+            }
+        };
+        for remote in shared.remotes() {
+            remote.send(Msg::Stop);
         }
-        drop(listener); // stop accepting
-
-        // Drain: the queue is already closed (the shutdown handler did
-        // it); workers exit once every admitted request is answered.
-        shared.queue.close();
-        for worker in workers {
-            let _ = worker.join();
+        for reactor in reactors {
+            let _ = reactor.join();
         }
-
-        let snapshot =
-            shared.metrics.snapshot(&shared.engine, shared.started, 0, shared.queue.capacity());
-        // Hand the snapshot to the waiting `shutdown` requester and give
-        // it a moment to write the response before teardown.
-        shared.gate.resolve(snapshot.clone(), Duration::from_secs(5));
-
-        // Unblock idle readers; handlers see EOF and exit.
-        let conns = std::mem::take(&mut *shared.conns.lock().expect("conns lock"));
-        for (stream, _) in &conns {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        for (_, handler) in conns {
-            let _ = handler.join();
-        }
-        Ok(snapshot)
+        result
     }
 
     /// Run on a background thread (tests, embedding).
@@ -319,72 +460,8 @@ impl Server {
 }
 
 // ---------------------------------------------------------------------
-// Connection handling
+// Frame encoding
 // ---------------------------------------------------------------------
-
-/// One frame read off a connection.
-enum Frame {
-    /// A complete line (without the terminator).
-    Line(String),
-    /// A line that broke the framing rules; the reason goes into the
-    /// `bad_request` response. The connection stays usable.
-    Malformed(&'static str),
-    /// Peer closed (or the socket died).
-    Eof,
-}
-
-/// Read one `\n`-terminated frame, enforcing `max` bytes. Oversized
-/// lines are consumed to their terminator (so the stream stays in sync)
-/// but reported as [`Frame::Malformed`] — one bad line poisons one
-/// request, never the connection.
-fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Frame> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut oversized = false;
-    loop {
-        let chunk = match reader.fill_buf() {
-            Ok(chunk) => chunk,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return Ok(Frame::Eof),
-        };
-        if chunk.is_empty() {
-            // EOF: a final unterminated line is still a frame.
-            if buf.is_empty() && !oversized {
-                return Ok(Frame::Eof);
-            }
-            break;
-        }
-        match chunk.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                if !oversized {
-                    buf.extend_from_slice(&chunk[..pos]);
-                }
-                reader.consume(pos + 1);
-                break;
-            }
-            None => {
-                let len = chunk.len();
-                if !oversized {
-                    buf.extend_from_slice(chunk);
-                }
-                reader.consume(len);
-            }
-        }
-        if buf.len() > max {
-            oversized = true;
-            buf.clear();
-        }
-    }
-    if oversized || buf.len() > max {
-        return Ok(Frame::Malformed("request line exceeds the frame size limit"));
-    }
-    if buf.last() == Some(&b'\r') {
-        buf.pop(); // tolerate CRLF clients
-    }
-    match String::from_utf8(buf) {
-        Ok(line) => Ok(Frame::Line(line)),
-        Err(_) => Ok(Frame::Malformed("request line is not valid UTF-8")),
-    }
-}
 
 /// Wire frame sent when a response fails to serialize. Static so it
 /// cannot itself fail, and shaped like any other error [`Response`] so
@@ -400,7 +477,7 @@ const SERIALIZE_FALLBACK_FRAME: &str = concat!(
 /// the server) down with it: the failure is counted under
 /// `serve.serialize_errors` and a static `internal` error frame goes
 /// out in its place, keeping the request/reply cadence intact.
-fn encode_frame<T: serde::ser::Serialize>(resp: &T, metrics: &ServerMetrics) -> String {
+pub(crate) fn encode_frame<T: serde::ser::Serialize>(resp: &T, metrics: &ServerMetrics) -> String {
     let mut line = match serde_json::to_string(resp) {
         Ok(line) => line,
         Err(_) => {
@@ -412,93 +489,9 @@ fn encode_frame<T: serde::ser::Serialize>(resp: &T, metrics: &ServerMetrics) -> 
     line
 }
 
-fn write_frame(stream: &mut TcpStream, metrics: &ServerMetrics, resp: &Response) -> io::Result<()> {
-    let line = encode_frame(resp, metrics);
-    stream.write_all(line.as_bytes())?;
-    stream.flush()
-}
-
-fn connection_loop(shared: &Shared, stream: TcpStream) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    while let Ok(frame) = read_frame(&mut reader, shared.cfg.max_line_bytes) {
-        let line = match frame {
-            Frame::Eof => break,
-            Frame::Malformed(reason) => {
-                shared.metrics.frame_received();
-                shared.metrics.bad_request();
-                let resp = Response::error(None, None, kind::BAD_REQUEST, reason.to_string());
-                if write_frame(&mut writer, &shared.metrics, &resp).is_err() {
-                    break;
-                }
-                continue;
-            }
-            Frame::Line(line) => line,
-        };
-        if line.trim().is_empty() {
-            continue; // tolerate blank keep-alive lines
-        }
-        shared.metrics.frame_received();
-        let req = match serde_json::from_str::<Request>(&line) {
-            Ok(req) => req,
-            Err(e) => {
-                shared.metrics.bad_request();
-                let resp = Response::error(None, None, kind::BAD_REQUEST, e.to_string());
-                if write_frame(&mut writer, &shared.metrics, &resp).is_err() {
-                    break;
-                }
-                continue;
-            }
-        };
-        if req.verb == verb::SHUTDOWN {
-            if handle_shutdown(shared, req, &mut writer) {
-                break;
-            }
-            continue;
-        }
-        let resp = route(shared, req);
-        if write_frame(&mut writer, &shared.metrics, &resp).is_err() {
-            break;
-        }
-    }
-}
-
-/// Handle the `shutdown` verb; returns true when the connection should
-/// close (the server is exiting).
-fn handle_shutdown(shared: &Shared, req: Request, writer: &mut TcpStream) -> bool {
-    match shared.gate.begin() {
-        None => {
-            shared.metrics.shed_shutdown();
-            let resp = Response::error(
-                req.id,
-                Some(verb::SHUTDOWN),
-                kind::SHUTTING_DOWN,
-                "service is already draining".into(),
-            );
-            let _ = write_frame(writer, &shared.metrics, &resp);
-            false
-        }
-        Some(ticket) => {
-            // Stop admissions; queued and in-flight work still drains.
-            shared.queue.close();
-            let resp = match ticket.snapshot.recv() {
-                Ok(snapshot) => Response::ok_stats(req.id, verb::SHUTDOWN, snapshot),
-                Err(_) => Response::error(
-                    req.id,
-                    Some(verb::SHUTDOWN),
-                    kind::INTERNAL,
-                    "server exited before the final snapshot".into(),
-                ),
-            };
-            let _ = write_frame(writer, &shared.metrics, &resp);
-            let _ = ticket.written.send(());
-            true
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// Request validation and inline verbs
+// ---------------------------------------------------------------------
 
 /// Version gate: `None` when the request's declared version is fine
 /// for its verb, otherwise the typed rejection.
@@ -507,7 +500,7 @@ fn handle_shutdown(shared: &Shared, req: Request, writer: &mut TcpStream) -> boo
 /// PR 2-era clients keep working unchanged. Session verbs demand an
 /// explicit `version ≥ 2`; versions newer than this build are refused
 /// outright (the client expects capabilities we cannot honor).
-fn check_version(req: &Request) -> Option<Response> {
+pub(crate) fn check_version(req: &Request) -> Option<Response> {
     let declared = req.version.unwrap_or(1);
     if declared > PROTOCOL_VERSION {
         return Some(Response::error(
@@ -529,107 +522,8 @@ fn check_version(req: &Request) -> Option<Response> {
     None
 }
 
-/// Route a parsed (non-shutdown) request to its response. Blocks for
-/// admitted solve/batch/session work — per-connection request/reply
-/// stays strictly ordered.
-fn route(shared: &Shared, req: Request) -> Response {
-    if let Some(reject) = check_version(&req) {
-        shared.metrics.bad_request();
-        return reject;
-    }
-    match req.verb.as_str() {
-        verb::HEALTH => {
-            if shared.gate.is_draining() {
-                Response::error(
-                    req.id,
-                    Some(verb::HEALTH),
-                    kind::SHUTTING_DOWN,
-                    "service is draining".into(),
-                )
-            } else {
-                Response::ok(req.id, verb::HEALTH)
-            }
-        }
-        verb::STATS => {
-            let snapshot = shared.metrics.snapshot(
-                &shared.engine,
-                shared.started,
-                shared.queue.len(),
-                shared.queue.capacity(),
-            );
-            Response::ok_stats(req.id, verb::STATS, snapshot)
-        }
-        verb::SOLVE | verb::BATCH | verb::OPEN | verb::AMEND => admit(shared, req),
-        verb::CLOSE => handle_close(shared, &req),
-        other => {
-            shared.metrics.bad_request();
-            Response::error(
-                req.id,
-                Some(other),
-                kind::BAD_REQUEST,
-                format!("unknown verb '{other}'"),
-            )
-        }
-    }
-}
-
-/// Validate, admit (or shed), and await the worker's reply.
-fn admit(shared: &Shared, req: Request) -> Response {
-    let id = req.id;
-    let verb_name = req.verb.clone();
-    if shared.gate.is_draining() {
-        shared.metrics.shed_shutdown();
-        return Response::error(
-            id,
-            Some(verb_name.as_str()),
-            kind::SHUTTING_DOWN,
-            "service is draining".into(),
-        );
-    }
-    let work = match validate(&req, shared.cfg.default_timeout) {
-        Ok(work) => work,
-        Err(message) => {
-            shared.metrics.bad_request();
-            return Response::error(id, Some(verb_name.as_str()), kind::BAD_REQUEST, message);
-        }
-    };
-    let (reply_tx, reply_rx) = channel::bounded(1);
-    let job = Job { id, work, reply: reply_tx, admitted: Instant::now() };
-    match shared.queue.try_push(job) {
-        Ok(()) => {
-            shared.metrics.admitted();
-            reply_rx.recv().unwrap_or_else(|_| {
-                Response::error(
-                    id,
-                    Some(verb_name.as_str()),
-                    kind::INTERNAL,
-                    "worker exited before answering".into(),
-                )
-            })
-        }
-        Err(Admit::Full(_)) => {
-            shared.metrics.shed_overload();
-            Response::error(
-                id,
-                Some(verb_name.as_str()),
-                kind::OVERLOADED,
-                format!("admission queue full ({} slots)", shared.queue.capacity()),
-            )
-        }
-        Err(Admit::Closed(_)) => {
-            shared.metrics.shed_shutdown();
-            Response::error(
-                id,
-                Some(verb_name.as_str()),
-                kind::SHUTTING_DOWN,
-                "service is draining".into(),
-            )
-        }
-    }
-}
-
 /// Turn a wire request into validated work, applying server defaults.
-fn validate(req: &Request, default_timeout: Option<Duration>) -> Result<Work, String> {
+pub(crate) fn validate(req: &Request, default_timeout: Option<Duration>) -> Result<Work, String> {
     let opts = {
         let mut opts = SolverOptions::exact();
         opts.backend = match req.backend.as_deref() {
@@ -702,25 +596,53 @@ fn validate(req: &Request, default_timeout: Option<Duration>) -> Result<Work, St
     }
 }
 
-/// Evict sessions idle past the TTL. Called lazily on every session
-/// verb; counts each eviction under `serve.sessions_expired`.
-fn sweep_sessions(shared: &Shared) {
+/// Evict sessions idle past the TTL. Called eagerly on session verbs
+/// and `stats`, and periodically by reactor 0; counts each eviction
+/// under `serve.sessions_expired`.
+pub(crate) fn sweep_sessions(shared: &Shared) {
     let ttl = shared.cfg.session_ttl;
     let mut table = shared.sessions.lock().expect("sessions lock");
     let expired: Vec<u64> =
-        table.iter().filter(|(_, touched)| touched.elapsed() > ttl).map(|(&id, _)| id).collect();
+        table.iter().filter(|(_, e)| e.touched.elapsed() > ttl).map(|(&id, _)| id).collect();
     for id in expired {
-        table.remove(&id);
-        shared.engine.close_session(SessionId::from(id));
-        shared.metrics.session_expired();
+        if let Some(entry) = table.remove(&id) {
+            shared.shards[entry.shard].engine.close_session(entry.engine);
+            shared.metrics.session_expired();
+        }
     }
+}
+
+/// Force-close every live session during the shutdown drain; counts
+/// each under `serve.sessions_evicted`.
+pub(crate) fn drain_sessions(shared: &Shared) {
+    let mut table = shared.sessions.lock().expect("sessions lock");
+    for (_, entry) in table.drain() {
+        shared.shards[entry.shard].engine.close_session(entry.engine);
+        shared.metrics.session_evicted();
+    }
+}
+
+/// The merged stats plane: one snapshot summing every router shard.
+pub(crate) fn snapshot_all(shared: &Shared) -> crate::protocol::StatsReply {
+    let engines: Vec<&Engine> = shared.shards.iter().map(|s| &s.engine).collect();
+    let queue_len: usize = shared.shards.iter().map(|s| s.queue.len()).sum();
+    let queue_capacity: usize = shared.shards.iter().map(|s| s.queue.capacity()).sum();
+    let sessions_open = shared.sessions.lock().expect("sessions lock").len() as u64;
+    shared.metrics.snapshot_merged(
+        &engines,
+        shared.started,
+        queue_len,
+        queue_capacity,
+        sessions_open,
+        shared.shards.len() as u64,
+    )
 }
 
 /// `close` is answered inline (no solve happens): drop the session from
 /// both tables. Closing an unknown (or already-evicted) session is the
 /// typed [`kind::UNKNOWN_SESSION`] error so clients can distinguish
 /// "closed twice" from "never opened".
-fn handle_close(shared: &Shared, req: &Request) -> Response {
+pub(crate) fn handle_close(shared: &Shared, req: &Request) -> Response {
     sweep_sessions(shared);
     let Some(session) = req.session else {
         shared.metrics.bad_request();
@@ -731,8 +653,9 @@ fn handle_close(shared: &Shared, req: &Request) -> Response {
             "close needs a `session` id".into(),
         );
     };
-    let known = shared.sessions.lock().expect("sessions lock").remove(&session).is_some();
-    if known && shared.engine.close_session(SessionId::from(session)) {
+    let entry = shared.sessions.lock().expect("sessions lock").remove(&session);
+    let closed = entry.is_some_and(|e| shared.shards[e.shard].engine.close_session(e.engine));
+    if closed {
         shared.metrics.session_closed();
         Response::ok(req.id, verb::CLOSE).with_version(PROTOCOL_VERSION).with_session(session)
     } else {
@@ -750,26 +673,40 @@ fn handle_close(shared: &Shared, req: &Request) -> Response {
 // Workers
 // ---------------------------------------------------------------------
 
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
+fn worker_loop(shared: &Arc<Shared>, shard_idx: usize) {
+    while let Some(job) = shared.shards[shard_idx].queue.pop() {
         if shared.cfg.delay_ms > 0 {
             thread::sleep(Duration::from_millis(shared.cfg.delay_ms));
         }
-        let Job { id, work, reply, admitted } = job;
+        let Job { id, work, conn, seq, reply_to, admitted } = job;
+        let was_open = matches!(work, Work::Open { .. });
         let resp = match work {
-            Work::Solve { inst, method, opts, seed, timeout, include_schedule } => {
-                execute_solve(shared, id, inst, method, opts, seed, timeout, include_schedule)
-            }
+            Work::Solve { inst, method, opts, seed, timeout, include_schedule } => execute_solve(
+                shared,
+                shard_idx,
+                id,
+                inst,
+                method,
+                opts,
+                seed,
+                timeout,
+                include_schedule,
+            ),
             Work::Batch { instances, opts, timeout } => {
-                execute_batch(shared, id, instances, opts, timeout)
+                execute_batch(shared, shard_idx, id, instances, opts, timeout)
             }
             Work::Open { inst, opts, timeout, include_schedule } => {
-                execute_open(shared, id, inst, opts, timeout, include_schedule)
+                execute_open(shared, shard_idx, id, inst, opts, timeout, include_schedule)
             }
             Work::Amend { session, delta, timeout, include_schedule } => {
                 execute_amend(shared, id, session, delta, timeout, include_schedule)
             }
         };
+        if was_open {
+            // The cap reservation taken at admission is now either a
+            // real table entry or moot.
+            shared.open_reservations.fetch_sub(1, Ordering::SeqCst);
+        }
         let deadline_overrun = resp.error_kind() == Some(kind::TIMED_OUT);
         let solve_error = matches!(resp.error_kind(), Some(kind::INFEASIBLE) | Some(kind::FAILED));
         shared.metrics.finished(
@@ -777,14 +714,16 @@ fn worker_loop(shared: &Arc<Shared>) {
             deadline_overrun,
             solve_error,
         );
-        // The handler may have died with its connection; nothing to do.
-        let _ = reply.send(resp);
+        // Stale replies (deadline-preempted, connection gone) are
+        // dropped by the reactor's seq check; nothing to do here.
+        let _ = reply_to.send(Msg::Reply { conn, seq, resp: Box::new(resp) });
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn execute_solve(
     shared: &Arc<Shared>,
+    shard_idx: usize,
     id: Option<u64>,
     inst: Instance,
     method: Method,
@@ -806,15 +745,19 @@ fn execute_solve(
         other => other,
     };
     if method == Method::Nested {
-        // Nested solves go through the shared engine so repeats across
-        // requests (and clients) hit its content-keyed cache.
+        // Nested solves go through the shard engine so repeats across
+        // requests (and clients) hit its content-keyed cache — and the
+        // consistent-hash routing sends repeats to the same shard.
         let outcome = match timeout {
-            None => shared.engine.solve_one(&inst, &opts),
+            None => shared.shards[shard_idx].engine.solve_one(&inst, &opts),
             Some(budget) => {
                 let engine_shared = Arc::clone(shared);
                 let inst = inst.clone();
                 let opts = opts.clone();
-                match with_budget(move || engine_shared.engine.solve_one(&inst, &opts), budget) {
+                match with_budget(
+                    move || engine_shared.shards[shard_idx].engine.solve_one(&inst, &opts),
+                    budget,
+                ) {
                     Ok(outcome) => outcome,
                     Err(Interrupt::TimedOut) => Outcome::TimedOut,
                     Err(Interrupt::Panicked(msg)) => Outcome::Failed(msg),
@@ -882,17 +825,21 @@ fn execute_solve(
 
 fn execute_batch(
     shared: &Arc<Shared>,
+    shard_idx: usize,
     id: Option<u64>,
     instances: Vec<Instance>,
     opts: SolverOptions,
     timeout: Option<Duration>,
 ) -> Response {
     let result = match timeout {
-        None => shared.engine.solve_batch(&instances, &opts),
+        None => shared.shards[shard_idx].engine.solve_batch(&instances, &opts),
         Some(budget) => {
             let engine_shared = Arc::clone(shared);
             let opts = opts.clone();
-            match with_budget(move || engine_shared.engine.solve_batch(&instances, &opts), budget) {
+            match with_budget(
+                move || engine_shared.shards[shard_idx].engine.solve_batch(&instances, &opts),
+                budget,
+            ) {
                 Ok(result) => result,
                 Err(Interrupt::TimedOut) => return deadline_response(id, verb::BATCH, timeout),
                 Err(Interrupt::Panicked(msg)) => {
@@ -972,6 +919,7 @@ fn session_outcome_response(
 
 fn execute_open(
     shared: &Arc<Shared>,
+    shard_idx: usize,
     id: Option<u64>,
     inst: Instance,
     opts: SolverOptions,
@@ -982,15 +930,15 @@ fn execute_open(
     let start = Instant::now();
     let opened = match timeout {
         None => {
-            let session = shared.engine.open_session(inst, &opts);
-            Ok((session.id().as_u64(), session.outcome()))
+            let session = shared.shards[shard_idx].engine.open_session(inst, &opts);
+            Ok((session.id(), session.outcome()))
         }
         Some(budget) => {
             let engine_shared = Arc::clone(shared);
             with_budget(
                 move || {
-                    let session = engine_shared.engine.open_session(inst, &opts);
-                    (session.id().as_u64(), session.outcome())
+                    let session = engine_shared.shards[shard_idx].engine.open_session(inst, &opts);
+                    (session.id(), session.outcome())
                 },
                 budget,
             )
@@ -998,13 +946,19 @@ fn execute_open(
     };
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
     match opened {
-        Ok((session, outcome)) => {
-            shared.sessions.lock().expect("sessions lock").insert(session, Instant::now());
+        Ok((engine_id, outcome)) => {
+            // Engine session ids are shard-local: allocate the
+            // wire-visible id here, where uniqueness is global.
+            let wire = shared.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+            shared.sessions.lock().expect("sessions lock").insert(
+                wire,
+                SessionEntry { shard: shard_idx, engine: engine_id, touched: Instant::now() },
+            );
             shared.metrics.session_opened();
             session_outcome_response(
                 id,
                 verb::OPEN,
-                session,
+                wire,
                 outcome,
                 elapsed_ms,
                 include_schedule,
@@ -1012,10 +966,10 @@ fn execute_open(
             )
         }
         // The budget thread keeps running detached on a timeout, so the
-        // engine session it opens is unreachable wire-side; the next
-        // sweep cannot see it either (it was never registered), but the
-        // engine table drops it with the server. Opens are expected to
-        // fit their budget; this is the honest failure mode.
+        // engine session it opens is unreachable wire-side; it was
+        // never registered, and the engine table drops it with the
+        // server. Opens are expected to fit their budget; this is the
+        // honest failure mode.
         Err(Interrupt::TimedOut) => {
             deadline_response(id, verb::OPEN, timeout).with_version(PROTOCOL_VERSION)
         }
@@ -1043,24 +997,31 @@ fn execute_amend(
         )
         .with_version(PROTOCOL_VERSION)
     };
-    if !shared.sessions.lock().expect("sessions lock").contains_key(&session) {
+    // Resolve the wire id to its owning shard. The reactor routed by
+    // the table too, but this lookup is the authoritative one (the
+    // entry may have expired or closed while the job sat queued).
+    let entry = {
+        let table = shared.sessions.lock().expect("sessions lock");
+        table.get(&session).map(|e| (e.shard, e.engine))
+    };
+    let Some((shard, engine_id)) = entry else {
         return unknown();
-    }
+    };
     let start = Instant::now();
     // `None` inside the budget result means the session vanished
     // between the table check and the engine lookup (a concurrent
     // `close` won the race) — that is "unknown session", not an error.
     let amended = match timeout {
         None => {
-            Ok(shared.engine.session(SessionId::from(session)).map(|s| s.amend(&delta.to_delta())))
+            Ok(shared.shards[shard].engine.session(engine_id).map(|s| s.amend(&delta.to_delta())))
         }
         Some(budget) => {
             let engine_shared = Arc::clone(shared);
             with_budget(
                 move || {
-                    engine_shared
+                    engine_shared.shards[shard]
                         .engine
-                        .session(SessionId::from(session))
+                        .session(engine_id)
                         .map(|s| s.amend(&delta.to_delta()))
                 },
                 budget,
@@ -1071,7 +1032,9 @@ fn execute_amend(
     match amended {
         Ok(None) => unknown(),
         Ok(Some(Ok(outcome))) => {
-            shared.sessions.lock().expect("sessions lock").insert(session, Instant::now());
+            if let Some(e) = shared.sessions.lock().expect("sessions lock").get_mut(&session) {
+                e.touched = Instant::now();
+            }
             session_outcome_response(
                 id,
                 verb::AMEND,
@@ -1097,7 +1060,11 @@ fn execute_amend(
     }
 }
 
-fn deadline_response(id: Option<u64>, verb_name: &str, timeout: Option<Duration>) -> Response {
+pub(crate) fn deadline_response(
+    id: Option<u64>,
+    verb_name: &str,
+    timeout: Option<Duration>,
+) -> Response {
     let budget = timeout.map(|t| t.as_millis()).unwrap_or(0);
     Response::error(
         id,
@@ -1110,40 +1077,6 @@ fn deadline_response(id: Option<u64>, verb_name: &str, timeout: Option<Duration>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
-
-    #[test]
-    fn read_frame_splits_lines_and_survives_oversize() {
-        let data = b"short\nway too long line here\nnext\n";
-        let mut reader = BufReader::new(Cursor::new(&data[..]));
-        match read_frame(&mut reader, 10).unwrap() {
-            Frame::Line(s) => assert_eq!(s, "short"),
-            _ => panic!("expected a line"),
-        }
-        assert!(matches!(read_frame(&mut reader, 10).unwrap(), Frame::Malformed(_)));
-        // The oversized line was consumed to its terminator: the stream
-        // is back in sync.
-        match read_frame(&mut reader, 10).unwrap() {
-            Frame::Line(s) => assert_eq!(s, "next"),
-            _ => panic!("expected a line"),
-        }
-        assert!(matches!(read_frame(&mut reader, 10).unwrap(), Frame::Eof));
-    }
-
-    #[test]
-    fn read_frame_handles_crlf_final_fragment_and_bad_utf8() {
-        let mut reader = BufReader::new(Cursor::new(&b"a\r\ntail"[..]));
-        match read_frame(&mut reader, 100).unwrap() {
-            Frame::Line(s) => assert_eq!(s, "a"),
-            _ => panic!("expected a line"),
-        }
-        match read_frame(&mut reader, 100).unwrap() {
-            Frame::Line(s) => assert_eq!(s, "tail"),
-            _ => panic!("unterminated final line is still a frame"),
-        }
-        let mut reader = BufReader::new(Cursor::new(&b"\xff\xfe\n"[..]));
-        assert!(matches!(read_frame(&mut reader, 100).unwrap(), Frame::Malformed(_)));
-    }
 
     #[test]
     fn validate_rejects_bad_shapes() {
@@ -1183,6 +1116,13 @@ mod tests {
             }
             _ => panic!("expected solve work"),
         }
+    }
+
+    #[test]
+    fn work_shares_split_evenly_with_a_floor() {
+        assert_eq!((0..3).map(|i| share(7, 3, i)).collect::<Vec<_>>(), vec![3, 2, 2]);
+        assert_eq!((0..4).map(|i| share(8, 4, i)).collect::<Vec<_>>(), vec![2, 2, 2, 2]);
+        assert_eq!((0..4).map(|i| share(1, 4, i)).sum::<usize>(), 1);
     }
 
     /// A payload whose serialization always fails, standing in for a

@@ -2,60 +2,40 @@
 //!
 //! The `shutdown` verb follows a strict sequence:
 //!
-//! 1. The connection handler that receives the verb flips the gate
-//!    (first caller wins) and closes the admission queue — from this
+//! 1. The reactor that receives the verb flips the gate (first caller
+//!    wins) and closes every shard's admission queue — from this
 //!    instant new work is refused with `shutting_down`, while
 //!    everything already admitted stays poppable.
-//! 2. The accept loop notices the gate, stops accepting, and joins the
-//!    workers; joining only returns once the queue is drained and every
-//!    in-flight solve has been answered.
-//! 3. The accept loop resolves the gate with the final stats snapshot;
-//!    the waiting handler writes it as the `shutdown` response and
-//!    acknowledges, at which point the server tears down the remaining
-//!    connections and returns.
+//! 2. The coordinator (the thread inside [`Server::run`]) joins the
+//!    solver workers; joining only returns once every queue is drained
+//!    and every in-flight solve has been answered through its reactor.
+//! 3. The coordinator evicts all live sessions, builds the final merged
+//!    stats snapshot, and hands it back to the requester's reactor,
+//!    which writes it as the `shutdown` response, acknowledges the
+//!    flush, and lets the coordinator stop every event loop.
 //!
 //! A second `shutdown` while draining gets a `shutting_down` error —
 //! exactly one requester receives the final snapshot.
+//!
+//! The gate itself is just the first-wins flag; the snapshot handoff
+//! rides the server's coordinator channels ([`Server::run`]), not this
+//! type.
+//!
+//! [`Server::run`]: crate::server::Server::run
 
-use crate::protocol::StatsReply;
-use crossbeam::channel::{self, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
-
-/// Channels handed to the winning `shutdown` requester: where the final
-/// snapshot will arrive, and where to acknowledge having written it.
-pub struct DrainTicket {
-    /// Resolved with the final stats snapshot after the drain.
-    pub snapshot: Receiver<StatsReply>,
-    /// Signal that the shutdown response hit the socket.
-    pub written: Sender<()>,
-}
-
-struct Waiter {
-    snapshot: Sender<StatsReply>,
-    written: Receiver<()>,
-}
 
 /// One-shot drain gate shared by every thread of the server.
 #[derive(Default)]
 pub struct ShutdownGate {
     draining: AtomicBool,
-    waiter: Mutex<Option<Waiter>>,
 }
 
 impl ShutdownGate {
-    /// Begin draining. The first caller gets a [`DrainTicket`]; later
-    /// callers get `None` (the service is already draining).
-    pub fn begin(&self) -> Option<DrainTicket> {
-        if self.draining.swap(true, Ordering::SeqCst) {
-            return None;
-        }
-        let (snap_tx, snap_rx) = channel::bounded(1);
-        let (ack_tx, ack_rx) = channel::bounded(1);
-        *self.waiter.lock().expect("gate lock") =
-            Some(Waiter { snapshot: snap_tx, written: ack_rx });
-        Some(DrainTicket { snapshot: snap_rx, written: ack_tx })
+    /// Begin draining. Returns `true` for the first caller only; later
+    /// callers get `false` (the service is already draining).
+    pub fn begin(&self) -> bool {
+        !self.draining.swap(true, Ordering::SeqCst)
     }
 
     /// True once [`begin`](Self::begin) has been called.
@@ -63,21 +43,8 @@ impl ShutdownGate {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Deliver the final snapshot to the waiting requester (if any) and
-    /// give it `grace` to write the response before teardown proceeds.
-    pub fn resolve(&self, snapshot: StatsReply, grace: Duration) {
-        let waiter = self.waiter.lock().expect("gate lock").take();
-        if let Some(waiter) = waiter {
-            // The requester may have disconnected mid-drain; both the
-            // send and the ack wait are best-effort.
-            if waiter.snapshot.send(snapshot).is_ok() {
-                let _ = waiter.written.recv_timeout(grace);
-            }
-        }
-    }
-
-    /// Flip the gate without a waiting requester (used when the server
-    /// is shut down programmatically rather than via the verb).
+    /// Flip the gate without caring about winner-ship (used when the
+    /// server is shut down programmatically rather than via the verb).
     pub fn begin_silent(&self) {
         self.draining.store(true, Ordering::SeqCst);
     }
@@ -86,56 +53,22 @@ impl ShutdownGate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atsched_engine::{EngineTotals, Percentiles};
-
-    fn snapshot() -> StatsReply {
-        StatsReply {
-            uptime_ms: 1.0,
-            received: 5,
-            bad_requests: 0,
-            accepted: 4,
-            rejected_overload: 1,
-            rejected_shutdown: 0,
-            completed: 4,
-            solve_errors: 0,
-            timed_out: 0,
-            inflight: 0,
-            queue_len: 0,
-            queue_capacity: 8,
-            cache_hits: 2,
-            cache_misses: 2,
-            cache_hit_rate: 0.5,
-            cache_entries: 2,
-            engine: EngineTotals::default(),
-            latency_ms: Percentiles::default(),
-            registry: atsched_obs::RegistrySnapshot::default(),
-        }
-    }
 
     #[test]
-    fn first_caller_wins_and_receives_the_snapshot() {
+    fn first_caller_wins() {
         let gate = ShutdownGate::default();
         assert!(!gate.is_draining());
-        let ticket = gate.begin().expect("first begin wins");
+        assert!(gate.begin(), "first begin wins");
         assert!(gate.is_draining());
-        assert!(gate.begin().is_none(), "second begin loses");
-
-        // Ack from a helper thread so resolve()'s grace wait is satisfied
-        // the way a live connection handler would.
-        let writer = std::thread::spawn(move || {
-            let got = ticket.snapshot.recv().unwrap();
-            ticket.written.send(()).unwrap();
-            got
-        });
-        gate.resolve(snapshot(), Duration::from_secs(5));
-        assert_eq!(writer.join().unwrap().accepted, 4);
+        assert!(!gate.begin(), "second begin loses");
+        assert!(gate.is_draining());
     }
 
     #[test]
-    fn resolve_without_waiter_is_a_no_op() {
+    fn silent_begin_sets_the_flag_and_spoils_later_winners() {
         let gate = ShutdownGate::default();
         gate.begin_silent();
         assert!(gate.is_draining());
-        gate.resolve(snapshot(), Duration::from_millis(10)); // must not hang
+        assert!(!gate.begin(), "silent begin already started the drain");
     }
 }

@@ -32,6 +32,8 @@ pub struct ServerMetrics {
     sessions_opened: Arc<Counter>,
     sessions_closed: Arc<Counter>,
     sessions_expired: Arc<Counter>,
+    sessions_evicted: Arc<Counter>,
+    deadline_preempts: Arc<Counter>,
     inflight: Arc<Gauge>,
     /// End-to-end latency (admission → response), lifetime histogram.
     latency: Arc<Histogram>,
@@ -59,6 +61,8 @@ impl ServerMetrics {
             sessions_opened: registry.counter("serve.sessions_opened"),
             sessions_closed: registry.counter("serve.sessions_closed"),
             sessions_expired: registry.counter("serve.sessions_expired"),
+            sessions_evicted: registry.counter("serve.sessions_evicted"),
+            deadline_preempts: registry.counter("serve.deadline_preempts"),
             inflight: registry.gauge("serve.inflight"),
             latency: registry.histogram("serve.latency_ms"),
             registry,
@@ -117,6 +121,17 @@ impl ServerMetrics {
         self.sessions_expired.inc();
     }
 
+    /// A live session was force-closed by the shutdown drain.
+    pub fn session_evicted(&self) {
+        self.sessions_evicted.inc();
+    }
+
+    /// A reactor answered `timed_out` for a request whose worker had
+    /// not replied by the deadline (plus slack).
+    pub fn deadline_preempt(&self) {
+        self.deadline_preempts.inc();
+    }
+
     /// An admitted request finished with the given disposition.
     pub fn finished(&self, latency_ms: f64, deadline_overrun: bool, solve_error: bool) {
         self.completed.inc();
@@ -135,7 +150,9 @@ impl ServerMetrics {
         self.inflight.get().max(0) as u64
     }
 
-    /// Build a wire-ready snapshot of everything observable.
+    /// Build a wire-ready snapshot of everything observable for a
+    /// single-engine server (the pre-router shape): a thin wrapper over
+    /// [`snapshot_merged`](Self::snapshot_merged).
     pub fn snapshot(
         &self,
         engine: &Engine,
@@ -143,13 +160,46 @@ impl ServerMetrics {
         queue_len: usize,
         queue_capacity: usize,
     ) -> StatsReply {
-        let cache = engine.cache_stats();
+        self.snapshot_merged(&[engine], started, queue_len, queue_capacity, 0, 1)
+    }
+
+    /// Build a wire-ready snapshot merged across every router shard:
+    /// cache and outcome totals are summed over the shard engines,
+    /// queue figures are the caller's totals, and the server-level
+    /// counters come from the one registry every shard writes into.
+    pub fn snapshot_merged(
+        &self,
+        engines: &[&Engine],
+        started: Instant,
+        queue_len: usize,
+        queue_capacity: usize,
+        sessions_open: u64,
+        router_workers: u64,
+    ) -> StatsReply {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut evictions = 0u64;
+        let mut entries = 0u64;
+        let mut totals = atsched_engine::EngineTotals::default();
+        for engine in engines {
+            let cache = engine.cache_stats();
+            hits += cache.hits;
+            misses += cache.misses;
+            evictions += cache.evictions;
+            entries += engine.cache_len() as u64;
+            let t = engine.totals();
+            totals.solved += t.solved;
+            totals.infeasible += t.infeasible;
+            totals.timed_out += t.timed_out;
+            totals.failed += t.failed;
+        }
+        let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
         // Mirror externally-sourced cache totals into gauges so the
         // registry snapshot is self-contained for generic consumers.
-        self.registry.gauge("engine.cache.hits").set(cache.hits as i64);
-        self.registry.gauge("engine.cache.misses").set(cache.misses as i64);
-        self.registry.gauge("engine.cache.evictions").set(cache.evictions as i64);
-        self.registry.gauge("engine.cache.entries").set(engine.cache_len() as i64);
+        self.registry.gauge("engine.cache.hits").set(hits as i64);
+        self.registry.gauge("engine.cache.misses").set(misses as i64);
+        self.registry.gauge("engine.cache.evictions").set(evictions as i64);
+        self.registry.gauge("engine.cache.entries").set(entries as i64);
         StatsReply {
             uptime_ms: started.elapsed().as_secs_f64() * 1e3,
             received: self.received.get(),
@@ -163,11 +213,13 @@ impl ServerMetrics {
             inflight: self.inflight(),
             queue_len: queue_len as u64,
             queue_capacity: queue_capacity as u64,
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            cache_hit_rate: cache.hit_rate(),
-            cache_entries: engine.cache_len() as u64,
-            engine: engine.totals(),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: hit_rate,
+            cache_entries: entries,
+            sessions_open,
+            router_workers,
+            engine: totals,
             latency_ms: Percentiles::from_snapshot(&HistogramSnapshot::of(&self.latency)),
             registry: self.registry.snapshot(),
         }

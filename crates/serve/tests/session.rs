@@ -182,6 +182,114 @@ fn v1_frames_keep_working_against_a_v2_server() {
     handle.join().unwrap();
 }
 
+/// A raw newline-delimited connection that stays open across many
+/// exchanges — unlike [`raw_exchange`], which dials per frame. Used to
+/// prove per-frame fault containment and v1/v2 interleaving on one
+/// socket.
+struct RawConn {
+    reader: BufReader<TcpStream>,
+}
+
+impl RawConn {
+    fn connect(addr: std::net::SocketAddr) -> RawConn {
+        let stream = TcpStream::connect(addr).unwrap();
+        RawConn { reader: BufReader::new(stream) }
+    }
+
+    fn exchange(&mut self, line: &str) -> atsched_serve::Response {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        assert!(!reply.is_empty(), "server closed the connection");
+        serde_json::from_str(reply.trim_end()).unwrap()
+    }
+}
+
+#[test]
+fn malformed_delta_in_an_amend_frame_is_typed_and_keeps_the_connection() {
+    let handle = spawn_server(ServerConfig::default().workers(1));
+    let mut conn = RawConn::connect(handle.addr());
+
+    let opened = conn.exchange(
+        r#"{"id":1,"verb":"open","version":2,"instance":{"g":2,"jobs":[{"release":0,"deadline":4,"processing":2},{"release":1,"deadline":3,"processing":1}]}}"#,
+    );
+    assert!(opened.is_ok(), "{opened:?}");
+    let session = opened.session.expect("session id");
+
+    // The frame is valid JSON and a well-formed amend envelope, but the
+    // `delta` inside is not a DeltaSpec. The reply is a typed
+    // bad_request — not a dropped connection, not a panic.
+    let resp = conn.exchange(&format!(
+        r#"{{"id":2,"verb":"amend","version":2,"session":{session},"delta":{{"remove":"third"}}}}"#
+    ));
+    assert_eq!(resp.error_kind(), Some(kind::BAD_REQUEST), "{resp:?}");
+
+    // So is a delta of the wrong JSON type entirely.
+    let resp = conn.exchange(&format!(
+        r#"{{"id":3,"verb":"amend","version":2,"session":{session},"delta":[1,2,3]}}"#
+    ));
+    assert_eq!(resp.error_kind(), Some(kind::BAD_REQUEST), "{resp:?}");
+
+    // The connection is still alive and the session untouched: a
+    // well-formed amend on the same socket succeeds.
+    let resp = conn.exchange(&format!(
+        r#"{{"id":4,"verb":"amend","version":2,"session":{session},"delta":{{"add":[],"remove":[1],"modify":[]}}}}"#
+    ));
+    assert!(resp.is_ok(), "{resp:?}");
+    assert_eq!(resp.id, Some(4));
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().expect("drain");
+    handle.join().unwrap();
+}
+
+#[test]
+fn v1_and_v2_frames_interleave_on_one_connection() {
+    let handle = spawn_server(ServerConfig::default().workers(1));
+    let mut conn = RawConn::connect(handle.addr());
+
+    let inst = r#"{"g":2,"jobs":[{"release":0,"deadline":4,"processing":2}]}"#;
+
+    // v1 solve (no version field at all).
+    let resp = conn.exchange(&format!(r#"{{"id":1,"verb":"solve","instance":{inst}}}"#));
+    assert!(resp.is_ok(), "{resp:?}");
+    assert!(resp.solve.is_some());
+
+    // v2 open on the same socket.
+    let resp = conn.exchange(&format!(r#"{{"id":2,"verb":"open","version":2,"instance":{inst}}}"#));
+    assert!(resp.is_ok(), "{resp:?}");
+    let session = resp.session.expect("session id");
+
+    // Back to v1: stats still answers, and sees the open session.
+    let resp = conn.exchange(r#"{"id":3,"verb":"stats"}"#);
+    assert!(resp.is_ok(), "{resp:?}");
+
+    // v2 amend against the session opened two frames ago.
+    let resp = conn.exchange(&format!(
+        r#"{{"id":4,"verb":"amend","version":2,"session":{session},"delta":{{"add":[{{"release":1,"deadline":3,"processing":1}}],"remove":[],"modify":[]}}}}"#
+    ));
+    assert!(resp.is_ok(), "{resp:?}");
+
+    // v1 solve again — version statefulness must not leak between frames.
+    let resp = conn.exchange(&format!(r#"{{"id":5,"verb":"solve","instance":{inst}}}"#));
+    assert!(resp.is_ok(), "{resp:?}");
+
+    // v2 close ends the session; a second close is the typed error.
+    let resp =
+        conn.exchange(&format!(r#"{{"id":6,"verb":"close","version":2,"session":{session}}}"#));
+    assert!(resp.is_ok(), "{resp:?}");
+    let resp =
+        conn.exchange(&format!(r#"{{"id":7,"verb":"close","version":2,"session":{session}}}"#));
+    assert_eq!(resp.error_kind(), Some(kind::UNKNOWN_SESSION), "{resp:?}");
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().expect("drain");
+    handle.join().unwrap();
+}
+
 #[test]
 fn v2_session_replies_parse_for_version_blind_readers() {
     let handle = spawn_server(ServerConfig::default().workers(1));
