@@ -15,7 +15,7 @@
 //!     [--runs N] [--out FILE] [--compare PREV.json] [--in REPORT.json] \
 //!     [--serve] [--serve-only] [--serve-conns N] [--serve-reqs N] \
 //!     [--serve-router N] [--serve-workers N] [--serve-addr HOST:PORT] \
-//!     [--serve-scale-addr HOST:PORT] [--serve-scale-conns N]
+//!     [--serve-scrape] [--serve-scale-addr HOST:PORT] [--serve-scale-conns N]
 //! ```
 //!
 //! `--tag` names the baseline and derives the default output file
@@ -31,14 +31,20 @@
 //! connections against an in-process server (or an external one named
 //! by `--serve-addr`) and records connect/request latency
 //! distributions. `--serve-only` skips the solve corpus and emits just
-//! the serve section — CI's load-smoke job uses this. A separate
+//! the serve section — CI's load-smoke job uses this. `--serve-scrape`
+//! (in-process only) also opens the HTTP scrape listener and polls
+//! `GET /metrics` throughout the load run, failing the bench if any
+//! exposition fails to parse, the request counter moves backwards, or
+//! the last scrape disagrees with the drain snapshot. A separate
 //! `--serve-scale-addr` section targets an already-running server for
 //! fleet sizes (10k+ connections) that want the client and server in
 //! different processes, splitting the per-process fd budget.
 //!
 //! `--compare PREV.json` gates the run against a previous baseline:
 //! the lp-stage p50 must not regress more than 10%, an amend section
-//! must keep its ratio at or below 0.5x, and a serve section must keep
+//! must keep its ratio at or below 0.5x, an obs section must keep the
+//! telemetry plane's solve-p50 overhead at or below +3%, and a serve
+//! section must record zero errors and zero request timeouts and keep
 //! its request p99 under `1.75x previous + 10 ms` at the same
 //! connection count. Reports are stamped with a `schema_version`; a
 //! baseline *lacking a section the current report carries* is a hard
@@ -62,7 +68,7 @@ use std::time::{Duration, Instant};
 
 /// Report layout version stamped into every baseline. Bump when the
 /// section set or gated fields change shape.
-const SCHEMA_VERSION: u64 = 2;
+const SCHEMA_VERSION: u64 = 3;
 
 /// Wrapper giving a hand-built [`Value`] tree a `Serialize` impl (the
 /// vendored serde stub has none for `Value` itself).
@@ -137,10 +143,18 @@ const AMEND_RATIO_LIMIT: f64 = 0.5;
 const SERVE_P99_FACTOR: f64 = 1.75;
 const SERVE_P99_SLACK_MS: f64 = 10.0;
 
+/// Telemetry-plane overhead gate: solve p50 with the full observability
+/// plane installed (collector + windowed instruments + request trace)
+/// may cost at most this much over the plain solve p50.
+const OBS_OVERHEAD_LIMIT_PCT: f64 = 3.0;
+
 /// Sections whose presence in the current report obliges the baseline
 /// to carry them too. A baseline missing one of these measured a
 /// different workload; silently skipping its gate would wave a
 /// regression through, so `--compare` refuses with a schema error.
+/// (`obs` is *not* listed: its gate is an absolute limit on the current
+/// report, needing no baseline counterpart, so v2 baselines stay
+/// comparable.)
 const GATED_SECTIONS: &[&str] = &["stages", "shard", "amend", "serve", "serve_scale"];
 
 /// The `schema_version` a report was written with; reports predating
@@ -191,6 +205,28 @@ fn check_amend_gate(report: &Value, label: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Gate the telemetry-plane overhead recorded in a report. Reports
+/// without an `obs` section (pre-v3, or `--serve-only`) pass trivially.
+fn check_obs_gate(report: &Value, label: &str) -> Result<(), String> {
+    let Some(obs) = field(report, "obs") else { return Ok(()) };
+    let pct = as_f64(
+        field(&obs, "overhead_pct").ok_or(format!("{label}: obs section has no overhead_pct"))?,
+    )
+    .ok_or(format!("{label}: obs overhead_pct is not a number"))?;
+    eprintln!(
+        "bench-compare: telemetry plane costs {pct:+.2}% on solve p50 \
+         (limit +{OBS_OVERHEAD_LIMIT_PCT:.0}%)"
+    );
+    if pct > OBS_OVERHEAD_LIMIT_PCT {
+        return Err(format!(
+            "telemetry-plane overhead is {pct:+.2}% on solve p50 \
+             (limit +{OBS_OVERHEAD_LIMIT_PCT:.0}%): the plane is no longer cheap enough \
+             to stay on by default"
+        ));
+    }
+    Ok(())
+}
+
 /// Numeric field at `path` inside a serve section, with a schema error
 /// naming what is missing rather than a panic or a default.
 fn serve_num(section: &Value, label: &str, path: &[&str]) -> Result<f64, String> {
@@ -217,6 +253,14 @@ fn check_serve_gate(
     let errors = serve_num(&cur_s, cur_label, &["errors"])?;
     if errors > 0.0 {
         return Err(format!("{cur_label}: the serve load run recorded {errors} errors"));
+    }
+    // `timeouts` is split out of `errors` from schema v3 on; gate it the
+    // same way (absent on older reports = zero).
+    let timeouts = field(&cur_s, "timeouts").and_then(as_f64).unwrap_or(0.0);
+    if timeouts > 0.0 {
+        return Err(format!(
+            "{cur_label}: the serve load run recorded {timeouts} request timeouts"
+        ));
     }
     let cur_conns = serve_num(&cur_s, cur_label, &["conns"])?;
     let prev_conns = serve_num(&prev_s, prev_path, &["conns"])?;
@@ -269,6 +313,7 @@ fn compare_reports(cur: &Value, cur_label: &str, prev_path: &str) -> Result<(), 
         }
     }
     check_amend_gate(cur, cur_label)?;
+    check_obs_gate(cur, cur_label)?;
     check_serve_gate(cur, cur_label, &prev, prev_path)
 }
 
@@ -312,7 +357,7 @@ fn drive_load(
     let report = run_load(cfg, &registry).map_err(|e| format!("{label} load run: {e}"))?;
     eprintln!(
         "{label}: {}/{} conns (peak {}), {} reqs in {:.0} ms ({:.0} rps), \
-         req p50 {:.2} / p99 {:.2} ms, {} errors",
+         req p50 {:.2} / p99 {:.2} ms, {} errors, {} timeouts",
         report.opened,
         conns,
         report.peak_open,
@@ -321,10 +366,14 @@ fn drive_load(
         report.rps,
         report.req_ms.p50,
         report.req_ms.p99,
-        report.errors
+        report.errors,
+        report.timeouts
     );
     if report.errors > 0 {
         return Err(format!("{label}: load run recorded {} errors", report.errors));
+    }
+    if report.timeouts > 0 {
+        return Err(format!("{label}: load run recorded {} request timeouts", report.timeouts));
     }
     Ok(Value::Map(vec![
         ("conns".into(), Value::UInt(conns as u64)),
@@ -335,6 +384,7 @@ fn drive_load(
         ("peak_open".into(), Value::UInt(report.peak_open as u64)),
         ("completed_requests".into(), Value::UInt(report.completed_requests)),
         ("errors".into(), Value::UInt(report.errors)),
+        ("timeouts".into(), Value::UInt(report.timeouts)),
         ("wall_ms".into(), Value::Float(report.wall_ms)),
         ("rps".into(), Value::Float(report.rps)),
         ("open_ms".into(), hist_map(&report.open_ms)),
@@ -342,33 +392,158 @@ fn drive_load(
     ]))
 }
 
+/// Fetch and sanity-check one `/metrics` scrape: every non-comment
+/// line must be `name value` with a numeric value. Returns the parsed
+/// counter samples.
+fn scrape_once(addr: SocketAddr) -> Result<Vec<(String, f64)>, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("scrape: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: bench\r\n\r\n")
+        .map_err(|e| format!("scrape write: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("scrape read: {e}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .ok_or_else(|| format!("scrape response has no body: {response:?}"))?;
+    let mut samples = Vec::new();
+    for line in body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (name, value) =
+            line.split_once(' ').ok_or_else(|| format!("unparseable exposition line: {line:?}"))?;
+        let value: f64 =
+            value.trim().parse().map_err(|_| format!("non-numeric sample: {line:?}"))?;
+        samples.push((name.to_string(), value));
+    }
+    if samples.is_empty() {
+        return Err("scrape returned an empty exposition".into());
+    }
+    Ok(samples)
+}
+
+/// Value of one sample in a scrape, by exposition name.
+fn sample(samples: &[(String, f64)], name: &str) -> Option<f64> {
+    samples.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
 /// The `--serve` section: spin an in-process server (unless
 /// `--serve-addr` points at an external one) and measure a full
 /// connection fleet through the reactor load generator.
+///
+/// With `--serve-scrape` (in-process only), the server also gets an
+/// HTTP scrape listener and a background scraper hits `/metrics`
+/// throughout the load run: every exposition must parse, the request
+/// counter must be monotone across scrapes, and the last scrape must
+/// reconcile with the final drain snapshot — proving the scrape surface
+/// answers (consistently) *while* the solver pools are saturated.
 fn serve_section(args: &[String]) -> Result<Value, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     let conns: usize = flag(args, "--serve-conns", 256usize)?.max(1);
     let reqs: usize = flag(args, "--serve-reqs", 4usize)?.max(1);
     let router: usize = flag(args, "--serve-router", 1usize)?;
     let workers: usize = flag(args, "--serve-workers", 2usize)?;
+    let scrape = has_flag(args, "--serve-scrape");
     let external = opt_flag(args, "--serve-addr");
-    let (addr, handle) = match &external {
+    if scrape && external.is_some() {
+        return Err("--serve-scrape needs the in-process server (drop --serve-addr)".into());
+    }
+    let (addr, scrape_addr, handle) = match &external {
         Some(a) => {
             let addr = a.parse().map_err(|_| format!("invalid --serve-addr: {a}"))?;
-            (addr, None)
+            (addr, None, None)
         }
         None => {
-            let cfg =
+            let mut cfg =
                 ServerConfig::default().addr("127.0.0.1:0").workers(workers).router_workers(router);
-            let handle = Server::bind(cfg).map_err(|e| format!("serve bind: {e}"))?.spawn();
-            (handle.addr(), Some(handle))
+            if scrape {
+                cfg = cfg.metrics_addr("127.0.0.1:0");
+            }
+            let server = Server::bind(cfg).map_err(|e| format!("serve bind: {e}"))?;
+            let scrape_addr = server.metrics_addr();
+            let handle = server.spawn();
+            (handle.addr(), scrape_addr, Some(handle))
         }
     };
-    let section = drive_load(addr, conns, reqs, router, external.is_none(), "serve")?;
+
+    // Background scraper: polls /metrics for the whole load run.
+    let scraper = scrape_addr.map(|scrape_addr| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let running = Arc::clone(&stop);
+        let join = std::thread::spawn(move || -> Result<(u64, f64), String> {
+            let mut scrapes = 0u64;
+            let mut last_received = -1.0f64;
+            loop {
+                let samples = scrape_once(scrape_addr)?;
+                let received = sample(&samples, "atsched_serve_received")
+                    .ok_or("scrape lacks atsched_serve_received")?;
+                if received < last_received {
+                    return Err(format!(
+                        "scraped atsched_serve_received went backwards: \
+                         {last_received} -> {received}"
+                    ));
+                }
+                last_received = received;
+                scrapes += 1;
+                if running.load(Ordering::SeqCst) {
+                    return Ok((scrapes, last_received));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        (stop, join)
+    });
+
+    let mut section = drive_load(addr, conns, reqs, router, external.is_none(), "serve")?;
+
+    // Stop the scraper (its loop always does one final post-load
+    // scrape, so the last sample covers the whole run) and fold its
+    // verdict into the section.
+    let scraped = match scraper {
+        Some((stop, join)) => {
+            stop.store(true, Ordering::SeqCst);
+            let (scrapes, last_received) =
+                join.join().map_err(|_| "scraper thread panicked".to_string())??;
+            let completed = serve_num(&section, "serve", &["completed_requests"])?;
+            if last_received < completed {
+                return Err(format!(
+                    "final scrape saw atsched_serve_received = {last_received}, \
+                     below the {completed} requests the load generator completed"
+                ));
+            }
+            eprintln!(
+                "serve-scrape: {scrapes} mid-load scrapes parsed, \
+                 last saw received = {last_received}"
+            );
+            Some((scrapes, last_received))
+        }
+        None => None,
+    };
+
     if let Some(handle) = handle {
         let mut client =
             Client::connect(addr).map_err(|e| format!("connecting for shutdown: {e}"))?;
-        client.shutdown().map_err(|e| format!("draining the serve-bench server: {e}"))?;
+        let snapshot =
+            client.shutdown().map_err(|e| format!("draining the serve-bench server: {e}"))?;
         handle.join().map_err(|e| format!("serve-bench server: {e}"))?;
+        if let Some((scrapes, last_received)) = scraped {
+            // Reconcile against the authoritative drain snapshot: the
+            // server can only have seen *more* frames since the last
+            // scrape (the shutdown request itself, at minimum).
+            if (snapshot.received as f64) < last_received {
+                return Err(format!(
+                    "drain snapshot reports {} received, below the {last_received} \
+                     the last scrape observed",
+                    snapshot.received
+                ));
+            }
+            if let Value::Map(entries) = &mut section {
+                entries.push(("scrapes".into(), Value::UInt(scrapes)));
+                entries.push(("scrape_last_received".into(), Value::Float(last_received)));
+                entries.push(("drain_received".into(), Value::UInt(snapshot.received)));
+            }
+        }
     }
     Ok(section)
 }
@@ -547,6 +722,55 @@ fn run_corpus(args: &[String]) -> Result<Vec<(String, Value)>, String> {
         ])
     });
 
+    // Telemetry-plane cost: the same `solve_nested` call plain vs under
+    // the full live plane — an installed collector carrying a request
+    // trace (so every stage span doubles as a breadcrumb), plus the
+    // windowed counter bump the serve tier charges each request. Best
+    // of `runs` per instance, p50 across instances; `--compare` gates
+    // `overhead_pct` at [`OBS_OVERHEAD_LIMIT_PCT`].
+    let obs_section = {
+        let plane = Arc::new(obs::Registry::new());
+        let plane_requests = plane.windowed_counter("bench.obs.requests");
+        let plane_latency = plane.windowed_histogram("bench.obs.latency_ms");
+        let mut plain_best = vec![f64::MAX; instances.len()];
+        let mut traced_best = vec![f64::MAX; instances.len()];
+        for _ in 0..runs {
+            for (i, inst) in instances.iter().enumerate() {
+                let start = Instant::now();
+                solve_nested(inst, &opts).expect("bench corpus is feasible");
+                plain_best[i] = plain_best[i].min(start.elapsed().as_secs_f64() * 1e3);
+
+                let trace = Arc::new(obs::RequestTrace::new(i as u64 + 1, "bench"));
+                let collector = obs::Collector::new(Arc::clone(&plane)).with_request(trace);
+                let start = Instant::now();
+                obs::with_collector(collector, || {
+                    solve_nested(inst, &opts).expect("bench corpus is feasible");
+                });
+                plane_requests.inc();
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                plane_latency.record(ms);
+                traced_best[i] = traced_best[i].min(ms);
+            }
+        }
+        let p50 = |xs: &mut Vec<f64>| -> f64 {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            xs[xs.len() / 2]
+        };
+        let plain_p50 = p50(&mut plain_best);
+        let traced_p50 = p50(&mut traced_best);
+        let overhead_pct =
+            if plain_p50 > 0.0 { (traced_p50 - plain_p50) / plain_p50 * 100.0 } else { 0.0 };
+        eprintln!(
+            "obs: solve p50 plain {plain_p50:.3} ms vs telemetry plane {traced_p50:.3} ms \
+             ({overhead_pct:+.2}%, limit +{OBS_OVERHEAD_LIMIT_PCT:.0}%)"
+        );
+        Value::Map(vec![
+            ("plain_p50_ms".into(), Value::Float(plain_p50)),
+            ("traced_p50_ms".into(), Value::Float(traced_p50)),
+            ("overhead_pct".into(), Value::Float(overhead_pct)),
+        ])
+    };
+
     let snapshot = registry.snapshot();
 
     // Per-stage summary: `span.<stage>.ms` histograms (skip the
@@ -615,6 +839,7 @@ fn run_corpus(args: &[String]) -> Result<Vec<(String, Value)>, String> {
     if let Some(amend) = amend_section {
         entries.push(("amend".into(), amend));
     }
+    entries.push(("obs".into(), obs_section));
     Ok(entries)
 }
 
@@ -631,7 +856,7 @@ fn run() -> Result<(), String> {
 
     let serve_only = has_flag(&args, "--serve-only");
     let serve = serve_only || has_flag(&args, "--serve");
-    let tag: String = flag(&args, "--tag", "pr7".to_string())?;
+    let tag: String = flag(&args, "--tag", "pr8".to_string())?;
     let out: String = flag(&args, "--out", format!("BENCH_{tag}.json"))?;
 
     let mut entries: Vec<(String, Value)> = vec![

@@ -50,6 +50,11 @@ pub(crate) fn cmd_client(args: &[String]) -> Result<(), String> {
             println!("{}", serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?);
             Ok(())
         }
+        "metrics" => {
+            let text = client.metrics().map_err(render)?;
+            print!("{text}");
+            Ok(())
+        }
         "health" => {
             client.health().map_err(render)?;
             println!("ok");
@@ -65,7 +70,7 @@ pub(crate) fn cmd_client(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown client verb '{other}' (solve|batch|open|amend|close|stats|health|shutdown)"
+            "unknown client verb '{other}' (solve|batch|open|amend|close|stats|metrics|health|shutdown)"
         )),
     }
 }

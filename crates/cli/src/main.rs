@@ -11,7 +11,8 @@
 //! atsched verify inst.json schedule.json
 //! atsched gaps --family lemma51|gap2 --g 4
 //! atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--router N] [--timeout-ms N]
-//!               [--max-sessions N] [--session-ttl-ms N]
+//!               [--max-sessions N] [--session-ttl-ms N] [--metrics-addr HOST:PORT] [--slow-ms N]
+//! atsched top ADDR [--interval-ms N] [--count N] [--no-clear]
 //! atsched client ADDR solve|batch|open|amend|close|stats|health|shutdown ...
 //! atsched amend ADDR inst.json --delta delta.json [--delta d2.json ...]
 //! ```
@@ -20,6 +21,7 @@
 
 mod client_cmd;
 mod serve_cmd;
+mod top_cmd;
 
 use nested_active_time::baselines::exact::{nested_opt, nested_opt_parallel};
 use nested_active_time::baselines::greedy::ScanOrder;
@@ -46,6 +48,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("gaps") => cmd_gaps(&args[1..]),
         Some("serve") => serve_cmd::cmd_serve(&args[1..]),
+        Some("top") => top_cmd::cmd_top(&args[1..]),
         Some("client") => client_cmd::cmd_client(&args[1..]),
         Some("amend") => client_cmd::cmd_amend(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -79,11 +82,13 @@ USAGE:
   atsched gaps --family lemma51|gap2 --g N
   atsched serve [--addr HOST:PORT] [--workers N] [--queue N] [--router N] [--timeout-ms N]
                 [--max-sessions N] [--session-ttl-ms N] [--delay-ms N]
+                [--metrics-addr HOST:PORT] [--slow-ms N]
+  atsched top ADDR [--interval-ms N] [--count N] [--no-clear]
   atsched client ADDR solve INSTANCE [--method auto|nested|general|greedy] [--backend exact|float|snap]
                  [--polish] [--seed N] [--shard auto|off|force] [--timeout-ms N] [--schedule FILE]
   atsched client ADDR batch INSTANCE [INSTANCE ...]
   atsched client ADDR open INSTANCE | amend SESSION DELTA.json | close SESSION
-  atsched client ADDR stats | health | shutdown
+  atsched client ADDR stats | metrics | health | shutdown
   atsched amend ADDR INSTANCE --delta DELTA.json [--delta DELTA.json ...] [--keep-open]
 ";
 

@@ -31,9 +31,19 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<(), String> {
             ms.parse().map_err(|_| format!("invalid value for --session-ttl-ms: {ms}"))?;
         cfg = cfg.session_ttl(Duration::from_millis(ms));
     }
+    if let Some(addr) = crate::flag_value(args, "--metrics-addr") {
+        cfg = cfg.metrics_addr(addr);
+    }
+    if let Some(ms) = crate::flag_value(args, "--slow-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid value for --slow-ms: {ms}"))?;
+        cfg = cfg.slow_ms(ms);
+    }
 
     let server = Server::bind(cfg).map_err(|e| format!("bind failed: {e}"))?;
     println!("listening on {}", server.local_addr());
+    if let Some(scrape) = server.metrics_addr() {
+        eprintln!("metrics on http://{scrape}/metrics");
+    }
     std::io::stdout().flush().map_err(|e| e.to_string())?;
 
     let snapshot = server.run().map_err(|e| format!("server failed: {e}"))?;

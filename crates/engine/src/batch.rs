@@ -310,12 +310,18 @@ impl Engine {
 
     /// Run `work` under this engine's collector policy: when `observe`
     /// is on, a fresh [`obs::Collector`] bound to the engine registry
-    /// (and trace buffer, if any) is installed for the duration.
+    /// (and trace buffer, if any) is installed for the duration. A
+    /// request trace carried by the caller's collector is kept
+    /// attached, so per-stage breadcrumbs from the solve still land on
+    /// the admitting request (the serve tier relies on this).
     pub(crate) fn observed<T>(&self, work: impl FnOnce() -> T) -> T {
         if self.cfg.observe {
             let mut collector = obs::Collector::new(Arc::clone(&self.registry));
             if let Some(trace) = &self.trace {
                 collector = collector.with_trace(Arc::clone(trace));
+            }
+            if let Some(request) = obs::current_request() {
+                collector = collector.with_request(request);
             }
             obs::with_collector(collector, work)
         } else {

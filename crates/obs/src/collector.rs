@@ -6,29 +6,40 @@
 //! and the emission helpers here silently no-op when none is installed.
 
 use crate::registry::Registry;
+use crate::request::RequestTrace;
 use crate::trace::TraceBuffer;
 use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Destination for metrics and trace events: a registry plus an
-/// optional trace buffer. Cheap to clone (two `Arc`s).
+/// optional trace buffer and an optional request-scoped trace. Cheap
+/// to clone (a few `Arc`s).
 #[derive(Debug, Clone)]
 pub struct Collector {
     /// Metric destination.
     pub registry: Arc<Registry>,
     /// Optional span trace destination.
     pub trace: Option<Arc<TraceBuffer>>,
+    /// Optional request context: spans dropping under this collector
+    /// leave `(stage, ms)` breadcrumbs on it.
+    pub request: Option<Arc<RequestTrace>>,
 }
 
 impl Collector {
     /// Collector writing metrics to `registry`, with no tracing.
     pub fn new(registry: Arc<Registry>) -> Self {
-        Collector { registry, trace: None }
+        Collector { registry, trace: None, request: None }
     }
 
     /// Attach a trace buffer for span events.
     pub fn with_trace(mut self, trace: Arc<TraceBuffer>) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attach a request trace for per-stage breadcrumbs.
+    pub fn with_request(mut self, request: Arc<RequestTrace>) -> Self {
+        self.request = Some(request);
         self
     }
 }
@@ -68,6 +79,13 @@ pub fn current_collector() -> Option<Collector> {
 /// Whether a collector is installed on this thread.
 pub fn is_collecting() -> bool {
     CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// The request trace carried by this thread's collector, if any. Used
+/// by drivers that install a fresh collector (the engine's `observed`
+/// wrapper) to keep the admitting request's context attached.
+pub fn current_request() -> Option<Arc<RequestTrace>> {
+    CURRENT.with(|c| c.borrow().as_ref().and_then(|col| col.request.clone()))
 }
 
 /// Add `delta` to counter `name` in the installed registry; no-op when

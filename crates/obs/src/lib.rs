@@ -24,6 +24,16 @@
 //!   Chrome trace-event JSON (`chrome://tracing` / Perfetto).
 //!   Recording happens in `Drop`, so timings survive panics unwinding
 //!   through `catch_unwind`.
+//! * **Windowed metrics** — [`Registry::windowed_counter`] /
+//!   [`Registry::windowed_histogram`] opt an instrument into an
+//!   epoch-bucket ring (see [`WindowedCounter`]) yielding 10s/1m/5m
+//!   rates and windowed p50/p95/p99 next to the lifetime values; the
+//!   snapshot grows `windows` / `window_histograms` sections for
+//!   exactly those instruments.
+//! * **Request tracing** — a [`RequestTrace`] attached to the collector
+//!   collects per-stage breadcrumbs from dropping spans, and a bounded
+//!   [`EventLog`] retains recent slow/errored [`RequestEvent`]s for
+//!   operator surfaces (the serve `stats` plane, `atsched top`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,16 +41,23 @@
 mod collector;
 mod metrics;
 mod registry;
+mod request;
 #[cfg(feature = "serde")]
 mod serde_impls;
 mod span;
 mod trace;
+mod window;
 
 pub use collector::{
-    counter_add, current_collector, gauge_add, histogram_record, is_collecting, with_collector,
-    Collector,
+    counter_add, current_collector, current_request, gauge_add, histogram_record, is_collecting,
+    with_collector, Collector,
 };
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{HistogramSnapshot, Registry, RegistrySnapshot};
+pub use request::{EventLog, RequestEvent, RequestTrace, StageBreadcrumb};
 pub use span::Span;
 pub use trace::{TraceBuffer, TraceEvent};
+pub use window::{
+    Window, WindowRates, WindowStats, WindowedCounter, WindowedHistogram,
+    WindowedHistogramSnapshot, BUCKET_SECS, RING,
+};

@@ -1,6 +1,7 @@
 //! Global-free metric registry and its serializable snapshot types.
 
 use crate::metrics::{Counter, Gauge, Histogram};
+use crate::window::{WindowRates, WindowedCounter, WindowedHistogram, WindowedHistogramSnapshot};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -12,11 +13,19 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// always returns the same underlying atomic. There is no global
 /// registry: owners (the engine, the server) create one and hand out
 /// `Arc<Registry>` clones.
+///
+/// Windowed views are opt-in per instrument:
+/// [`windowed_counter`](Self::windowed_counter) /
+/// [`windowed_histogram`](Self::windowed_histogram) wrap the same-name
+/// lifetime instrument with an epoch-bucket ring, and snapshots then
+/// carry 10s/1m/5m sections for exactly those instruments.
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<HashMap<String, Arc<Counter>>>,
     gauges: Mutex<HashMap<String, Arc<Gauge>>>,
     histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+    windowed_counters: Mutex<HashMap<String, Arc<WindowedCounter>>>,
+    windowed_histograms: Mutex<HashMap<String, Arc<WindowedHistogram>>>,
 }
 
 impl fmt::Debug for Registry {
@@ -25,6 +34,8 @@ impl fmt::Debug for Registry {
             .field("counters", &lock(&self.counters).len())
             .field("gauges", &lock(&self.gauges).len())
             .field("histograms", &lock(&self.histograms).len())
+            .field("windowed_counters", &lock(&self.windowed_counters).len())
+            .field("windowed_histograms", &lock(&self.windowed_histograms).len())
             .finish()
     }
 }
@@ -74,6 +85,38 @@ impl Registry {
         h
     }
 
+    /// Get or create a windowed view over the counter named `name`.
+    ///
+    /// The windowed counter wraps the same-name lifetime counter:
+    /// bumping through it updates both the cumulative value and the
+    /// 10s/1m/5m ring, and snapshots gain a `windows` entry for it.
+    pub fn windowed_counter(&self, name: &str) -> Arc<WindowedCounter> {
+        let inner = self.counter(name);
+        let mut map = lock(&self.windowed_counters);
+        if let Some(w) = map.get(name) {
+            return Arc::clone(w);
+        }
+        let w = Arc::new(WindowedCounter::new(inner));
+        map.insert(name.to_string(), Arc::clone(&w));
+        w
+    }
+
+    /// Get or create a windowed view over the histogram named `name`.
+    ///
+    /// Recording through it updates both the lifetime histogram and the
+    /// ring, and snapshots gain a `window_histograms` entry carrying
+    /// windowed p50/p95/p99 and sample rates.
+    pub fn windowed_histogram(&self, name: &str) -> Arc<WindowedHistogram> {
+        let inner = self.histogram(name);
+        let mut map = lock(&self.windowed_histograms);
+        if let Some(w) = map.get(name) {
+            return Arc::clone(w);
+        }
+        let w = Arc::new(WindowedHistogram::new(inner));
+        map.insert(name.to_string(), Arc::clone(&w));
+        w
+    }
+
     /// Point-in-time copy of every instrument, sorted by name.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let mut counters: Vec<(String, u64)> =
@@ -87,7 +130,16 @@ impl Registry {
             .map(|(k, v)| (k.clone(), HistogramSnapshot::of(v)))
             .collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
-        RegistrySnapshot { counters, gauges, histograms }
+        let mut windows: Vec<(String, WindowRates)> =
+            lock(&self.windowed_counters).iter().map(|(k, v)| (k.clone(), v.rates())).collect();
+        windows.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut window_histograms: Vec<(String, WindowedHistogramSnapshot)> =
+            lock(&self.windowed_histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect();
+        window_histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        RegistrySnapshot { counters, gauges, histograms, windows, window_histograms }
     }
 }
 
@@ -127,9 +179,11 @@ impl HistogramSnapshot {
 
 /// Point-in-time copy of a [`Registry`], sorted by instrument name.
 ///
-/// With the `serde` feature this serializes as a three-key map
-/// (`counters`, `gauges`, `histograms`), each a name → value map — the
-/// wire format of the serve `stats` verb and `atsched solve --metrics`.
+/// With the `serde` feature this serializes as a five-key map
+/// (`counters`, `gauges`, `histograms`, `windows`,
+/// `window_histograms`), each a name → value map — the wire format of
+/// the serve `stats` verb and `atsched solve --metrics`. The window
+/// sections only carry instruments that opted into windowing.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RegistrySnapshot {
     /// Counter values by name.
@@ -138,6 +192,10 @@ pub struct RegistrySnapshot {
     pub gauges: Vec<(String, i64)>,
     /// Histogram summaries by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Sliding-window rates for windowed counters, by name.
+    pub windows: Vec<(String, WindowRates)>,
+    /// Sliding-window summaries for windowed histograms, by name.
+    pub window_histograms: Vec<(String, WindowedHistogramSnapshot)>,
 }
 
 impl RegistrySnapshot {
@@ -154,6 +212,16 @@ impl RegistrySnapshot {
     /// Histogram summary by name, if present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Windowed counter rates by name, if present.
+    pub fn window(&self, name: &str) -> Option<&WindowRates> {
+        self.windows.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Windowed histogram summary by name, if present.
+    pub fn window_histogram(&self, name: &str) -> Option<&WindowedHistogramSnapshot> {
+        self.window_histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
 }
 
@@ -189,6 +257,30 @@ mod tests {
             }
         });
         assert_eq!(reg.counter("shared").get(), 8 * per_thread);
+    }
+
+    #[test]
+    fn windowed_instruments_wrap_the_lifetime_instrument() {
+        let reg = Registry::new();
+        let w = reg.windowed_counter("serve.requests");
+        w.add(5);
+        // The same-name lifetime counter sees windowed bumps...
+        assert_eq!(reg.counter("serve.requests").get(), 5);
+        // ...and interning returns the same ring.
+        reg.windowed_counter("serve.requests").add(1);
+        assert_eq!(w.get(), 6);
+        let wh = reg.windowed_histogram("serve.latency_ms");
+        wh.record(2.0);
+        assert_eq!(reg.histogram("serve.latency_ms").count(), 1);
+
+        let snap = reg.snapshot();
+        assert!(snap.window("serve.requests").is_some());
+        assert!(snap.window("serve.latency_ms").is_none(), "histograms are not counters");
+        let s = snap.window_histogram("serve.latency_ms").unwrap();
+        assert_eq!(s.w5m.count, 1);
+        // Non-windowed instruments stay out of the window sections.
+        reg.counter("lp.pivots").inc();
+        assert!(reg.snapshot().window("lp.pivots").is_none());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! ```
 
 use crate::registry::{HistogramSnapshot, RegistrySnapshot};
+use crate::window::{WindowRates, WindowStats, WindowedHistogramSnapshot};
 use serde::de::{from_value, Deserialize, Deserializer, Error as DeError};
 use serde::ser::{to_value, Error as SerError, Serialize, Serializer};
 use serde::value::Value;
@@ -57,6 +58,90 @@ impl<'de> Deserialize<'de> for HistogramSnapshot {
     }
 }
 
+impl Serialize for WindowRates {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Map(vec![
+            ("rate_10s".to_string(), Value::Float(self.rate_10s)),
+            ("rate_1m".to_string(), Value::Float(self.rate_1m)),
+            ("rate_5m".to_string(), Value::Float(self.rate_5m)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for WindowRates {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = expect_map(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        let mut rates = WindowRates::default();
+        for (key, value) in entries {
+            match key.as_str() {
+                "rate_10s" => rates.rate_10s = from_value(value).map_err(D::Error::custom)?,
+                "rate_1m" => rates.rate_1m = from_value(value).map_err(D::Error::custom)?,
+                "rate_5m" => rates.rate_5m = from_value(value).map_err(D::Error::custom)?,
+                other => return Err(D::Error::custom(format!("unknown window field `{other}`"))),
+            }
+        }
+        Ok(rates)
+    }
+}
+
+impl Serialize for WindowStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Map(vec![
+            ("count".to_string(), uint_value(self.count)),
+            ("rate".to_string(), Value::Float(self.rate)),
+            ("p50".to_string(), Value::Float(self.p50)),
+            ("p95".to_string(), Value::Float(self.p95)),
+            ("p99".to_string(), Value::Float(self.p99)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for WindowStats {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = expect_map(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        let mut stats = WindowStats::default();
+        for (key, value) in entries {
+            match key.as_str() {
+                "count" => stats.count = from_value(value).map_err(D::Error::custom)?,
+                "rate" => stats.rate = from_value(value).map_err(D::Error::custom)?,
+                "p50" => stats.p50 = from_value(value).map_err(D::Error::custom)?,
+                "p95" => stats.p95 = from_value(value).map_err(D::Error::custom)?,
+                "p99" => stats.p99 = from_value(value).map_err(D::Error::custom)?,
+                other => {
+                    return Err(D::Error::custom(format!("unknown window stats field `{other}`")))
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+impl Serialize for WindowedHistogramSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Map(vec![
+            ("10s".to_string(), to_value(&self.w10s).map_err(S::Error::custom)?),
+            ("1m".to_string(), to_value(&self.w1m).map_err(S::Error::custom)?),
+            ("5m".to_string(), to_value(&self.w5m).map_err(S::Error::custom)?),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for WindowedHistogramSnapshot {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = expect_map(deserializer.deserialize_value()?).map_err(D::Error::custom)?;
+        let mut snap = WindowedHistogramSnapshot::default();
+        for (key, value) in entries {
+            match key.as_str() {
+                "10s" => snap.w10s = from_value(value).map_err(D::Error::custom)?,
+                "1m" => snap.w1m = from_value(value).map_err(D::Error::custom)?,
+                "5m" => snap.w5m = from_value(value).map_err(D::Error::custom)?,
+                other => return Err(D::Error::custom(format!("unknown window key `{other}`"))),
+            }
+        }
+        Ok(snap)
+    }
+}
+
 impl Serialize for RegistrySnapshot {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let counters =
@@ -67,10 +152,22 @@ impl Serialize for RegistrySnapshot {
             .iter()
             .map(|(name, h)| Ok((name.clone(), to_value(h).map_err(S::Error::custom)?)))
             .collect::<Result<Vec<_>, S::Error>>()?;
+        let windows = self
+            .windows
+            .iter()
+            .map(|(name, w)| Ok((name.clone(), to_value(w).map_err(S::Error::custom)?)))
+            .collect::<Result<Vec<_>, S::Error>>()?;
+        let window_histograms = self
+            .window_histograms
+            .iter()
+            .map(|(name, w)| Ok((name.clone(), to_value(w).map_err(S::Error::custom)?)))
+            .collect::<Result<Vec<_>, S::Error>>()?;
         serializer.serialize_value(Value::Map(vec![
             ("counters".to_string(), Value::Map(counters)),
             ("gauges".to_string(), Value::Map(gauges)),
             ("histograms".to_string(), Value::Map(histograms)),
+            ("windows".to_string(), Value::Map(windows)),
+            ("window_histograms".to_string(), Value::Map(window_histograms)),
         ]))
     }
 }
@@ -95,6 +192,17 @@ impl<'de> Deserialize<'de> for RegistrySnapshot {
                 "histograms" => {
                     for (name, v) in section {
                         snap.histograms.push((name, from_value(v).map_err(D::Error::custom)?));
+                    }
+                }
+                "windows" => {
+                    for (name, v) in section {
+                        snap.windows.push((name, from_value(v).map_err(D::Error::custom)?));
+                    }
+                }
+                "window_histograms" => {
+                    for (name, v) in section {
+                        snap.window_histograms
+                            .push((name, from_value(v).map_err(D::Error::custom)?));
                     }
                 }
                 other => {
@@ -133,7 +241,13 @@ mod tests {
         let h = reg.histogram("span.lp.ms");
         h.record(1.5);
         h.record(80.0);
+        reg.windowed_counter("serve.requests").add(3);
+        let wh = reg.windowed_histogram("serve.latency_ms");
+        wh.record(2.5);
+        wh.record(40.0);
         let snap = reg.snapshot();
+        assert!(snap.window("serve.requests").is_some());
+        assert!(snap.window_histogram("serve.latency_ms").is_some());
         let value = to_value(&snap).unwrap();
         let back: RegistrySnapshot = from_value(value).unwrap();
         assert_eq!(back, snap);

@@ -69,7 +69,14 @@ impl Drop for Span {
         reg.histogram(&format!("span.{}.ms", ctx.name)).record(dur_ns as f64 / 1e6);
         reg.histogram(&format!("span.{}.self_ms", ctx.name)).record(self_ns as f64 / 1e6);
         if let Some(trace) = &ctx.collector.trace {
-            trace.record(ctx.name, ctx.start, dur);
+            if !trace.record(ctx.name, ctx.start, dur) {
+                // Overflow is rare (buffer-capacity sized); the interned
+                // lookup on this cold path keeps the hot path free of it.
+                reg.counter("obs.trace_dropped").inc();
+            }
+        }
+        if let Some(request) = &ctx.collector.request {
+            request.record_stage(ctx.name, dur_ns as f64 / 1e6);
         }
     }
 }

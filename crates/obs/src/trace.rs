@@ -33,8 +33,18 @@ pub struct TraceEvent {
 ///
 /// Created by whoever wants a trace (the CLI's `--trace-out`), attached
 /// to a [`crate::Collector`], filled by [`crate::Span`] drops, and
-/// exported with [`TraceBuffer::to_chrome_json`]. Events past the
-/// capacity are dropped (and counted) rather than growing unboundedly.
+/// exported with [`TraceBuffer::to_chrome_json`].
+///
+/// ## Capacity semantics
+///
+/// The buffer is append-only up to `capacity` events; once full, every
+/// further event is **silently discarded** (never evicting older
+/// events — a trace keeps its beginning, which is where setup cost and
+/// first-request anomalies live). Discards are counted: read the total
+/// via [`dropped`](Self::dropped), and when the recording span's
+/// collector carries a registry the drop is also bumped into its
+/// `obs.trace_dropped` counter, so registry snapshots expose trace
+/// truncation without asking the buffer.
 #[derive(Debug)]
 pub struct TraceBuffer {
     epoch: Instant,
@@ -70,7 +80,9 @@ impl TraceBuffer {
     }
 
     /// Append one completed span (called from [`crate::Span`]'s drop).
-    pub(crate) fn record(&self, name: &'static str, start: Instant, dur: Duration) {
+    /// Returns whether the event was kept — `false` means it was
+    /// dropped against capacity (and counted).
+    pub(crate) fn record(&self, name: &'static str, start: Instant, dur: Duration) -> bool {
         let ts = start.checked_duration_since(self.epoch).unwrap_or(Duration::ZERO);
         let event = TraceEvent {
             name,
@@ -81,9 +93,11 @@ impl TraceBuffer {
         let mut events = lock(&self.events);
         if events.len() < self.capacity {
             events.push(event);
+            true
         } else {
             drop(events);
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
         }
     }
 

@@ -1,0 +1,116 @@
+//! Property tests for the sliding-window aggregator.
+//!
+//! Two invariants the telemetry plane's consumers rely on:
+//!
+//! 1. **Windowed-vs-lifetime consistency** — when every sample lands
+//!    inside one window (same epoch), the windowed percentiles must
+//!    agree with the lifetime histogram's, because both run the same
+//!    nearest-rank algorithm over the same bucket layout and the
+//!    max clamp sees the same lifetime max.
+//! 2. **Exact aging** — samples split across epochs are partitioned
+//!    exactly: a window covering only the later epochs must report the
+//!    percentiles of exactly the later samples (checked against a
+//!    second histogram fed only those).
+
+use atsched_obs::{Histogram, Window, WindowedCounter, WindowedHistogram};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Upper bound of the bucket a value lands in, replicated from the
+/// documented bucket layout (base 1e-3, growth 2^(1/4)).
+fn bucket_upper_bound(v: f64) -> f64 {
+    const MIN_BOUND: f64 = 1e-3;
+    const GROWTH: f64 = 1.189_207_115_002_721;
+    let mut bound = MIN_BOUND;
+    while bound < v {
+        bound *= GROWTH;
+    }
+    bound
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_windowed_percentiles_match_lifetime_inside_one_window(
+        raw in proptest::collection::vec(1u64..100_000_000u64, 1..200),
+        epoch in 0u64..1000,
+    ) {
+        let wh = WindowedHistogram::new(Arc::new(Histogram::new()));
+        for &us in &raw {
+            wh.record_at(epoch, us as f64 / 1e3);
+        }
+        let lifetime = wh.lifetime();
+        for w in Window::ALL {
+            let stats = wh.stats_at(epoch, w);
+            prop_assert_eq!(stats.count, raw.len() as u64);
+            for (q, got) in [(0.50, stats.p50), (0.95, stats.p95), (0.99, stats.p99)] {
+                let want = lifetime.percentile(q);
+                prop_assert!(
+                    (got - want).abs() <= want.abs() * 1e-12,
+                    "window {:?} q={} got={} lifetime={}", w, q, got, want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_window_ages_out_exactly_the_old_epochs(
+        old in proptest::collection::vec(1u64..100_000_000u64, 1..100),
+        fresh in proptest::collection::vec(1u64..100_000_000u64, 1..100),
+    ) {
+        // Burst at epoch 0, fresh samples at epoch 3 (15s later): the
+        // 10s window sees only the fresh ones, the 1m window all.
+        let wh = WindowedHistogram::new(Arc::new(Histogram::new()));
+        for &us in &old {
+            wh.record_at(0, us as f64 / 1e3);
+        }
+        for &us in &fresh {
+            wh.record_at(3, us as f64 / 1e3);
+        }
+        let mut sorted_fresh: Vec<f64> = fresh.iter().map(|&us| us as f64 / 1e3).collect();
+        sorted_fresh.sort_by(f64::total_cmp);
+
+        let s10 = wh.stats_at(3, Window::TenSec);
+        prop_assert_eq!(s10.count, fresh.len() as u64);
+        // Windowed percentiles clamp bucket bounds to the *lifetime*
+        // max (the ring keeps no exact extremes), so the oracle is the
+        // fresh-only nearest-rank bucket bound under the same clamp.
+        for (q, got) in [(0.50, s10.p50), (0.95, s10.p95), (0.99, s10.p99)] {
+            let rank = ((q * sorted_fresh.len() as f64).ceil() as usize).clamp(1, sorted_fresh.len());
+            let want = bucket_upper_bound(sorted_fresh[rank - 1]).min(wh.lifetime().max());
+            prop_assert!(
+                (got - want).abs() <= want.abs() * 1e-9,
+                "q={} got={} fresh-only={}", q, got, want
+            );
+        }
+        let s1m = wh.stats_at(3, Window::OneMin);
+        prop_assert_eq!(s1m.count, (old.len() + fresh.len()) as u64);
+    }
+
+    #[test]
+    fn prop_counter_windows_partition_by_epoch(
+        counts in proptest::collection::vec(0u64..1000, 1..80),
+    ) {
+        // One bump batch per consecutive epoch; at the final epoch each
+        // window must contain exactly the trailing `buckets()` batches.
+        let wc = WindowedCounter::new(Arc::new(atsched_obs::Counter::new()));
+        for (e, &n) in counts.iter().enumerate() {
+            wc.add_at(e as u64, n);
+        }
+        let last = (counts.len() - 1) as u64;
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(wc.get(), total);
+        for w in Window::ALL {
+            let tail: u64 = counts
+                .iter()
+                .rev()
+                .take(w.buckets() as usize)
+                .sum();
+            prop_assert_eq!(
+                wc.window_count_at(last, w), tail,
+                "window {:?} at epoch {}", w, last
+            );
+        }
+    }
+}

@@ -210,6 +210,15 @@ impl Client {
         resp.stats.ok_or_else(|| ClientError::Protocol("ok response without stats payload".into()))
     }
 
+    /// Fetch the Prometheus-style text exposition of the server's
+    /// metric registry (the `metrics` verb over the protocol port; the
+    /// same text an HTTP scraper gets from `metrics_addr`).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let resp = self.expect_ok(Request::metrics())?;
+        resp.metrics
+            .ok_or_else(|| ClientError::Protocol("ok response without metrics payload".into()))
+    }
+
     /// Liveness probe; `Err(Service { kind: "shutting_down", .. })` once
     /// the server is draining.
     pub fn health(&mut self) -> Result<(), ClientError> {

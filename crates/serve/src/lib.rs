@@ -26,7 +26,12 @@
 //!   drains everything already accepted, and acks with the final stats
 //!   snapshot ([`shutdown`]).
 //! - **Observability.** The `stats` verb reports request counters,
-//!   cache hit rate, and end-to-end latency percentiles ([`stats`]).
+//!   cache hit rate, windowed (10s/1m/5m) rates, per-shard sections,
+//!   recent slow requests with per-stage timings, and end-to-end
+//!   latency percentiles ([`stats`]); the `metrics` verb (and the
+//!   optional `metrics_addr` HTTP listener) exposes the same registry
+//!   as Prometheus-style text ([`scrape`]). Every admitted request
+//!   carries a server-assigned trace id, echoed in its response.
 //! - **Versioned evolution.** Requests may declare a protocol
 //!   `version` (absent means v1); the v2 session verbs `open` /
 //!   `amend` / `close` expose the engine's incremental re-solve, and
@@ -63,6 +68,7 @@ pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod router;
+pub mod scrape;
 pub mod server;
 pub mod shutdown;
 pub mod stats;
@@ -70,7 +76,8 @@ pub mod stats;
 pub use client::{Client, ClientError};
 pub use loadgen::{run_load, LoadConfig, LoadReport, Payload};
 pub use protocol::{
-    kind, verb, BatchItemReply, BatchReply, DeltaSpec, ErrorInfo, Request, Response, SolveReply,
-    StatsReply, WindowChange, PROTOCOL_VERSION,
+    kind, verb, BatchItemReply, BatchReply, DeltaSpec, ErrorInfo, Request, Response, ShardStats,
+    SlowRequest, SolveReply, StageTiming, StatsReply, WindowChange, PROTOCOL_VERSION,
 };
+pub use scrape::render_prometheus;
 pub use server::{Server, ServerConfig, ServerHandle};

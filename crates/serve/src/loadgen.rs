@@ -82,8 +82,11 @@ pub struct LoadReport {
     pub peak_open: usize,
     /// Requests that received a matching response.
     pub completed_requests: u64,
-    /// Connect failures, response timeouts, id mismatches, early EOFs.
+    /// Connect failures, id mismatches, early EOFs (timeouts are
+    /// counted separately under [`timeouts`](LoadReport::timeouts)).
     pub errors: u64,
+    /// Requests whose response missed the per-request deadline.
+    pub timeouts: u64,
     /// Wall clock of the whole run, milliseconds.
     pub wall_ms: f64,
     /// Completed requests per second over the run.
@@ -116,6 +119,7 @@ struct LoadGen {
     peak_open: usize,
     completed_requests: u64,
     errors: u64,
+    timeouts: u64,
     next_id: u64,
     started: Instant,
     wall: Option<Duration>,
@@ -252,8 +256,14 @@ impl Service for LoadGen {
             .get_mut(&conn)
             .is_some_and(|state| state.timer.take_if(|t| *t == timer).is_some());
         if timed_out {
-            self.errors += 1;
+            // Count under `timeouts` (not `errors`) and finish the
+            // connection here, so the close below doesn't double-book
+            // it as a generic mid-script death.
+            self.timeouts += 1;
+            self.conns.remove(&conn);
+            self.finished += 1;
             ctx.close(conn);
+            self.check_done(ctx);
         }
     }
 
@@ -287,6 +297,7 @@ pub fn run_load(cfg: LoadConfig, registry: &Arc<Registry>) -> io::Result<LoadRep
         peak_open: 0,
         completed_requests: 0,
         errors: 0,
+        timeouts: 0,
         next_id: 0,
         started: Instant::now(),
         wall: None,
@@ -301,6 +312,7 @@ pub fn run_load(cfg: LoadConfig, registry: &Arc<Registry>) -> io::Result<LoadRep
         peak_open: done.peak_open,
         completed_requests: done.completed_requests,
         errors: done.errors,
+        timeouts: done.timeouts,
         wall_ms,
         rps: if wall_ms > 0.0 { done.completed_requests as f64 / (wall_ms / 1e3) } else { 0.0 },
         open_ms: HistogramSnapshot::of(&done.open_ms),

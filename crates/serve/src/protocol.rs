@@ -60,6 +60,9 @@ pub mod verb {
     pub const AMEND: &str = "amend";
     /// Close an open session (v2).
     pub const CLOSE: &str = "close";
+    /// Prometheus-style text exposition of the metric registry,
+    /// answered inline by the reactor (never touches solver pools).
+    pub const METRICS: &str = "metrics";
 }
 
 /// Typed error kinds carried by `"status": "error"` responses.
@@ -240,6 +243,11 @@ impl Request {
         Request::new(verb::HEALTH)
     }
 
+    /// A `metrics` request (Prometheus-style text exposition).
+    pub fn metrics() -> Request {
+        Request::new(verb::METRICS)
+    }
+
     /// A `shutdown` request.
     pub fn shutdown() -> Request {
         Request::new(verb::SHUTDOWN)
@@ -393,9 +401,61 @@ pub struct BatchReply {
     pub cache_misses: u64,
 }
 
+/// One router shard's slice of the stats plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Router shard index.
+    pub shard: u64,
+    /// Requests waiting in this shard's admission queue right now.
+    pub queue_len: u64,
+    /// This shard's admission-queue capacity.
+    pub queue_capacity: u64,
+    /// Wire-visible sessions owned by this shard's engine.
+    pub sessions_open: u64,
+    /// This shard engine's lifetime cache hits.
+    pub cache_hits: u64,
+    /// This shard engine's lifetime cache misses.
+    pub cache_misses: u64,
+    /// Requests routed to this shard, lifetime.
+    pub requests: u64,
+    /// Requests per second routed to this shard, last 10 seconds.
+    pub rate_10s: f64,
+    /// Requests per second routed to this shard, last minute.
+    pub rate_1m: f64,
+    /// Requests per second routed to this shard, last five minutes.
+    pub rate_5m: f64,
+}
+
+/// One completed stage of a traced request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Span name (`solve`, `lp`, `round`, ...).
+    pub stage: String,
+    /// Stage wall time, milliseconds.
+    pub ms: f64,
+}
+
+/// One recent slow or errored request, from the server's bounded event
+/// log: identity, owning shard, outcome, and per-stage timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowRequest {
+    /// Server-assigned request id (echoed in the reply's `request`).
+    pub request: u64,
+    /// Request verb.
+    pub verb: String,
+    /// Owning router shard, when the request was routed.
+    pub shard: Option<u64>,
+    /// End-to-end latency (admission → response), milliseconds.
+    pub total_ms: f64,
+    /// Error kind for failed requests (`None` = success).
+    pub error: Option<String>,
+    /// Stage breadcrumbs in completion order.
+    pub stages: Vec<StageTiming>,
+}
+
 /// Payload of a successful `stats` (and of the `shutdown` ack, as the
 /// final post-drain snapshot).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StatsReply {
     /// Time since the server started, milliseconds.
     pub uptime_ms: f64,
@@ -436,6 +496,12 @@ pub struct StatsReply {
     /// Router event-loop workers serving connections (1 unless the
     /// server runs in sharded router mode).
     pub router_workers: u64,
+    /// Per-router-shard sections: queue depth, sessions, cache totals,
+    /// and windowed request rates for each shard.
+    pub shards: Vec<ShardStats>,
+    /// Recent slow or errored requests (newest first) from the bounded
+    /// server event log, with per-stage timings.
+    pub slow: Vec<SlowRequest>,
     /// Lifetime engine outcome counters (summed across router shards).
     pub engine: EngineTotals,
     /// End-to-end latency of completed requests (admission → response),
@@ -474,11 +540,17 @@ pub struct Response {
     pub batch: Option<BatchReply>,
     /// `stats` / `shutdown` payload.
     pub stats: Option<StatsReply>,
+    /// `metrics` payload: Prometheus-style text exposition of the
+    /// metric registry.
+    pub metrics: Option<String>,
     /// Protocol version the server spoke for this exchange (v2+
     /// servers always set it; v1 clients ignore it).
     pub version: Option<u32>,
     /// Session id echo for `open` / `amend` / `close` exchanges.
     pub session: Option<u64>,
+    /// Server-assigned request id for admitted work — the handle that
+    /// correlates a reply with its entry in the slow-request log.
+    pub request: Option<u64>,
 }
 
 impl Response {
@@ -492,8 +564,10 @@ impl Response {
             solve: None,
             batch: None,
             stats: None,
+            metrics: None,
             version: None,
             session: None,
+            request: None,
         }
     }
 
@@ -513,6 +587,11 @@ impl Response {
         Response { stats: Some(payload), ..Response::ok(id, verb) }
     }
 
+    /// An `ok` response carrying a Prometheus-style text exposition.
+    pub fn ok_metrics(id: Option<u64>, exposition: String) -> Response {
+        Response { metrics: Some(exposition), ..Response::ok(id, verb::METRICS) }
+    }
+
     /// An `error` response with the given typed kind.
     pub fn error(id: Option<u64>, verb: Option<&str>, kind: &str, message: String) -> Response {
         Response {
@@ -523,14 +602,22 @@ impl Response {
             solve: None,
             batch: None,
             stats: None,
+            metrics: None,
             version: None,
             session: None,
+            request: None,
         }
     }
 
     /// Attach a session id echo.
     pub fn with_session(mut self, session: u64) -> Response {
         self.session = Some(session);
+        self
+    }
+
+    /// Stamp the server-assigned request id.
+    pub fn with_request(mut self, request: u64) -> Response {
+        self.request = Some(request);
         self
     }
 
@@ -658,8 +745,10 @@ impl Serialize for Response {
         push_opt(&mut m, "solve", &self.solve)?;
         push_opt(&mut m, "batch", &self.batch)?;
         push_opt(&mut m, "stats", &self.stats)?;
+        push_opt(&mut m, "metrics", &self.metrics)?;
         push_opt(&mut m, "version", &self.version)?;
         push_opt(&mut m, "session", &self.session)?;
+        push_opt(&mut m, "request", &self.request)?;
         serializer.serialize_value(Value::Map(m))
     }
 }
@@ -684,8 +773,10 @@ impl<'de> Deserialize<'de> for Response {
             solve: opt_field(&mut entries, "solve")?,
             batch: opt_field(&mut entries, "batch")?,
             stats: opt_field(&mut entries, "stats")?,
+            metrics: opt_field(&mut entries, "metrics")?,
             version: opt_field(&mut entries, "version")?,
             session: opt_field(&mut entries, "session")?,
+            request: opt_field(&mut entries, "request")?,
         })
     }
 }
@@ -833,6 +924,58 @@ mod tests {
         assert!(back.is_ok());
         assert_eq!(back.session, Some(9));
         assert_eq!(back.version, Some(PROTOCOL_VERSION));
+    }
+
+    #[test]
+    fn metrics_and_request_id_round_trip() {
+        let resp = Response::ok_metrics(Some(4), "atsched_serve_received 2\n".into());
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.is_ok());
+        assert_eq!(back.metrics.as_deref(), Some("atsched_serve_received 2\n"));
+
+        let resp = Response::ok(Some(1), verb::SOLVE).with_request(99);
+        let line = serde_json::to_string(&resp).unwrap();
+        assert!(line.contains("\"request\":99"), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.request, Some(99));
+
+        // Pre-telemetry responses (no `metrics`/`request` keys) still
+        // parse — the fields are optional on the wire.
+        let back: Response = serde_json::from_str(r#"{"id":1,"status":"ok"}"#).unwrap();
+        assert_eq!(back.request, None);
+        assert_eq!(back.metrics, None);
+    }
+
+    #[test]
+    fn slow_request_entries_round_trip_inside_stats() {
+        let slow = SlowRequest {
+            request: 12,
+            verb: "amend".into(),
+            shard: Some(1),
+            total_ms: 88.5,
+            error: None,
+            stages: vec![StageTiming { stage: "lp".into(), ms: 80.0 }],
+        };
+        let line = serde_json::to_string(&slow).unwrap();
+        let back: SlowRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, slow);
+
+        let shard = ShardStats {
+            shard: 0,
+            queue_len: 1,
+            queue_capacity: 8,
+            sessions_open: 2,
+            cache_hits: 3,
+            cache_misses: 4,
+            requests: 7,
+            rate_10s: 0.5,
+            rate_1m: 0.25,
+            rate_5m: 0.05,
+        };
+        let back: ShardStats =
+            serde_json::from_str(&serde_json::to_string(&shard).unwrap()).unwrap();
+        assert_eq!(back, shard);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::server::{
 };
 use atsched_core::instance::Instance;
 use atsched_net::{ConnId, Ctx, FrameError, Service, TimerId};
+use atsched_obs::RequestTrace;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -199,6 +200,16 @@ impl ServeLoop {
                 let resp = Response::ok_stats(req.id, verb::STATS, snapshot_all(&self.shared));
                 self.reply(ctx, conn, &resp);
             }
+            verb::METRICS => {
+                // The text scrape over the protocol port: same snapshot
+                // as `stats`, rendered as Prometheus exposition. Inline
+                // like `stats` — no solver pool is touched.
+                sweep_sessions(&self.shared);
+                let snap = snapshot_all(&self.shared);
+                let resp =
+                    Response::ok_metrics(req.id, crate::scrape::render_prometheus(&snap.registry));
+                self.reply(ctx, conn, &resp);
+            }
             verb::CLOSE => {
                 let resp = handle_close(&self.shared, &req);
                 self.reply(ctx, conn, &resp);
@@ -287,6 +298,13 @@ impl ServeLoop {
         let budget = timeout_of(&work);
         let seq = self.next_seq;
         self.next_seq += 1;
+        // Birth of the request trace: server-assigned id, verb, and the
+        // owning shard travel with the job; solver spans append their
+        // stage breadcrumbs to it on the worker.
+        let rid = shared.next_request_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let trace = Arc::new(RequestTrace::new(rid, verb_name.as_str()));
+        trace.set_shard(shard as u64);
+        shared.shard_requests[shard].inc();
         let job = Job {
             id,
             work,
@@ -294,6 +312,7 @@ impl ServeLoop {
             seq,
             reply_to: shared.remote(self.index),
             admitted: Instant::now(),
+            trace,
         };
         match shared.shards[shard].queue.try_push(job) {
             Ok(()) => {

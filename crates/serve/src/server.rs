@@ -38,6 +38,7 @@ use atsched_core::instance::Instance;
 use atsched_core::solver::{LpBackend, SolverOptions};
 use atsched_engine::{with_budget, Engine, EngineConfig, Interrupt, Outcome, SessionId};
 use atsched_net::{ConnId, Reactor, ReactorConfig, Remote};
+use atsched_obs::{Collector, EventLog, RequestEvent, RequestTrace, WindowedCounter};
 use nested_active_time::{Error, Method, Solve};
 use std::collections::HashMap;
 use std::io;
@@ -77,6 +78,17 @@ pub struct ServerConfig {
     /// periodically by reactor 0 and eagerly on every session verb and
     /// on `stats`.
     pub session_ttl: Duration,
+    /// Optional plain-HTTP scrape listener address (`host:port`, port 0
+    /// picks an ephemeral port): `GET /metrics` returns Prometheus-style
+    /// text exposition, any other path the JSON stats snapshot.
+    /// `None` (the default) disables the listener; the `metrics` verb
+    /// on the protocol port works either way.
+    pub metrics_addr: Option<String>,
+    /// Completed requests slower than this (end-to-end, milliseconds)
+    /// are recorded in the bounded slow-request log with their
+    /// per-stage timings; errored requests are always recorded. `0`
+    /// logs every request (tests, debugging).
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +103,8 @@ impl Default for ServerConfig {
             max_sessions: 4096,
             delay_ms: 0,
             session_ttl: Duration::from_secs(15 * 60),
+            metrics_addr: None,
+            slow_ms: 500,
         }
     }
 }
@@ -141,6 +155,18 @@ impl ServerConfig {
     /// Set the session idle TTL.
     pub fn session_ttl(mut self, ttl: Duration) -> Self {
         self.session_ttl = ttl;
+        self
+    }
+
+    /// Enable the plain-HTTP scrape listener on this address.
+    pub fn metrics_addr(mut self, addr: &str) -> Self {
+        self.metrics_addr = Some(addr.to_string());
+        self
+    }
+
+    /// Set the slow-request threshold (ms); `0` logs every request.
+    pub fn slow_ms(mut self, ms: u64) -> Self {
+        self.slow_ms = ms;
         self
     }
 
@@ -217,6 +243,9 @@ pub(crate) struct Job {
     pub(crate) seq: u64,
     pub(crate) reply_to: Remote<Msg>,
     pub(crate) admitted: Instant,
+    /// Request-trace context created at admission: server-assigned id,
+    /// verb, owning shard, and (once executed) per-stage breadcrumbs.
+    pub(crate) trace: Arc<RequestTrace>,
 }
 
 /// One router shard: an engine (with its own solve cache) fed by a
@@ -267,6 +296,14 @@ pub(crate) struct Shared {
     remotes: OnceLock<Vec<Remote<Msg>>>,
     pub(crate) drain_tx: mpsc::Sender<DrainEvent>,
     pub(crate) drain_written_tx: mpsc::Sender<()>,
+    /// Server-assigned request ids for admitted work (monotonic,
+    /// distinct from client correlation ids).
+    pub(crate) next_request_id: AtomicU64,
+    /// Bounded log of recent slow or errored requests.
+    pub(crate) events: EventLog,
+    /// Per-shard windowed request counters
+    /// (`serve.shard.{i}.requests`), bumped at admission.
+    pub(crate) shard_requests: Vec<Arc<WindowedCounter>>,
 }
 
 impl Shared {
@@ -286,11 +323,15 @@ pub struct Server {
     shared: Arc<Shared>,
     drain_rx: mpsc::Receiver<DrainEvent>,
     written_rx: mpsc::Receiver<()>,
+    /// The scrape listener, already accepting (it is read-only and
+    /// needs no reactor), when `metrics_addr` was configured.
+    scrape: Option<crate::scrape::MetricsListener>,
 }
 
 /// Join handle for a server running on a background thread.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     join: JoinHandle<io::Result<crate::protocol::StatsReply>>,
 }
 
@@ -298,6 +339,11 @@ impl ServerHandle {
     /// The address the server is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The scrape listener's bound address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Wait for the server to drain and return its final snapshot.
@@ -334,28 +380,38 @@ impl Server {
                 }
             })
             .collect();
+        let shard_requests = (0..routers)
+            .map(|i| registry.windowed_counter(&format!("serve.shard.{i}.requests")))
+            .collect();
         let (drain_tx, drain_rx) = mpsc::channel();
         let (drain_written_tx, written_rx) = mpsc::channel();
-        Ok(Server {
-            listener,
-            addr,
-            shared: Arc::new(Shared {
-                cfg,
-                metrics: ServerMetrics::new(registry),
-                gate: ShutdownGate::default(),
-                started: Instant::now(),
-                ring: HashRing::new(routers),
-                shards,
-                sessions: Mutex::new(HashMap::new()),
-                next_session: AtomicU64::new(0),
-                open_reservations: AtomicUsize::new(0),
-                remotes: OnceLock::new(),
-                drain_tx,
-                drain_written_tx,
-            }),
-            drain_rx,
-            written_rx,
-        })
+        let shared = Arc::new(Shared {
+            cfg,
+            metrics: ServerMetrics::new(registry),
+            gate: ShutdownGate::default(),
+            started: Instant::now(),
+            ring: HashRing::new(routers),
+            shards,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            open_reservations: AtomicUsize::new(0),
+            remotes: OnceLock::new(),
+            drain_tx,
+            drain_written_tx,
+            next_request_id: AtomicU64::new(0),
+            // Enough depth to hold a burst of slow requests without
+            // unbounded growth; `stats` reports the newest few.
+            events: EventLog::new(64),
+            shard_requests,
+        });
+        // The scrape surface is read-only and independent of the
+        // reactors, so it can start answering as soon as the state it
+        // snapshots exists.
+        let scrape = match &shared.cfg.metrics_addr {
+            Some(addr) => Some(crate::scrape::spawn_metrics_listener(Arc::clone(&shared), addr)?),
+            None => None,
+        };
+        Ok(Server { listener, addr, shared, drain_rx, written_rx, scrape })
     }
 
     /// The bound address (useful with port 0).
@@ -363,10 +419,16 @@ impl Server {
         self.addr
     }
 
+    /// The scrape listener's bound address, when one was configured
+    /// (useful with a port-0 `metrics_addr`).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(|s| s.addr)
+    }
+
     /// Serve until a `shutdown` request drains the server; returns the
     /// final stats snapshot.
     pub fn run(self) -> io::Result<crate::protocol::StatsReply> {
-        let Server { listener, addr: _, shared, drain_rx, written_rx } = self;
+        let Server { listener, addr: _, shared, drain_rx, written_rx, scrape } = self;
 
         // Build every reactor before spawning anything, so a failure
         // here needs no cleanup.
@@ -442,6 +504,9 @@ impl Server {
                 Err(io::Error::other(msg))
             }
         };
+        if let Some(scrape) = scrape {
+            scrape.shutdown();
+        }
         for remote in shared.remotes() {
             remote.send(Msg::Stop);
         }
@@ -454,8 +519,9 @@ impl Server {
     /// Run on a background thread (tests, embedding).
     pub fn spawn(self) -> ServerHandle {
         let addr = self.addr;
+        let metrics_addr = self.metrics_addr();
         let join = thread::spawn(move || self.run());
-        ServerHandle { addr, join }
+        ServerHandle { addr, metrics_addr, join }
     }
 }
 
@@ -622,12 +688,64 @@ pub(crate) fn drain_sessions(shared: &Shared) {
     }
 }
 
-/// The merged stats plane: one snapshot summing every router shard.
+/// How many slow-request entries a `stats` reply carries (the event
+/// log retains more; this bounds the frame size).
+const SLOW_REPLY_LIMIT: usize = 8;
+
+/// The merged stats plane: one snapshot summing every router shard,
+/// plus per-shard sections and the recent slow-request list.
 pub(crate) fn snapshot_all(shared: &Shared) -> crate::protocol::StatsReply {
     let engines: Vec<&Engine> = shared.shards.iter().map(|s| &s.engine).collect();
     let queue_len: usize = shared.shards.iter().map(|s| s.queue.len()).sum();
     let queue_capacity: usize = shared.shards.iter().map(|s| s.queue.capacity()).sum();
-    let sessions_open = shared.sessions.lock().expect("sessions lock").len() as u64;
+    let (sessions_open, sessions_by_shard) = {
+        let table = shared.sessions.lock().expect("sessions lock");
+        let mut by_shard = vec![0u64; shared.shards.len()];
+        for entry in table.values() {
+            if let Some(n) = by_shard.get_mut(entry.shard) {
+                *n += 1;
+            }
+        }
+        (table.len() as u64, by_shard)
+    };
+    let shards = shared
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let cache = s.engine.cache_stats();
+            let rates = shared.shard_requests[i].rates();
+            crate::protocol::ShardStats {
+                shard: i as u64,
+                queue_len: s.queue.len() as u64,
+                queue_capacity: s.queue.capacity() as u64,
+                sessions_open: sessions_by_shard[i],
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+                requests: shared.shard_requests[i].get(),
+                rate_10s: rates.rate_10s,
+                rate_1m: rates.rate_1m,
+                rate_5m: rates.rate_5m,
+            }
+        })
+        .collect();
+    let slow = shared
+        .events
+        .recent(SLOW_REPLY_LIMIT)
+        .into_iter()
+        .map(|e| crate::protocol::SlowRequest {
+            request: e.id,
+            verb: e.verb,
+            shard: e.shard,
+            total_ms: e.total_ms,
+            error: e.error,
+            stages: e
+                .stages
+                .into_iter()
+                .map(|(stage, ms)| crate::protocol::StageTiming { stage, ms })
+                .collect(),
+        })
+        .collect();
     shared.metrics.snapshot_merged(
         &engines,
         shared.started,
@@ -635,6 +753,8 @@ pub(crate) fn snapshot_all(shared: &Shared) -> crate::protocol::StatsReply {
         queue_capacity,
         sessions_open,
         shared.shards.len() as u64,
+        shards,
+        slow,
     )
 }
 
@@ -678,9 +798,16 @@ fn worker_loop(shared: &Arc<Shared>, shard_idx: usize) {
         if shared.cfg.delay_ms > 0 {
             thread::sleep(Duration::from_millis(shared.cfg.delay_ms));
         }
-        let Job { id, work, conn, seq, reply_to, admitted } = job;
+        let Job { id, work, conn, seq, reply_to, admitted, trace } = job;
         let was_open = matches!(work, Work::Open { .. });
-        let resp = match work {
+        // Execute under a collector carrying the request trace: spans
+        // dropping anywhere in the solve (including on pool and budget
+        // helper threads, which re-install this collector) leave their
+        // per-stage breadcrumbs on it. The engine's own `observed`
+        // wrapper keeps the trace attached when it swaps collectors.
+        let collector =
+            Collector::new(Arc::clone(shared.metrics.registry())).with_request(Arc::clone(&trace));
+        let resp = atsched_obs::with_collector(collector, || match work {
             Work::Solve { inst, method, opts, seed, timeout, include_schedule } => execute_solve(
                 shared,
                 shard_idx,
@@ -701,19 +828,23 @@ fn worker_loop(shared: &Arc<Shared>, shard_idx: usize) {
             Work::Amend { session, delta, timeout, include_schedule } => {
                 execute_amend(shared, id, session, delta, timeout, include_schedule)
             }
-        };
+        });
         if was_open {
             // The cap reservation taken at admission is now either a
             // real table entry or moot.
             shared.open_reservations.fetch_sub(1, Ordering::SeqCst);
         }
+        let total_ms = admitted.elapsed().as_secs_f64() * 1e3;
         let deadline_overrun = resp.error_kind() == Some(kind::TIMED_OUT);
         let solve_error = matches!(resp.error_kind(), Some(kind::INFEASIBLE) | Some(kind::FAILED));
-        shared.metrics.finished(
-            admitted.elapsed().as_secs_f64() * 1e3,
-            deadline_overrun,
-            solve_error,
-        );
+        shared.metrics.finished(total_ms, deadline_overrun, solve_error);
+        // Slow or errored requests keep their full trace in the
+        // bounded event log; everything else is counters only.
+        if resp.error.is_some() || total_ms > shared.cfg.slow_ms as f64 {
+            let error = resp.error.as_ref().map(|e| e.kind.clone());
+            shared.events.push(RequestEvent::from_trace(&trace, total_ms, error));
+        }
+        let resp = resp.with_request(trace.id());
         // Stale replies (deadline-preempted, connection gone) are
         // dropped by the reactor's seq check; nothing to do here.
         let _ = reply_to.send(Msg::Reply { conn, seq, resp: Box::new(resp) });

@@ -7,9 +7,11 @@
 //! `stats` verb ships the whole registry snapshot over the wire
 //! alongside the typed [`StatsReply`] fields.
 
-use crate::protocol::StatsReply;
+use crate::protocol::{ShardStats, SlowRequest, StatsReply};
 use atsched_engine::{Engine, Percentiles};
-use atsched_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+use atsched_obs::{
+    Counter, Gauge, HistogramSnapshot, Registry, WindowedCounter, WindowedHistogram,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -17,15 +19,19 @@ use std::time::Instant;
 /// connection and worker thread shares one instance through an `Arc`.
 ///
 /// The hot instruments are resolved once at construction: emission is a
-/// plain atomic bump, never a name lookup.
+/// plain atomic bump, never a name lookup. The request-plane
+/// instruments (`received`, `completed`, the latency histogram) carry
+/// windowed views, so `stats` and the scrape surface report 10s/1m/5m
+/// rates and windowed percentiles next to the lifetime values; solver
+/// counters stay plain.
 pub struct ServerMetrics {
     registry: Arc<Registry>,
-    received: Arc<Counter>,
+    received: Arc<WindowedCounter>,
     bad_requests: Arc<Counter>,
     accepted: Arc<Counter>,
     rejected_overload: Arc<Counter>,
     rejected_shutdown: Arc<Counter>,
-    completed: Arc<Counter>,
+    completed: Arc<WindowedCounter>,
     solve_errors: Arc<Counter>,
     serialize_errors: Arc<Counter>,
     timed_out: Arc<Counter>,
@@ -35,8 +41,9 @@ pub struct ServerMetrics {
     sessions_evicted: Arc<Counter>,
     deadline_preempts: Arc<Counter>,
     inflight: Arc<Gauge>,
-    /// End-to-end latency (admission → response), lifetime histogram.
-    latency: Arc<Histogram>,
+    /// End-to-end latency (admission → response): lifetime histogram
+    /// plus the 10s/1m/5m windowed view.
+    latency: Arc<WindowedHistogram>,
 }
 
 impl Default for ServerMetrics {
@@ -49,12 +56,12 @@ impl ServerMetrics {
     /// Metrics writing into `registry` under the `serve.*` prefix.
     pub fn new(registry: Arc<Registry>) -> Self {
         ServerMetrics {
-            received: registry.counter("serve.received"),
+            received: registry.windowed_counter("serve.received"),
             bad_requests: registry.counter("serve.bad_requests"),
             accepted: registry.counter("serve.accepted"),
             rejected_overload: registry.counter("serve.rejected_overload"),
             rejected_shutdown: registry.counter("serve.rejected_shutdown"),
-            completed: registry.counter("serve.completed"),
+            completed: registry.windowed_counter("serve.completed"),
             solve_errors: registry.counter("serve.solve_errors"),
             serialize_errors: registry.counter("serve.serialize_errors"),
             timed_out: registry.counter("serve.timed_out"),
@@ -64,7 +71,7 @@ impl ServerMetrics {
             sessions_evicted: registry.counter("serve.sessions_evicted"),
             deadline_preempts: registry.counter("serve.deadline_preempts"),
             inflight: registry.gauge("serve.inflight"),
-            latency: registry.histogram("serve.latency_ms"),
+            latency: registry.windowed_histogram("serve.latency_ms"),
             registry,
         }
     }
@@ -160,13 +167,25 @@ impl ServerMetrics {
         queue_len: usize,
         queue_capacity: usize,
     ) -> StatsReply {
-        self.snapshot_merged(&[engine], started, queue_len, queue_capacity, 0, 1)
+        self.snapshot_merged(
+            &[engine],
+            started,
+            queue_len,
+            queue_capacity,
+            0,
+            1,
+            Vec::new(),
+            Vec::new(),
+        )
     }
 
     /// Build a wire-ready snapshot merged across every router shard:
     /// cache and outcome totals are summed over the shard engines,
     /// queue figures are the caller's totals, and the server-level
     /// counters come from the one registry every shard writes into.
+    /// The caller supplies the per-shard sections and the recent
+    /// slow-request list (it owns the shard tables and event log).
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot_merged(
         &self,
         engines: &[&Engine],
@@ -175,6 +194,8 @@ impl ServerMetrics {
         queue_capacity: usize,
         sessions_open: u64,
         router_workers: u64,
+        shards: Vec<ShardStats>,
+        slow: Vec<SlowRequest>,
     ) -> StatsReply {
         let mut hits = 0u64;
         let mut misses = 0u64;
@@ -219,8 +240,10 @@ impl ServerMetrics {
             cache_entries: entries,
             sessions_open,
             router_workers,
+            shards,
+            slow,
             engine: totals,
-            latency_ms: Percentiles::from_snapshot(&HistogramSnapshot::of(&self.latency)),
+            latency_ms: Percentiles::from_snapshot(&HistogramSnapshot::of(self.latency.lifetime())),
             registry: self.registry.snapshot(),
         }
     }
@@ -260,6 +283,13 @@ mod tests {
         assert_eq!(snap.registry.counter("serve.accepted"), Some(2));
         assert_eq!(snap.registry.gauge("serve.inflight"), Some(0));
         assert_eq!(snap.registry.histogram("serve.latency_ms").unwrap().count, 2);
+        // Request-plane instruments opted into windowing, so the
+        // snapshot carries their 10s/1m/5m sections too.
+        assert!(snap.registry.window("serve.received").is_some());
+        assert!(snap.registry.window("serve.completed").is_some());
+        assert_eq!(snap.registry.window_histogram("serve.latency_ms").unwrap().w10s.count, 2);
+        assert!(snap.shards.is_empty());
+        assert!(snap.slow.is_empty());
         // The snapshot survives the wire format.
         let line = serde_json::to_string(&snap).unwrap();
         let back: StatsReply = serde_json::from_str(&line).unwrap();
