@@ -6,8 +6,13 @@
 //! emits a `BENCH_<tag>.json` baseline: per-stage p50/p95 latencies
 //! from the `span.*` histograms, algorithm counters (LP pivots, flow
 //! augmentations), end-to-end solve percentiles, and the measured
-//! instrumentation overhead. CI uploads the file as an artifact so
-//! future PRs can diff the perf trajectory.
+//! instrumentation overhead. An `lp_hybrid` section re-runs the corpus
+//! once per precision mode and records the lp-stage p50 under
+//! `precision=hybrid` vs `precision=exact`, the speedup between them,
+//! and the hybrid verify/fallback counters (the fallback rate is the
+//! honesty figure: how often the f64-first path had to re-solve
+//! exactly). CI uploads the file as an artifact so future PRs can diff
+//! the perf trajectory.
 //!
 //! ```text
 //! cargo run --release -p atsched-bench -- \
@@ -53,7 +58,7 @@
 //! CI uses this to run the compare as its own step without re-benching.
 
 use atsched_core::delta::JobDelta;
-use atsched_core::solver::{solve_nested, ShardMode, SolverOptions};
+use atsched_core::solver::{solve_nested, PrecisionMode, ShardMode, SolverOptions};
 use atsched_engine::{solve_nested_sharded, Engine, EngineConfig, Outcome};
 use atsched_obs as obs;
 use atsched_serve::{run_load, Client, LoadConfig, Server, ServerConfig};
@@ -68,7 +73,7 @@ use std::time::{Duration, Instant};
 
 /// Report layout version stamped into every baseline. Bump when the
 /// section set or gated fields change shape.
-const SCHEMA_VERSION: u64 = 3;
+const SCHEMA_VERSION: u64 = 4;
 
 /// Wrapper giving a hand-built [`Value`] tree a `Serialize` impl (the
 /// vendored serde stub has none for `Value` itself).
@@ -771,6 +776,47 @@ fn run_corpus(args: &[String]) -> Result<Vec<(String, Value)>, String> {
         ])
     };
 
+    // Hybrid-precision LP: lp-stage p50 with the f64-first exactly
+    // verified pipeline vs the pure big-rational simplex, plus how often
+    // the certificate declined and the exact fallback ran. Results are
+    // bit-identical by construction; this section prices the fast path.
+    let lp_hybrid_section = {
+        let run_mode = |precision: PrecisionMode| -> obs::RegistrySnapshot {
+            let reg = Arc::new(obs::Registry::new());
+            let mode_opts = SolverOptions { precision, ..opts.clone() };
+            for _ in 0..runs {
+                for inst in &instances {
+                    let collector = obs::Collector::new(Arc::clone(&reg));
+                    obs::with_collector(collector, || {
+                        solve_nested(inst, &mode_opts).expect("bench corpus is feasible");
+                    });
+                }
+            }
+            reg.snapshot()
+        };
+        let hybrid = run_mode(PrecisionMode::Hybrid);
+        let exact = run_mode(PrecisionMode::Exact);
+        let hybrid_p50 = hybrid.histogram("span.lp.ms").map_or(0.0, |h| h.p50);
+        let exact_p50 = exact.histogram("span.lp.ms").map_or(0.0, |h| h.p50);
+        let verified = hybrid.counter("lp.hybrid_verified").unwrap_or(0);
+        let fallbacks = hybrid.counter("lp.hybrid_fallbacks").unwrap_or(0);
+        let attempts = verified + fallbacks;
+        let fallback_rate = if attempts > 0 { fallbacks as f64 / attempts as f64 } else { 0.0 };
+        let speedup = if hybrid_p50 > 0.0 { exact_p50 / hybrid_p50 } else { 1.0 };
+        eprintln!(
+            "lp_hybrid: lp p50 hybrid {hybrid_p50:.3} ms vs exact {exact_p50:.3} ms \
+             ({speedup:.2}x; {fallbacks}/{attempts} fallbacks, rate {fallback_rate:.3})"
+        );
+        Value::Map(vec![
+            ("hybrid_p50_ms".into(), Value::Float(hybrid_p50)),
+            ("exact_p50_ms".into(), Value::Float(exact_p50)),
+            ("speedup".into(), Value::Float(speedup)),
+            ("verified".into(), Value::UInt(verified)),
+            ("fallbacks".into(), Value::UInt(fallbacks)),
+            ("fallback_rate".into(), Value::Float(fallback_rate)),
+        ])
+    };
+
     let snapshot = registry.snapshot();
 
     // Per-stage summary: `span.<stage>.ms` histograms (skip the
@@ -840,6 +886,7 @@ fn run_corpus(args: &[String]) -> Result<Vec<(String, Value)>, String> {
         entries.push(("amend".into(), amend));
     }
     entries.push(("obs".into(), obs_section));
+    entries.push(("lp_hybrid".into(), lp_hybrid_section));
     Ok(entries)
 }
 
@@ -856,7 +903,7 @@ fn run() -> Result<(), String> {
 
     let serve_only = has_flag(&args, "--serve-only");
     let serve = serve_only || has_flag(&args, "--serve");
-    let tag: String = flag(&args, "--tag", "pr8".to_string())?;
+    let tag: String = flag(&args, "--tag", "pr9".to_string())?;
     let out: String = flag(&args, "--out", format!("BENCH_{tag}.json"))?;
 
     let mut entries: Vec<(String, Value)> = vec![

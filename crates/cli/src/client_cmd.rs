@@ -150,6 +150,9 @@ fn cmd_solve(client: &mut Client, args: &[String]) -> Result<(), String> {
     if let Some(backend) = crate::flag_value(args, "--backend") {
         req = req.with_backend(backend);
     }
+    if let Some(precision) = crate::flag_value(args, "--precision") {
+        req = req.with_precision(precision);
+    }
     if crate::has_flag(args, "--polish") {
         req = req.with_polish(true);
     }

@@ -28,7 +28,9 @@ use nested_active_time::baselines::greedy::ScanOrder;
 use nested_active_time::baselines::incremental::minimal_feasible_fast;
 use nested_active_time::core::instance::Instance;
 use nested_active_time::core::schedule::Schedule;
-use nested_active_time::core::solver::{solve_nested, LpBackend, ShardMode, SolverOptions};
+use nested_active_time::core::solver::{
+    solve_nested, LpBackend, PrecisionMode, ShardMode, SolverOptions,
+};
 use nested_active_time::engine::solve_nested_sharded;
 use nested_active_time::workloads::generators::{
     random_laminar, random_multi_root, LaminarConfig, MultiRootConfig,
@@ -72,10 +74,11 @@ atsched — nested active-time scheduling (SPAA 2022 reproduction)
 USAGE:
   atsched generate [--g N] [--horizon N] [--seed N] [--roots N] [--gap N] [--child-percent N] [--out FILE]
   atsched solve INSTANCE.{json,txt} [--float|--snap] [--polish] [--no-ceiling] [--shard auto|off|force]
-                [--schedule FILE] [--svg FILE] [--metrics]
+                [--precision hybrid|exact|f64-unchecked] [--schedule FILE] [--svg FILE] [--metrics]
   atsched batch [INSTANCE ...] [--count N] [--g N] [--horizon N] [--seed N] [--roots N]
                 [--workers N] [--no-cache] [--timeout-ms N] [--float|--snap] [--polish]
-                [--shard auto|off|force] [--check] [--keep-going] [--out FILE] [--trace-out FILE]
+                [--shard auto|off|force] [--precision hybrid|exact|f64-unchecked]
+                [--check] [--keep-going] [--out FILE] [--trace-out FILE]
   atsched opt INSTANCE.json [--parallel]
   atsched greedy INSTANCE.json [--order ltr|rtl|rand]
   atsched verify INSTANCE.json SCHEDULE.json
@@ -85,7 +88,8 @@ USAGE:
                 [--metrics-addr HOST:PORT] [--slow-ms N]
   atsched top ADDR [--interval-ms N] [--count N] [--no-clear]
   atsched client ADDR solve INSTANCE [--method auto|nested|general|greedy] [--backend exact|float|snap]
-                 [--polish] [--seed N] [--shard auto|off|force] [--timeout-ms N] [--schedule FILE]
+                 [--precision hybrid|exact|f64-unchecked] [--polish] [--seed N]
+                 [--shard auto|off|force] [--timeout-ms N] [--schedule FILE]
   atsched client ADDR batch INSTANCE [INSTANCE ...]
   atsched client ADDR open INSTANCE | amend SESSION DELTA.json | close SESSION
   atsched client ADDR stats | metrics | health | shutdown
@@ -178,6 +182,9 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     }
     if let Some(mode) = flag_value(args, "--shard") {
         opts.shard = mode.parse::<ShardMode>()?;
+    }
+    if let Some(mode) = flag_value(args, "--precision") {
+        opts.precision = mode.parse::<PrecisionMode>()?;
     }
     let metrics = has_flag(args, "--metrics");
     let registry = Arc::new(obs::Registry::new());
@@ -273,6 +280,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if let Some(mode) = flag_value(args, "--shard") {
         opts.shard = mode.parse::<ShardMode>()?;
     }
+    if let Some(mode) = flag_value(args, "--precision") {
+        opts.precision = mode.parse::<PrecisionMode>()?;
+    }
 
     let mut cfg = EngineConfig::default()
         .workers(parse_num(args, "--workers", 0usize)?)
@@ -349,6 +359,40 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             "check: shard=force objectives identical to shard=off on {} instances",
             instances.len()
         );
+
+        // Precision equivalence: the hybrid f64-first LP pipeline must
+        // yield bit-identical schedules to the pure exact simplex.
+        if opts.backend == LpBackend::Exact {
+            let mut hybrid = opts.clone();
+            hybrid.precision = PrecisionMode::Hybrid;
+            let mut pure = opts.clone();
+            pure.precision = PrecisionMode::Exact;
+            let hb =
+                Engine::new(EngineConfig::default().cache(false)).solve_batch(&instances, &hybrid);
+            let pb =
+                Engine::new(EngineConfig::default().cache(false)).solve_batch(&instances, &pure);
+            for (i, (h, p)) in hb.outcomes.iter().zip(&pb.outcomes).enumerate() {
+                let same = match (h, p) {
+                    (Outcome::Solved(a), Outcome::Solved(b)) => {
+                        a.result.schedule == b.result.schedule && a.result.z == b.result.z
+                    }
+                    (Outcome::Infeasible, Outcome::Infeasible) => true,
+                    (Outcome::TimedOut, _) | (_, Outcome::TimedOut) => true,
+                    _ => false,
+                };
+                if !same {
+                    return Err(format!(
+                        "instance {i}: precision=hybrid outcome {} diverges from precision=exact {}",
+                        h.label(),
+                        p.label()
+                    ));
+                }
+            }
+            eprintln!(
+                "check: precision=hybrid schedules bit-identical to precision=exact on {} instances",
+                instances.len()
+            );
+        }
     }
 
     let json = batch.report.to_json_pretty();

@@ -72,6 +72,6 @@ pub use delta::{DeltaError, DeltaOp, JobDelta};
 pub use instance::{Instance, InstanceError, Job};
 pub use schedule::Schedule;
 pub use solver::{
-    solve_nested, solve_nested_seeded, LpBackend, SeededSolve, ShardMode, SolveError, SolveResult,
-    SolveStats, SolverOptions, StageTimings, WarmSeed,
+    solve_nested, solve_nested_seeded, LpBackend, PrecisionMode, SeededSolve, ShardMode,
+    SolveError, SolveResult, SolveStats, SolverOptions, StageTimings, WarmSeed,
 };

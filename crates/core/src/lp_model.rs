@@ -28,7 +28,8 @@
 use crate::instance::Instance;
 use crate::opt23::OptBounds;
 use crate::tree::Forest;
-use atsched_lp::{Cmp, LpStatus, Model, Scalar, VarId};
+use atsched_lp::{Cmp, HybridOutcome, LpStatus, Model, Scalar, VarId};
+use atsched_num::Ratio;
 
 /// A maximal set of interchangeable jobs: same node, same processing time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -306,6 +307,29 @@ impl<S: Scalar> NestedLp<S> {
             .map(|per_node| per_node.iter().map(|(gid, v)| (*gid, sol.value(*v).clone())).collect())
             .collect();
         FractionalSolution { objective: sol.objective.clone(), x, y }
+    }
+}
+
+impl NestedLp<Ratio> {
+    /// Solve via the f64-first, exactly-verified hybrid pipeline
+    /// ([`Model::solve_hybrid`]) and project onto node space.
+    ///
+    /// With `certify = true` the projected solution is bit-identical to
+    /// [`NestedLp::solve`]: either the optimality-and-uniqueness
+    /// certificate proves the float basis yields the exact solver's
+    /// vertex, or the pipeline already fell back to the exact simplex.
+    /// The returned [`HybridOutcome`] says which path was taken.
+    pub fn solve_hybrid(
+        &self,
+        certify: bool,
+    ) -> Result<(FractionalSolution<Ratio>, HybridOutcome), NestedLpError> {
+        let (sol, _info, outcome) =
+            self.model.solve_hybrid(certify).map_err(NestedLpError::Solver)?;
+        match sol.status {
+            LpStatus::Optimal => Ok((self.project(&sol), outcome)),
+            LpStatus::Infeasible => Err(NestedLpError::Infeasible),
+            LpStatus::Unbounded => unreachable!("objective Σx ≥ 0 is bounded below"),
+        }
     }
 }
 

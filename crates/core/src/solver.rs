@@ -90,6 +90,53 @@ impl std::str::FromStr for ShardMode {
     }
 }
 
+/// Arithmetic discipline for the exact backend's LP stage.
+///
+/// Orthogonal to [`LpBackend`]: only consulted when `backend` is
+/// [`LpBackend::Exact`] (the float backends are approximate by design
+/// and ignore it). Warm-started solves ([`solve_nested_seeded`]) also
+/// ignore it — the seed protocol is defined over the pure exact solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecisionMode {
+    /// f64-first with exact verification (the default): solve the LP in
+    /// `f64`, re-derive the final basis exactly, certify optimality and
+    /// uniqueness, and fall back to the exact simplex on any failure.
+    /// Bit-identical to [`PrecisionMode::Exact`] in every case — see
+    /// [`atsched_lp::Model::solve_hybrid`].
+    Hybrid,
+    /// Pure big-rational simplex (the reference discipline).
+    Exact,
+    /// f64-first with exact re-derivation but *without* the optimality
+    /// certificate: a float mis-pivot could leave the (still exactly
+    /// rational, still LP-feasible) solution suboptimal. For throwaway
+    /// sweeps; the final schedule is re-verified regardless.
+    F64Unchecked,
+}
+
+impl PrecisionMode {
+    /// Stable lowercase label (`hybrid` / `exact` / `f64-unchecked`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrecisionMode::Hybrid => "hybrid",
+            PrecisionMode::Exact => "exact",
+            PrecisionMode::F64Unchecked => "f64-unchecked",
+        }
+    }
+}
+
+impl std::str::FromStr for PrecisionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hybrid" => Ok(PrecisionMode::Hybrid),
+            "exact" => Ok(PrecisionMode::Exact),
+            "f64-unchecked" => Ok(PrecisionMode::F64Unchecked),
+            other => Err(format!("unknown precision mode '{other}' (hybrid|exact|f64-unchecked)")),
+        }
+    }
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone)]
 pub struct SolverOptions {
@@ -117,10 +164,19 @@ pub struct SolverOptions {
     /// engine, the `Solve` facade, the CLI and the serve layer).
     /// [`solve_nested`] ignores this field.
     pub shard: ShardMode,
+    /// Arithmetic discipline for the exact backend's LP stage (ignored
+    /// by the float backends). The [`PrecisionMode::Hybrid`] default is
+    /// bit-identical to [`PrecisionMode::Exact`], just faster.
+    pub precision: PrecisionMode,
 }
 
 impl SolverOptions {
     /// Exact reference configuration (the paper's algorithm verbatim).
+    ///
+    /// Ships with [`PrecisionMode::Hybrid`]: the LP runs f64-first but
+    /// every answer is exactly re-derived and certified (or the exact
+    /// simplex is rerun), so results are bit-identical to
+    /// [`PrecisionMode::Exact`] while typically much faster.
     pub fn exact() -> Self {
         SolverOptions {
             backend: LpBackend::Exact,
@@ -130,12 +186,19 @@ impl SolverOptions {
             round_choice: crate::rounding::RoundingChoice::LargestFraction,
             ceiling_depth: 3,
             shard: ShardMode::Auto,
+            precision: PrecisionMode::Hybrid,
         }
     }
 
     /// Fast floating-point configuration.
     pub fn float() -> Self {
         SolverOptions { backend: LpBackend::Float, ..SolverOptions::exact() }
+    }
+
+    /// Pick the arithmetic discipline for the exact backend's LP stage.
+    pub fn with_precision(mut self, precision: PrecisionMode) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Enable the slot-closing post-optimization.
@@ -299,9 +362,20 @@ pub fn solve_nested(inst: &Instance, opts: &SolverOptions) -> Result<SolveResult
     drop(span);
 
     match opts.backend {
-        LpBackend::Exact => {
-            run_pipeline::<Ratio>(inst, canon, nodes_original, &bounds, opts, timings)
-        }
+        LpBackend::Exact => match opts.precision {
+            PrecisionMode::Exact => {
+                run_pipeline::<Ratio>(inst, canon, nodes_original, &bounds, opts, timings)
+            }
+            PrecisionMode::Hybrid | PrecisionMode::F64Unchecked => run_hybrid_pipeline(
+                inst,
+                canon,
+                nodes_original,
+                &bounds,
+                opts,
+                timings,
+                opts.precision == PrecisionMode::Hybrid,
+            ),
+        },
         LpBackend::Float => {
             run_pipeline::<f64>(inst, canon, nodes_original, &bounds, opts, timings)
         }
@@ -388,6 +462,58 @@ pub fn solve_nested_seeded(
     let result =
         finish_pipeline::<Ratio>(inst, canon, nodes_original, opts, warm.solution, timings)?;
     Ok(SeededSolve { result, seed: seed_out, warm_hit })
+}
+
+/// Job-count gate for the Lemma 4.1 deficiency cross-check on the
+/// hybrid path. The check enumerates `2^n` job subsets, so it is only
+/// affordable (and only run) on small instances; 12 keeps it well under
+/// a millisecond and off the critical path of larger solves.
+const LEMMA41_JOB_LIMIT: usize = 12;
+
+/// Exact backend under [`PrecisionMode::Hybrid`] /
+/// [`PrecisionMode::F64Unchecked`]: the LP stage runs the f64-first,
+/// exactly-verified pipeline ([`NestedLp::solve_hybrid`]); everything
+/// downstream is the ordinary exact pipeline on the re-derived rational
+/// solution. On small instances the rounded integral certificate is
+/// additionally cross-checked against the paper's Lemma 4.1
+/// characterization; a violation (never observed — it would indicate a
+/// rounding-stage bug, since the schedule already re-verified by
+/// max-flow) re-runs the whole pipeline in pure exact arithmetic.
+fn run_hybrid_pipeline(
+    inst: &Instance,
+    canon: Forest,
+    nodes_original: usize,
+    bounds: &opt23::OptBounds,
+    opts: &SolverOptions,
+    mut timings: StageTimings,
+    certify: bool,
+) -> Result<SolveResult, SolveError> {
+    let stage = Instant::now();
+    let lp_span = obs::Span::enter("lp");
+    let mut lp = build_opts::<Ratio>(&canon, inst, bounds, opts.use_ceiling);
+    if opts.use_ceiling && opts.ceiling_depth > 3 {
+        let deep = crate::opt23::compute_deep(&canon, inst, opts.ceiling_depth);
+        crate::lp_model::add_deep_ceilings(&mut lp, &canon, &deep);
+    }
+    let (sol, _outcome) = lp.solve_hybrid(certify).map_err(|e| match e {
+        NestedLpError::Infeasible => SolveError::Infeasible,
+        NestedLpError::Solver(e) => SolveError::Lp(e),
+    })?;
+    timings.lp = stage.elapsed();
+    drop(lp_span);
+
+    let canonicalize = timings.canonicalize;
+    let result = finish_pipeline::<Ratio>(inst, canon, nodes_original, opts, sol, timings)?;
+    if certify
+        && inst.num_jobs() <= LEMMA41_JOB_LIMIT
+        && crate::certify::check_lemma_4_1(&result.forest, inst, &result.z, LEMMA41_JOB_LIMIT)
+            .is_err()
+    {
+        obs::counter_add("solver.hybrid_lemma41_fallbacks", 1);
+        let timings = StageTimings { canonicalize, ..StageTimings::default() };
+        return run_pipeline::<Ratio>(inst, result.forest, nodes_original, bounds, opts, timings);
+    }
+    Ok(result)
 }
 
 /// Hybrid backend: float LP, rationalized solution, exact rounding.
@@ -850,6 +976,90 @@ mod tests {
         let r = solve_nested_seeded(&empty, &SolverOptions::exact(), None, true).unwrap();
         assert_eq!(r.result.stats.opened_slots, 0);
         assert!(r.seed.is_none());
+    }
+
+    #[test]
+    fn precision_mode_labels_round_trip() {
+        for mode in [PrecisionMode::Hybrid, PrecisionMode::Exact, PrecisionMode::F64Unchecked] {
+            assert_eq!(mode.label().parse::<PrecisionMode>().unwrap(), mode);
+        }
+        assert!("float".parse::<PrecisionMode>().is_err());
+    }
+
+    #[test]
+    fn hybrid_precision_is_bit_identical_to_exact() {
+        let cases: Cases = vec![
+            (2, vec![(0, 8, 2), (1, 4, 1), (5, 7, 1)]),
+            (3, vec![(0, 2, 1); 4]),
+            (2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]),
+            (2, vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2)]),
+            (2, vec![(0, 3, 2), (5, 9, 1), (5, 9, 1), (12, 14, 2)]),
+            (1, vec![(0, 5, 2)]),
+        ];
+        for (g, jobs) in cases {
+            let i = inst(g, jobs.clone());
+            let pure = SolverOptions::exact().with_precision(PrecisionMode::Exact);
+            let e = solve_nested(&i, &pure).unwrap();
+            let h = solve_nested(&i, &SolverOptions::exact()).unwrap();
+            assert_eq!(h.z, e.z, "{jobs:?}");
+            assert_eq!(h.schedule.slots, e.schedule.slots, "{jobs:?}");
+            assert_eq!(h.schedule.assignment, e.schedule.assignment, "{jobs:?}");
+            assert_eq!(h.stats.lp_objective_exact, e.stats.lp_objective_exact, "{jobs:?}");
+            assert_eq!(h.stats.opened_slots, e.stats.opened_slots, "{jobs:?}");
+
+            // Unchecked mode skips the certificate but still re-derives
+            // exactly; the schedule must verify in every case.
+            let unchecked = SolverOptions::exact().with_precision(PrecisionMode::F64Unchecked);
+            let u = solve_nested(&i, &unchecked).unwrap();
+            u.schedule.verify(&i).unwrap();
+            assert!(u.stats.lp_objective_exact.is_some(), "unchecked path stays rational");
+        }
+    }
+
+    #[test]
+    fn hybrid_precision_reports_infeasible() {
+        let i = inst(1, vec![(0, 2, 1); 3]);
+        assert_eq!(solve_nested(&i, &SolverOptions::exact()).unwrap_err(), SolveError::Infeasible);
+        let unchecked = SolverOptions::exact().with_precision(PrecisionMode::F64Unchecked);
+        assert_eq!(solve_nested(&i, &unchecked).unwrap_err(), SolveError::Infeasible);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// Hybrid precision ≡ pure exact on random laminar instances:
+        /// same z-vector, same slots, same assignment, same exact LP
+        /// objective — bit for bit. (Generator shape borrowed from the
+        /// opt23 oracle test.)
+        #[test]
+        fn prop_hybrid_precision_matches_exact(
+            g in 1i64..4,
+            raw in proptest::collection::vec((0i64..6, 1i64..5, 1i64..3), 1..6),
+        ) {
+            let mut jobs = vec![(0i64, 12i64, 1i64)];
+            for (start, len, p) in raw {
+                let d = (start + len.max(p)).min(12);
+                let r = start.min(d - p.min(len.max(p)));
+                let r2 = r - (r % 3);
+                let d2 = (r2 + 3).min(12).max(r2 + p);
+                if d2 <= 12 {
+                    jobs.push((r2, d2, p.min(d2 - r2)));
+                }
+            }
+            let i = inst(g, jobs);
+            proptest::prop_assume!(i.check_laminar().is_ok());
+            let pure = SolverOptions::exact().with_precision(PrecisionMode::Exact);
+            match (solve_nested(&i, &SolverOptions::exact()), solve_nested(&i, &pure)) {
+                (Ok(h), Ok(e)) => {
+                    proptest::prop_assert_eq!(h.z, e.z);
+                    proptest::prop_assert_eq!(h.schedule.slots, e.schedule.slots);
+                    proptest::prop_assert_eq!(h.schedule.assignment, e.schedule.assignment);
+                    proptest::prop_assert_eq!(
+                        h.stats.lp_objective_exact, e.stats.lp_objective_exact);
+                }
+                (Err(a), Err(b)) => proptest::prop_assert_eq!(a, b),
+                (h, e) => proptest::prop_assert!(false, "diverged: {:?} vs {:?}", h, e),
+            }
+        }
     }
 
     #[test]

@@ -195,7 +195,7 @@ mod tests {
 
         use super::*;
         use atsched_core::rounding::RoundingChoice;
-        use atsched_core::solver::{LpBackend, ShardMode};
+        use atsched_core::solver::{LpBackend, PrecisionMode, ShardMode};
         use proptest::prelude::*;
 
         fn job() -> impl Strategy<Value = Job> {
@@ -208,29 +208,37 @@ mod tests {
         }
 
         fn options() -> impl Strategy<Value = SolverOptions> {
-            (0u8..3, any::<bool>(), any::<bool>(), any::<bool>(), 0u8..3, 3i64..6, 0u8..3).prop_map(
-                |(backend, compact, use_ceiling, polish, round, depth, shard)| SolverOptions {
-                    backend: match backend {
-                        0 => LpBackend::Exact,
-                        1 => LpBackend::Float,
-                        _ => LpBackend::FloatThenSnap,
+            (0u8..3, any::<bool>(), any::<bool>(), any::<bool>(), 0u8..3, 3i64..6, 0u8..3, 0u8..3)
+                .prop_map(
+                    |(backend, compact, use_ceiling, polish, round, depth, shard, precision)| {
+                        SolverOptions {
+                            backend: match backend {
+                                0 => LpBackend::Exact,
+                                1 => LpBackend::Float,
+                                _ => LpBackend::FloatThenSnap,
+                            },
+                            compact,
+                            use_ceiling,
+                            polish,
+                            round_choice: match round {
+                                0 => RoundingChoice::LargestFraction,
+                                1 => RoundingChoice::FirstId,
+                                _ => RoundingChoice::Shuffled(depth as u64),
+                            },
+                            ceiling_depth: depth,
+                            shard: match shard {
+                                0 => ShardMode::Auto,
+                                1 => ShardMode::Off,
+                                _ => ShardMode::Force,
+                            },
+                            precision: match precision {
+                                0 => PrecisionMode::Hybrid,
+                                1 => PrecisionMode::Exact,
+                                _ => PrecisionMode::F64Unchecked,
+                            },
+                        }
                     },
-                    compact,
-                    use_ceiling,
-                    polish,
-                    round_choice: match round {
-                        0 => RoundingChoice::LargestFraction,
-                        1 => RoundingChoice::FirstId,
-                        _ => RoundingChoice::Shuffled(depth as u64),
-                    },
-                    ceiling_depth: depth,
-                    shard: match shard {
-                        0 => ShardMode::Auto,
-                        1 => ShardMode::Off,
-                        _ => ShardMode::Force,
-                    },
-                },
-            )
+                )
         }
 
         /// Apply one of the content mutations; returns `None` when the
@@ -294,6 +302,12 @@ mod tests {
                         _ => ShardMode::Off,
                     }
                 }
+                6 => {
+                    m.precision = match m.precision {
+                        PrecisionMode::Exact => PrecisionMode::Hybrid,
+                        _ => PrecisionMode::Exact,
+                    }
+                }
                 _ => m.ceiling_depth += 1,
             }
             m
@@ -305,7 +319,7 @@ mod tests {
                 inst in instance(),
                 opts in options(),
                 which_inst in 0u8..6,
-                which_opts in 0u8..7,
+                which_opts in 0u8..8,
                 delta in 0i64..8,
             ) {
                 // Reflexivity: a clone is the same key (a repeat hits).

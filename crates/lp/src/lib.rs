@@ -18,6 +18,12 @@
 //!   max-flow, so floating-point noise cannot produce a silently invalid
 //!   schedule.
 //!
+//! The two meet in the hybrid pipeline ([`Model::solve_hybrid`]): solve
+//! in `f64`, keep only the final basis, re-derive that vertex in exact
+//! arithmetic, certify it (optimality + uniqueness), and fall back to
+//! the exact simplex on any typed failure — exact answers at close to
+//! float speed on the common path.
+//!
 //! ## Example
 //!
 //! ```
@@ -38,11 +44,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hybrid;
 mod model;
 mod presolve;
 mod scalar;
 mod simplex;
+mod verify;
 mod warm;
 
+pub use hybrid::{FallbackReason, HybridOutcome};
 pub use model::{Cmp, LpError, LpStatus, Model, Solution, SolveInfo, VarId};
 pub use scalar::{scalar_from_int, Scalar};
+pub use verify::VerifyError;
+pub use warm::WarmDecline;

@@ -7,8 +7,10 @@ use std::fmt::{Debug, Display};
 ///
 /// Implemented for [`Ratio`] (exact; `is_zero` means literally zero) and
 /// for `f64` (approximate; `is_zero` uses an absolute tolerance of
-/// `1e-9`, which is appropriate for the well-scaled scheduling LPs this
-/// workspace produces — coefficients are small integers and `g ≤ 10^6`).
+/// `1e-9`). The absolute tolerance is sound because the solver
+/// equilibrates every tableau row to unit magnitude first — see
+/// [`Scalar::row_scale`] — so `1e-9` acts as a *relative* threshold no
+/// matter how the input model is scaled.
 pub trait Scalar: Clone + PartialOrd + Debug + Display + 'static {
     /// Additive identity.
     fn zero() -> Self;
@@ -47,6 +49,50 @@ pub trait Scalar: Clone + PartialOrd + Debug + Display + 'static {
         if !s.is_zero() {
             *self = self.sub(&f.mul(s));
         }
+    }
+    /// Row-equilibration hook. Given the largest absolute value in a
+    /// tableau row (or cost vector), return the factor the row should be
+    /// multiplied by to bring its magnitude near 1, or `None` to leave
+    /// the row untouched.
+    ///
+    /// Exact fields return `None` — their comparisons are scale-free.
+    /// `f64` returns the power of two `2^{-⌊log₂ max⌋}`: multiplying by
+    /// it is exact (no rounding), and it turns the absolute `F64_EPS`
+    /// zero test into a relative, Harris-style tolerance, so models
+    /// scaled by `1e12` or `1e-6` classify pivots identically to their
+    /// unit-scale counterparts.
+    fn row_scale(_max_abs: &Self) -> Option<Self> {
+        None
+    }
+    /// Could an exact field classify the *sign* of this value
+    /// differently? Exact fields answer `false` — they never disagree
+    /// with themselves. `f64` answers `true` inside a small band around
+    /// its `F64_EPS` thresholds: a value that is not bit-exact zero but
+    /// sits within the band may have either true sign once rounding is
+    /// undone. The hybrid pipeline treats any pivot decision made on a
+    /// marginal value as "the exact simplex might have chosen
+    /// differently" and falls back.
+    fn sign_is_marginal(&self) -> bool {
+        false
+    }
+    /// Could an exact field order `self` vs `other` the other way?
+    /// Exact fields answer `false`; `f64` answers `true` when the two
+    /// are closer than the tolerance band yet further apart than the
+    /// noise floor (a sub-noise difference reads as an exact tie, which
+    /// both fields break by the same index rule — see
+    /// [`Scalar::decisively_lt`]).
+    fn order_is_marginal(&self, _other: &Self) -> bool {
+        false
+    }
+    /// "Strictly less" as a *pivot decision*: exact fields compare
+    /// exactly; `f64` additionally demands the gap exceed the noise
+    /// floor, so that cancellation noise around an exact tie does not
+    /// preempt the index tie-break the exact field would use. (A raw
+    /// `<` here was the one observable divergence between the float and
+    /// exact pivot walks: a −1e-17 noise "win" steals a ratio-test tie
+    /// from the lower-index row.)
+    fn decisively_lt(&self, other: &Self) -> bool {
+        self < other
     }
     /// Lossy conversion for reporting.
     fn to_f64(&self) -> f64;
@@ -129,6 +175,17 @@ impl Scalar for Ratio {
 /// Absolute tolerance under which an `f64` tableau entry is treated as 0.
 pub(crate) const F64_EPS: f64 = 1e-9;
 
+/// Noise floor for marginality tests. On the equilibrated (unit-scale)
+/// tableau, accumulated f64 rounding error is far below this, while the
+/// smallest *genuinely nonzero* rational arising from small-integer LP
+/// data is far above it — so a magnitude below the floor is read as "an
+/// exact zero plus rounding noise" (both fields classify it the same
+/// way: zero, or a tie broken by index) rather than as an ambiguous
+/// decision. Without the floor, every degenerate LP — where exact-zero
+/// reduced costs and exactly tied ratios are the norm — would be flagged
+/// tie-suspect by its own cancellation noise.
+pub(crate) const F64_NOISE: f64 = 1e-13;
+
 impl Scalar for f64 {
     fn zero() -> Self {
         0.0
@@ -168,6 +225,39 @@ impl Scalar for f64 {
 
     fn is_negative(&self) -> bool {
         *self < -F64_EPS
+    }
+
+    fn sign_is_marginal(&self) -> bool {
+        // The sign thresholds sit at ±F64_EPS; a value within twice that
+        // of zero could land on either side of them once rounding is
+        // undone — unless it is below the noise floor, in which case it
+        // reads as an exact zero that both fields classify identically.
+        let a = self.abs();
+        a > F64_NOISE && a <= 2.0 * F64_EPS
+    }
+
+    fn order_is_marginal(&self, other: &Self) -> bool {
+        let d = (*self - *other).abs();
+        d > F64_NOISE && d <= 2.0 * F64_EPS
+    }
+
+    fn decisively_lt(&self, other: &Self) -> bool {
+        *self < *other && (*other - *self) > F64_NOISE
+    }
+
+    fn row_scale(max_abs: &Self) -> Option<Self> {
+        let m = max_abs.abs();
+        if !m.is_finite() || m == 0.0 {
+            return None;
+        }
+        // Exponent e with m·2⁻ᵉ ∈ [1, 2). Clamped so the scale itself
+        // stays a finite normal (subnormal row maxima would otherwise
+        // ask for 2^1074).
+        let e = (m.log2().floor() as i32).clamp(-1020, 1020);
+        if e == 0 {
+            return None;
+        }
+        Some(2f64.powi(-e))
     }
 
     // No zero-skipping in the float kernels: subtracting a below-
@@ -259,6 +349,28 @@ mod tests {
         assert_eq!(2.5f64.floor_int(), 2);
         assert_eq!(2.0000000001f64.ceil_int(), 2);
         assert_eq!(2.5f64.ceil_int(), 3);
+    }
+
+    #[test]
+    fn row_scale_is_an_exact_power_of_two_near_the_inverse() {
+        // Exact field: never scales.
+        assert_eq!(<Ratio as Scalar>::row_scale(&Ratio::from_i64(1_000_000)), None);
+        // f64: 2^-⌊log2⌋, bringing the magnitude into [1, 2).
+        for m in [1e12f64, 3e-7, 1234.5, 0.001, 2.0_f64.powi(900)] {
+            let s = <f64 as Scalar>::row_scale(&m).unwrap();
+            let scaled = m * s;
+            assert!((1.0..2.0).contains(&scaled), "{m} scaled to {scaled}");
+            // The scale is a power of two: multiplying is exact.
+            assert_eq!(s.to_bits() & ((1u64 << 52) - 1), 0);
+        }
+        // Already unit-magnitude rows are left untouched.
+        assert_eq!(<f64 as Scalar>::row_scale(&1.5), None);
+        // Degenerate maxima never produce a scale.
+        assert_eq!(<f64 as Scalar>::row_scale(&0.0), None);
+        assert_eq!(<f64 as Scalar>::row_scale(&f64::INFINITY), None);
+        // Subnormal maxima are clamped to a finite scale.
+        let s = <f64 as Scalar>::row_scale(&f64::from_bits(1)).unwrap_or(1.0);
+        assert!(s.is_finite());
     }
 
     #[test]

@@ -25,6 +25,14 @@ struct Tableau<S> {
     cols: usize,
     /// Columns that may never (re-)enter the basis (artificials).
     banned: Vec<bool>,
+    /// Set when any pivot decision was made on a value inside the
+    /// tolerance band ([`Scalar::sign_is_marginal`] /
+    /// [`Scalar::order_is_marginal`]): an exact field might have decided
+    /// that pivot differently, so the final basis — while still checked
+    /// for exact optimality by the hybrid pipeline — is not guaranteed
+    /// to be the one the exact simplex would reach. Never set for exact
+    /// fields.
+    marginal: bool,
 }
 
 impl<S: Scalar> Tableau<S> {
@@ -86,34 +94,60 @@ impl<S: Scalar> Tableau<S> {
         Err(LpError::IterationLimit)
     }
 
-    fn choose_entering(&self, red: &[S], bland: bool) -> Option<usize> {
+    fn choose_entering(&mut self, red: &[S], bland: bool) -> Option<usize> {
         if bland {
-            (0..self.cols).find(|&j| !self.banned[j] && red[j].is_negative())
+            for (j, rj) in red.iter().enumerate().take(self.cols) {
+                if self.banned[j] {
+                    continue;
+                }
+                if rj.sign_is_marginal() {
+                    self.marginal = true;
+                }
+                if rj.is_negative() {
+                    return Some(j);
+                }
+            }
+            None
         } else {
             let mut best: Option<(usize, &S)> = None;
+            let mut marginal = self.marginal;
             for (j, rj) in red.iter().enumerate().take(self.cols) {
-                if self.banned[j] || !rj.is_negative() {
+                if self.banned[j] {
+                    continue;
+                }
+                if rj.sign_is_marginal() {
+                    marginal = true;
+                }
+                if !rj.is_negative() {
                     continue;
                 }
                 match &best {
                     None => best = Some((j, rj)),
                     Some((_, b)) => {
-                        if rj < *b {
+                        if rj.order_is_marginal(b) {
+                            marginal = true;
+                        }
+                        if rj.decisively_lt(b) {
                             best = Some((j, rj));
                         }
                     }
                 }
             }
+            self.marginal = marginal;
             best.map(|(j, _)| j)
         }
     }
 
     /// Minimum-ratio test; ties broken by smallest basic-variable index
     /// (the Bland tie-break, needed for guaranteed termination).
-    fn choose_leaving(&self, col: usize) -> Option<usize> {
+    fn choose_leaving(&mut self, col: usize) -> Option<usize> {
         let mut best: Option<(usize, S)> = None; // (row, ratio)
+        let mut marginal = self.marginal;
         for i in 0..self.rows.len() {
             let a = &self.rows[i][col];
+            if a.sign_is_marginal() {
+                marginal = true;
+            }
             if !a.is_positive() {
                 continue;
             }
@@ -121,13 +155,18 @@ impl<S: Scalar> Tableau<S> {
             match &best {
                 None => best = Some((i, ratio)),
                 Some((bi, br)) => {
+                    if ratio.order_is_marginal(br) {
+                        marginal = true;
+                    }
                     // Tie-break (Bland): when the new ratio is not
-                    // strictly smaller, it ties iff `ratio - br` is not
-                    // positive (for f64 this keeps the tolerance window
-                    // of the original two-sided check, since `ratio ≥ br`
-                    // already holds here). Check the cheap index
-                    // comparison first.
-                    if ratio < *br
+                    // decisively smaller (exact `<`, plus a noise-floor
+                    // margin for f64 so cancellation noise cannot steal
+                    // an exact tie from the index rule), it ties iff
+                    // `ratio - br` is not positive (for f64 this keeps
+                    // the tolerance window of the original two-sided
+                    // check, since `ratio ≥ br − noise` already holds
+                    // here). Check the cheap index comparison first.
+                    if ratio.decisively_lt(br)
                         || (self.basis[i] < self.basis[*bi] && !(ratio.sub(br)).is_positive())
                     {
                         best = Some((i, ratio));
@@ -135,6 +174,7 @@ impl<S: Scalar> Tableau<S> {
                 }
             }
         }
+        self.marginal = marginal;
         best.map(|(i, _)| i)
     }
 }
@@ -189,7 +229,8 @@ pub(crate) fn solve_detailed<S: Scalar>(
     obs::counter_add("lp.presolve_fixed", pre.vars_fixed as u64);
     obs::counter_add("lp.presolve_rows_dropped", pre.rows_dropped as u64);
 
-    let (reduced_sol, pivots, _) = solve_core(&pre.model, false)?;
+    let core = solve_core(&pre.model, false)?;
+    let (reduced_sol, pivots) = (core.solution, core.pivots);
     info.pivots = pivots;
     let solution = match reduced_sol.status {
         LpStatus::Optimal => {
@@ -204,23 +245,74 @@ pub(crate) fn solve_detailed<S: Scalar>(
     Ok((solution, info))
 }
 
-/// Solution, pivot count, and (when requested) the dual values.
-type CoreOutput<S> = (Solution<S>, usize, Option<Vec<S>>);
+/// Snapshot of the simplex's final basis, enough to re-derive the same
+/// vertex in a different scalar field (the hybrid path re-solves it in
+/// exact arithmetic — see [`crate::verify`]).
+///
+/// Column indices refer to the layout of [`solve_core_inner`]'s tableau:
+/// `[0..n)` structural, `[n..n+num_slack)` one slack/surplus per
+/// inequality in row order, then artificials.
+#[derive(Debug, Clone)]
+pub(crate) struct FinalBasis {
+    /// Basic column of each surviving row.
+    pub basis: Vec<usize>,
+    /// Original constraint index of each surviving row (phase 1 may have
+    /// dropped redundant rows).
+    pub row_ids: Vec<usize>,
+    /// Structural column count.
+    pub n: usize,
+    /// Slack/surplus column count.
+    pub num_slack: usize,
+}
+
+/// Everything a core solve can report.
+pub(crate) struct CoreSolve<S> {
+    pub solution: Solution<S>,
+    pub pivots: usize,
+    /// Dual values (when requested and optimal).
+    pub duals: Option<Vec<S>>,
+    /// Final basis (when optimal).
+    pub basis: Option<FinalBasis>,
+    /// Some pivot decision was made inside the tolerance band — the
+    /// exact simplex might have pivoted differently (see
+    /// [`Tableau::marginal`]). Always `false` for exact fields.
+    pub marginal: bool,
+}
 
 /// [`solve_core_inner`] plus the `lp.pivots` metric: counting in this
 /// wrapper covers both the presolved ([`solve_detailed`]) and the dual
 /// ([`solve_with_duals`]) entry points, whichever return path the inner
 /// solve takes.
-fn solve_core<S: Scalar>(model: &Model<S>, want_duals: bool) -> Result<CoreOutput<S>, LpError> {
-    let out = solve_core_inner(model, want_duals)?;
-    obs::counter_add("lp.pivots", out.1 as u64);
+pub(crate) fn solve_core<S: Scalar>(
+    model: &Model<S>,
+    want_duals: bool,
+) -> Result<CoreSolve<S>, LpError> {
+    solve_core_with(model, want_duals, true)
+}
+
+/// [`solve_core`] with row equilibration optional. The hybrid pipeline
+/// turns it off for its float probe: scaling structural rows (the unit
+/// slack columns go in *after* the scale) reparameterizes the slack
+/// variables, which shifts reduced costs and ratio tests enough to send
+/// the float walk down a different — equally optimal — pivot path than
+/// the unscaled exact solve. Mirroring the exact walk needs the same
+/// LP; a badly scaled model then simply fails certification and falls
+/// back, it never returns a wrong answer.
+pub(crate) fn solve_core_with<S: Scalar>(
+    model: &Model<S>,
+    want_duals: bool,
+    equilibrate: bool,
+) -> Result<CoreSolve<S>, LpError> {
+    let out = solve_core_inner(model, want_duals, equilibrate)?;
+    obs::counter_add("lp.pivots", out.pivots as u64);
     Ok(out)
 }
 
 fn solve_core_inner<S: Scalar>(
     model: &Model<S>,
     want_duals: bool,
-) -> Result<CoreOutput<S>, LpError> {
+    equilibrate: bool,
+) -> Result<CoreSolve<S>, LpError> {
     let n = model.num_vars();
     let m = model.constraints.len();
     let mut pivots = 0usize;
@@ -249,6 +341,7 @@ fn solve_core_inner<S: Scalar>(
         row_ids: (0..m).collect(),
         cols,
         banned: vec![false; cols],
+        marginal: false,
     };
 
     let mut slack_cursor = n;
@@ -260,10 +353,26 @@ fn solve_core_inner<S: Scalar>(
     for (i, c) in model.constraints.iter().enumerate() {
         let mut row = vec![S::zero(); cols + 1];
         let flip = c.rhs.is_negative();
+        // Row equilibration (see [`Scalar::row_scale`]): structural
+        // coefficients and RHS are rescaled to unit magnitude *before*
+        // the unit slack/artificial entries go in, so the initial basis
+        // stays an identity and the feasible set in x-space is
+        // unchanged. Skipped when duals are requested — the multipliers
+        // of a scaled row would certify the scaled model, not this one —
+        // and when the caller needs the unscaled pivot walk (hybrid).
+        let scale = if want_duals || !equilibrate { None } else { S::row_scale(&row_max_abs(c)) };
         for (idx, coef) in &c.terms {
-            row[*idx] = if flip { coef.neg() } else { coef.clone() };
+            let v = if flip { coef.neg() } else { coef.clone() };
+            row[*idx] = match &scale {
+                Some(s) => v.mul(s),
+                None => v,
+            };
         }
-        row[cols] = if flip { c.rhs.neg() } else { c.rhs.clone() };
+        let rhs = if flip { c.rhs.neg() } else { c.rhs.clone() };
+        row[cols] = match &scale {
+            Some(s) => rhs.mul(s),
+            None => rhs,
+        };
         match effective_cmp(c) {
             Cmp::Le => {
                 row[slack_cursor] = S::one();
@@ -308,15 +417,17 @@ fn solve_core_inner<S: Scalar>(
         // Recompute the phase-1 objective exactly.
         let (_, obj) = reduced_costs(&tab, &phase1_costs);
         if obj.is_positive() {
-            return Ok((
-                Solution {
+            return Ok(CoreSolve {
+                solution: Solution {
                     status: LpStatus::Infeasible,
                     objective: S::zero(),
                     values: vec![S::zero(); n],
                 },
                 pivots,
-                None,
-            ));
+                duals: None,
+                basis: None,
+                marginal: tab.marginal,
+            });
         }
         // Pivot basic artificials (necessarily at value 0) out of the
         // basis, or drop redundant rows.
@@ -327,7 +438,28 @@ fn solve_core_inner<S: Scalar>(
         let mut row_idx = 0;
         while row_idx < tab.rows.len() {
             if is_art(tab.basis[row_idx]) {
-                let pivot_col = (0..n + num_slack).find(|&j| !tab.rows[row_idx][j].is_zero());
+                // The drop-vs-pivot decision below rides on `is_zero`
+                // classifications: a marginal entry means an exact field
+                // might have kept a row this field drops (or vice
+                // versa), i.e. a different surviving-row set.
+                let (pivot_col, saw_marginal) = {
+                    let row = &tab.rows[row_idx];
+                    let mut found = None;
+                    let mut saw = false;
+                    for (j, rj) in row.iter().enumerate().take(n + num_slack) {
+                        if rj.sign_is_marginal() {
+                            saw = true;
+                        }
+                        if !rj.is_zero() {
+                            found = Some(j);
+                            break;
+                        }
+                    }
+                    (found, saw)
+                };
+                if saw_marginal {
+                    tab.marginal = true;
+                }
                 match pivot_col {
                     Some(j) => {
                         tab.pivot(row_idx, j, &mut scratch);
@@ -352,18 +484,37 @@ fn solve_core_inner<S: Scalar>(
     // --- phase 2: optimize the real objective ------------------------------
     let mut phase2_costs = vec![S::zero(); cols];
     phase2_costs[..n].clone_from_slice(&model.objective);
+    // Equilibrate the cost vector too (uniformly, so pivot choices are
+    // unaffected beyond tolerance classification); the reported
+    // objective is recomputed from the unscaled model below.
+    if !want_duals && equilibrate {
+        let mut mx = S::zero();
+        for cst in &phase2_costs[..n] {
+            let a = abs_of(cst);
+            if mx < a {
+                mx = a;
+            }
+        }
+        if let Some(s) = S::row_scale(&mx) {
+            for cst in phase2_costs[..n].iter_mut() {
+                *cst = cst.mul(&s);
+            }
+        }
+    }
     let (mut red, _) = reduced_costs(&tab, &phase2_costs);
     match tab.optimize(&mut red)? {
         (LpStatus::Unbounded, p) => {
-            return Ok((
-                Solution {
+            return Ok(CoreSolve {
+                solution: Solution {
                     status: LpStatus::Unbounded,
                     objective: S::zero(),
                     values: vec![S::zero(); n],
                 },
-                pivots + p,
-                None,
-            ))
+                pivots: pivots + p,
+                duals: None,
+                basis: None,
+                marginal: tab.marginal,
+            })
         }
         (LpStatus::Optimal, p) => pivots += p,
         (LpStatus::Infeasible, _) => unreachable!(),
@@ -407,7 +558,15 @@ fn solve_core_inner<S: Scalar>(
         None
     };
 
-    Ok((Solution { status: LpStatus::Optimal, objective, values }, pivots, duals))
+    let basis =
+        Some(FinalBasis { basis: tab.basis.clone(), row_ids: tab.row_ids.clone(), n, num_slack });
+    Ok(CoreSolve {
+        solution: Solution { status: LpStatus::Optimal, objective, values },
+        pivots,
+        duals,
+        basis,
+        marginal: tab.marginal,
+    })
 }
 
 /// Solve *without presolve* and return `(primal, duals)`; duals are one
@@ -420,13 +579,33 @@ fn solve_core_inner<S: Scalar>(
 pub(crate) fn solve_with_duals<S: Scalar>(
     model: &Model<S>,
 ) -> Result<(Solution<S>, Vec<S>), LpError> {
-    let (sol, _, duals) = solve_core(model, true)?;
+    let core = solve_core(model, true)?;
     let m = model.num_constraints();
-    Ok((sol, duals.unwrap_or_else(|| vec![S::zero(); m])))
+    Ok((core.solution, core.duals.unwrap_or_else(|| vec![S::zero(); m])))
+}
+
+/// Largest absolute value among a constraint's coefficients and RHS.
+fn row_max_abs<S: Scalar>(c: &Constraint<S>) -> S {
+    let mut mx = abs_of(&c.rhs);
+    for (_, coef) in &c.terms {
+        let a = abs_of(coef);
+        if mx < a {
+            mx = a;
+        }
+    }
+    mx
+}
+
+fn abs_of<S: Scalar>(v: &S) -> S {
+    if v.is_negative() {
+        v.neg()
+    } else {
+        v.clone()
+    }
 }
 
 /// The sense of the row *after* RHS sign normalization.
-fn effective_cmp<S: Scalar>(c: &Constraint<S>) -> Cmp {
+pub(crate) fn effective_cmp<S: Scalar>(c: &Constraint<S>) -> Cmp {
     if c.rhs.is_negative() {
         match c.cmp {
             Cmp::Le => Cmp::Ge,
@@ -610,6 +789,66 @@ mod tests {
         assert_eq!(sr.status, LpStatus::Optimal);
         assert_eq!(sf.status, LpStatus::Optimal);
         assert!((sr.objective.to_f64() - sf.objective).abs() < 1e-9);
+    }
+
+    /// Satellite regression: without row equilibration the absolute
+    /// `F64_EPS = 1e-9` misclassifies entries of badly scaled models —
+    /// at 1e12 scale, f64 cancellation residue (~1e12·2⁻⁵² ≈ 2e-4) reads
+    /// as "nonzero" and derails phase 1; at 1e-6 scale, genuinely
+    /// meaningful entries drop below the zero threshold after a few
+    /// eliminations. The power-of-two row scaling makes both behave
+    /// exactly like the unit-scale model.
+    #[test]
+    fn f64_coefficients_scaled_by_1e12() {
+        // min 2x + 3y s.t. s·(x + y) ≥ s, s·(x − y) = s/3 at s = 1e12;
+        // s/3 is not representable, so eliminations leave real rounding
+        // noise at absolute magnitude ~1e-4.
+        let s = 1e12f64;
+        let mut m: Model<f64> = Model::new();
+        let x = m.add_var("x", 2.0);
+        let y = m.add_var("y", 3.0);
+        m.add_constraint(vec![(x, s), (y, s)], Cmp::Ge, s);
+        m.add_constraint(vec![(x, s), (y, -s)], Cmp::Eq, s / 3.0);
+        // A redundant inexact multiple of the equality: phase 1 must
+        // recognize it as dependent and drop it, which needs the
+        // tolerance to act relatively.
+        m.add_constraint(vec![(x, s / 3.0), (y, -s / 3.0)], Cmp::Eq, s / 9.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // Exact optimum: x = 2/3, y = 1/3, objective 7/3.
+        assert!((sol.objective - 7.0 / 3.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!((sol.values[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert!((sol.values[1] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_coefficients_scaled_by_1e_minus_6() {
+        let s = 1e-6f64;
+        let mut m: Model<f64> = Model::new();
+        let x = m.add_var("x", 2.0);
+        let y = m.add_var("y", 3.0);
+        m.add_constraint(vec![(x, s), (y, s)], Cmp::Ge, s);
+        m.add_constraint(vec![(x, s), (y, -s)], Cmp::Eq, s / 3.0);
+        m.add_constraint(vec![(x, s / 3.0), (y, -s / 3.0)], Cmp::Eq, s / 9.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 7.0 / 3.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!((sol.values[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert!((sol.values[1] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_mixed_scale_rows_equilibrate_independently() {
+        // One huge row and one tiny row in the same model: each gets its
+        // own power-of-two scale.
+        let mut m: Model<f64> = Model::new();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint(vec![(x, 1e12), (y, 2e12)], Cmp::Ge, 3e12);
+        m.add_constraint(vec![(x, 3e-6), (y, 1e-6)], Cmp::Ge, 4e-6);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-6); // x = y = 1
     }
 
     #[test]

@@ -27,6 +27,41 @@
 
 use crate::model::{Cmp, LpStatus, Model, Solution};
 use crate::scalar::Scalar;
+use std::fmt;
+
+/// Why a warm-start certificate was declined by
+/// [`Model::try_warm_detailed`]. Every variant is a safe, expected
+/// outcome that should route the caller to a cold solve — in particular
+/// a certificate derived from a floating-point basis that turns out to
+/// be singular or rank-deficient in exact arithmetic is *declined with a
+/// typed reason*, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarmDecline {
+    /// `x` / `y` lengths don't match the model.
+    ArityMismatch,
+    /// `(x, y)` is not an exact optimality certificate; the message
+    /// names the first violated condition.
+    NotOptimal(String),
+    /// Fewer tight rows than support columns — the tight system cannot
+    /// pin a unique optimum.
+    Underdetermined,
+    /// `A[T,S]` is rank-deficient: the optimum is not unique, so reuse
+    /// could diverge from whatever vertex a cold solve would pick.
+    NotUnique,
+}
+
+impl fmt::Display for WarmDecline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmDecline::ArityMismatch => write!(f, "certificate arity mismatch"),
+            WarmDecline::NotOptimal(msg) => write!(f, "not an optimality certificate: {msg}"),
+            WarmDecline::Underdetermined => write!(f, "tight rows cannot pin the optimum"),
+            WarmDecline::NotUnique => write!(f, "optimum is not unique"),
+        }
+    }
+}
+
+impl std::error::Error for WarmDecline {}
 
 impl<S: Scalar> Model<S> {
     /// Try to reuse a prior primal/dual certificate `(x, y)` as this
@@ -37,16 +72,28 @@ impl<S: Scalar> Model<S> {
     /// `None` otherwise, in which case the caller should solve cold. A
     /// `Some` result is exactly what [`Model::solve`] would return.
     pub fn try_warm(&self, x: &[S], y: &[S]) -> Option<Solution<S>> {
+        self.try_warm_detailed(x, y).ok()
+    }
+
+    /// [`Model::try_warm`] with a typed reason for every decline.
+    ///
+    /// Incremental sessions use the boolean form; the detailed form
+    /// exists for callers that want to log or count decline causes.
+    /// (The hybrid f64-first pipeline deliberately does *not* use this
+    /// certificate: it needs optimality, not uniqueness — nested LPs
+    /// are degenerate enough that demanding uniqueness would fall back
+    /// on essentially every instance.)
+    pub fn try_warm_detailed(&self, x: &[S], y: &[S]) -> Result<Solution<S>, WarmDecline> {
         if x.len() != self.num_vars() || y.len() != self.num_constraints() {
-            return None;
+            return Err(WarmDecline::ArityMismatch);
         }
         let candidate = Solution {
             status: LpStatus::Optimal,
             objective: self.objective_at(x),
             values: x.to_vec(),
         };
-        if self.check_duality(&candidate, y).is_err() {
-            return None;
+        if let Err(msg) = self.check_duality(&candidate, y) {
+            return Err(WarmDecline::NotOptimal(msg));
         }
 
         // Reduced costs r_v = c_v − Σ_i a_{iv}·y_i. Dual feasibility
@@ -65,7 +112,7 @@ impl<S: Scalar> Model<S> {
             .filter(|&i| !y[i].is_zero() || matches!(self.constraints[i].cmp, Cmp::Eq))
             .collect();
         if tight.len() < support.len() {
-            return None;
+            return Err(WarmDecline::Underdetermined);
         }
 
         // A[T,S] must have full column rank |S| for the optimum to be
@@ -87,7 +134,12 @@ impl<S: Scalar> Model<S> {
             .collect();
         let mut rank = 0usize;
         for col in 0..support.len() {
-            let pivot = (rank..mat.len()).find(|&r| !mat[r][col].is_zero())?;
+            // No eliminable pivot for this column ⇒ rank-deficient ⇒
+            // multiple optima. Typed decline, never a panic: float-
+            // derived certificates routinely land here.
+            let pivot = (rank..mat.len())
+                .find(|&r| !mat[r][col].is_zero())
+                .ok_or(WarmDecline::NotUnique)?;
             mat.swap(rank, pivot);
             let (head, tail) = mat.split_at_mut(rank + 1);
             let prow = &head[rank];
@@ -103,8 +155,9 @@ impl<S: Scalar> Model<S> {
             }
             rank += 1;
         }
-        debug_assert_eq!(rank, support.len());
-        Some(candidate)
+        // The loop completes only when every support column found a
+        // pivot, i.e. rank == support.len(): the optimum is unique.
+        Ok(candidate)
     }
 }
 
@@ -177,6 +230,43 @@ mod tests {
         assert!(m.check_duality(&sol, &duals).is_ok());
         // … but try_warm must refuse it: A[T,S] is 1×2, rank 1 < 2.
         assert!(m.try_warm(&sol.values, &duals).is_none());
+    }
+
+    #[test]
+    fn detailed_declines_carry_typed_reasons() {
+        let m = unique_model();
+        let (sol, duals) = m.solve_with_duals().unwrap();
+        assert_eq!(
+            m.try_warm_detailed(&sol.values[..1], &duals).err(),
+            Some(WarmDecline::ArityMismatch)
+        );
+        assert!(matches!(
+            m.try_warm_detailed(&[r(3), r(0)], &duals),
+            Err(WarmDecline::NotOptimal(_))
+        ));
+
+        // min x + y  s.t.  x + y ≥ 1: support {x, y} but only one tight
+        // row — underdetermined.
+        let mut seg: Model<Ratio> = Model::new();
+        let x = seg.add_var("x", r(1));
+        let y = seg.add_var("y", r(1));
+        seg.add_constraint(vec![(x, r(1)), (y, r(1))], Cmp::Ge, r(1));
+        let (sol, duals) = seg.solve_with_duals().unwrap();
+        assert_eq!(
+            seg.try_warm_detailed(&sol.values, &duals).err(),
+            Some(WarmDecline::Underdetermined)
+        );
+
+        // Zero objective with two dependent equalities: enough tight
+        // rows, but A[T,S] is rank-deficient — the Gaussian elimination
+        // must decline (typed), not panic on the missing pivot.
+        let mut dep: Model<Ratio> = Model::new();
+        let x = dep.add_var("x", r(0));
+        let y = dep.add_var("y", r(0));
+        dep.add_constraint(vec![(x, r(1)), (y, r(1))], Cmp::Eq, r(1));
+        dep.add_constraint(vec![(x, r(2)), (y, r(2))], Cmp::Eq, r(2));
+        let (sol, duals) = dep.solve_with_duals().unwrap();
+        assert_eq!(dep.try_warm_detailed(&sol.values, &duals).err(), Some(WarmDecline::NotUnique));
     }
 
     #[test]

@@ -1,20 +1,27 @@
 //! Signed integers with a small-word fast path.
 //!
-//! Representation is a two-variant enum:
+//! Representation is a three-variant enum:
 //!
 //! * `Small(i128)` — any value that fits a signed 128-bit machine word
 //!   lives inline. Add/sub/mul/div/cmp/hash on small values never touch
 //!   the heap; overflow is detected with checked arithmetic and promotes
-//!   to the big representation.
+//!   to the fixed-width representation.
+//! * `Medium { sign, len, mag: [u64; 4] }` — sign/magnitude with up to
+//!   four little-endian limbs held *on the stack*. Most promotions out
+//!   of `Small` during exact simplex pivots land on 2–4 limbs, so this
+//!   tier keeps the common overflow path heap-free (modelled on
+//!   ark-ff's fixed-width `BigInteger` limb types).
 //! * `Big { sign, mag }` — `sign ∈ {-1, +1}` plus a little-endian vector
 //!   of `u64` limbs with no trailing (most-significant) zero limbs,
 //!   exactly the classic sign-magnitude bignum.
 //!
 //! **Canonical-form invariant:** a value is `Small` *iff* it fits
-//! `i128`. Every constructor and operation demotes big results that
-//! shrank back into word range, so equal values always share one
-//! representation and the derived `Eq`/`Hash` stay consistent (cache
-//! keys built on `Int` survive arbitrary op sequences).
+//! `i128`; otherwise it is `Medium` *iff* its trimmed magnitude has at
+//! most four limbs; only ≥ 5-limb magnitudes are `Big`. `Medium`
+//! padding limbs above `len` are always zero. Every constructor and
+//! operation demotes results that shrank, so equal values always share
+//! one representation and the derived `Eq`/`Hash` stay consistent
+//! (cache keys built on `Int` survive arbitrary op sequences).
 //!
 //! The big backend keeps the two optimizations that matter for the exact
 //! simplex workload: Karatsuba multiplication above a limb threshold and
@@ -36,19 +43,32 @@ const KARATSUBA_THRESHOLD: usize = 32;
 const I128_MIN_MAG: u128 = 1u128 << 127;
 
 /// The internal representation. `Small` holds every value in the `i128`
-/// range; `Big` holds everything else (see the module docs for the
-/// canonical-form invariant that makes derived `Eq`/`Hash` sound).
+/// range; `Medium` holds 2–4-limb magnitudes on the stack; `Big` holds
+/// everything else (see the module docs for the canonical-form
+/// invariant that makes derived `Eq`/`Hash` sound).
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Repr {
     Small(i128),
+    Medium {
+        /// -1 or +1 (zero is always `Small(0)`).
+        sign: i8,
+        /// Number of significant limbs (2..=4); limbs above are zero so
+        /// the derived `Eq`/`Hash` see one bit pattern per value.
+        len: u8,
+        /// Little-endian magnitude, zero-padded above `len`.
+        mag: [u64; 4],
+    },
     Big {
         /// -1 or +1 (zero is always `Small(0)`).
         sign: i8,
-        /// Little-endian magnitude; no high zero limbs; magnitude is
-        /// always strictly greater than `i128`'s range.
+        /// Little-endian magnitude; no high zero limbs; always at least
+        /// five limbs (shorter magnitudes demote to `Medium`/`Small`).
         mag: Vec<u64>,
     },
 }
+
+/// Limb capacity of the stack-allocated `Medium` tier.
+const MEDIUM_LIMBS: usize = 4;
 
 /// An arbitrary-precision signed integer with an inline word-sized fast
 /// path.
@@ -120,34 +140,57 @@ impl Int {
     fn as_small(&self) -> Option<i128> {
         match self.0 {
             Repr::Small(v) => Some(v),
-            Repr::Big { .. } => None,
+            _ => None,
         }
     }
 
     /// True when the value is held in the inline machine-word
     /// representation (exposed so representation-boundary tests can
     /// assert promotion and demotion; not meaningful for callers
-    /// otherwise — the two representations are behaviorally identical).
+    /// otherwise — the representations are behaviorally identical).
     pub fn is_inline(&self) -> bool {
         matches!(self.0, Repr::Small(_))
     }
 
-    /// Construct from a raw sign and magnitude, normalizing (trims high
-    /// zero limbs, demotes word-sized magnitudes to the inline
-    /// representation).
-    fn from_sign_mag(sign: i8, mut mag: Vec<u64>) -> Self {
-        trim(&mut mag);
-        match mag.len() {
+    /// True when the value is held in the fixed-width stack-allocated
+    /// tier (2–4 limbs beyond the `i128` range). Like
+    /// [`Int::is_inline`], only meaningful for representation tests.
+    pub fn is_medium(&self) -> bool {
+        matches!(self.0, Repr::Medium { .. })
+    }
+
+    /// Construct from a sign and a trimmed limb slice, picking the
+    /// canonical tier for the magnitude's length.
+    fn from_sign_limbs(sign: i8, limbs: &[u64]) -> Self {
+        match limbs.len() {
             0 => Int::zero(),
             1 | 2 => {
-                let m = (mag[0] as u128) | ((*mag.get(1).unwrap_or(&0) as u128) << 64);
+                let m = (limbs[0] as u128) | ((*limbs.get(1).unwrap_or(&0) as u128) << 64);
                 Int::from_sign_u128(sign, m)
+            }
+            3 | 4 => {
+                debug_assert!(sign == 1 || sign == -1);
+                let mut mag = [0u64; MEDIUM_LIMBS];
+                mag[..limbs.len()].copy_from_slice(limbs);
+                Int(Repr::Medium { sign, len: limbs.len() as u8, mag })
             }
             _ => {
                 debug_assert!(sign == 1 || sign == -1);
-                Int(Repr::Big { sign, mag })
+                Int(Repr::Big { sign, mag: limbs.to_vec() })
             }
         }
+    }
+
+    /// Construct from a raw sign and magnitude, normalizing (trims high
+    /// zero limbs, demotes to the stack tiers whenever the magnitude
+    /// fits them).
+    fn from_sign_mag(sign: i8, mut mag: Vec<u64>) -> Self {
+        trim(&mut mag);
+        if mag.len() > MEDIUM_LIMBS {
+            debug_assert!(sign == 1 || sign == -1);
+            return Int(Repr::Big { sign, mag });
+        }
+        Int::from_sign_limbs(sign, &mag)
     }
 
     /// Construct from a sign and a `u128` magnitude, demoting to the
@@ -167,9 +210,8 @@ impl Int {
             // itself — exactly the value we want.
             return Int::small((m as i128).wrapping_neg());
         }
-        let mut mag = vec![m as u64, (m >> 64) as u64];
-        trim(&mut mag);
-        Int(Repr::Big { sign, mag })
+        // Past the i128 range with a u128 magnitude: always two limbs.
+        Int(Repr::Medium { sign, len: 2, mag: [m as u64, (m >> 64) as u64, 0, 0] })
     }
 
     /// Run `f` over the sign-magnitude view of this value, materializing
@@ -181,6 +223,7 @@ impl Int {
                 let limbs = SmallLimbs::of(v.unsigned_abs());
                 f(sign_of_i128(*v), limbs.as_slice())
             }
+            Repr::Medium { sign, len, mag } => f(*sign, &mag[..*len as usize]),
             Repr::Big { sign, mag } => f(*sign, mag),
         }
     }
@@ -209,6 +252,7 @@ impl Int {
     pub fn signum(&self) -> i8 {
         match &self.0 {
             Repr::Small(v) => sign_of_i128(*v),
+            Repr::Medium { sign, .. } => *sign,
             Repr::Big { sign, .. } => *sign,
         }
     }
@@ -223,6 +267,7 @@ impl Int {
                     Int::from_sign_u128(1, v.unsigned_abs())
                 }
             }
+            Repr::Medium { len, mag, .. } => Int(Repr::Medium { sign: 1, len: *len, mag: *mag }),
             Repr::Big { mag, .. } => Int(Repr::Big { sign: 1, mag: mag.clone() }),
         }
     }
@@ -231,6 +276,10 @@ impl Int {
     pub fn bits(&self) -> u64 {
         match &self.0 {
             Repr::Small(v) => (128 - v.unsigned_abs().leading_zeros()) as u64,
+            Repr::Medium { len, mag, .. } => {
+                let l = *len as usize;
+                (l as u64) * 64 - mag[l - 1].leading_zeros() as u64
+            }
             Repr::Big { mag, .. } => match mag.last() {
                 None => 0,
                 Some(&hi) => (mag.len() as u64) * 64 - hi.leading_zeros() as u64,
@@ -242,6 +291,7 @@ impl Int {
     pub fn is_even(&self) -> bool {
         match &self.0 {
             Repr::Small(v) => v & 1 == 0,
+            Repr::Medium { mag, .. } => mag[0] & 1 == 0,
             Repr::Big { mag, .. } => mag[0] & 1 == 0,
         }
     }
@@ -323,7 +373,7 @@ impl Int {
                     Int::from_sign_mag(sign_of_i128(*v), mag_shl(limbs.as_slice(), n as usize))
                 }
             }
-            Repr::Big { sign, mag } => Int::from_sign_mag(*sign, mag_shl(mag, n as usize)),
+            _ => self.with_view(|sign, mag| Int::from_sign_mag(sign, mag_shl(mag, n as usize))),
         }
     }
 
@@ -339,31 +389,24 @@ impl Int {
                     v.unsigned_abs() >> n,
                 )
             }
-            Repr::Big { sign, mag } => Int::from_sign_mag(*sign, mag_shr(mag, n as usize)),
+            _ => self.with_view(|sign, mag| Int::from_sign_mag(sign, mag_shr(mag, n as usize))),
         }
     }
 
-    /// Lossy conversion to `f64` (round-to-nearest on the top bits; very
-    /// large values map to ±inf).
+    /// Lossy conversion to `f64`, correctly rounded to nearest-even;
+    /// values beyond the finite `f64` range saturate to ±inf.
     pub fn to_f64(&self) -> f64 {
         match &self.0 {
+            // `i128 as f64` rounds to nearest-even per the Rust spec.
             Repr::Small(v) => *v as f64,
-            Repr::Big { sign, mag } => {
-                let bits = self.bits();
-                // Take the top 128 bits and scale.
-                let shift = bits - 128;
-                let top = mag_shr(mag, shift as usize);
-                let mut v: u128 = 0;
-                for (i, &l) in top.iter().enumerate().take(2) {
-                    v |= (l as u128) << (64 * i);
-                }
-                let v = (v as f64) * 2f64.powi(shift as i32);
-                if *sign < 0 {
+            _ => self.with_view(|sign, mag| {
+                let v = mag_to_f64(mag);
+                if sign < 0 {
                     -v
                 } else {
                     v
                 }
-            }
+            }),
         }
     }
 
@@ -371,7 +414,7 @@ impl Int {
     pub fn to_i64(&self) -> Option<i64> {
         match self.0 {
             Repr::Small(v) => i64::try_from(v).ok(),
-            Repr::Big { .. } => None,
+            _ => None,
         }
     }
 
@@ -384,19 +427,65 @@ impl Int {
     pub fn to_u64(&self) -> Option<u64> {
         match self.0 {
             Repr::Small(v) => u64::try_from(v).ok(),
-            Repr::Big { .. } => None,
+            _ => None,
         }
     }
 
     /// Compare magnitudes only (ignoring sign).
     pub fn cmp_abs(&self, other: &Int) -> Ordering {
-        match (&self.0, &other.0) {
-            (Repr::Small(a), Repr::Small(b)) => a.unsigned_abs().cmp(&b.unsigned_abs()),
-            (Repr::Small(_), Repr::Big { .. }) => Ordering::Less,
-            (Repr::Big { .. }, Repr::Small(_)) => Ordering::Greater,
-            (Repr::Big { mag: ma, .. }, Repr::Big { mag: mb, .. }) => mag_cmp(ma, mb),
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return a.unsigned_abs().cmp(&b.unsigned_abs());
+        }
+        // Mixed tiers can carry equal magnitudes at the 2^127 boundary
+        // (`Small(i128::MIN)` vs a positive two-limb value), so compare
+        // limbs rather than trusting tier rank.
+        self.with_view(|_, ma| other.with_view(|_, mb| mag_cmp(ma, mb)))
+    }
+}
+
+/// Correctly rounded (nearest-even) conversion of a little-endian limb
+/// magnitude to `f64`, saturating to `f64::INFINITY` past the finite
+/// range.
+fn mag_to_f64(mag: &[u64]) -> f64 {
+    let bits = match mag.last() {
+        None => return 0.0,
+        Some(&hi) => mag.len() as u64 * 64 - hi.leading_zeros() as u64,
+    };
+    if bits <= 64 {
+        // `u64 as f64` rounds to nearest-even per the Rust spec.
+        return mag[0] as f64;
+    }
+    if bits > 1024 {
+        return f64::INFINITY;
+    }
+    // Pull the top 54 bits (53-bit mantissa + round bit) into one word
+    // and fold everything below the window into a sticky bit.
+    let shift = (bits - 54) as usize;
+    let limb = shift / 64;
+    let off = shift % 64;
+    let mut top = mag[limb] >> off;
+    if off != 0 {
+        if let Some(&next) = mag.get(limb + 1) {
+            top |= next << (64 - off);
         }
     }
+    debug_assert_eq!(top >> 53, 1, "window must be led by the magnitude's msb");
+    let mut sticky = mag[..limb].iter().any(|&l| l != 0);
+    if off != 0 {
+        sticky |= mag[limb] & ((1u64 << off) - 1) != 0;
+    }
+    let round = top & 1 == 1;
+    let mut mant = top >> 1;
+    if round && (sticky || mant & 1 == 1) {
+        // Rounding 2^53 - 1 up makes 2^53: still exact in f64, and the
+        // scaling below carries it into the next binade (or to +inf at
+        // the very top — exactly IEEE overflow behavior).
+        mant += 1;
+    }
+    // `shift + 1 <= 971`, so the power itself never overflows; the
+    // product is exact or overflows to +inf (mant is a ≤ 54-bit
+    // integer and the scale is a power of two).
+    (mant as f64) * 2f64.powi(shift as i32 + 1)
 }
 
 // --- conversions -----------------------------------------------------------
@@ -504,28 +593,28 @@ impl FromStr for Int {
 
 impl fmt::Display for Int {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.0 {
-            Repr::Small(v) => f.pad_integral(*v >= 0, "", &v.unsigned_abs().to_string()),
-            Repr::Big { sign, mag } => {
-                // Repeatedly divide by 10^19, collecting low-order chunks.
-                let mut chunks: Vec<u64> = Vec::new();
-                let mut mag = mag.clone();
-                while !mag.is_empty() {
-                    let rem = mag_div_single_in_place(&mut mag, 10_000_000_000_000_000_000u64);
-                    trim(&mut mag);
-                    chunks.push(rem);
-                }
-                let mut s = String::with_capacity(chunks.len() * 19);
-                for (i, chunk) in chunks.iter().rev().enumerate() {
-                    if i == 0 {
-                        s.push_str(&chunk.to_string());
-                    } else {
-                        s.push_str(&format!("{chunk:019}"));
-                    }
-                }
-                f.pad_integral(*sign >= 0, "", &s)
-            }
+        if let Some(v) = self.as_small() {
+            return f.pad_integral(v >= 0, "", &v.unsigned_abs().to_string());
         }
+        self.with_view(|sign, mag| {
+            // Repeatedly divide by 10^19, collecting low-order chunks.
+            let mut chunks: Vec<u64> = Vec::new();
+            let mut mag = mag.to_vec();
+            while !mag.is_empty() {
+                let rem = mag_div_single_in_place(&mut mag, 10_000_000_000_000_000_000u64);
+                trim(&mut mag);
+                chunks.push(rem);
+            }
+            let mut s = String::with_capacity(chunks.len() * 19);
+            for (i, chunk) in chunks.iter().rev().enumerate() {
+                if i == 0 {
+                    s.push_str(&chunk.to_string());
+                } else {
+                    s.push_str(&format!("{chunk:019}"));
+                }
+            }
+            f.pad_integral(sign >= 0, "", &s)
+        })
     }
 }
 
@@ -545,35 +634,20 @@ impl PartialOrd for Int {
 
 impl Ord for Int {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (&self.0, &other.0) {
-            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
-            // A big value's magnitude always exceeds i128 range, so its
-            // sign alone decides against any small value.
-            (Repr::Small(_), Repr::Big { sign, .. }) => {
-                if *sign > 0 {
-                    Ordering::Less
-                } else {
-                    Ordering::Greater
-                }
-            }
-            (Repr::Big { sign, .. }, Repr::Small(_)) => {
-                if *sign > 0 {
-                    Ordering::Greater
-                } else {
-                    Ordering::Less
-                }
-            }
-            (Repr::Big { sign: sa, mag: ma }, Repr::Big { sign: sb, mag: mb }) => {
-                match sa.cmp(sb) {
-                    Ordering::Equal => {}
-                    ord => return ord,
-                }
-                if *sa > 0 {
-                    mag_cmp(ma, mb)
-                } else {
-                    mag_cmp(mb, ma)
-                }
-            }
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return a.cmp(&b);
+        }
+        match self.signum().cmp(&other.signum()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        // Same sign, at least one operand beyond the inline range:
+        // magnitude decides, reversed for negatives.
+        let mag_ord = self.cmp_abs(other);
+        if self.signum() >= 0 {
+            mag_ord
+        } else {
+            mag_ord.reverse()
         }
     }
 }
@@ -610,7 +684,7 @@ impl<'b> Add<&'b Int> for &Int {
             let (m, carry) = a.unsigned_abs().overflowing_add(b.unsigned_abs());
             let sign = if a < 0 { -1 } else { 1 };
             if carry {
-                return Int(Repr::Big { sign, mag: vec![m as u64, (m >> 64) as u64, 1] });
+                return Int(Repr::Medium { sign, len: 3, mag: [m as u64, (m >> 64) as u64, 1, 0] });
             }
             return Int::from_sign_u128(sign, m);
         }
@@ -629,7 +703,7 @@ impl<'b> Sub<&'b Int> for &Int {
             let (m, carry) = a.unsigned_abs().overflowing_add(b.unsigned_abs());
             let sign = if a < 0 { -1 } else { 1 };
             if carry {
-                return Int(Repr::Big { sign, mag: vec![m as u64, (m >> 64) as u64, 1] });
+                return Int(Repr::Medium { sign, len: 3, mag: [m as u64, (m >> 64) as u64, 1, 0] });
             }
             return Int::from_sign_u128(sign, m);
         }
@@ -710,6 +784,7 @@ impl Neg for Int {
             },
             // Canonicalize: magnitude 2^127 demotes to Small(i128::MIN)
             // exactly when the sign flips to negative.
+            Repr::Medium { sign, len, mag } => Int::from_sign_limbs(-sign, &mag[..len as usize]),
             Repr::Big { sign, mag } => Int::from_sign_mag(-sign, mag),
         }
     }
@@ -1256,6 +1331,60 @@ mod tests {
         let big = Int::from(10i64).pow(40);
         let f = big.to_f64();
         assert!((f - 1e40).abs() / 1e40 < 1e-12);
+    }
+
+    #[test]
+    fn to_f64_rounds_to_nearest_even() {
+        // msb at bit 160 → the 53-bit mantissa window covers bits
+        // 160..=108, the round bit sits at 107.
+        let base = Int::one().shl(160);
+        let half = Int::one().shl(107);
+        let ulp = Int::one().shl(108);
+        // Exact tie on an even mantissa: rounds down.
+        assert_eq!((&base + &half).to_f64(), base.to_f64());
+        // One past the tie (sticky bit set): rounds up a full ulp.
+        assert_eq!((&(&base + &half) + &Int::one()).to_f64(), (&base + &ulp).to_f64());
+        assert_eq!((&base + &ulp).to_f64(), 2f64.powi(160) + 2f64.powi(108));
+        // Exact tie on an odd mantissa: rounds up to the even neighbor.
+        let odd_tie = &(&base + &ulp) + &half;
+        assert_eq!(odd_tie.to_f64(), (&base + &Int::one().shl(109)).to_f64());
+        // Negative values mirror exactly.
+        assert_eq!((-(&base + &half)).to_f64(), -(base.to_f64()));
+    }
+
+    #[test]
+    fn to_f64_saturates_at_f64_max_scale() {
+        // The largest finite double, (2^53 - 1)·2^971, converts exactly.
+        let max = (&Int::one().shl(53) - &Int::one()).shl(971);
+        assert_eq!(max.to_f64(), f64::MAX);
+        assert_eq!((-max.clone()).to_f64(), f64::MIN);
+        // Halfway into the next binade overflows to +inf (IEEE round-to-
+        // nearest overflow), as does anything farther out.
+        let halfway = (&Int::one().shl(54) - &Int::one()).shl(970);
+        assert_eq!(halfway.to_f64(), f64::INFINITY);
+        assert_eq!(Int::one().shl(1100).to_f64(), f64::INFINITY);
+        assert_eq!((-Int::one().shl(1100)).to_f64(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn medium_tier_boundaries() {
+        // 2^127 (= |i128::MIN|) is the smallest non-inline magnitude and
+        // lands on the stack tier; negating it demotes back to inline.
+        let m = int(i128::MIN).abs();
+        assert!(!m.is_inline() && m.is_medium());
+        assert!((-m).is_inline());
+        // Four limbs stay Medium; the first five-limb value is heap Big.
+        let four = Int::one().shl(255);
+        assert!(four.is_medium());
+        let five = Int::one().shl(256);
+        assert!(!five.is_medium() && !five.is_inline());
+        // Arithmetic across the limb-count boundary re-canonicalizes.
+        let back = &five / &int(2);
+        assert!(back.is_medium());
+        assert_eq!(back, four);
+        let carry = &int(i128::MIN) + &int(i128::MIN);
+        assert!(carry.is_medium(), "128-bit carry path must stay on the stack");
+        assert_eq!(&carry - &int(i128::MIN), int(i128::MIN));
     }
 
     #[test]

@@ -169,22 +169,27 @@ impl Ratio {
 
     /// Lossy conversion to `f64`.
     ///
-    /// Both operands are pre-shifted so the conversion stays in the finite
-    /// `f64` range even for very large numerators/denominators (as produced
-    /// by long exact simplex runs).
+    /// Operands too large for the finite `f64` range are each shifted
+    /// down to ~600 significant bits (with [`Int::to_f64`] rounding the
+    /// rest to nearest-even) and the *net* power of two is re-applied at
+    /// the end, so huge numerators/denominators of very different sizes
+    /// (as produced by long exact simplex runs) keep their true ratio
+    /// instead of inheriting a shared-shift truncation. Values beyond
+    /// the `f64` range saturate to ±inf / ±0.
     pub fn to_f64(&self) -> f64 {
-        let bits = self.num.bits().max(self.den.bits());
-        if bits <= 900 {
-            let d = self.den.to_f64();
-            return self.num.to_f64() / d;
+        let nb = self.num.bits();
+        let db = self.den.bits();
+        if nb <= 1000 && db <= 1000 {
+            // Both operands convert to finite doubles directly; one
+            // correctly rounded division does the rest.
+            return self.num.to_f64() / self.den.to_f64();
         }
-        let shift = (bits - 900) as u32;
-        let n = self.num.shr(shift).to_f64();
-        let mut d = self.den.shr(shift).to_f64();
-        if d == 0.0 {
-            d = 1.0;
-        }
-        n / d
+        // Keep ~600 bits of each operand (any error is ~2^-600 relative,
+        // far below f64 resolution) and track the scale separately.
+        let ns = nb.saturating_sub(600);
+        let ds = db.saturating_sub(600);
+        let q = self.num.shr(ns as u32).to_f64() / self.den.shr(ds as u32).to_f64();
+        scale_by_pow2(q, ns as i64 - ds as i64)
     }
 
     /// The smaller of two rationals (by value).
@@ -269,6 +274,31 @@ impl Ratio {
         }
         Some(mk(p1, q1))
     }
+}
+
+/// `x · 2^e` with saturation: overflow lands on ±inf, underflow on
+/// signed zero, and no intermediate `powi` is ever asked for an
+/// exponent outside the finite range.
+fn scale_by_pow2(x: f64, mut e: i64) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    if e > 2100 {
+        return if x > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+    }
+    if e < -2200 {
+        return if x > 0.0 { 0.0 } else { -0.0 };
+    }
+    let mut x = x;
+    while e != 0 {
+        let step = e.clamp(-1000, 1000);
+        x *= 2f64.powi(step as i32);
+        e -= step;
+        if x == 0.0 || !x.is_finite() {
+            break;
+        }
+    }
+    x
 }
 
 // --- arithmetic ---------------------------------------------------------------
@@ -636,6 +666,30 @@ mod tests {
         let big =
             Ratio::new(Int::from(10i64).pow(400), Int::from(10i64).pow(400) * Int::from(3i64));
         assert!((big.to_f64() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_f64_mismatched_operand_sizes() {
+        // Operands of very different bit lengths: the old shared-shift
+        // path zeroed the smaller one (treating 1/huge as 1/1). The net
+        // scale must survive instead — saturating to ±inf / signed zero
+        // where the true value leaves the f64 range.
+        let huge = Int::from(10i64).pow(400); // ~1329 bits
+        let tiny_over_huge = Ratio::new(Int::one(), huge.clone());
+        assert_eq!(tiny_over_huge.to_f64(), 0.0, "1e-400 underflows to +0, not to 1.0");
+        assert!(tiny_over_huge.to_f64().is_sign_positive());
+        assert!((-tiny_over_huge).to_f64().is_sign_negative());
+        let huge_over_tiny = Ratio::new(huge.clone(), Int::one());
+        assert_eq!(huge_over_tiny.to_f64(), f64::INFINITY);
+        assert_eq!((-huge_over_tiny).to_f64(), f64::NEG_INFINITY);
+        // Ratios of two huge operands keep full f64 accuracy.
+        let q = Ratio::new(&huge * &Int::from(7i64), &huge * &Int::from(9i64));
+        assert!((q.to_f64() - 7.0 / 9.0).abs() < 1e-15);
+        // A large-but-representable value with a small denominator: the
+        // one shifted operand must come back on the right scale.
+        let q = Ratio::new(Int::one().shl(1020), Int::from(3i64));
+        let expect = 2f64.powi(510) / 3.0 * 2f64.powi(510);
+        assert!((q.to_f64() - expect).abs() / expect < 1e-15);
     }
 
     #[test]

@@ -61,9 +61,14 @@ fn hash_of<T: Hash>(v: &T) -> u64 {
 }
 
 /// The canonical-form invariant every assertion below leans on: a
-/// result in the i128 range must be inline, anything larger must not.
+/// result in the i128 range must be inline; anything larger sits in the
+/// stack `Medium` tier iff its magnitude fits four limbs, else on the
+/// heap — the tier is a function of the value alone.
 fn assert_canonical(v: &Int) -> Result<(), proptest::test_runner::TestCaseError> {
-    prop_assert_eq!(v.is_inline(), v.to_i128().is_some());
+    let inline = v.to_i128().is_some();
+    prop_assert_eq!(v.is_inline(), inline);
+    let limbs = v.bits().div_ceil(64);
+    prop_assert_eq!(v.is_medium(), !inline && limbs <= 4);
     Ok(())
 }
 
@@ -213,6 +218,45 @@ proptest! {
                 &int(a) * &int(d),
                 &int(b) * &int(c),
             ));
+        }
+    }
+}
+
+proptest! {
+    /// The same arithmetic routed through the stack `Medium` band
+    /// (×2^100 keeps products within four limbs) and the heap `Big`
+    /// band (×2^400) must agree — same value, same hash, canonical
+    /// tier — once the scale divides back out.
+    #[test]
+    fn medium_tier_matches_small_and_big_routes(
+        (ra, sa) in (any::<i128>(), any::<u8>()),
+        (rb, sb) in (any::<i128>(), any::<u8>()),
+    ) {
+        let (a, b) = (edgy(ra, sa), edgy(rb, sb));
+        let (xa, xb) = (int(a), int(b));
+        let fast_add = &xa + &xb;
+        let fast_mul = &xa * &xb;
+        for shift in [100u32, 400] {
+            let k = Int::one().shl(shift);
+            let scaled = &xa * &k;
+            assert_canonical(&scaled)?;
+
+            let (slow_add, rem) = (&(&xa * &k) + &(&xb * &k)).div_rem(&k);
+            prop_assert!(rem.is_zero());
+            prop_assert_eq!(&fast_add, &slow_add);
+            prop_assert_eq!(hash_of(&fast_add), hash_of(&slow_add));
+            assert_canonical(&slow_add)?;
+
+            let (slow_mul, rem) = (&(&xa * &k) * &(&xb * &k)).div_rem(&(&k * &k));
+            prop_assert!(rem.is_zero());
+            prop_assert_eq!(&fast_mul, &slow_mul);
+            prop_assert_eq!(hash_of(&fast_mul), hash_of(&slow_mul));
+            assert_canonical(&slow_mul)?;
+
+            // Display/parse round-trips out of either band.
+            let parsed: Int = scaled.to_string().parse().unwrap();
+            prop_assert_eq!(&parsed, &scaled);
+            prop_assert_eq!(hash_of(&parsed), hash_of(&scaled));
         }
     }
 }

@@ -182,6 +182,9 @@ pub struct Request {
     pub method: Option<String>,
     /// LP backend: `exact` | `float` | `snap` (default `exact`).
     pub backend: Option<String>,
+    /// Arithmetic discipline for the exact backend's LP stage:
+    /// `hybrid` | `exact` | `f64-unchecked` (default `hybrid`).
+    pub precision: Option<String>,
     /// Enable the slot-closing post-optimization (default false).
     pub polish: Option<bool>,
     /// Seed for the general path's shuffled candidate.
@@ -212,6 +215,7 @@ impl Request {
             instances: None,
             method: None,
             backend: None,
+            precision: None,
             polish: None,
             seed: None,
             shard: None,
@@ -299,6 +303,13 @@ impl Request {
     /// Set the LP backend (`exact` | `float` | `snap`).
     pub fn with_backend(mut self, backend: &str) -> Request {
         self.backend = Some(backend.to_string());
+        self
+    }
+
+    /// Set the exact backend's arithmetic discipline
+    /// (`hybrid` | `exact` | `f64-unchecked`).
+    pub fn with_precision(mut self, precision: &str) -> Request {
+        self.precision = Some(precision.to_string());
         self
     }
 
@@ -686,6 +697,7 @@ impl Serialize for Request {
         push_opt(&mut m, "instances", &self.instances)?;
         push_opt(&mut m, "method", &self.method)?;
         push_opt(&mut m, "backend", &self.backend)?;
+        push_opt(&mut m, "precision", &self.precision)?;
         push_opt(&mut m, "polish", &self.polish)?;
         push_opt(&mut m, "seed", &self.seed)?;
         push_opt(&mut m, "shard", &self.shard)?;
@@ -717,6 +729,7 @@ impl<'de> Deserialize<'de> for Request {
             instances: opt_field(&mut entries, "instances")?,
             method: opt_field(&mut entries, "method")?,
             backend: opt_field(&mut entries, "backend")?,
+            precision: opt_field(&mut entries, "precision")?,
             polish: opt_field(&mut entries, "polish")?,
             seed: opt_field(&mut entries, "seed")?,
             shard: opt_field(&mut entries, "shard")?,
@@ -837,6 +850,7 @@ mod tests {
             .with_id(7)
             .with_method("nested")
             .with_shard("force")
+            .with_precision("exact")
             .with_timeout_ms(500);
         let line = serde_json::to_string(&req).unwrap();
         assert!(!line.contains('\n'), "frames are single lines: {line}");

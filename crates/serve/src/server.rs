@@ -602,6 +602,9 @@ pub(crate) fn validate(req: &Request, default_timeout: Option<Duration>) -> Resu
         if let Some(shard) = req.shard.as_deref() {
             opts.shard = shard.parse()?;
         }
+        if let Some(precision) = req.precision.as_deref() {
+            opts.precision = precision.parse()?;
+        }
         opts
     };
     let timeout = req.timeout_ms.map(Duration::from_millis).or(default_timeout);
@@ -1228,6 +1231,8 @@ mod tests {
         assert!(err.contains("unknown backend"), "{err}");
         let err = validate(&Request::solve(&inst).with_shard("maybe"), None).unwrap_err();
         assert!(err.contains("unknown shard mode"), "{err}");
+        let err = validate(&Request::solve(&inst).with_precision("float"), None).unwrap_err();
+        assert!(err.contains("unknown precision mode"), "{err}");
 
         // Defaults flow through.
         match validate(&Request::solve(&inst), Some(Duration::from_secs(1))).unwrap() {
@@ -1236,6 +1241,7 @@ mod tests {
                 assert_eq!(method, Method::Auto);
                 assert!(!include_schedule);
                 assert_eq!(opts.shard, atsched_core::solver::ShardMode::Auto);
+                assert_eq!(opts.precision, atsched_core::solver::PrecisionMode::Hybrid);
             }
             _ => panic!("expected solve work"),
         }
@@ -1244,6 +1250,14 @@ mod tests {
         match validate(&Request::solve(&inst).with_shard("force"), None).unwrap() {
             Work::Solve { opts, .. } => {
                 assert_eq!(opts.shard, atsched_core::solver::ShardMode::Force);
+            }
+            _ => panic!("expected solve work"),
+        }
+
+        // Explicit precision modes parse onto the options.
+        match validate(&Request::solve(&inst).with_precision("f64-unchecked"), None).unwrap() {
+            Work::Solve { opts, .. } => {
+                assert_eq!(opts.precision, atsched_core::solver::PrecisionMode::F64Unchecked);
             }
             _ => panic!("expected solve work"),
         }

@@ -88,7 +88,8 @@ pub mod prelude {
     pub use atsched_core::instance::{Instance, Job};
     pub use atsched_core::schedule::Schedule;
     pub use atsched_core::solver::{
-        solve_nested, LpBackend, ShardMode, SolveResult, SolveStats, SolverOptions, StageTimings,
+        solve_nested, LpBackend, PrecisionMode, ShardMode, SolveResult, SolveStats, SolverOptions,
+        StageTimings,
     };
     pub use atsched_engine::{BatchReport, Engine, EngineConfig, Outcome, Session, SessionId};
 }

@@ -32,7 +32,9 @@ use atsched_baselines::greedy::ScanOrder;
 use atsched_baselines::incremental::minimal_feasible_fast;
 use atsched_core::instance::Instance;
 use atsched_core::schedule::Schedule;
-use atsched_core::solver::{LpBackend, ShardMode, SolveResult, SolveStats, SolverOptions};
+use atsched_core::solver::{
+    LpBackend, PrecisionMode, ShardMode, SolveResult, SolveStats, SolverOptions,
+};
 use atsched_engine::{isolated, solve_nested_sharded, with_budget};
 use std::time::Duration;
 
@@ -198,6 +200,14 @@ impl<'a> Solve<'a> {
     /// Hybrid backend: float LP, rationalized, exact rounding.
     pub fn snap(mut self) -> Self {
         self.opts.backend = LpBackend::FloatThenSnap;
+        self
+    }
+
+    /// Arithmetic discipline for the exact backend's LP stage (default
+    /// [`PrecisionMode::Hybrid`] — f64-first, exactly verified,
+    /// bit-identical to [`PrecisionMode::Exact`]).
+    pub fn precision(mut self, mode: PrecisionMode) -> Self {
+        self.opts.precision = mode;
         self
     }
 
@@ -375,6 +385,26 @@ mod tests {
             "decomposition must not change the objective"
         );
         forced.schedule().verify(&i).unwrap();
+    }
+
+    #[test]
+    fn precision_modes_agree_through_the_facade() {
+        let i = inst(2, vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2)]);
+        let hybrid = Solve::new(&i).method(Method::Nested).run().unwrap();
+        let pure =
+            Solve::new(&i).method(Method::Nested).precision(PrecisionMode::Exact).run().unwrap();
+        assert_eq!(hybrid.schedule().slots, pure.schedule().slots);
+        assert_eq!(hybrid.schedule().assignment, pure.schedule().assignment);
+        assert_eq!(
+            hybrid.stats().unwrap().lp_objective_exact,
+            pure.stats().unwrap().lp_objective_exact
+        );
+        let fast = Solve::new(&i)
+            .method(Method::Nested)
+            .precision(PrecisionMode::F64Unchecked)
+            .run()
+            .unwrap();
+        fast.schedule().verify(&i).unwrap();
     }
 
     #[test]
