@@ -11,7 +11,11 @@
 //! `precision=hybrid` vs `precision=exact`, the speedup between them,
 //! and the hybrid verify/fallback counters (the fallback rate is the
 //! honesty figure: how often the f64-first path had to re-solve
-//! exactly). CI uploads the file as an artifact so future PRs can diff
+//! exactly). An `lp_tree` section prices the LP-free combinatorial
+//! path: lp-stage p50 on the pinned-optima unit-blocks/shallow-nest
+//! families under `lp-path=auto` vs the forced simplex, plus how much
+//! of the main corpus the tree DP absorbed and the per-reason fallback
+//! counters. CI uploads the file as an artifact so future PRs can diff
 //! the perf trajectory.
 //!
 //! ```text
@@ -58,10 +62,12 @@
 //! CI uses this to run the compare as its own step without re-benching.
 
 use atsched_core::delta::JobDelta;
-use atsched_core::solver::{solve_nested, PrecisionMode, ShardMode, SolverOptions};
+use atsched_core::instance::Instance;
+use atsched_core::solver::{solve_nested, LpPath, PrecisionMode, ShardMode, SolverOptions};
 use atsched_engine::{solve_nested_sharded, Engine, EngineConfig, Outcome};
 use atsched_obs as obs;
 use atsched_serve::{run_load, Client, LoadConfig, Server, ServerConfig};
+use atsched_workloads::families::{shallow_nest, unit_blocks};
 use atsched_workloads::generators::{
     random_laminar, random_multi_root, LaminarConfig, MultiRootConfig,
 };
@@ -73,7 +79,7 @@ use std::time::{Duration, Instant};
 
 /// Report layout version stamped into every baseline. Bump when the
 /// section set or gated fields change shape.
-const SCHEMA_VERSION: u64 = 4;
+const SCHEMA_VERSION: u64 = 5;
 
 /// Wrapper giving a hand-built [`Value`] tree a `Serialize` impl (the
 /// vendored serde stub has none for `Value` itself).
@@ -153,6 +159,11 @@ const SERVE_P99_SLACK_MS: f64 = 10.0;
 /// may cost at most this much over the plain solve p50.
 const OBS_OVERHEAD_LIMIT_PCT: f64 = 3.0;
 
+/// The tree path must at least match the simplex on the pinned-optima
+/// families it was built for — a slower "fast path" means the DP or
+/// the flow certification regressed.
+const TREE_FAMILY_SPEEDUP_MIN: f64 = 1.0;
+
 /// Sections whose presence in the current report obliges the baseline
 /// to carry them too. A baseline missing one of these measured a
 /// different workload; silently skipping its gate would wave a
@@ -227,6 +238,37 @@ fn check_obs_gate(report: &Value, label: &str) -> Result<(), String> {
             "telemetry-plane overhead is {pct:+.2}% on solve p50 \
              (limit +{OBS_OVERHEAD_LIMIT_PCT:.0}%): the plane is no longer cheap enough \
              to stay on by default"
+        ));
+    }
+    Ok(())
+}
+
+/// Gate the LP-free tree path recorded in a report. Reports without an
+/// `lp_tree` section (pre-v5, or `--serve-only`) pass trivially. Like
+/// the obs gate this is an absolute limit on the current report — no
+/// baseline counterpart needed, so v4 baselines stay comparable.
+fn check_lp_tree_gate(report: &Value, label: &str) -> Result<(), String> {
+    let Some(tree) = field(report, "lp_tree") else { return Ok(()) };
+    let num = |key: &str| -> Result<f64, String> {
+        as_f64(field(&tree, key).ok_or(format!("{label}: lp_tree section has no {key}"))?)
+            .ok_or(format!("{label}: lp_tree {key} is not a number"))
+    };
+    let speedup = num("speedup")?;
+    let family_fallbacks = num("family_fallbacks")?;
+    eprintln!(
+        "bench-compare: lp-free tree path is {speedup:.2}x the simplex on its families \
+         (limit {TREE_FAMILY_SPEEDUP_MIN:.2}x, {family_fallbacks} family fallbacks)"
+    );
+    if family_fallbacks > 0.0 {
+        return Err(format!(
+            "the tree path declined {family_fallbacks} pinned-family solves — the \
+             unit-blocks/shallow-nest corpus must be 100% tree-handled"
+        ));
+    }
+    if speedup < TREE_FAMILY_SPEEDUP_MIN {
+        return Err(format!(
+            "lp-free tree path is only {speedup:.2}x the simplex on its families \
+             (limit {TREE_FAMILY_SPEEDUP_MIN:.2}x): the fast path is not fast"
         ));
     }
     Ok(())
@@ -319,6 +361,7 @@ fn compare_reports(cur: &Value, cur_label: &str, prev_path: &str) -> Result<(), 
     }
     check_amend_gate(cur, cur_label)?;
     check_obs_gate(cur, cur_label)?;
+    check_lp_tree_gate(cur, cur_label)?;
     check_serve_gate(cur, cur_label, &prev, prev_path)
 }
 
@@ -819,6 +862,73 @@ fn run_corpus(args: &[String]) -> Result<Vec<(String, Value)>, String> {
 
     let snapshot = registry.snapshot();
 
+    // LP-free combinatorial tree path: lp-stage p50 on the pinned-optima
+    // families (unit-blocks + shallow-nest) with `lp-path=auto` vs the
+    // forced simplex, plus how much of the *main* corpus the tree path
+    // absorbed and why the remainder fell back. Results are
+    // bit-identical by construction (`atsched batch --check` proves it
+    // corpus-wide); this section prices the fast path.
+    let lp_tree_section = {
+        let run_path = |path: LpPath, insts: &[Instance]| -> obs::RegistrySnapshot {
+            let reg = Arc::new(obs::Registry::new());
+            let mode_opts = SolverOptions { lp_path: path, ..opts.clone() };
+            for _ in 0..runs {
+                for inst in insts {
+                    let collector = obs::Collector::new(Arc::clone(&reg));
+                    obs::with_collector(collector, || {
+                        solve_nested(inst, &mode_opts).expect("family corpus is feasible");
+                    });
+                }
+            }
+            reg.snapshot()
+        };
+        let mut families: Vec<Instance> = Vec::new();
+        for i in 0..5usize {
+            families.push(unit_blocks(3 + i, 4 + i, 3, 3));
+            families.push(shallow_nest(2 + i, 4, 2));
+        }
+        let tree = run_path(LpPath::Auto, &families);
+        let simplex = run_path(LpPath::Simplex, &families);
+        let tree_p50 = tree.histogram("span.lp.ms").map_or(0.0, |h| h.p50);
+        let simplex_p50 = simplex.histogram("span.lp.ms").map_or(0.0, |h| h.p50);
+        let family_solved = tree.counter("lp.tree_solved").unwrap_or(0);
+        let family_fallbacks: u64 = ["nonunique", "flow", "scale", "overflow"]
+            .iter()
+            .map(|k| tree.counter(&format!("lp.tree_fallback.{k}")).unwrap_or(0))
+            .sum();
+        let speedup = if tree_p50 > 0.0 { simplex_p50 / tree_p50 } else { 1.0 };
+        // Main-corpus absorption, from the instrumented engine run
+        // above (`opts` defaults to `lp-path=auto`).
+        let fb = |k: &str| snapshot.counter(&format!("lp.tree_fallback.{k}")).unwrap_or(0);
+        let corpus_solved = snapshot.counter("lp.tree_solved").unwrap_or(0);
+        let (fb_nonunique, fb_flow, fb_scale, fb_overflow) =
+            (fb("nonunique"), fb("flow"), fb("scale"), fb("overflow"));
+        let corpus_fallbacks = fb_nonunique + fb_flow + fb_scale + fb_overflow;
+        let attempts = corpus_solved + corpus_fallbacks;
+        let coverage = if attempts > 0 { corpus_solved as f64 / attempts as f64 } else { 0.0 };
+        eprintln!(
+            "lp_tree: family lp p50 tree {tree_p50:.3} ms vs simplex {simplex_p50:.3} ms \
+             ({speedup:.2}x; families {family_solved} solved / {family_fallbacks} fallbacks; \
+             corpus coverage {coverage:.3}, fallbacks nonunique={fb_nonunique} flow={fb_flow} \
+             scale={fb_scale} overflow={fb_overflow})"
+        );
+        Value::Map(vec![
+            ("tree_p50_ms".into(), Value::Float(tree_p50)),
+            ("simplex_p50_ms".into(), Value::Float(simplex_p50)),
+            ("speedup".into(), Value::Float(speedup)),
+            ("family_count".into(), Value::UInt(families.len() as u64)),
+            ("family_solved".into(), Value::UInt(family_solved)),
+            ("family_fallbacks".into(), Value::UInt(family_fallbacks)),
+            ("corpus_tree_solved".into(), Value::UInt(corpus_solved)),
+            ("corpus_fallbacks".into(), Value::UInt(corpus_fallbacks)),
+            ("corpus_coverage".into(), Value::Float(coverage)),
+            ("fallback_nonunique".into(), Value::UInt(fb_nonunique)),
+            ("fallback_flow".into(), Value::UInt(fb_flow)),
+            ("fallback_scale".into(), Value::UInt(fb_scale)),
+            ("fallback_overflow".into(), Value::UInt(fb_overflow)),
+        ])
+    };
+
     // Per-stage summary: `span.<stage>.ms` histograms (skip the
     // `.self_ms` companions — the full trace keeps those).
     let mut stages = Vec::new();
@@ -887,6 +997,7 @@ fn run_corpus(args: &[String]) -> Result<Vec<(String, Value)>, String> {
     }
     entries.push(("obs".into(), obs_section));
     entries.push(("lp_hybrid".into(), lp_hybrid_section));
+    entries.push(("lp_tree".into(), lp_tree_section));
     Ok(entries)
 }
 
@@ -903,7 +1014,7 @@ fn run() -> Result<(), String> {
 
     let serve_only = has_flag(&args, "--serve-only");
     let serve = serve_only || has_flag(&args, "--serve");
-    let tag: String = flag(&args, "--tag", "pr9".to_string())?;
+    let tag: String = flag(&args, "--tag", "pr10".to_string())?;
     let out: String = flag(&args, "--out", format!("BENCH_{tag}.json"))?;
 
     let mut entries: Vec<(String, Value)> = vec![

@@ -153,6 +153,9 @@ fn cmd_solve(client: &mut Client, args: &[String]) -> Result<(), String> {
     if let Some(precision) = crate::flag_value(args, "--precision") {
         req = req.with_precision(precision);
     }
+    if let Some(lp_path) = crate::flag_value(args, "--lp-path") {
+        req = req.with_lp_path(lp_path);
+    }
     if crate::has_flag(args, "--polish") {
         req = req.with_polish(true);
     }

@@ -29,7 +29,7 @@ use nested_active_time::baselines::incremental::minimal_feasible_fast;
 use nested_active_time::core::instance::Instance;
 use nested_active_time::core::schedule::Schedule;
 use nested_active_time::core::solver::{
-    solve_nested, LpBackend, PrecisionMode, ShardMode, SolverOptions,
+    solve_nested, LpBackend, LpPath, PrecisionMode, ShardMode, SolverOptions,
 };
 use nested_active_time::engine::solve_nested_sharded;
 use nested_active_time::workloads::generators::{
@@ -74,11 +74,12 @@ atsched — nested active-time scheduling (SPAA 2022 reproduction)
 USAGE:
   atsched generate [--g N] [--horizon N] [--seed N] [--roots N] [--gap N] [--child-percent N] [--out FILE]
   atsched solve INSTANCE.{json,txt} [--float|--snap] [--polish] [--no-ceiling] [--shard auto|off|force]
-                [--precision hybrid|exact|f64-unchecked] [--schedule FILE] [--svg FILE] [--metrics]
+                [--precision hybrid|exact|f64-unchecked] [--lp-path auto|tree|simplex]
+                [--schedule FILE] [--svg FILE] [--metrics]
   atsched batch [INSTANCE ...] [--count N] [--g N] [--horizon N] [--seed N] [--roots N]
                 [--workers N] [--no-cache] [--timeout-ms N] [--float|--snap] [--polish]
                 [--shard auto|off|force] [--precision hybrid|exact|f64-unchecked]
-                [--check] [--keep-going] [--out FILE] [--trace-out FILE]
+                [--lp-path auto|tree|simplex] [--check] [--keep-going] [--out FILE] [--trace-out FILE]
   atsched opt INSTANCE.json [--parallel]
   atsched greedy INSTANCE.json [--order ltr|rtl|rand]
   atsched verify INSTANCE.json SCHEDULE.json
@@ -88,8 +89,8 @@ USAGE:
                 [--metrics-addr HOST:PORT] [--slow-ms N]
   atsched top ADDR [--interval-ms N] [--count N] [--no-clear]
   atsched client ADDR solve INSTANCE [--method auto|nested|general|greedy] [--backend exact|float|snap]
-                 [--precision hybrid|exact|f64-unchecked] [--polish] [--seed N]
-                 [--shard auto|off|force] [--timeout-ms N] [--schedule FILE]
+                 [--precision hybrid|exact|f64-unchecked] [--lp-path auto|tree|simplex] [--polish]
+                 [--seed N] [--shard auto|off|force] [--timeout-ms N] [--schedule FILE]
   atsched client ADDR batch INSTANCE [INSTANCE ...]
   atsched client ADDR open INSTANCE | amend SESSION DELTA.json | close SESSION
   atsched client ADDR stats | metrics | health | shutdown
@@ -185,6 +186,9 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     }
     if let Some(mode) = flag_value(args, "--precision") {
         opts.precision = mode.parse::<PrecisionMode>()?;
+    }
+    if let Some(path) = flag_value(args, "--lp-path") {
+        opts.lp_path = path.parse::<LpPath>()?;
     }
     let metrics = has_flag(args, "--metrics");
     let registry = Arc::new(obs::Registry::new());
@@ -282,6 +286,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
     if let Some(mode) = flag_value(args, "--precision") {
         opts.precision = mode.parse::<PrecisionMode>()?;
+    }
+    if let Some(path) = flag_value(args, "--lp-path") {
+        opts.lp_path = path.parse::<LpPath>()?;
     }
 
     let mut cfg = EngineConfig::default()
@@ -390,6 +397,39 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             }
             eprintln!(
                 "check: precision=hybrid schedules bit-identical to precision=exact on {} instances",
+                instances.len()
+            );
+
+            // LP-path equivalence: the combinatorial tree fast path
+            // (with simplex fallback) must yield bit-identical
+            // schedules and open counts to the pure simplex path.
+            let mut tree_auto = opts.clone();
+            tree_auto.lp_path = LpPath::Auto;
+            let mut simplex = opts.clone();
+            simplex.lp_path = LpPath::Simplex;
+            let tb = Engine::new(EngineConfig::default().cache(false))
+                .solve_batch(&instances, &tree_auto);
+            let sb =
+                Engine::new(EngineConfig::default().cache(false)).solve_batch(&instances, &simplex);
+            for (i, (t, s)) in tb.outcomes.iter().zip(&sb.outcomes).enumerate() {
+                let same = match (t, s) {
+                    (Outcome::Solved(a), Outcome::Solved(b)) => {
+                        a.result.schedule == b.result.schedule && a.result.z == b.result.z
+                    }
+                    (Outcome::Infeasible, Outcome::Infeasible) => true,
+                    (Outcome::TimedOut, _) | (_, Outcome::TimedOut) => true,
+                    _ => false,
+                };
+                if !same {
+                    return Err(format!(
+                        "instance {i}: lp-path=auto outcome {} diverges from lp-path=simplex {}",
+                        t.label(),
+                        s.label()
+                    ));
+                }
+            }
+            eprintln!(
+                "check: lp-path=auto schedules bit-identical to lp-path=simplex on {} instances",
                 instances.len()
             );
         }

@@ -67,11 +67,13 @@ pub mod schedule;
 pub mod solver;
 pub mod transform;
 pub mod tree;
+pub mod treelp;
 
 pub use delta::{DeltaError, DeltaOp, JobDelta};
 pub use instance::{Instance, InstanceError, Job};
 pub use schedule::Schedule;
 pub use solver::{
-    solve_nested, solve_nested_seeded, LpBackend, PrecisionMode, SeededSolve, ShardMode,
+    solve_nested, solve_nested_seeded, LpBackend, LpPath, PrecisionMode, SeededSolve, ShardMode,
     SolveError, SolveResult, SolveStats, SolverOptions, StageTimings, WarmSeed,
 };
+pub use treelp::TreeDecline;

@@ -134,12 +134,14 @@ pub fn round_with<S: Scalar>(
                 break; // line 8: nothing left to round up
             }
             let pick = match choice {
+                // Total order, not `partial_cmp(..).expect(..)`: a NaN
+                // fraction from a degenerate `f64-unchecked` solve must
+                // pick deterministically, not panic the solver thread
+                // (the final schedule is re-verified regardless).
                 RoundingChoice::LargestFraction => candidates
                     .iter()
                     .enumerate()
-                    .max_by(|(_, (_, a)), (_, (_, b))| {
-                        a.partial_cmp(b).expect("scalars are ordered")
-                    })
+                    .max_by(|(_, (_, a)), (_, (_, b))| a.total_cmp(b))
                     .map(|(idx, _)| idx)
                     .expect("nonempty"),
                 RoundingChoice::FirstId => 0, // candidates follow preorder; take first
@@ -306,6 +308,37 @@ mod tests {
         // Either outcome is *feasibility*-safe; assert only that the
         // result is a valid floor/ceil bracket.
         assert!(r.z[root] == 0 || r.z[root] == 1);
+    }
+
+    #[test]
+    fn nan_fraction_does_not_panic_the_rounder() {
+        // A degenerate `f64-unchecked` solve can hand the rounder a NaN
+        // open count. The candidate picker must stay total — the old
+        // `partial_cmp(..).expect("scalars are ordered")` turned that
+        // into a solver-thread panic. With `total_cmp` the NaN floors
+        // to 0, the NaN budget reads as exhausted, and the caller's
+        // schedule check decides whether the solve survives.
+        let inst = Instance::new(2, vec![Job::new(0, 1, 1), Job::new(0, 3, 1)]).unwrap();
+        let forest = Forest::build(&inst).unwrap();
+        let root = forest.roots[0];
+        let leaf = forest.nodes[root].children[0];
+        let mut x = vec![0.0f64; forest.num_nodes()];
+        x[leaf] = 1.0;
+        x[root] = f64::NAN;
+        let sol = FractionalSolution {
+            objective: x.iter().sum(),
+            x,
+            y: vec![Vec::new(); forest.num_nodes()],
+        };
+        let r = round(&forest, &sol, &[root]);
+        assert_eq!(r.z[root], 0, "NaN must floor to 0, not panic");
+        assert_eq!(r.z[leaf], 1);
+        // Tie-break variants walk the same candidate path; none may
+        // panic on the poisoned scalar either.
+        for choice in [RoundingChoice::FirstId, RoundingChoice::Shuffled(7)] {
+            let r = round_with(&forest, &sol, &[root], choice);
+            assert_eq!(r.z[root], 0);
+        }
     }
 
     #[test]

@@ -137,6 +137,54 @@ impl std::str::FromStr for PrecisionMode {
     }
 }
 
+/// Which solver attacks the strengthened LP on the exact backend.
+///
+/// Orthogonal to [`PrecisionMode`]: `precision` picks the *arithmetic*
+/// of the simplex stage, `lp_path` picks whether simplex runs at all.
+/// The combinatorial tree path ([`crate::treelp`]) solves the LP
+/// directly on the laminar forest and is bit-identical to simplex
+/// whenever it answers; it declines (with a typed
+/// [`TreeDecline`](crate::treelp::TreeDecline) reason) on shapes it
+/// cannot certify. Only consulted when `backend` is
+/// [`LpBackend::Exact`]; warm-started solves ([`solve_nested_seeded`])
+/// ignore it, like they ignore `precision`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpPath {
+    /// Try the tree path first, silently fall back to simplex on a
+    /// decline (the default). Counters record the split:
+    /// `lp.tree_solved` vs `lp.tree_fallback.<reason>`.
+    Auto,
+    /// Tree path only: a decline is surfaced as
+    /// [`SolveError::TreeDeclined`]. For coverage tests and diagnostics.
+    Tree,
+    /// Simplex only: never attempt the tree path.
+    Simplex,
+}
+
+impl LpPath {
+    /// Stable lowercase label (`auto` / `tree` / `simplex`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LpPath::Auto => "auto",
+            LpPath::Tree => "tree",
+            LpPath::Simplex => "simplex",
+        }
+    }
+}
+
+impl std::str::FromStr for LpPath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(LpPath::Auto),
+            "tree" => Ok(LpPath::Tree),
+            "simplex" => Ok(LpPath::Simplex),
+            other => Err(format!("unknown lp path '{other}' (auto|tree|simplex)")),
+        }
+    }
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone)]
 pub struct SolverOptions {
@@ -168,6 +216,10 @@ pub struct SolverOptions {
     /// by the float backends). The [`PrecisionMode::Hybrid`] default is
     /// bit-identical to [`PrecisionMode::Exact`], just faster.
     pub precision: PrecisionMode,
+    /// LP solver selection for the exact backend: the combinatorial
+    /// tree path, simplex, or try-tree-then-fall-back (the
+    /// [`LpPath::Auto`] default). Bit-identical in every case.
+    pub lp_path: LpPath,
 }
 
 impl SolverOptions {
@@ -187,6 +239,7 @@ impl SolverOptions {
             ceiling_depth: 3,
             shard: ShardMode::Auto,
             precision: PrecisionMode::Hybrid,
+            lp_path: LpPath::Auto,
         }
     }
 
@@ -198,6 +251,12 @@ impl SolverOptions {
     /// Pick the arithmetic discipline for the exact backend's LP stage.
     pub fn with_precision(mut self, precision: PrecisionMode) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Pick the LP solver path for the exact backend.
+    pub fn with_lp_path(mut self, lp_path: LpPath) -> Self {
+        self.lp_path = lp_path;
         self
     }
 
@@ -308,6 +367,10 @@ pub enum SolveError {
     Infeasible,
     /// The LP solver gave up (possible only on the float backend).
     Lp(atsched_lp::LpError),
+    /// The combinatorial tree path declined the instance and fallback
+    /// was forbidden ([`LpPath::Tree`] only — [`LpPath::Auto`] falls
+    /// back to simplex instead of surfacing this).
+    TreeDeclined(crate::treelp::TreeDecline),
 }
 
 impl fmt::Display for SolveError {
@@ -316,6 +379,7 @@ impl fmt::Display for SolveError {
             SolveError::Instance(e) => write!(f, "{e}"),
             SolveError::Infeasible => write!(f, "instance is infeasible"),
             SolveError::Lp(e) => write!(f, "{e}"),
+            SolveError::TreeDeclined(d) => write!(f, "tree LP path declined: {d}"),
         }
     }
 }
@@ -362,20 +426,64 @@ pub fn solve_nested(inst: &Instance, opts: &SolverOptions) -> Result<SolveResult
     drop(span);
 
     match opts.backend {
-        LpBackend::Exact => match opts.precision {
-            PrecisionMode::Exact => {
-                run_pipeline::<Ratio>(inst, canon, nodes_original, &bounds, opts, timings)
+        LpBackend::Exact => {
+            // Combinatorial fast path: solve the LP directly on the
+            // laminar forest when the shape allows a certified answer.
+            if opts.lp_path != LpPath::Simplex {
+                let stage = Instant::now();
+                match crate::treelp::solve_tree(
+                    &canon,
+                    inst,
+                    &bounds,
+                    opts.use_ceiling,
+                    opts.ceiling_depth,
+                ) {
+                    Ok(crate::treelp::TreeOutcome::Solved(sol)) => {
+                        let mut timings = timings;
+                        timings.lp = stage.elapsed();
+                        obs::histogram_record("span.lp.ms", timings.lp.as_secs_f64() * 1e3);
+                        obs::counter_add("lp.tree_solved", 1);
+                        return finish_pipeline::<Ratio>(
+                            inst,
+                            canon,
+                            nodes_original,
+                            opts,
+                            sol,
+                            timings,
+                        );
+                    }
+                    Ok(crate::treelp::TreeOutcome::Infeasible) => {
+                        return Err(SolveError::Infeasible)
+                    }
+                    Err(decline) => {
+                        match decline.label() {
+                            "nonunique" => obs::counter_add("lp.tree_fallback.nonunique", 1),
+                            "flow" => obs::counter_add("lp.tree_fallback.flow", 1),
+                            "scale" => obs::counter_add("lp.tree_fallback.scale", 1),
+                            _ => obs::counter_add("lp.tree_fallback.overflow", 1),
+                        }
+                        if opts.lp_path == LpPath::Tree {
+                            return Err(SolveError::TreeDeclined(decline));
+                        }
+                        // Auto: fall through to the simplex pipelines.
+                    }
+                }
             }
-            PrecisionMode::Hybrid | PrecisionMode::F64Unchecked => run_hybrid_pipeline(
-                inst,
-                canon,
-                nodes_original,
-                &bounds,
-                opts,
-                timings,
-                opts.precision == PrecisionMode::Hybrid,
-            ),
-        },
+            match opts.precision {
+                PrecisionMode::Exact => {
+                    run_pipeline::<Ratio>(inst, canon, nodes_original, &bounds, opts, timings)
+                }
+                PrecisionMode::Hybrid | PrecisionMode::F64Unchecked => run_hybrid_pipeline(
+                    inst,
+                    canon,
+                    nodes_original,
+                    &bounds,
+                    opts,
+                    timings,
+                    opts.precision == PrecisionMode::Hybrid,
+                ),
+            }
+        }
         LpBackend::Float => {
             run_pipeline::<f64>(inst, canon, nodes_original, &bounds, opts, timings)
         }

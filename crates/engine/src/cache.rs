@@ -195,7 +195,7 @@ mod tests {
 
         use super::*;
         use atsched_core::rounding::RoundingChoice;
-        use atsched_core::solver::{LpBackend, PrecisionMode, ShardMode};
+        use atsched_core::solver::{LpBackend, LpPath, PrecisionMode, ShardMode};
         use proptest::prelude::*;
 
         fn job() -> impl Strategy<Value = Job> {
@@ -208,9 +208,19 @@ mod tests {
         }
 
         fn options() -> impl Strategy<Value = SolverOptions> {
-            (0u8..3, any::<bool>(), any::<bool>(), any::<bool>(), 0u8..3, 3i64..6, 0u8..3, 0u8..3)
+            (
+                0u8..3,
+                any::<bool>(),
+                any::<bool>(),
+                any::<bool>(),
+                0u8..3,
+                3i64..6,
+                0u8..3,
+                (0u8..3, 0u8..3),
+            )
                 .prop_map(
-                    |(backend, compact, use_ceiling, polish, round, depth, shard, precision)| {
+                    |(backend, compact, use_ceiling, polish, round, depth, shard, arith)| {
+                        let (precision, lp_path) = arith;
                         SolverOptions {
                             backend: match backend {
                                 0 => LpBackend::Exact,
@@ -235,6 +245,11 @@ mod tests {
                                 0 => PrecisionMode::Hybrid,
                                 1 => PrecisionMode::Exact,
                                 _ => PrecisionMode::F64Unchecked,
+                            },
+                            lp_path: match lp_path {
+                                0 => LpPath::Auto,
+                                1 => LpPath::Tree,
+                                _ => LpPath::Simplex,
                             },
                         }
                     },
@@ -308,6 +323,12 @@ mod tests {
                         _ => PrecisionMode::Exact,
                     }
                 }
+                7 => {
+                    m.lp_path = match m.lp_path {
+                        LpPath::Simplex => LpPath::Auto,
+                        _ => LpPath::Simplex,
+                    }
+                }
                 _ => m.ceiling_depth += 1,
             }
             m
@@ -319,7 +340,7 @@ mod tests {
                 inst in instance(),
                 opts in options(),
                 which_inst in 0u8..6,
-                which_opts in 0u8..8,
+                which_opts in 0u8..9,
                 delta in 0i64..8,
             ) {
                 // Reflexivity: a clone is the same key (a repeat hits).

@@ -100,6 +100,14 @@ pub trait Scalar: Clone + PartialOrd + Debug + Display + 'static {
     fn floor_int(&self) -> i64;
     /// Smallest integer `≥ self`.
     fn ceil_int(&self) -> i64;
+    /// A *total* order for selection/sorting: never panics, even on
+    /// values `PartialOrd` cannot order (`f64` NaN from a degenerate
+    /// unchecked solve). Incomparable pairs read as equal for exact
+    /// fields; `f64` delegates to [`f64::total_cmp`], which orders NaN
+    /// deterministically instead.
+    fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).unwrap_or(std::cmp::Ordering::Equal)
+    }
 }
 
 impl Scalar for Ratio {
@@ -275,6 +283,10 @@ impl Scalar for f64 {
         *self
     }
 
+    fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        f64::total_cmp(self, other)
+    }
+
     fn floor_int(&self) -> i64 {
         // Snap values that are within tolerance of an integer first, so
         // 2.9999999998 floors to 3 rather than 2.
@@ -349,6 +361,22 @@ mod tests {
         assert_eq!(2.5f64.floor_int(), 2);
         assert_eq!(2.0000000001f64.ceil_int(), 2);
         assert_eq!(2.5f64.ceil_int(), 3);
+    }
+
+    #[test]
+    fn total_cmp_is_total_even_on_nan() {
+        use std::cmp::Ordering;
+        // f64 delegates to the IEEE total order: NaN sorts above +∞,
+        // so a max-by over a NaN-bearing slice picks deterministically
+        // instead of panicking on an unordered pair.
+        assert_eq!(Scalar::total_cmp(&1.0f64, &2.0), Ordering::Less);
+        assert_eq!(Scalar::total_cmp(&f64::NAN, &f64::INFINITY), Ordering::Greater);
+        assert_eq!(Scalar::total_cmp(&f64::NAN, &f64::NAN), Ordering::Equal);
+        // Exact fields use the default (partial order is already total).
+        let a = <Ratio as Scalar>::from_i64(1);
+        let b = <Ratio as Scalar>::from_i64(2);
+        assert_eq!(Scalar::total_cmp(&a, &b), Ordering::Less);
+        assert_eq!(Scalar::total_cmp(&b, &b), Ordering::Equal);
     }
 
     #[test]

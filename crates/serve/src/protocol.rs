@@ -185,6 +185,9 @@ pub struct Request {
     /// Arithmetic discipline for the exact backend's LP stage:
     /// `hybrid` | `exact` | `f64-unchecked` (default `hybrid`).
     pub precision: Option<String>,
+    /// LP solver path for the exact backend:
+    /// `auto` | `tree` | `simplex` (default `auto`).
+    pub lp_path: Option<String>,
     /// Enable the slot-closing post-optimization (default false).
     pub polish: Option<bool>,
     /// Seed for the general path's shuffled candidate.
@@ -216,6 +219,7 @@ impl Request {
             method: None,
             backend: None,
             precision: None,
+            lp_path: None,
             polish: None,
             seed: None,
             shard: None,
@@ -310,6 +314,13 @@ impl Request {
     /// (`hybrid` | `exact` | `f64-unchecked`).
     pub fn with_precision(mut self, precision: &str) -> Request {
         self.precision = Some(precision.to_string());
+        self
+    }
+
+    /// Set the exact backend's LP solver path
+    /// (`auto` | `tree` | `simplex`).
+    pub fn with_lp_path(mut self, lp_path: &str) -> Request {
+        self.lp_path = Some(lp_path.to_string());
         self
     }
 
@@ -698,6 +709,7 @@ impl Serialize for Request {
         push_opt(&mut m, "method", &self.method)?;
         push_opt(&mut m, "backend", &self.backend)?;
         push_opt(&mut m, "precision", &self.precision)?;
+        push_opt(&mut m, "lp_path", &self.lp_path)?;
         push_opt(&mut m, "polish", &self.polish)?;
         push_opt(&mut m, "seed", &self.seed)?;
         push_opt(&mut m, "shard", &self.shard)?;
@@ -730,6 +742,7 @@ impl<'de> Deserialize<'de> for Request {
             method: opt_field(&mut entries, "method")?,
             backend: opt_field(&mut entries, "backend")?,
             precision: opt_field(&mut entries, "precision")?,
+            lp_path: opt_field(&mut entries, "lp_path")?,
             polish: opt_field(&mut entries, "polish")?,
             seed: opt_field(&mut entries, "seed")?,
             shard: opt_field(&mut entries, "shard")?,
@@ -851,6 +864,7 @@ mod tests {
             .with_method("nested")
             .with_shard("force")
             .with_precision("exact")
+            .with_lp_path("simplex")
             .with_timeout_ms(500);
         let line = serde_json::to_string(&req).unwrap();
         assert!(!line.contains('\n'), "frames are single lines: {line}");

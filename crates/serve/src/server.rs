@@ -605,6 +605,9 @@ pub(crate) fn validate(req: &Request, default_timeout: Option<Duration>) -> Resu
         if let Some(precision) = req.precision.as_deref() {
             opts.precision = precision.parse()?;
         }
+        if let Some(lp_path) = req.lp_path.as_deref() {
+            opts.lp_path = lp_path.parse()?;
+        }
         opts
     };
     let timeout = req.timeout_ms.map(Duration::from_millis).or(default_timeout);

@@ -129,6 +129,66 @@ fn idle_sessions_are_evicted_by_the_ttl() {
     handle.join().unwrap();
 }
 
+#[test]
+fn expiry_advances_without_any_client_traffic() {
+    // The router's periodic sweep timer — not request handling, and
+    // not the scrape listener (which is strictly read-only) — is what
+    // expires idle sessions. Open one, go completely silent on the
+    // protocol port, and watch `serve.sessions_expired` move through
+    // the HTTP scrape alone.
+    let server = atsched_serve::Server::bind(
+        ServerConfig::default()
+            .addr("127.0.0.1:0")
+            .workers(1)
+            .session_ttl(Duration::from_millis(50))
+            .metrics_addr("127.0.0.1:0"),
+    )
+    .expect("bind");
+    let scrape_addr = server.metrics_addr().expect("scrape listener bound");
+    let handle = server.spawn();
+
+    {
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let inst = Instance::new(2, vec![Job::new(0, 4, 2), Job::new(1, 3, 1)]).unwrap();
+        client.open(&inst).expect("open");
+        // Client drops here: no amend, no stats, no close — nothing
+        // that could piggyback a sweep.
+    }
+
+    // ttl 50 ms → sweep period 25 ms. Poll the scrape (read-only, so
+    // polling itself cannot be the evictor) until the timer fires.
+    let mut expired = 0u64;
+    for _ in 0..200 {
+        std::thread::sleep(Duration::from_millis(25));
+        let body = http_get(scrape_addr, "/metrics");
+        expired = body
+            .lines()
+            .find_map(|l| l.strip_prefix("atsched_serve_sessions_expired "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if expired >= 1 {
+            break;
+        }
+    }
+    assert!(expired >= 1, "periodic sweep never expired the idle session");
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().expect("drain");
+    handle.join().unwrap();
+}
+
+/// `GET path` against the scrape listener, HTTP/1.0, full response as
+/// one string (head + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape response");
+    response
+}
+
 /// Exchange one raw JSON line with the server, v1-client style: no
 /// typed [`Request`], just bytes on the socket. The reply parses into
 /// [`atsched_serve::Response`], whose deserializer tolerates fields it

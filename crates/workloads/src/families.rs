@@ -84,6 +84,49 @@ pub fn dyadic_full(levels: u32, jobs_per_node: usize, g: i64) -> Instance {
     Instance::new(g, jobs).expect("valid by construction")
 }
 
+/// `blocks` disjoint copies of a one-window unit-job pile: every job in
+/// block `i` shares the window `[b, b+width)`. The laminar forest is a
+/// row of leaf roots, so the strengthened LP's optimum is pinned per
+/// root at `max(⌈jobs/g⌉, OPT-lower-bound)` — the combinatorial tree
+/// path solves these without ever declining to the simplex.
+pub fn unit_blocks(blocks: usize, jobs_per_block: usize, width: i64, g: i64) -> Instance {
+    assert!(blocks >= 1 && jobs_per_block >= 1 && width >= 1 && g >= 1);
+    assert!(
+        jobs_per_block as i64 <= g * width,
+        "block volume must fit its window (jobs ≤ g·width)"
+    );
+    let stride = width + 1; // one-slot gap keeps the roots disjoint
+    let mut jobs = Vec::with_capacity(blocks * jobs_per_block);
+    for i in 0..blocks as i64 {
+        let b = i * stride;
+        for _ in 0..jobs_per_block {
+            jobs.push(Job::new(b, b + width, 1));
+        }
+    }
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
+/// `blocks` disjoint two-level trees: a rigid singleton-window leaf
+/// (its slot is forced open, so the child's demand equals its capacity)
+/// under a width-4 root window carrying `top_jobs` unit jobs. The
+/// saturated leaf leaves the root as the only free variable, so the
+/// tree path's pinning step is unique by construction — the shallow-nest
+/// counterpart to [`unit_blocks`] for LP-free-path coverage and benches.
+pub fn shallow_nest(blocks: usize, top_jobs: usize, g: i64) -> Instance {
+    assert!(blocks >= 1 && top_jobs >= 1 && g >= 1);
+    assert!((top_jobs as i64) < 4 * g, "block volume must fit its window");
+    let stride = 5;
+    let mut jobs = Vec::with_capacity(blocks * (top_jobs + 1));
+    for i in 0..blocks as i64 {
+        let b = i * stride;
+        jobs.push(Job::new(b, b + 1, 1)); // rigid leaf
+        for _ in 0..top_jobs {
+            jobs.push(Job::new(b, b + 4, 1));
+        }
+    }
+    Instance::new(g, jobs).expect("valid by construction")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +158,33 @@ mod tests {
         assert!(inst.check_laminar().is_ok());
         assert!(inst.is_feasible_all_open());
         assert_eq!(inst.num_jobs(), 1 + 10);
+    }
+
+    #[test]
+    fn unit_blocks_is_a_row_of_leaf_roots() {
+        let inst = unit_blocks(4, 5, 2, 3);
+        assert!(inst.check_laminar().is_ok());
+        assert!(inst.is_feasible_all_open());
+        assert_eq!(inst.num_jobs(), 20);
+        // All windows in a block identical, blocks disjoint.
+        let mut windows: Vec<(i64, i64)> =
+            inst.jobs.iter().map(|j| (j.release, j.deadline)).collect();
+        windows.sort_unstable();
+        windows.dedup();
+        assert_eq!(windows.len(), 4);
+        for w in windows.windows(2) {
+            assert!(w[0].1 <= w[1].0, "blocks must not overlap");
+        }
+    }
+
+    #[test]
+    fn shallow_nest_has_one_rigid_leaf_per_block() {
+        let inst = shallow_nest(3, 4, 2);
+        assert!(inst.check_laminar().is_ok());
+        assert!(inst.is_feasible_all_open());
+        assert_eq!(inst.num_jobs(), 15);
+        let rigid = inst.jobs.iter().filter(|j| j.window_len() == j.processing).count();
+        assert_eq!(rigid, 3);
     }
 
     #[test]

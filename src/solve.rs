@@ -33,7 +33,7 @@ use atsched_baselines::incremental::minimal_feasible_fast;
 use atsched_core::instance::Instance;
 use atsched_core::schedule::Schedule;
 use atsched_core::solver::{
-    LpBackend, PrecisionMode, ShardMode, SolveResult, SolveStats, SolverOptions,
+    LpBackend, LpPath, PrecisionMode, ShardMode, SolveResult, SolveStats, SolverOptions,
 };
 use atsched_engine::{isolated, solve_nested_sharded, with_budget};
 use std::time::Duration;
@@ -208,6 +208,14 @@ impl<'a> Solve<'a> {
     /// bit-identical to [`PrecisionMode::Exact`]).
     pub fn precision(mut self, mode: PrecisionMode) -> Self {
         self.opts.precision = mode;
+        self
+    }
+
+    /// LP solver path for the exact backend (default [`LpPath::Auto`] —
+    /// combinatorial tree path first, simplex fallback; bit-identical
+    /// either way).
+    pub fn lp_path(mut self, path: LpPath) -> Self {
+        self.opts.lp_path = path;
         self
     }
 
@@ -405,6 +413,34 @@ mod tests {
             .run()
             .unwrap();
         fast.schedule().verify(&i).unwrap();
+    }
+
+    #[test]
+    fn lp_paths_agree_through_the_facade() {
+        // Tree-friendly (rigid + ceiling-pinned) and tree-declining
+        // instances both must match the pure simplex path bit-for-bit.
+        for jobs in [
+            vec![(0, 2, 1), (0, 2, 1), (0, 2, 1)],
+            vec![(0, 12, 3), (1, 6, 2), (2, 5, 1), (7, 11, 2)],
+        ] {
+            let i = inst(2, jobs);
+            let auto = Solve::new(&i).method(Method::Nested).run().unwrap();
+            let simplex =
+                Solve::new(&i).method(Method::Nested).lp_path(LpPath::Simplex).run().unwrap();
+            assert_eq!(auto.schedule().slots, simplex.schedule().slots);
+            assert_eq!(auto.schedule().assignment, simplex.schedule().assignment);
+            assert_eq!(
+                auto.stats().unwrap().lp_objective_exact,
+                simplex.stats().unwrap().lp_objective_exact
+            );
+        }
+        // Forcing the tree path on a shape it cannot certify surfaces
+        // the typed decline instead of silently falling back.
+        let wide = inst(2, vec![(0, 10, 2), (1, 6, 2), (2, 5, 1), (7, 9, 1)]);
+        match Solve::new(&wide).method(Method::Nested).lp_path(LpPath::Tree).run() {
+            Err(Error::TreeDeclined(_)) => {}
+            other => panic!("expected TreeDeclined, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Equivalence oracle for the LP-free combinatorial tree path.
+//!
+//! `lp-path=tree`'s only legal behaviors are (a) solving with a
+//! *bit-identical* exact objective and schedule to the simplex, (b)
+//! proving infeasibility exactly when the simplex does, or (c)
+//! declining — never "solving differently". `lp-path=auto` (the
+//! default) must therefore be observationally indistinguishable from
+//! `lp-path=simplex` on every instance, which is what these properties
+//! pin down, over the same dyadic shrinkable strategy as the pipeline
+//! proptests plus the workloads generators.
+
+use nested_active_time::core::instance::{Instance, Job};
+use nested_active_time::core::solver::{solve_nested, LpPath, SolveError, SolverOptions};
+use nested_active_time::workloads::families::{shallow_nest, unit_blocks};
+use nested_active_time::workloads::generators::{
+    random_laminar, random_multi_root, LaminarConfig, MultiRootConfig,
+};
+use proptest::prelude::*;
+
+const LEVELS: u32 = 3; // horizon 8
+
+fn opts(path: LpPath) -> SolverOptions {
+    SolverOptions::exact().with_lp_path(path)
+}
+
+fn dyadic_job() -> impl Strategy<Value = Job> {
+    (0..=LEVELS, any::<u32>(), 1i64..4).prop_map(|(level, idx, p)| {
+        let width = 1i64 << (LEVELS - level);
+        let positions = 1u32 << level;
+        let i = (idx % positions) as i64;
+        Job::new(i * width, (i + 1) * width, p.min(width))
+    })
+}
+
+/// Laminar by construction but *not* filtered for feasibility: the
+/// oracle must also agree on infeasibility verdicts.
+fn any_instance() -> impl Strategy<Value = Instance> {
+    (1i64..4, proptest::collection::vec(dyadic_job(), 1..8))
+        .prop_filter_map("well-formed", |(g, jobs)| Instance::new(g, jobs).ok())
+}
+
+/// Auto and Simplex must agree observationally: the same verdict, and
+/// on success a bit-identical exact LP objective plus an identical
+/// slot-for-slot schedule.
+fn assert_paths_agree(inst: &Instance) -> Result<(), TestCaseError> {
+    let auto = solve_nested(inst, &opts(LpPath::Auto));
+    let simplex = solve_nested(inst, &opts(LpPath::Simplex));
+    match (&auto, &simplex) {
+        (Ok(a), Ok(s)) => {
+            prop_assert_eq!(&a.stats.lp_objective_exact, &s.stats.lp_objective_exact);
+            prop_assert_eq!(&a.schedule.slots, &s.schedule.slots);
+            a.schedule.verify(inst).unwrap();
+        }
+        (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+        (a, s) => {
+            let label = |r: &Result<_, SolveError>| match r {
+                Ok(_) => "solved".to_string(),
+                Err(e) => format!("error: {e}"),
+            };
+            prop_assert!(false, "verdicts diverged: auto={}, simplex={}", label(a), label(s));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Shrinkable dyadic instances, feasible and infeasible alike.
+    #[test]
+    fn prop_tree_path_matches_simplex_on_dyadic(inst in any_instance()) {
+        assert_paths_agree(&inst)?;
+    }
+
+    /// Random laminar trees and multi-root forests from the workloads
+    /// generators — deeper nesting and group structure than the dyadic
+    /// strategy reaches.
+    #[test]
+    fn prop_tree_path_matches_simplex_on_generated(seed in any::<u64>()) {
+        let cfg = LaminarConfig { g: 2, horizon: 16, ..Default::default() };
+        assert_paths_agree(&random_laminar(&cfg, seed))?;
+        let mcfg = MultiRootConfig { roots: 3, ..Default::default() };
+        assert_paths_agree(&random_multi_root(&mcfg, seed))?;
+    }
+
+    /// The unit-blocks family is 100% tree-handled: forcing
+    /// `lp-path=tree` must never decline, and the result must still be
+    /// bit-identical to the simplex.
+    #[test]
+    fn prop_unit_blocks_family_is_fully_tree_handled(
+        blocks in 1usize..5,
+        jobs in 1usize..9,
+        width in 1i64..4,
+        g in 1i64..5,
+    ) {
+        prop_assume!(jobs as i64 <= g * width);
+        let inst = unit_blocks(blocks, jobs, width, g);
+        let tree = solve_nested(&inst, &opts(LpPath::Tree))
+            .expect("unit-blocks family must be 100% tree-handled");
+        let simplex = solve_nested(&inst, &opts(LpPath::Simplex)).unwrap();
+        prop_assert_eq!(&tree.stats.lp_objective_exact, &simplex.stats.lp_objective_exact);
+        prop_assert_eq!(&tree.schedule.slots, &simplex.schedule.slots);
+    }
+
+    /// Likewise for the shallow-nest family: the saturated rigid leaf
+    /// pins the root uniquely, so the tree path owns the whole family.
+    #[test]
+    fn prop_shallow_nest_family_is_fully_tree_handled(
+        blocks in 1usize..4,
+        top in 1usize..7,
+        g in 1i64..4,
+    ) {
+        prop_assume!((top as i64) < 4 * g);
+        let inst = shallow_nest(blocks, top, g);
+        let tree = solve_nested(&inst, &opts(LpPath::Tree))
+            .expect("shallow-nest family must be 100% tree-handled");
+        let simplex = solve_nested(&inst, &opts(LpPath::Simplex)).unwrap();
+        prop_assert_eq!(&tree.stats.lp_objective_exact, &simplex.stats.lp_objective_exact);
+        prop_assert_eq!(&tree.schedule.slots, &simplex.schedule.slots);
+    }
+}
